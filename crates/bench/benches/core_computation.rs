@@ -1,0 +1,42 @@
+//! Experiment E11 (part 2): the cost of computing relational cores and checking
+//! minimality — the substrate of the minimal semantics (§10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nev_bench::workloads::c4_plus_c6;
+use nev_hom::minimal::is_minimal_image;
+use nev_hom::{core_of, is_core};
+use nev_incomplete::graph::{directed_cycle, disjoint_cycles, NodeKind};
+
+fn bench_core_of(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_of");
+    // C2 + C4 retracts onto C2; C4 + C6 is already a core.
+    let retractable = disjoint_cycles(2, 4, NodeKind::Nulls);
+    let already_core = c4_plus_c6();
+    group.bench_function("retractable_c2_plus_c4", |b| b.iter(|| core_of(&retractable)));
+    group.bench_function("already_core_c4_plus_c6", |b| b.iter(|| core_of(&already_core)));
+    for n in [3u32, 4, 5] {
+        let cn = directed_cycle(n, NodeKind::Nulls, 0);
+        group.bench_with_input(BenchmarkId::new("is_core_cycle", n), &cn, |b, g| {
+            b.iter(|| is_core(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimality_check(c: &mut Criterion) {
+    let g = c4_plus_c6();
+    let c2 = directed_cycle(2, NodeKind::Constants, 100);
+    let c3_plus_c2 = directed_cycle(3, NodeKind::Constants, 200)
+        .union(&directed_cycle(2, NodeKind::Constants, 300))
+        .expect("same schema");
+    let mut group = c.benchmark_group("minimality_check");
+    group.bench_function("minimal_image_c2", |b| b.iter(|| is_minimal_image(&g, &c2)));
+    group.bench_function("non_minimal_image_c3_plus_c2", |b| {
+        b.iter(|| is_minimal_image(&g, &c3_plus_c2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_core_of, bench_minimality_check);
+criterion_main!(benches);

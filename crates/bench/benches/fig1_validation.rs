@@ -1,0 +1,33 @@
+//! Experiment E1 (performance side): the cost of validating representative Figure 1
+//! cells — how expensive "checking the theorem" is per cell, per semantics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nev_bench::figure1::{run_cell, Figure1Config};
+use nev_core::Semantics;
+use nev_logic::Fragment;
+
+fn tiny_config() -> Figure1Config {
+    Figure1Config { trials: 4, ..Figure1Config::quick() }
+}
+
+fn bench_guaranteed_cells(c: &mut Criterion) {
+    let config = tiny_config();
+    let mut group = c.benchmark_group("figure1_cells");
+    group.sample_size(10);
+    for (sem, fragment) in [
+        (Semantics::Owa, Fragment::ExistentialPositive),
+        (Semantics::Wcwa, Fragment::Positive),
+        (Semantics::Cwa, Fragment::PositiveGuarded),
+        (Semantics::PowersetCwa, Fragment::ExistentialPositiveBooleanGuarded),
+        (Semantics::MinimalCwa, Fragment::PositiveGuarded),
+        (Semantics::MinimalPowersetCwa, Fragment::ExistentialPositiveBooleanGuarded),
+    ] {
+        let label = format!("{}×{}", sem.short_name(), fragment);
+        group.bench_function(label, |b| b.iter(|| run_cell(sem, fragment, &config)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_guaranteed_cells);
+criterion_main!(benches);

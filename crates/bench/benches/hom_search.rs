@@ -1,0 +1,42 @@
+//! Experiment E11 (part 1): homomorphism-search microbenchmarks, including the
+//! variable-ordering ablation called out in `DESIGN.md §8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nev_hom::search::{exists_homomorphism, HomConfig, VariableOrdering};
+use nev_incomplete::graph::{directed_cycle, disjoint_cycles, NodeKind};
+
+fn bench_cycle_homomorphisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hom_search_cycles");
+    for n in [4u32, 6, 8] {
+        // Even cycles map onto C2 (satisfiable); odd target C3 from an even source is
+        // unsatisfiable and exercises the full backtracking.
+        let source = directed_cycle(n, NodeKind::Nulls, 0);
+        let c2 = directed_cycle(2, NodeKind::Constants, 100);
+        let c3 = directed_cycle(3, NodeKind::Constants, 200);
+        group.bench_with_input(BenchmarkId::new("satisfiable_to_c2", n), &source, |b, s| {
+            b.iter(|| exists_homomorphism(s, &c2, &HomConfig::database()))
+        });
+        group.bench_with_input(BenchmarkId::new("unsatisfiable_to_c3", n), &source, |b, s| {
+            b.iter(|| exists_homomorphism(s, &c3, &HomConfig::database()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_variable_ordering_ablation(c: &mut Criterion) {
+    let source = disjoint_cycles(4, 6, NodeKind::Nulls);
+    let c3 = directed_cycle(3, NodeKind::Constants, 200);
+    let mut group = c.benchmark_group("hom_search_variable_ordering");
+    for (name, ordering) in [
+        ("most_occurrences_first", VariableOrdering::MostOccurrencesFirst),
+        ("source_order", VariableOrdering::SourceOrder),
+    ] {
+        let config = HomConfig::database().with_ordering(ordering);
+        group.bench_function(name, |b| b.iter(|| exists_homomorphism(&source, &c3, &config)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_homomorphisms, bench_variable_ordering_ablation);
+criterion_main!(benches);

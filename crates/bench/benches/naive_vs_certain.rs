@@ -1,0 +1,48 @@
+//! Experiment E10 (part 1): naïve evaluation versus the certain-answer oracle.
+//!
+//! The paper's introduction motivates naïve evaluation by the intractability of
+//! certain answers. This benchmark makes that gap concrete on the chain workload:
+//! naïve evaluation is a single polynomial-time pass over the instance, while the
+//! ground-truth oracle enumerates `|budget|^{#nulls}` valuations (exponential in the
+//! number of nulls), for the same query and the same instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nev_bench::workloads::{chain_instance, chain_query, intro_instance, intro_query};
+use nev_core::certain::{certain_answers_boolean, compare_naive_and_certain};
+use nev_core::{Semantics, WorldBounds};
+use nev_logic::eval::{naive_eval_boolean, naive_eval_query};
+
+fn bench_intro_example(c: &mut Criterion) {
+    let d = intro_instance();
+    let q = intro_query();
+    let bounds = WorldBounds::default();
+    let mut group = c.benchmark_group("intro_example");
+    group.bench_function("naive_eval", |b| b.iter(|| naive_eval_query(&d, &q)));
+    group.bench_function("certain_answers_cwa", |b| {
+        b.iter(|| compare_naive_and_certain(&d, &q, Semantics::Cwa, &bounds))
+    });
+    group.bench_function("certain_answers_owa_bounded", |b| {
+        b.iter(|| compare_naive_and_certain(&d, &q, Semantics::Owa, &bounds))
+    });
+    group.finish();
+}
+
+fn bench_chain_scaling(c: &mut Criterion) {
+    let q = chain_query();
+    let bounds = WorldBounds::default();
+    let mut group = c.benchmark_group("naive_vs_certain_chain");
+    for nulls in [1u32, 2, 3, 4] {
+        let d = chain_instance(nulls);
+        group.bench_with_input(BenchmarkId::new("naive", nulls), &d, |b, d| {
+            b.iter(|| naive_eval_boolean(d, &q))
+        });
+        group.bench_with_input(BenchmarkId::new("certain_cwa", nulls), &d, |b, d| {
+            b.iter(|| certain_answers_boolean(d, &q, Semantics::Cwa, &bounds))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intro_example, bench_chain_scaling);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Experiment E5 (performance side): the semantic orderings and their Codd
+//! counterparts on random instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nev_core::ordering::{cwa_leq, owa_leq, powerset_cwa_leq, wcwa_leq};
+use nev_incomplete::codd::{cwa_matching_leq, hoare_leq, plotkin_leq};
+use nev_incomplete::{Instance, Tuple, Value};
+
+/// A deterministic pseudo-random Codd instance over a binary relation.
+fn random_codd_instance(seed: u64, tuples: usize) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = Instance::new();
+    let mut next_null = 0u32;
+    for _ in 0..tuples {
+        let mut value = |rng: &mut StdRng| {
+            if rng.gen_bool(0.4) {
+                next_null += 1;
+                Value::null(next_null)
+            } else {
+                Value::int(rng.gen_range(1..=3))
+            }
+        };
+        let a = value(&mut rng);
+        let b = value(&mut rng);
+        inst.add_tuple("R", Tuple::new(vec![a, b])).unwrap();
+    }
+    inst
+}
+
+fn bench_semantic_orderings(c: &mut Criterion) {
+    let d = random_codd_instance(1, 4);
+    let e = random_codd_instance(2, 5);
+    let mut group = c.benchmark_group("semantic_orderings");
+    group.bench_function("owa_leq", |b| b.iter(|| owa_leq(&d, &e)));
+    group.bench_function("cwa_leq", |b| b.iter(|| cwa_leq(&d, &e)));
+    group.bench_function("wcwa_leq", |b| b.iter(|| wcwa_leq(&d, &e)));
+    group.bench_function("powerset_cwa_leq", |b| b.iter(|| powerset_cwa_leq(&d, &e)));
+    group.finish();
+}
+
+fn bench_codd_orderings(c: &mut Criterion) {
+    let d = random_codd_instance(3, 5);
+    let e = random_codd_instance(4, 6);
+    let mut group = c.benchmark_group("codd_orderings");
+    group.bench_function("hoare", |b| b.iter(|| hoare_leq(&d, &e)));
+    group.bench_function("plotkin", |b| b.iter(|| plotkin_leq(&d, &e)));
+    group.bench_function("plotkin_plus_matching", |b| b.iter(|| cwa_matching_leq(&d, &e)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_semantic_orderings, bench_codd_orderings);
+criterion_main!(benches);

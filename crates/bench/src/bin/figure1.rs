@@ -1,0 +1,94 @@
+//! Regenerates the paper's evaluation artefacts:
+//!
+//! * **Figure 1** — for every (semantics, fragment) cell, the agreement rate between
+//!   naïve evaluation and (bounded) certain answers on a randomized workload;
+//! * the **worked examples** of the paper (experiments E2–E9 of `DESIGN.md`).
+//!
+//! Usage:
+//!
+//! ```text
+//! figure1 [--quick] [--trials N] [--seed S] [--skip-table] [--skip-examples]
+//! ```
+//!
+//! The output is Markdown; `EXPERIMENTS.md` records a captured run.
+
+use nev_bench::examples::{render_examples_markdown, run_paper_examples};
+use nev_bench::figure1::{render_markdown, run_all_cells, Figure1Config};
+
+struct Options {
+    config: Figure1Config,
+    run_table: bool,
+    run_examples: bool,
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        config: Figure1Config::default(),
+        run_table: true,
+        run_examples: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.config = Figure1Config::quick(),
+            "--trials" => {
+                let value = args.next().expect("--trials needs a value");
+                options.config.trials = value.parse().expect("--trials needs an integer");
+            }
+            "--seed" => {
+                let value = args.next().expect("--seed needs a value");
+                options.config.seed = value.parse().expect("--seed needs an integer");
+            }
+            "--skip-table" => options.run_table = false,
+            "--skip-examples" => options.run_examples = false,
+            "--help" | "-h" => {
+                println!(
+                    "usage: figure1 [--quick] [--trials N] [--seed S] [--skip-table] [--skip-examples]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    options
+}
+
+fn main() {
+    let options = parse_options();
+
+    println!("# When is naive evaluation possible? — experiment harness\n");
+
+    if options.run_examples {
+        println!("## Worked examples (E2–E9)\n");
+        let results = run_paper_examples();
+        print!("{}", render_examples_markdown(&results));
+        let failed = results.iter().filter(|r| !r.reproduced).count();
+        println!("\n{} of {} examples reproduced.\n", results.len() - failed, results.len());
+    }
+
+    if options.run_table {
+        println!(
+            "## Figure 1 validation (E1): {} trials per cell, seed {}\n",
+            options.config.trials, options.config.seed
+        );
+        let outcomes = run_all_cells(&options.config);
+        print!("{}", render_markdown(&outcomes));
+        let mismatches: Vec<_> = outcomes.iter().filter(|o| !o.satisfies_expectation()).collect();
+        println!();
+        if mismatches.is_empty() {
+            println!("All cells satisfy the paper's guarantees.");
+        } else {
+            println!("{} cell(s) violate the paper's guarantees:", mismatches.len());
+            for o in mismatches {
+                println!("- {} × {}:", o.semantics, o.fragment);
+                for ce in &o.counterexamples {
+                    println!("    {ce}");
+                }
+            }
+            std::process::exit(1);
+        }
+    }
+}

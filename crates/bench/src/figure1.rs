@@ -1,0 +1,263 @@
+//! The Figure 1 experiment: per-(semantics, fragment) validation of naïve evaluation
+//! against certain answers on randomized workloads (experiment E1 of `DESIGN.md`).
+
+use std::fmt::Write as _;
+
+use nev_core::cores::naive_is_sound_approximation;
+use nev_core::certain::compare_naive_and_certain;
+use nev_core::summary::{expectation, Expectation, FRAGMENTS};
+use nev_core::{Semantics, WorldBounds};
+use nev_gen::{FormulaGenerator, FormulaGeneratorConfig, InstanceGenerator, InstanceGeneratorConfig};
+use nev_hom::core_of;
+use nev_incomplete::Schema;
+use nev_logic::Fragment;
+
+/// Configuration of a Figure 1 run.
+#[derive(Clone, Debug)]
+pub struct Figure1Config {
+    /// Number of (query, instance) trials per cell.
+    pub trials: usize,
+    /// Base random seed; each cell derives its own stream from it.
+    pub seed: u64,
+    /// The shared relational schema of instances and queries.
+    pub schema: Schema,
+    /// Maximum depth of generated formulas.
+    pub formula_depth: usize,
+    /// Query arity: `0` for Boolean-only, otherwise a mix of Boolean and k-ary.
+    pub max_arity: usize,
+    /// Possible-world enumeration bounds.
+    pub bounds: WorldBounds,
+}
+
+impl Default for Figure1Config {
+    fn default() -> Self {
+        Figure1Config {
+            trials: 40,
+            seed: 20130622, // PODS 2013
+            schema: Schema::from_relations([("R", 2), ("S", 1)]),
+            formula_depth: 3,
+            max_arity: 1,
+            bounds: WorldBounds { owa_max_extra_tuples: 1, wcwa_max_extra_tuples: 2, ..WorldBounds::default() },
+        }
+    }
+}
+
+impl Figure1Config {
+    /// A configuration small enough for CI-style integration tests.
+    pub fn quick() -> Self {
+        Figure1Config { trials: 12, ..Figure1Config::default() }
+    }
+
+    fn instance_config(&self) -> InstanceGeneratorConfig {
+        InstanceGeneratorConfig {
+            schema: self.schema.clone(),
+            tuples_per_relation: (1, 3),
+            constant_pool: 2,
+            null_pool: 2,
+            null_probability: 0.5,
+            codd: false,
+        }
+    }
+
+    fn formula_config(&self, fragment: Fragment) -> FormulaGeneratorConfig {
+        FormulaGeneratorConfig {
+            fragment,
+            schema: self.schema.clone(),
+            constant_pool: 2,
+            constant_probability: 0.2,
+            max_depth: self.formula_depth,
+        }
+    }
+}
+
+/// The outcome of running one Figure 1 cell.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// The semantics of the cell.
+    pub semantics: Semantics,
+    /// The fragment of the cell.
+    pub fragment: Fragment,
+    /// What the paper guarantees for the cell.
+    pub expectation: Expectation,
+    /// Number of trials run.
+    pub trials: usize,
+    /// Trials on which naïve evaluation agreed with (bounded) certain answers.
+    pub agreements: usize,
+    /// Trials on which the naïve answers were a subset of the certain answers
+    /// (soundness; relevant for the minimal semantics and for `NotGuaranteed` cells).
+    pub sound: usize,
+    /// Human-readable descriptions of the first few disagreements found.
+    pub counterexamples: Vec<String>,
+}
+
+impl CellOutcome {
+    /// Did every trial agree?
+    pub fn fully_agrees(&self) -> bool {
+        self.agreements == self.trials
+    }
+
+    /// The agreement rate in `[0, 1]`.
+    pub fn agreement_rate(&self) -> f64 {
+        if self.trials == 0 {
+            1.0
+        } else {
+            self.agreements as f64 / self.trials as f64
+        }
+    }
+
+    /// Does the outcome satisfy the paper's guarantee for this cell?
+    ///
+    /// * `Works` cells must agree on every trial;
+    /// * `WorksOverCores` cells must agree on every trial (the harness evaluates them
+    ///   on cores) *and* be sound on every trial;
+    /// * `NotGuaranteed` cells always satisfy the (absent) guarantee.
+    pub fn satisfies_expectation(&self) -> bool {
+        match self.expectation {
+            Expectation::Works => self.fully_agrees(),
+            Expectation::WorksOverCores => self.fully_agrees() && self.sound == self.trials,
+            Expectation::NotGuaranteed => true,
+        }
+    }
+}
+
+/// Runs one cell of Figure 1: `trials` random (query, instance) pairs of the cell's
+/// fragment, compared under the cell's semantics.
+///
+/// For `WorksOverCores` cells the random instance is replaced by its core before the
+/// comparison (Corollary 10.12); soundness (naïve ⊆ certain) is additionally recorded
+/// on the *original* instance (Proposition 10.13).
+pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config) -> CellOutcome {
+    let expectation = expectation(semantics, fragment);
+    let cell_seed = config
+        .seed
+        .wrapping_mul(31)
+        .wrapping_add(semantics as u64 * 101 + fragment as u64 * 7);
+    let mut instances = InstanceGenerator::new(config.instance_config(), cell_seed);
+    let mut formulas = FormulaGenerator::new(config.formula_config(fragment), cell_seed ^ 0xf1f1);
+
+    let mut agreements = 0;
+    let mut sound = 0;
+    let mut counterexamples = Vec::new();
+
+    for trial in 0..config.trials {
+        let raw_instance = instances.generate();
+        let arity = if config.max_arity == 0 { 0 } else { trial % (config.max_arity + 1) };
+        let query = if arity == 0 {
+            formulas.generate_sentence()
+        } else {
+            formulas.generate_query(arity)
+        };
+
+        let instance = if expectation == Expectation::WorksOverCores {
+            core_of(&raw_instance)
+        } else {
+            raw_instance.clone()
+        };
+
+        let report = compare_naive_and_certain(&instance, &query, semantics, &config.bounds);
+        if report.agrees() {
+            agreements += 1;
+        } else if counterexamples.len() < 3 {
+            counterexamples.push(format!(
+                "query `{}` on instance `{}`: naive={:?} certain={:?}",
+                query,
+                instance,
+                report.naive,
+                report.certain
+            ));
+        }
+        if naive_is_sound_approximation(&raw_instance, &query, semantics, &config.bounds) {
+            sound += 1;
+        }
+    }
+
+    CellOutcome {
+        semantics,
+        fragment,
+        expectation,
+        trials: config.trials,
+        agreements,
+        sound,
+        counterexamples,
+    }
+}
+
+/// Runs every cell of Figure 1.
+pub fn run_all_cells(config: &Figure1Config) -> Vec<CellOutcome> {
+    let mut out = Vec::new();
+    for semantics in Semantics::ALL {
+        for fragment in FRAGMENTS {
+            out.push(run_cell(semantics, fragment, config));
+        }
+    }
+    out
+}
+
+/// Renders cell outcomes as a Markdown table (the regenerated Figure 1).
+pub fn render_markdown(outcomes: &[CellOutcome]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "| semantics | fragment | paper | agreement | sound | status |"
+    );
+    let _ = writeln!(s, "|---|---|---|---|---|---|");
+    for o in outcomes {
+        let paper = match o.expectation {
+            Expectation::Works => "works",
+            Expectation::WorksOverCores => "works over cores",
+            Expectation::NotGuaranteed => "no guarantee",
+        };
+        let status = if o.satisfies_expectation() {
+            if o.expectation == Expectation::NotGuaranteed && !o.fully_agrees() {
+                "counterexamples found (expected)"
+            } else {
+                "ok"
+            }
+        } else {
+            "MISMATCH"
+        };
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} | {}/{} | {}/{} | {} |",
+            o.semantics, o.fragment, paper, o.agreements, o.trials, o.sound, o.trials, status
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_smaller() {
+        assert!(Figure1Config::quick().trials < Figure1Config::default().trials);
+    }
+
+    #[test]
+    fn owa_ucq_cell_agrees_on_a_quick_run() {
+        let config = Figure1Config { trials: 6, ..Figure1Config::quick() };
+        let outcome = run_cell(Semantics::Owa, Fragment::ExistentialPositive, &config);
+        assert!(outcome.fully_agrees(), "{:?}", outcome.counterexamples);
+        assert!(outcome.satisfies_expectation());
+        assert!((outcome.agreement_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn markdown_rendering_contains_every_cell() {
+        let outcomes = vec![CellOutcome {
+            semantics: Semantics::Owa,
+            fragment: Fragment::ExistentialPositive,
+            expectation: Expectation::Works,
+            trials: 3,
+            agreements: 3,
+            sound: 3,
+            counterexamples: vec![],
+        }];
+        let md = render_markdown(&outcomes);
+        assert!(md.contains("OWA"));
+        assert!(md.contains("∃Pos"));
+        assert!(md.contains("3/3"));
+        assert!(md.contains("ok"));
+    }
+}

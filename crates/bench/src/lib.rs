@@ -1,0 +1,21 @@
+//! # `nev-bench` — experiment harness for the Figure 1 reproduction
+//!
+//! The paper's evaluation consists of its summary table (Figure 1) and the worked
+//! examples scattered through the text. This crate hosts the shared harness used by
+//!
+//! * the `figure1` binary, which regenerates the table on randomized workloads and
+//!   prints the per-cell agreement between naïve evaluation and certain answers
+//!   (experiment E1 of `DESIGN.md`), together with the ordering / update validation
+//!   (E5) and the paper's worked examples (E2–E4, E6–E9);
+//! * the Criterion benchmarks (`fig1_validation`, `naive_vs_certain`,
+//!   `certain_scaling`, `hom_search`, `core_computation`, `orderings`), which measure
+//!   the cost of the same code paths (E10–E11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod examples;
+pub mod figure1;
+pub mod workloads;
+
+pub use figure1::{run_all_cells, run_cell, CellOutcome, Figure1Config};

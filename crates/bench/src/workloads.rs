@@ -1,0 +1,91 @@
+//! Shared workload definitions: the paper's named instances and scalable families
+//! used by the benchmarks.
+
+use nev_incomplete::builder::{c, x};
+use nev_incomplete::graph::{disjoint_cycles, NodeKind};
+use nev_incomplete::{inst, Instance};
+use nev_logic::{parse_query, Query};
+
+/// The instance of the paper's introduction:
+/// `R = {(1,⊥1),(⊥2,⊥3)}`, `S = {(⊥1,4),(⊥3,5)}`.
+pub fn intro_instance() -> Instance {
+    inst! {
+        "R" => [[c(1), x(1)], [x(2), x(3)]],
+        "S" => [[x(1), c(4)], [x(3), c(5)]],
+    }
+}
+
+/// The introduction's conjunctive query `Q(x,y) = ∃z (R(x,z) ∧ S(z,y))`.
+pub fn intro_query() -> Query {
+    parse_query("Q(x, y) :- exists z . R(x, z) & S(z, y)").expect("valid query")
+}
+
+/// The instance `D₀ = {(⊥,⊥′),(⊥′,⊥)}` of §2.3/§2.4.
+pub fn d0() -> Instance {
+    inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] }
+}
+
+/// The §2.4 query `∀x ∃y D(x,y)` (works under CWA, fails under OWA).
+pub fn forall_exists_query() -> Query {
+    parse_query("forall u . exists v . D(u, v)").expect("valid query")
+}
+
+/// The §10 instance `{(⊥,⊥),(⊥,⊥′)}` whose core is the single self-loop.
+pub fn minimal_example_instance() -> Instance {
+    inst! { "D" => [[x(1), x(1)], [x(1), x(2)]] }
+}
+
+/// The §10 query `∀x D(x,x)` that distinguishes the instance above from its core.
+pub fn forall_loop_query() -> Query {
+    parse_query("forall u . D(u, u)").expect("valid query")
+}
+
+/// The graph `C₄ + C₆` (all nulls) of Proposition 10.1.
+pub fn c4_plus_c6() -> Instance {
+    disjoint_cycles(4, 6, NodeKind::Nulls)
+}
+
+/// A chain instance with `k` nulls:
+/// `R = {(1,⊥1),(⊥1,⊥2),…,(⊥_{k-1},⊥_k),(⊥_k,2)}`, used by the scaling benchmarks —
+/// naïve evaluation is polynomial while the certain-answer oracle enumerates
+/// exponentially many valuations.
+pub fn chain_instance(k: u32) -> Instance {
+    let mut builder = nev_incomplete::builder::InstanceBuilder::new();
+    if k == 0 {
+        return builder.tuple("R", [c(1), c(2)]).build();
+    }
+    builder = builder.tuple("R", [c(1), x(1)]);
+    for i in 1..k {
+        builder = builder.tuple("R", [x(i), x(i + 1)]);
+    }
+    builder.tuple("R", [x(k), c(2)]).build()
+}
+
+/// The Boolean reachability query `∃u v w (R(1,u) ∧ R(u,v) ∧ R(v,w))` used with
+/// [`chain_instance`].
+pub fn chain_query() -> Query {
+    parse_query("exists u v w . R(1, u) & R(u, v) & R(v, w)").expect("valid query")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_instances_have_the_documented_shapes() {
+        assert_eq!(intro_instance().fact_count(), 4);
+        assert_eq!(intro_query().arity(), 2);
+        assert_eq!(d0().fact_count(), 2);
+        assert_eq!(minimal_example_instance().nulls().len(), 2);
+        assert_eq!(c4_plus_c6().fact_count(), 10);
+    }
+
+    #[test]
+    fn chain_instances_scale_with_k() {
+        assert_eq!(chain_instance(0).fact_count(), 1);
+        assert_eq!(chain_instance(1).fact_count(), 2);
+        assert_eq!(chain_instance(4).fact_count(), 5);
+        assert_eq!(chain_instance(4).nulls().len(), 4);
+        assert!(chain_query().is_boolean());
+    }
+}

@@ -1,0 +1,304 @@
+//! Certain answers and the naïve-evaluation comparison (paper §2.4, §8).
+//!
+//! Given an incomplete database `D`, a semantics `⟦·⟧` and a query `Q`, the *certain
+//! answers* are `certain(Q, D) = ⋂ { Q(D') | D' ∈ ⟦D⟧ }` — the answers true in every
+//! possible world. *Naïve evaluation works* for `Q` when evaluating `Q` directly on
+//! `D` (treating nulls as values) and discarding answer tuples with nulls produces
+//! exactly `certain(Q, D)` on every `D`.
+//!
+//! The functions here compute certain answers against the bounded possible-world
+//! enumeration of [`crate::semantics`] and compare them with naïve evaluation. The
+//! exactness guarantees of the enumeration (exact for the CWA family, sound
+//! over-approximation of certain answers otherwise) translate as follows:
+//!
+//! * a reported **disagreement** where the naïve answer is *not contained* in the
+//!   bounded certain answers is always a genuine failure of naïve evaluation, because
+//!   the true certain answers are a subset of the bounded ones;
+//! * a reported **agreement** `naïve = certain_bounded`, combined with the paper's
+//!   preservation theorem for the query's fragment (which gives
+//!   `naïve ⊆ certain_true`), pins `certain_true` between two equal sets and hence
+//!   certifies exact agreement.
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use nev_incomplete::{Instance, Tuple};
+use nev_logic::eval::{evaluate_boolean, evaluate_query, naive_eval_boolean, naive_eval_query};
+use nev_logic::Query;
+
+use crate::semantics::{Semantics, WorldBounds};
+
+/// Bounds pre-populated with the constants mentioned by a query, so that the world
+/// enumeration is generic relative to them.
+pub fn bounds_for_query(query: &Query, base: &WorldBounds) -> WorldBounds {
+    let mut bounds = base.clone();
+    bounds.extra_constants.extend(query.formula().constants());
+    bounds
+}
+
+/// Computes the certain answer to a **Boolean** query under the given semantics, over
+/// the bounded world enumeration.
+pub fn certain_answers_boolean(
+    d: &Instance,
+    query: &Query,
+    semantics: Semantics,
+    bounds: &WorldBounds,
+) -> bool {
+    assert!(query.is_boolean(), "certain_answers_boolean expects a Boolean query");
+    let bounds = bounds_for_query(query, bounds);
+    let mut certain = true;
+    let _ = semantics.for_each_world(d, &bounds, |world| {
+        if !evaluate_boolean(world, query.formula()) {
+            certain = false;
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    certain
+}
+
+/// Computes the certain answers to a k-ary query under the given semantics, over the
+/// bounded world enumeration: the intersection of `Q(D')` over all enumerated worlds.
+///
+/// Certain answers of a generic query can only mention constants of the instance or of
+/// the query (renaming any other constant yields another world where the tuple is not
+/// an answer), so the result is additionally restricted to those constants — this
+/// keeps the bounded enumeration from reporting tuples built out of its internal fresh
+/// constants.
+pub fn certain_answers(
+    d: &Instance,
+    query: &Query,
+    semantics: Semantics,
+    bounds: &WorldBounds,
+) -> BTreeSet<Tuple> {
+    let bounds = bounds_for_query(query, bounds);
+    let mut allowed = d.constants();
+    allowed.extend(query.formula().constants());
+    let mut certain: Option<BTreeSet<Tuple>> = None;
+    let _ = semantics.for_each_world(d, &bounds, |world| {
+        let answers: BTreeSet<Tuple> = evaluate_query(world, query)
+            .into_iter()
+            .filter(|t| t.constants().all(|c| allowed.contains(c)) && t.is_complete())
+            .collect();
+        certain = Some(match certain.take() {
+            None => answers,
+            Some(previous) => previous.intersection(&answers).cloned().collect(),
+        });
+        if certain.as_ref().map(BTreeSet::is_empty).unwrap_or(false) {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    certain.unwrap_or_default()
+}
+
+/// The outcome of comparing naïve evaluation with certain answers on one instance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NaiveEvalReport {
+    /// The semantics used.
+    pub semantics: Semantics,
+    /// The naïve answers `Q^C(D)` (constant tuples of `Q(D)`); for Boolean queries a
+    /// singleton empty tuple encodes `true` and the empty set encodes `false`.
+    pub naive: BTreeSet<Tuple>,
+    /// The certain answers over the bounded world enumeration.
+    pub certain: BTreeSet<Tuple>,
+}
+
+impl NaiveEvalReport {
+    /// Returns `true` iff naïve evaluation agrees with the (bounded) certain answers.
+    pub fn agrees(&self) -> bool {
+        self.naive == self.certain
+    }
+
+    /// Returns `true` iff naïve evaluation produced an answer that is not certain —
+    /// which, by the soundness of the bounded enumeration, witnesses a genuine failure
+    /// of naïve evaluation (an *unsound* naïve answer).
+    pub fn naive_overshoots(&self) -> bool {
+        !self.naive.is_subset(&self.certain)
+    }
+
+    /// Returns `true` iff every naïve answer is certain but some certain answer is
+    /// missed by naïve evaluation (naïve evaluation is sound but incomplete here).
+    pub fn naive_undershoots(&self) -> bool {
+        self.naive.is_subset(&self.certain) && self.naive != self.certain
+    }
+}
+
+/// Compares naïve evaluation with certain answers for a (Boolean or k-ary) query on a
+/// single instance.
+pub fn compare_naive_and_certain(
+    d: &Instance,
+    query: &Query,
+    semantics: Semantics,
+    bounds: &WorldBounds,
+) -> NaiveEvalReport {
+    let naive = if query.is_boolean() {
+        if naive_eval_boolean(d, query) {
+            [Tuple::new(Vec::new())].into_iter().collect()
+        } else {
+            BTreeSet::new()
+        }
+    } else {
+        naive_eval_query(d, query)
+    };
+    let certain = if query.is_boolean() {
+        if certain_answers_boolean(d, query, semantics, bounds) {
+            [Tuple::new(Vec::new())].into_iter().collect()
+        } else {
+            BTreeSet::new()
+        }
+    } else {
+        certain_answers(d, query, semantics, bounds)
+    };
+    NaiveEvalReport { semantics, naive, certain }
+}
+
+/// Returns `true` iff naïve evaluation computes the (bounded) certain answers for the
+/// query on this instance under this semantics.
+pub fn naive_evaluation_works(
+    d: &Instance,
+    query: &Query,
+    semantics: Semantics,
+    bounds: &WorldBounds,
+) -> bool {
+    compare_naive_and_certain(d, query, semantics, bounds).agrees()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+    use nev_logic::parse_query;
+
+    fn d0() -> Instance {
+        inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] }
+    }
+
+    #[test]
+    fn intro_example_certain_answers_under_owa_and_cwa() {
+        // Q(x,y) = ∃z (R(x,z) ∧ S(z,y)) on the introduction's instance: the certain
+        // answer is {(1,4)} and naïve evaluation finds it.
+        let d = inst! {
+            "R" => [[c(1), x(1)], [x(2), x(3)]],
+            "S" => [[x(1), c(4)], [x(3), c(5)]],
+        };
+        let q = parse_query("Q(x, y) :- exists z . R(x, z) & S(z, y)").unwrap();
+        for sem in [Semantics::Owa, Semantics::Cwa] {
+            let report = compare_naive_and_certain(&d, &q, sem, &WorldBounds::default());
+            assert!(report.agrees(), "{sem}: {report:?}");
+            assert_eq!(report.certain.len(), 1);
+            assert!(report.certain.contains(&Tuple::new(vec![c(1), c(4)])));
+        }
+    }
+
+    #[test]
+    fn section_2_4_examples_on_d0() {
+        let d0 = d0();
+        // ∃x,y (D(x,y) ∧ D(y,x)): certain under both OWA and CWA, naïve evaluation true.
+        let sym = parse_query("exists u v . D(u, v) & D(v, u)").unwrap();
+        assert!(naive_eval_boolean(&d0, &sym));
+        assert!(certain_answers_boolean(&d0, &sym, Semantics::Owa, &WorldBounds::default()));
+        assert!(certain_answers_boolean(&d0, &sym, Semantics::Cwa, &WorldBounds::default()));
+        // ∀x∃y D(x,y): naïve evaluation true; certain under CWA, NOT certain under OWA.
+        let total = parse_query("forall u . exists v . D(u, v)").unwrap();
+        assert!(naive_eval_boolean(&d0, &total));
+        assert!(certain_answers_boolean(&d0, &total, Semantics::Cwa, &WorldBounds::default()));
+        assert!(!certain_answers_boolean(&d0, &total, Semantics::Owa, &WorldBounds::default()));
+        // Hence naïve evaluation works for it under CWA but not under OWA.
+        assert!(naive_evaluation_works(&d0, &total, Semantics::Cwa, &WorldBounds::default()));
+        assert!(!naive_evaluation_works(&d0, &total, Semantics::Owa, &WorldBounds::default()));
+        let report = compare_naive_and_certain(&d0, &total, Semantics::Owa, &WorldBounds::default());
+        assert!(report.naive_overshoots());
+        assert!(!report.naive_undershoots());
+    }
+
+    #[test]
+    fn negation_fails_under_cwa_too() {
+        // Q = ∃x ¬D(x,x) on D0: naïvely true (no self-loops syntactically), but the
+        // world collapsing both nulls has only a self-loop, so not certain under CWA.
+        let d0 = d0();
+        let q = parse_query("exists u . !D(u, u)").unwrap();
+        assert!(naive_eval_boolean(&d0, &q));
+        assert!(!certain_answers_boolean(&d0, &q, Semantics::Cwa, &WorldBounds::default()));
+        assert!(!naive_evaluation_works(&d0, &q, Semantics::Cwa, &WorldBounds::default()));
+    }
+
+    #[test]
+    fn kary_certain_answers_drop_null_only_answers() {
+        // Q(u) = R(u): naïve answers {1}; under CWA the null's value varies, so the
+        // certain answers are also {1}.
+        let d = inst! { "R" => [[c(1)], [x(1)]] };
+        let q = parse_query("Q(u) :- R(u)").unwrap();
+        let report = compare_naive_and_certain(&d, &q, Semantics::Cwa, &WorldBounds::default());
+        assert!(report.agrees());
+        assert_eq!(report.certain.len(), 1);
+        // Under OWA the same holds (it is a conjunctive query).
+        assert!(naive_evaluation_works(&d, &q, Semantics::Owa, &WorldBounds::default()));
+    }
+
+    #[test]
+    fn repeated_null_certain_answer() {
+        // D = {R(⊥,⊥)}: Q = ∃u R(u,u) is certainly true under every semantics, because
+        // the repeated null forces a self-loop in every world.
+        let d = inst! { "R" => [[x(1), x(1)]] };
+        let q = parse_query("exists u . R(u, u)").unwrap();
+        for sem in Semantics::ALL {
+            assert!(
+                certain_answers_boolean(&d, &q, sem, &WorldBounds::default()),
+                "{sem} should certainly satisfy ∃u R(u,u)"
+            );
+        }
+        // Whereas with two distinct nulls it is not certain (they may differ) — except
+        // under the minimal semantics, where minimality forces the collapse.
+        let d2 = inst! { "R" => [[x(1), x(2)]] };
+        assert!(!certain_answers_boolean(&d2, &q, Semantics::Cwa, &WorldBounds::default()));
+        assert!(!certain_answers_boolean(&d2, &q, Semantics::Owa, &WorldBounds::default()));
+    }
+
+    #[test]
+    fn query_constants_enter_the_budget() {
+        // Q = ∃u (R(u) ∧ u = 5): not certain under CWA because ⊥ need not be 5; the
+        // budget must contain the constant 5 for the counterexample world to exist.
+        let d = inst! { "R" => [[x(1)]] };
+        let q = parse_query("exists u . R(u) & u = 5").unwrap();
+        assert!(!naive_eval_boolean(&d, &q));
+        assert!(!certain_answers_boolean(&d, &q, Semantics::Cwa, &WorldBounds::default()));
+        // The dual query ∃u (R(u) ∧ ¬(u = 5)) is naïvely true but not certain.
+        let q2 = parse_query("exists u . R(u) & !(u = 5)").unwrap();
+        assert!(naive_eval_boolean(&d, &q2));
+        assert!(!certain_answers_boolean(&d, &q2, Semantics::Cwa, &WorldBounds::default()));
+    }
+
+    #[test]
+    fn boolean_report_encoding() {
+        let d = inst! { "R" => [[c(1)]] };
+        let q = parse_query("exists u . R(u)").unwrap();
+        let report = compare_naive_and_certain(&d, &q, Semantics::Cwa, &WorldBounds::default());
+        assert!(report.agrees());
+        assert_eq!(report.naive.len(), 1);
+        assert_eq!(report.naive.iter().next().unwrap().arity(), 0);
+    }
+
+    #[test]
+    fn complete_instance_certain_answers_equal_evaluation() {
+        let d = inst! { "R" => [[c(1), c(2)], [c(2), c(3)]] };
+        let q = parse_query("Q(a, b) :- R(a, b) | exists z . R(a, z) & R(z, b)").unwrap();
+        for sem in Semantics::ALL {
+            let report = compare_naive_and_certain(&d, &q, sem, &WorldBounds::default());
+            assert!(report.agrees(), "{sem} must agree on complete instances");
+            assert_eq!(report.certain.len(), 3);
+        }
+    }
+
+    #[test]
+    fn wcwa_positive_universal_query_works() {
+        // Q = ∀x ∃y D(x,y) on D0 is certain under WCWA (the active domain cannot grow)
+        // and naive evaluation agrees — a Pos query, per Theorem 5.2.
+        let d0 = d0();
+        let q = parse_query("forall u . exists v . D(u, v)").unwrap();
+        assert!(naive_evaluation_works(&d0, &q, Semantics::Wcwa, &WorldBounds::default()));
+    }
+}

@@ -1,0 +1,189 @@
+//! Naïve evaluation under the minimal (non-saturated) semantics and the role of cores
+//! (paper §9–§11).
+//!
+//! The minimal-valuation semantics `⟦·⟧ᵐⁱⁿ_CWA` and `⦅·⦆ᵐⁱⁿ_CWA` are not *saturated*:
+//! an instance need not have an isomorphic complete instance among its worlds. The
+//! paper's remedy (Theorem 9.1, Theorem 10.2) is a *representative set* — here the set
+//! of relational cores — together with the extra requirement that the query does not
+//! distinguish an instance from its core: `Q^C(D) = Q^C(core(D))`.
+//!
+//! This module packages those statements as executable checks:
+//!
+//! * [`agrees_with_core`] — the precondition `Q^C(D) = Q^C(core(D))` (Corollary 10.6);
+//! * [`representative_core_semantics_match`] — `⟦D⟧ᵐⁱⁿ = ⟦core(D)⟧ᵐⁱⁿ`
+//!   (Proposition 10.4, over the bounded enumeration);
+//! * [`naive_is_sound_approximation`] — Proposition 10.13: for `Pos+∀G` /
+//!   `∃Pos+∀G_bool` queries the naïve answers are always *contained* in the certain
+//!   answers under the minimal semantics, even off cores.
+
+use std::collections::BTreeSet;
+
+use nev_hom::core::core_of;
+use nev_incomplete::Instance;
+use nev_logic::Query;
+
+use crate::certain::{certain_answers, compare_naive_and_certain};
+use crate::monotone::constant_answers;
+use crate::semantics::{Semantics, WorldBounds};
+
+/// The precondition of Corollary 10.6 / Theorem 11.5: the query does not distinguish
+/// the instance from its core, `Q^C(D) = Q^C(core(D))`.
+pub fn agrees_with_core(d: &Instance, query: &Query) -> bool {
+    constant_answers(d, query) == constant_answers(&core_of(d), query)
+}
+
+/// Checks that an instance and its core have the same possible worlds under the given
+/// minimal semantics — the representative-set property of Proposition 10.4 /
+/// Theorem 10.2.
+///
+/// The check samples worlds with the bounded enumeration on each side and verifies
+/// membership on the other side with the *exact* membership test, so that the
+/// different fresh-constant budgets of `D` and `core(D)` do not matter.
+pub fn representative_core_semantics_match(
+    d: &Instance,
+    semantics: Semantics,
+    bounds: &WorldBounds,
+) -> bool {
+    assert!(
+        semantics.is_minimal(),
+        "the representative-set property is about the minimal semantics"
+    );
+    let core = core_of(d);
+    let of_d: BTreeSet<Instance> = semantics.enumerate_worlds(d, bounds).into_iter().collect();
+    let of_core: BTreeSet<Instance> = semantics.enumerate_worlds(&core, bounds).into_iter().collect();
+    of_d.iter().all(|w| semantics.contains_world(&core, w))
+        && of_core.iter().all(|w| semantics.contains_world(d, w))
+}
+
+/// Proposition 10.13 checked on one instance: every naïve answer is a certain answer
+/// under the minimal semantics (naïve evaluation is a sound approximation). For
+/// Boolean queries this is "naïvely true ⇒ certainly true".
+pub fn naive_is_sound_approximation(
+    d: &Instance,
+    query: &Query,
+    semantics: Semantics,
+    bounds: &WorldBounds,
+) -> bool {
+    let naive = constant_answers(d, query);
+    if naive.is_empty() {
+        return true;
+    }
+    let certain = certain_answers(d, query, semantics, bounds);
+    naive.is_subset(&certain)
+}
+
+/// Convenience for the Figure 1 harness: does naïve evaluation compute the certain
+/// answers *over the core of* `d` under the given (minimal) semantics? Corollary 10.12
+/// guarantees this for `Pos+∀G` (resp. `∃Pos+∀G_bool`) queries when `d` is replaced by
+/// its core.
+pub fn naive_evaluation_works_on_core(
+    d: &Instance,
+    query: &Query,
+    semantics: Semantics,
+    bounds: &WorldBounds,
+) -> bool {
+    let core = core_of(d);
+    compare_naive_and_certain(&core, query, semantics, bounds).agrees()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_hom::core::is_core;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+    use nev_logic::parse_query;
+
+    /// The running §10 example: D = {(⊥,⊥),(⊥,⊥′)} whose core is {(⊥,⊥)}.
+    fn paper_d() -> Instance {
+        inst! { "D" => [[x(1), x(1)], [x(1), x(2)]] }
+    }
+
+    #[test]
+    fn the_forall_loop_query_distinguishes_d_from_its_core() {
+        // Q = ∀x D(x,x): false on D (⊥′ has no loop syntactically), true on core(D).
+        let d = paper_d();
+        let q = parse_query("forall u . D(u, u)").unwrap();
+        assert!(!agrees_with_core(&d, &q));
+        // And indeed naïve evaluation fails for it under ⟦ ⟧min_CWA on D: the certain
+        // answer is true (all minimal worlds are single loops) while naïve evaluation
+        // says false.
+        let report =
+            compare_naive_and_certain(&d, &q, Semantics::MinimalCwa, &WorldBounds::default());
+        assert!(report.naive.is_empty());
+        assert!(!report.certain.is_empty());
+        assert!(!report.agrees());
+        assert!(report.naive_undershoots());
+        // Over the core, naïve evaluation works (Corollary 10.12).
+        assert!(naive_evaluation_works_on_core(&d, &q, Semantics::MinimalCwa, &WorldBounds::default()));
+    }
+
+    #[test]
+    fn ucqs_agree_with_the_core_automatically() {
+        // ∃Pos queries are preserved under homomorphisms in both directions of the
+        // retraction D ⇄ core(D), so they never distinguish D from core(D).
+        let d = paper_d();
+        for text in [
+            "exists u . D(u, u)",
+            "exists u v . D(u, v)",
+            "exists u v w . D(u, v) & D(v, w)",
+        ] {
+            let q = parse_query(text).unwrap();
+            assert!(agrees_with_core(&d, &q), "{text}");
+        }
+    }
+
+    #[test]
+    fn representative_set_property_on_examples() {
+        let bounds = WorldBounds::default();
+        for d in [
+            paper_d(),
+            inst! { "E" => [[x(1), x(2)], [x(2), x(1)], [x(3), x(4)], [x(4), x(3)]] },
+            inst! { "R" => [[c(1), x(1)], [c(1), c(2)]] },
+        ] {
+            for sem in [Semantics::MinimalCwa, Semantics::MinimalPowersetCwa] {
+                assert!(
+                    representative_core_semantics_match(&d, sem, &bounds),
+                    "{sem} should not distinguish an instance from its core\n{d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal semantics")]
+    fn representative_check_rejects_saturated_semantics() {
+        representative_core_semantics_match(&paper_d(), Semantics::Cwa, &WorldBounds::default());
+    }
+
+    #[test]
+    fn approximation_soundness_on_the_paper_example() {
+        // Proposition 10.13: for Pos+∀G queries, naïve answers ⊆ certain answers under
+        // the minimal semantics, even on the non-core D.
+        let d = paper_d();
+        assert!(!is_core(&d));
+        for text in [
+            "forall u . D(u, u)",
+            "forall u v . D(u, v) -> D(u, u)",
+            "exists u . D(u, u)",
+            "exists u v . D(u, v)",
+        ] {
+            let q = parse_query(text).unwrap();
+            for sem in [Semantics::MinimalCwa, Semantics::MinimalPowersetCwa] {
+                assert!(
+                    naive_is_sound_approximation(&d, &q, sem, &WorldBounds::default()),
+                    "{text} under {sem}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn on_cores_the_precondition_is_vacuous() {
+        let core = inst! { "D" => [[x(1), x(1)]] };
+        assert!(is_core(&core));
+        let q = parse_query("forall u . D(u, u)").unwrap();
+        assert!(agrees_with_core(&core, &q));
+        assert!(compare_naive_and_certain(&core, &q, Semantics::MinimalCwa, &WorldBounds::default()).agrees());
+    }
+}

@@ -1,0 +1,51 @@
+//! # `nev-core` — when is naïve evaluation possible?
+//!
+//! This crate implements the primary contribution of Gheerbrant, Libkin and
+//! Sirangelo's *"When is Naïve Evaluation Possible?"* (PODS 2013): the machinery
+//! relating **naïve evaluation**, **certain answers**, **monotonicity** with respect
+//! to semantic orderings, and **preservation under homomorphisms**, for a family of
+//! semantics of incompleteness.
+//!
+//! The crate is organised to mirror the paper:
+//!
+//! * [`semantics`] — the six concrete semantics of incompleteness (OWA, CWA, WCWA,
+//!   powerset CWA, minimal CWA, minimal powerset CWA), exact possible-world
+//!   membership tests, and bounded possible-world enumeration (§2.3, §4.3, §7, §10);
+//! * [`certain`] — certain answers (Boolean and k-ary) computed against the
+//!   enumerated worlds, naïve evaluation, and the `naïve = certain` comparison that
+//!   the whole paper is about (§2.4, §8);
+//! * [`ordering`] — the semantic orderings `≼_OWA`, `≼_CWA`, `≼_WCWA`, `⋐_CWA` and
+//!   their homomorphism characterisations (Proposition 6.1, Theorem 7.1), plus the
+//!   Codd-database cross-checks (§6);
+//! * [`updates`] — the update systems justifying the orderings (CWA updates, OWA
+//!   tuple additions, copying CWA updates) and bounded reachability (Theorems 6.2,
+//!   7.1);
+//! * [`monotone`] — weak monotonicity and monotonicity of queries (§3);
+//! * [`preservation`] — preservation of queries under the homomorphism classes
+//!   attached to each semantics (§4.2, §5, §7, §10.2);
+//! * [`cores`] — the minimal-valuation semantics over cores: representative sets,
+//!   the `Q(D) = Q(core(D))` precondition, and the sound-approximation statement
+//!   (§9–§11);
+//! * [`domain`] — the abstract database-domain framework (`⟨D, C, ⟦·⟧, ≈⟩`),
+//!   fairness and saturation (§3.1, §9);
+//! * [`relations`] — the relation-based scheme for generating semantics from a pair
+//!   `(Rval, Rsem)` and its fairness criterion (§4.1, §7);
+//! * [`summary`] — the machine-readable contents of **Figure 1**, consumed by the
+//!   experiment harness in `nev-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certain;
+pub mod cores;
+pub mod domain;
+pub mod monotone;
+pub mod ordering;
+pub mod preservation;
+pub mod relations;
+pub mod semantics;
+pub mod summary;
+pub mod updates;
+
+pub use certain::{certain_answers, certain_answers_boolean, naive_evaluation_works, NaiveEvalReport};
+pub use semantics::{Semantics, WorldBounds};

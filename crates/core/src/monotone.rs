@@ -1,0 +1,146 @@
+//! Weak monotonicity and monotonicity of queries (paper §3).
+//!
+//! Theorem 3.1 is the paper's first pillar: over a saturated database domain, naïve
+//! evaluation works for a generic Boolean query **iff** the query is *weakly
+//! monotone* — `Q(D) ≤ Q(D')` whenever `D' ∈ ⟦D⟧`. Over fair domains this coincides
+//! with monotonicity with respect to the semantic ordering (Proposition 3.3). For
+//! k-ary queries the same statements hold with `Q^C(D) ⊆ Q^C(D')` (Lemma 8.1).
+//!
+//! The checkers here verify these properties *on concrete instances* (against the
+//! bounded world enumeration, or against a given ordered pair); the equivalences
+//! themselves are exercised by the integration tests and the Figure 1 harness.
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use nev_incomplete::{Instance, Tuple};
+use nev_logic::eval::naive_eval_query;
+use nev_logic::Query;
+
+use crate::certain::bounds_for_query;
+use crate::ordering::ordering_for;
+use crate::semantics::{Semantics, WorldBounds};
+
+/// The constant answers `Q^C(D)` of a query on an instance: for Boolean queries the
+/// usual `{()} / ∅` encoding of true/false.
+pub fn constant_answers(d: &Instance, query: &Query) -> BTreeSet<Tuple> {
+    naive_eval_query(d, query)
+}
+
+/// Is the query weakly monotone *at* `d` under the given semantics, i.e. does
+/// `Q^C(D) ⊆ Q^C(D')` hold for every enumerated world `D' ∈ ⟦D⟧`?
+pub fn weakly_monotone_at(
+    d: &Instance,
+    query: &Query,
+    semantics: Semantics,
+    bounds: &WorldBounds,
+) -> bool {
+    let bounds = bounds_for_query(query, bounds);
+    let here = constant_answers(d, query);
+    if here.is_empty() {
+        return true;
+    }
+    let mut ok = true;
+    let _ = semantics.for_each_world(d, &bounds, |world| {
+        let there = constant_answers(world, query);
+        if !here.is_subset(&there) {
+            ok = false;
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    ok
+}
+
+/// Checks the monotonicity implication for one ordered pair: if `d ≼ d'` under the
+/// semantics' ordering then `Q^C(d) ⊆ Q^C(d')`.
+///
+/// Returns `None` for the minimal semantics, which have no homomorphism-characterised
+/// ordering; otherwise `Some(true)` when the implication holds (vacuously or not) and
+/// `Some(false)` when the pair witnesses a violation of monotonicity.
+pub fn monotone_on_pair(
+    d: &Instance,
+    d_prime: &Instance,
+    query: &Query,
+    semantics: Semantics,
+) -> Option<bool> {
+    let leq = ordering_for(semantics)?;
+    if !leq(d, d_prime) {
+        return Some(true);
+    }
+    Some(constant_answers(d, query).is_subset(&constant_answers(d_prime, query)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+    use nev_logic::parse_query;
+
+    fn d0() -> Instance {
+        inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] }
+    }
+
+    #[test]
+    fn ucq_is_weakly_monotone_under_owa() {
+        let d = inst! { "R" => [[c(1), x(1)]], "S" => [[x(1), c(4)]] };
+        let q = parse_query("exists u v z . R(u, z) & S(z, v)").unwrap();
+        for sem in Semantics::ALL {
+            assert!(weakly_monotone_at(&d, &q, sem, &WorldBounds::default()), "{sem}");
+        }
+    }
+
+    #[test]
+    fn universal_query_not_weakly_monotone_under_owa() {
+        // ∀x∃y D(x,y) on D0: true naïvely, false in an extended OWA world.
+        let q = parse_query("forall u . exists v . D(u, v)").unwrap();
+        assert!(!weakly_monotone_at(&d0(), &q, Semantics::Owa, &WorldBounds::default()));
+        // But weakly monotone at D0 under CWA / WCWA.
+        assert!(weakly_monotone_at(&d0(), &q, Semantics::Cwa, &WorldBounds::default()));
+        assert!(weakly_monotone_at(&d0(), &q, Semantics::Wcwa, &WorldBounds::default()));
+    }
+
+    #[test]
+    fn negation_not_weakly_monotone_under_cwa() {
+        let q = parse_query("exists u . !D(u, u)").unwrap();
+        assert!(!weakly_monotone_at(&d0(), &q, Semantics::Cwa, &WorldBounds::default()));
+    }
+
+    #[test]
+    fn false_queries_are_trivially_weakly_monotone() {
+        let q = parse_query("exists u . Missing(u)").unwrap();
+        for sem in Semantics::ALL {
+            assert!(weakly_monotone_at(&d0(), &q, sem, &WorldBounds::default()), "{sem}");
+        }
+    }
+
+    #[test]
+    fn monotone_pair_checks() {
+        let d = inst! { "R" => [[x(1), c(2)]] };
+        let d_prime = inst! { "R" => [[c(1), c(2)]] };
+        let ucq = parse_query("exists u . R(u, 2)").unwrap();
+        assert_eq!(monotone_on_pair(&d, &d_prime, &ucq, Semantics::Owa), Some(true));
+        // A non-monotone query on an ordered pair.
+        let neg = parse_query("exists u . !R(u, u)").unwrap();
+        let bigger = inst! { "R" => [[c(1), c(2)], [c(2), c(2)], [c(1), c(1)], [c(2), c(1)]] };
+        // d ≼_OWA bigger and neg is true on d (no self-loop syntactically)…
+        assert_eq!(monotone_on_pair(&d, &bigger, &neg, Semantics::Owa), Some(false));
+        // Minimal semantics have no characterised ordering.
+        assert_eq!(monotone_on_pair(&d, &d_prime, &ucq, Semantics::MinimalCwa), None);
+        // Unrelated pairs are vacuously fine.
+        let unrelated = inst! { "R" => [[c(9), c(9)]] };
+        assert_eq!(monotone_on_pair(&d, &unrelated, &neg, Semantics::Cwa), Some(true));
+    }
+
+    #[test]
+    fn kary_weak_monotonicity() {
+        // Q(u) = R(u): constant answers can only grow along the semantics.
+        let d = inst! { "R" => [[c(1)], [x(1)]] };
+        let q = parse_query("Q(u) :- R(u)").unwrap();
+        for sem in Semantics::ALL {
+            assert!(weakly_monotone_at(&d, &q, sem, &WorldBounds::default()), "{sem}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Semantic orderings on incomplete databases (paper §6–§7).
+//!
+//! Each semantics `⟦·⟧` induces an information ordering `D ≼ D' ⇔ ⟦D'⟧ ⊆ ⟦D⟧`: an
+//! object is smaller when it is *less informative*, i.e. describes more complete
+//! databases. Proposition 6.1 and Theorem 7.1 characterise these orderings by
+//! homomorphisms, which is how they are implemented here:
+//!
+//! * `D ≼_OWA D'` ⇔ there is a database homomorphism `D → D'`;
+//! * `D ≼_CWA D'` ⇔ there is a strong onto database homomorphism `D → D'`;
+//! * `D ≼_WCWA D'` ⇔ there is an onto database homomorphism `D → D'`;
+//! * `D ⋐_CWA D'` ⇔ `D'` is the union of images of database homomorphisms from `D`.
+//!
+//! Over Codd databases these restrict to the classical orderings: `≼_OWA` coincides
+//! with the Hoare ordering `⊑ᴴ`, `⋐_CWA` with the Plotkin ordering `⊑ᴾ`, and `≼_CWA`
+//! with `⊑ᴾ` plus a perfect matching (Libkin 2011) — see
+//! [`nev_incomplete::codd`] and the `ordering_laws` integration tests (experiment E5).
+
+use nev_hom::search::{
+    has_db_homomorphism, has_onto_db_homomorphism, has_strong_onto_db_homomorphism,
+};
+use nev_incomplete::Instance;
+
+use crate::semantics::{covered_by_hom_images, Semantics};
+
+/// The OWA ordering `D ≼_OWA D'`.
+pub fn owa_leq(d: &Instance, d_prime: &Instance) -> bool {
+    has_db_homomorphism(d, d_prime)
+}
+
+/// The CWA ordering `D ≼_CWA D'`.
+pub fn cwa_leq(d: &Instance, d_prime: &Instance) -> bool {
+    has_strong_onto_db_homomorphism(d, d_prime)
+}
+
+/// The WCWA ordering `D ≼_WCWA D'`.
+pub fn wcwa_leq(d: &Instance, d_prime: &Instance) -> bool {
+    has_onto_db_homomorphism(d, d_prime)
+}
+
+/// The powerset-CWA ordering `D ⋐_CWA D'` (Theorem 7.1): `D'` is the union of images
+/// of finitely many database homomorphisms defined on `D`.
+pub fn powerset_cwa_leq(d: &Instance, d_prime: &Instance) -> bool {
+    covered_by_hom_images(d, d_prime, false)
+}
+
+/// The ordering induced by a (saturated) semantics, by its homomorphism
+/// characterisation. The minimal semantics do not come with such a clean
+/// characterisation (they are not even fair in general); for them this returns `None`.
+pub fn ordering_for(semantics: Semantics) -> Option<fn(&Instance, &Instance) -> bool> {
+    match semantics {
+        Semantics::Owa => Some(owa_leq),
+        Semantics::Cwa => Some(cwa_leq),
+        Semantics::Wcwa => Some(wcwa_leq),
+        Semantics::PowersetCwa => Some(powerset_cwa_leq),
+        Semantics::MinimalCwa | Semantics::MinimalPowersetCwa => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::codd::{cwa_matching_leq, hoare_leq, plotkin_leq};
+    use nev_incomplete::inst;
+
+    #[test]
+    fn orderings_are_reflexive_on_samples() {
+        let samples = [
+            inst! { "R" => [[c(1), x(1)], [x(2), x(3)]] },
+            inst! { "R" => [[c(1), c(2)]] },
+            Instance::new(),
+        ];
+        for d in &samples {
+            assert!(owa_leq(d, d));
+            assert!(cwa_leq(d, d));
+            assert!(wcwa_leq(d, d));
+            assert!(powerset_cwa_leq(d, d));
+        }
+    }
+
+    #[test]
+    fn more_informative_means_larger() {
+        // D = {(⊥,2)} ≼ D' = {(1,2)} under every ordering; the converse fails.
+        let d = inst! { "R" => [[x(1), c(2)]] };
+        let d_prime = inst! { "R" => [[c(1), c(2)]] };
+        for leq in [owa_leq, cwa_leq, wcwa_leq, powerset_cwa_leq] {
+            assert!(leq(&d, &d_prime));
+            assert!(!leq(&d_prime, &d));
+        }
+    }
+
+    #[test]
+    fn owa_allows_growth_cwa_does_not() {
+        let d = inst! { "R" => [[x(1), x(2)]] };
+        let grown = inst! { "R" => [[c(1), c(2)], [c(3), c(4)]] };
+        assert!(owa_leq(&d, &grown));
+        assert!(!cwa_leq(&d, &grown));
+        assert!(!wcwa_leq(&d, &grown), "WCWA forbids new active-domain values");
+        assert!(powerset_cwa_leq(&d, &grown), "but the powerset ordering allows two copies");
+        // Growth within the active domain is fine for WCWA.
+        let within = inst! { "R" => [[c(1), c(2)], [c(2), c(1)]] };
+        assert!(wcwa_leq(&d, &within));
+        assert!(!cwa_leq(&d, &within));
+    }
+
+    #[test]
+    fn powerset_ordering_on_codd_matches_plotkin() {
+        // §7: over Codd databases, ⋐_CWA coincides with ⊑ᴾ.
+        let d = inst! { "R" => [[x(1), c(2)]] };
+        let d_prime = inst! { "R" => [[c(1), c(2)], [c(2), c(2)]] };
+        assert!(plotkin_leq(&d, &d_prime));
+        assert!(powerset_cwa_leq(&d, &d_prime));
+        // The CWA ordering needs a perfect matching, which fails here (one tuple of D
+        // would have to cover both tuples of D').
+        assert!(!cwa_matching_leq(&d, &d_prime));
+        assert!(!cwa_leq(&d, &d_prime));
+        // And ≼_OWA coincides with ⊑ᴴ.
+        assert_eq!(owa_leq(&d, &d_prime), hoare_leq(&d, &d_prime));
+    }
+
+    #[test]
+    fn cwa_ordering_on_codd_matches_plotkin_plus_matching() {
+        let d = inst! { "R" => [[x(1), c(2)], [x(2), c(2)]] };
+        let d_prime = inst! { "R" => [[c(1), c(2)], [c(2), c(2)]] };
+        assert!(cwa_matching_leq(&d, &d_prime));
+        assert!(cwa_leq(&d, &d_prime));
+    }
+
+    #[test]
+    fn ordering_for_dispatch() {
+        assert!(ordering_for(Semantics::Owa).is_some());
+        assert!(ordering_for(Semantics::Cwa).is_some());
+        assert!(ordering_for(Semantics::Wcwa).is_some());
+        assert!(ordering_for(Semantics::PowersetCwa).is_some());
+        assert!(ordering_for(Semantics::MinimalCwa).is_none());
+        assert!(ordering_for(Semantics::MinimalPowersetCwa).is_none());
+        let leq = ordering_for(Semantics::Owa).unwrap();
+        let d = inst! { "R" => [[x(1)]] };
+        let d2 = inst! { "R" => [[c(1)]] };
+        assert!(leq(&d, &d2));
+    }
+
+    #[test]
+    fn incomparable_instances() {
+        let a = inst! { "R" => [[c(1), c(1)]] };
+        let b = inst! { "R" => [[c(2), c(3)]] };
+        for leq in [owa_leq, cwa_leq, wcwa_leq, powerset_cwa_leq] {
+            assert!(!leq(&a, &b));
+            assert!(!leq(&b, &a));
+        }
+    }
+}

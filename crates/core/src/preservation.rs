@@ -1,0 +1,297 @@
+//! Preservation of queries under homomorphism classes (paper §4.2–§5, §7, §10.2).
+//!
+//! Theorem 4.8 is the paper's second pillar: for a relational semantics given by a
+//! semantic relation `Rsem`, naïve evaluation works for a generic Boolean query iff
+//! the query is preserved under `Rsem`-homomorphisms. The classes of homomorphisms
+//! attached to the six semantics are:
+//!
+//! | semantics | `Rsem`-homomorphisms |
+//! |---|---|
+//! | OWA | all homomorphisms |
+//! | WCWA | onto homomorphisms |
+//! | CWA | strong onto homomorphisms |
+//! | `⦅ ⦆_CWA` | unions of strong onto homomorphisms |
+//! | `⟦ ⟧ᵐⁱⁿ_CWA` | minimal homomorphisms |
+//! | `⦅ ⦆ᵐⁱⁿ_CWA` | unions of minimal homomorphisms |
+//!
+//! This module provides (a) the class attached to each semantics, (b) the check that a
+//! concrete mapping (or set of mappings) from a complete instance is a homomorphism of
+//! the class into a given target, and (c) the preservation check itself — for Boolean
+//! queries the implication `Q(D) → Q(D')`, for k-ary queries *weak preservation*:
+//! constant answer tuples fixed by the mapping(s) survive (§8, §11).
+
+use std::collections::BTreeSet;
+
+use nev_hom::search::{exists_homomorphism, HomConfig};
+use nev_hom::ValueMap;
+use nev_incomplete::{Instance, Tuple, Value};
+use nev_logic::Query;
+
+use crate::monotone::constant_answers;
+use crate::semantics::Semantics;
+
+/// The classes of `Rsem`-homomorphisms appearing in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HomomorphismClass {
+    /// All homomorphisms (OWA).
+    All,
+    /// Onto homomorphisms: `h(adom(D)) = adom(D')` (WCWA).
+    Onto,
+    /// Strong onto homomorphisms: `h(D) = D'` (CWA).
+    StrongOnto,
+    /// Unions of strong onto homomorphisms: `D' = h₁(D) ∪ … ∪ hₙ(D)` (powerset CWA).
+    UnionOfStrongOnto,
+    /// Minimal homomorphisms: `h(D) = D'` with `h` D-minimal (minimal CWA).
+    Minimal,
+    /// Unions of minimal homomorphisms (minimal powerset CWA).
+    UnionOfMinimal,
+}
+
+/// The homomorphism class whose preservation characterises naïve evaluation under the
+/// given semantics (Corollary 4.9, Proposition 7.4, Corollary 10.10).
+pub fn class_for(semantics: Semantics) -> HomomorphismClass {
+    match semantics {
+        Semantics::Owa => HomomorphismClass::All,
+        Semantics::Wcwa => HomomorphismClass::Onto,
+        Semantics::Cwa => HomomorphismClass::StrongOnto,
+        Semantics::PowersetCwa => HomomorphismClass::UnionOfStrongOnto,
+        Semantics::MinimalCwa => HomomorphismClass::Minimal,
+        Semantics::MinimalPowersetCwa => HomomorphismClass::UnionOfMinimal,
+    }
+}
+
+impl HomomorphismClass {
+    /// Returns `true` iff this class relates instances through a *set* of mappings
+    /// (the powerset classes).
+    pub fn is_union_class(self) -> bool {
+        matches!(self, HomomorphismClass::UnionOfStrongOnto | HomomorphismClass::UnionOfMinimal)
+    }
+
+    /// Checks that the given mappings form a homomorphism of this class from `d` into
+    /// `d_prime`. Non-union classes expect exactly one mapping.
+    ///
+    /// Every mapping must send the facts of `d` into `d_prime`; the class adds its
+    /// surjectivity / minimality / union-coverage requirement on top.
+    pub fn is_witness(self, d: &Instance, mappings: &[ValueMap], d_prime: &Instance) -> bool {
+        if mappings.is_empty() {
+            return false;
+        }
+        if !self.is_union_class() && mappings.len() != 1 {
+            return false;
+        }
+        // Every mapping must be a homomorphism into d_prime.
+        if !mappings.iter().all(|h| h.apply_instance(d).is_subinstance_of(d_prime)) {
+            return false;
+        }
+        match self {
+            HomomorphismClass::All => true,
+            HomomorphismClass::Onto => {
+                let image: BTreeSet<Value> =
+                    d.adom().iter().map(|v| mappings[0].apply(v)).collect();
+                image == d_prime.adom()
+            }
+            HomomorphismClass::StrongOnto => mappings[0].apply_instance(d).same_facts(d_prime),
+            HomomorphismClass::Minimal => {
+                let image = mappings[0].apply_instance(d);
+                image.same_facts(d_prime) && is_minimal_mapping(d, &mappings[0])
+            }
+            HomomorphismClass::UnionOfStrongOnto | HomomorphismClass::UnionOfMinimal => {
+                let minimal_required = self == HomomorphismClass::UnionOfMinimal;
+                let mut union = Instance::empty_of_schema(&d.schema());
+                for h in mappings {
+                    let image = h.apply_instance(d);
+                    if minimal_required && !is_minimal_mapping(d, h) {
+                        return false;
+                    }
+                    union = union.union(&image).expect("same schema");
+                }
+                union.same_facts(d_prime)
+            }
+        }
+    }
+}
+
+/// Is the mapping `h`, defined on the (complete) instance `d`, **D-minimal** in the
+/// sense of §10.2: there is no mapping `g` with `fix(h, D) ⊆ fix(g, D)` and
+/// `g(D) ⊊ h(D)`?
+///
+/// Unlike [`nev_hom::minimal::is_minimal_image`] (which is about *database*
+/// homomorphisms on incomplete instances), the competitor mappings here may move any
+/// constant outside `fix(h, D)` — exactly the notion under which preservation
+/// characterises the minimal semantics (Corollary 10.10).
+pub fn is_minimal_mapping(d: &Instance, h: &ValueMap) -> bool {
+    let image = h.apply_instance(d);
+    let fixed = ValueMap::from_pairs(
+        h.fixed_constants(d)
+            .into_iter()
+            .map(|c| (Value::Const(c.clone()), Value::Const(c))),
+    );
+    let config = HomConfig::unrestricted().with_preassigned(fixed);
+    for smaller in image.remove_one_tuple_variants() {
+        if exists_homomorphism(d, &smaller, &config) {
+            return false;
+        }
+    }
+    true
+}
+
+/// A witnessed violation of (weak) preservation.
+#[derive(Clone, Debug)]
+pub struct PreservationViolation {
+    /// The constant answer tuple that was lost (empty tuple for Boolean queries).
+    pub lost_answer: Tuple,
+}
+
+/// Checks (weak) preservation of a query along one class witness.
+///
+/// * Boolean queries: if `Q` holds in `d` then `Q` must hold in `d_prime`.
+/// * k-ary queries: every constant answer tuple of `d` that is fixed point-wise by all
+///   the mappings must be an answer in `d_prime` (weak preservation, §8/§11).
+///
+/// Returns the first violation found, or `None` when preservation holds. The caller is
+/// responsible for `mappings` actually being a witness of the intended class (see
+/// [`HomomorphismClass::is_witness`]); this function only evaluates the implication.
+pub fn check_preservation(
+    query: &Query,
+    d: &Instance,
+    mappings: &[ValueMap],
+    d_prime: &Instance,
+) -> Option<PreservationViolation> {
+    let source_answers = constant_answers(d, query);
+    if source_answers.is_empty() {
+        return None;
+    }
+    let target_answers = constant_answers(d_prime, query);
+    for answer in &source_answers {
+        let fixed = mappings.iter().all(|h| {
+            answer.values().iter().all(|v| h.apply(v) == *v)
+        });
+        if fixed && !target_answers.contains(answer) {
+            return Some(PreservationViolation { lost_answer: answer.clone() });
+        }
+    }
+    None
+}
+
+/// Convenience wrapper: `true` iff no violation is found.
+pub fn is_preserved(query: &Query, d: &Instance, mappings: &[ValueMap], d_prime: &Instance) -> bool {
+    check_preservation(query, d, mappings, d_prime).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::c;
+    use nev_incomplete::inst;
+    use nev_logic::parse_query;
+
+    #[test]
+    fn class_for_each_semantics() {
+        assert_eq!(class_for(Semantics::Owa), HomomorphismClass::All);
+        assert_eq!(class_for(Semantics::Wcwa), HomomorphismClass::Onto);
+        assert_eq!(class_for(Semantics::Cwa), HomomorphismClass::StrongOnto);
+        assert_eq!(class_for(Semantics::PowersetCwa), HomomorphismClass::UnionOfStrongOnto);
+        assert_eq!(class_for(Semantics::MinimalCwa), HomomorphismClass::Minimal);
+        assert_eq!(class_for(Semantics::MinimalPowersetCwa), HomomorphismClass::UnionOfMinimal);
+        assert!(HomomorphismClass::UnionOfStrongOnto.is_union_class());
+        assert!(!HomomorphismClass::StrongOnto.is_union_class());
+    }
+
+    #[test]
+    fn witness_checks_for_the_section_4_3_example() {
+        // D = {(1,2)}, h(1)=3, h(2)=4: strong onto onto {(3,4)}, onto (but not strong
+        // onto) onto {(3,4),(4,3)}, plain homomorphism into any superset.
+        let d = inst! { "R" => [[c(1), c(2)]] };
+        let h = ValueMap::from_pairs([(c(1), c(3)), (c(2), c(4))]);
+        let strong_target = inst! { "R" => [[c(3), c(4)]] };
+        let onto_target = inst! { "R" => [[c(3), c(4)], [c(4), c(3)]] };
+        let loose_target = inst! { "R" => [[c(3), c(4)], [c(5), c(6)]] };
+        let hs = [h];
+        assert!(HomomorphismClass::StrongOnto.is_witness(&d, &hs, &strong_target));
+        assert!(HomomorphismClass::Minimal.is_witness(&d, &hs, &strong_target));
+        assert!(!HomomorphismClass::StrongOnto.is_witness(&d, &hs, &onto_target));
+        assert!(HomomorphismClass::Onto.is_witness(&d, &hs, &onto_target));
+        assert!(HomomorphismClass::All.is_witness(&d, &hs, &loose_target));
+        assert!(!HomomorphismClass::Onto.is_witness(&d, &hs, &loose_target));
+        // Not a homomorphism at all into a mismatched target.
+        let bad_target = inst! { "R" => [[c(9), c(9)]] };
+        assert!(!HomomorphismClass::All.is_witness(&d, &hs, &bad_target));
+    }
+
+    #[test]
+    fn union_witnesses() {
+        let d = inst! { "R" => [[c(1), c(2)]] };
+        let h1 = ValueMap::from_pairs([(c(1), c(3)), (c(2), c(4))]);
+        let h2 = ValueMap::from_pairs([(c(1), c(5)), (c(2), c(6))]);
+        let union_target = inst! { "R" => [[c(3), c(4)], [c(5), c(6)]] };
+        assert!(HomomorphismClass::UnionOfStrongOnto.is_witness(&d, &[h1.clone(), h2.clone()], &union_target));
+        assert!(HomomorphismClass::UnionOfMinimal.is_witness(&d, &[h1.clone(), h2.clone()], &union_target));
+        // A single mapping does not cover the union target.
+        assert!(!HomomorphismClass::UnionOfStrongOnto.is_witness(&d, &[h1.clone()], &union_target));
+        // Non-union classes reject multiple mappings; empty sets are never witnesses.
+        assert!(!HomomorphismClass::StrongOnto.is_witness(&d, &[h1.clone(), h2], &union_target));
+        assert!(!HomomorphismClass::All.is_witness(&d, &[], &union_target));
+        let _ = h1;
+    }
+
+    #[test]
+    fn minimal_witness_requires_minimal_mapping() {
+        // D = {(1,2),(3,4)}. A mapping renaming 3,4 to fresh constants 5,6 fixes {1,2}
+        // and is NOT D-minimal: the competitor collapsing (3,4) onto (1,2) (also fixing
+        // {1,2}) has a strictly smaller image. Collapsing onto (1,2) itself IS minimal,
+        // and so is the identity (it fixes everything).
+        let d = inst! { "D" => [[c(1), c(2)], [c(3), c(4)]] };
+        let rename = ValueMap::from_pairs([(c(3), c(5)), (c(4), c(6))]);
+        let collapse = ValueMap::from_pairs([(c(3), c(1)), (c(4), c(2))]);
+        let identity = ValueMap::new();
+        assert!(!is_minimal_mapping(&d, &rename));
+        assert!(is_minimal_mapping(&d, &collapse));
+        assert!(is_minimal_mapping(&d, &identity));
+        let renamed = inst! { "D" => [[c(1), c(2)], [c(5), c(6)]] };
+        let collapsed = inst! { "D" => [[c(1), c(2)]] };
+        assert!(HomomorphismClass::StrongOnto.is_witness(&d, &[rename.clone()], &renamed));
+        assert!(!HomomorphismClass::Minimal.is_witness(&d, &[rename], &renamed));
+        assert!(HomomorphismClass::Minimal.is_witness(&d, &[collapse], &collapsed));
+        assert!(HomomorphismClass::Minimal.is_witness(&d, &[identity], &d));
+    }
+
+    #[test]
+    fn boolean_preservation_examples() {
+        // ∃Pos sentences are preserved under all homomorphisms; a negation is not.
+        let d = inst! { "R" => [[c(1), c(2)]] };
+        let h = ValueMap::from_pairs([(c(1), c(3)), (c(2), c(3))]);
+        let target = inst! { "R" => [[c(3), c(3)], [c(4), c(3)]] };
+        let ucq = parse_query("exists u v . R(u, v)").unwrap();
+        assert!(is_preserved(&ucq, &d, &[h.clone()], &target));
+        let no_loop = parse_query("exists u . !R(u, u)").unwrap();
+        // true in d (no self loop), and true in target too thanks to 4… so preserved here:
+        assert!(is_preserved(&no_loop, &d, &[h.clone()], &target));
+        // …but not into the collapsed target alone.
+        let collapsed = inst! { "R" => [[c(3), c(3)]] };
+        let violation = check_preservation(&no_loop, &d, &[h], &collapsed);
+        assert!(violation.is_some());
+        assert_eq!(violation.unwrap().lost_answer.arity(), 0);
+    }
+
+    #[test]
+    fn weak_preservation_only_tracks_fixed_tuples() {
+        // Q(u) = R(u): the answer 1 is moved by h, so weak preservation does not
+        // require it to survive; the answer 2 is fixed and must survive.
+        let d = inst! { "R" => [[c(1)], [c(2)]] };
+        let h = ValueMap::from_pairs([(c(1), c(9))]);
+        let target_without_one = inst! { "R" => [[c(9)], [c(2)]] };
+        let q = parse_query("Q(u) :- R(u)").unwrap();
+        assert!(is_preserved(&q, &d, &[h.clone()], &target_without_one));
+        let target_without_two = inst! { "R" => [[c(9)]] };
+        let violation = check_preservation(&q, &d, &[h], &target_without_two).unwrap();
+        assert_eq!(violation.lost_answer, Tuple::new(vec![c(2)]));
+    }
+
+    #[test]
+    fn queries_false_at_the_source_are_vacuously_preserved() {
+        let d = inst! { "R" => [[c(1)]] };
+        let q = parse_query("exists u . S(u)").unwrap();
+        let target = inst! { "R" => [[c(2)]] };
+        assert!(is_preserved(&q, &d, &[ValueMap::new()], &target));
+    }
+}

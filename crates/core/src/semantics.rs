@@ -1,0 +1,549 @@
+//! The concrete semantics of incompleteness and their possible worlds.
+//!
+//! A semantics `⟦·⟧` assigns to each incomplete database `D` a set of *complete*
+//! databases, its possible worlds. The paper builds every semantics it studies in two
+//! steps (§4.1): first apply valuations to nulls, then modify the result according to
+//! a semantic relation `Rsem`. The six semantics implemented here are:
+//!
+//! | semantics | worlds |
+//! |---|---|
+//! | `⟦D⟧_CWA` | `v(D)` for a valuation `v` |
+//! | `⟦D⟧_OWA` | complete `D' ⊇ v(D)` |
+//! | `⟦D⟧_WCWA` | complete `D' ⊇ v(D)` with `adom(D') = adom(v(D))` |
+//! | `⦅D⦆_CWA` | `v₁(D) ∪ … ∪ vₙ(D)`, `n ≥ 1` |
+//! | `⟦D⟧ᵐⁱⁿ_CWA` | `v(D)` for a *D-minimal* valuation `v` |
+//! | `⦅D⦆ᵐⁱⁿ_CWA` | unions of images of D-minimal valuations |
+//!
+//! Two interfaces are provided:
+//!
+//! * [`Semantics::contains_world`] — an **exact** membership test `D' ∈ ⟦D⟧`, using
+//!   the homomorphism characterisations of Proposition 6.1 / Theorem 7.1 /
+//!   Proposition 10.1;
+//! * [`Semantics::enumerate_worlds`] — a **bounded** enumeration of worlds over a
+//!   finite constant budget, the ground-truth oracle for certain answers. The budget
+//!   and the approximation guarantees are documented in `DESIGN.md §6`: exact for the
+//!   CWA family, a sound over-approximation of certain answers for OWA (and for WCWA /
+//!   powerset widths beyond the configured caps).
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use nev_hom::minimal::is_minimal_image;
+use nev_hom::search::{
+    all_homomorphisms, has_db_homomorphism, has_onto_db_homomorphism,
+    has_strong_onto_db_homomorphism, HomConfig,
+};
+use nev_hom::valuation::enumerate_valuations;
+use nev_hom::ValueMap;
+use nev_incomplete::instance::fresh_constants;
+use nev_incomplete::{Constant, Instance, Tuple, Value};
+
+/// The six semantics of incompleteness studied in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Semantics {
+    /// Open-world assumption `⟦·⟧_OWA`.
+    Owa,
+    /// Closed-world assumption `⟦·⟧_CWA`.
+    Cwa,
+    /// Weak closed-world assumption `⟦·⟧_WCWA` (Reiter 1977).
+    Wcwa,
+    /// Powerset closed-world semantics `⦅·⦆_CWA` (§7).
+    PowersetCwa,
+    /// Minimal-valuation closed-world semantics `⟦·⟧ᵐⁱⁿ_CWA` (§10).
+    MinimalCwa,
+    /// Minimal-valuation powerset semantics `⦅·⦆ᵐⁱⁿ_CWA` (Hernich 2011; §10).
+    MinimalPowersetCwa,
+}
+
+impl Semantics {
+    /// All six semantics, in the order of Figure 1.
+    pub const ALL: [Semantics; 6] = [
+        Semantics::Owa,
+        Semantics::Wcwa,
+        Semantics::Cwa,
+        Semantics::PowersetCwa,
+        Semantics::MinimalCwa,
+        Semantics::MinimalPowersetCwa,
+    ];
+
+    /// Returns `true` for the semantics based on *minimal* valuations, which are not
+    /// saturated (§9–§10) — their results hold over cores.
+    pub fn is_minimal(self) -> bool {
+        matches!(self, Semantics::MinimalCwa | Semantics::MinimalPowersetCwa)
+    }
+
+    /// Returns `true` for the powerset-based semantics (several valuations at once).
+    pub fn is_powerset(self) -> bool {
+        matches!(self, Semantics::PowersetCwa | Semantics::MinimalPowersetCwa)
+    }
+
+    /// The short name used in Figure 1 and in experiment logs.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Semantics::Owa => "OWA",
+            Semantics::Cwa => "CWA",
+            Semantics::Wcwa => "WCWA",
+            Semantics::PowersetCwa => "⦅ ⦆_CWA",
+            Semantics::MinimalCwa => "⟦ ⟧min_CWA",
+            Semantics::MinimalPowersetCwa => "⦅ ⦆min_CWA",
+        }
+    }
+
+    /// Exact membership test: is the complete instance `world` a possible world of the
+    /// incomplete instance `d` under this semantics?
+    ///
+    /// # Panics
+    /// Panics if `world` is not complete.
+    pub fn contains_world(self, d: &Instance, world: &Instance) -> bool {
+        assert!(world.is_complete(), "possible worlds must be complete instances");
+        match self {
+            // D' ∈ ⟦D⟧_OWA iff some valuation (= database homomorphism into a complete
+            // instance) maps D into D'.
+            Semantics::Owa => has_db_homomorphism(d, world),
+            // D' ∈ ⟦D⟧_CWA iff D' = v(D) for some valuation, i.e. a strong onto
+            // database homomorphism exists.
+            Semantics::Cwa => has_strong_onto_db_homomorphism(d, world),
+            // D' ∈ ⟦D⟧_WCWA iff some valuation h has h(D) ⊆ D' and adom(D') = adom(h(D)),
+            // i.e. an onto database homomorphism exists.
+            Semantics::Wcwa => has_onto_db_homomorphism(d, world),
+            Semantics::PowersetCwa => covered_by_hom_images(d, world, false),
+            Semantics::MinimalCwa => {
+                has_strong_onto_db_homomorphism(d, world) && is_minimal_image(d, world)
+            }
+            Semantics::MinimalPowersetCwa => covered_by_hom_images(d, world, true),
+        }
+    }
+
+    /// Enumerates a finite set of possible worlds of `d` under this semantics, within
+    /// the given bounds. See the module documentation for the exactness guarantees.
+    pub fn enumerate_worlds(self, d: &Instance, bounds: &WorldBounds) -> Vec<Instance> {
+        let mut out = Vec::new();
+        let mut seen = BTreeSet::new();
+        let _ = self.for_each_world(d, bounds, |w| {
+            if seen.insert(w.clone()) {
+                out.push(w.clone());
+            }
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Streams the bounded possible worlds of `d` to `visitor`, stopping early if the
+    /// visitor breaks. Worlds may be repeated; use [`Semantics::enumerate_worlds`] for
+    /// a deduplicated list.
+    pub fn for_each_world<F>(self, d: &Instance, bounds: &WorldBounds, mut visitor: F) -> ControlFlow<()>
+    where
+        F: FnMut(&Instance) -> ControlFlow<()>,
+    {
+        let budget = bounds.budget_for(d, self);
+        let valuations = enumerate_valuations(d, &budget);
+        let mut emitted = 0usize;
+        let mut emit = |w: &Instance, visitor: &mut F| -> ControlFlow<()> {
+            emitted += 1;
+            if emitted > bounds.max_worlds {
+                return ControlFlow::Break(());
+            }
+            visitor(w)
+        };
+
+        match self {
+            Semantics::Cwa => {
+                for v in &valuations {
+                    let world = v.apply_instance(d);
+                    emit(&world, &mut visitor)?;
+                }
+            }
+            Semantics::MinimalCwa => {
+                // Deduplicate images before the (comparatively expensive) minimality
+                // check: many valuations share an image.
+                let mut seen = BTreeSet::new();
+                for v in &valuations {
+                    let world = v.apply_instance(d);
+                    if seen.insert(world.clone()) && is_minimal_image(d, &world) {
+                        emit(&world, &mut visitor)?;
+                    }
+                }
+            }
+            Semantics::Wcwa => {
+                for v in &valuations {
+                    let base = v.apply_instance(d);
+                    let candidates = missing_tuples_over(&base, &base.adom());
+                    for extra in subsets_up_to(&candidates, bounds.wcwa_max_extra_tuples) {
+                        let world = add_facts(&base, &extra);
+                        emit(&world, &mut visitor)?;
+                    }
+                }
+            }
+            Semantics::Owa => {
+                let fresh: Vec<Constant> = {
+                    let mut avoid = budget.clone();
+                    avoid.extend(bounds.extra_constants.iter().cloned());
+                    fresh_constants(bounds.owa_fresh_values, &avoid)
+                };
+                for v in &valuations {
+                    let base = v.apply_instance(d);
+                    let mut domain: BTreeSet<Value> = base.adom();
+                    domain.extend(budget.iter().cloned().map(Value::Const));
+                    domain.extend(fresh.iter().cloned().map(Value::Const));
+                    let candidates = missing_tuples_over(&base, &domain);
+                    for extra in subsets_up_to(&candidates, bounds.owa_max_extra_tuples) {
+                        let world = add_facts(&base, &extra);
+                        emit(&world, &mut visitor)?;
+                    }
+                }
+            }
+            Semantics::PowersetCwa | Semantics::MinimalPowersetCwa => {
+                // Deduplicate valuation images first, then (for the minimal variant)
+                // keep only the minimal ones.
+                let unique_images: Vec<Instance> = {
+                    let mut seen = BTreeSet::new();
+                    valuations
+                        .iter()
+                        .map(|v| v.apply_instance(d))
+                        .filter(|w| seen.insert(w.clone()))
+                        .collect()
+                };
+                let images: Vec<Instance> = if self == Semantics::MinimalPowersetCwa {
+                    unique_images
+                        .into_iter()
+                        .filter(|w| is_minimal_image(d, w))
+                        .collect()
+                } else {
+                    unique_images
+                };
+                // Unions of at most `union_width` images (non-empty selections).
+                let width = bounds.union_width.max(1);
+                for combo in combinations_up_to(images.len(), width) {
+                    let mut world = Instance::empty_of_schema(&d.schema());
+                    for idx in &combo {
+                        world = world.union(&images[*idx]).expect("same schema");
+                    }
+                    emit(&world, &mut visitor)?;
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+impl std::fmt::Display for Semantics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.short_name())
+    }
+}
+
+/// Bounds controlling the possible-world enumeration (see `DESIGN.md §6`).
+#[derive(Clone, Debug)]
+pub struct WorldBounds {
+    /// Constants mentioned by the query under consideration; they enter the valuation
+    /// budget so that genericity relative to them is respected.
+    pub extra_constants: BTreeSet<Constant>,
+    /// Powerset semantics: maximum number of valuation images unioned together.
+    pub union_width: usize,
+    /// OWA: number of extra fresh constants available to extension tuples.
+    pub owa_fresh_values: usize,
+    /// OWA: maximum number of extension tuples added on top of a valuation image.
+    pub owa_max_extra_tuples: usize,
+    /// WCWA: maximum number of extension tuples (within the active domain) added on
+    /// top of a valuation image. Raising it towards the number of missing tuples makes
+    /// the WCWA enumeration exact at an exponential cost.
+    pub wcwa_max_extra_tuples: usize,
+    /// Hard cap on the number of worlds visited (a safety valve for misconfigured
+    /// experiments; hitting it truncates the enumeration).
+    pub max_worlds: usize,
+}
+
+impl Default for WorldBounds {
+    fn default() -> Self {
+        WorldBounds {
+            extra_constants: BTreeSet::new(),
+            union_width: 2,
+            owa_fresh_values: 1,
+            owa_max_extra_tuples: 1,
+            wcwa_max_extra_tuples: 3,
+            max_worlds: 500_000,
+        }
+    }
+}
+
+impl WorldBounds {
+    /// Bounds that additionally account for the constants mentioned by a query.
+    pub fn for_query_constants(constants: BTreeSet<Constant>) -> Self {
+        WorldBounds { extra_constants: constants, ..WorldBounds::default() }
+    }
+
+    /// The valuation budget for an instance under a given semantics: its constants,
+    /// the extra (query) constants, and one fresh constant per null — per unioned
+    /// valuation for the powerset semantics, so that unions of `union_width`
+    /// independent valuations are representable.
+    pub fn budget_for(&self, d: &Instance, semantics: Semantics) -> BTreeSet<Constant> {
+        let mut budget = d.constants();
+        budget.extend(self.extra_constants.iter().cloned());
+        let multiplier = if semantics.is_powerset() { self.union_width.max(1) } else { 1 };
+        let fresh = fresh_constants(d.nulls().len() * multiplier, &budget);
+        budget.extend(fresh);
+        budget
+    }
+}
+
+/// Is every tuple of `world` covered by the image of some database homomorphism
+/// `d → world` (minimal ones only when `minimal` is set), with at least one such
+/// homomorphism existing? This characterises membership in the powerset semantics and
+/// (over arbitrary, possibly incomplete targets) the powerset ordering `⋐_CWA` of
+/// Theorem 7.1.
+pub(crate) fn covered_by_hom_images(d: &Instance, world: &Instance, minimal: bool) -> bool {
+    let homs: Vec<ValueMap> = all_homomorphisms(d, world, &HomConfig::database());
+    let unique_images: BTreeSet<Instance> = homs.iter().map(|h| h.apply_instance(d)).collect();
+    let images: Vec<Instance> = unique_images
+        .into_iter()
+        .filter(|img| !minimal || is_minimal_image(d, img))
+        .collect();
+    if images.is_empty() {
+        // With no nulls and d = world = empty this should still succeed via the empty
+        // homomorphism; `all_homomorphisms` returns it, so images is non-empty unless
+        // no homomorphism exists at all.
+        return false;
+    }
+    let mut union = Instance::empty_of_schema(&d.schema());
+    for img in &images {
+        union = union.union(img).expect("same schema");
+    }
+    union.same_facts(world)
+}
+
+/// All tuples of the given arity over the listed domain values.
+fn all_tuples_over(domain: &[Value], arity: usize) -> Vec<Tuple> {
+    let mut partials: Vec<Vec<Value>> = vec![Vec::new()];
+    for _ in 0..arity {
+        let mut next = Vec::with_capacity(partials.len() * domain.len());
+        for partial in &partials {
+            for v in domain {
+                let mut extended = partial.clone();
+                extended.push(v.clone());
+                next.push(extended);
+            }
+        }
+        partials = next;
+    }
+    partials.into_iter().map(Tuple::new).collect()
+}
+
+/// All facts over `domain` (per relation of `base`'s schema) that are not already in
+/// `base`.
+fn missing_tuples_over(base: &Instance, domain: &BTreeSet<Value>) -> Vec<(String, Tuple)> {
+    let domain: Vec<Value> = domain.iter().cloned().collect();
+    let mut out = Vec::new();
+    for rel in base.relations() {
+        let arity = rel.arity();
+        if domain.is_empty() && arity > 0 {
+            continue;
+        }
+        for tuple in all_tuples_over(&domain, arity) {
+            if !rel.contains(&tuple) {
+                out.push((rel.name().to_string(), tuple));
+            }
+        }
+    }
+    out
+}
+
+fn add_facts(base: &Instance, extra: &[(String, Tuple)]) -> Instance {
+    let mut out = base.clone();
+    for (rel, tuple) in extra {
+        out.add_tuple(rel, tuple.clone()).expect("arity-consistent extension");
+    }
+    out
+}
+
+/// All subsets of `items` of size at most `max_size` (including the empty subset),
+/// materialised as vectors of clones.
+fn subsets_up_to<T: Clone>(items: &[T], max_size: usize) -> Vec<Vec<T>> {
+    let mut out = vec![Vec::new()];
+    for item in items {
+        let mut extended = Vec::new();
+        for subset in &out {
+            if subset.len() < max_size {
+                let mut bigger = subset.clone();
+                bigger.push(item.clone());
+                extended.push(bigger);
+            }
+        }
+        out.extend(extended);
+    }
+    out
+}
+
+/// All non-empty index combinations of `{0, …, n-1}` of size at most `max_size`.
+fn combinations_up_to(n: usize, max_size: usize) -> Vec<Vec<usize>> {
+    let indices: Vec<usize> = (0..n).collect();
+    subsets_up_to(&indices, max_size)
+        .into_iter()
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+
+    fn d0() -> Instance {
+        inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] }
+    }
+
+    #[test]
+    fn membership_examples_from_section_2_3() {
+        // ⟦D0⟧_CWA consists of all {(c,c'),(c',c)}; ⟦D0⟧_OWA of all complete instances
+        // containing such a pair.
+        let d0 = d0();
+        let w1 = inst! { "D" => [[c(1), c(2)], [c(2), c(1)]] };
+        let w2 = inst! { "D" => [[c(1), c(1)]] };
+        let w3 = inst! { "D" => [[c(1), c(2)], [c(2), c(1)], [c(3), c(3)]] };
+        assert!(Semantics::Cwa.contains_world(&d0, &w1));
+        assert!(Semantics::Cwa.contains_world(&d0, &w2));
+        assert!(!Semantics::Cwa.contains_world(&d0, &w3));
+        assert!(Semantics::Owa.contains_world(&d0, &w3));
+        assert!(Semantics::Owa.contains_world(&d0, &w1));
+        // (3,3) uses a value outside adom of the valuation image {1,2}, so WCWA rejects it…
+        assert!(!Semantics::Wcwa.contains_world(&d0, &w3));
+        // …but adding (1,1) (within the active domain) is allowed under WCWA, not CWA.
+        let w4 = inst! { "D" => [[c(1), c(2)], [c(2), c(1)], [c(1), c(1)]] };
+        assert!(Semantics::Wcwa.contains_world(&d0, &w4));
+        assert!(!Semantics::Cwa.contains_world(&d0, &w4));
+    }
+
+    #[test]
+    fn wcwa_example_from_section_4_3() {
+        // D = {(⊥,⊥′)}: {(1,2)} ∈ CWA; {(1,2),(2,1)} ∉ CWA but ∈ WCWA.
+        let d = inst! { "R" => [[x(1), x(2)]] };
+        let w_cwa = inst! { "R" => [[c(1), c(2)]] };
+        let w_wcwa = inst! { "R" => [[c(1), c(2)], [c(2), c(1)]] };
+        assert!(Semantics::Cwa.contains_world(&d, &w_cwa));
+        assert!(!Semantics::Cwa.contains_world(&d, &w_wcwa));
+        assert!(Semantics::Wcwa.contains_world(&d, &w_wcwa));
+        assert!(Semantics::Owa.contains_world(&d, &w_wcwa));
+    }
+
+    #[test]
+    fn powerset_membership() {
+        // D = {(⊥1, ⊥2)}: {(1,2),(3,4)} is a union of two valuation images, hence in
+        // ⦅D⦆_CWA, but is in neither CWA (single valuation) nor WCWA (adom grows).
+        let d = inst! { "R" => [[x(1), x(2)]] };
+        let w = inst! { "R" => [[c(1), c(2)], [c(3), c(4)]] };
+        assert!(Semantics::PowersetCwa.contains_world(&d, &w));
+        assert!(!Semantics::Cwa.contains_world(&d, &w));
+        assert!(!Semantics::Wcwa.contains_world(&d, &w));
+        // A world with a tuple no valuation image can produce is rejected.
+        let bad = inst! { "R" => [[c(1), c(2)]], "S" => [[c(9)]] };
+        assert!(!Semantics::PowersetCwa.contains_world(&d, &bad));
+    }
+
+    #[test]
+    fn minimal_cwa_membership() {
+        // D = {(⊥,⊥),(⊥,⊥′)} (§10): minimal valuations collapse ⊥′ into ⊥, so {(1,1)}
+        // is a minimal world but {(1,1),(1,2)} is not.
+        let d = inst! { "D" => [[x(1), x(1)], [x(1), x(2)]] };
+        let collapsed = inst! { "D" => [[c(1), c(1)]] };
+        let spread = inst! { "D" => [[c(1), c(1)], [c(1), c(2)]] };
+        assert!(Semantics::MinimalCwa.contains_world(&d, &collapsed));
+        assert!(!Semantics::MinimalCwa.contains_world(&d, &spread));
+        assert!(Semantics::Cwa.contains_world(&d, &spread));
+        assert!(Semantics::MinimalPowersetCwa.contains_world(&d, &collapsed));
+        // A union of two distinct minimal images is in the minimal powerset semantics.
+        let two_loops = inst! { "D" => [[c(1), c(1)], [c(2), c(2)]] };
+        assert!(Semantics::MinimalPowersetCwa.contains_world(&d, &two_loops));
+        assert!(!Semantics::MinimalCwa.contains_world(&d, &two_loops));
+    }
+
+    #[test]
+    fn semantics_inclusions_on_enumerated_worlds() {
+        // ⟦D⟧_CWA ⊆ ⟦D⟧_WCWA ⊆ ⟦D⟧_OWA (§4.3); minimal CWA ⊆ CWA; CWA ⊆ powerset CWA.
+        let d = inst! { "R" => [[c(1), x(1)], [x(2), x(2)]] };
+        let bounds = WorldBounds::default();
+        let cwa = Semantics::Cwa.enumerate_worlds(&d, &bounds);
+        for w in &cwa {
+            assert!(Semantics::Wcwa.contains_world(&d, w));
+            assert!(Semantics::Owa.contains_world(&d, w));
+            assert!(Semantics::PowersetCwa.contains_world(&d, w));
+        }
+        let min_cwa = Semantics::MinimalCwa.enumerate_worlds(&d, &bounds);
+        for w in &min_cwa {
+            assert!(Semantics::Cwa.contains_world(&d, w));
+        }
+        assert!(min_cwa.len() <= cwa.len());
+    }
+
+    #[test]
+    fn enumerated_worlds_are_members() {
+        let d = inst! { "R" => [[c(1), x(1)]], "S" => [[x(1)]] };
+        let bounds = WorldBounds { owa_max_extra_tuples: 1, ..WorldBounds::default() };
+        for sem in Semantics::ALL {
+            let worlds = sem.enumerate_worlds(&d, &bounds);
+            assert!(!worlds.is_empty(), "{sem} produced no worlds");
+            for w in &worlds {
+                assert!(w.is_complete());
+                assert!(sem.contains_world(&d, w), "{sem}: enumerated world not a member\n{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn complete_instances_have_themselves_as_cwa_world() {
+        let d = inst! { "R" => [[c(1), c(2)]] };
+        let worlds = Semantics::Cwa.enumerate_worlds(&d, &WorldBounds::default());
+        assert_eq!(worlds.len(), 1);
+        assert!(worlds[0].same_facts(&d));
+        for sem in Semantics::ALL {
+            assert!(sem.contains_world(&d, &d), "{sem} must contain the complete instance itself");
+        }
+    }
+
+    #[test]
+    fn owa_enumeration_contains_proper_extensions() {
+        let d = inst! { "R" => [[x(1), x(1)]] };
+        let bounds = WorldBounds { owa_max_extra_tuples: 1, ..WorldBounds::default() };
+        let worlds = Semantics::Owa.enumerate_worlds(&d, &bounds);
+        assert!(worlds.iter().any(|w| w.fact_count() == 1));
+        assert!(worlds.iter().any(|w| w.fact_count() == 2));
+    }
+
+    #[test]
+    fn world_count_of_d0_under_cwa() {
+        // Two nulls, no constants: budget = 2 fresh constants (union width 1 would give 2,
+        // default width 2 gives up to 4); either way every world has the symmetric shape.
+        let d0 = d0();
+        let bounds = WorldBounds { union_width: 1, ..WorldBounds::default() };
+        let worlds = Semantics::Cwa.enumerate_worlds(&d0, &bounds);
+        // Valuations over {f0, f1}: 4 of them; worlds collapse to 3 distinct instances
+        // ({(f0,f0)}, {(f1,f1)}, {(f0,f1),(f1,f0)}).
+        assert_eq!(worlds.len(), 3);
+    }
+
+    #[test]
+    fn max_worlds_truncates() {
+        let d = inst! { "R" => [[x(1), x(2), x(3)]] };
+        let bounds = WorldBounds { max_worlds: 5, ..WorldBounds::default() };
+        let worlds = Semantics::Cwa.enumerate_worlds(&d, &bounds);
+        assert!(worlds.len() <= 5);
+    }
+
+    #[test]
+    fn display_and_flags() {
+        assert_eq!(Semantics::Owa.to_string(), "OWA");
+        assert!(Semantics::MinimalCwa.is_minimal());
+        assert!(!Semantics::Cwa.is_minimal());
+        assert!(Semantics::PowersetCwa.is_powerset());
+        assert!(Semantics::MinimalPowersetCwa.is_powerset());
+        assert!(!Semantics::Wcwa.is_powerset());
+        assert_eq!(Semantics::ALL.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be complete")]
+    fn membership_requires_complete_world() {
+        let d = d0();
+        let incomplete = inst! { "D" => [[x(5), c(1)]] };
+        Semantics::Cwa.contains_world(&d, &incomplete);
+    }
+}

@@ -1,0 +1,216 @@
+//! Figure 1 of the paper, as data (paper §12).
+//!
+//! The paper's summary table maps each semantics of incompleteness to the FO fragment
+//! for which naïve evaluation is guaranteed to compute certain answers:
+//!
+//! | semantics | naïve evaluation works for |
+//! |---|---|
+//! | OWA | `∃Pos` (unions of CQs) — and this is optimal (Libkin 2011) |
+//! | WCWA | `Pos` |
+//! | CWA | `Pos+∀G` |
+//! | `⦅ ⦆_CWA` | `∃Pos+∀G_bool` |
+//! | `⟦ ⟧ᵐⁱⁿ_CWA` | `Pos+∀G`, over cores; always a sound approximation |
+//! | `⦅ ⦆ᵐⁱⁿ_CWA` | `∃Pos+∀G_bool`, over cores; always a sound approximation |
+//!
+//! [`figure1`] expands this into one cell per (semantics, fragment) pair with the
+//! expectation the experiment harness (`nev-bench`, experiment E1) validates:
+//! *Works* cells must show naïve = certain on every trial, *WorksOverCores* cells must
+//! do so on core instances, and *NotGuaranteed* cells carry no such promise (for
+//! several of them the harness exhibits explicit counterexamples, e.g. `Pos` under
+//! OWA on the instance `D₀` of §2.4).
+
+use nev_logic::Fragment;
+
+use crate::semantics::Semantics;
+
+/// What the paper guarantees for a (semantics, fragment) cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expectation {
+    /// Naïve evaluation computes certain answers on every instance.
+    Works,
+    /// Naïve evaluation computes certain answers on every **core** instance, and is a
+    /// sound approximation (answers ⊆ certain answers) on every instance.
+    WorksOverCores,
+    /// The paper makes no guarantee for the whole fragment under this semantics;
+    /// counterexamples may exist (and for several cells are exhibited in the paper).
+    NotGuaranteed,
+}
+
+/// One cell of Figure 1, extended to every (semantics, fragment) combination.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Figure1Cell {
+    /// The semantics of incompleteness.
+    pub semantics: Semantics,
+    /// The query fragment.
+    pub fragment: Fragment,
+    /// What the paper guarantees for this combination.
+    pub expectation: Expectation,
+}
+
+/// The fragments listed in Figure 1, plus full FO as the "beyond the guarantee" row.
+pub const FRAGMENTS: [Fragment; 5] = [
+    Fragment::ExistentialPositive,
+    Fragment::Positive,
+    Fragment::PositiveGuarded,
+    Fragment::ExistentialPositiveBooleanGuarded,
+    Fragment::FullFirstOrder,
+];
+
+/// The guaranteed fragment of each semantics, as printed in Figure 1.
+pub fn guaranteed_fragment(semantics: Semantics) -> Fragment {
+    match semantics {
+        Semantics::Owa => Fragment::ExistentialPositive,
+        Semantics::Wcwa => Fragment::Positive,
+        Semantics::Cwa => Fragment::PositiveGuarded,
+        Semantics::PowersetCwa => Fragment::ExistentialPositiveBooleanGuarded,
+        Semantics::MinimalCwa => Fragment::PositiveGuarded,
+        Semantics::MinimalPowersetCwa => Fragment::ExistentialPositiveBooleanGuarded,
+    }
+}
+
+/// The expectation for a single (semantics, fragment) cell.
+///
+/// The entries follow from the paper as follows:
+///
+/// * a fragment works under a semantics when it is (syntactically) included in a class
+///   preserved under that semantics' homomorphisms — in particular `∃Pos` works
+///   everywhere, and `∃Pos+∀G_bool` also works under plain CWA because single strong
+///   onto homomorphisms are a special case of unions of them;
+/// * under the minimal semantics, fragments that work under the corresponding
+///   saturated semantics work **over cores** (Corollary 10.12); `∃Pos` works
+///   everywhere even off cores because homomorphism-preserved queries never
+///   distinguish an instance from its core;
+/// * everything else is not guaranteed.
+pub fn expectation(semantics: Semantics, fragment: Fragment) -> Expectation {
+    use Expectation::*;
+    use Fragment::*;
+    match (semantics, fragment) {
+        // Full first-order logic is never guaranteed.
+        (_, FullFirstOrder) => NotGuaranteed,
+
+        // OWA: only ∃Pos (optimal by Libkin 2011).
+        (Semantics::Owa, ExistentialPositive) => Works,
+        (Semantics::Owa, _) => NotGuaranteed,
+
+        // WCWA: Pos (hence also ∃Pos). Guarded fragments are not covered.
+        (Semantics::Wcwa, ExistentialPositive | Positive) => Works,
+        (Semantics::Wcwa, _) => NotGuaranteed,
+
+        // CWA: Pos+∀G (hence ∃Pos and Pos); ∃Pos+∀G_bool also works because strong
+        // onto homomorphisms are singleton unions of strong onto homomorphisms.
+        (Semantics::Cwa, _) => Works,
+
+        // Powerset CWA: ∃Pos+∀G_bool (hence ∃Pos). Pos and Pos+∀G are not covered.
+        (Semantics::PowersetCwa, ExistentialPositive | ExistentialPositiveBooleanGuarded) => Works,
+        (Semantics::PowersetCwa, _) => NotGuaranteed,
+
+        // Minimal CWA: Pos+∀G over cores (hence Pos and ∃Pos+∀G_bool over cores);
+        // ∃Pos works everywhere because it cannot distinguish D from core(D).
+        (Semantics::MinimalCwa, ExistentialPositive) => Works,
+        (Semantics::MinimalCwa, _) => WorksOverCores,
+
+        // Minimal powerset CWA: ∃Pos+∀G_bool over cores; ∃Pos everywhere.
+        (Semantics::MinimalPowersetCwa, ExistentialPositive) => Works,
+        (Semantics::MinimalPowersetCwa, ExistentialPositiveBooleanGuarded) => WorksOverCores,
+        (Semantics::MinimalPowersetCwa, _) => NotGuaranteed,
+    }
+}
+
+/// The full table: one cell per semantics and fragment.
+pub fn figure1() -> Vec<Figure1Cell> {
+    let mut cells = Vec::new();
+    for semantics in Semantics::ALL {
+        for fragment in FRAGMENTS {
+            cells.push(Figure1Cell { semantics, fragment, expectation: expectation(semantics, fragment) });
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_one_cell_per_combination() {
+        let cells = figure1();
+        assert_eq!(cells.len(), Semantics::ALL.len() * FRAGMENTS.len());
+        for semantics in Semantics::ALL {
+            for fragment in FRAGMENTS {
+                assert_eq!(
+                    cells
+                        .iter()
+                        .filter(|c| c.semantics == semantics && c.fragment == fragment)
+                        .count(),
+                    1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guaranteed_fragments_match_figure_1() {
+        assert_eq!(guaranteed_fragment(Semantics::Owa), Fragment::ExistentialPositive);
+        assert_eq!(guaranteed_fragment(Semantics::Wcwa), Fragment::Positive);
+        assert_eq!(guaranteed_fragment(Semantics::Cwa), Fragment::PositiveGuarded);
+        assert_eq!(
+            guaranteed_fragment(Semantics::PowersetCwa),
+            Fragment::ExistentialPositiveBooleanGuarded
+        );
+        assert_eq!(guaranteed_fragment(Semantics::MinimalCwa), Fragment::PositiveGuarded);
+        assert_eq!(
+            guaranteed_fragment(Semantics::MinimalPowersetCwa),
+            Fragment::ExistentialPositiveBooleanGuarded
+        );
+    }
+
+    #[test]
+    fn guaranteed_fragment_cells_are_marked_works() {
+        for semantics in Semantics::ALL {
+            let fragment = guaranteed_fragment(semantics);
+            let exp = expectation(semantics, fragment);
+            if semantics.is_minimal() {
+                assert_eq!(exp, Expectation::WorksOverCores, "{semantics}");
+            } else {
+                assert_eq!(exp, Expectation::Works, "{semantics}");
+            }
+        }
+    }
+
+    #[test]
+    fn ucqs_work_under_every_semantics() {
+        for semantics in Semantics::ALL {
+            assert_eq!(
+                expectation(semantics, Fragment::ExistentialPositive),
+                Expectation::Works,
+                "{semantics}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_fo_is_never_guaranteed() {
+        for semantics in Semantics::ALL {
+            assert_eq!(
+                expectation(semantics, Fragment::FullFirstOrder),
+                Expectation::NotGuaranteed,
+                "{semantics}"
+            );
+        }
+    }
+
+    #[test]
+    fn owa_beyond_ucq_is_not_guaranteed() {
+        assert_eq!(expectation(Semantics::Owa, Fragment::Positive), Expectation::NotGuaranteed);
+        assert_eq!(
+            expectation(Semantics::Owa, Fragment::PositiveGuarded),
+            Expectation::NotGuaranteed
+        );
+        assert_eq!(expectation(Semantics::Wcwa, Fragment::PositiveGuarded), Expectation::NotGuaranteed);
+        assert_eq!(expectation(Semantics::Cwa, Fragment::PositiveGuarded), Expectation::Works);
+        assert_eq!(
+            expectation(Semantics::PowersetCwa, Fragment::Positive),
+            Expectation::NotGuaranteed
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Update systems justifying the semantic orderings (paper §6–§7).
+//!
+//! The paper explains each ordering as the reflexive-transitive closure of a set of
+//! elementary updates that *increase informativeness*:
+//!
+//! * **CWA updates** `D ↦ D[v/⊥]`: replace every occurrence of a null `⊥` by a value
+//!   `v ∈ Const ∪ Null` (all occurrences at once, since nulls may repeat);
+//! * **OWA updates** `D ↦ D ∪ {R(t̄)}`: add a tuple;
+//! * **copying CWA updates** `D ↦ D[v/⊥] ∪ D_fresh`: a CWA update together with a
+//!   fresh copy of the database (nulls renamed to fresh ones), the relaxation that
+//!   generates the powerset ordering `⋐_CWA`.
+//!
+//! Theorem 6.2 states that `≼_CWA` is the closure of CWA updates and `≼_OWA` the
+//! closure of CWA and OWA updates; Theorem 7.1 states that `⋐_CWA` is the closure of
+//! CWA and copying CWA updates. The bounded breadth-first reachability check here lets
+//! the experiment harness validate those equivalences on small instances
+//! (experiment E5).
+
+use std::collections::{BTreeSet, VecDeque};
+
+use nev_incomplete::{Instance, NullId, Tuple, Value};
+
+/// The kinds of elementary updates of §6–§7.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UpdateKind {
+    /// Replace a null (everywhere) by a value: `D[v/⊥]`.
+    Cwa,
+    /// Add a tuple to a relation.
+    Owa,
+    /// Replace a null by a value and union in a fresh copy of the original database.
+    CopyingCwa,
+}
+
+/// The CWA update `D[v/⊥]`: replaces every occurrence of the null by the value.
+pub fn cwa_update(d: &Instance, null: NullId, value: &Value) -> Instance {
+    d.map_values(|v| if *v == Value::Null(null) { value.clone() } else { v.clone() })
+}
+
+/// The OWA update: adds a tuple to a relation (which must exist with that arity, or
+/// not exist at all).
+pub fn owa_update(d: &Instance, relation: &str, tuple: Tuple) -> Instance {
+    let mut out = d.clone();
+    out.add_tuple(relation, tuple).expect("OWA update must respect the relation arity");
+    out
+}
+
+/// A fresh copy of `d`: every null renamed to a null not occurring in `avoid` (nor in
+/// `d` itself).
+pub fn fresh_copy(d: &Instance, avoid: &BTreeSet<NullId>) -> Instance {
+    let mut used: BTreeSet<NullId> = d.nulls();
+    used.extend(avoid.iter().copied());
+    let mut next = used.iter().map(|n| n.0 + 1).max().unwrap_or(0);
+    let mut renaming = std::collections::BTreeMap::new();
+    for n in d.nulls() {
+        renaming.insert(n, NullId(next));
+        next += 1;
+    }
+    d.map_values(|v| match v {
+        Value::Null(n) => Value::Null(renaming[n]),
+        c => c.clone(),
+    })
+}
+
+/// The copying CWA update `D ↦ D[v/⊥] ∪ D_fresh` of §7.
+pub fn copying_cwa_update(d: &Instance, null: NullId, value: &Value) -> Instance {
+    let substituted = cwa_update(d, null, value);
+    let copy = fresh_copy(d, &substituted.nulls());
+    substituted.union(&copy).expect("same schema")
+}
+
+/// The "multiple CWA update" used in the proof of Theorem 7.1:
+/// `D ↦ ⋃_{v ∈ values} D[v/⊥]`.
+pub fn multi_cwa_update(d: &Instance, null: NullId, values: &[Value]) -> Instance {
+    assert!(!values.is_empty(), "a multiple CWA update needs at least one value");
+    let mut out: Option<Instance> = None;
+    for v in values {
+        let step = cwa_update(d, null, v);
+        out = Some(match out {
+            None => step,
+            Some(acc) => acc.union(&step).expect("same schema"),
+        });
+    }
+    out.expect("non-empty values")
+}
+
+/// Configuration of the bounded update-reachability search.
+#[derive(Clone, Debug)]
+pub struct ReachabilityBounds {
+    /// Maximum number of update steps explored.
+    pub max_steps: usize,
+    /// Maximum number of distinct states visited before giving up.
+    pub max_states: usize,
+}
+
+impl Default for ReachabilityBounds {
+    fn default() -> Self {
+        ReachabilityBounds { max_steps: 8, max_states: 20_000 }
+    }
+}
+
+/// Bounded breadth-first search: can `target` be reached from `d` by a sequence of
+/// updates of the given kinds?
+///
+/// Candidate substitution values are drawn from `adom(target) ∪ Null(d)` and candidate
+/// OWA tuples from the tuples of `target`, which suffices for reaching `target` and
+/// keeps the search finite. Instances are compared up to the *names* of nulls
+/// (canonical form), matching the ordering characterisations which are invariant under
+/// null renaming on the left.
+pub fn reachable_by_updates(
+    d: &Instance,
+    target: &Instance,
+    kinds: &[UpdateKind],
+    bounds: &ReachabilityBounds,
+) -> bool {
+    let target_canonical = target.canonical_form();
+    let mut candidate_values: Vec<Value> = target.adom().into_iter().collect();
+    candidate_values.extend(d.nulls().into_iter().map(Value::Null));
+    let target_facts: Vec<(String, Tuple)> = target
+        .facts()
+        .map(|(r, t)| (r.to_string(), t.clone()))
+        .collect();
+
+    let start = d.canonical_form();
+    if start == target_canonical {
+        return true;
+    }
+    let mut visited: BTreeSet<Instance> = [start.clone()].into_iter().collect();
+    let mut queue: VecDeque<(Instance, usize)> = [(start, 0usize)].into_iter().collect();
+
+    while let Some((current, depth)) = queue.pop_front() {
+        if depth >= bounds.max_steps || visited.len() > bounds.max_states {
+            continue;
+        }
+        let mut successors: Vec<Instance> = Vec::new();
+        for kind in kinds {
+            match kind {
+                UpdateKind::Cwa => {
+                    for null in current.nulls() {
+                        for value in &candidate_values {
+                            if *value == Value::Null(null) {
+                                continue;
+                            }
+                            successors.push(cwa_update(&current, null, value));
+                        }
+                    }
+                }
+                UpdateKind::CopyingCwa => {
+                    for null in current.nulls() {
+                        for value in &candidate_values {
+                            if *value == Value::Null(null) {
+                                continue;
+                            }
+                            successors.push(copying_cwa_update(&current, null, value));
+                        }
+                    }
+                }
+                UpdateKind::Owa => {
+                    for (rel, tuple) in &target_facts {
+                        if !current.contains_tuple(rel, tuple) {
+                            successors.push(owa_update(&current, rel, tuple.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        for succ in successors {
+            let canonical = succ.canonical_form();
+            if canonical == target_canonical {
+                return true;
+            }
+            // Prune states that already have more facts than the target can absorb —
+            // updates never remove facts.
+            if canonical.fact_count() > target_canonical.fact_count() {
+                continue;
+            }
+            if visited.insert(canonical.clone()) {
+                queue.push_back((canonical, depth + 1));
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::{cwa_leq, owa_leq, powerset_cwa_leq};
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+    use nev_incomplete::tuple::tuple_of;
+
+    #[test]
+    fn cwa_update_replaces_all_occurrences() {
+        // The §6 motivation: (null, 2) updated twice produces {(1,2),(2,2)} only via
+        // Codd-style updates; with marked nulls a single CWA update replaces every
+        // occurrence at once.
+        let d = inst! { "R" => [[x(1), c(2)], [c(3), x(1)]] };
+        let updated = cwa_update(&d, NullId(1), &c(7));
+        assert!(updated.is_complete());
+        assert!(updated.contains_tuple("R", &tuple_of([c(7), c(2)])));
+        assert!(updated.contains_tuple("R", &tuple_of([c(3), c(7)])));
+        // Substituting a null for a null merges them.
+        let merged = cwa_update(&d, NullId(1), &x(9));
+        assert_eq!(merged.nulls().len(), 1);
+    }
+
+    #[test]
+    fn owa_update_adds_tuples() {
+        let d = inst! { "R" => [[c(1), c(2)]] };
+        let updated = owa_update(&d, "R", tuple_of([c(3), c(4)]));
+        assert_eq!(updated.fact_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "respect the relation arity")]
+    fn owa_update_rejects_bad_arity() {
+        let d = inst! { "R" => [[c(1), c(2)]] };
+        owa_update(&d, "R", tuple_of([c(3)]));
+    }
+
+    #[test]
+    fn copying_update_duplicates_structure() {
+        let d = inst! { "R" => [[x(1), x(2)]] };
+        let updated = copying_cwa_update(&d, NullId(1), &c(5));
+        // One tuple from the substitution, one from the fresh copy.
+        assert_eq!(updated.fact_count(), 2);
+        assert_eq!(updated.nulls().len(), 3); // ⊥2 survives, plus two fresh nulls
+    }
+
+    #[test]
+    fn multi_cwa_update_unions_substitutions() {
+        let d = inst! { "R" => [[x(1), c(2)]] };
+        let updated = multi_cwa_update(&d, NullId(1), &[c(1), c(3)]);
+        assert_eq!(updated.fact_count(), 2);
+        assert!(updated.contains_tuple("R", &tuple_of([c(1), c(2)])));
+        assert!(updated.contains_tuple("R", &tuple_of([c(3), c(2)])));
+    }
+
+    #[test]
+    fn theorem_6_2_cwa_direction_on_examples() {
+        // D = {(⊥,⊥′)} and D' = {(1,2)}: related by ≼_CWA and reachable by CWA updates.
+        let d = inst! { "R" => [[x(1), x(2)]] };
+        let d_prime = inst! { "R" => [[c(1), c(2)]] };
+        assert!(cwa_leq(&d, &d_prime));
+        assert!(reachable_by_updates(&d, &d_prime, &[UpdateKind::Cwa], &ReachabilityBounds::default()));
+        // Collapsing both nulls also works.
+        let collapsed = inst! { "R" => [[c(9), c(9)]] };
+        assert!(cwa_leq(&d, &collapsed));
+        assert!(reachable_by_updates(&d, &collapsed, &[UpdateKind::Cwa], &ReachabilityBounds::default()));
+        // But a grown instance is not reachable by CWA updates alone…
+        let grown = inst! { "R" => [[c(1), c(2)], [c(2), c(1)]] };
+        assert!(!cwa_leq(&d, &grown));
+        assert!(!reachable_by_updates(&d, &grown, &[UpdateKind::Cwa], &ReachabilityBounds::default()));
+        // …while it is reachable once OWA updates are allowed, matching ≼_OWA.
+        assert!(owa_leq(&d, &grown));
+        assert!(reachable_by_updates(
+            &d,
+            &grown,
+            &[UpdateKind::Cwa, UpdateKind::Owa],
+            &ReachabilityBounds::default()
+        ));
+    }
+
+    #[test]
+    fn theorem_7_1_copying_updates_reach_powerset_larger_instances() {
+        // D = {(⊥1,⊥2)} ⋐_CWA {(1,2),(3,4)}: reachable with copying CWA updates,
+        // unreachable with plain CWA updates.
+        let d = inst! { "R" => [[x(1), x(2)]] };
+        let two_copies = inst! { "R" => [[c(1), c(2)], [c(3), c(4)]] };
+        assert!(powerset_cwa_leq(&d, &two_copies));
+        assert!(!reachable_by_updates(&d, &two_copies, &[UpdateKind::Cwa], &ReachabilityBounds::default()));
+        assert!(reachable_by_updates(
+            &d,
+            &two_copies,
+            &[UpdateKind::Cwa, UpdateKind::CopyingCwa],
+            &ReachabilityBounds::default()
+        ));
+    }
+
+    #[test]
+    fn unreachable_targets_are_rejected() {
+        let d = inst! { "R" => [[c(1), c(2)]] };
+        let other = inst! { "R" => [[c(3), c(4)]] };
+        assert!(!reachable_by_updates(
+            &d,
+            &other,
+            &[UpdateKind::Cwa, UpdateKind::Owa, UpdateKind::CopyingCwa],
+            &ReachabilityBounds::default()
+        ));
+        // Reflexivity: an instance reaches itself with zero updates.
+        assert!(reachable_by_updates(&d, &d, &[], &ReachabilityBounds::default()));
+    }
+
+    #[test]
+    fn fresh_copy_avoids_existing_nulls() {
+        let d = inst! { "R" => [[x(1), x(2)]] };
+        let avoid: BTreeSet<NullId> = [NullId(1), NullId(2), NullId(3)].into_iter().collect();
+        let copy = fresh_copy(&d, &avoid);
+        assert_eq!(copy.fact_count(), 1);
+        for n in copy.nulls() {
+            assert!(!avoid.contains(&n));
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Random generation of first-order formulas drawn from the paper's fragments.
+//!
+//! The Figure 1 harness needs, for every cell, random queries that provably belong to
+//! the cell's fragment. The generator below builds formulas by following the
+//! *inductive definitions* of §5 and §7, so membership holds by construction; a
+//! debug assertion double-checks it against the classifier in `nev-logic`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nev_incomplete::Schema;
+use nev_logic::ast::{Formula, Term};
+use nev_logic::fragment::{is_in_fragment, Fragment};
+use nev_logic::Query;
+
+/// Configuration of the random formula generator.
+#[derive(Clone, Debug)]
+pub struct FormulaGeneratorConfig {
+    /// The fragment to draw formulas from.
+    pub fragment: Fragment,
+    /// The relational schema formulas may mention (should match the instances they
+    /// will be evaluated on).
+    pub schema: Schema,
+    /// Constants (integers) the formulas may mention.
+    pub constant_pool: usize,
+    /// Probability that an atom argument is a constant rather than a variable.
+    pub constant_probability: f64,
+    /// Maximum depth of the generated formula tree.
+    pub max_depth: usize,
+}
+
+impl Default for FormulaGeneratorConfig {
+    fn default() -> Self {
+        FormulaGeneratorConfig {
+            fragment: Fragment::ExistentialPositive,
+            schema: Schema::from_relations([("R", 2), ("S", 1)]),
+            constant_pool: 3,
+            constant_probability: 0.2,
+            max_depth: 3,
+        }
+    }
+}
+
+/// A seeded random generator of formulas and queries of a fixed fragment.
+#[derive(Clone, Debug)]
+pub struct FormulaGenerator {
+    config: FormulaGeneratorConfig,
+    rng: StdRng,
+    next_var: usize,
+}
+
+impl FormulaGenerator {
+    /// Creates a generator with the given configuration and seed.
+    pub fn new(config: FormulaGeneratorConfig, seed: u64) -> Self {
+        FormulaGenerator { config, rng: StdRng::seed_from_u64(seed), next_var: 0 }
+    }
+
+    fn fresh_var(&mut self) -> String {
+        let name = format!("v{}", self.next_var);
+        self.next_var += 1;
+        name
+    }
+
+    fn random_relation(&mut self) -> (String, usize) {
+        let relations: Vec<_> = self.config.schema.relations().collect();
+        let pick = self.rng.gen_range(0..relations.len());
+        (relations[pick].name.clone(), relations[pick].arity)
+    }
+
+    fn random_term(&mut self, scope: &[String]) -> Term {
+        if scope.is_empty() || self.rng.gen_bool(self.config.constant_probability) {
+            Term::int(self.rng.gen_range(1..=self.config.constant_pool) as i64)
+        } else {
+            Term::var(scope[self.rng.gen_range(0..scope.len())].clone())
+        }
+    }
+
+    fn random_atom(&mut self, scope: &[String]) -> Formula {
+        if !scope.is_empty() && self.rng.gen_bool(0.1) {
+            return Formula::eq(self.random_term(scope), self.random_term(scope));
+        }
+        let (name, arity) = self.random_relation();
+        let terms: Vec<Term> = (0..arity).map(|_| self.random_term(scope)).collect();
+        Formula::atom(name, terms)
+    }
+
+    /// A random existential positive formula over the variables in `scope`.
+    fn gen_existential_positive(&mut self, scope: &[String], depth: usize) -> Formula {
+        if depth == 0 {
+            return self.random_atom(scope);
+        }
+        match self.rng.gen_range(0..4) {
+            0 => self.random_atom(scope),
+            1 => Formula::and(
+                (0..2).map(|_| self.gen_existential_positive(scope, depth - 1)).collect::<Vec<_>>(),
+            ),
+            2 => Formula::or(
+                (0..2).map(|_| self.gen_existential_positive(scope, depth - 1)).collect::<Vec<_>>(),
+            ),
+            _ => {
+                let v = self.fresh_var();
+                let mut extended = scope.to_vec();
+                extended.push(v.clone());
+                Formula::exists([v], self.gen_existential_positive(&extended, depth - 1))
+            }
+        }
+    }
+
+    /// A random positive formula (adds unguarded `∀`).
+    fn gen_positive(&mut self, scope: &[String], depth: usize) -> Formula {
+        if depth == 0 {
+            return self.random_atom(scope);
+        }
+        match self.rng.gen_range(0..5) {
+            0 => self.random_atom(scope),
+            1 => Formula::and((0..2).map(|_| self.gen_positive(scope, depth - 1)).collect::<Vec<_>>()),
+            2 => Formula::or((0..2).map(|_| self.gen_positive(scope, depth - 1)).collect::<Vec<_>>()),
+            3 => {
+                let v = self.fresh_var();
+                let mut extended = scope.to_vec();
+                extended.push(v.clone());
+                Formula::exists([v], self.gen_positive(&extended, depth - 1))
+            }
+            _ => {
+                let v = self.fresh_var();
+                let mut extended = scope.to_vec();
+                extended.push(v.clone());
+                Formula::forall([v], self.gen_positive(&extended, depth - 1))
+            }
+        }
+    }
+
+    /// A random `Pos+∀G` formula: positive connectives, unguarded quantifiers over
+    /// `Pos` bodies, guarded universals over `Pos+∀G` bodies.
+    fn gen_positive_guarded(&mut self, scope: &[String], depth: usize) -> Formula {
+        if depth == 0 {
+            return self.random_atom(scope);
+        }
+        match self.rng.gen_range(0..5) {
+            0 => self.random_atom(scope),
+            1 => Formula::and(
+                (0..2).map(|_| self.gen_positive_guarded(scope, depth - 1)).collect::<Vec<_>>(),
+            ),
+            2 => Formula::or(
+                (0..2).map(|_| self.gen_positive_guarded(scope, depth - 1)).collect::<Vec<_>>(),
+            ),
+            3 => {
+                // Unguarded quantifier: the body must stay within Pos.
+                let v = self.fresh_var();
+                let mut extended = scope.to_vec();
+                extended.push(v.clone());
+                let body = self.gen_positive(&extended, depth - 1);
+                if self.rng.gen_bool(0.5) {
+                    Formula::exists([v], body)
+                } else {
+                    Formula::forall([v], body)
+                }
+            }
+            _ => self.gen_guarded_universal(scope, depth, false),
+        }
+    }
+
+    /// A guarded universal `∀x̄ (R(x̄) → φ)`. When `boolean_guard` is set the body's
+    /// free variables are restricted to the guard variables (the `∃Pos+∀G_bool` rule);
+    /// otherwise the body may also use the enclosing scope (`Pos+∀G`).
+    fn gen_guarded_universal(&mut self, scope: &[String], depth: usize, boolean_guard: bool) -> Formula {
+        let (name, arity) = self.random_relation();
+        let guard_vars: Vec<String> = (0..arity.max(1)).map(|_| self.fresh_var()).collect();
+        let body_scope: Vec<String> = if boolean_guard {
+            guard_vars.clone()
+        } else {
+            let mut s = scope.to_vec();
+            s.extend(guard_vars.iter().cloned());
+            s
+        };
+        let body = if boolean_guard {
+            self.gen_dpos_gbool(&body_scope, depth.saturating_sub(1))
+        } else {
+            self.gen_positive_guarded(&body_scope, depth.saturating_sub(1))
+        };
+        if arity == 0 {
+            // A 0-ary relation cannot guard; fall back to an equality guard on two vars.
+            let v1 = guard_vars[0].clone();
+            let v2 = self.fresh_var();
+            let body = if boolean_guard {
+                // Restrict the body to the two guard variables.
+                let scope = vec![v1.clone(), v2.clone()];
+                self.gen_dpos_gbool(&scope, depth.saturating_sub(1))
+            } else {
+                body
+            };
+            return Formula::forall_eq_guarded(v1, v2, body);
+        }
+        Formula::forall_guarded(name, guard_vars, body)
+    }
+
+    /// A random `∃Pos+∀G_bool` formula.
+    fn gen_dpos_gbool(&mut self, scope: &[String], depth: usize) -> Formula {
+        if depth == 0 {
+            return self.random_atom(scope);
+        }
+        match self.rng.gen_range(0..5) {
+            0 => self.random_atom(scope),
+            1 => Formula::and(
+                (0..2).map(|_| self.gen_dpos_gbool(scope, depth - 1)).collect::<Vec<_>>(),
+            ),
+            2 => Formula::or(
+                (0..2).map(|_| self.gen_dpos_gbool(scope, depth - 1)).collect::<Vec<_>>(),
+            ),
+            3 => {
+                let v = self.fresh_var();
+                let mut extended = scope.to_vec();
+                extended.push(v.clone());
+                Formula::exists([v], self.gen_dpos_gbool(&extended, depth - 1))
+            }
+            _ => self.gen_guarded_universal(scope, depth, true),
+        }
+    }
+
+    /// A random full first-order formula (adds negation).
+    fn gen_full_fo(&mut self, scope: &[String], depth: usize) -> Formula {
+        if depth == 0 {
+            return self.random_atom(scope);
+        }
+        match self.rng.gen_range(0..6) {
+            0 => self.random_atom(scope),
+            1 => Formula::and((0..2).map(|_| self.gen_full_fo(scope, depth - 1)).collect::<Vec<_>>()),
+            2 => Formula::or((0..2).map(|_| self.gen_full_fo(scope, depth - 1)).collect::<Vec<_>>()),
+            3 => Formula::not(self.gen_full_fo(scope, depth - 1)),
+            4 => {
+                let v = self.fresh_var();
+                let mut extended = scope.to_vec();
+                extended.push(v.clone());
+                Formula::exists([v], self.gen_full_fo(&extended, depth - 1))
+            }
+            _ => {
+                let v = self.fresh_var();
+                let mut extended = scope.to_vec();
+                extended.push(v.clone());
+                Formula::forall([v], self.gen_full_fo(&extended, depth - 1))
+            }
+        }
+    }
+
+    /// Generates a formula of the configured fragment with free variables among
+    /// `scope`.
+    pub fn generate_formula(&mut self, scope: &[String]) -> Formula {
+        let depth = self.config.max_depth;
+        let formula = match self.config.fragment {
+            Fragment::ExistentialPositive => self.gen_existential_positive(scope, depth),
+            Fragment::Positive => self.gen_positive(scope, depth),
+            Fragment::PositiveGuarded => self.gen_positive_guarded(scope, depth),
+            Fragment::ExistentialPositiveBooleanGuarded => self.gen_dpos_gbool(scope, depth),
+            Fragment::FullFirstOrder => self.gen_full_fo(scope, depth),
+        };
+        debug_assert!(
+            is_in_fragment(&formula, self.config.fragment),
+            "generated formula escaped its fragment: {formula}"
+        );
+        formula
+    }
+
+    /// Generates a Boolean query (sentence) of the configured fragment by generating a
+    /// formula over an initially empty scope and closing any remaining free variables
+    /// existentially (which never leaves the fragment).
+    pub fn generate_sentence(&mut self) -> Query {
+        let formula = self.generate_formula(&[]);
+        let free: Vec<String> = formula.free_variables().into_iter().collect();
+        let closed = Formula::exists(free, formula);
+        debug_assert!(is_in_fragment(&closed, self.config.fragment));
+        Query::boolean(closed)
+    }
+
+    /// Generates a k-ary query of the configured fragment: a formula over `arity`
+    /// distinguished answer variables (extra free variables are closed
+    /// existentially).
+    pub fn generate_query(&mut self, arity: usize) -> Query {
+        let answer_vars: Vec<String> = (0..arity).map(|_| self.fresh_var()).collect();
+        let formula = self.generate_formula(&answer_vars);
+        let to_close: Vec<String> = formula
+            .free_variables()
+            .into_iter()
+            .filter(|v| !answer_vars.contains(v))
+            .collect();
+        let closed = Formula::exists(to_close, formula);
+        Query::new(answer_vars, closed).expect("all free variables are answer variables")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_logic::fragment::classify;
+
+    fn generator(fragment: Fragment, seed: u64) -> FormulaGenerator {
+        FormulaGenerator::new(
+            FormulaGeneratorConfig { fragment, ..FormulaGeneratorConfig::default() },
+            seed,
+        )
+    }
+
+    #[test]
+    fn generated_formulas_stay_in_their_fragment() {
+        for fragment in [
+            Fragment::ExistentialPositive,
+            Fragment::Positive,
+            Fragment::PositiveGuarded,
+            Fragment::ExistentialPositiveBooleanGuarded,
+            Fragment::FullFirstOrder,
+        ] {
+            let mut g = generator(fragment, 42);
+            for _ in 0..50 {
+                let q = g.generate_sentence();
+                assert!(
+                    is_in_fragment(q.formula(), fragment),
+                    "{fragment}: {} escaped",
+                    q.formula()
+                );
+                assert!(q.is_boolean());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generator(Fragment::Positive, 5).generate_sentence();
+        let b = generator(Fragment::Positive, 5).generate_sentence();
+        assert_eq!(a.formula(), b.formula());
+    }
+
+    #[test]
+    fn kary_queries_have_the_requested_arity() {
+        let mut g = generator(Fragment::ExistentialPositive, 11);
+        for arity in 0..3 {
+            let q = g.generate_query(arity);
+            assert_eq!(q.arity(), arity);
+        }
+    }
+
+    #[test]
+    fn full_fo_generator_eventually_uses_negation() {
+        let mut g = generator(Fragment::FullFirstOrder, 3);
+        let mut saw_non_positive = false;
+        for _ in 0..50 {
+            let q = g.generate_sentence();
+            if classify(q.formula()) == Fragment::FullFirstOrder {
+                saw_non_positive = true;
+                break;
+            }
+        }
+        assert!(saw_non_positive, "the FO generator should produce genuinely non-positive formulas");
+    }
+
+    #[test]
+    fn guarded_generator_eventually_uses_guards() {
+        let mut g = generator(Fragment::PositiveGuarded, 9);
+        let mut saw_guard = false;
+        for _ in 0..50 {
+            let q = g.generate_sentence();
+            if !nev_logic::fragment::is_positive(q.formula()) {
+                saw_guard = true;
+                break;
+            }
+        }
+        assert!(saw_guard, "the Pos+∀G generator should produce guarded universals");
+    }
+}

@@ -1,0 +1,17 @@
+//! # `nev-gen` — seeded random workloads for the experiment harness
+//!
+//! The evaluation of *"When is Naïve Evaluation Possible?"* is a theory paper's:
+//! its "figures" are theorems, and the reproduction validates them empirically on
+//! randomized workloads. This crate provides the two generators the harness needs —
+//! random incomplete instances (naïve tables, Codd tables, graphs) and random
+//! first-order formulas drawn from each fragment of §5/§7 — with explicit seeds so
+//! every experiment is reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod formulas;
+pub mod instances;
+
+pub use formulas::{FormulaGenerator, FormulaGeneratorConfig};
+pub use instances::{InstanceGenerator, InstanceGeneratorConfig};

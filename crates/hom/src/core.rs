@@ -1,0 +1,175 @@
+//! Relational cores (paper §10.1).
+//!
+//! The **core** of an instance `D` is a subinstance `D' ⊆ D` that is a homomorphic
+//! image of `D` while no proper subinstance of `D'` is; it is unique up to isomorphism
+//! (Hell & Nešetřil). The paper uses cores as the *representative set* making the
+//! minimal-valuation semantics amenable to the naïve-evaluation machinery
+//! (Theorem 10.2): naïve evaluation works for `Pos+∀G` / `∃Pos+∀G_bool` queries under
+//! `⟦ ⟧ᵐⁱⁿ_CWA` / `⦅ ⦆ᵐⁱⁿ_CWA` **over cores**.
+//!
+//! As everywhere in the database setting, homomorphisms here are *database*
+//! homomorphisms (the identity on constants), for which all classical facts about
+//! cores remain true (Fagin, Kolaitis, Popa 2005).
+
+use nev_incomplete::Instance;
+
+use crate::mapping::ValueMap;
+use crate::search::{find_homomorphism, HomConfig};
+
+/// Returns `true` iff `d` is a core: there is no database homomorphism from `d` into a
+/// proper subinstance of `d`.
+pub fn is_core(d: &Instance) -> bool {
+    retract_step(d).is_none()
+}
+
+/// Finds a database homomorphism from `d` into a proper subinstance of `d`, if one
+/// exists (a *retraction witness*), and returns its image.
+fn retract_step(d: &Instance) -> Option<Instance> {
+    for smaller in d.remove_one_tuple_variants() {
+        if let Some(h) = find_homomorphism(d, &smaller, &HomConfig::database()) {
+            return Some(h.apply_instance(d));
+        }
+    }
+    None
+}
+
+/// Computes the core of `d` by iterated retraction: as long as some database
+/// homomorphism maps `d` into a proper subinstance, replace `d` by its image.
+///
+/// The result is a subinstance of `d` that is a homomorphic image of `d` and is a
+/// core; it is unique up to isomorphism, and [`core_of`] returns a concrete
+/// deterministic representative.
+pub fn core_of(d: &Instance) -> Instance {
+    let mut current = d.clone();
+    while let Some(image) = retract_step(&current) {
+        current = image;
+    }
+    current
+}
+
+/// Computes the core together with a database homomorphism `h_core : D → core(D)`
+/// (the retraction, i.e. the composition of the retraction steps).
+pub fn core_with_retraction(d: &Instance) -> (Instance, ValueMap) {
+    let mut current = d.clone();
+    let mut retraction = ValueMap::new();
+    loop {
+        let mut progressed = false;
+        for smaller in current.remove_one_tuple_variants() {
+            if let Some(h) = find_homomorphism(&current, &smaller, &HomConfig::database()) {
+                retraction = h.compose_after(&retraction);
+                current = h.apply_instance(&current);
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            // Restrict the retraction to the active domain of the original instance
+            // for a tidy result.
+            let adom = d.adom();
+            let restricted = ValueMap::from_pairs(
+                adom.iter().map(|v| (v.clone(), retraction.apply(v))),
+            );
+            return (current, restricted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::has_db_homomorphism;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::graph::{directed_cycle, disjoint_cycles, NodeKind};
+    use nev_incomplete::inst;
+
+    #[test]
+    fn complete_instances_are_cores() {
+        let d = inst! { "R" => [[c(1), c(2)], [c(2), c(3)]] };
+        assert!(is_core(&d));
+        assert_eq!(core_of(&d), d);
+    }
+
+    #[test]
+    fn paper_example_core() {
+        // D = {(⊥,⊥),(⊥,⊥′)}: core(D) = {(⊥,⊥)} (§10, discussion after Corollary 10.11).
+        let d = inst! { "D" => [[x(1), x(1)], [x(1), x(2)]] };
+        let core = core_of(&d);
+        assert_eq!(core.fact_count(), 1);
+        assert!(core.is_subinstance_of(&d));
+        assert!(is_core(&core));
+        assert!(!is_core(&d));
+        let t = core.relation("D").unwrap().tuples().next().unwrap().clone();
+        assert_eq!(t.get(0), t.get(1), "the surviving tuple is the self-loop");
+    }
+
+    #[test]
+    fn directed_cycles_are_cores() {
+        for n in [2u32, 3, 4, 5, 6] {
+            let cn = directed_cycle(n, NodeKind::Nulls, 0);
+            assert!(is_core(&cn), "C{n} should be a core");
+            assert_eq!(core_of(&cn).fact_count(), n as usize);
+        }
+    }
+
+    #[test]
+    fn disjoint_even_and_odd_cycles_form_a_core() {
+        // C4 + C6 is a core because there is no homomorphism C6 → C4 (§10.1).
+        let g = disjoint_cycles(4, 6, NodeKind::Nulls);
+        assert!(is_core(&g));
+        // By contrast C2 + C4 is not a core: C2 retracts the C4 component.
+        let h = disjoint_cycles(2, 4, NodeKind::Nulls);
+        assert!(!is_core(&h));
+        let core = core_of(&h);
+        assert_eq!(core.fact_count(), 2);
+    }
+
+    #[test]
+    fn core_is_homomorphically_equivalent_to_original() {
+        let d = inst! {
+            "R" => [[x(1), x(2)], [x(2), x(3)], [c(1), x(1)]],
+            "S" => [[x(3), x(3)]],
+        };
+        let core = core_of(&d);
+        assert!(core.is_subinstance_of(&d));
+        assert!(has_db_homomorphism(&d, &core));
+        assert!(has_db_homomorphism(&core, &d));
+        assert!(is_core(&core));
+    }
+
+    #[test]
+    fn core_computation_is_idempotent() {
+        let d = inst! { "R" => [[x(1), x(2)], [x(2), x(1)], [x(3), x(4)], [x(4), x(3)]] };
+        let once = core_of(&d);
+        let twice = core_of(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn constants_are_preserved_by_the_retraction() {
+        let d = inst! { "R" => [[c(1), x(1)], [c(1), c(2)]] };
+        // ⊥1 can retract onto 2, so the core is the complete part.
+        let (core, retraction) = core_with_retraction(&d);
+        assert!(core.is_complete());
+        assert_eq!(core.fact_count(), 1);
+        assert_eq!(retraction.apply(&c(1)), c(1));
+        assert_eq!(retraction.apply(&x(1)), c(2));
+        assert_eq!(retraction.apply_instance(&d), core);
+    }
+
+    #[test]
+    fn retraction_composes_across_multiple_steps() {
+        // A path of nulls hanging off a self-loop retracts entirely onto the loop.
+        let d = inst! { "E" => [[x(1), x(1)], [x(1), x(2)], [x(2), x(3)]] };
+        let (core, retraction) = core_with_retraction(&d);
+        assert_eq!(core.fact_count(), 1);
+        assert_eq!(retraction.apply_instance(&d), core);
+        assert!(is_core(&core));
+    }
+
+    #[test]
+    fn empty_instance_is_a_core() {
+        let empty = Instance::new();
+        assert!(is_core(&empty));
+        assert_eq!(core_of(&empty), empty);
+    }
+}

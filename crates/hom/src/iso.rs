@@ -1,0 +1,102 @@
+//! Isomorphism of instances — the structural equivalence `≈` of the database-domain
+//! framework (paper §3.1).
+//!
+//! Two relational instances are isomorphic when some 1-1 mapping `π` on data values
+//! has `π(D) = D'`. In the database setting one usually also requires `π` to be the
+//! identity on constants ([`isomorphic_fixing_constants`]); the unrestricted variant
+//! ([`isomorphic`]) treats constants like any other value, matching the abstract
+//! definition of `≈`.
+
+use nev_incomplete::Instance;
+
+use crate::search::{exists_homomorphism, HomConfig, Surjectivity};
+
+fn iso_with_config(d: &Instance, d_prime: &Instance, database: bool) -> bool {
+    if d.adom().len() != d_prime.adom().len() || d.fact_count() != d_prime.fact_count() {
+        return false;
+    }
+    let base = if database { HomConfig::database() } else { HomConfig::unrestricted() };
+    exists_homomorphism(
+        d,
+        d_prime,
+        &base.with_injective(true).with_surjectivity(Surjectivity::StrongOnto),
+    )
+}
+
+/// Returns `true` iff some injective mapping on data values sends `d` onto `d_prime`
+/// (`π(D) = D'`); constants may be renamed.
+pub fn isomorphic(d: &Instance, d_prime: &Instance) -> bool {
+    iso_with_config(d, d_prime, false)
+}
+
+/// Returns `true` iff some injective mapping that is the identity on constants sends
+/// `d` onto `d_prime`. This is the equivalence used when relating an instance to the
+/// complete instance obtained by freezing its nulls (saturation, §3.1).
+pub fn isomorphic_fixing_constants(d: &Instance, d_prime: &Instance) -> bool {
+    iso_with_config(d, d_prime, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::graph::{directed_cycle, NodeKind};
+    use nev_incomplete::inst;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn null_renaming_is_an_isomorphism() {
+        let a = inst! { "R" => [[x(1), x(2)], [x(2), x(1)]] };
+        let b = inst! { "R" => [[x(7), x(9)], [x(9), x(7)]] };
+        assert!(isomorphic(&a, &b));
+        assert!(isomorphic_fixing_constants(&a, &b));
+    }
+
+    #[test]
+    fn collapsing_nulls_is_not_an_isomorphism() {
+        let a = inst! { "R" => [[x(1), x(2)]] };
+        let b = inst! { "R" => [[x(1), x(1)]] };
+        assert!(!isomorphic(&a, &b));
+        assert!(!isomorphic_fixing_constants(&a, &b));
+    }
+
+    #[test]
+    fn constant_renaming_distinguishes_the_two_notions() {
+        let a = inst! { "R" => [[c(1), c(2)]] };
+        let b = inst! { "R" => [[c(3), c(4)]] };
+        assert!(isomorphic(&a, &b));
+        assert!(!isomorphic_fixing_constants(&a, &b));
+        assert!(isomorphic_fixing_constants(&a, &a));
+    }
+
+    #[test]
+    fn freezing_nulls_yields_an_isomorphic_complete_instance() {
+        // The saturation witness of §3.1.
+        let d = inst! { "R" => [[c(1), x(1)], [x(2), x(3)]], "S" => [[x(1), c(4)]] };
+        let frozen = d.freeze_nulls(&BTreeSet::new());
+        assert!(frozen.is_complete());
+        assert!(isomorphic_fixing_constants(&d, &frozen));
+    }
+
+    #[test]
+    fn different_cycle_lengths_are_not_isomorphic() {
+        let c3 = directed_cycle(3, NodeKind::Nulls, 0);
+        let c4 = directed_cycle(4, NodeKind::Nulls, 0);
+        assert!(!isomorphic(&c3, &c4));
+        let c3b = directed_cycle(3, NodeKind::Nulls, 50);
+        assert!(isomorphic(&c3, &c3b));
+    }
+
+    #[test]
+    fn schema_differences_block_isomorphism() {
+        let a = inst! { "R" => [[c(1)]] };
+        let b = inst! { "S" => [[c(1)]] };
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn empty_instances_are_isomorphic() {
+        assert!(isomorphic(&Instance::new(), &Instance::new()));
+        assert!(isomorphic_fixing_constants(&Instance::new(), &Instance::new()));
+    }
+}

@@ -1,0 +1,263 @@
+//! Finite mappings on database values.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use nev_incomplete::{Constant, Instance, Tuple, Value};
+
+/// A finite mapping `h` on database values.
+///
+/// Values outside the explicit domain are mapped to themselves, which matches the
+/// convention used throughout the paper: a homomorphism is given on the active domain
+/// of its source instance, and database homomorphisms are the identity on `Const`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub struct ValueMap {
+    map: BTreeMap<Value, Value>,
+}
+
+impl ValueMap {
+    /// The empty (identity) mapping.
+    pub fn new() -> Self {
+        ValueMap::default()
+    }
+
+    /// Creates a mapping from explicit pairs.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (Value, Value)>,
+    {
+        ValueMap { map: pairs.into_iter().collect() }
+    }
+
+    /// Binds `from ↦ to`, returning the previous binding if any.
+    pub fn insert(&mut self, from: Value, to: Value) -> Option<Value> {
+        self.map.insert(from, to)
+    }
+
+    /// The explicit binding of `v`, if any.
+    pub fn get(&self, v: &Value) -> Option<&Value> {
+        self.map.get(v)
+    }
+
+    /// Applies the mapping to a value (identity outside the explicit domain).
+    pub fn apply(&self, v: &Value) -> Value {
+        self.map.get(v).cloned().unwrap_or_else(|| v.clone())
+    }
+
+    /// Applies the mapping to every position of a tuple.
+    pub fn apply_tuple(&self, t: &Tuple) -> Tuple {
+        t.map(|v| self.apply(v))
+    }
+
+    /// Applies the mapping to every tuple of an instance, producing the image `h(D)`.
+    pub fn apply_instance(&self, d: &Instance) -> Instance {
+        d.map_values(|v| self.apply(v))
+    }
+
+    /// The explicit domain of the mapping.
+    pub fn domain(&self) -> impl Iterator<Item = &Value> + '_ {
+        self.map.keys()
+    }
+
+    /// The explicit image of the mapping.
+    pub fn image(&self) -> BTreeSet<Value> {
+        self.map.values().cloned().collect()
+    }
+
+    /// The number of explicit bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` iff there are no explicit bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over the explicit bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Value)> + '_ {
+        self.map.iter()
+    }
+
+    /// Returns `true` iff `h(v) = v` for every value in `values`.
+    pub fn is_identity_on<'a, I: IntoIterator<Item = &'a Value>>(&self, values: I) -> bool {
+        values.into_iter().all(|v| self.apply(v) == *v)
+    }
+
+    /// Returns `true` iff every explicit binding of a constant maps it to itself —
+    /// i.e. the mapping qualifies as a *database* homomorphism candidate.
+    pub fn preserves_constants(&self) -> bool {
+        self.map
+            .iter()
+            .all(|(from, to)| !from.is_const() || from == to)
+    }
+
+    /// Returns `true` iff every value in the image is a constant — the defining
+    /// condition of a valuation, given that it also preserves constants.
+    pub fn image_is_constant(&self) -> bool {
+        self.map.values().all(Value::is_const)
+    }
+
+    /// The set of constants of the instance `d` fixed by this mapping:
+    /// `fix(h, D) = { c ∈ Const(D) | h(c) = c }` (paper §10).
+    pub fn fixed_constants(&self, d: &Instance) -> BTreeSet<Constant> {
+        d.constants()
+            .into_iter()
+            .filter(|c| self.apply(&Value::Const(c.clone())) == Value::Const(c.clone()))
+            .collect()
+    }
+
+    /// Composition `self ∘ other`: first apply `other`, then `self`.
+    ///
+    /// The explicit domain of the result is the union of the two explicit domains, so
+    /// the "identity outside the domain" convention is preserved.
+    pub fn compose_after(&self, other: &ValueMap) -> ValueMap {
+        let mut out = BTreeMap::new();
+        for (k, v) in &other.map {
+            out.insert(k.clone(), self.apply(v));
+        }
+        for (k, v) in &self.map {
+            out.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+        ValueMap { map: out }
+    }
+
+    /// Restricts the explicit bindings to the given set of values.
+    pub fn restrict_to(&self, values: &BTreeSet<Value>) -> ValueMap {
+        ValueMap {
+            map: self
+                .map
+                .iter()
+                .filter(|(k, _)| values.contains(*k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Returns `true` iff the mapping is injective on its explicit domain.
+    pub fn is_injective(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.map.values().all(|v| seen.insert(v.clone()))
+    }
+}
+
+impl fmt::Display for ValueMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k} ↦ {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(Value, Value)> for ValueMap {
+    fn from_iter<T: IntoIterator<Item = (Value, Value)>>(iter: T) -> Self {
+        ValueMap::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x, InstanceBuilder};
+
+    fn sample_instance() -> Instance {
+        InstanceBuilder::new()
+            .tuple("R", [c(1), x(1)])
+            .tuple("R", [x(2), x(3)])
+            .build()
+    }
+
+    #[test]
+    fn apply_defaults_to_identity() {
+        let mut m = ValueMap::new();
+        assert!(m.is_empty());
+        m.insert(x(1), c(5));
+        assert_eq!(m.apply(&x(1)), c(5));
+        assert_eq!(m.apply(&x(2)), x(2));
+        assert_eq!(m.apply(&c(1)), c(1));
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn apply_tuple_and_instance() {
+        let m = ValueMap::from_pairs([(x(1), c(4)), (x(2), c(1)), (x(3), c(4))]);
+        let d = sample_instance();
+        let image = m.apply_instance(&d);
+        assert!(image.is_complete());
+        assert!(image.contains_tuple("R", &Tuple::new(vec![c(1), c(4)])));
+        assert!(image.contains_tuple("R", &Tuple::new(vec![c(1), c(4)])));
+        assert_eq!(image.fact_count(), 1, "both tuples collapse onto (1,4)");
+    }
+
+    #[test]
+    fn valuation_predicates() {
+        let valuation = ValueMap::from_pairs([(x(1), c(4))]);
+        assert!(valuation.preserves_constants());
+        assert!(valuation.image_is_constant());
+
+        let not_db = ValueMap::from_pairs([(c(1), c(2))]);
+        assert!(!not_db.preserves_constants());
+
+        let not_valuation = ValueMap::from_pairs([(x(1), x(2))]);
+        assert!(not_valuation.preserves_constants());
+        assert!(!not_valuation.image_is_constant());
+    }
+
+    #[test]
+    fn fixed_constants_of_instance() {
+        let d = sample_instance();
+        let id_on_consts = ValueMap::from_pairs([(x(1), c(9))]);
+        assert_eq!(
+            id_on_consts.fixed_constants(&d),
+            [Constant::int(1)].into_iter().collect()
+        );
+        let moves_const = ValueMap::from_pairs([(c(1), c(2))]);
+        assert!(moves_const.fixed_constants(&d).is_empty());
+    }
+
+    #[test]
+    fn composition_order() {
+        // other: ⊥1 ↦ ⊥2 ; self: ⊥2 ↦ 7. compose_after(other) sends ⊥1 to 7.
+        let other = ValueMap::from_pairs([(x(1), x(2))]);
+        let me = ValueMap::from_pairs([(x(2), c(7))]);
+        let composed = me.compose_after(&other);
+        assert_eq!(composed.apply(&x(1)), c(7));
+        assert_eq!(composed.apply(&x(2)), c(7));
+        assert_eq!(composed.apply(&x(9)), x(9));
+    }
+
+    #[test]
+    fn identity_and_injectivity_checks() {
+        let m = ValueMap::from_pairs([(x(1), x(1)), (x(2), c(3))]);
+        assert!(m.is_identity_on([&x(1)]));
+        assert!(!m.is_identity_on([&x(2)]));
+        assert!(m.is_injective());
+        let non_inj = ValueMap::from_pairs([(x(1), c(3)), (x(2), c(3))]);
+        assert!(!non_inj.is_injective());
+    }
+
+    #[test]
+    fn restrict_and_image() {
+        let m = ValueMap::from_pairs([(x(1), c(3)), (x(2), c(4))]);
+        assert_eq!(m.image(), [c(3), c(4)].into_iter().collect());
+        let r = m.restrict_to(&[x(1)].into_iter().collect());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.apply(&x(2)), x(2));
+        assert_eq!(r.get(&x(1)), Some(&c(3)));
+        assert_eq!(r.domain().count(), 1);
+    }
+
+    #[test]
+    fn display_and_from_iter() {
+        let m: ValueMap = [(x(1), c(3))].into_iter().collect();
+        assert_eq!(m.to_string(), "{⊥1 ↦ 3}");
+        assert_eq!(ValueMap::new().to_string(), "{}");
+        assert_eq!(m.iter().count(), 1);
+    }
+}

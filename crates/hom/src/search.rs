@@ -1,0 +1,533 @@
+//! Backtracking homomorphism search.
+//!
+//! Given incomplete (or complete) instances `D` and `D'`, a homomorphism `h : D → D'`
+//! is a map on `adom(D)` such that every fact `S(ū)` of `D` yields a fact `S(h(ū))`
+//! of `D'` (paper §2.2). *Database* homomorphisms additionally fix every constant.
+//!
+//! The search engine below supports the variations the paper needs:
+//!
+//! * database vs unrestricted homomorphisms;
+//! * **onto** homomorphisms (`h(adom(D)) = adom(D')`) — the WCWA semantics (§4.3);
+//! * **strong onto** homomorphisms (`h(D) = D'`) — the CWA semantics (§4.3);
+//! * injective homomorphisms — used for isomorphism (`≈`) checks;
+//! * pre-assigned bindings — used for the "identity on a tuple of constants"
+//!   requirements of weak preservation for k-ary queries (§8, §11);
+//! * codomain restrictions — used to search for valuations.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::ControlFlow;
+
+use nev_incomplete::{Instance, Value};
+
+use crate::mapping::ValueMap;
+
+/// Surjectivity requirement imposed on the homomorphisms searched for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Surjectivity {
+    /// No requirement (ordinary homomorphisms — the OWA notion).
+    #[default]
+    None,
+    /// Onto homomorphisms: `h(adom(D)) = adom(D')` (the WCWA notion).
+    OntoActiveDomain,
+    /// Strong onto homomorphisms: `h(D) = D'` (the CWA notion).
+    StrongOnto,
+}
+
+/// Variable (source-value) ordering heuristic used by the backtracking search.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum VariableOrdering {
+    /// Assign source values in their natural order. Kept for the ablation benchmark.
+    SourceOrder,
+    /// Assign the most frequently occurring source values first (default): they are
+    /// the most constrained, which prunes the search earlier.
+    #[default]
+    MostOccurrencesFirst,
+}
+
+/// Configuration of a homomorphism search.
+#[derive(Clone, Debug)]
+pub struct HomConfig {
+    /// Require `h(c) = c` for every constant (a *database* homomorphism). Default: `true`.
+    pub database_homomorphism: bool,
+    /// Require `h` to be injective on `adom(D)`.
+    pub injective: bool,
+    /// Surjectivity requirement.
+    pub surjectivity: Surjectivity,
+    /// Variable ordering heuristic.
+    pub ordering: VariableOrdering,
+    /// Bindings fixed before the search starts (e.g. the identity on a tuple `t̄`).
+    pub preassigned: ValueMap,
+    /// If set, every non-preassigned source value must be mapped into this set.
+    pub codomain: Option<BTreeSet<Value>>,
+}
+
+impl Default for HomConfig {
+    fn default() -> Self {
+        HomConfig {
+            database_homomorphism: true,
+            injective: false,
+            surjectivity: Surjectivity::None,
+            ordering: VariableOrdering::default(),
+            preassigned: ValueMap::new(),
+            codomain: None,
+        }
+    }
+}
+
+impl HomConfig {
+    /// Database homomorphisms (constants fixed), no further constraints.
+    pub fn database() -> Self {
+        HomConfig::default()
+    }
+
+    /// Unrestricted homomorphisms (constants may move).
+    pub fn unrestricted() -> Self {
+        HomConfig { database_homomorphism: false, ..HomConfig::default() }
+    }
+
+    /// Sets the surjectivity requirement.
+    pub fn with_surjectivity(mut self, s: Surjectivity) -> Self {
+        self.surjectivity = s;
+        self
+    }
+
+    /// Requires injectivity.
+    pub fn with_injective(mut self, injective: bool) -> Self {
+        self.injective = injective;
+        self
+    }
+
+    /// Sets the variable ordering heuristic.
+    pub fn with_ordering(mut self, ordering: VariableOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Fixes bindings before the search starts.
+    pub fn with_preassigned(mut self, preassigned: ValueMap) -> Self {
+        self.preassigned = preassigned;
+        self
+    }
+
+    /// Restricts the codomain of non-preassigned source values.
+    pub fn with_codomain(mut self, codomain: BTreeSet<Value>) -> Self {
+        self.codomain = Some(codomain);
+        self
+    }
+}
+
+struct Searcher<'a> {
+    target: &'a Instance,
+    facts: Vec<(&'a str, Vec<Value>)>,
+    variables: Vec<Value>,
+    candidates: Vec<Value>,
+    config: &'a HomConfig,
+    assignment: BTreeMap<Value, Value>,
+    used_targets: BTreeSet<Value>,
+}
+
+impl<'a> Searcher<'a> {
+    fn new(source: &'a Instance, target: &'a Instance, config: &'a HomConfig) -> Option<Self> {
+        let facts: Vec<(&str, Vec<Value>)> =
+            source.facts().map(|(r, t)| (r, t.values().to_vec())).collect();
+
+        // Initial assignment: preassigned bindings, then the identity on constants for
+        // database homomorphisms.
+        let mut assignment: BTreeMap<Value, Value> = BTreeMap::new();
+        for (k, v) in config.preassigned.iter() {
+            assignment.insert(k.clone(), v.clone());
+        }
+        let adom = source.adom();
+        if config.database_homomorphism {
+            for v in &adom {
+                if v.is_const() {
+                    match assignment.get(v) {
+                        Some(img) if img != v => return None, // inconsistent preassignment
+                        _ => {
+                            assignment.insert(v.clone(), v.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Injectivity bookkeeping for the initial assignment.
+        let mut used_targets = BTreeSet::new();
+        if config.injective {
+            for img in assignment.values() {
+                if !used_targets.insert(img.clone()) {
+                    return None;
+                }
+            }
+        }
+
+        // Remaining variables and their candidate target values.
+        let mut variables: Vec<Value> =
+            adom.iter().filter(|v| !assignment.contains_key(*v)).cloned().collect();
+        match config.ordering {
+            VariableOrdering::SourceOrder => {}
+            VariableOrdering::MostOccurrencesFirst => {
+                let mut occurrences: BTreeMap<&Value, usize> = BTreeMap::new();
+                for (_, tuple) in &facts {
+                    for v in tuple {
+                        *occurrences.entry(v).or_default() += 1;
+                    }
+                }
+                variables.sort_by_key(|v| std::cmp::Reverse(occurrences.get(v).copied().unwrap_or(0)));
+            }
+        }
+
+        let target_adom = target.adom();
+        let candidates: Vec<Value> = match &config.codomain {
+            Some(codomain) => target_adom.intersection(codomain).cloned().collect(),
+            None => target_adom.into_iter().collect(),
+        };
+
+        Some(Searcher { target, facts, variables, candidates, config, assignment, used_targets })
+    }
+
+    /// Checks that every fact whose values are all assigned maps into the target, and
+    /// that every partially assigned fact is still compatible with some target tuple.
+    fn consistent_around(&self, just_assigned: &Value) -> bool {
+        'facts: for (rel, tuple) in &self.facts {
+            if !tuple.contains(just_assigned) {
+                continue;
+            }
+            let Some(target_rel) = self.target.relation(rel) else {
+                return false;
+            };
+            let partial: Vec<Option<&Value>> =
+                tuple.iter().map(|v| self.assignment.get(v)).collect();
+            for candidate in target_rel.tuples() {
+                let ok = candidate
+                    .values()
+                    .iter()
+                    .zip(&partial)
+                    .all(|(tv, pv)| pv.map_or(true, |pv| pv == tv));
+                if ok {
+                    continue 'facts;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Checks all facts are realised in the target under a total assignment.
+    fn all_facts_hold(&self) -> bool {
+        self.facts.iter().all(|(rel, tuple)| {
+            let Some(target_rel) = self.target.relation(rel) else {
+                return false;
+            };
+            let mapped: Vec<Value> = tuple.iter().map(|v| self.assignment[v].clone()).collect();
+            target_rel.contains(&mapped.into_iter().collect())
+        })
+    }
+
+    fn surjectivity_holds(&self, source: &Instance) -> bool {
+        match self.config.surjectivity {
+            Surjectivity::None => true,
+            Surjectivity::OntoActiveDomain => {
+                let image: BTreeSet<Value> =
+                    source.adom().iter().map(|v| self.assignment[v].clone()).collect();
+                image == self.target.adom()
+            }
+            Surjectivity::StrongOnto => {
+                let map = ValueMap::from_pairs(
+                    self.assignment.iter().map(|(k, v)| (k.clone(), v.clone())),
+                );
+                map.apply_instance(source).same_facts(self.target)
+            }
+        }
+    }
+
+    fn run<F>(&mut self, source: &Instance, index: usize, visitor: &mut F) -> ControlFlow<()>
+    where
+        F: FnMut(&ValueMap) -> ControlFlow<()>,
+    {
+        if index == self.variables.len() {
+            if self.all_facts_hold() && self.surjectivity_holds(source) {
+                let map = ValueMap::from_pairs(
+                    self.assignment.iter().map(|(k, v)| (k.clone(), v.clone())),
+                );
+                return visitor(&map);
+            }
+            return ControlFlow::Continue(());
+        }
+        let var = self.variables[index].clone();
+        let candidates = self.candidates.clone();
+        for cand in candidates {
+            if self.config.injective && self.used_targets.contains(&cand) {
+                continue;
+            }
+            self.assignment.insert(var.clone(), cand.clone());
+            if self.config.injective {
+                self.used_targets.insert(cand.clone());
+            }
+            if self.consistent_around(&var) {
+                if let ControlFlow::Break(()) = self.run(source, index + 1, visitor) {
+                    return ControlFlow::Break(());
+                }
+            }
+            self.assignment.remove(&var);
+            if self.config.injective {
+                self.used_targets.remove(&cand);
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Runs the homomorphism search, invoking `visitor` on every homomorphism found.
+/// The visitor may return [`ControlFlow::Break`] to stop the enumeration early.
+pub fn search_homomorphisms<F>(
+    source: &Instance,
+    target: &Instance,
+    config: &HomConfig,
+    mut visitor: F,
+) where
+    F: FnMut(&ValueMap) -> ControlFlow<()>,
+{
+    // Preassignments must already be consistent around constants mapped by them.
+    let Some(mut searcher) = Searcher::new(source, target, config) else {
+        return;
+    };
+    // Initial consistency: every fully pre-assigned fact must hold. Checking around
+    // each preassigned value covers this.
+    let preassigned_values: Vec<Value> = searcher.assignment.keys().cloned().collect();
+    for v in &preassigned_values {
+        if !searcher.consistent_around(v) {
+            return;
+        }
+    }
+    let _ = searcher.run(source, 0, &mut visitor);
+}
+
+/// Finds one homomorphism satisfying the configuration, if any.
+pub fn find_homomorphism(source: &Instance, target: &Instance, config: &HomConfig) -> Option<ValueMap> {
+    let mut found = None;
+    search_homomorphisms(source, target, config, |h| {
+        found = Some(h.clone());
+        ControlFlow::Break(())
+    });
+    found
+}
+
+/// Returns `true` iff a homomorphism satisfying the configuration exists.
+pub fn exists_homomorphism(source: &Instance, target: &Instance, config: &HomConfig) -> bool {
+    find_homomorphism(source, target, config).is_some()
+}
+
+/// Enumerates all homomorphisms satisfying the configuration.
+///
+/// Intended for small instances (tests, experiments); the number of homomorphisms is
+/// exponential in general.
+pub fn all_homomorphisms(source: &Instance, target: &Instance, config: &HomConfig) -> Vec<ValueMap> {
+    let mut out = Vec::new();
+    search_homomorphisms(source, target, config, |h| {
+        out.push(h.clone());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Convenience: is there a database homomorphism `D → D'`? (the OWA ordering test)
+pub fn has_db_homomorphism(d: &Instance, d_prime: &Instance) -> bool {
+    exists_homomorphism(d, d_prime, &HomConfig::database())
+}
+
+/// Convenience: is there an *onto* database homomorphism `D → D'`? (the WCWA ordering test)
+pub fn has_onto_db_homomorphism(d: &Instance, d_prime: &Instance) -> bool {
+    exists_homomorphism(
+        d,
+        d_prime,
+        &HomConfig::database().with_surjectivity(Surjectivity::OntoActiveDomain),
+    )
+}
+
+/// Convenience: is there a *strong onto* database homomorphism `D → D'`, i.e. is `D'`
+/// the image of `D` under some database homomorphism? (the CWA ordering test)
+pub fn has_strong_onto_db_homomorphism(d: &Instance, d_prime: &Instance) -> bool {
+    exists_homomorphism(
+        d,
+        d_prime,
+        &HomConfig::database().with_surjectivity(Surjectivity::StrongOnto),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::graph::{directed_cycle, disjoint_cycles, NodeKind};
+    use nev_incomplete::inst;
+
+    fn d0() -> Instance {
+        // D0 = {(⊥,⊥'),(⊥',⊥)} from §2.3.
+        inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] }
+    }
+
+    #[test]
+    fn homomorphism_into_complete_instance() {
+        let d = inst! { "R" => [[c(1), x(1)]], "S" => [[x(1), c(4)]] };
+        let target = inst! { "R" => [[c(1), c(2)]], "S" => [[c(2), c(4)]] };
+        let h = find_homomorphism(&d, &target, &HomConfig::database()).expect("hom exists");
+        assert_eq!(h.apply(&x(1)), c(2));
+        assert_eq!(h.apply(&c(1)), c(1));
+        assert!(h.apply_instance(&d).is_subinstance_of(&target));
+    }
+
+    #[test]
+    fn no_homomorphism_when_constants_clash() {
+        let d = inst! { "R" => [[c(1), c(2)]] };
+        let target = inst! { "R" => [[c(3), c(4)]] };
+        assert!(!has_db_homomorphism(&d, &target));
+        // Unrestricted homomorphisms may move constants.
+        assert!(exists_homomorphism(&d, &target, &HomConfig::unrestricted()));
+    }
+
+    #[test]
+    fn d0_maps_onto_single_loop() {
+        let d = d0();
+        let loop1 = inst! { "D" => [[c(5), c(5)]] };
+        assert!(has_db_homomorphism(&d, &loop1));
+        assert!(has_strong_onto_db_homomorphism(&d, &loop1));
+        assert!(has_onto_db_homomorphism(&d, &loop1));
+    }
+
+    #[test]
+    fn strong_onto_vs_onto_vs_plain() {
+        // Example of §4.3: D = {(1,2)}, h(1)=3, h(2)=4.
+        let d = inst! { "R" => [[c(1), c(2)]] };
+        let strong_target = inst! { "R" => [[c(3), c(4)]] };
+        let onto_target = inst! { "R" => [[c(3), c(4)], [c(4), c(3)]] };
+        let config = HomConfig::unrestricted();
+        assert!(exists_homomorphism(
+            &d,
+            &strong_target,
+            &config.clone().with_surjectivity(Surjectivity::StrongOnto)
+        ));
+        assert!(!exists_homomorphism(
+            &d,
+            &onto_target,
+            &config.clone().with_surjectivity(Surjectivity::StrongOnto)
+        ));
+        assert!(exists_homomorphism(
+            &d,
+            &onto_target,
+            &config.clone().with_surjectivity(Surjectivity::OntoActiveDomain)
+        ));
+        assert!(exists_homomorphism(&d, &onto_target, &config));
+    }
+
+    #[test]
+    fn all_homomorphisms_counts() {
+        // ⊥1 can map to any of the two constants of the target loop-free clique.
+        let d = inst! { "R" => [[x(1), x(2)]] };
+        let target = inst! { "R" => [[c(1), c(2)], [c(2), c(1)]] };
+        let all = all_homomorphisms(&d, &target, &HomConfig::database());
+        assert_eq!(all.len(), 2);
+        for h in &all {
+            assert!(h.apply_instance(&d).is_subinstance_of(&target));
+        }
+    }
+
+    #[test]
+    fn cycle_homomorphisms_respect_parity() {
+        // C6 → C3 exists (wind twice), C4 → C3 does not; C4 → C2 exists.
+        let c6 = directed_cycle(6, NodeKind::Nulls, 0);
+        let c4 = directed_cycle(4, NodeKind::Nulls, 100);
+        let c3 = directed_cycle(3, NodeKind::Constants, 200);
+        let c2 = directed_cycle(2, NodeKind::Constants, 300);
+        assert!(has_db_homomorphism(&c6, &c3));
+        assert!(!has_db_homomorphism(&c4, &c3));
+        assert!(has_db_homomorphism(&c4, &c2));
+        // And the disjoint union C4+C6 maps into C2 (both cycles are even).
+        let g = disjoint_cycles(4, 6, NodeKind::Nulls);
+        assert!(has_db_homomorphism(&g, &c2));
+        assert!(!has_db_homomorphism(&g, &c3));
+    }
+
+    #[test]
+    fn injective_search_blocks_collapses() {
+        let d = inst! { "R" => [[x(1), x(2)]] };
+        let collapsed = inst! { "R" => [[c(7), c(7)]] };
+        assert!(has_db_homomorphism(&d, &collapsed));
+        assert!(!exists_homomorphism(
+            &d,
+            &collapsed,
+            &HomConfig::database().with_injective(true)
+        ));
+    }
+
+    #[test]
+    fn preassignment_constrains_search() {
+        let d = inst! { "R" => [[x(1), x(2)]] };
+        let target = inst! { "R" => [[c(1), c(2)], [c(3), c(4)]] };
+        let pre = ValueMap::from_pairs([(x(1), c(3))]);
+        let h = find_homomorphism(&d, &target, &HomConfig::database().with_preassigned(pre))
+            .expect("hom exists with ⊥1 ↦ 3");
+        assert_eq!(h.apply(&x(2)), c(4));
+        // An impossible preassignment yields no homomorphism.
+        let pre = ValueMap::from_pairs([(x(1), c(2))]);
+        assert!(find_homomorphism(&d, &target, &HomConfig::database().with_preassigned(pre)).is_none());
+    }
+
+    #[test]
+    fn inconsistent_constant_preassignment_is_rejected() {
+        let d = inst! { "R" => [[c(1), x(1)]] };
+        let target = inst! { "R" => [[c(1), c(2)]] };
+        let pre = ValueMap::from_pairs([(c(1), c(9))]);
+        assert!(find_homomorphism(&d, &target, &HomConfig::database().with_preassigned(pre)).is_none());
+    }
+
+    #[test]
+    fn codomain_restriction() {
+        let d = inst! { "R" => [[x(1)]] };
+        let target = inst! { "R" => [[c(1)], [c(2)]] };
+        let only_two: BTreeSet<Value> = [c(2)].into_iter().collect();
+        let all = all_homomorphisms(&d, &target, &HomConfig::database().with_codomain(only_two));
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].apply(&x(1)), c(2));
+    }
+
+    #[test]
+    fn empty_source_has_exactly_the_empty_homomorphism() {
+        let empty = Instance::new();
+        let target = inst! { "R" => [[c(1)]] };
+        let all = all_homomorphisms(&empty, &target, &HomConfig::database());
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_empty());
+        // Strong onto fails against a non-empty target…
+        assert!(!has_strong_onto_db_homomorphism(&empty, &target));
+        // …but succeeds against the empty target.
+        assert!(has_strong_onto_db_homomorphism(&empty, &Instance::new()));
+    }
+
+    #[test]
+    fn missing_target_relation_blocks_homomorphism() {
+        let d = inst! { "R" => [[c(1)]], "S" => [[c(1)]] };
+        let target = inst! { "R" => [[c(1)]] };
+        assert!(!has_db_homomorphism(&d, &target));
+    }
+
+    #[test]
+    fn both_orderings_agree() {
+        let g = disjoint_cycles(4, 6, NodeKind::Nulls);
+        let c2 = directed_cycle(2, NodeKind::Constants, 300);
+        for ordering in [VariableOrdering::SourceOrder, VariableOrdering::MostOccurrencesFirst] {
+            let config = HomConfig::database().with_ordering(ordering);
+            assert!(exists_homomorphism(&g, &c2, &config));
+        }
+    }
+
+    #[test]
+    fn onto_requires_covering_target_domain() {
+        let d = inst! { "R" => [[x(1), x(2)]] };
+        let bigger = inst! { "R" => [[c(1), c(2)], [c(3), c(4)]] };
+        assert!(has_db_homomorphism(&d, &bigger));
+        assert!(!has_onto_db_homomorphism(&d, &bigger));
+        let exact = inst! { "R" => [[c(1), c(2)]] };
+        assert!(has_onto_db_homomorphism(&d, &exact));
+    }
+}

@@ -1,0 +1,197 @@
+//! Valuations: database homomorphisms whose image consists of constants only.
+//!
+//! A valuation assigns a constant to each null of an instance (paper §2.3). Applying
+//! a valuation `v` to `D` yields the complete instance `v(D)`, the building block of
+//! every semantics considered in the paper:
+//! `⟦D⟧_CWA = { v(D) }`, `⟦D⟧_OWA = { D' ⊇ v(D) }`, and so on.
+//!
+//! The possible-world sets are infinite because `Const` is; the enumeration functions
+//! here take an explicit, finite *constant budget* — the genericity argument for why a
+//! bounded budget suffices as a certain-answer oracle is spelled out in `DESIGN.md §6`
+//! and in the `nev-core::certain` module.
+
+use std::collections::BTreeSet;
+
+use nev_incomplete::{Constant, Instance, NullId, Value};
+
+use crate::mapping::ValueMap;
+
+/// Returns `true` iff `map` is a valuation *for `d`*: it binds every null of `d` to a
+/// constant and does not move any constant.
+pub fn is_valuation(map: &ValueMap, d: &Instance) -> bool {
+    map.preserves_constants()
+        && d.nulls().iter().all(|n| map.apply(&Value::Null(*n)).is_const())
+}
+
+/// Applies a valuation to an instance, producing the complete instance `v(D)`.
+///
+/// # Panics
+/// Panics if `map` is not a valuation for `d` (the result would not be complete).
+pub fn apply_valuation(map: &ValueMap, d: &Instance) -> Instance {
+    assert!(is_valuation(map, d), "apply_valuation: mapping is not a valuation for the instance");
+    map.apply_instance(d)
+}
+
+/// Enumerates **all** valuations of the nulls of `d` into the given constant budget.
+///
+/// The number of valuations is `|budget|^|Null(D)|`; callers control the blow-up by
+/// keeping instances and budgets small (this is the ground-truth oracle, not the
+/// naïve evaluator).
+pub fn enumerate_valuations(d: &Instance, budget: &BTreeSet<Constant>) -> Vec<ValueMap> {
+    let nulls: Vec<NullId> = d.nulls().into_iter().collect();
+    if budget.is_empty() && !nulls.is_empty() {
+        return Vec::new();
+    }
+    let constants: Vec<Constant> = budget.iter().cloned().collect();
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = vec![0; nulls.len()];
+    loop {
+        let map = ValueMap::from_pairs(
+            nulls
+                .iter()
+                .zip(&current)
+                .map(|(n, idx)| (Value::Null(*n), Value::Const(constants[*idx].clone()))),
+        );
+        out.push(map);
+        // Advance the mixed-radix counter.
+        let mut pos = 0;
+        loop {
+            if pos == nulls.len() {
+                return out;
+            }
+            current[pos] += 1;
+            if current[pos] < constants.len() {
+                break;
+            }
+            current[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// The default constant budget for enumerating the CWA worlds of `d` up to
+/// isomorphism fixing `Const(D) ∪ extra`: the constants of `d`, the given extra
+/// constants (e.g. constants mentioned by the query), and one fresh constant per null.
+pub fn standard_budget(d: &Instance, extra: &BTreeSet<Constant>) -> BTreeSet<Constant> {
+    let mut budget = d.constants();
+    budget.extend(extra.iter().cloned());
+    let fresh = nev_incomplete::instance::fresh_constants(d.nulls().len(), &budget);
+    budget.extend(fresh);
+    budget
+}
+
+/// Enumerates the CWA worlds `v(D)` of `d` over the standard budget extended by
+/// `extra` constants; deduplicates equal worlds.
+pub fn enumerate_cwa_worlds(d: &Instance, extra: &BTreeSet<Constant>) -> Vec<Instance> {
+    let budget = standard_budget(d, extra);
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for v in enumerate_valuations(d, &budget) {
+        let world = v.apply_instance(d);
+        if seen.insert(world.clone()) {
+            out.push(world);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+
+    #[test]
+    fn is_valuation_checks_nulls_and_constants() {
+        let d = inst! { "R" => [[c(1), x(1)], [x(2), x(2)]] };
+        let good = ValueMap::from_pairs([(x(1), c(4)), (x(2), c(1))]);
+        assert!(is_valuation(&good, &d));
+        let partial = ValueMap::from_pairs([(x(1), c(4))]);
+        assert!(!is_valuation(&partial, &d));
+        let to_null = ValueMap::from_pairs([(x(1), c(4)), (x(2), x(3))]);
+        assert!(!is_valuation(&to_null, &d));
+        let moves_const = ValueMap::from_pairs([(x(1), c(4)), (x(2), c(1)), (c(1), c(9))]);
+        assert!(!is_valuation(&moves_const, &d));
+    }
+
+    #[test]
+    fn apply_valuation_produces_complete_world() {
+        let d = inst! { "R" => [[c(1), x(1)]] };
+        let v = ValueMap::from_pairs([(x(1), c(7))]);
+        let world = apply_valuation(&v, &d);
+        assert!(world.is_complete());
+        assert_eq!(world.fact_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valuation")]
+    fn apply_valuation_panics_on_non_valuation() {
+        let d = inst! { "R" => [[x(1)]] };
+        let not_val = ValueMap::new();
+        let _ = apply_valuation(&not_val, &d);
+    }
+
+    #[test]
+    fn enumerate_valuations_counts() {
+        let d = inst! { "R" => [[x(1), x(2)]] };
+        let budget: BTreeSet<Constant> = [Constant::int(1), Constant::int(2), Constant::int(3)]
+            .into_iter()
+            .collect();
+        let vals = enumerate_valuations(&d, &budget);
+        assert_eq!(vals.len(), 9); // 3^2
+        for v in &vals {
+            assert!(is_valuation(v, &d));
+        }
+        // No nulls: exactly one (empty) valuation, regardless of the budget.
+        let complete = inst! { "R" => [[c(1)]] };
+        assert_eq!(enumerate_valuations(&complete, &budget).len(), 1);
+        assert_eq!(enumerate_valuations(&complete, &BTreeSet::new()).len(), 1);
+        // Nulls but empty budget: no valuations.
+        assert!(enumerate_valuations(&d, &BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn standard_budget_has_fresh_constants_per_null() {
+        let d = inst! { "R" => [[c(1), x(1)], [x(2), x(3)]] };
+        let budget = standard_budget(&d, &BTreeSet::new());
+        // 1 constant of D + 3 fresh ones.
+        assert_eq!(budget.len(), 4);
+        assert!(budget.contains(&Constant::int(1)));
+        let extra: BTreeSet<Constant> = [Constant::int(42)].into_iter().collect();
+        let budget = standard_budget(&d, &extra);
+        assert_eq!(budget.len(), 5);
+        assert!(budget.contains(&Constant::int(42)));
+    }
+
+    #[test]
+    fn cwa_worlds_of_d0() {
+        // D0 = {(⊥,⊥′),(⊥′,⊥)}: its CWA worlds are all {(c,c′),(c′,c)} with possibly c=c′.
+        let d0 = inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] };
+        let worlds = enumerate_cwa_worlds(&d0, &BTreeSet::new());
+        assert!(!worlds.is_empty());
+        for w in &worlds {
+            assert!(w.is_complete());
+            // Each world is symmetric: (a,b) present iff (b,a) present.
+            let rel = w.relation("D").unwrap();
+            for t in rel.tuples() {
+                let rev: Vec<Value> = t.values().iter().rev().cloned().collect();
+                assert!(rel.contains(&rev.into_iter().collect()));
+            }
+            // Worlds have 1 or 2 tuples depending on whether the two nulls collapse.
+            assert!(w.fact_count() == 1 || w.fact_count() == 2);
+        }
+        // Both shapes occur.
+        assert!(worlds.iter().any(|w| w.fact_count() == 1));
+        assert!(worlds.iter().any(|w| w.fact_count() == 2));
+    }
+
+    #[test]
+    fn enumerate_cwa_worlds_deduplicates() {
+        // Both nulls mapping to the same constants in different orders can produce the
+        // same world; the enumeration deduplicates exact duplicates.
+        let d = inst! { "R" => [[x(1)], [x(2)]] };
+        let worlds = enumerate_cwa_worlds(&d, &BTreeSet::new());
+        let unique: BTreeSet<_> = worlds.iter().cloned().collect();
+        assert_eq!(worlds.len(), unique.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! Ergonomic construction of instances for tests, examples and benchmarks.
+
+use crate::instance::Instance;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Shorthand for a constant integer value — `c(1)` is the constant `1`.
+pub fn c(i: i64) -> Value {
+    Value::int(i)
+}
+
+/// Shorthand for a string constant value — `s("a")` is the constant `a`.
+pub fn s(v: &str) -> Value {
+    Value::str(v)
+}
+
+/// Shorthand for a labelled null — `x(1)` is `⊥₁`.
+pub fn x(i: u32) -> Value {
+    Value::null(i)
+}
+
+/// A fluent builder for [`Instance`]s.
+///
+/// ```
+/// use nev_incomplete::builder::{c, x, InstanceBuilder};
+///
+/// // The introduction's example: R = {(1,⊥1),(⊥2,⊥3)}, S = {(⊥1,4),(⊥3,5)}.
+/// let d = InstanceBuilder::new()
+///     .tuple("R", [c(1), x(1)])
+///     .tuple("R", [x(2), x(3)])
+///     .tuple("S", [x(1), c(4)])
+///     .tuple("S", [x(3), c(5)])
+///     .build();
+/// assert_eq!(d.fact_count(), 4);
+/// assert_eq!(d.nulls().len(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct InstanceBuilder {
+    instance: Instance,
+}
+
+impl InstanceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        InstanceBuilder::default()
+    }
+
+    /// Adds a tuple to the given relation (created on first use).
+    ///
+    /// # Panics
+    /// Panics if the tuple's arity conflicts with an earlier tuple of the same
+    /// relation — builders are used to write *literal* instances, where this is a
+    /// programming error.
+    pub fn tuple<I, V>(mut self, relation: &str, values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        let tuple: Tuple = values.into_iter().map(Into::into).collect();
+        self.instance
+            .add_tuple(relation, tuple)
+            .unwrap_or_else(|e| panic!("InstanceBuilder: {e}"));
+        self
+    }
+
+    /// Declares an empty relation of the given arity (useful when a query mentions a
+    /// relation the instance leaves empty).
+    ///
+    /// # Panics
+    /// Panics on arity conflicts, as for [`InstanceBuilder::tuple`].
+    pub fn empty_relation(mut self, relation: &str, arity: usize) -> Self {
+        self.instance
+            .ensure_relation(relation, arity)
+            .unwrap_or_else(|e| panic!("InstanceBuilder: {e}"));
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Instance {
+        self.instance
+    }
+}
+
+/// Builds an [`Instance`] from a literal description.
+///
+/// ```
+/// use nev_incomplete::{inst, builder::{c, x}};
+///
+/// let d0 = inst! {
+///     "D" => [[x(1), x(2)], [x(2), x(1)]],
+/// };
+/// assert_eq!(d0.fact_count(), 2);
+/// ```
+#[macro_export]
+macro_rules! inst {
+    ( $( $rel:expr => [ $( [ $( $v:expr ),* $(,)? ] ),* $(,)? ] ),* $(,)? ) => {{
+        #[allow(unused_mut)]
+        let mut builder = $crate::builder::InstanceBuilder::new();
+        $( $( builder = builder.tuple($rel, vec![ $( $crate::Value::from($v) ),* ]); )* )*
+        builder.build()
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_expected_instance() {
+        let d = InstanceBuilder::new()
+            .tuple("R", [c(1), x(1)])
+            .tuple("S", [s("a"), c(2)])
+            .empty_relation("T", 3)
+            .build();
+        assert_eq!(d.fact_count(), 2);
+        assert_eq!(d.relation("T").unwrap().arity(), 3);
+        assert!(d.relation("T").unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "InstanceBuilder")]
+    fn builder_panics_on_arity_conflict() {
+        let _ = InstanceBuilder::new()
+            .tuple("R", [c(1)])
+            .tuple("R", [c(1), c(2)]);
+    }
+
+    #[test]
+    fn macro_builds_instances() {
+        let d = inst! {
+            "R" => [[c(1), x(1)], [x(2), x(3)]],
+            "S" => [[x(1), c(4)], [x(3), c(5)]],
+        };
+        assert_eq!(d.fact_count(), 4);
+        assert_eq!(d.nulls().len(), 3);
+        let empty = inst! {};
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn shorthands() {
+        assert!(c(1).is_const());
+        assert!(s("a").is_const());
+        assert!(x(1).is_null());
+    }
+}

@@ -1,0 +1,248 @@
+//! Codd databases and their information orderings.
+//!
+//! SQL's single `NULL` is modelled by *Codd databases*: naïve databases in which no
+//! null occurs more than once (paper §2.1, §6). Over Codd databases the paper recalls
+//! the classical orderings:
+//!
+//! * the tuple ordering `t ⊑ t'`: every position holding a constant in `t` holds the
+//!   same constant in `t'`;
+//! * the Hoare lifting `D ⊑ᴴ D'`: every tuple of `D` is dominated by some tuple of `D'`;
+//! * the Plotkin lifting `D ⊑ᴾ D'`: `D ⊑ᴴ D'` and every tuple of `D'` dominates some
+//!   tuple of `D`;
+//!
+//! and Libkin (2011)'s refinement: over Codd databases, `D ≼_CWA D'` holds iff
+//! `D ⊑ᴾ D'` *and* the relation `⊑` admits a perfect matching from `D'` to `D`.
+//! The corresponding predicate here is [`cwa_matching_leq`]; `nev-core` validates the
+//! equivalence with the homomorphism-based ordering experimentally (experiment E5).
+
+use crate::instance::Instance;
+use crate::matching::BipartiteGraph;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+
+/// Returns `true` iff the instance is a Codd database: no null occurs more than once
+/// across all tuples of all relations.
+pub fn is_codd(instance: &Instance) -> bool {
+    let mut seen = std::collections::BTreeSet::new();
+    for (_, tuple) in instance.facts() {
+        for n in tuple.nulls() {
+            if !seen.insert(n) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The tuple ordering `t ⊑ t'` of §6: `t'` is at least as informative as `t`, i.e.
+/// every position of `t` holding a constant holds the *same* constant in `t'`.
+///
+/// Returns `false` if the arities differ.
+pub fn tuple_leq(t: &Tuple, t_prime: &Tuple) -> bool {
+    if t.arity() != t_prime.arity() {
+        return false;
+    }
+    t.values().iter().zip(t_prime.values()).all(|(a, b)| !a.is_const() || a == b)
+}
+
+fn hoare_leq_relation(r: &Relation, r_prime: &Relation) -> bool {
+    r.tuples().all(|t| r_prime.tuples().any(|tp| tuple_leq(t, tp)))
+}
+
+fn plotkin_extra_leq_relation(r: &Relation, r_prime: &Relation) -> bool {
+    r_prime.tuples().all(|tp| r.tuples().any(|t| tuple_leq(t, tp)))
+}
+
+fn relations_of<'a>(d: &'a Instance, d_prime: &'a Instance) -> Vec<(Relation, Relation)> {
+    // Pair up relations by name; a relation missing on either side is treated as empty
+    // with the arity of the present one.
+    let mut names: std::collections::BTreeSet<String> = d.relation_names().map(String::from).collect();
+    names.extend(d_prime.relation_names().map(String::from));
+    names
+        .into_iter()
+        .map(|name| {
+            let left = d.relation(&name).cloned();
+            let right = d_prime.relation(&name).cloned();
+            let arity = left
+                .as_ref()
+                .map(Relation::arity)
+                .or_else(|| right.as_ref().map(Relation::arity))
+                .unwrap_or(0);
+            (
+                left.unwrap_or_else(|| Relation::new(name.clone(), arity)),
+                right.unwrap_or_else(|| Relation::new(name.clone(), arity)),
+            )
+        })
+        .collect()
+}
+
+/// The Hoare ordering `D ⊑ᴴ D'`: relation by relation, every tuple of `D` is dominated
+/// (under [`tuple_leq`]) by some tuple of `D'`.
+///
+/// Over Codd databases this is the accepted ordering for the OWA semantics (§6).
+pub fn hoare_leq(d: &Instance, d_prime: &Instance) -> bool {
+    relations_of(d, d_prime).iter().all(|(r, rp)| hoare_leq_relation(r, rp))
+}
+
+/// The Plotkin ordering `D ⊑ᴾ D'`: `D ⊑ᴴ D'` and, relation by relation, every tuple of
+/// `D'` dominates some tuple of `D`.
+///
+/// Over Codd databases this is the accepted ordering for the CWA semantics (§6).
+pub fn plotkin_leq(d: &Instance, d_prime: &Instance) -> bool {
+    relations_of(d, d_prime)
+        .iter()
+        .all(|(r, rp)| hoare_leq_relation(r, rp) && plotkin_extra_leq_relation(r, rp))
+}
+
+/// Returns `true` iff, relation by relation, the domination relation `⊑` admits a
+/// matching that saturates the tuples of `D'` with *distinct* tuples of `D`
+/// (each `t' ∈ D'` matched to its own `t ∈ D` with `t ⊑ t'`).
+pub fn has_perfect_matching_from(d_prime: &Instance, d: &Instance) -> bool {
+    relations_of(d, d_prime).iter().all(|(r, rp)| {
+        let left: Vec<&Tuple> = rp.tuples().collect(); // tuples of D' (to be saturated)
+        let right: Vec<&Tuple> = r.tuples().collect(); // tuples of D
+        let mut graph = BipartiteGraph::new(left.len(), right.len());
+        for (i, tp) in left.iter().enumerate() {
+            for (j, t) in right.iter().enumerate() {
+                if tuple_leq(t, tp) {
+                    graph.add_edge(i, j);
+                }
+            }
+        }
+        graph.has_left_perfect_matching()
+    })
+}
+
+/// Libkin (2011)'s characterisation of the CWA semantic ordering over Codd databases:
+/// `D ≼_CWA D'` iff `D ⊑ᴾ D'` and `⊑` has a perfect matching from `D'` to `D`.
+pub fn cwa_matching_leq(d: &Instance, d_prime: &Instance) -> bool {
+    plotkin_leq(d, d_prime) && has_perfect_matching_from(d_prime, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::tuple_of;
+    use crate::value::Value;
+
+    fn codd_pair() -> (Instance, Instance) {
+        // D = {(null, 2)}, D' = {(1, 2), (2, 2)} — the SQL example of §6: losing the
+        // first attribute of both (1,2) and (2,2) yields a single tuple (null, 2).
+        let mut d = Instance::new();
+        d.add_tuple("R", tuple_of([Value::null(1), Value::int(2)])).unwrap();
+        let mut d_prime = Instance::new();
+        d_prime.add_tuple("R", tuple_of([Value::int(1), Value::int(2)])).unwrap();
+        d_prime.add_tuple("R", tuple_of([Value::int(2), Value::int(2)])).unwrap();
+        (d, d_prime)
+    }
+
+    #[test]
+    fn is_codd_detects_repeated_nulls() {
+        let mut codd = Instance::new();
+        codd.add_tuple("R", tuple_of([Value::null(1), Value::int(1)])).unwrap();
+        codd.add_tuple("R", tuple_of([Value::null(2), Value::int(2)])).unwrap();
+        assert!(is_codd(&codd));
+
+        let mut naive = Instance::new();
+        naive.add_tuple("R", tuple_of([Value::null(1), Value::null(1)])).unwrap();
+        assert!(!is_codd(&naive));
+
+        let mut across = Instance::new();
+        across.add_tuple("R", tuple_of([Value::null(1)])).unwrap();
+        across.add_tuple("S", tuple_of([Value::null(1)])).unwrap();
+        assert!(!is_codd(&across));
+
+        assert!(is_codd(&Instance::new()));
+    }
+
+    #[test]
+    fn tuple_leq_basic() {
+        let t = tuple_of([Value::null(1), Value::int(2)]);
+        let t1 = tuple_of([Value::int(1), Value::int(2)]);
+        let t2 = tuple_of([Value::int(1), Value::int(3)]);
+        assert!(tuple_leq(&t, &t1));
+        assert!(!tuple_leq(&t, &t2)); // constant 2 must be preserved
+        assert!(!tuple_leq(&t1, &t)); // constants cannot become nulls
+        assert!(tuple_leq(&t, &t)); // reflexive
+        assert!(!tuple_leq(&t, &tuple_of([Value::int(1)]))); // arity mismatch
+    }
+
+    #[test]
+    fn hoare_and_plotkin_on_sql_example() {
+        let (d, d_prime) = codd_pair();
+        assert!(hoare_leq(&d, &d_prime));
+        assert!(plotkin_leq(&d, &d_prime));
+        assert!(!hoare_leq(&d_prime, &d));
+    }
+
+    #[test]
+    fn hoare_without_plotkin() {
+        // D = {(null,2)}, D' = {(1,2),(3,4)}: Hoare holds ((null,2) ⊑ (1,2)) but (3,4)
+        // dominates no tuple of D, so Plotkin fails.
+        let mut d = Instance::new();
+        d.add_tuple("R", tuple_of([Value::null(1), Value::int(2)])).unwrap();
+        let mut d_prime = Instance::new();
+        d_prime.add_tuple("R", tuple_of([Value::int(1), Value::int(2)])).unwrap();
+        d_prime.add_tuple("R", tuple_of([Value::int(3), Value::int(4)])).unwrap();
+        assert!(hoare_leq(&d, &d_prime));
+        assert!(!plotkin_leq(&d, &d_prime));
+    }
+
+    #[test]
+    fn matching_distinguishes_plotkin_from_cwa() {
+        // D = {(⊥1,2),(⊥2,3)} and D' = {(1,2)}: no — build the classic case where
+        // Plotkin holds but a perfect matching from D' to D requires distinct witnesses.
+        // D = {(⊥1, 2)}, D' = {(1,2),(2,2)}: Plotkin holds; matching needs two distinct
+        // tuples of D to saturate D', but D has only one ⇒ fails.
+        let (d, d_prime) = codd_pair();
+        assert!(plotkin_leq(&d, &d_prime));
+        assert!(!has_perfect_matching_from(&d_prime, &d));
+        assert!(!cwa_matching_leq(&d, &d_prime));
+
+        // Add a second null tuple to D: now a perfect matching exists.
+        let mut d2 = d.clone();
+        d2.add_tuple("R", tuple_of([Value::null(2), Value::int(2)])).unwrap();
+        assert!(plotkin_leq(&d2, &d_prime));
+        assert!(has_perfect_matching_from(&d_prime, &d2));
+        assert!(cwa_matching_leq(&d2, &d_prime));
+    }
+
+    #[test]
+    fn orderings_are_reflexive() {
+        let (d, d_prime) = codd_pair();
+        for inst in [&d, &d_prime] {
+            assert!(hoare_leq(inst, inst));
+            assert!(plotkin_leq(inst, inst));
+            assert!(cwa_matching_leq(inst, inst));
+        }
+    }
+
+    #[test]
+    fn missing_relations_are_empty() {
+        let mut d = Instance::new();
+        d.add_tuple("R", tuple_of([Value::int(1)])).unwrap();
+        let empty = Instance::new();
+        assert!(hoare_leq(&empty, &d));
+        assert!(!hoare_leq(&d, &empty));
+        // Plotkin requires every tuple of the larger side to dominate something.
+        assert!(!plotkin_leq(&empty, &d));
+    }
+
+    #[test]
+    fn multi_relation_orderings() {
+        let mut d = Instance::new();
+        d.add_tuple("R", tuple_of([Value::null(1)])).unwrap();
+        d.add_tuple("S", tuple_of([Value::int(5)])).unwrap();
+        let mut d_prime = Instance::new();
+        d_prime.add_tuple("R", tuple_of([Value::int(1)])).unwrap();
+        d_prime.add_tuple("S", tuple_of([Value::int(5)])).unwrap();
+        assert!(hoare_leq(&d, &d_prime));
+        assert!(plotkin_leq(&d, &d_prime));
+        assert!(cwa_matching_leq(&d, &d_prime));
+        // Change S on one side: ordering breaks.
+        let mut d_bad = d_prime.clone();
+        d_bad.remove_tuple("S", &tuple_of([Value::int(5)]));
+        d_bad.add_tuple("S", tuple_of([Value::int(6)])).unwrap();
+        assert!(!hoare_leq(&d, &d_bad));
+    }
+}

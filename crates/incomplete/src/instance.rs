@@ -1,0 +1,457 @@
+//! Incomplete relational instances (naïve databases).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::relation::{Relation, RelationError};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::{Constant, NullId, Value};
+
+/// An incomplete relational instance (a *naïve database*, paper §2.1): an assignment
+/// of a finite relation over `Const ∪ Null` to each relation symbol.
+///
+/// A null may occur several times in an instance; if every null occurs at most once
+/// the instance is a *Codd database* (see [`crate::codd`]).
+///
+/// Relations are stored in a [`BTreeMap`] keyed by relation name, so all iteration is
+/// deterministic.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Instance {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Instance {
+    /// Creates an empty instance over the empty schema.
+    pub fn new() -> Self {
+        Instance::default()
+    }
+
+    /// Creates an instance with an empty relation for every symbol of `schema`.
+    pub fn empty_of_schema(schema: &Schema) -> Self {
+        let mut inst = Instance::new();
+        for r in schema.relations() {
+            inst.relations.insert(r.name.clone(), Relation::new(r.name, r.arity));
+        }
+        inst
+    }
+
+    /// The schema of the instance: every relation name with its arity.
+    pub fn schema(&self) -> Schema {
+        self.relations.values().map(|r| (r.name().to_string(), r.arity())).collect()
+    }
+
+    /// Ensures a relation with the given name and arity exists (empty if new).
+    ///
+    /// Errors if a relation with the same name but a different arity already exists.
+    pub fn ensure_relation(&mut self, name: &str, arity: usize) -> Result<(), RelationError> {
+        match self.relations.get(name) {
+            Some(r) if r.arity() != arity => Err(RelationError::IncompatibleRelations {
+                relation: name.to_string(),
+                left: r.arity(),
+                right: arity,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                self.relations.insert(name.to_string(), Relation::new(name, arity));
+                Ok(())
+            }
+        }
+    }
+
+    /// Adds a tuple to relation `name`, creating the relation (with the tuple's
+    /// arity) if it does not exist yet.
+    pub fn add_tuple(&mut self, name: &str, tuple: impl Into<Tuple>) -> Result<bool, RelationError> {
+        let tuple = tuple.into();
+        self.ensure_relation(name, tuple.arity())?;
+        self.relations.get_mut(name).expect("relation just ensured").insert(tuple)
+    }
+
+    /// Removes a tuple from relation `name`; returns whether it was present.
+    pub fn remove_tuple(&mut self, name: &str, tuple: &Tuple) -> bool {
+        self.relations.get_mut(name).map(|r| r.remove(tuple)).unwrap_or(false)
+    }
+
+    /// Returns `true` iff relation `name` contains `tuple` (missing relations are
+    /// treated as empty).
+    pub fn contains_tuple(&self, name: &str, tuple: &Tuple) -> bool {
+        self.relations.get(name).map(|r| r.contains(tuple)).unwrap_or(false)
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Looks up a relation by name, mutably.
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Inserts (or replaces) a whole relation.
+    pub fn insert_relation(&mut self, relation: Relation) {
+        self.relations.insert(relation.name().to_string(), relation);
+    }
+
+    /// Iterates over the relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> + '_ {
+        self.relations.values()
+    }
+
+    /// Iterates over the relation names in order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Iterates over all facts `(relation name, tuple)` of the instance.
+    pub fn facts(&self) -> impl Iterator<Item = (&str, &Tuple)> + '_ {
+        self.relations.values().flat_map(|r| r.tuples().map(move |t| (r.name(), t)))
+    }
+
+    /// The total number of tuples across all relations.
+    pub fn fact_count(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Returns `true` iff the instance has no tuples at all.
+    pub fn is_empty(&self) -> bool {
+        self.fact_count() == 0
+    }
+
+    /// The active domain `adom(D) = Const(D) ∪ Null(D)`: every value occurring in
+    /// some tuple.
+    pub fn adom(&self) -> BTreeSet<Value> {
+        self.relations.values().flat_map(|r| r.values().cloned()).collect()
+    }
+
+    /// `Const(D)`: the set of constants occurring in the instance.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        self.relations.values().flat_map(|r| r.constants().cloned()).collect()
+    }
+
+    /// `Null(D)`: the set of nulls occurring in the instance.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        self.relations.values().flat_map(|r| r.nulls()).collect()
+    }
+
+    /// Returns `true` iff the instance is complete (contains no nulls, paper §2.1).
+    pub fn is_complete(&self) -> bool {
+        self.relations.values().all(Relation::is_complete)
+    }
+
+    /// Returns `true` iff every tuple of `self` is a tuple of `other` (relation by
+    /// relation; relations missing from either side are treated as empty).
+    pub fn is_subinstance_of(&self, other: &Instance) -> bool {
+        self.relations.values().all(|r| {
+            r.tuples().all(|t| other.contains_tuple(r.name(), t))
+        })
+    }
+
+    /// Returns `true` iff `self` and `other` hold exactly the same facts
+    /// (ignoring empty relations and schema differences on them).
+    pub fn same_facts(&self, other: &Instance) -> bool {
+        self.is_subinstance_of(other) && other.is_subinstance_of(self)
+    }
+
+    /// The union of two instances. Relations present in both are unioned tuple-wise;
+    /// errors if a relation name carries different arities on the two sides.
+    pub fn union(&self, other: &Instance) -> Result<Instance, RelationError> {
+        let mut out = self.clone();
+        for r in other.relations.values() {
+            match out.relations.get_mut(r.name()) {
+                Some(mine) => mine.union_in_place(r)?,
+                None => {
+                    out.relations.insert(r.name().to_string(), r.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies a value mapping `h` to every tuple of every relation, producing the
+    /// image instance `h(D)` (paper §2.2).
+    pub fn map_values<F: FnMut(&Value) -> Value>(&self, mut f: F) -> Instance {
+        let mut out = Instance::new();
+        for r in self.relations.values() {
+            out.relations.insert(r.name().to_string(), r.map_values(&mut f));
+        }
+        out
+    }
+
+    /// Restricts the instance to the facts satisfying the predicate.
+    pub fn filter_facts<F: FnMut(&str, &Tuple) -> bool>(&self, mut f: F) -> Instance {
+        let mut out = Instance::new();
+        for r in self.relations.values() {
+            let mut nr = Relation::new(r.name(), r.arity());
+            for t in r.tuples() {
+                if f(r.name(), t) {
+                    nr.insert(t.clone()).expect("same arity");
+                }
+            }
+            out.relations.insert(r.name().to_string(), nr);
+        }
+        out
+    }
+
+    /// Enumerates all *proper* subinstances of `self` obtained by removing exactly
+    /// one tuple. Used by the minimality and core machinery.
+    pub fn remove_one_tuple_variants(&self) -> Vec<Instance> {
+        let mut out = Vec::new();
+        for r in self.relations.values() {
+            for t in r.tuples() {
+                let mut smaller = self.clone();
+                smaller.remove_tuple(r.name(), t);
+                out.push(smaller);
+            }
+        }
+        out
+    }
+
+    /// Renames the nulls of the instance to `⊥0, ⊥1, …` in order of first occurrence
+    /// (scanning relations in name order and tuples in their deterministic order).
+    ///
+    /// Two instances that differ only in the *names* of their nulls have the same
+    /// canonical form; this is a cheap, sound (but not complete) isomorphism check.
+    /// Full isomorphism lives in the `nev-hom` crate.
+    pub fn canonical_form(&self) -> Instance {
+        let mut renaming: BTreeMap<NullId, NullId> = BTreeMap::new();
+        let mut next = 0u32;
+        for r in self.relations.values() {
+            for t in r.tuples() {
+                for n in t.nulls() {
+                    renaming.entry(n).or_insert_with(|| {
+                        let id = NullId(next);
+                        next += 1;
+                        id
+                    });
+                }
+            }
+        }
+        self.map_values(|v| match v {
+            Value::Null(n) => Value::Null(renaming[n]),
+            c => c.clone(),
+        })
+    }
+
+    /// Produces a complete instance isomorphic to `self` by replacing each null with
+    /// a distinct fresh constant not occurring in `self` nor in `avoid`.
+    ///
+    /// This is the witness of the *saturation property* (paper §3.1): every naïve
+    /// database has an isomorphic complete database in its semantics.
+    pub fn freeze_nulls(&self, avoid: &BTreeSet<Constant>) -> Instance {
+        let mut used: BTreeSet<Constant> = self.constants();
+        used.extend(avoid.iter().cloned());
+        let mut renaming: BTreeMap<NullId, Constant> = BTreeMap::new();
+        let mut counter = 0usize;
+        for n in self.nulls() {
+            let fresh = fresh_constant(&mut counter, &used);
+            used.insert(fresh.clone());
+            renaming.insert(n, fresh);
+        }
+        self.map_values(|v| match v {
+            Value::Null(n) => Value::Const(renaming[n].clone()),
+            c => c.clone(),
+        })
+    }
+}
+
+/// Generates a fresh string constant of the form `fK` not contained in `used`,
+/// advancing `counter` past the chosen index.
+pub fn fresh_constant(counter: &mut usize, used: &BTreeSet<Constant>) -> Constant {
+    loop {
+        let candidate = Constant::str(format!("f{}", *counter));
+        *counter += 1;
+        if !used.contains(&candidate) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates `n` distinct fresh string constants avoiding `used`.
+pub fn fresh_constants(n: usize, used: &BTreeSet<Constant>) -> Vec<Constant> {
+    let mut used = used.clone();
+    let mut counter = 0usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = fresh_constant(&mut counter, &used);
+        used.insert(c.clone());
+        out.push(c);
+    }
+    out
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.relations.is_empty() {
+            return write!(f, "∅");
+        }
+        for (i, r) in self.relations.values().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::tuple_of;
+
+    fn sample() -> Instance {
+        // R = {(1, ⊥1), (⊥2, ⊥3)}, S = {(⊥1, 4), (⊥3, 5)} — the paper's §1 example.
+        let mut d = Instance::new();
+        d.add_tuple("R", tuple_of([Value::int(1), Value::null(1)])).unwrap();
+        d.add_tuple("R", tuple_of([Value::null(2), Value::null(3)])).unwrap();
+        d.add_tuple("S", tuple_of([Value::null(1), Value::int(4)])).unwrap();
+        d.add_tuple("S", tuple_of([Value::null(3), Value::int(5)])).unwrap();
+        d
+    }
+
+    #[test]
+    fn schema_and_counts() {
+        let d = sample();
+        let schema = d.schema();
+        assert_eq!(schema.arity_of("R"), Some(2));
+        assert_eq!(schema.arity_of("S"), Some(2));
+        assert_eq!(d.fact_count(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.relation_names().collect::<Vec<_>>(), vec!["R", "S"]);
+    }
+
+    #[test]
+    fn adom_constants_nulls() {
+        let d = sample();
+        assert_eq!(d.nulls(), [NullId(1), NullId(2), NullId(3)].into_iter().collect());
+        assert_eq!(
+            d.constants(),
+            [Constant::int(1), Constant::int(4), Constant::int(5)].into_iter().collect()
+        );
+        assert_eq!(d.adom().len(), 6);
+        assert!(!d.is_complete());
+    }
+
+    #[test]
+    fn ensure_relation_conflicts() {
+        let mut d = sample();
+        assert!(d.ensure_relation("R", 2).is_ok());
+        assert!(d.ensure_relation("R", 3).is_err());
+        assert!(d.ensure_relation("T", 1).is_ok());
+        assert!(d.relation("T").unwrap().is_empty());
+    }
+
+    #[test]
+    fn subinstance_and_union() {
+        let d = sample();
+        let mut smaller = Instance::new();
+        smaller
+            .add_tuple("R", tuple_of([Value::int(1), Value::null(1)]))
+            .unwrap();
+        assert!(smaller.is_subinstance_of(&d));
+        assert!(!d.is_subinstance_of(&smaller));
+        let u = smaller.union(&d).unwrap();
+        assert!(u.same_facts(&d));
+        // Missing relations are treated as empty for subinstance purposes.
+        assert!(Instance::new().is_subinstance_of(&d));
+    }
+
+    #[test]
+    fn union_arity_conflict() {
+        let mut a = Instance::new();
+        a.add_tuple("R", tuple_of([1i64])).unwrap();
+        let mut b = Instance::new();
+        b.add_tuple("R", tuple_of([1i64, 2])).unwrap();
+        assert!(a.union(&b).is_err());
+    }
+
+    #[test]
+    fn map_values_builds_image() {
+        let d = sample();
+        // A valuation sending every null to the constant 9.
+        let image = d.map_values(|v| if v.is_null() { Value::int(9) } else { v.clone() });
+        assert!(image.is_complete());
+        assert!(image.contains_tuple("R", &tuple_of([1i64, 9])));
+        assert!(image.contains_tuple("S", &tuple_of([9i64, 4])));
+    }
+
+    #[test]
+    fn canonical_form_identifies_null_renamings() {
+        let mut a = Instance::new();
+        a.add_tuple("R", tuple_of([Value::null(10), Value::null(20)])).unwrap();
+        let mut b = Instance::new();
+        b.add_tuple("R", tuple_of([Value::null(3), Value::null(7)])).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.canonical_form(), b.canonical_form());
+        // But collapsing nulls is *not* a renaming.
+        let mut c = Instance::new();
+        c.add_tuple("R", tuple_of([Value::null(1), Value::null(1)])).unwrap();
+        assert_ne!(a.canonical_form(), c.canonical_form());
+    }
+
+    #[test]
+    fn freeze_nulls_is_complete_and_injective() {
+        let d = sample();
+        let frozen = d.freeze_nulls(&BTreeSet::new());
+        assert!(frozen.is_complete());
+        assert_eq!(frozen.fact_count(), d.fact_count());
+        // Distinct nulls received distinct constants, so the join structure survives:
+        // (1,⊥1) and (⊥1,4) still join.
+        let r = frozen.relation("R").unwrap();
+        let s = frozen.relation("S").unwrap();
+        let joined = r.tuples().any(|rt| {
+            s.tuples().any(|st| rt.get(1) == st.get(0) && rt.get(0) == Some(&Value::int(1)))
+        });
+        assert!(joined);
+    }
+
+    #[test]
+    fn remove_one_tuple_variants_enumerates_all() {
+        let d = sample();
+        let variants = d.remove_one_tuple_variants();
+        assert_eq!(variants.len(), 4);
+        for v in &variants {
+            assert_eq!(v.fact_count(), 3);
+            assert!(v.is_subinstance_of(&d));
+        }
+    }
+
+    #[test]
+    fn fresh_constants_avoid_collisions() {
+        let used: BTreeSet<Constant> = [Constant::str("f0"), Constant::str("f2")].into_iter().collect();
+        let fresh = fresh_constants(3, &used);
+        assert_eq!(fresh.len(), 3);
+        for c in &fresh {
+            assert!(!used.contains(c));
+        }
+        let unique: BTreeSet<_> = fresh.iter().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn display_renders_all_relations() {
+        let d = sample();
+        let s = d.to_string();
+        assert!(s.contains("R/2"));
+        assert!(s.contains("S/2"));
+        assert_eq!(Instance::new().to_string(), "∅");
+    }
+
+    #[test]
+    fn filter_facts_keeps_schema() {
+        let d = sample();
+        let only_complete = d.filter_facts(|_, t| t.is_complete());
+        assert_eq!(only_complete.fact_count(), 0);
+        // Relations survive as empty relations with the right arity.
+        assert_eq!(only_complete.relation("R").unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn empty_of_schema() {
+        let schema = Schema::from_relations([("R", 2), ("S", 1)]);
+        let d = Instance::empty_of_schema(&schema);
+        assert_eq!(d.fact_count(), 0);
+        assert_eq!(d.schema(), schema);
+    }
+}

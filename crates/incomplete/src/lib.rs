@@ -1,0 +1,46 @@
+//! # `nev-incomplete` — incomplete relational databases with labelled nulls
+//!
+//! This crate is the data-model substrate of the `naive-eval` workspace, a Rust
+//! reproduction of *"When is Naïve Evaluation Possible?"* (Gheerbrant, Libkin,
+//! Sirangelo; PODS 2013).
+//!
+//! It provides:
+//!
+//! * [`Value`], [`Constant`] and [`NullId`]: the two kinds of values appearing in
+//!   incomplete databases — constants from `Const` and labelled (marked) nulls from
+//!   `Null` (paper §2.1);
+//! * [`Tuple`], [`Relation`], [`Instance`] and [`Schema`]: naïve databases, i.e.
+//!   finite relational instances over `Const ∪ Null` where a null may repeat;
+//! * [`codd`]: Codd databases (nulls do not repeat), the tuple ordering `⊑`, and the
+//!   Hoare (`⊑ᴴ`) and Plotkin (`⊑ᴾ`) liftings used in §6 of the paper, together with
+//!   the perfect-matching refinement from Libkin 2011;
+//! * [`matching`]: a from-scratch maximum bipartite matching used by the Plotkin /
+//!   CWA-ordering characterisations;
+//! * [`graph`]: helpers to build graph-shaped instances (directed cycles, paths,
+//!   cliques and disjoint unions) used by the paper's core/minimality counterexamples
+//!   (§10.1);
+//! * [`builder`]: an ergonomic builder and the [`inst!`](crate::inst) macro for
+//!   writing instances in tests, examples and benchmarks.
+//!
+//! Everything here treats nulls *syntactically*: two nulls are equal iff they carry
+//! the same [`NullId`], which is exactly the convention naïve evaluation relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod codd;
+pub mod graph;
+pub mod instance;
+pub mod matching;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use builder::InstanceBuilder;
+pub use instance::Instance;
+pub use relation::Relation;
+pub use schema::{RelationSchema, Schema};
+pub use tuple::Tuple;
+pub use value::{Constant, NullId, Value};

@@ -1,0 +1,214 @@
+//! Maximum bipartite matching (Kuhn's augmenting-path algorithm).
+//!
+//! Used by the Codd-database machinery: Libkin (2011) characterises the CWA ordering
+//! `≼_CWA` restricted to Codd databases as `⊑ᴾ` *plus* the existence of a perfect
+//! matching from the more-informative instance back to the less-informative one under
+//! the tuple ordering `⊑` (paper §6). This module provides that matching primitive.
+
+/// A bipartite graph given by, for each left vertex, the list of right vertices it is
+/// adjacent to.
+#[derive(Clone, Debug, Default)]
+pub struct BipartiteGraph {
+    adjacency: Vec<Vec<usize>>,
+    right_count: usize,
+}
+
+impl BipartiteGraph {
+    /// Creates a bipartite graph with `left` left vertices and `right` right vertices
+    /// and no edges.
+    pub fn new(left: usize, right: usize) -> Self {
+        BipartiteGraph { adjacency: vec![Vec::new(); left], right_count: right }
+    }
+
+    /// Adds an edge between left vertex `l` and right vertex `r`.
+    ///
+    /// # Panics
+    /// Panics if `l` or `r` are out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.adjacency.len(), "left vertex out of range");
+        assert!(r < self.right_count, "right vertex out of range");
+        if !self.adjacency[l].contains(&r) {
+            self.adjacency[l].push(r);
+        }
+    }
+
+    /// The number of left vertices.
+    pub fn left_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// The number of right vertices.
+    pub fn right_count(&self) -> usize {
+        self.right_count
+    }
+
+    /// Computes a maximum matching; returns, for each left vertex, the matched right
+    /// vertex (if any).
+    pub fn maximum_matching(&self) -> Matching {
+        let n_left = self.adjacency.len();
+        let mut match_left: Vec<Option<usize>> = vec![None; n_left];
+        let mut match_right: Vec<Option<usize>> = vec![None; self.right_count];
+
+        for start in 0..n_left {
+            let mut visited = vec![false; self.right_count];
+            self.try_augment(start, &mut visited, &mut match_left, &mut match_right);
+        }
+        Matching { match_left, match_right }
+    }
+
+    fn try_augment(
+        &self,
+        l: usize,
+        visited: &mut [bool],
+        match_left: &mut [Option<usize>],
+        match_right: &mut [Option<usize>],
+    ) -> bool {
+        for &r in &self.adjacency[l] {
+            if visited[r] {
+                continue;
+            }
+            visited[r] = true;
+            let can_take = match match_right[r] {
+                None => true,
+                Some(other) => self.try_augment(other, visited, match_left, match_right),
+            };
+            if can_take {
+                match_left[l] = Some(r);
+                match_right[r] = Some(l);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns `true` iff there is a matching saturating every *left* vertex.
+    pub fn has_left_perfect_matching(&self) -> bool {
+        self.maximum_matching().size() == self.left_count()
+    }
+}
+
+/// The result of a maximum-matching computation.
+#[derive(Clone, Debug)]
+pub struct Matching {
+    match_left: Vec<Option<usize>>,
+    match_right: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// The number of matched pairs.
+    pub fn size(&self) -> usize {
+        self.match_left.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// The right vertex matched to left vertex `l`, if any.
+    pub fn matched_right(&self, l: usize) -> Option<usize> {
+        self.match_left.get(l).copied().flatten()
+    }
+
+    /// The left vertex matched to right vertex `r`, if any.
+    pub fn matched_left(&self, r: usize) -> Option<usize> {
+        self.match_right.get(r).copied().flatten()
+    }
+
+    /// Iterates over the matched pairs `(left, right)`.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.match_left
+            .iter()
+            .enumerate()
+            .filter_map(|(l, r)| r.map(|r| (l, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let g = BipartiteGraph::new(0, 0);
+        assert_eq!(g.maximum_matching().size(), 0);
+        assert!(g.has_left_perfect_matching());
+    }
+
+    #[test]
+    fn simple_perfect_matching() {
+        // 0-0, 0-1, 1-0: perfect matching of size 2 exists.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        let m = g.maximum_matching();
+        assert_eq!(m.size(), 2);
+        assert!(g.has_left_perfect_matching());
+        // The matching is consistent in both directions.
+        for (l, r) in m.pairs() {
+            assert_eq!(m.matched_left(r), Some(l));
+            assert_eq!(m.matched_right(l), Some(r));
+        }
+    }
+
+    #[test]
+    fn requires_augmenting_paths() {
+        // Left {0,1,2}, right {0,1,2}; greedy order would get stuck without augmentation.
+        let mut g = BipartiteGraph::new(3, 3);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 1);
+        g.add_edge(2, 2);
+        assert_eq!(g.maximum_matching().size(), 3);
+    }
+
+    #[test]
+    fn detects_missing_perfect_matching() {
+        // Two left vertices both only connected to right vertex 0.
+        let mut g = BipartiteGraph::new(2, 1);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        assert_eq!(g.maximum_matching().size(), 1);
+        assert!(!g.has_left_perfect_matching());
+    }
+
+    #[test]
+    fn isolated_left_vertex() {
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 1);
+        assert_eq!(g.maximum_matching().size(), 1);
+        assert!(!g.has_left_perfect_matching());
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 0);
+        g.add_edge(0, 0);
+        assert_eq!(g.maximum_matching().size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "left vertex out of range")]
+    fn out_of_range_left_panics() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "right vertex out of range")]
+    fn out_of_range_right_panics() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 1);
+    }
+
+    #[test]
+    fn larger_random_like_instance() {
+        // A 4x4 "diagonal plus shift" graph always has a perfect matching.
+        let mut g = BipartiteGraph::new(4, 4);
+        for i in 0..4 {
+            g.add_edge(i, i);
+            g.add_edge(i, (i + 1) % 4);
+        }
+        assert_eq!(g.maximum_matching().size(), 4);
+        assert_eq!(g.left_count(), 4);
+        assert_eq!(g.right_count(), 4);
+    }
+}

@@ -1,0 +1,284 @@
+//! Relations: named, fixed-arity sets of tuples.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::tuple::Tuple;
+use crate::value::{Constant, NullId, Value};
+
+/// A relation of a naïve database: a relation name, an arity, and a finite set of
+/// tuples over `Const ∪ Null` of that arity.
+///
+/// Tuples are kept in a [`BTreeSet`] so that iteration order — and therefore display
+/// output, canonical forms and experiment logs — is deterministic.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Relation {
+    name: String,
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+/// Errors arising when manipulating relations and instances.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RelationError {
+    /// A tuple of the wrong arity was inserted into a relation.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity declared for the relation.
+        expected: usize,
+        /// Arity of the offending tuple.
+        found: usize,
+    },
+    /// Two relations with the same name but different arities were combined.
+    IncompatibleRelations {
+        /// Relation name.
+        relation: String,
+        /// First arity.
+        left: usize,
+        /// Second arity.
+        right: usize,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::ArityMismatch { relation, expected, found } => write!(
+                f,
+                "arity mismatch for relation {relation}: expected {expected}, got {found}"
+            ),
+            RelationError::IncompatibleRelations { relation, left, right } => write!(
+                f,
+                "incompatible arities for relation {relation}: {left} vs {right}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+impl Relation {
+    /// Creates an empty relation with the given name and arity.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Relation { name: name.into(), arity, tuples: BTreeSet::new() }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Returns `true` iff the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple, checking its arity.
+    ///
+    /// Returns `Ok(true)` if the tuple was new, `Ok(false)` if it was already present.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool, RelationError> {
+        if tuple.arity() != self.arity {
+            return Err(RelationError::ArityMismatch {
+                relation: self.name.clone(),
+                expected: self.arity,
+                found: tuple.arity(),
+            });
+        }
+        Ok(self.tuples.insert(tuple))
+    }
+
+    /// Removes a tuple; returns whether it was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        self.tuples.remove(tuple)
+    }
+
+    /// Returns `true` iff the relation contains the tuple.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterates over the tuples in deterministic order.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Returns `true` iff every tuple of `self` is a tuple of `other`
+    /// (and the names and arities agree).
+    pub fn is_subrelation_of(&self, other: &Relation) -> bool {
+        self.name == other.name
+            && self.arity == other.arity
+            && self.tuples.is_subset(&other.tuples)
+    }
+
+    /// Returns `true` iff no tuple contains a null.
+    pub fn is_complete(&self) -> bool {
+        self.tuples.iter().all(Tuple::is_complete)
+    }
+
+    /// Iterates over all nulls occurring in the relation (with repetitions).
+    pub fn nulls(&self) -> impl Iterator<Item = NullId> + '_ {
+        self.tuples.iter().flat_map(|t| t.nulls())
+    }
+
+    /// Iterates over all constants occurring in the relation (with repetitions).
+    pub fn constants(&self) -> impl Iterator<Item = &Constant> + '_ {
+        self.tuples.iter().flat_map(|t| t.constants())
+    }
+
+    /// Iterates over all values occurring in the relation (with repetitions).
+    pub fn values(&self) -> impl Iterator<Item = &Value> + '_ {
+        self.tuples.iter().flat_map(|t| t.values().iter())
+    }
+
+    /// Applies a value mapping to every tuple, producing the image relation.
+    pub fn map_values<F: FnMut(&Value) -> Value>(&self, mut f: F) -> Relation {
+        let mut out = Relation::new(self.name.clone(), self.arity);
+        for t in &self.tuples {
+            out.tuples.insert(t.map(&mut f));
+        }
+        out
+    }
+
+    /// Unions another relation into this one (same name and arity required).
+    pub fn union_in_place(&mut self, other: &Relation) -> Result<(), RelationError> {
+        if self.arity != other.arity {
+            return Err(RelationError::IncompatibleRelations {
+                relation: self.name.clone(),
+                left: self.arity,
+                right: other.arity,
+            });
+        }
+        for t in &other.tuples {
+            self.tuples.insert(t.clone());
+        }
+        Ok(())
+    }
+
+    /// Retains only the tuples satisfying the predicate.
+    pub fn retain<F: FnMut(&Tuple) -> bool>(&mut self, mut f: F) {
+        self.tuples.retain(|t| f(t));
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} {{", self.name, self.arity)?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::tuple_of;
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut r = Relation::new("R", 2);
+        assert_eq!(r.insert(tuple_of([1i64, 2])), Ok(true));
+        assert_eq!(r.insert(tuple_of([1i64, 2])), Ok(false));
+        assert!(matches!(
+            r.insert(tuple_of([1i64])),
+            Err(RelationError::ArityMismatch { expected: 2, found: 1, .. })
+        ));
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn contains_and_remove() {
+        let mut r = Relation::new("R", 1);
+        r.insert(tuple_of([5i64])).unwrap();
+        assert!(r.contains(&tuple_of([5i64])));
+        assert!(r.remove(&tuple_of([5i64])));
+        assert!(!r.remove(&tuple_of([5i64])));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn subrelation_and_completeness() {
+        let mut small = Relation::new("R", 2);
+        small.insert(tuple_of([1i64, 2])).unwrap();
+        let mut big = small.clone();
+        big.insert(tuple_of([Value::int(3), Value::null(1)])).unwrap();
+        assert!(small.is_subrelation_of(&big));
+        assert!(!big.is_subrelation_of(&small));
+        assert!(small.is_complete());
+        assert!(!big.is_complete());
+    }
+
+    #[test]
+    fn map_values_produces_image() {
+        let mut r = Relation::new("R", 2);
+        r.insert(tuple_of([Value::null(1), Value::null(2)])).unwrap();
+        r.insert(tuple_of([Value::null(2), Value::null(1)])).unwrap();
+        // Collapse both nulls onto the same constant: the image has a single tuple.
+        let image = r.map_values(|_| Value::int(0));
+        assert_eq!(image.len(), 1);
+        assert!(image.contains(&tuple_of([0i64, 0])));
+    }
+
+    #[test]
+    fn union_in_place_checks_arity() {
+        let mut a = Relation::new("R", 2);
+        a.insert(tuple_of([1i64, 2])).unwrap();
+        let mut b = Relation::new("R", 2);
+        b.insert(tuple_of([3i64, 4])).unwrap();
+        a.union_in_place(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        let bad = Relation::new("R", 3);
+        assert!(a.union_in_place(&bad).is_err());
+    }
+
+    #[test]
+    fn value_iterators() {
+        let mut r = Relation::new("R", 2);
+        r.insert(tuple_of([Value::int(1), Value::null(7)])).unwrap();
+        assert_eq!(r.nulls().collect::<Vec<_>>(), vec![NullId(7)]);
+        assert_eq!(r.constants().count(), 1);
+        assert_eq!(r.values().count(), 2);
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut r = Relation::new("R", 1);
+        r.insert(tuple_of([1i64])).unwrap();
+        r.insert(tuple_of([Value::null(1)])).unwrap();
+        r.retain(Tuple::is_complete);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&tuple_of([1i64])));
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let mut r = Relation::new("R", 1);
+        r.insert(tuple_of([2i64])).unwrap();
+        r.insert(tuple_of([1i64])).unwrap();
+        assert_eq!(r.to_string(), "R/1 {(1), (2)}");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = RelationError::ArityMismatch { relation: "R".into(), expected: 2, found: 3 };
+        assert!(e.to_string().contains("arity mismatch"));
+        let e = RelationError::IncompatibleRelations { relation: "R".into(), left: 1, right: 2 };
+        assert!(e.to_string().contains("incompatible"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Relational schemas (vocabularies): relation names with associated arities.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The schema of a single relation symbol.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelationSchema {
+    /// The relation name.
+    pub name: String,
+    /// The arity of the relation.
+    pub arity: usize,
+}
+
+impl RelationSchema {
+    /// Creates a relation schema.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        RelationSchema { name: name.into(), arity }
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+/// A relational schema (the paper's *vocabulary*, §2.1): a finite set of relation
+/// names with associated arities.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schema {
+    relations: BTreeMap<String, usize>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Creates a schema from `(name, arity)` pairs.
+    pub fn from_relations<I, S>(rels: I) -> Self
+    where
+        I: IntoIterator<Item = (S, usize)>,
+        S: Into<String>,
+    {
+        let mut s = Schema::new();
+        for (name, arity) in rels {
+            s.add(name, arity);
+        }
+        s
+    }
+
+    /// Adds (or overwrites) a relation symbol.
+    pub fn add(&mut self, name: impl Into<String>, arity: usize) -> &mut Self {
+        self.relations.insert(name.into(), arity);
+        self
+    }
+
+    /// Looks up the arity of a relation symbol.
+    pub fn arity_of(&self, name: &str) -> Option<usize> {
+        self.relations.get(name).copied()
+    }
+
+    /// Returns `true` iff the schema contains the relation symbol.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterates over the relation schemas in name order.
+    pub fn relations(&self) -> impl Iterator<Item = RelationSchema> + '_ {
+        self.relations
+            .iter()
+            .map(|(name, arity)| RelationSchema { name: name.clone(), arity: *arity })
+    }
+
+    /// The number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Returns `true` iff the schema has no relation symbols.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.relations().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<S: Into<String>> FromIterator<(S, usize)> for Schema {
+    fn from_iter<T: IntoIterator<Item = (S, usize)>>(iter: T) -> Self {
+        Schema::from_relations(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let mut s = Schema::new();
+        s.add("R", 2).add("S", 3);
+        assert_eq!(s.arity_of("R"), Some(2));
+        assert_eq!(s.arity_of("S"), Some(3));
+        assert_eq!(s.arity_of("T"), None);
+        assert!(s.contains("R"));
+        assert!(!s.contains("T"));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn from_relations_and_iter() {
+        let s = Schema::from_relations([("R", 2), ("S", 1)]);
+        let rels: Vec<_> = s.relations().collect();
+        assert_eq!(rels, vec![RelationSchema::new("R", 2), RelationSchema::new("S", 1)]);
+        let s2: Schema = vec![("R", 2), ("S", 1)].into_iter().collect();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::from_relations([("R", 2), ("S", 1)]);
+        assert_eq!(s.to_string(), "{R/2, S/1}");
+        assert_eq!(RelationSchema::new("R", 2).to_string(), "R/2");
+        assert_eq!(Schema::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

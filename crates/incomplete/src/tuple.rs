@@ -1,0 +1,204 @@
+//! Tuples over `Const ∪ Null`.
+
+use std::fmt;
+
+use crate::value::{Constant, NullId, Value};
+
+/// A tuple of values, the rows of relations in a naïve database.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Tuple(Vec<Value>);
+
+impl Tuple {
+    /// Creates a tuple from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+
+    /// The arity (number of positions) of the tuple.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values of the tuple, in order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Returns the value at position `i`, if within bounds.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// Returns `true` iff at least one position holds a null.
+    ///
+    /// Naïve evaluation (paper §2.4) discards exactly the answer tuples for which
+    /// this returns `true`.
+    pub fn has_null(&self) -> bool {
+        self.0.iter().any(Value::is_null)
+    }
+
+    /// Returns `true` iff every position holds a constant.
+    pub fn is_complete(&self) -> bool {
+        !self.has_null()
+    }
+
+    /// Iterates over the nulls occurring in the tuple (with repetitions).
+    pub fn nulls(&self) -> impl Iterator<Item = NullId> + '_ {
+        self.0.iter().filter_map(Value::as_null)
+    }
+
+    /// Iterates over the constants occurring in the tuple (with repetitions).
+    pub fn constants(&self) -> impl Iterator<Item = &Constant> + '_ {
+        self.0.iter().filter_map(Value::as_const)
+    }
+
+    /// Applies a value mapping position-wise, producing a new tuple.
+    pub fn map<F: FnMut(&Value) -> Value>(&self, mut f: F) -> Tuple {
+        Tuple(self.0.iter().map(|v| f(v)).collect())
+    }
+
+    /// Consumes the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(values: [Value; N]) -> Self {
+        Tuple(values.to_vec())
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for Tuple {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Convenience constructor: builds a [`Tuple`] from anything convertible to values.
+///
+/// ```
+/// use nev_incomplete::{tuple::tuple_of, Value};
+/// let t = tuple_of([Value::int(1), Value::null(1)]);
+/// assert_eq!(t.arity(), 2);
+/// assert!(t.has_null());
+/// ```
+pub fn tuple_of<I, V>(values: I) -> Tuple
+where
+    I: IntoIterator<Item = V>,
+    V: Into<Value>,
+{
+    Tuple(values.into_iter().map(Into::into).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[Value]) -> Tuple {
+        Tuple::new(vals.to_vec())
+    }
+
+    #[test]
+    fn arity_and_access() {
+        let tup = t(&[Value::int(1), Value::null(2), Value::str("a")]);
+        assert_eq!(tup.arity(), 3);
+        assert_eq!(tup.get(0), Some(&Value::int(1)));
+        assert_eq!(tup.get(3), None);
+        assert_eq!(tup.values().len(), 3);
+    }
+
+    #[test]
+    fn null_detection() {
+        assert!(t(&[Value::int(1), Value::null(0)]).has_null());
+        assert!(!t(&[Value::int(1), Value::int(2)]).has_null());
+        assert!(t(&[Value::int(1), Value::int(2)]).is_complete());
+        assert!(!t(&[Value::null(1)]).is_complete());
+        assert!(t(&[]).is_complete());
+    }
+
+    #[test]
+    fn nulls_and_constants_iterators() {
+        let tup = t(&[Value::int(1), Value::null(3), Value::null(3), Value::str("x")]);
+        let nulls: Vec<_> = tup.nulls().collect();
+        assert_eq!(nulls, vec![NullId(3), NullId(3)]);
+        let consts: Vec<_> = tup.constants().cloned().collect();
+        assert_eq!(consts, vec![Constant::int(1), Constant::str("x")]);
+    }
+
+    #[test]
+    fn map_applies_positionwise() {
+        let tup = t(&[Value::null(1), Value::int(2)]);
+        let mapped = tup.map(|v| match v {
+            Value::Null(_) => Value::int(99),
+            other => other.clone(),
+        });
+        assert_eq!(mapped, t(&[Value::int(99), Value::int(2)]));
+    }
+
+    #[test]
+    fn display_round() {
+        let tup = t(&[Value::int(1), Value::null(2)]);
+        assert_eq!(tup.to_string(), "(1, ⊥2)");
+        assert_eq!(t(&[]).to_string(), "()");
+    }
+
+    #[test]
+    fn from_and_iterators() {
+        let tup: Tuple = vec![Value::int(1)].into();
+        assert_eq!(tup.arity(), 1);
+        let tup: Tuple = [Value::int(1), Value::int(2)].into();
+        assert_eq!(tup.arity(), 2);
+        let collected: Tuple = vec![Value::int(7), Value::null(1)].into_iter().collect();
+        assert_eq!(collected.arity(), 2);
+        let vals: Vec<Value> = collected.clone().into_iter().collect();
+        assert_eq!(vals.len(), 2);
+        let refs: Vec<&Value> = (&collected).into_iter().collect();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(collected.into_values().len(), 2);
+    }
+
+    #[test]
+    fn tuple_of_builder() {
+        let tup = tuple_of([1i64, 2, 3]);
+        assert_eq!(tup.arity(), 3);
+        assert!(tup.is_complete());
+    }
+}

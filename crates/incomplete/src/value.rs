@@ -1,0 +1,257 @@
+//! Values of incomplete databases: constants and labelled nulls.
+//!
+//! The paper (§2.1) fixes two countably infinite, disjoint sets: `Const` of constants
+//! and `Null` of nulls, the latter written `⊥₁, ⊥₂, …`. A value appearing in a naïve
+//! database is an element of `Const ∪ Null`; nulls compare *syntactically* (`⊥₁ = ⊥₁`
+//! but `⊥₁ ≠ ⊥₂`, and `⊥ᵢ ≠ c` for every constant `c`), which is what makes naïve
+//! evaluation runnable on a standard query engine.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A constant value (an element of the set `Const` of the paper).
+///
+/// Constants are either integers or interned strings. Two constants are equal iff
+/// they are the same integer or the same string; integers and strings are never
+/// equal to each other.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Constant {
+    /// An integer constant such as `1` or `42`.
+    Int(i64),
+    /// A symbolic constant such as `"paris"`. Stored behind an `Arc` so that cloning
+    /// instances (which happens constantly when enumerating possible worlds) is cheap.
+    Str(Arc<str>),
+}
+
+impl Constant {
+    /// Creates a string constant.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Constant::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Creates an integer constant.
+    pub fn int(i: i64) -> Self {
+        Constant::Int(i)
+    }
+
+    /// Returns the integer payload if this is an [`Constant::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Constant::Int(i) => Some(*i),
+            Constant::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload if this is a [`Constant::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Constant::Int(_) => None,
+            Constant::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(i) => write!(f, "{i}"),
+            Constant::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Constant {
+    fn from(i: i64) -> Self {
+        Constant::Int(i)
+    }
+}
+
+impl From<&str> for Constant {
+    fn from(s: &str) -> Self {
+        Constant::str(s)
+    }
+}
+
+impl From<String> for Constant {
+    fn from(s: String) -> Self {
+        Constant::Str(Arc::from(s.as_str()))
+    }
+}
+
+/// The identifier of a labelled (marked) null, i.e. the subscript of `⊥ᵢ`.
+///
+/// Nulls with the same identifier are the *same* null and may repeat across tuples
+/// and relations of a naïve database; nulls with different identifiers are distinct
+/// values.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NullId(pub u32);
+
+impl NullId {
+    /// Returns the numeric label of this null.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⊥{}", self.0)
+    }
+}
+
+/// A value of an incomplete database: either a constant or a labelled null.
+///
+/// The derived `Ord` places all constants before all nulls, giving instances a
+/// deterministic iteration order (useful for reproducible experiments and stable
+/// `Display` output); the particular order has no semantic meaning.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// A constant from `Const`.
+    Const(Constant),
+    /// A labelled null from `Null`.
+    Null(NullId),
+}
+
+impl Value {
+    /// Creates an integer constant value.
+    pub fn int(i: i64) -> Self {
+        Value::Const(Constant::Int(i))
+    }
+
+    /// Creates a string constant value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Const(Constant::str(s))
+    }
+
+    /// Creates the null `⊥ᵢ`.
+    pub fn null(i: u32) -> Self {
+        Value::Null(NullId(i))
+    }
+
+    /// Returns `true` iff this value is a null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// Returns `true` iff this value is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// Returns the constant payload, if any.
+    pub fn as_const(&self) -> Option<&Constant> {
+        match self {
+            Value::Const(c) => Some(c),
+            Value::Null(_) => None,
+        }
+    }
+
+    /// Returns the null identifier, if any.
+    pub fn as_null(&self) -> Option<NullId> {
+        match self {
+            Value::Const(_) => None,
+            Value::Null(n) => Some(*n),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(c) => write!(f, "{c}"),
+            Value::Null(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<Constant> for Value {
+    fn from(c: Constant) -> Self {
+        Value::Const(c)
+    }
+}
+
+impl From<NullId> for Value {
+    fn from(n: NullId) -> Self {
+        Value::Null(n)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_compare_by_payload() {
+        assert_eq!(Constant::int(1), Constant::int(1));
+        assert_ne!(Constant::int(1), Constant::int(2));
+        assert_eq!(Constant::str("a"), Constant::str("a"));
+        assert_ne!(Constant::str("a"), Constant::str("b"));
+        assert_ne!(Constant::int(1), Constant::str("1"));
+    }
+
+    #[test]
+    fn nulls_compare_syntactically() {
+        assert_eq!(Value::null(1), Value::null(1));
+        assert_ne!(Value::null(1), Value::null(2));
+        assert_ne!(Value::null(1), Value::int(1));
+    }
+
+    #[test]
+    fn value_kind_predicates() {
+        assert!(Value::null(0).is_null());
+        assert!(!Value::null(0).is_const());
+        assert!(Value::int(3).is_const());
+        assert!(!Value::int(3).is_null());
+        assert_eq!(Value::int(3).as_const(), Some(&Constant::int(3)));
+        assert_eq!(Value::null(7).as_null(), Some(NullId(7)));
+        assert_eq!(Value::int(3).as_null(), None);
+        assert_eq!(Value::null(7).as_const(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::int(5).to_string(), "5");
+        assert_eq!(Value::str("x").to_string(), "x");
+        assert_eq!(Value::null(2).to_string(), "⊥2");
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Value = 9i64.into();
+        assert_eq!(v, Value::int(9));
+        let v: Value = "hi".into();
+        assert_eq!(v, Value::str("hi"));
+        let c: Constant = "hi".into();
+        assert_eq!(Value::from(c), Value::str("hi"));
+        let v: Value = NullId(4).into();
+        assert_eq!(v, Value::null(4));
+        assert_eq!(NullId(4).index(), 4);
+    }
+
+    #[test]
+    fn constant_accessors() {
+        assert_eq!(Constant::int(2).as_int(), Some(2));
+        assert_eq!(Constant::int(2).as_str(), None);
+        assert_eq!(Constant::str("q").as_str(), Some("q"));
+        assert_eq!(Constant::str("q").as_int(), None);
+    }
+
+    #[test]
+    fn ordering_puts_constants_before_nulls() {
+        // Deterministic but arbitrary: all Const values sort before all Null values.
+        assert!(Value::int(100) < Value::null(0));
+        assert!(Value::str("zzz") < Value::null(0));
+    }
+}

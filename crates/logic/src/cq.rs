@@ -1,0 +1,401 @@
+//! Conjunctive queries and unions of conjunctive queries as first-class data.
+//!
+//! Unions of conjunctive queries are exactly the existential positive formulas
+//! (`∃Pos`), the class for which Imieliński & Lipski showed that naïve evaluation
+//! computes certain answers under both OWA and CWA (Fact 1 of the paper). Beyond the
+//! formula representation in [`crate::ast`], this module keeps CQs structured, which
+//! gives access to the classical *canonical instance* construction: freeze each
+//! variable into a fresh null and evaluate by homomorphism. The equivalence of the
+//! two evaluation strategies is itself a useful cross-check exercised by tests and by
+//! the `cross_crate_properties` integration suite.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use nev_hom::search::{all_homomorphisms, HomConfig};
+use nev_hom::ValueMap;
+use nev_incomplete::{Instance, Tuple, Value};
+
+use crate::ast::{Formula, Term};
+use crate::query::{Query, QueryError};
+
+/// A conjunctive query `Q(x̄) :- A₁ ∧ … ∧ Aₙ` where each `Aᵢ` is a relational atom.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConjunctiveQuery {
+    head: Vec<String>,
+    atoms: Vec<(String, Vec<Term>)>,
+}
+
+/// Errors building conjunctive queries.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CqError {
+    /// A head variable does not occur in any body atom (the query would be unsafe).
+    UnsafeHeadVariable(String),
+    /// The query has no atoms and a non-empty head.
+    EmptyBodyWithHead,
+}
+
+impl fmt::Display for CqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqError::UnsafeHeadVariable(v) => {
+                write!(f, "head variable {v} does not occur in the body")
+            }
+            CqError::EmptyBodyWithHead => write!(f, "a CQ with answer variables needs a body"),
+        }
+    }
+}
+
+impl std::error::Error for CqError {}
+
+impl ConjunctiveQuery {
+    /// Creates a conjunctive query; every head variable must occur in the body.
+    pub fn new<I, S>(head: I, atoms: Vec<(String, Vec<Term>)>) -> Result<Self, CqError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let head: Vec<String> = head.into_iter().map(Into::into).collect();
+        if atoms.is_empty() && !head.is_empty() {
+            return Err(CqError::EmptyBodyWithHead);
+        }
+        let body_vars: BTreeSet<&String> = atoms
+            .iter()
+            .flat_map(|(_, ts)| ts.iter())
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(v),
+                Term::Const(_) => None,
+            })
+            .collect();
+        for v in &head {
+            if !body_vars.contains(v) {
+                return Err(CqError::UnsafeHeadVariable(v.clone()));
+            }
+        }
+        Ok(ConjunctiveQuery { head, atoms })
+    }
+
+    /// The answer variables.
+    pub fn head(&self) -> &[String] {
+        &self.head
+    }
+
+    /// The body atoms.
+    pub fn atoms(&self) -> &[(String, Vec<Term>)] {
+        &self.atoms
+    }
+
+    /// The arity of the query.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// All variables occurring in the body.
+    pub fn variables(&self) -> BTreeSet<String> {
+        self.atoms
+            .iter()
+            .flat_map(|(_, ts)| ts.iter())
+            .filter_map(|t| t.as_var().map(String::from))
+            .collect()
+    }
+
+    /// The equivalent existential positive formula `∃ ȳ (A₁ ∧ … ∧ Aₙ)` where `ȳ` are
+    /// the non-answer variables.
+    pub fn to_formula(&self) -> Formula {
+        let existential: Vec<String> = self
+            .variables()
+            .into_iter()
+            .filter(|v| !self.head.contains(v))
+            .collect();
+        let conjuncts: Vec<Formula> = self
+            .atoms
+            .iter()
+            .map(|(rel, terms)| Formula::atom(rel.clone(), terms.iter().cloned()))
+            .collect();
+        Formula::exists(existential, Formula::and(conjuncts))
+    }
+
+    /// The equivalent [`Query`].
+    pub fn to_query(&self) -> Result<Query, QueryError> {
+        Query::new(self.head.clone(), self.to_formula())
+    }
+
+    /// The canonical (frozen) instance of the query: each variable becomes a distinct
+    /// labelled null, constants stay as they are. Returns the instance together with
+    /// the variable → null assignment.
+    pub fn canonical_instance(&self) -> (Instance, BTreeMap<String, Value>) {
+        let mut assignment: BTreeMap<String, Value> = BTreeMap::new();
+        let mut next = 0u32;
+        for v in self.variables() {
+            assignment.insert(v, Value::null(next));
+            next += 1;
+        }
+        let mut instance = Instance::new();
+        for (rel, terms) in &self.atoms {
+            let tuple: Tuple = terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => assignment[v].clone(),
+                    Term::Const(c) => Value::Const(c.clone()),
+                })
+                .collect();
+            instance
+                .add_tuple(rel, tuple)
+                .expect("canonical instance construction is arity-consistent");
+        }
+        (instance, assignment)
+    }
+
+    /// Evaluates the query on an instance by enumerating database homomorphisms from
+    /// its canonical instance — the classical `CQ ≡ hom` correspondence. Nulls of the
+    /// *data* instance may appear in answers, exactly as with direct FO evaluation.
+    pub fn evaluate_via_homomorphisms(&self, instance: &Instance) -> BTreeSet<Tuple> {
+        let (canonical, assignment) = self.canonical_instance();
+        let homs: Vec<ValueMap> = all_homomorphisms(&canonical, instance, &HomConfig::database());
+        homs.into_iter()
+            .map(|h| {
+                self.head
+                    .iter()
+                    .map(|v| h.apply(&assignment[v]))
+                    .collect::<Tuple>()
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q({}) :- ", self.head.join(", "))?;
+        for (i, (rel, terms)) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{rel}(")?;
+            for (j, t) in terms.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A union of conjunctive queries of the same arity — the structured counterpart of
+/// the `∃Pos` fragment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnionOfConjunctiveQueries {
+    disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionOfConjunctiveQueries {
+    /// Creates a UCQ; all disjuncts must share the same arity.
+    ///
+    /// # Panics
+    /// Panics if the disjunct arities differ or the union is empty.
+    pub fn new(disjuncts: Vec<ConjunctiveQuery>) -> Self {
+        assert!(!disjuncts.is_empty(), "a UCQ needs at least one disjunct");
+        let arity = disjuncts[0].arity();
+        assert!(
+            disjuncts.iter().all(|d| d.arity() == arity),
+            "all disjuncts of a UCQ must have the same arity"
+        );
+        UnionOfConjunctiveQueries { disjuncts }
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[ConjunctiveQuery] {
+        &self.disjuncts
+    }
+
+    /// The arity of the union.
+    pub fn arity(&self) -> usize {
+        self.disjuncts[0].arity()
+    }
+
+    /// The equivalent `∃Pos` query. The answer variables of the first disjunct are
+    /// used as the answer variables of the union; the other disjuncts' formulas are
+    /// renamed accordingly.
+    pub fn to_query(&self) -> Result<Query, QueryError> {
+        let head = self.disjuncts[0].head().to_vec();
+        let mut parts = Vec::new();
+        for d in &self.disjuncts {
+            // Rename each disjunct's head variables to the shared head.
+            let mut renaming: BTreeMap<String, String> = BTreeMap::new();
+            for (from, to) in d.head().iter().zip(&head) {
+                renaming.insert(from.clone(), to.clone());
+            }
+            let renamed_atoms: Vec<(String, Vec<Term>)> = d
+                .atoms()
+                .iter()
+                .map(|(rel, terms)| {
+                    (
+                        rel.clone(),
+                        terms
+                            .iter()
+                            .map(|t| match t {
+                                Term::Var(v) => {
+                                    Term::Var(renaming.get(v).cloned().unwrap_or_else(|| v.clone()))
+                                }
+                                c => c.clone(),
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let renamed =
+                ConjunctiveQuery::new(head.clone(), renamed_atoms).expect("renaming preserves safety");
+            parts.push(renamed.to_formula());
+        }
+        Query::new(head, Formula::or(parts))
+    }
+
+    /// Evaluates the union by homomorphism, disjunct by disjunct.
+    pub fn evaluate_via_homomorphisms(&self, instance: &Instance) -> BTreeSet<Tuple> {
+        self.disjuncts
+            .iter()
+            .flat_map(|d| d.evaluate_via_homomorphisms(instance))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate_query, naive_eval_query};
+    use crate::fragment::{classify, Fragment};
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+
+    fn intro_cq() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            ["x", "y"],
+            vec![
+                ("R".into(), vec![Term::var("x"), Term::var("z")]),
+                ("S".into(), vec![Term::var("z"), Term::var("y")]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn intro_instance() -> Instance {
+        inst! {
+            "R" => [[c(1), x(1)], [x(2), x(3)]],
+            "S" => [[x(1), c(4)], [x(3), c(5)]],
+        }
+    }
+
+    #[test]
+    fn cq_to_formula_is_existential_positive() {
+        let cq = intro_cq();
+        let q = cq.to_query().unwrap();
+        assert_eq!(classify(q.formula()), Fragment::ExistentialPositive);
+        assert_eq!(q.arity(), 2);
+        assert_eq!(cq.to_string(), "Q(x, y) :- R(x, z), S(z, y)");
+    }
+
+    #[test]
+    fn hom_evaluation_matches_fo_evaluation() {
+        let cq = intro_cq();
+        let d = intro_instance();
+        let by_hom = cq.evaluate_via_homomorphisms(&d);
+        let by_fo = evaluate_query(&d, &cq.to_query().unwrap());
+        assert_eq!(by_hom, by_fo);
+        assert_eq!(by_hom.len(), 2);
+        // And naive evaluation keeps only (1,4).
+        let naive: BTreeSet<Tuple> = by_hom.into_iter().filter(Tuple::is_complete).collect();
+        assert_eq!(naive, naive_eval_query(&d, &cq.to_query().unwrap()));
+        assert_eq!(naive.len(), 1);
+    }
+
+    #[test]
+    fn canonical_instance_freezes_variables() {
+        let cq = intro_cq();
+        let (canonical, assignment) = cq.canonical_instance();
+        assert_eq!(canonical.fact_count(), 2);
+        assert_eq!(assignment.len(), 3);
+        assert!(canonical.constants().is_empty());
+        // The canonical instance satisfies the (Boolean version of the) query.
+        let boolean = ConjunctiveQuery::new(Vec::<String>::new(), cq.atoms().to_vec()).unwrap();
+        assert_eq!(boolean.evaluate_via_homomorphisms(&canonical).len(), 1);
+    }
+
+    #[test]
+    fn constants_in_atoms_constrain_answers() {
+        let cq = ConjunctiveQuery::new(
+            ["y"],
+            vec![("R".into(), vec![Term::int(1), Term::var("y")])],
+        )
+        .unwrap();
+        let d = inst! { "R" => [[c(1), c(2)], [c(3), c(4)]] };
+        let answers = cq.evaluate_via_homomorphisms(&d);
+        assert_eq!(answers.len(), 1);
+        assert!(answers.contains(&Tuple::new(vec![c(2)])));
+    }
+
+    #[test]
+    fn safety_is_enforced() {
+        let err = ConjunctiveQuery::new(["x"], vec![("R".into(), vec![Term::var("y")])]).unwrap_err();
+        assert_eq!(err, CqError::UnsafeHeadVariable("x".into()));
+        assert!(err.to_string().contains("does not occur"));
+        let err = ConjunctiveQuery::new(["x"], vec![]).unwrap_err();
+        assert_eq!(err, CqError::EmptyBodyWithHead);
+    }
+
+    #[test]
+    fn boolean_cq() {
+        let cq = ConjunctiveQuery::new(
+            Vec::<String>::new(),
+            vec![("D".into(), vec![Term::var("u"), Term::var("u")])],
+        )
+        .unwrap();
+        let with_loop = inst! { "D" => [[x(1), x(1)]] };
+        let without_loop = inst! { "D" => [[x(1), x(2)]] };
+        assert_eq!(cq.evaluate_via_homomorphisms(&with_loop).len(), 1);
+        assert_eq!(cq.evaluate_via_homomorphisms(&without_loop).len(), 0);
+    }
+
+    #[test]
+    fn ucq_union_of_answers() {
+        let d = inst! { "R" => [[c(1), c(2)]], "S" => [[c(3), c(4)]] };
+        let q1 = ConjunctiveQuery::new(
+            ["a", "b"],
+            vec![("R".into(), vec![Term::var("a"), Term::var("b")])],
+        )
+        .unwrap();
+        let q2 = ConjunctiveQuery::new(
+            ["u", "v"],
+            vec![("S".into(), vec![Term::var("u"), Term::var("v")])],
+        )
+        .unwrap();
+        let ucq = UnionOfConjunctiveQueries::new(vec![q1, q2]);
+        assert_eq!(ucq.arity(), 2);
+        assert_eq!(ucq.disjuncts().len(), 2);
+        let by_hom = ucq.evaluate_via_homomorphisms(&d);
+        assert_eq!(by_hom.len(), 2);
+        let q = ucq.to_query().unwrap();
+        assert_eq!(classify(q.formula()), Fragment::ExistentialPositive);
+        let by_fo = evaluate_query(&d, &q);
+        assert_eq!(by_hom, by_fo);
+    }
+
+    #[test]
+    #[should_panic(expected = "same arity")]
+    fn ucq_rejects_mixed_arities() {
+        let q1 = ConjunctiveQuery::new(["a"], vec![("R".into(), vec![Term::var("a")])]).unwrap();
+        let q2 = ConjunctiveQuery::new(
+            ["a", "b"],
+            vec![("S".into(), vec![Term::var("a"), Term::var("b")])],
+        )
+        .unwrap();
+        UnionOfConjunctiveQueries::new(vec![q1, q2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disjunct")]
+    fn empty_ucq_panics() {
+        UnionOfConjunctiveQueries::new(vec![]);
+    }
+}

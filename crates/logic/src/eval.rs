@@ -1,0 +1,395 @@
+//! Active-domain evaluation of FO formulas, and naïve evaluation.
+//!
+//! The paper assumes the *active domain semantics* for relational first-order queries
+//! (§2.4): quantifiers range over `adom(D)`, the set of values actually occurring in
+//! the instance. Evaluating a query directly on an incomplete database — treating
+//! nulls as ordinary values that are equal only when syntactically identical — and
+//! then discarding answer tuples that contain nulls is **naïve evaluation**. Whether
+//! this two-step procedure computes the certain answers is precisely the question the
+//! paper answers; the comparison itself lives in `nev-core`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nev_incomplete::{Instance, Tuple, Value};
+
+use crate::ast::{Formula, Term};
+use crate::query::Query;
+
+/// A variable assignment used during evaluation.
+pub type Assignment = BTreeMap<String, Value>;
+
+fn term_value(term: &Term, assignment: &Assignment) -> Option<Value> {
+    match term {
+        Term::Var(v) => assignment.get(v).cloned(),
+        Term::Const(c) => Some(Value::Const(c.clone())),
+    }
+}
+
+/// Returns `true` iff `instance, assignment ⊨ formula` under the active-domain
+/// semantics, with nulls treated as ordinary values (syntactic equality).
+///
+/// Free variables of the formula must be bound by the assignment; unbound variables
+/// make the enclosing atom false (they can never be satisfied), which only matters for
+/// ill-formed inputs.
+pub fn satisfies(instance: &Instance, formula: &Formula, assignment: &Assignment) -> bool {
+    satisfies_with_domain(instance, formula, assignment, &instance.adom())
+}
+
+fn satisfies_with_domain(
+    instance: &Instance,
+    formula: &Formula,
+    assignment: &Assignment,
+    domain: &BTreeSet<Value>,
+) -> bool {
+    match formula {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom { relation, terms } => {
+            let Some(rel) = instance.relation(relation) else {
+                return false;
+            };
+            let mut values = Vec::with_capacity(terms.len());
+            for t in terms {
+                match term_value(t, assignment) {
+                    Some(v) => values.push(v),
+                    None => return false,
+                }
+            }
+            rel.contains(&values.into_iter().collect())
+        }
+        Formula::Eq(a, b) => match (term_value(a, assignment), term_value(b, assignment)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        },
+        Formula::Not(inner) => !satisfies_with_domain(instance, inner, assignment, domain),
+        Formula::And(parts) => parts
+            .iter()
+            .all(|p| satisfies_with_domain(instance, p, assignment, domain)),
+        Formula::Or(parts) => parts
+            .iter()
+            .any(|p| satisfies_with_domain(instance, p, assignment, domain)),
+        Formula::Implies(a, b) => {
+            !satisfies_with_domain(instance, a, assignment, domain)
+                || satisfies_with_domain(instance, b, assignment, domain)
+        }
+        Formula::Exists(vars, body) => {
+            assign_all(domain, vars, assignment, &mut |extended| {
+                satisfies_with_domain(instance, body, extended, domain)
+            })
+        }
+        Formula::Forall(vars, body) => {
+            !assign_all(domain, vars, assignment, &mut |extended| {
+                !satisfies_with_domain(instance, body, extended, domain)
+            })
+        }
+    }
+}
+
+/// Tries every extension of `assignment` mapping `vars` into `domain`; returns `true`
+/// as soon as `test` accepts one of them.
+fn assign_all(
+    domain: &BTreeSet<Value>,
+    vars: &[String],
+    assignment: &Assignment,
+    test: &mut dyn FnMut(&Assignment) -> bool,
+) -> bool {
+    fn go(
+        domain: &BTreeSet<Value>,
+        vars: &[String],
+        current: &mut Assignment,
+        test: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
+        match vars.split_first() {
+            None => test(current),
+            Some((v, rest)) => {
+                for value in domain {
+                    let previous = current.insert(v.clone(), value.clone());
+                    let found = go(domain, rest, current, test);
+                    match previous {
+                        Some(p) => {
+                            current.insert(v.clone(), p);
+                        }
+                        None => {
+                            current.remove(v);
+                        }
+                    }
+                    if found {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+    let mut current = assignment.clone();
+    go(domain, vars, &mut current, test)
+}
+
+/// Evaluates a Boolean query (sentence) on the instance, with nulls treated as
+/// ordinary values. This is the first step of naïve evaluation; for Boolean queries
+/// there is no second step (§2.4).
+pub fn evaluate_boolean(instance: &Instance, formula: &Formula) -> bool {
+    debug_assert!(formula.is_sentence(), "evaluate_boolean expects a sentence");
+    satisfies(instance, formula, &Assignment::new())
+}
+
+/// Evaluates a k-ary query on the instance under the active-domain semantics,
+/// returning the set of answer tuples `Q(D) ⊆ adom(D)ᵏ` (nulls may appear in answers).
+pub fn evaluate_query(instance: &Instance, query: &Query) -> BTreeSet<Tuple> {
+    let domain = instance.adom();
+    let mut answers = BTreeSet::new();
+    let vars = query.answer_variables().to_vec();
+    collect_answers(
+        instance,
+        query.formula(),
+        &domain,
+        &vars,
+        &mut Assignment::new(),
+        &mut answers,
+    );
+    answers
+}
+
+fn collect_answers(
+    instance: &Instance,
+    formula: &Formula,
+    domain: &BTreeSet<Value>,
+    vars: &[String],
+    current: &mut Assignment,
+    answers: &mut BTreeSet<Tuple>,
+) {
+    // Enumerate the cartesian product of the active domain over the answer variables.
+    let k = vars.len();
+    if k == 0 {
+        if satisfies_with_domain(instance, formula, current, domain) {
+            answers.insert(Tuple::new(Vec::new()));
+        }
+        return;
+    }
+    let domain_vec: Vec<Value> = domain.iter().cloned().collect();
+    if domain_vec.is_empty() {
+        return;
+    }
+    let mut indices = vec![0usize; k];
+    loop {
+        let mut assignment = current.clone();
+        for (v, idx) in vars.iter().zip(&indices) {
+            assignment.insert(v.clone(), domain_vec[*idx].clone());
+        }
+        if satisfies_with_domain(instance, formula, &assignment, domain) {
+            let tuple: Tuple = vars.iter().map(|v| assignment[v].clone()).collect();
+            answers.insert(tuple);
+        }
+        // Advance the counter.
+        let mut pos = 0;
+        loop {
+            if pos == k {
+                return;
+            }
+            indices[pos] += 1;
+            if indices[pos] < domain_vec.len() {
+                break;
+            }
+            indices[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// Naïve evaluation of a k-ary query (§2.4): evaluate the query on the incomplete
+/// instance as if nulls were ordinary values, then keep only the answer tuples made
+/// entirely of constants — the set written `Q^C(D)` in §8.
+pub fn naive_eval_query(instance: &Instance, query: &Query) -> BTreeSet<Tuple> {
+    evaluate_query(instance, query)
+        .into_iter()
+        .filter(Tuple::is_complete)
+        .collect()
+}
+
+/// Naïve evaluation of a Boolean query: for sentences the "drop tuples with nulls"
+/// step is vacuous, so this is plain evaluation on the incomplete instance.
+pub fn naive_eval_boolean(instance: &Instance, query: &Query) -> bool {
+    debug_assert!(query.is_boolean(), "naive_eval_boolean expects a Boolean query");
+    evaluate_boolean(instance, query.formula())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Term;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+
+    /// The instance of the paper's introduction.
+    fn intro_instance() -> Instance {
+        inst! {
+            "R" => [[c(1), x(1)], [x(2), x(3)]],
+            "S" => [[x(1), c(4)], [x(3), c(5)]],
+        }
+    }
+
+    /// φ(x,y) = ∃z (R(x,z) ∧ S(z,y)).
+    fn intro_query() -> Query {
+        let f = Formula::exists(
+            ["z"],
+            Formula::and([
+                Formula::atom("R", [Term::var("x"), Term::var("z")]),
+                Formula::atom("S", [Term::var("z"), Term::var("y")]),
+            ]),
+        );
+        Query::new(["x", "y"], f).unwrap()
+    }
+
+    #[test]
+    fn intro_example_evaluation() {
+        // Evaluating naïvely returns (1,4) and (⊥2,5); dropping nulls leaves (1,4).
+        let d = intro_instance();
+        let q = intro_query();
+        let raw = evaluate_query(&d, &q);
+        assert_eq!(raw.len(), 2);
+        assert!(raw.contains(&Tuple::new(vec![c(1), c(4)])));
+        assert!(raw.contains(&Tuple::new(vec![x(2), c(5)])));
+        let naive = naive_eval_query(&d, &q);
+        assert_eq!(naive.len(), 1);
+        assert!(naive.contains(&Tuple::new(vec![c(1), c(4)])));
+    }
+
+    #[test]
+    fn boolean_queries_on_d0() {
+        // D0 = {(⊥,⊥′),(⊥′,⊥)}; §2.4 discusses two sentences on it.
+        let d0 = inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] };
+        let sym = Query::boolean(Formula::exists(
+            ["u", "v"],
+            Formula::and([
+                Formula::atom("D", [Term::var("u"), Term::var("v")]),
+                Formula::atom("D", [Term::var("v"), Term::var("u")]),
+            ]),
+        ));
+        assert!(naive_eval_boolean(&d0, &sym));
+        let total = Query::boolean(Formula::forall(
+            ["u"],
+            Formula::exists(["v"], Formula::atom("D", [Term::var("u"), Term::var("v")])),
+        ));
+        assert!(naive_eval_boolean(&d0, &total));
+    }
+
+    #[test]
+    fn nulls_compare_syntactically() {
+        let d = inst! { "R" => [[x(1), x(1)], [x(1), x(2)]] };
+        // ∃u R(u,u) is true (⊥1 = ⊥1)…
+        let loops = Query::boolean(Formula::exists(
+            ["u"],
+            Formula::atom("R", [Term::var("u"), Term::var("u")]),
+        ));
+        assert!(naive_eval_boolean(&d, &loops));
+        // …but ∀u∀v R(u,v) is false because R(⊥2, ⊥1) is absent.
+        let all = Query::boolean(Formula::forall(
+            ["u", "v"],
+            Formula::atom("R", [Term::var("u"), Term::var("v")]),
+        ));
+        assert!(!naive_eval_boolean(&d, &all));
+    }
+
+    #[test]
+    fn equality_and_constants_in_atoms() {
+        let d = inst! { "R" => [[c(1), c(2)]] };
+        let q = Query::boolean(Formula::exists(
+            ["u"],
+            Formula::and([
+                Formula::atom("R", [Term::int(1), Term::var("u")]),
+                Formula::eq(Term::var("u"), Term::int(2)),
+            ]),
+        ));
+        assert!(naive_eval_boolean(&d, &q));
+        let q_false = Query::boolean(Formula::exists(
+            ["u"],
+            Formula::and([
+                Formula::atom("R", [Term::int(1), Term::var("u")]),
+                Formula::eq(Term::var("u"), Term::int(3)),
+            ]),
+        ));
+        assert!(!naive_eval_boolean(&d, &q_false));
+    }
+
+    #[test]
+    fn negation_and_implication() {
+        let d = inst! { "R" => [[c(1)]], "S" => [[c(2)]] };
+        // ∀u (R(u) → S(u)) is false: R(1) holds but S(1) does not.
+        let imp = Query::boolean(Formula::forall(
+            ["u"],
+            Formula::implies(
+                Formula::atom("R", [Term::var("u")]),
+                Formula::atom("S", [Term::var("u")]),
+            ),
+        ));
+        assert!(!naive_eval_boolean(&d, &imp));
+        // ∃u ¬R(u) is true: 2 is in the active domain and not in R.
+        let neg = Query::boolean(Formula::exists(
+            ["u"],
+            Formula::not(Formula::atom("R", [Term::var("u")])),
+        ));
+        assert!(naive_eval_boolean(&d, &neg));
+    }
+
+    #[test]
+    fn quantifiers_over_empty_active_domain() {
+        let empty = Instance::new();
+        let ex = Query::boolean(Formula::exists(["u"], Formula::True));
+        let fa = Query::boolean(Formula::forall(["u"], Formula::False));
+        assert!(!naive_eval_boolean(&empty, &ex));
+        assert!(naive_eval_boolean(&empty, &fa));
+        assert!(evaluate_boolean(&empty, &Formula::True));
+        assert!(!evaluate_boolean(&empty, &Formula::False));
+    }
+
+    #[test]
+    fn missing_relation_atoms_are_false() {
+        let d = inst! { "R" => [[c(1)]] };
+        let q = Query::boolean(Formula::exists(["u"], Formula::atom("T", [Term::var("u")])));
+        assert!(!naive_eval_boolean(&d, &q));
+    }
+
+    #[test]
+    fn kary_query_with_constant_answers_only() {
+        // Q(u) = R(u) over {R(1), R(⊥)}: raw answers {1, ⊥}, naïve answers {1}.
+        let d = inst! { "R" => [[c(1)], [x(1)]] };
+        let q = Query::new(["u"], Formula::atom("R", [Term::var("u")])).unwrap();
+        let raw = evaluate_query(&d, &q);
+        assert_eq!(raw.len(), 2);
+        let naive = naive_eval_query(&d, &q);
+        assert_eq!(naive.len(), 1);
+        assert!(naive.contains(&Tuple::new(vec![c(1)])));
+    }
+
+    #[test]
+    fn answer_variables_not_in_formula_range_over_adom() {
+        let d = inst! { "R" => [[c(1)], [c(2)]] };
+        let q = Query::new(["u", "v"], Formula::atom("R", [Term::var("u")])).unwrap();
+        let raw = evaluate_query(&d, &q);
+        // u ∈ {1,2} satisfying R, v ranges over the whole active domain {1,2}.
+        assert_eq!(raw.len(), 4);
+    }
+
+    #[test]
+    fn zero_ary_answers_encode_booleans() {
+        let d = inst! { "R" => [[c(1)]] };
+        let q_true = Query::boolean(Formula::exists(["u"], Formula::atom("R", [Term::var("u")])));
+        let q_false = Query::boolean(Formula::exists(["u"], Formula::atom("S", [Term::var("u")])));
+        assert_eq!(evaluate_query(&d, &q_true).len(), 1);
+        assert_eq!(evaluate_query(&d, &q_false).len(), 0);
+    }
+
+    #[test]
+    fn satisfies_with_explicit_assignment() {
+        let d = inst! { "R" => [[c(1), x(1)]] };
+        let f = Formula::atom("R", [Term::var("a"), Term::var("b")]);
+        let mut assignment = Assignment::new();
+        assignment.insert("a".into(), c(1));
+        assignment.insert("b".into(), x(1));
+        assert!(satisfies(&d, &f, &assignment));
+        assignment.insert("b".into(), x(2));
+        assert!(!satisfies(&d, &f, &assignment));
+        // Unbound variables make atoms false rather than panicking.
+        assert!(!satisfies(&d, &f, &Assignment::new()));
+    }
+}

@@ -1,0 +1,340 @@
+//! Syntactic fragments of first-order logic (paper §5 and §7).
+//!
+//! The paper's positive answer to "when does naïve evaluation work?" is phrased in
+//! terms of four syntactic classes:
+//!
+//! * `∃Pos` — existential positive formulas, i.e. unions of conjunctive queries
+//!   (naïve evaluation works under **OWA**, and by Libkin 2011 this is optimal);
+//! * `Pos` — positive formulas, allowing `∀` but no negation
+//!   (naïve evaluation works under **WCWA**);
+//! * `Pos+∀G` — positive formulas extended with *universal guards*
+//!   `∀x̄ (R(x̄) → φ)` with pairwise distinct guard variables
+//!   (naïve evaluation works under **CWA**);
+//! * `∃Pos+∀G_bool` — existential positive formulas extended with *Boolean* universal
+//!   guards, i.e. guarded universals that are sentences
+//!   (naïve evaluation works under the powerset semantics `⦅ ⦆_CWA`).
+//!
+//! The classifier below implements the paper's inductive definitions literally,
+//! including the subtle side conditions: guard variables must be pairwise distinct
+//! (Proposition 5.1's remark shows why), plain `∀`/`∃` in `Pos+∀G` may only wrap `Pos`
+//! subformulas, and `∃Pos+∀G_bool` guards must produce sentences.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Formula, Term};
+
+/// The syntactic classes considered by the paper, ordered by inclusion where
+/// applicable (`∃Pos ⊊ Pos ⊊ Pos+∀G ⊊ FO`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Fragment {
+    /// `∃Pos`: existential positive formulas / unions of conjunctive queries.
+    ExistentialPositive,
+    /// `Pos`: positive formulas (`∧, ∨, ∃, ∀`, no negation).
+    Positive,
+    /// `Pos+∀G`: positive formulas with universal guards.
+    PositiveGuarded,
+    /// `∃Pos+∀G_bool`: existential positive formulas with Boolean universal guards.
+    ExistentialPositiveBooleanGuarded,
+    /// Full first-order logic (none of the above).
+    FullFirstOrder,
+}
+
+impl std::fmt::Display for Fragment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Fragment::ExistentialPositive => "∃Pos",
+            Fragment::Positive => "Pos",
+            Fragment::PositiveGuarded => "Pos+∀G",
+            Fragment::ExistentialPositiveBooleanGuarded => "∃Pos+∀G_bool",
+            Fragment::FullFirstOrder => "FO",
+        };
+        write!(f, "{name}")
+    }
+}
+
+fn is_atomic_or_truth(f: &Formula) -> bool {
+    matches!(f, Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(_, _))
+}
+
+/// Returns `true` iff the formula is existential positive (`∃Pos`): built from atoms,
+/// `true`, `false`, `∧`, `∨` and `∃` only.
+pub fn is_existential_positive(f: &Formula) -> bool {
+    match f {
+        _ if is_atomic_or_truth(f) => true,
+        Formula::And(parts) | Formula::Or(parts) => parts.iter().all(is_existential_positive),
+        Formula::Exists(_, body) => is_existential_positive(body),
+        _ => false,
+    }
+}
+
+/// Returns `true` iff the formula is positive (`Pos`): built from atoms, `true`,
+/// `false`, `∧`, `∨`, `∃` and `∀` — no negation, no implication.
+pub fn is_positive(f: &Formula) -> bool {
+    match f {
+        _ if is_atomic_or_truth(f) => true,
+        Formula::And(parts) | Formula::Or(parts) => parts.iter().all(is_positive),
+        Formula::Exists(_, body) | Formula::Forall(_, body) => is_positive(body),
+        _ => false,
+    }
+}
+
+/// Recognises the guard shape `R(x₁,…,xₙ)` or `x = z` over exactly the quantified
+/// variables, pairwise distinct.
+fn guard_matches(guard: &Formula, vars: &[String]) -> bool {
+    let distinct: BTreeSet<&String> = vars.iter().collect();
+    if distinct.len() != vars.len() {
+        return false;
+    }
+    match guard {
+        Formula::Atom { terms, .. } => {
+            terms.len() == vars.len()
+                && terms
+                    .iter()
+                    .zip(vars)
+                    .all(|(t, v)| matches!(t, Term::Var(name) if name == v))
+        }
+        Formula::Eq(a, b) => {
+            vars.len() == 2
+                && matches!(a, Term::Var(name) if name == &vars[0])
+                && matches!(b, Term::Var(name) if name == &vars[1])
+        }
+        _ => false,
+    }
+}
+
+/// Returns `true` iff the formula is in `Pos+∀G` (§5): the positive fragment where
+/// unguarded quantifiers wrap `Pos` subformulas and universally guarded formulas
+/// `∀x̄ (R(x̄) → φ)` (with `x̄` pairwise distinct, `R` possibly `=`) wrap `Pos+∀G`
+/// subformulas.
+pub fn is_positive_guarded(f: &Formula) -> bool {
+    match f {
+        _ if is_atomic_or_truth(f) => true,
+        Formula::And(parts) | Formula::Or(parts) => parts.iter().all(is_positive_guarded),
+        Formula::Exists(_, body) => is_positive(body),
+        Formula::Forall(vars, body) => match body.as_ref() {
+            Formula::Implies(guard, inner) if guard_matches(guard, vars) => {
+                is_positive_guarded(inner)
+            }
+            _ => is_positive(body),
+        },
+        _ => false,
+    }
+}
+
+/// Returns `true` iff the formula is in `∃Pos+∀G_bool` (§7): existential positive
+/// formulas closed under Boolean universal guards, i.e. guarded universals
+/// `∀x̄ (R(x̄) → φ)` whose body's free variables are all among the (pairwise distinct)
+/// guard variables — making the guarded formula a sentence.
+pub fn is_existential_positive_boolean_guarded(f: &Formula) -> bool {
+    match f {
+        _ if is_atomic_or_truth(f) => true,
+        Formula::And(parts) | Formula::Or(parts) => {
+            parts.iter().all(is_existential_positive_boolean_guarded)
+        }
+        Formula::Exists(_, body) => is_existential_positive_boolean_guarded(body),
+        Formula::Forall(vars, body) => match body.as_ref() {
+            Formula::Implies(guard, inner) if guard_matches(guard, vars) => {
+                is_existential_positive_boolean_guarded(inner)
+                    && inner.free_variables().iter().all(|v| vars.contains(v))
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Classifies a formula into the *smallest* fragment of the paper containing it,
+/// preferring (in order) `∃Pos`, `Pos`, `Pos+∀G`, `∃Pos+∀G_bool`, and finally full FO.
+///
+/// Note that `Pos+∀G` and `∃Pos+∀G_bool` are incomparable classes; a formula in both
+/// is reported as `Pos+∀G` (the Figure 1 harness checks membership in each class
+/// separately and does not rely on this tie-break).
+pub fn classify(f: &Formula) -> Fragment {
+    if is_existential_positive(f) {
+        Fragment::ExistentialPositive
+    } else if is_positive(f) {
+        Fragment::Positive
+    } else if is_positive_guarded(f) {
+        Fragment::PositiveGuarded
+    } else if is_existential_positive_boolean_guarded(f) {
+        Fragment::ExistentialPositiveBooleanGuarded
+    } else {
+        Fragment::FullFirstOrder
+    }
+}
+
+/// Returns `true` iff the formula belongs to the given fragment (full FO accepts
+/// everything).
+pub fn is_in_fragment(f: &Formula, fragment: Fragment) -> bool {
+    match fragment {
+        Fragment::ExistentialPositive => is_existential_positive(f),
+        Fragment::Positive => is_positive(f),
+        Fragment::PositiveGuarded => is_positive_guarded(f),
+        Fragment::ExistentialPositiveBooleanGuarded => is_existential_positive_boolean_guarded(f),
+        Fragment::FullFirstOrder => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Term;
+
+    fn atom_r(vars: &[&str]) -> Formula {
+        Formula::atom("R", vars.iter().map(|v| Term::var(*v)))
+    }
+
+    #[test]
+    fn ucq_is_existential_positive() {
+        // ∃z (R(x,z) ∧ S(z,y)) ∨ ∃u R(u,u)
+        let f = Formula::or([
+            Formula::exists(
+                ["z"],
+                Formula::and([
+                    Formula::atom("R", [Term::var("x"), Term::var("z")]),
+                    Formula::atom("S", [Term::var("z"), Term::var("y")]),
+                ]),
+            ),
+            Formula::exists(["u"], Formula::atom("R", [Term::var("u"), Term::var("u")])),
+        ]);
+        assert!(is_existential_positive(&f));
+        assert!(is_positive(&f));
+        assert!(is_positive_guarded(&f));
+        assert!(is_existential_positive_boolean_guarded(&f));
+        assert_eq!(classify(&f), Fragment::ExistentialPositive);
+    }
+
+    #[test]
+    fn forall_exists_is_positive_not_existential() {
+        // ∀x ∃y D(x,y) — the §2.4 example that works under CWA but not OWA.
+        let f = Formula::forall(
+            ["x"],
+            Formula::exists(["y"], Formula::atom("D", [Term::var("x"), Term::var("y")])),
+        );
+        assert!(!is_existential_positive(&f));
+        assert!(is_positive(&f));
+        assert!(is_positive_guarded(&f));
+        assert!(!is_existential_positive_boolean_guarded(&f));
+        assert_eq!(classify(&f), Fragment::Positive);
+    }
+
+    #[test]
+    fn negation_is_full_fo() {
+        let f = Formula::exists(["x"], Formula::not(atom_r(&["x"])));
+        assert!(!is_positive(&f));
+        assert!(!is_positive_guarded(&f));
+        assert_eq!(classify(&f), Fragment::FullFirstOrder);
+        assert!(is_in_fragment(&f, Fragment::FullFirstOrder));
+        assert!(!is_in_fragment(&f, Fragment::Positive));
+    }
+
+    #[test]
+    fn guarded_universal_is_pos_guarded_not_pos() {
+        // ∀x y (R(x,y) → ∃z R(y,z))
+        let f = Formula::forall_guarded(
+            "R",
+            vec!["x".into(), "y".into()],
+            Formula::exists(["z"], Formula::atom("R", [Term::var("y"), Term::var("z")])),
+        );
+        assert!(!is_positive(&f), "an implication is not positive");
+        assert!(is_positive_guarded(&f));
+        assert_eq!(classify(&f), Fragment::PositiveGuarded);
+    }
+
+    #[test]
+    fn guard_with_repeated_variables_is_rejected() {
+        // ∀x (R(x,x) → S(x)) is NOT in Pos+∀G — the remark after Proposition 5.1.
+        let guard = Formula::atom("R", [Term::var("x"), Term::var("x")]);
+        let body = Formula::atom("S", [Term::var("x")]);
+        let f = Formula::Forall(vec!["x".into()], Box::new(Formula::implies(guard, body)));
+        assert!(!is_positive_guarded(&f));
+        assert_eq!(classify(&f), Fragment::FullFirstOrder);
+    }
+
+    #[test]
+    fn guard_must_use_exactly_the_quantified_variables() {
+        // ∀x (R(x, y) → S(x)) with y free in the guard: not a guard in the paper's sense.
+        let guard = Formula::atom("R", [Term::var("x"), Term::var("y")]);
+        let body = Formula::atom("S", [Term::var("x")]);
+        let f = Formula::Forall(vec!["x".into()], Box::new(Formula::implies(guard, body)));
+        assert!(!is_positive_guarded(&f));
+    }
+
+    #[test]
+    fn equality_guard_is_accepted() {
+        let f = Formula::forall_eq_guarded(
+            "x",
+            "z",
+            Formula::atom("R", [Term::var("x"), Term::var("z")]),
+        );
+        assert!(is_positive_guarded(&f));
+        assert!(is_existential_positive_boolean_guarded(&f));
+    }
+
+    #[test]
+    fn boolean_guard_requires_sentence_body() {
+        // ∀x y (R(x,y) → ∃z S(y,z)) is in ∃Pos+∀G_bool (body's free vars ⊆ guard vars)…
+        let ok = Formula::forall_guarded(
+            "R",
+            vec!["x".into(), "y".into()],
+            Formula::exists(["z"], Formula::atom("S", [Term::var("y"), Term::var("z")])),
+        );
+        assert!(is_existential_positive_boolean_guarded(&ok));
+        // …but ∀x (R(x) → S(x, w)) with w free is not.
+        let not_ok = Formula::forall_guarded(
+            "R",
+            vec!["x".into()],
+            Formula::atom("S", [Term::var("x"), Term::var("w")]),
+        );
+        assert!(!is_existential_positive_boolean_guarded(&not_ok));
+        // A universal *inside* the body (beyond guards) is also rejected.
+        let inner_forall = Formula::forall_guarded(
+            "R",
+            vec!["x".into()],
+            Formula::forall(["y"], Formula::atom("S", [Term::var("y")])),
+        );
+        assert!(!is_existential_positive_boolean_guarded(&inner_forall));
+    }
+
+    #[test]
+    fn pos_guarded_restricts_plain_quantifiers_to_pos_bodies() {
+        // ∃x ∀y (R(x,y) → S(y)): the unguarded ∃ wraps a non-Pos body, so the formula
+        // is outside Pos+∀G by the paper's inductive definition.
+        let guarded = Formula::forall_guarded(
+            "R2",
+            vec!["y".into()],
+            Formula::atom("S", [Term::var("y")]),
+        );
+        let f = Formula::exists(["x"], guarded.clone());
+        assert!(!is_positive_guarded(&f));
+        // But conjunctions/disjunctions of guarded formulas stay inside.
+        let g = Formula::and([guarded.clone(), Formula::atom("T", [Term::var("u")])]);
+        assert!(is_positive_guarded(&g));
+        // And nested guards are fine.
+        let nested = Formula::forall_guarded("R2", vec!["z".into()], guarded);
+        assert!(is_positive_guarded(&nested));
+    }
+
+    #[test]
+    fn classify_orders_fragments() {
+        assert_eq!(classify(&Formula::True), Fragment::ExistentialPositive);
+        let pos = Formula::forall(["x"], atom_r(&["x"]));
+        assert_eq!(classify(&pos), Fragment::Positive);
+        let dpos_gbool_only = Formula::and([
+            Formula::forall_guarded("R", vec!["x".into()], Formula::atom("S", [Term::var("x")])),
+            Formula::exists(["u"], Formula::atom("S", [Term::var("u")])),
+        ]);
+        // This one is both Pos+∀G and ∃Pos+∀G_bool; the tie-break reports Pos+∀G.
+        assert_eq!(classify(&dpos_gbool_only), Fragment::PositiveGuarded);
+        assert!(is_in_fragment(&dpos_gbool_only, Fragment::ExistentialPositiveBooleanGuarded));
+    }
+
+    #[test]
+    fn fragment_display_names() {
+        assert_eq!(Fragment::ExistentialPositive.to_string(), "∃Pos");
+        assert_eq!(Fragment::Positive.to_string(), "Pos");
+        assert_eq!(Fragment::PositiveGuarded.to_string(), "Pos+∀G");
+        assert_eq!(Fragment::ExistentialPositiveBooleanGuarded.to_string(), "∃Pos+∀G_bool");
+        assert_eq!(Fragment::FullFirstOrder.to_string(), "FO");
+    }
+}

@@ -1,0 +1,583 @@
+//! A small text syntax for first-order formulas and queries.
+//!
+//! The syntax is ASCII-friendly:
+//!
+//! ```text
+//! formula     := implication
+//! implication := disjunction [ "->" implication ]
+//! disjunction := conjunction { "|" conjunction }
+//! conjunction := unary { "&" unary }
+//! unary       := "!" unary
+//!              | ("exists" | "forall") var+ "." formula
+//!              | "(" formula ")"
+//!              | "true" | "false"
+//!              | atom | term "=" term
+//! atom        := RelationName "(" [ term { "," term } ] ")"
+//! term        := variable | integer | 'string'
+//! ```
+//!
+//! Relation names start with an upper-case letter, variables with a lower-case letter.
+//! Quantifier bodies extend as far to the right as possible.
+//!
+//! Queries use the rule-like syntax `Q(x, y) :- formula`; a bare formula denotes a
+//! Boolean query when it is a sentence, and otherwise a query whose answer variables
+//! are the free variables in alphabetical order.
+//!
+//! ```
+//! use nev_logic::{parse_formula, parse_query};
+//! let q = parse_query("Q(x, y) :- exists z . R(x, z) & S(z, y)").unwrap();
+//! assert_eq!(q.arity(), 2);
+//! let f = parse_formula("forall x . exists y . D(x, y)").unwrap();
+//! assert!(f.is_sentence());
+//! ```
+
+use std::fmt;
+
+use crate::ast::{Formula, Term};
+use crate::query::Query;
+
+/// A parse error with a human-readable message and the byte offset where it occurred.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// Byte offset in the input at which the problem was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Bang,
+    Amp,
+    Pipe,
+    Arrow,
+    Equals,
+    Turnstile, // ":-"
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { input, chars: input.char_indices().peekable() }
+    }
+
+    fn error(&self, offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), offset }
+    }
+
+    fn tokenize(&mut self) -> Result<Vec<(usize, Token)>, ParseError> {
+        let mut tokens = Vec::new();
+        while let Some(&(offset, ch)) = self.chars.peek() {
+            match ch {
+                c if c.is_whitespace() => {
+                    self.chars.next();
+                }
+                '(' => {
+                    self.chars.next();
+                    tokens.push((offset, Token::LParen));
+                }
+                ')' => {
+                    self.chars.next();
+                    tokens.push((offset, Token::RParen));
+                }
+                ',' => {
+                    self.chars.next();
+                    tokens.push((offset, Token::Comma));
+                }
+                '.' => {
+                    self.chars.next();
+                    tokens.push((offset, Token::Dot));
+                }
+                '!' => {
+                    self.chars.next();
+                    tokens.push((offset, Token::Bang));
+                }
+                '&' => {
+                    self.chars.next();
+                    tokens.push((offset, Token::Amp));
+                }
+                '|' => {
+                    self.chars.next();
+                    tokens.push((offset, Token::Pipe));
+                }
+                '=' => {
+                    self.chars.next();
+                    tokens.push((offset, Token::Equals));
+                }
+                ':' => {
+                    self.chars.next();
+                    match self.chars.peek() {
+                        Some(&(_, '-')) => {
+                            self.chars.next();
+                            tokens.push((offset, Token::Turnstile));
+                        }
+                        _ => return Err(self.error(offset, "expected ':-'")),
+                    }
+                }
+                '-' => {
+                    self.chars.next();
+                    match self.chars.peek() {
+                        Some(&(_, '>')) => {
+                            self.chars.next();
+                            tokens.push((offset, Token::Arrow));
+                        }
+                        Some(&(_, c)) if c.is_ascii_digit() => {
+                            let (end_offset, n) = self.lex_integer(offset)?;
+                            tokens.push((end_offset, Token::Int(-n)));
+                        }
+                        _ => return Err(self.error(offset, "expected '->' or a number after '-'")),
+                    }
+                }
+                '\'' => {
+                    self.chars.next();
+                    let start = offset + 1;
+                    let end;
+                    loop {
+                        match self.chars.next() {
+                            Some((i, '\'')) => {
+                                end = i;
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.error(offset, "unterminated string literal")),
+                        }
+                    }
+                    tokens.push((offset, Token::Str(self.input[start..end].to_string())));
+                }
+                c if c.is_ascii_digit() => {
+                    let (o, n) = self.lex_integer(offset)?;
+                    tokens.push((o, Token::Int(n)));
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let start = offset;
+                    while let Some(&(_, c)) = self.chars.peek() {
+                        if c.is_alphanumeric() || c == '_' {
+                            self.chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let end = self.chars.peek().map(|&(i, _)| i).unwrap_or(self.input.len());
+                    tokens.push((start, Token::Ident(self.input[start..end].to_string())));
+                }
+                other => return Err(self.error(offset, format!("unexpected character '{other}'"))),
+            }
+        }
+        Ok(tokens)
+    }
+
+    fn lex_integer(&mut self, offset: usize) -> Result<(usize, i64), ParseError> {
+        let mut digits = String::new();
+        while let Some(&(_, c)) = self.chars.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        digits
+            .parse::<i64>()
+            .map(|n| (offset, n))
+            .map_err(|_| self.error(offset, "integer literal out of range"))
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    position: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<(usize, Token)>) -> Self {
+        Parser { tokens, position: 0 }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.position).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.position)
+            .or_else(|| self.tokens.last())
+            .map(|(o, _)| *o)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), offset: self.offset() }
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.position).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.position += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, token: &Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(token) {
+            self.position += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.position >= self.tokens.len()
+    }
+
+    fn parse_formula(&mut self) -> Result<Formula, ParseError> {
+        let left = self.parse_disjunction()?;
+        if self.peek() == Some(&Token::Arrow) {
+            self.advance();
+            let right = self.parse_formula()?;
+            Ok(Formula::implies(left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn parse_disjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.parse_conjunction()?];
+        while self.peek() == Some(&Token::Pipe) {
+            self.advance();
+            parts.push(self.parse_conjunction()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one part") } else { Formula::Or(parts) })
+    }
+
+    fn parse_conjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.parse_unary()?];
+        while self.peek() == Some(&Token::Amp) {
+            self.advance();
+            parts.push(self.parse_unary()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one part") } else { Formula::And(parts) })
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Bang) => {
+                self.advance();
+                Ok(Formula::not(self.parse_unary()?))
+            }
+            Some(Token::LParen) => {
+                self.advance();
+                let inner = self.parse_formula()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => match name.as_str() {
+                "true" => {
+                    self.advance();
+                    Ok(Formula::True)
+                }
+                "false" => {
+                    self.advance();
+                    Ok(Formula::False)
+                }
+                "exists" | "forall" => {
+                    self.advance();
+                    let vars = self.parse_variable_list()?;
+                    self.expect(&Token::Dot, "'.' after quantified variables")?;
+                    let body = self.parse_formula()?;
+                    Ok(if name == "exists" {
+                        Formula::exists(vars, body)
+                    } else {
+                        Formula::forall(vars, body)
+                    })
+                }
+                _ => self.parse_atom_or_equality(),
+            },
+            Some(Token::Int(_)) | Some(Token::Str(_)) => self.parse_atom_or_equality(),
+            _ => Err(self.error("expected a formula")),
+        }
+    }
+
+    fn parse_variable_list(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut vars = Vec::new();
+        while let Some(Token::Ident(name)) = self.peek() {
+            if name == "exists" || name == "forall" || name == "true" || name == "false" {
+                break;
+            }
+            if !starts_lowercase(name) {
+                return Err(self.error(format!("'{name}' is not a variable (must start lower-case)")));
+            }
+            vars.push(name.clone());
+            self.advance();
+        }
+        if vars.is_empty() {
+            return Err(self.error("expected at least one quantified variable"));
+        }
+        Ok(vars)
+    }
+
+    fn parse_atom_or_equality(&mut self) -> Result<Formula, ParseError> {
+        // Either RelName(terms…) or term = term.
+        if let Some(Token::Ident(name)) = self.peek().cloned() {
+            if starts_uppercase(&name) {
+                self.advance();
+                self.expect(&Token::LParen, "'(' after relation name")?;
+                let mut terms = Vec::new();
+                if self.peek() != Some(&Token::RParen) {
+                    loop {
+                        terms.push(self.parse_term()?);
+                        if self.peek() == Some(&Token::Comma) {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RParen, "')' to close the atom")?;
+                return Ok(Formula::Atom { relation: name, terms });
+            }
+        }
+        let left = self.parse_term()?;
+        self.expect(&Token::Equals, "'=' in equality atom")?;
+        let right = self.parse_term()?;
+        Ok(Formula::Eq(left, right))
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.advance() {
+            Some(Token::Ident(name)) if starts_lowercase(&name) => Ok(Term::var(name)),
+            Some(Token::Ident(name)) => {
+                Err(self.error(format!("'{name}' cannot be used as a term (variables are lower-case)")))
+            }
+            Some(Token::Int(i)) => Ok(Term::int(i)),
+            Some(Token::Str(s)) => Ok(Term::str(s)),
+            _ => Err(self.error("expected a term")),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        // Look ahead for "Name ( vars ) :-".
+        let checkpoint = self.position;
+        if let Some(Token::Ident(_)) = self.peek() {
+            if let Ok(head) = self.try_parse_head() {
+                let body = self.parse_formula()?;
+                if !self.at_end() {
+                    return Err(self.error("unexpected trailing input"));
+                }
+                return Query::new(head, body).map_err(|e| ParseError {
+                    message: e.to_string(),
+                    offset: 0,
+                });
+            }
+            self.position = checkpoint;
+        }
+        let body = self.parse_formula()?;
+        if !self.at_end() {
+            return Err(self.error("unexpected trailing input"));
+        }
+        let free: Vec<String> = body.free_variables().into_iter().collect();
+        Query::new(free, body).map_err(|e| ParseError { message: e.to_string(), offset: 0 })
+    }
+
+    fn try_parse_head(&mut self) -> Result<Vec<String>, ParseError> {
+        let start = self.position;
+        let result = (|| {
+            let Some(Token::Ident(_)) = self.advance() else {
+                return Err(self.error("expected query name"));
+            };
+            self.expect(&Token::LParen, "'('")?;
+            let mut vars = Vec::new();
+            if self.peek() != Some(&Token::RParen) {
+                loop {
+                    match self.advance() {
+                        Some(Token::Ident(v)) if starts_lowercase(&v) => vars.push(v),
+                        _ => return Err(self.error("expected an answer variable")),
+                    }
+                    if self.peek() == Some(&Token::Comma) {
+                        self.advance();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen, "')'")?;
+            self.expect(&Token::Turnstile, "':-'")?;
+            Ok(vars)
+        })();
+        if result.is_err() {
+            self.position = start;
+        }
+        result
+    }
+}
+
+fn starts_lowercase(s: &str) -> bool {
+    s.chars().next().map(|c| c.is_lowercase() || c == '_').unwrap_or(false)
+}
+
+fn starts_uppercase(s: &str) -> bool {
+    s.chars().next().map(char::is_uppercase).unwrap_or(false)
+}
+
+/// Parses a formula from its text representation.
+pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
+    let tokens = Lexer::new(input).tokenize()?;
+    let mut parser = Parser::new(tokens);
+    let formula = parser.parse_formula()?;
+    if !parser.at_end() {
+        return Err(parser.error("unexpected trailing input"));
+    }
+    Ok(formula)
+}
+
+/// Parses a query: either `Name(x, y) :- formula`, or a bare formula (whose free
+/// variables, in alphabetical order, become the answer variables).
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let tokens = Lexer::new(input).tokenize()?;
+    let mut parser = Parser::new(tokens);
+    parser.parse_query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::{classify, Fragment};
+
+    #[test]
+    fn parses_intro_query() {
+        let q = parse_query("Q(x, y) :- exists z . R(x, z) & S(z, y)").unwrap();
+        assert_eq!(q.arity(), 2);
+        assert_eq!(classify(q.formula()), Fragment::ExistentialPositive);
+        assert_eq!(q.formula().to_string(), "exists z . (R(x, z) & S(z, y))");
+    }
+
+    #[test]
+    fn parses_boolean_sentences() {
+        let f = parse_formula("forall x . exists y . D(x, y)").unwrap();
+        assert!(f.is_sentence());
+        assert_eq!(classify(&f), Fragment::Positive);
+        let g = parse_formula("exists x y . D(x, y) & D(y, x)").unwrap();
+        assert!(g.is_sentence());
+        assert_eq!(classify(&g), Fragment::ExistentialPositive);
+    }
+
+    #[test]
+    fn parses_guarded_universals() {
+        let f = parse_formula("forall x y . R(x, y) -> exists z . R(y, z)").unwrap();
+        assert_eq!(classify(&f), Fragment::PositiveGuarded);
+        let g = parse_formula("forall x z . x = z -> R(x, z)").unwrap();
+        assert_eq!(classify(&g), Fragment::PositiveGuarded);
+    }
+
+    #[test]
+    fn parses_negation_and_precedence() {
+        let f = parse_formula("!R(x) | S(x) & T(x)").unwrap();
+        // & binds tighter than |, so this is (!R(x)) ∨ (S(x) ∧ T(x)).
+        assert_eq!(f, Formula::Or(vec![
+            Formula::not(Formula::atom("R", [Term::var("x")])),
+            Formula::And(vec![
+                Formula::atom("S", [Term::var("x")]),
+                Formula::atom("T", [Term::var("x")]),
+            ]),
+        ]));
+        assert_eq!(classify(&f), Fragment::FullFirstOrder);
+    }
+
+    #[test]
+    fn implication_is_right_associative_and_loosest() {
+        let f = parse_formula("R(x) -> S(x) -> T(x)").unwrap();
+        match f {
+            Formula::Implies(_, rhs) => assert!(matches!(*rhs, Formula::Implies(_, _))),
+            other => panic!("unexpected: {other}"),
+        }
+        let g = parse_formula("R(x) & S(x) -> T(x)").unwrap();
+        match g {
+            Formula::Implies(lhs, _) => assert!(matches!(*lhs, Formula::And(_))),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_constants_and_strings() {
+        let f = parse_formula("R(1, x) & x = 'paris' & S(-3)").unwrap();
+        assert!(f.constants().contains(&nev_incomplete::Constant::int(1)));
+        assert!(f.constants().contains(&nev_incomplete::Constant::str("paris")));
+        assert!(f.constants().contains(&nev_incomplete::Constant::int(-3)));
+    }
+
+    #[test]
+    fn parses_true_false_and_nullary_atoms() {
+        assert_eq!(parse_formula("true").unwrap(), Formula::True);
+        assert_eq!(parse_formula("false").unwrap(), Formula::False);
+        let f = parse_formula("P()").unwrap();
+        assert_eq!(f, Formula::Atom { relation: "P".into(), terms: vec![] });
+    }
+
+    #[test]
+    fn bare_formula_query_orders_free_variables() {
+        let q = parse_query("R(y, x)").unwrap();
+        assert_eq!(q.answer_variables(), ["x".to_string(), "y".to_string()]);
+        let b = parse_query("exists x . R(x, x)").unwrap();
+        assert!(b.is_boolean());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for text in [
+            "exists z . (R(x, z) & S(z, y))",
+            "forall x . (R(x) -> (S(x) | T(x, 1)))",
+            "!(exists u . D(u, u))",
+            "forall a b . (E(a, b) -> E(b, a))",
+        ] {
+            let f = parse_formula(text).unwrap();
+            let reparsed = parse_formula(&f.to_string()).unwrap();
+            assert_eq!(f, reparsed, "round-trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(parse_formula("R(x").is_err());
+        assert!(parse_formula("exists . R(x)").is_err());
+        assert!(parse_formula("R(x) &&").is_err());
+        assert!(parse_formula("R(x) extra").is_err());
+        assert!(parse_formula("x = ").is_err());
+        assert!(parse_formula("'unterminated").is_err());
+        assert!(parse_formula("R(x) -").is_err());
+        assert!(parse_formula("forall X . R(X)").is_err(), "upper-case variables are rejected");
+        let err = parse_formula("R(x").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+        assert!(parse_query("Q(x) :- R(x, y)").is_err(), "free variable y not in head");
+    }
+
+    #[test]
+    fn uppercase_ident_as_term_is_rejected() {
+        assert!(parse_formula("R(X)").is_err());
+        assert!(parse_formula("Foo = x").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_and_arrow_disambiguation() {
+        let f = parse_formula("R(-5) -> S(-1)").unwrap();
+        assert!(matches!(f, Formula::Implies(_, _)));
+    }
+}

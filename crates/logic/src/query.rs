@@ -1,0 +1,170 @@
+//! k-ary queries: a formula together with an ordered tuple of answer variables.
+
+use std::fmt;
+
+use crate::ast::Formula;
+
+/// A relational query `Q(x₁, …, xₖ) ≡ φ(x₁, …, xₖ)`.
+///
+/// For `k = 0` the query is *Boolean* (a sentence). The paper develops all results for
+/// Boolean queries first (§3–§7) and lifts them to k-ary queries in §8 and §11; the
+/// implementation mirrors this by exposing both Boolean and k-ary entry points in
+/// `nev-logic::eval` and `nev-core::certain`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Query {
+    /// The answer variables, in output order. May be empty (Boolean query).
+    free: Vec<String>,
+    /// The defining formula. Its free variables must all be answer variables.
+    formula: Formula,
+}
+
+/// Errors building queries.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QueryError {
+    /// The formula has a free variable that is not listed among the answer variables.
+    UnlistedFreeVariable(String),
+    /// The same answer variable is listed twice.
+    DuplicateAnswerVariable(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnlistedFreeVariable(v) => {
+                write!(f, "free variable {v} is not listed among the answer variables")
+            }
+            QueryError::DuplicateAnswerVariable(v) => {
+                write!(f, "answer variable {v} is listed more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl Query {
+    /// Creates a k-ary query. Every free variable of the formula must appear among the
+    /// answer variables (answer variables not occurring in the formula are allowed and
+    /// simply range over the active domain).
+    pub fn new<I, S>(free: I, formula: Formula) -> Result<Self, QueryError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let free: Vec<String> = free.into_iter().map(Into::into).collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for v in &free {
+            if !seen.insert(v.clone()) {
+                return Err(QueryError::DuplicateAnswerVariable(v.clone()));
+            }
+        }
+        for v in formula.free_variables() {
+            if !free.contains(&v) {
+                return Err(QueryError::UnlistedFreeVariable(v));
+            }
+        }
+        Ok(Query { free, formula })
+    }
+
+    /// Creates a Boolean query from a sentence.
+    ///
+    /// # Panics
+    /// Panics if the formula has free variables.
+    pub fn boolean(formula: Formula) -> Self {
+        assert!(
+            formula.is_sentence(),
+            "Query::boolean requires a sentence; free variables: {:?}",
+            formula.free_variables()
+        );
+        Query { free: Vec::new(), formula }
+    }
+
+    /// The answer variables in output order.
+    pub fn answer_variables(&self) -> &[String] {
+        &self.free
+    }
+
+    /// The arity of the query.
+    pub fn arity(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Returns `true` iff the query is Boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// The defining formula.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_boolean() {
+            write!(f, "Q() :- {}", self.formula)
+        } else {
+            write!(f, "Q({}) :- {}", self.free.join(", "), self.formula)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Term;
+
+    #[test]
+    fn builds_kary_query() {
+        let f = Formula::exists(
+            ["z"],
+            Formula::and([
+                Formula::atom("R", [Term::var("x"), Term::var("z")]),
+                Formula::atom("S", [Term::var("z"), Term::var("y")]),
+            ]),
+        );
+        let q = Query::new(["x", "y"], f).unwrap();
+        assert_eq!(q.arity(), 2);
+        assert!(!q.is_boolean());
+        assert_eq!(q.answer_variables(), ["x".to_string(), "y".to_string()]);
+        assert!(q.to_string().starts_with("Q(x, y) :-"));
+    }
+
+    #[test]
+    fn rejects_unlisted_free_variable() {
+        let f = Formula::atom("R", [Term::var("x"), Term::var("y")]);
+        let err = Query::new(["x"], f).unwrap_err();
+        assert_eq!(err, QueryError::UnlistedFreeVariable("y".into()));
+        assert!(err.to_string().contains("not listed"));
+    }
+
+    #[test]
+    fn rejects_duplicate_answer_variables() {
+        let f = Formula::atom("R", [Term::var("x")]);
+        let err = Query::new(["x", "x"], f).unwrap_err();
+        assert_eq!(err, QueryError::DuplicateAnswerVariable("x".into()));
+    }
+
+    #[test]
+    fn extra_answer_variables_are_allowed() {
+        let f = Formula::atom("R", [Term::var("x")]);
+        let q = Query::new(["x", "y"], f).unwrap();
+        assert_eq!(q.arity(), 2);
+    }
+
+    #[test]
+    fn boolean_query_from_sentence() {
+        let f = Formula::exists(["x"], Formula::atom("R", [Term::var("x")]));
+        let q = Query::boolean(f);
+        assert!(q.is_boolean());
+        assert_eq!(q.arity(), 0);
+        assert!(q.to_string().starts_with("Q() :-"));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a sentence")]
+    fn boolean_query_rejects_free_variables() {
+        Query::boolean(Formula::atom("R", [Term::var("x")]));
+    }
+}

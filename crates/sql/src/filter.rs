@@ -1,0 +1,150 @@
+//! SQL `IN` / `NOT IN` filters over columns that may contain nulls.
+//!
+//! These are just enough relational-algebra pieces to reproduce the paradox from the
+//! paper's introduction: with `Y` containing a null, the query
+//! `SELECT A FROM X WHERE A NOT IN (SELECT A FROM Y)` returns the empty set even when
+//! `|X| > |Y|`, because every `NOT IN` condition evaluates to *unknown*.
+
+use nev_incomplete::{Relation, Value};
+
+use crate::three_valued::{sql_compare_eq, TruthValue};
+
+/// Projects the `column`-th attribute of a relation into a list of values
+/// (bag semantics — duplicates preserved in relation iteration order).
+///
+/// # Panics
+/// Panics if `column` is out of range for the relation's arity.
+pub fn project_column(relation: &Relation, column: usize) -> Vec<Value> {
+    assert!(column < relation.arity(), "column index out of range");
+    relation
+        .tuples()
+        .map(|t| t.get(column).expect("arity checked").clone())
+        .collect()
+}
+
+/// The SQL truth value of `value IN (list)`: a disjunction of equality comparisons.
+/// An empty list yields *false*.
+pub fn in_list(value: &Value, list: &[Value]) -> TruthValue {
+    list.iter()
+        .map(|other| sql_compare_eq(value, other))
+        .fold(TruthValue::False, TruthValue::or)
+}
+
+/// The SQL truth value of `value NOT IN (list)`: the negation of [`in_list`],
+/// equivalently a conjunction of inequalities. An empty list yields *true*.
+pub fn not_in_list(value: &Value, list: &[Value]) -> TruthValue {
+    in_list(value, list).not()
+}
+
+/// Evaluates `SELECT * FROM X WHERE X.column NOT IN (SELECT Y.column FROM Y)` under
+/// SQL's three-valued semantics: a row of `X` is kept only when its `NOT IN`
+/// condition is *true*.
+///
+/// # Panics
+/// Panics if a column index is out of range.
+pub fn difference_not_in(
+    x: &Relation,
+    x_column: usize,
+    y: &Relation,
+    y_column: usize,
+) -> Relation {
+    assert!(x_column < x.arity(), "x column index out of range");
+    let y_values = project_column(y, y_column);
+    let mut out = Relation::new(format!("{}_minus_{}", x.name(), y.name()), x.arity());
+    for t in x.tuples() {
+        let value = t.get(x_column).expect("arity checked");
+        if not_in_list(value, &y_values).passes_where() {
+            out.insert(t.clone()).expect("same arity");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::tuple::tuple_of;
+
+    fn unary(name: &str, values: Vec<Value>) -> Relation {
+        let mut r = Relation::new(name, 1);
+        for v in values {
+            r.insert(tuple_of([v])).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn paradox_from_the_introduction() {
+        // X = {1, 2, 3}, Y = {NULL}: |X| > |Y| and yet X − Y = ∅ under SQL semantics.
+        let x_rel = unary("X", vec![c(1), c(2), c(3)]);
+        let y_rel = unary("Y", vec![x(1)]);
+        assert!(x_rel.len() > y_rel.len());
+        let diff = difference_not_in(&x_rel, 0, &y_rel, 0);
+        assert!(diff.is_empty(), "SQL returns no rows: every NOT IN is unknown");
+    }
+
+    #[test]
+    fn difference_without_nulls_behaves_classically() {
+        let x_rel = unary("X", vec![c(1), c(2), c(3)]);
+        let y_rel = unary("Y", vec![c(2)]);
+        let diff = difference_not_in(&x_rel, 0, &y_rel, 0);
+        assert_eq!(diff.len(), 2);
+        assert!(diff.contains(&tuple_of([c(1)])));
+        assert!(diff.contains(&tuple_of([c(3)])));
+    }
+
+    #[test]
+    fn partially_null_inner_list_still_blocks_everything_not_matched() {
+        // Y = {2, NULL}: rows equal to 2 are definitely excluded (IN is true), all the
+        // others are unknown — so the result is still empty.
+        let x_rel = unary("X", vec![c(1), c(2), c(3)]);
+        let y_rel = unary("Y", vec![c(2), x(1)]);
+        let diff = difference_not_in(&x_rel, 0, &y_rel, 0);
+        assert!(diff.is_empty());
+    }
+
+    #[test]
+    fn nulls_in_the_outer_relation_are_also_filtered() {
+        let x_rel = unary("X", vec![c(1), x(2)]);
+        let y_rel = unary("Y", vec![c(5)]);
+        let diff = difference_not_in(&x_rel, 0, &y_rel, 0);
+        // (1) survives (1 ≠ 5 is true); (⊥) does not (unknown).
+        assert_eq!(diff.len(), 1);
+        assert!(diff.contains(&tuple_of([c(1)])));
+    }
+
+    #[test]
+    fn empty_inner_list_keeps_everything() {
+        let x_rel = unary("X", vec![c(1), x(2)]);
+        let y_rel = Relation::new("Y", 1);
+        let diff = difference_not_in(&x_rel, 0, &y_rel, 0);
+        assert_eq!(diff.len(), 2);
+    }
+
+    #[test]
+    fn in_and_not_in_truth_values() {
+        assert_eq!(in_list(&c(1), &[c(1), c(2)]), TruthValue::True);
+        assert_eq!(in_list(&c(3), &[c(1), c(2)]), TruthValue::False);
+        assert_eq!(in_list(&c(3), &[c(1), x(1)]), TruthValue::Unknown);
+        assert_eq!(in_list(&c(1), &[c(1), x(1)]), TruthValue::True);
+        assert_eq!(in_list(&c(1), &[]), TruthValue::False);
+        assert_eq!(not_in_list(&c(1), &[]), TruthValue::True);
+        assert_eq!(not_in_list(&c(3), &[c(1), x(1)]), TruthValue::Unknown);
+    }
+
+    #[test]
+    fn project_column_on_binary_relation() {
+        let mut r = Relation::new("R", 2);
+        r.insert(tuple_of([c(1), c(10)])).unwrap();
+        r.insert(tuple_of([c(2), c(20)])).unwrap();
+        assert_eq!(project_column(&r, 1), vec![c(10), c(20)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of range")]
+    fn out_of_range_projection_panics() {
+        let r = Relation::new("R", 1);
+        project_column(&r, 1);
+    }
+}

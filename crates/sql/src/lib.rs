@@ -1,0 +1,23 @@
+//! # `nev-sql` — SQL-style three-valued logic over Codd tables
+//!
+//! The introduction of *"When is Naïve Evaluation Possible?"* motivates the whole
+//! study with SQL's treatment of nulls: because comparisons involving `NULL` evaluate
+//! to *unknown* in SQL's three-valued logic, it is consistent with SQL's semantics
+//! that `|X| > |Y|` and yet `X − Y = ∅` when `Y` contains nulls — the behaviour of
+//! `SELECT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)`.
+//!
+//! This crate is a deliberately small substrate reproducing exactly that behaviour
+//! (experiment E9): Kleene's strong three-valued logic, SQL-style comparisons over
+//! values that may be nulls, and the `IN` / `NOT IN` filters used by the paradox.
+//! It is *not* a SQL engine; it exists so the repository can demonstrate, side by
+//! side, the behaviour the paper criticises (SQL 3VL) and the behaviour it studies
+//! (naïve evaluation over marked nulls).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod filter;
+pub mod three_valued;
+
+pub use filter::{difference_not_in, in_list, not_in_list, project_column};
+pub use three_valued::{sql_compare_eq, TruthValue};

@@ -1,0 +1,141 @@
+//! Kleene's strong three-valued logic and SQL-style comparisons.
+
+use std::fmt;
+
+use nev_incomplete::Value;
+
+/// A truth value of SQL's three-valued logic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TruthValue {
+    /// Definitely false.
+    False,
+    /// Unknown (the result of any comparison involving `NULL`).
+    Unknown,
+    /// Definitely true.
+    True,
+}
+
+impl TruthValue {
+    /// Three-valued conjunction.
+    pub fn and(self, other: TruthValue) -> TruthValue {
+        use TruthValue::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Three-valued disjunction.
+    pub fn or(self, other: TruthValue) -> TruthValue {
+        use TruthValue::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Three-valued negation.
+    pub fn not(self) -> TruthValue {
+        match self {
+            TruthValue::True => TruthValue::False,
+            TruthValue::False => TruthValue::True,
+            TruthValue::Unknown => TruthValue::Unknown,
+        }
+    }
+
+    /// SQL `WHERE` keeps a row only when its condition is *true* — unknown rows are
+    /// filtered out. This is the crux of the paradox.
+    pub fn passes_where(self) -> bool {
+        self == TruthValue::True
+    }
+
+    /// Converts a Boolean into a truth value.
+    pub fn from_bool(b: bool) -> TruthValue {
+        if b {
+            TruthValue::True
+        } else {
+            TruthValue::False
+        }
+    }
+}
+
+impl fmt::Display for TruthValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TruthValue::True => "true",
+            TruthValue::False => "false",
+            TruthValue::Unknown => "unknown",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// SQL-style equality comparison: `NULL = anything` is *unknown*; two non-null values
+/// compare by ordinary equality.
+///
+/// Contrast this with naïve evaluation over marked nulls, where `⊥₁ = ⊥₁` is *true*
+/// and `⊥₁ = ⊥₂` is *false* — precisely the difference the paper's introduction draws.
+pub fn sql_compare_eq(a: &Value, b: &Value) -> TruthValue {
+    if a.is_null() || b.is_null() {
+        TruthValue::Unknown
+    } else {
+        TruthValue::from_bool(a == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+
+    #[test]
+    fn kleene_truth_tables() {
+        use TruthValue::*;
+        // AND
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(False), False);
+        assert_eq!(False.and(True), False);
+        // OR
+        assert_eq!(False.or(False), False);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(Unknown.or(True), True);
+        // NOT
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn where_clause_keeps_only_true() {
+        assert!(TruthValue::True.passes_where());
+        assert!(!TruthValue::Unknown.passes_where());
+        assert!(!TruthValue::False.passes_where());
+    }
+
+    #[test]
+    fn sql_equality_with_nulls_is_unknown() {
+        assert_eq!(sql_compare_eq(&c(1), &c(1)), TruthValue::True);
+        assert_eq!(sql_compare_eq(&c(1), &c(2)), TruthValue::False);
+        assert_eq!(sql_compare_eq(&x(1), &c(1)), TruthValue::Unknown);
+        assert_eq!(sql_compare_eq(&c(1), &x(1)), TruthValue::Unknown);
+        // Even a null compared with *itself* is unknown in SQL — unlike naive
+        // evaluation over marked nulls.
+        assert_eq!(sql_compare_eq(&x(1), &x(1)), TruthValue::Unknown);
+    }
+
+    #[test]
+    fn display_and_from_bool() {
+        assert_eq!(TruthValue::True.to_string(), "true");
+        assert_eq!(TruthValue::Unknown.to_string(), "unknown");
+        assert_eq!(TruthValue::False.to_string(), "false");
+        assert_eq!(TruthValue::from_bool(true), TruthValue::True);
+        assert_eq!(TruthValue::from_bool(false), TruthValue::False);
+    }
+}

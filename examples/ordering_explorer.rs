@@ -1,0 +1,106 @@
+//! Explorer for the information orderings, updates and cores of the paper (§6–§10).
+//!
+//! ```text
+//! cargo run --example ordering_explorer
+//! ```
+//!
+//! Walks through: (1) the semantic orderings and their homomorphism characterisations
+//! on small instances, (2) the update systems generating them, (3) the Codd-database
+//! restrictions, and (4) cores and minimal homomorphisms, including the `C₄ + C₆`
+//! counterexample of Proposition 10.1.
+
+use nev_core::ordering::{cwa_leq, owa_leq, powerset_cwa_leq, wcwa_leq};
+use nev_core::updates::{
+    copying_cwa_update, cwa_update, reachable_by_updates, ReachabilityBounds, UpdateKind,
+};
+use nev_hom::{core_of, is_core};
+use nev_incomplete::builder::{c, x};
+use nev_incomplete::codd::{cwa_matching_leq, hoare_leq, plotkin_leq};
+use nev_incomplete::graph::{directed_cycle, disjoint_cycles, NodeKind};
+use nev_incomplete::inst;
+use nev_incomplete::{Instance, NullId};
+
+fn show_orderings(label: &str, d: &Instance, e: &Instance) {
+    println!("{label}");
+    println!("  D  = {}", d.to_string().replace('\n', "  "));
+    println!("  D' = {}", e.to_string().replace('\n', "  "));
+    println!(
+        "  ≼_OWA: {:<5}  ≼_CWA: {:<5}  ≼_WCWA: {:<5}  ⋐_CWA: {:<5}",
+        owa_leq(d, e),
+        cwa_leq(d, e),
+        wcwa_leq(d, e),
+        powerset_cwa_leq(d, e)
+    );
+}
+
+fn main() {
+    println!("== Semantic orderings (Proposition 6.1 / Theorem 7.1) ==\n");
+    let d = inst! { "R" => [[x(1), x(2)]] };
+    show_orderings("replacing nulls by constants:", &d, &inst! { "R" => [[c(1), c(2)]] });
+    show_orderings(
+        "growing within the active domain:",
+        &d,
+        &inst! { "R" => [[c(1), c(2)], [c(2), c(1)]] },
+    );
+    show_orderings(
+        "growing with new values:",
+        &d,
+        &inst! { "R" => [[c(1), c(2)], [c(3), c(3)]] },
+    );
+    show_orderings(
+        "two independent copies:",
+        &d,
+        &inst! { "R" => [[c(1), c(2)], [c(3), c(4)]] },
+    );
+
+    println!("\n== Updates generating the orderings (Theorems 6.2 and 7.1) ==\n");
+    let step1 = cwa_update(&d, NullId(1), &c(1));
+    let step2 = cwa_update(&step1, NullId(2), &c(2));
+    println!("CWA updates: {}  ↦  {}  ↦  {}", d, step1, step2);
+    let copying = copying_cwa_update(&d, NullId(1), &c(1));
+    println!("copying CWA update: {}  ↦  {}", d, copying);
+    let two_copies = inst! { "R" => [[c(1), c(2)], [c(3), c(4)]] };
+    println!(
+        "{} reachable from {} with CWA updates only: {}",
+        two_copies,
+        d,
+        reachable_by_updates(&d, &two_copies, &[UpdateKind::Cwa], &ReachabilityBounds::default())
+    );
+    println!(
+        "…and with CWA + copying CWA updates: {}",
+        reachable_by_updates(
+            &d,
+            &two_copies,
+            &[UpdateKind::Cwa, UpdateKind::CopyingCwa],
+            &ReachabilityBounds::default()
+        )
+    );
+
+    println!("\n== Codd-database restrictions (§6) ==\n");
+    let codd_d = inst! { "R" => [[x(1), c(2)]] };
+    let codd_e = inst! { "R" => [[c(1), c(2)], [c(2), c(2)]] };
+    println!("D  = {codd_d}");
+    println!("D' = {codd_e}");
+    println!("  ⊑ᴴ (Hoare): {}   matches ≼_OWA: {}", hoare_leq(&codd_d, &codd_e), owa_leq(&codd_d, &codd_e));
+    println!(
+        "  ⊑ᴾ (Plotkin): {}  matches ⋐_CWA: {}",
+        plotkin_leq(&codd_d, &codd_e),
+        powerset_cwa_leq(&codd_d, &codd_e)
+    );
+    println!(
+        "  ⊑ᴾ + perfect matching: {}  matches ≼_CWA: {}",
+        cwa_matching_leq(&codd_d, &codd_e),
+        cwa_leq(&codd_d, &codd_e)
+    );
+
+    println!("\n== Cores and minimal homomorphisms (§10) ==\n");
+    let paper_d = inst! { "D" => [[x(1), x(1)], [x(1), x(2)]] };
+    println!("D        = {paper_d}");
+    println!("core(D)  = {}", core_of(&paper_d));
+    let g = disjoint_cycles(4, 6, NodeKind::Nulls);
+    let c2 = directed_cycle(2, NodeKind::Nulls, 50);
+    println!("C4 + C6 is a core: {}", is_core(&g));
+    println!("C2 + C4 is a core: {}", is_core(&disjoint_cycles(2, 4, NodeKind::Nulls)));
+    println!("core(C2 + C4) has {} edges (the C2 component)", core_of(&disjoint_cycles(2, 4, NodeKind::Nulls)).fact_count());
+    println!("C4 + C6 maps homomorphically onto C2: {}", nev_hom::search::has_db_homomorphism(&g, &c2));
+}

@@ -1,0 +1,58 @@
+//! Quickstart: the running example of the paper's introduction, end to end.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds the incomplete database with marked nulls, runs the conjunctive query
+//! `Q(x,y) = ∃z (R(x,z) ∧ S(z,y))` naïvely, and compares the result with the certain
+//! answers under several semantics of incompleteness.
+
+use nev_core::certain::compare_naive_and_certain;
+use nev_core::{Semantics, WorldBounds};
+use nev_incomplete::builder::{c, x};
+use nev_incomplete::inst;
+use nev_logic::eval::{evaluate_query, naive_eval_query};
+use nev_logic::parse_query;
+
+fn main() {
+    // R = {(1,⊥1),(⊥2,⊥3)}, S = {(⊥1,4),(⊥3,5)} — §1 of the paper.
+    let d = inst! {
+        "R" => [[c(1), x(1)], [x(2), x(3)]],
+        "S" => [[x(1), c(4)], [x(3), c(5)]],
+    };
+    println!("Incomplete database D:\n{d}\n");
+
+    let q = parse_query("Q(x, y) :- exists z . R(x, z) & S(z, y)").expect("valid query");
+    println!("Query: {q}\n");
+
+    // Step 1 of naïve evaluation: run the query with nulls as ordinary values.
+    let raw = evaluate_query(&d, &q);
+    println!("Evaluating with nulls as values gives {} tuples:", raw.len());
+    for t in &raw {
+        println!("  {t}");
+    }
+
+    // Step 2: drop tuples containing nulls.
+    let naive = naive_eval_query(&d, &q);
+    println!("\nNaive evaluation (constant tuples only):");
+    for t in &naive {
+        println!("  {t}");
+    }
+
+    // Ground truth: certain answers under each semantics.
+    println!("\nCertain answers (bounded possible-world oracle):");
+    let bounds = WorldBounds::default();
+    for sem in [Semantics::Owa, Semantics::Cwa, Semantics::Wcwa, Semantics::PowersetCwa] {
+        let report = compare_naive_and_certain(&d, &q, sem, &bounds);
+        println!(
+            "  {:<10} certain = {:?}  naive agrees: {}",
+            sem.short_name(),
+            report.certain.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+            report.agrees()
+        );
+    }
+
+    println!("\nAs the paper states, for unions of conjunctive queries naive evaluation");
+    println!("computes certain answers — no specialised algorithm needed.");
+}

@@ -1,0 +1,65 @@
+//! SQL's three-valued logic versus naïve evaluation over marked nulls.
+//!
+//! ```text
+//! cargo run --example sql_nulls
+//! ```
+//!
+//! Reproduces the paradox from the paper's introduction: with SQL's `NULL`,
+//! `SELECT A FROM X WHERE A NOT IN (SELECT A FROM Y)` returns nothing whenever `Y`
+//! contains a null — even though `|X| > |Y|` — and contrasts it with certain answers
+//! over marked nulls.
+
+use nev_core::certain::certain_answers;
+use nev_core::{Semantics, WorldBounds};
+use nev_incomplete::builder::{c, x};
+use nev_incomplete::inst;
+use nev_incomplete::tuple::tuple_of;
+use nev_incomplete::Relation;
+use nev_logic::parse_query;
+use nev_sql::{difference_not_in, not_in_list, TruthValue};
+
+fn main() {
+    // X = {1,2,3}, Y = {NULL}.
+    let mut x_rel = Relation::new("X", 1);
+    for i in 1..=3 {
+        x_rel.insert(tuple_of([c(i)])).unwrap();
+    }
+    let mut y_rel = Relation::new("Y", 1);
+    y_rel.insert(tuple_of([x(1)])).unwrap();
+
+    println!("X = {x_rel}");
+    println!("Y = {y_rel}");
+    println!();
+
+    println!("SQL: SELECT A FROM X WHERE A NOT IN (SELECT A FROM Y)");
+    for t in x_rel.tuples() {
+        let v = t.get(0).unwrap();
+        let truth = not_in_list(v, &[x(1)]);
+        println!("  row {t}: NOT IN evaluates to {truth} → {}", if truth == TruthValue::True { "kept" } else { "filtered out" });
+    }
+    let sql_result = difference_not_in(&x_rel, 0, &y_rel, 0);
+    println!("  result: {} rows — although |X| = {} > |Y| = {}", sql_result.len(), x_rel.len(), y_rel.len());
+    println!();
+
+    // The same data as a naive database, and the difference query as first-order logic.
+    let d = inst! {
+        "X" => [[c(1)], [c(2)], [c(3)]],
+        "Y" => [[x(1)]],
+    };
+    let q = parse_query("Q(u) :- X(u) & !Y(u)").expect("valid query");
+    println!("Certain answers of {q} over marked nulls:");
+    let bounds = WorldBounds::default();
+    for sem in [Semantics::Cwa, Semantics::Owa] {
+        let certain = certain_answers(&d, &q, sem, &bounds);
+        println!(
+            "  {:<5} certain answers = {:?}",
+            sem.short_name(),
+            certain.iter().map(|t| t.to_string()).collect::<Vec<_>>()
+        );
+    }
+    println!();
+    println!("The empty answer is in fact the certain answer here — the null could be any of");
+    println!("1, 2, 3 — but SQL reaches it through three-valued logic, not through reasoning");
+    println!("about possible worlds; the paper's framework makes precise when the cheap naive");
+    println!("strategy is actually correct.");
+}

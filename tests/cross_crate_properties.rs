@@ -1,0 +1,161 @@
+//! Cross-crate property-based tests: invariants tying together the substrate crates
+//! (`nev-incomplete`, `nev-hom`), the query layer (`nev-logic`) and the semantics
+//! layer (`nev-core`).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use nev_core::certain::compare_naive_and_certain;
+use nev_core::monotone::weakly_monotone_at;
+use nev_core::{Semantics, WorldBounds};
+use nev_gen::{FormulaGenerator, FormulaGeneratorConfig};
+use nev_hom::iso::isomorphic_fixing_constants;
+use nev_hom::search::{has_db_homomorphism, has_strong_onto_db_homomorphism};
+use nev_hom::{core_of, is_core, ValueMap};
+use nev_incomplete::{Instance, Schema, Tuple, Value};
+use nev_logic::cq::ConjunctiveQuery;
+use nev_logic::eval::evaluate_query;
+use nev_logic::fragment::{is_in_fragment, Fragment};
+use nev_logic::parser::parse_formula;
+use nev_logic::ast::Term;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![(1i64..=3).prop_map(Value::int), (1u32..=3).prop_map(Value::null)]
+}
+
+/// Small instances over R/2 and S/1.
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    let binary = proptest::collection::vec((value_strategy(), value_strategy()), 0..=3);
+    let unary = proptest::collection::vec(value_strategy(), 0..=2);
+    (binary, unary).prop_map(|(r_tuples, s_tuples)| {
+        let mut inst = Instance::empty_of_schema(&Schema::from_relations([("R", 2), ("S", 1)]));
+        for (a, b) in r_tuples {
+            inst.add_tuple("R", Tuple::new(vec![a, b])).unwrap();
+        }
+        for a in s_tuples {
+            inst.add_tuple("S", Tuple::new(vec![a])).unwrap();
+        }
+        inst
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, .. ProptestConfig::default() })]
+
+    /// The core is a subinstance, hom-equivalent to the original, itself a core, and
+    /// computing it twice is idempotent.
+    #[test]
+    fn core_invariants(d in instance_strategy()) {
+        let core = core_of(&d);
+        prop_assert!(core.is_subinstance_of(&d));
+        prop_assert!(is_core(&core));
+        prop_assert!(has_db_homomorphism(&d, &core));
+        prop_assert!(has_db_homomorphism(&core, &d));
+        prop_assert_eq!(core_of(&core), core);
+    }
+
+    /// Freezing nulls yields a complete instance isomorphic to the original (the
+    /// saturation witness), and it is a CWA world of the original.
+    #[test]
+    fn freeze_nulls_saturation(d in instance_strategy()) {
+        let frozen = d.freeze_nulls(&BTreeSet::new());
+        prop_assert!(frozen.is_complete());
+        prop_assert!(isomorphic_fixing_constants(&d, &frozen));
+        prop_assert!(has_strong_onto_db_homomorphism(&d, &frozen));
+        prop_assert!(Semantics::Cwa.contains_world(&d, &frozen));
+    }
+
+    /// Applying a valuation-like collapse produces a homomorphic image comparable in
+    /// every ordering, and the canonical form is invariant under null renaming.
+    #[test]
+    fn canonical_form_is_renaming_invariant(d in instance_strategy(), offset in 10u32..50) {
+        let renamed = d.map_values(|v| match v {
+            Value::Null(n) => Value::null(n.0 + offset),
+            c => c.clone(),
+        });
+        prop_assert_eq!(d.canonical_form(), renamed.canonical_form());
+        prop_assert!(isomorphic_fixing_constants(&d, &renamed));
+    }
+
+    /// CQ evaluation by homomorphism coincides with active-domain FO evaluation.
+    #[test]
+    fn cq_hom_evaluation_matches_fo(d in instance_strategy()) {
+        let cq = ConjunctiveQuery::new(
+            ["a", "b"],
+            vec![
+                ("R".into(), vec![Term::var("a"), Term::var("c")]),
+                ("R".into(), vec![Term::var("c"), Term::var("b")]),
+            ],
+        ).unwrap();
+        let by_hom = cq.evaluate_via_homomorphisms(&d);
+        let by_fo = evaluate_query(&d, &cq.to_query().unwrap());
+        prop_assert_eq!(by_hom, by_fo);
+    }
+
+    /// Collapsing all nulls to a constant is a homomorphic image: every UCQ true in
+    /// the original stays true (hand-rolled preservation check).
+    #[test]
+    fn homomorphic_images_preserve_ucqs(d in instance_strategy()) {
+        let collapse = ValueMap::from_pairs(
+            d.nulls().into_iter().map(|n| (Value::Null(n), Value::int(1))),
+        );
+        let image = collapse.apply_instance(&d);
+        let q = nev_logic::Query::boolean(
+            parse_formula("exists u v . R(u, v) & S(v)").unwrap(),
+        );
+        let before = nev_logic::eval::naive_eval_boolean(&d, &q);
+        let after = nev_logic::eval::naive_eval_boolean(&image, &q);
+        prop_assert!(!before || after);
+    }
+}
+
+proptest! {
+    // These properties run the certain-answer oracle, so keep the case count lower.
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Random ∃Pos sentences are weakly monotone and naïve-evaluable under CWA and
+    /// OWA (Fact 1 / Theorem 5.2), on random instances.
+    #[test]
+    fn random_ucqs_naive_evaluate_correctly(d in instance_strategy(), seed in 0u64..1000) {
+        let mut formulas = FormulaGenerator::new(
+            FormulaGeneratorConfig {
+                fragment: Fragment::ExistentialPositive,
+                schema: Schema::from_relations([("R", 2), ("S", 1)]),
+                max_depth: 2,
+                ..FormulaGeneratorConfig::default()
+            },
+            seed,
+        );
+        let q = formulas.generate_sentence();
+        prop_assert!(is_in_fragment(q.formula(), Fragment::ExistentialPositive));
+        let bounds = WorldBounds { owa_max_extra_tuples: 1, ..WorldBounds::default() };
+        for sem in [Semantics::Cwa, Semantics::Owa] {
+            prop_assert!(weakly_monotone_at(&d, &q, sem, &bounds));
+            let report = compare_naive_and_certain(&d, &q, sem, &bounds);
+            prop_assert!(report.agrees(), "{}: {:?}", sem, report);
+        }
+    }
+
+    /// Whatever the query, naïve evaluation never *undershoots* under CWA on
+    /// instances without nulls (on complete instances every semantics has exactly the
+    /// instance itself as world, so naïve evaluation is trivially exact).
+    #[test]
+    fn complete_instances_are_exact(d in instance_strategy(), seed in 0u64..1000) {
+        let complete = d.freeze_nulls(&BTreeSet::new());
+        let mut formulas = FormulaGenerator::new(
+            FormulaGeneratorConfig {
+                fragment: Fragment::FullFirstOrder,
+                schema: Schema::from_relations([("R", 2), ("S", 1)]),
+                max_depth: 2,
+                ..FormulaGeneratorConfig::default()
+            },
+            seed,
+        );
+        let q = formulas.generate_sentence();
+        for sem in [Semantics::Cwa, Semantics::MinimalCwa, Semantics::PowersetCwa] {
+            let report = compare_naive_and_certain(&complete, &q, sem, &WorldBounds::default());
+            prop_assert!(report.agrees(), "{}", sem);
+        }
+    }
+}

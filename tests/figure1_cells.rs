@@ -1,0 +1,180 @@
+//! Experiment E1: Figure 1, cell by cell, on fixed-seed randomized workloads.
+//!
+//! For every cell the paper marks as guaranteed ("naïve evaluation works for …"), the
+//! corresponding fragment generator is run against random incomplete instances and the
+//! naïve answers must equal the (bounded) certain answers on every trial. For cells
+//! beyond the guarantee, the tests pin down the specific counterexamples the paper
+//! gives (the `D₀` examples of §2.4 and the negation examples), so that the "beyond
+//! this class it may fail" part of Figure 1 is also witnessed.
+//!
+//! The full 30-cell sweep with larger trial counts lives in the `figure1` binary of
+//! `nev-bench`; these tests keep the per-cell workload small enough for `cargo test`.
+
+use nev_core::certain::compare_naive_and_certain;
+use nev_core::summary::{expectation, figure1, guaranteed_fragment, Expectation};
+use nev_core::{Semantics, WorldBounds};
+use nev_gen::{FormulaGenerator, FormulaGeneratorConfig, InstanceGenerator, InstanceGeneratorConfig};
+use nev_hom::core_of;
+use nev_incomplete::builder::x;
+use nev_incomplete::{inst, Schema};
+use nev_logic::fragment::{is_in_fragment, Fragment};
+use nev_logic::parse_query;
+
+fn schema() -> Schema {
+    Schema::from_relations([("R", 2), ("S", 1)])
+}
+
+fn bounds() -> WorldBounds {
+    WorldBounds { owa_max_extra_tuples: 1, wcwa_max_extra_tuples: 2, ..WorldBounds::default() }
+}
+
+fn instance_generator(seed: u64) -> InstanceGenerator {
+    InstanceGenerator::new(
+        InstanceGeneratorConfig {
+            schema: schema(),
+            tuples_per_relation: (1, 2),
+            constant_pool: 2,
+            null_pool: 2,
+            null_probability: 0.5,
+            codd: false,
+        },
+        seed,
+    )
+}
+
+fn formula_generator(fragment: Fragment, seed: u64) -> FormulaGenerator {
+    FormulaGenerator::new(
+        FormulaGeneratorConfig {
+            fragment,
+            schema: schema(),
+            constant_pool: 2,
+            constant_probability: 0.2,
+            max_depth: 2,
+        },
+        seed,
+    )
+}
+
+/// Runs `trials` random (sentence, instance) pairs for a cell and asserts agreement;
+/// `over_cores` replaces each instance by its core first.
+fn assert_cell_agrees(semantics: Semantics, fragment: Fragment, trials: usize, over_cores: bool) {
+    let seed = 4000 + semantics as u64 * 17 + fragment as u64;
+    let mut instances = instance_generator(seed);
+    let mut formulas = formula_generator(fragment, seed ^ 0xbeef);
+    for trial in 0..trials {
+        let mut d = instances.generate();
+        if over_cores {
+            d = core_of(&d);
+        }
+        let q = if trial % 2 == 0 { formulas.generate_sentence() } else { formulas.generate_query(1) };
+        assert!(is_in_fragment(q.formula(), fragment));
+        let report = compare_naive_and_certain(&d, &q, semantics, &bounds());
+        assert!(
+            report.agrees(),
+            "{semantics} × {fragment}: naive != certain for `{q}` on\n{d}\nnaive: {:?}\ncertain: {:?}",
+            report.naive,
+            report.certain
+        );
+    }
+}
+
+#[test]
+fn guaranteed_cells_agree_owa() {
+    assert_cell_agrees(Semantics::Owa, Fragment::ExistentialPositive, 10, false);
+}
+
+#[test]
+fn guaranteed_cells_agree_wcwa() {
+    assert_cell_agrees(Semantics::Wcwa, Fragment::ExistentialPositive, 8, false);
+    assert_cell_agrees(Semantics::Wcwa, Fragment::Positive, 8, false);
+}
+
+#[test]
+fn guaranteed_cells_agree_cwa() {
+    assert_cell_agrees(Semantics::Cwa, Fragment::ExistentialPositive, 8, false);
+    assert_cell_agrees(Semantics::Cwa, Fragment::Positive, 8, false);
+    assert_cell_agrees(Semantics::Cwa, Fragment::PositiveGuarded, 8, false);
+    assert_cell_agrees(Semantics::Cwa, Fragment::ExistentialPositiveBooleanGuarded, 8, false);
+}
+
+#[test]
+fn guaranteed_cells_agree_powerset_cwa() {
+    assert_cell_agrees(Semantics::PowersetCwa, Fragment::ExistentialPositive, 8, false);
+    assert_cell_agrees(Semantics::PowersetCwa, Fragment::ExistentialPositiveBooleanGuarded, 8, false);
+}
+
+#[test]
+fn guaranteed_cells_agree_minimal_cwa_over_cores() {
+    assert_cell_agrees(Semantics::MinimalCwa, Fragment::ExistentialPositive, 6, false);
+    assert_cell_agrees(Semantics::MinimalCwa, Fragment::Positive, 6, true);
+    assert_cell_agrees(Semantics::MinimalCwa, Fragment::PositiveGuarded, 6, true);
+}
+
+#[test]
+fn guaranteed_cells_agree_minimal_powerset_cwa_over_cores() {
+    assert_cell_agrees(Semantics::MinimalPowersetCwa, Fragment::ExistentialPositive, 6, false);
+    assert_cell_agrees(
+        Semantics::MinimalPowersetCwa,
+        Fragment::ExistentialPositiveBooleanGuarded,
+        6,
+        true,
+    );
+}
+
+#[test]
+fn beyond_the_guarantee_counterexamples_exist() {
+    let bounds = bounds();
+    let d0 = inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] };
+
+    // OWA × Pos: the §2.4 counterexample ∀x∃y D(x,y).
+    let pos = parse_query("forall u . exists v . D(u, v)").unwrap();
+    assert!(!compare_naive_and_certain(&d0, &pos, Semantics::Owa, &bounds).agrees());
+    assert_eq!(expectation(Semantics::Owa, Fragment::Positive), Expectation::NotGuaranteed);
+
+    // CWA × FO: ∃x ¬D(x,x).
+    let neg = parse_query("exists u . !D(u, u)").unwrap();
+    assert!(!compare_naive_and_certain(&d0, &neg, Semantics::Cwa, &bounds).agrees());
+    assert_eq!(expectation(Semantics::Cwa, Fragment::FullFirstOrder), Expectation::NotGuaranteed);
+
+    // WCWA × FO: the same sentence also fails under WCWA (a tuple within the active
+    // domain can complete the loop).
+    let d_single = inst! { "D" => [[x(1), x(2)]] };
+    let neg_loop = parse_query("exists u . !D(u, u)").unwrap();
+    assert!(!compare_naive_and_certain(&d_single, &neg_loop, Semantics::Wcwa, &bounds).agrees());
+
+    // MinimalCwa × Pos off cores: ∀x D(x,x) on the §10 instance.
+    let d_min = inst! { "D" => [[x(1), x(1)], [x(1), x(2)]] };
+    let forall_loop = parse_query("forall u . D(u, u)").unwrap();
+    assert!(!compare_naive_and_certain(&d_min, &forall_loop, Semantics::MinimalCwa, &bounds).agrees());
+    assert_eq!(
+        expectation(Semantics::MinimalCwa, Fragment::Positive),
+        Expectation::WorksOverCores
+    );
+}
+
+#[test]
+fn figure1_table_is_consistent_with_the_guaranteed_fragments() {
+    // Structural sanity of the machine-readable Figure 1: the guaranteed fragment of
+    // each semantics is marked Works (or WorksOverCores for the minimal semantics),
+    // and fragments syntactically included in the guaranteed one inherit the
+    // guarantee.
+    let cells = figure1();
+    assert_eq!(cells.len(), 30);
+    for semantics in Semantics::ALL {
+        let guaranteed = guaranteed_fragment(semantics);
+        let exp = expectation(semantics, guaranteed);
+        assert_ne!(exp, Expectation::NotGuaranteed, "{semantics}");
+        // ∃Pos is included in every guaranteed fragment, so it is never unguaranteed.
+        assert_ne!(
+            expectation(semantics, Fragment::ExistentialPositive),
+            Expectation::NotGuaranteed,
+            "{semantics}"
+        );
+        // Full FO is never guaranteed.
+        assert_eq!(
+            expectation(semantics, Fragment::FullFirstOrder),
+            Expectation::NotGuaranteed,
+            "{semantics}"
+        );
+    }
+}

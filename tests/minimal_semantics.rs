@@ -1,0 +1,188 @@
+//! Integration tests for the minimal-valuation semantics and the role of cores
+//! (experiments E7 and E8 of `DESIGN.md`, paper §9–§11).
+
+use std::collections::BTreeSet;
+
+use nev_core::certain::compare_naive_and_certain;
+use nev_core::cores::{
+    agrees_with_core, naive_evaluation_works_on_core, naive_is_sound_approximation,
+    representative_core_semantics_match,
+};
+use nev_core::domain::RelationalDomain;
+use nev_core::{Semantics, WorldBounds};
+use nev_gen::{FormulaGenerator, FormulaGeneratorConfig, InstanceGenerator, InstanceGeneratorConfig};
+use nev_hom::minimal::{enumerate_minimal_cwa_worlds, enumerate_minimal_valuations};
+use nev_hom::{core_of, is_core};
+use nev_incomplete::builder::x;
+use nev_incomplete::inst;
+use nev_incomplete::{Instance, Schema};
+use nev_logic::fragment::Fragment;
+use nev_logic::parse_query;
+
+/// The §10 running example: D = {(⊥,⊥),(⊥,⊥′)}.
+fn paper_d() -> Instance {
+    inst! { "D" => [[x(1), x(1)], [x(1), x(2)]] }
+}
+
+#[test]
+fn minimal_valuations_collapse_the_second_null() {
+    // §10: v(⊥)=1, v(⊥′)=2 is not D-minimal; every minimal valuation identifies the
+    // two nulls, so every ⟦D⟧min_CWA world is a single self-loop.
+    let d = paper_d();
+    let minimal = enumerate_minimal_valuations(&d, &BTreeSet::new());
+    assert!(!minimal.is_empty());
+    for v in &minimal {
+        assert_eq!(v.apply(&x(1)), v.apply(&x(2)));
+    }
+    for world in enumerate_minimal_cwa_worlds(&d, &BTreeSet::new()) {
+        assert_eq!(world.fact_count(), 1);
+    }
+}
+
+#[test]
+fn e7_naive_evaluation_fails_off_cores_but_works_on_them() {
+    let d = paper_d();
+    let q = parse_query("forall u . D(u, u)").unwrap();
+    let bounds = WorldBounds::default();
+
+    // The certain answer under ⟦ ⟧min_CWA is true, naive evaluation says false.
+    let report = compare_naive_and_certain(&d, &q, Semantics::MinimalCwa, &bounds);
+    assert!(!report.agrees());
+    assert!(report.naive_undershoots());
+
+    // The culprit is the precondition of Corollary 10.6: Q distinguishes D from core(D).
+    assert!(!agrees_with_core(&d, &q));
+
+    // Restricting to the core restores the equivalence (Corollary 10.12).
+    assert!(naive_evaluation_works_on_core(&d, &q, Semantics::MinimalCwa, &bounds));
+    assert!(naive_evaluation_works_on_core(&d, &q, Semantics::MinimalPowersetCwa, &bounds));
+}
+
+#[test]
+fn cores_are_a_representative_set() {
+    // Theorem 10.2 / Proposition 10.4 on a batch of random instances: the minimal
+    // semantics cannot distinguish an instance from its core.
+    let config = InstanceGeneratorConfig {
+        schema: Schema::from_relations([("R", 2)]),
+        tuples_per_relation: (1, 3),
+        constant_pool: 2,
+        null_pool: 3,
+        null_probability: 0.6,
+        codd: false,
+    };
+    let mut generator = InstanceGenerator::new(config, 2013);
+    let bounds = WorldBounds::default();
+    for _ in 0..10 {
+        let d = generator.generate();
+        for sem in [Semantics::MinimalCwa, Semantics::MinimalPowersetCwa] {
+            assert!(
+                representative_core_semantics_match(&d, sem, &bounds),
+                "{sem} distinguishes an instance from its core:\n{d}"
+            );
+        }
+    }
+}
+
+#[test]
+fn saturation_holds_exactly_on_cores_for_minimal_semantics() {
+    // §9: the minimal semantics are not saturated; the saturated subdomain is the set
+    // of cores.
+    let domain = RelationalDomain::new(Semantics::MinimalCwa);
+    let non_core = paper_d();
+    assert!(!is_core(&non_core));
+    assert!(!domain.is_saturated_at(&non_core));
+    let core = core_of(&non_core);
+    assert!(is_core(&core));
+    assert!(domain.is_saturated_at(&core));
+
+    // A saturated semantics is saturated everywhere.
+    let cwa_domain = RelationalDomain::new(Semantics::Cwa);
+    assert!(cwa_domain.is_saturated_at(&non_core));
+    assert!(cwa_domain.is_saturated_at(&core));
+}
+
+#[test]
+fn e8_soundness_of_naive_evaluation_for_guarded_fragments() {
+    // Proposition 10.13 on random Pos+∀G and ∃Pos+∀G_bool queries: naive answers are
+    // always contained in the certain answers under the minimal semantics — even on
+    // non-core instances.
+    let schema = Schema::from_relations([("R", 2), ("S", 1)]);
+    let instance_config = InstanceGeneratorConfig {
+        schema: schema.clone(),
+        tuples_per_relation: (1, 2),
+        constant_pool: 2,
+        null_pool: 2,
+        null_probability: 0.5,
+        codd: false,
+    };
+    let bounds = WorldBounds::default();
+    for fragment in [Fragment::PositiveGuarded, Fragment::ExistentialPositiveBooleanGuarded] {
+        let mut instances = InstanceGenerator::new(instance_config.clone(), 7 + fragment as u64);
+        let mut formulas = FormulaGenerator::new(
+            FormulaGeneratorConfig { fragment, schema: schema.clone(), max_depth: 2, ..FormulaGeneratorConfig::default() },
+            99 + fragment as u64,
+        );
+        for _ in 0..8 {
+            let d = instances.generate();
+            let q = formulas.generate_sentence();
+            for sem in [Semantics::MinimalCwa, Semantics::MinimalPowersetCwa] {
+                assert!(
+                    naive_is_sound_approximation(&d, &q, sem, &bounds),
+                    "{sem}: naive answers escaped the certain answers for `{q}` on\n{d}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ucqs_work_even_off_cores_under_minimal_semantics() {
+    // ∃Pos queries never distinguish an instance from its core, so naive evaluation
+    // computes certain answers under the minimal semantics on arbitrary instances.
+    let schema = Schema::from_relations([("R", 2), ("S", 1)]);
+    let instance_config = InstanceGeneratorConfig {
+        schema: schema.clone(),
+        tuples_per_relation: (1, 2),
+        constant_pool: 2,
+        null_pool: 2,
+        null_probability: 0.5,
+        codd: false,
+    };
+    let mut instances = InstanceGenerator::new(instance_config, 31);
+    let mut formulas = FormulaGenerator::new(
+        FormulaGeneratorConfig {
+            fragment: Fragment::ExistentialPositive,
+            schema,
+            max_depth: 2,
+            ..FormulaGeneratorConfig::default()
+        },
+        32,
+    );
+    let bounds = WorldBounds::default();
+    for _ in 0..8 {
+        let d = instances.generate();
+        let q = formulas.generate_sentence();
+        assert!(agrees_with_core(&d, &q), "UCQ `{q}` distinguished an instance from its core");
+        for sem in [Semantics::MinimalCwa, Semantics::MinimalPowersetCwa] {
+            let report = compare_naive_and_certain(&d, &q, sem, &bounds);
+            assert!(report.agrees(), "{sem}: `{q}` on\n{d}");
+        }
+    }
+}
+
+#[test]
+fn minimal_powerset_worlds_are_unions_of_minimal_images() {
+    let d = paper_d();
+    let bounds = WorldBounds::default();
+    let worlds = Semantics::MinimalPowersetCwa.enumerate_worlds(&d, &bounds);
+    assert!(!worlds.is_empty());
+    for w in &worlds {
+        assert!(Semantics::MinimalPowersetCwa.contains_world(&d, w));
+        // Each world is a union of self-loops.
+        for (_, t) in w.facts() {
+            assert_eq!(t.get(0), t.get(1));
+        }
+    }
+    // Unions of two distinct loops do occur (width ≥ 2 by default).
+    assert!(worlds.iter().any(|w| w.fact_count() == 2));
+}

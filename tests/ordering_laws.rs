@@ -1,0 +1,156 @@
+//! Experiment E5: laws of the semantic orderings, their Codd-database restrictions and
+//! their update justification (paper §6–§7), checked on randomized instances with
+//! property-based tests.
+
+use proptest::prelude::*;
+
+use nev_core::ordering::{cwa_leq, owa_leq, powerset_cwa_leq, wcwa_leq};
+use nev_core::updates::{
+    copying_cwa_update, cwa_update, owa_update, reachable_by_updates, ReachabilityBounds,
+    UpdateKind,
+};
+use nev_core::{Semantics, WorldBounds};
+use nev_incomplete::codd::{cwa_matching_leq, hoare_leq, is_codd, plotkin_leq};
+use nev_incomplete::{Instance, Tuple, Value};
+
+/// A strategy generating small instances over a single binary relation `R`.
+///
+/// `codd` restricts to Codd databases (each null occurrence fresh).
+fn instance_strategy(codd: bool) -> impl Strategy<Value = Instance> {
+    // Each tuple position: constant 1..=2 or null 1..=3 (fresh ids in Codd mode are
+    // assigned after generation).
+    let value = prop_oneof![
+        (1i64..=2).prop_map(Value::int),
+        (1u32..=3).prop_map(Value::null),
+    ];
+    let tuple = (value.clone(), value);
+    proptest::collection::vec(tuple, 1..=3).prop_map(move |tuples| {
+        let mut inst = Instance::new();
+        let mut next_fresh = 100u32;
+        for (a, b) in tuples {
+            let fix = |v: Value, next_fresh: &mut u32| -> Value {
+                if codd && v.is_null() {
+                    let fresh = Value::null(*next_fresh);
+                    *next_fresh += 1;
+                    fresh
+                } else {
+                    v
+                }
+            };
+            let a = fix(a, &mut next_fresh);
+            let b = fix(b, &mut next_fresh);
+            inst.add_tuple("R", Tuple::new(vec![a, b])).unwrap();
+        }
+        inst
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, .. ProptestConfig::default() })]
+
+    /// All four orderings are reflexive.
+    #[test]
+    fn orderings_are_reflexive(d in instance_strategy(false)) {
+        prop_assert!(owa_leq(&d, &d));
+        prop_assert!(cwa_leq(&d, &d));
+        prop_assert!(wcwa_leq(&d, &d));
+        prop_assert!(powerset_cwa_leq(&d, &d));
+    }
+
+    /// ≼_CWA ⊆ ≼_WCWA ⊆ ≼_OWA and ≼_CWA ⊆ ⋐_CWA ⊆ ≼_OWA.
+    #[test]
+    fn ordering_inclusions(d in instance_strategy(false), e in instance_strategy(false)) {
+        if cwa_leq(&d, &e) {
+            prop_assert!(wcwa_leq(&d, &e));
+            prop_assert!(powerset_cwa_leq(&d, &e));
+        }
+        if wcwa_leq(&d, &e) {
+            prop_assert!(owa_leq(&d, &e));
+        }
+        if powerset_cwa_leq(&d, &e) {
+            prop_assert!(owa_leq(&d, &e));
+        }
+    }
+
+    /// The orderings are transitive (they are characterised by composable
+    /// homomorphism conditions).
+    #[test]
+    fn orderings_are_transitive(
+        a in instance_strategy(false),
+        b in instance_strategy(false),
+        c_inst in instance_strategy(false),
+    ) {
+        for leq in [owa_leq, cwa_leq, wcwa_leq, powerset_cwa_leq] {
+            if leq(&a, &b) && leq(&b, &c_inst) {
+                prop_assert!(leq(&a, &c_inst));
+            }
+        }
+    }
+
+    /// Over Codd databases: ≼_OWA coincides with the Hoare ordering ⊑ᴴ and ⋐_CWA with
+    /// the Plotkin ordering ⊑ᴾ; ≼_CWA coincides with ⊑ᴾ plus a perfect matching
+    /// (Libkin 2011, §6–§7).
+    #[test]
+    fn codd_restrictions(d in instance_strategy(true), e in instance_strategy(true)) {
+        prop_assert!(is_codd(&d) && is_codd(&e));
+        prop_assert_eq!(owa_leq(&d, &e), hoare_leq(&d, &e));
+        prop_assert_eq!(powerset_cwa_leq(&d, &e), plotkin_leq(&d, &e));
+        prop_assert_eq!(cwa_leq(&d, &e), cwa_matching_leq(&d, &e));
+    }
+
+    /// Elementary updates increase information: a CWA update, an OWA tuple addition
+    /// and a copying CWA update all move up in the corresponding orderings.
+    #[test]
+    fn updates_increase_information(d in instance_strategy(false)) {
+        if let Some(null) = d.nulls().into_iter().next() {
+            let updated = cwa_update(&d, null, &Value::int(1));
+            prop_assert!(cwa_leq(&d, &updated));
+            prop_assert!(owa_leq(&d, &updated));
+            let copied = copying_cwa_update(&d, null, &Value::int(1));
+            prop_assert!(powerset_cwa_leq(&d, &copied));
+        }
+        let grown = owa_update(&d, "R", Tuple::new(vec![Value::int(9), Value::int(9)]));
+        prop_assert!(owa_leq(&d, &grown));
+    }
+
+    /// Membership in a semantics implies the corresponding ordering relation
+    /// (fairness direction: D' ∈ ⟦D⟧ ⇒ D ≼ D').
+    #[test]
+    fn worlds_are_above_their_instance(d in instance_strategy(false)) {
+        let bounds = WorldBounds { union_width: 2, ..WorldBounds::default() };
+        for (sem, leq) in [
+            (Semantics::Cwa, cwa_leq as fn(&Instance, &Instance) -> bool),
+            (Semantics::PowersetCwa, powerset_cwa_leq),
+        ] {
+            for world in sem.enumerate_worlds(&d, &bounds).into_iter().take(5) {
+                prop_assert!(leq(&d, &world), "{sem}: world should dominate the instance");
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_6_2_and_7_1_update_reachability_on_fixed_examples() {
+    // Reachability checks are too expensive for the random property above, so the
+    // update ⇔ ordering correspondence is validated on the paper's style of examples.
+    let d = nev_incomplete::inst! { "R" => [[Value::null(1), Value::null(2)]] };
+    let refined = nev_incomplete::inst! { "R" => [[Value::int(1), Value::int(2)]] };
+    let grown = nev_incomplete::inst! { "R" => [[Value::int(1), Value::int(2)], [Value::int(2), Value::int(1)]] };
+    let copies = nev_incomplete::inst! { "R" => [[Value::int(1), Value::int(2)], [Value::int(3), Value::int(4)]] };
+    let bounds = ReachabilityBounds::default();
+
+    assert_eq!(cwa_leq(&d, &refined), reachable_by_updates(&d, &refined, &[UpdateKind::Cwa], &bounds));
+    assert_eq!(
+        owa_leq(&d, &grown),
+        reachable_by_updates(&d, &grown, &[UpdateKind::Cwa, UpdateKind::Owa], &bounds)
+    );
+    assert_eq!(
+        powerset_cwa_leq(&d, &copies),
+        reachable_by_updates(&d, &copies, &[UpdateKind::Cwa, UpdateKind::CopyingCwa], &bounds)
+    );
+    // Negative case: an instance with different constants is unreachable and unrelated.
+    let unrelated = nev_incomplete::inst! { "R" => [[Value::int(7), Value::int(8)], [Value::int(8), Value::int(7)]] };
+    assert!(owa_leq(&d, &unrelated));
+    assert!(!cwa_leq(&refined, &unrelated));
+    assert!(!reachable_by_updates(&refined, &unrelated, &[UpdateKind::Cwa], &bounds));
+}

@@ -1,0 +1,209 @@
+//! Integration tests reproducing the worked examples of the paper
+//! (experiments E2–E6 of `DESIGN.md`).
+//!
+//! These tests span the whole stack: instances (`nev-incomplete`), homomorphisms and
+//! cores (`nev-hom`), queries and naïve evaluation (`nev-logic`), semantics, certain
+//! answers and orderings (`nev-core`).
+
+use nev_core::certain::{certain_answers_boolean, compare_naive_and_certain, naive_evaluation_works};
+use nev_core::ordering::{cwa_leq, owa_leq, powerset_cwa_leq, wcwa_leq};
+use nev_core::{Semantics, WorldBounds};
+use nev_hom::minimal::is_minimal_homomorphism;
+use nev_hom::search::{find_homomorphism, has_db_homomorphism, HomConfig};
+use nev_hom::{core_of, is_core};
+use nev_incomplete::builder::{c, x};
+use nev_incomplete::graph::{directed_cycle, disjoint_cycles, NodeKind};
+use nev_incomplete::inst;
+use nev_incomplete::{Instance, Tuple};
+use nev_logic::eval::{naive_eval_boolean, naive_eval_query};
+use nev_logic::fragment::{classify, Fragment};
+use nev_logic::parse_query;
+
+/// The instance of the introduction: R = {(1,⊥1),(⊥2,⊥3)}, S = {(⊥1,4),(⊥3,5)}.
+fn intro_instance() -> Instance {
+    inst! {
+        "R" => [[c(1), x(1)], [x(2), x(3)]],
+        "S" => [[x(1), c(4)], [x(3), c(5)]],
+    }
+}
+
+/// D0 = {(⊥,⊥′),(⊥′,⊥)} from §2.3.
+fn d0() -> Instance {
+    inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] }
+}
+
+#[test]
+fn e3_intro_conjunctive_query() {
+    // §1: naive evaluation of ∃z (R(x,z) ∧ S(z,y)) returns (1,4) and (⊥2,5); dropping
+    // the tuple with a null leaves (1,4), which is the certain answer under OWA (and CWA).
+    let d = intro_instance();
+    let q = parse_query("Q(x, y) :- exists z . R(x, z) & S(z, y)").unwrap();
+    assert_eq!(classify(q.formula()), Fragment::ExistentialPositive);
+
+    let naive = naive_eval_query(&d, &q);
+    assert_eq!(naive.len(), 1);
+    assert!(naive.contains(&Tuple::new(vec![c(1), c(4)])));
+
+    // OWA, CWA and the minimal semantics on the full intro instance; WCWA and the
+    // powerset semantics are exercised on the (smaller) D0 instance in the other
+    // tests — their exact world enumerations grow quickly with three nulls.
+    for sem in [Semantics::Owa, Semantics::Cwa, Semantics::MinimalCwa] {
+        let report = compare_naive_and_certain(&d, &q, sem, &WorldBounds::default());
+        assert!(report.agrees(), "{sem}: naive and certain answers must agree");
+        assert_eq!(report.certain, naive, "{sem}");
+    }
+}
+
+#[test]
+fn e2_fact_1_boundary_on_d0() {
+    let d0 = d0();
+    // ∃x,y (D(x,y) ∧ D(y,x)) is a UCQ: certainly true under OWA and CWA, and naive
+    // evaluation returns true.
+    let sym = parse_query("exists u v . D(u, v) & D(v, u)").unwrap();
+    assert!(naive_eval_boolean(&d0, &sym));
+    for sem in [Semantics::Owa, Semantics::Cwa] {
+        assert!(certain_answers_boolean(&d0, &sym, sem, &WorldBounds::default()), "{sem}");
+        assert!(naive_evaluation_works(&d0, &sym, sem, &WorldBounds::default()), "{sem}");
+    }
+
+    // ∀x∃y D(x,y) is Pos but not a UCQ: naive evaluation returns true; the certain
+    // answer is true under CWA and WCWA but false under OWA — the boundary of Fact 1.
+    let total = parse_query("forall u . exists v . D(u, v)").unwrap();
+    assert_eq!(classify(total.formula()), Fragment::Positive);
+    assert!(naive_eval_boolean(&d0, &total));
+    assert!(certain_answers_boolean(&d0, &total, Semantics::Cwa, &WorldBounds::default()));
+    assert!(certain_answers_boolean(&d0, &total, Semantics::Wcwa, &WorldBounds::default()));
+    assert!(!certain_answers_boolean(&d0, &total, Semantics::Owa, &WorldBounds::default()));
+    assert!(naive_evaluation_works(&d0, &total, Semantics::Cwa, &WorldBounds::default()));
+    assert!(naive_evaluation_works(&d0, &total, Semantics::Wcwa, &WorldBounds::default()));
+    assert!(!naive_evaluation_works(&d0, &total, Semantics::Owa, &WorldBounds::default()));
+}
+
+#[test]
+fn e4_wcwa_strictly_between_cwa_and_owa() {
+    // §4.3: for D = {(⊥,⊥′)}, {(1,2)} ∈ CWA ⊆ WCWA ⊆ OWA, and {(1,2),(2,1)} is in WCWA
+    // but not CWA, while {(1,2),(3,3)} is in OWA but not WCWA.
+    let d = inst! { "R" => [[x(1), x(2)]] };
+    let w1 = inst! { "R" => [[c(1), c(2)]] };
+    let w2 = inst! { "R" => [[c(1), c(2)], [c(2), c(1)]] };
+    let w3 = inst! { "R" => [[c(1), c(2)], [c(3), c(3)]] };
+
+    assert!(Semantics::Cwa.contains_world(&d, &w1));
+    assert!(Semantics::Wcwa.contains_world(&d, &w1));
+    assert!(Semantics::Owa.contains_world(&d, &w1));
+
+    assert!(!Semantics::Cwa.contains_world(&d, &w2));
+    assert!(Semantics::Wcwa.contains_world(&d, &w2));
+    assert!(Semantics::Owa.contains_world(&d, &w2));
+
+    assert!(!Semantics::Cwa.contains_world(&d, &w3));
+    assert!(!Semantics::Wcwa.contains_world(&d, &w3));
+    assert!(Semantics::Owa.contains_world(&d, &w3));
+}
+
+#[test]
+fn theorem_5_2_positive_results_on_d0() {
+    let d0 = d0();
+    let bounds = WorldBounds::default();
+    // A Pos+∀G sentence: ∀x y (D(x,y) → ∃z D(y,z)) — works under CWA.
+    let guarded = parse_query("forall a b . D(a, b) -> exists z . D(b, z)").unwrap();
+    assert_eq!(classify(guarded.formula()), Fragment::PositiveGuarded);
+    assert!(naive_evaluation_works(&d0, &guarded, Semantics::Cwa, &bounds));
+    // An ∃Pos+∀G_bool sentence: ∀a b (D(a,b) → ∃z (D(a,z) ∧ D(z,a))) — works under ⦅ ⦆_CWA.
+    let gbool = parse_query("forall a b . D(a, b) -> exists z . D(a, z) & D(z, a)").unwrap();
+    assert!(nev_logic::fragment::is_existential_positive_boolean_guarded(gbool.formula()));
+    assert!(naive_evaluation_works(&d0, &gbool, Semantics::PowersetCwa, &bounds));
+    // And the same sentence also works under plain CWA (strong onto homomorphisms are
+    // singleton unions).
+    assert!(naive_evaluation_works(&d0, &gbool, Semantics::Cwa, &bounds));
+}
+
+#[test]
+fn negation_breaks_naive_evaluation_under_cwa() {
+    // Beyond Pos+∀G: ∃x ¬D(x,x) on D0 is naively true but not certain under CWA.
+    let d0 = d0();
+    let q = parse_query("exists u . !D(u, u)").unwrap();
+    assert_eq!(classify(q.formula()), Fragment::FullFirstOrder);
+    assert!(naive_eval_boolean(&d0, &q));
+    let report = compare_naive_and_certain(&d0, &q, Semantics::Cwa, &WorldBounds::default());
+    assert!(report.naive_overshoots());
+}
+
+#[test]
+fn remark_after_proposition_5_1_repeated_guard_variables() {
+    // ϕ = ∀x (R(x,x) → S(x)), D with R = {(1,2)}, S = ∅, and the homomorphism sending
+    // both 1,2 to 3: D ⊨ ϕ but h(D) ⊭ ϕ — the reason repeated guard variables are
+    // excluded from Pos+∀G.
+    let phi = parse_query("forall u . R(u, u) -> S(u)").unwrap();
+    assert_eq!(classify(phi.formula()), Fragment::FullFirstOrder);
+    let d = inst! { "R" => [[c(1), c(2)]], "S" => [] };
+    let d = {
+        let mut d = d;
+        d.ensure_relation("S", 1).unwrap();
+        d
+    };
+    let mut h_image = inst! { "R" => [[c(3), c(3)]] };
+    h_image.ensure_relation("S", 1).unwrap();
+    assert!(naive_eval_boolean(&d, &phi));
+    assert!(!naive_eval_boolean(&h_image, &phi));
+}
+
+#[test]
+fn e6_proposition_10_1_counterexamples() {
+    // The 4-ary relation example of Proposition 10.1.
+    let d = inst! { "F" => [[x(1), x(1), x(2), x(3)], [x(4), x(5), x(2), x(2)]] };
+    let h_image = inst! { "F" => [[x(6), x(6), x(7), x(7)], [x(6), x(7), x(7), x(7)]] };
+    assert!(is_core(&d));
+    assert!(is_core(&h_image));
+    // The mapping of the paper: ⊥1,⊥4 ↦ ⊥6 and ⊥2,⊥3,⊥5 ↦ ⊥7.
+    let h = nev_hom::ValueMap::from_pairs([
+        (x(1), x(6)),
+        (x(2), x(7)),
+        (x(3), x(7)),
+        (x(4), x(6)),
+        (x(5), x(7)),
+    ]);
+    assert_eq!(h.apply_instance(&d), h_image);
+    assert!(!is_minimal_homomorphism(&h, &d), "h is not D-minimal (Prop. 10.1)");
+
+    // The graph version: G = C4 + C6 and H = C3 + C2 are cores, a homomorphism G → H
+    // exists, but it is not G-minimal because G → C2.
+    let g = disjoint_cycles(4, 6, NodeKind::Nulls);
+    let h_graph = directed_cycle(3, NodeKind::Constants, 200)
+        .union(&directed_cycle(2, NodeKind::Constants, 300))
+        .unwrap();
+    assert!(is_core(&g));
+    assert!(is_core(&h_graph));
+    let hom = find_homomorphism(&g, &h_graph, &HomConfig::database()).expect("G → C3+C2 exists");
+    assert!(!is_minimal_homomorphism(&hom, &g));
+    // …and C3+C2 (over constants) is in ⟦G⟧_CWA but not in ⟦G⟧min_CWA.
+    assert!(Semantics::Cwa.contains_world(&g, &h_graph));
+    assert!(!Semantics::MinimalCwa.contains_world(&g, &h_graph));
+    // The collapse onto C2 alone is not a CWA world of G (not strong onto the union),
+    // but the core of G is G itself.
+    assert_eq!(core_of(&g), g);
+    assert!(has_db_homomorphism(&g, &directed_cycle(2, NodeKind::Constants, 300)));
+}
+
+#[test]
+fn ordering_examples_from_section_6() {
+    // D = {(⊥,2)} is less informative than D' = {(1,2)} in every ordering, and the
+    // reverse fails; D0 relates to its one-null collapse only via CWA-style orderings.
+    let d = inst! { "R" => [[x(1), c(2)]] };
+    let d_prime = inst! { "R" => [[c(1), c(2)]] };
+    for (name, leq) in [
+        ("owa", owa_leq as fn(&Instance, &Instance) -> bool),
+        ("cwa", cwa_leq),
+        ("wcwa", wcwa_leq),
+        ("powerset", powerset_cwa_leq),
+    ] {
+        assert!(leq(&d, &d_prime), "{name}");
+        assert!(!leq(&d_prime, &d), "{name}");
+    }
+    let d0 = d0();
+    let collapse = inst! { "D" => [[c(7), c(7)]] };
+    assert!(owa_leq(&d0, &collapse));
+    assert!(cwa_leq(&d0, &collapse));
+    assert!(wcwa_leq(&d0, &collapse));
+    assert!(powerset_cwa_leq(&d0, &collapse));
+}

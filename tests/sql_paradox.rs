@@ -1,0 +1,89 @@
+//! Experiment E9: the SQL three-valued-logic paradox from the paper's introduction,
+//! contrasted with naïve evaluation over marked nulls and with certain answers.
+
+use nev_core::certain::certain_answers;
+use nev_core::{Semantics, WorldBounds};
+use nev_incomplete::builder::{c, x};
+use nev_incomplete::inst;
+use nev_incomplete::tuple::tuple_of;
+use nev_incomplete::Relation;
+use nev_logic::parse_query;
+use nev_sql::{difference_not_in, in_list, not_in_list, TruthValue};
+
+fn x_relation() -> Relation {
+    let mut r = Relation::new("X", 1);
+    for i in 1..=3 {
+        r.insert(tuple_of([c(i)])).unwrap();
+    }
+    r
+}
+
+#[test]
+fn e9_sql_not_in_paradox() {
+    // SELECT A FROM X WHERE A NOT IN (SELECT A FROM Y), with Y = {NULL}:
+    // SQL returns nothing although |X| > |Y|.
+    let x_rel = x_relation();
+    let mut y_rel = Relation::new("Y", 1);
+    y_rel.insert(tuple_of([x(1)])).unwrap();
+
+    assert!(x_rel.len() > y_rel.len());
+    let result = difference_not_in(&x_rel, 0, &y_rel, 0);
+    assert!(result.is_empty());
+
+    // The root cause: every comparison with the null is unknown, and WHERE keeps only
+    // definite truths.
+    assert_eq!(in_list(&c(1), &[x(1)]), TruthValue::Unknown);
+    assert_eq!(not_in_list(&c(1), &[x(1)]), TruthValue::Unknown);
+    assert!(!TruthValue::Unknown.passes_where());
+}
+
+#[test]
+fn certain_answers_agree_with_sql_caution_here() {
+    // The paper's point is not that the empty answer is wrong — under certain-answer
+    // semantics the difference query indeed has no certain answers (the null could be
+    // any of 1, 2, 3) — but that SQL reaches it through an inconsistent 3VL mechanism.
+    // Here: certain answers of Q(u) = X(u) ∧ ¬ Y(u) under CWA are empty as well.
+    let d = inst! {
+        "X" => [[c(1)], [c(2)], [c(3)]],
+        "Y" => [[x(1)]],
+    };
+    let q = parse_query("Q(u) :- X(u) & !Y(u)").unwrap();
+    let certain = certain_answers(&d, &q, Semantics::Cwa, &WorldBounds::default());
+    assert!(certain.is_empty());
+
+    // But SQL is *not* computing certain answers in general: if Y additionally
+    // contains the constant 9 (so the null is still unconstrained), certain answers
+    // are still empty, which happens to coincide; the real divergence appears when the
+    // null is forced: Y = {2} with no nulls gives certain answers {1, 3}, while the
+    // same data with the 2 replaced by a null gives none.
+    let forced = inst! {
+        "X" => [[c(1)], [c(2)], [c(3)]],
+        "Y" => [[c(2)]],
+    };
+    let certain_forced = certain_answers(&forced, &q, Semantics::Cwa, &WorldBounds::default());
+    assert_eq!(certain_forced.len(), 2);
+    assert!(certain_forced.contains(&tuple_of([c(1)])));
+    assert!(certain_forced.contains(&tuple_of([c(3)])));
+}
+
+#[test]
+fn marked_nulls_do_not_suffer_the_identity_confusion() {
+    // With marked nulls, ⊥1 = ⊥1 evaluates to true under naive evaluation, so a query
+    // comparing a null with itself behaves consistently — unlike SQL where even
+    // NULL = NULL is unknown.
+    let d = inst! { "Y" => [[x(1)]] };
+    let q = parse_query("exists u . Y(u) & u = u").unwrap();
+    assert!(nev_logic::eval::naive_eval_boolean(&d, &q));
+    assert_eq!(nev_sql::sql_compare_eq(&x(1), &x(1)), TruthValue::Unknown);
+}
+
+#[test]
+fn classical_difference_without_nulls_matches_sql() {
+    let x_rel = x_relation();
+    let mut y_rel = Relation::new("Y", 1);
+    y_rel.insert(tuple_of([c(2)])).unwrap();
+    let result = difference_not_in(&x_rel, 0, &y_rel, 0);
+    assert_eq!(result.len(), 2);
+    assert!(result.contains(&tuple_of([c(1)])));
+    assert!(result.contains(&tuple_of([c(3)])));
+}
