@@ -9,7 +9,11 @@ use nev_core::{Semantics, WorldBounds};
 
 fn bench_semantics_scaling(c: &mut Criterion) {
     let q = chain_query();
-    let bounds = WorldBounds { owa_max_extra_tuples: 1, wcwa_max_extra_tuples: 1, ..WorldBounds::default() };
+    let bounds = WorldBounds {
+        owa_max_extra_tuples: 1,
+        wcwa_max_extra_tuples: 1,
+        ..WorldBounds::default()
+    };
     let mut group = c.benchmark_group("certain_scaling_semantics");
     for nulls in [1u32, 2, 3] {
         let d = chain_instance(nulls);
@@ -54,5 +58,9 @@ fn bench_enumeration_vs_early_exit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_semantics_scaling, bench_enumeration_vs_early_exit);
+criterion_group!(
+    benches,
+    bench_semantics_scaling,
+    bench_enumeration_vs_early_exit
+);
 criterion_main!(benches);

@@ -13,8 +13,12 @@ fn bench_core_of(c: &mut Criterion) {
     // C2 + C4 retracts onto C2; C4 + C6 is already a core.
     let retractable = disjoint_cycles(2, 4, NodeKind::Nulls);
     let already_core = c4_plus_c6();
-    group.bench_function("retractable_c2_plus_c4", |b| b.iter(|| core_of(&retractable)));
-    group.bench_function("already_core_c4_plus_c6", |b| b.iter(|| core_of(&already_core)));
+    group.bench_function("retractable_c2_plus_c4", |b| {
+        b.iter(|| core_of(&retractable))
+    });
+    group.bench_function("already_core_c4_plus_c6", |b| {
+        b.iter(|| core_of(&already_core))
+    });
     for n in [3u32, 4, 5] {
         let cn = directed_cycle(n, NodeKind::Nulls, 0);
         group.bench_with_input(BenchmarkId::new("is_core_cycle", n), &cn, |b, g| {

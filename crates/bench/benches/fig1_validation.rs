@@ -8,7 +8,10 @@ use nev_core::Semantics;
 use nev_logic::Fragment;
 
 fn tiny_config() -> Figure1Config {
-    Figure1Config { trials: 4, ..Figure1Config::quick() }
+    Figure1Config {
+        trials: 4,
+        ..Figure1Config::quick()
+    }
 }
 
 fn bench_guaranteed_cells(c: &mut Criterion) {
@@ -19,9 +22,15 @@ fn bench_guaranteed_cells(c: &mut Criterion) {
         (Semantics::Owa, Fragment::ExistentialPositive),
         (Semantics::Wcwa, Fragment::Positive),
         (Semantics::Cwa, Fragment::PositiveGuarded),
-        (Semantics::PowersetCwa, Fragment::ExistentialPositiveBooleanGuarded),
+        (
+            Semantics::PowersetCwa,
+            Fragment::ExistentialPositiveBooleanGuarded,
+        ),
         (Semantics::MinimalCwa, Fragment::PositiveGuarded),
-        (Semantics::MinimalPowersetCwa, Fragment::ExistentialPositiveBooleanGuarded),
+        (
+            Semantics::MinimalPowersetCwa,
+            Fragment::ExistentialPositiveBooleanGuarded,
+        ),
     ] {
         let label = format!("{}×{}", sem.short_name(), fragment);
         group.bench_function(label, |b| b.iter(|| run_cell(sem, fragment, &config)));

@@ -17,9 +17,11 @@ fn bench_cycle_homomorphisms(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("satisfiable_to_c2", n), &source, |b, s| {
             b.iter(|| exists_homomorphism(s, &c2, &HomConfig::database()))
         });
-        group.bench_with_input(BenchmarkId::new("unsatisfiable_to_c3", n), &source, |b, s| {
-            b.iter(|| exists_homomorphism(s, &c3, &HomConfig::database()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("unsatisfiable_to_c3", n),
+            &source,
+            |b, s| b.iter(|| exists_homomorphism(s, &c3, &HomConfig::database())),
+        );
     }
     group.finish();
 }
@@ -29,14 +31,23 @@ fn bench_variable_ordering_ablation(c: &mut Criterion) {
     let c3 = directed_cycle(3, NodeKind::Constants, 200);
     let mut group = c.benchmark_group("hom_search_variable_ordering");
     for (name, ordering) in [
-        ("most_occurrences_first", VariableOrdering::MostOccurrencesFirst),
+        (
+            "most_occurrences_first",
+            VariableOrdering::MostOccurrencesFirst,
+        ),
         ("source_order", VariableOrdering::SourceOrder),
     ] {
         let config = HomConfig::database().with_ordering(ordering);
-        group.bench_function(name, |b| b.iter(|| exists_homomorphism(&source, &c3, &config)));
+        group.bench_function(name, |b| {
+            b.iter(|| exists_homomorphism(&source, &c3, &config))
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_cycle_homomorphisms, bench_variable_ordering_ablation);
+criterion_group!(
+    benches,
+    bench_cycle_homomorphisms,
+    bench_variable_ordering_ablation
+);
 criterion_main!(benches);

@@ -1,34 +1,14 @@
 //! Experiment E5 (performance side): the semantic orderings and their Codd
 //! counterparts on random instances.
+//!
+//! Workloads come from [`nev_bench::workloads::random_codd_instance`] with explicit
+//! seeds, so every run of this bench measures exactly the same instances.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
+use nev_bench::workloads::random_codd_instance;
 use nev_core::ordering::{cwa_leq, owa_leq, powerset_cwa_leq, wcwa_leq};
 use nev_incomplete::codd::{cwa_matching_leq, hoare_leq, plotkin_leq};
-use nev_incomplete::{Instance, Tuple, Value};
-
-/// A deterministic pseudo-random Codd instance over a binary relation.
-fn random_codd_instance(seed: u64, tuples: usize) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut inst = Instance::new();
-    let mut next_null = 0u32;
-    for _ in 0..tuples {
-        let mut value = |rng: &mut StdRng| {
-            if rng.gen_bool(0.4) {
-                next_null += 1;
-                Value::null(next_null)
-            } else {
-                Value::int(rng.gen_range(1..=3))
-            }
-        };
-        let a = value(&mut rng);
-        let b = value(&mut rng);
-        inst.add_tuple("R", Tuple::new(vec![a, b])).unwrap();
-    }
-    inst
-}
 
 fn bench_semantic_orderings(c: &mut Criterion) {
     let d = random_codd_instance(1, 4);
@@ -47,7 +27,9 @@ fn bench_codd_orderings(c: &mut Criterion) {
     let mut group = c.benchmark_group("codd_orderings");
     group.bench_function("hoare", |b| b.iter(|| hoare_leq(&d, &e)));
     group.bench_function("plotkin", |b| b.iter(|| plotkin_leq(&d, &e)));
-    group.bench_function("plotkin_plus_matching", |b| b.iter(|| cwa_matching_leq(&d, &e)));
+    group.bench_function("plotkin_plus_matching", |b| {
+        b.iter(|| cwa_matching_leq(&d, &e))
+    });
     group.finish();
 }
 

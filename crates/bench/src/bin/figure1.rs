@@ -30,7 +30,9 @@ fn parse_options() -> Options {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--quick" => options.config = Figure1Config::quick(),
+            // Only lower the trial count: --quick must not clobber an explicit
+            // --seed/--trials given earlier on the command line.
+            "--quick" => options.config.trials = Figure1Config::quick().trials,
             "--trials" => {
                 let value = args.next().expect("--trials needs a value");
                 options.config.trials = value.parse().expect("--trials needs an integer");
@@ -66,7 +68,11 @@ fn main() {
         let results = run_paper_examples();
         print!("{}", render_examples_markdown(&results));
         let failed = results.iter().filter(|r| !r.reproduced).count();
-        println!("\n{} of {} examples reproduced.\n", results.len() - failed, results.len());
+        println!(
+            "\n{} of {} examples reproduced.\n",
+            results.len() - failed,
+            results.len()
+        );
     }
 
     if options.run_table {
@@ -76,12 +82,18 @@ fn main() {
         );
         let outcomes = run_all_cells(&options.config);
         print!("{}", render_markdown(&outcomes));
-        let mismatches: Vec<_> = outcomes.iter().filter(|o| !o.satisfies_expectation()).collect();
+        let mismatches: Vec<_> = outcomes
+            .iter()
+            .filter(|o| !o.satisfies_expectation())
+            .collect();
         println!();
         if mismatches.is_empty() {
             println!("All cells satisfy the paper's guarantees.");
         } else {
-            println!("{} cell(s) violate the paper's guarantees:", mismatches.len());
+            println!(
+                "{} cell(s) violate the paper's guarantees:",
+                mismatches.len()
+            );
             for o in mismatches {
                 println!("- {} × {}:", o.semantics, o.fragment);
                 for ce in &o.counterexamples {

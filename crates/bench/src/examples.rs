@@ -53,7 +53,8 @@ pub fn run_paper_examples() -> Vec<ExampleResult> {
             [Tuple::new(vec![c(1), c(4)])].into_iter().collect();
         results.push(ExampleResult {
             id: "E3",
-            claim: "§1: certain answer to πAC(R ⋈ S) is {(1,4)} and naive evaluation computes it".into(),
+            claim: "§1: certain answer to πAC(R ⋈ S) is {(1,4)} and naive evaluation computes it"
+                .into(),
             reproduced: report.agrees() && report.certain == expected,
         });
     }
@@ -66,7 +67,8 @@ pub fn run_paper_examples() -> Vec<ExampleResult> {
         let owa = certain_answers_boolean(&d0, &q, Semantics::Owa, &bounds);
         results.push(ExampleResult {
             id: "E2",
-            claim: "§2.4: ∀x∃y D(x,y) on D0 — naive true, certain under CWA, not certain under OWA".into(),
+            claim: "§2.4: ∀x∃y D(x,y) on D0 — naive true, certain under CWA, not certain under OWA"
+                .into(),
             reproduced: cwa && !owa,
         });
     }
@@ -111,7 +113,9 @@ pub fn run_paper_examples() -> Vec<ExampleResult> {
             && cwa_leq(&codd_d, &codd_dp) == cwa_matching_leq(&codd_d, &codd_dp);
         results.push(ExampleResult {
             id: "E5",
-            claim: "§6–§7: semantic orderings match update reachability and Codd-database orderings".into(),
+            claim:
+                "§6–§7: semantic orderings match update reachability and Codd-database orderings"
+                    .into(),
             reproduced: updates_ok && codd_ok,
         });
     }
@@ -125,7 +129,10 @@ pub fn run_paper_examples() -> Vec<ExampleResult> {
         let hom = find_homomorphism(&g, &h_target, &HomConfig::database());
         let reproduced = is_core(&g)
             && is_core(&h_target)
-            && hom.as_ref().map(|h| !is_minimal_homomorphism(h, &g)).unwrap_or(false);
+            && hom
+                .as_ref()
+                .map(|h| !is_minimal_homomorphism(h, &g))
+                .unwrap_or(false);
         results.push(ExampleResult {
             id: "E6",
             claim: "Prop. 10.1: a strong onto homomorphism C4+C6 → C3+C2 exists between cores but is not minimal".into(),
@@ -139,8 +146,7 @@ pub fn run_paper_examples() -> Vec<ExampleResult> {
         let d = workloads::minimal_example_instance();
         let q = workloads::forall_loop_query();
         let report = compare_naive_and_certain(&d, &q, Semantics::MinimalCwa, &bounds);
-        let on_core =
-            compare_naive_and_certain(&core_of(&d), &q, Semantics::MinimalCwa, &bounds);
+        let on_core = compare_naive_and_certain(&core_of(&d), &q, Semantics::MinimalCwa, &bounds);
         results.push(ExampleResult {
             id: "E7",
             claim: "§10: ∀x D(x,x) fails naive evaluation under ⟦ ⟧min_CWA off cores, works on the core".into(),
@@ -191,7 +197,12 @@ pub fn run_paper_examples() -> Vec<ExampleResult> {
 pub fn render_examples_markdown(results: &[ExampleResult]) -> String {
     let mut s = String::from("| id | paper claim | reproduced |\n|---|---|---|\n");
     for r in results {
-        s.push_str(&format!("| {} | {} | {} |\n", r.id, r.claim, if r.reproduced { "yes" } else { "NO" }));
+        s.push_str(&format!(
+            "| {} | {} | {} |\n",
+            r.id,
+            r.claim,
+            if r.reproduced { "yes" } else { "NO" }
+        ));
     }
     s
 }

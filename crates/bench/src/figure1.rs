@@ -3,11 +3,13 @@
 
 use std::fmt::Write as _;
 
-use nev_core::cores::naive_is_sound_approximation;
 use nev_core::certain::compare_naive_and_certain;
+use nev_core::cores::naive_is_sound_approximation;
 use nev_core::summary::{expectation, Expectation, FRAGMENTS};
 use nev_core::{Semantics, WorldBounds};
-use nev_gen::{FormulaGenerator, FormulaGeneratorConfig, InstanceGenerator, InstanceGeneratorConfig};
+use nev_gen::{
+    FormulaGenerator, FormulaGeneratorConfig, InstanceGenerator, InstanceGeneratorConfig,
+};
 use nev_hom::core_of;
 use nev_incomplete::Schema;
 use nev_logic::Fragment;
@@ -33,11 +35,15 @@ impl Default for Figure1Config {
     fn default() -> Self {
         Figure1Config {
             trials: 40,
-            seed: 20130622, // PODS 2013
+            seed: crate::workloads::DEFAULT_SEED,
             schema: Schema::from_relations([("R", 2), ("S", 1)]),
             formula_depth: 3,
             max_arity: 1,
-            bounds: WorldBounds { owa_max_extra_tuples: 1, wcwa_max_extra_tuples: 2, ..WorldBounds::default() },
+            bounds: WorldBounds {
+                owa_max_extra_tuples: 1,
+                wcwa_max_extra_tuples: 2,
+                ..WorldBounds::default()
+            },
         }
     }
 }
@@ -45,7 +51,10 @@ impl Default for Figure1Config {
 impl Figure1Config {
     /// A configuration small enough for CI-style integration tests.
     pub fn quick() -> Self {
-        Figure1Config { trials: 12, ..Figure1Config::default() }
+        Figure1Config {
+            trials: 12,
+            ..Figure1Config::default()
+        }
     }
 
     fn instance_config(&self) -> InstanceGeneratorConfig {
@@ -141,7 +150,11 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
 
     for trial in 0..config.trials {
         let raw_instance = instances.generate();
-        let arity = if config.max_arity == 0 { 0 } else { trial % (config.max_arity + 1) };
+        let arity = if config.max_arity == 0 {
+            0
+        } else {
+            trial % (config.max_arity + 1)
+        };
         let query = if arity == 0 {
             formulas.generate_sentence()
         } else {
@@ -160,10 +173,7 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
         } else if counterexamples.len() < 3 {
             counterexamples.push(format!(
                 "query `{}` on instance `{}`: naive={:?} certain={:?}",
-                query,
-                instance,
-                report.naive,
-                report.certain
+                query, instance, report.naive, report.certain
             ));
         }
         if naive_is_sound_approximation(&raw_instance, &query, semantics, &config.bounds) {
@@ -236,7 +246,10 @@ mod tests {
 
     #[test]
     fn owa_ucq_cell_agrees_on_a_quick_run() {
-        let config = Figure1Config { trials: 6, ..Figure1Config::quick() };
+        let config = Figure1Config {
+            trials: 6,
+            ..Figure1Config::quick()
+        };
         let outcome = run_cell(Semantics::Owa, Fragment::ExistentialPositive, &config);
         assert!(outcome.fully_agrees(), "{:?}", outcome.counterexamples);
         assert!(outcome.satisfies_expectation());

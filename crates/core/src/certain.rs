@@ -44,7 +44,10 @@ pub fn certain_answers_boolean(
     semantics: Semantics,
     bounds: &WorldBounds,
 ) -> bool {
-    assert!(query.is_boolean(), "certain_answers_boolean expects a Boolean query");
+    assert!(
+        query.is_boolean(),
+        "certain_answers_boolean expects a Boolean query"
+    );
     let bounds = bounds_for_query(query, bounds);
     let mut certain = true;
     let _ = semantics.for_each_world(d, &bounds, |world| {
@@ -152,7 +155,11 @@ pub fn compare_naive_and_certain(
     } else {
         certain_answers(d, query, semantics, bounds)
     };
-    NaiveEvalReport { semantics, naive, certain }
+    NaiveEvalReport {
+        semantics,
+        naive,
+        certain,
+    }
 }
 
 /// Returns `true` iff naïve evaluation computes the (bounded) certain answers for the
@@ -200,17 +207,48 @@ mod tests {
         // ∃x,y (D(x,y) ∧ D(y,x)): certain under both OWA and CWA, naïve evaluation true.
         let sym = parse_query("exists u v . D(u, v) & D(v, u)").unwrap();
         assert!(naive_eval_boolean(&d0, &sym));
-        assert!(certain_answers_boolean(&d0, &sym, Semantics::Owa, &WorldBounds::default()));
-        assert!(certain_answers_boolean(&d0, &sym, Semantics::Cwa, &WorldBounds::default()));
+        assert!(certain_answers_boolean(
+            &d0,
+            &sym,
+            Semantics::Owa,
+            &WorldBounds::default()
+        ));
+        assert!(certain_answers_boolean(
+            &d0,
+            &sym,
+            Semantics::Cwa,
+            &WorldBounds::default()
+        ));
         // ∀x∃y D(x,y): naïve evaluation true; certain under CWA, NOT certain under OWA.
         let total = parse_query("forall u . exists v . D(u, v)").unwrap();
         assert!(naive_eval_boolean(&d0, &total));
-        assert!(certain_answers_boolean(&d0, &total, Semantics::Cwa, &WorldBounds::default()));
-        assert!(!certain_answers_boolean(&d0, &total, Semantics::Owa, &WorldBounds::default()));
+        assert!(certain_answers_boolean(
+            &d0,
+            &total,
+            Semantics::Cwa,
+            &WorldBounds::default()
+        ));
+        assert!(!certain_answers_boolean(
+            &d0,
+            &total,
+            Semantics::Owa,
+            &WorldBounds::default()
+        ));
         // Hence naïve evaluation works for it under CWA but not under OWA.
-        assert!(naive_evaluation_works(&d0, &total, Semantics::Cwa, &WorldBounds::default()));
-        assert!(!naive_evaluation_works(&d0, &total, Semantics::Owa, &WorldBounds::default()));
-        let report = compare_naive_and_certain(&d0, &total, Semantics::Owa, &WorldBounds::default());
+        assert!(naive_evaluation_works(
+            &d0,
+            &total,
+            Semantics::Cwa,
+            &WorldBounds::default()
+        ));
+        assert!(!naive_evaluation_works(
+            &d0,
+            &total,
+            Semantics::Owa,
+            &WorldBounds::default()
+        ));
+        let report =
+            compare_naive_and_certain(&d0, &total, Semantics::Owa, &WorldBounds::default());
         assert!(report.naive_overshoots());
         assert!(!report.naive_undershoots());
     }
@@ -222,8 +260,18 @@ mod tests {
         let d0 = d0();
         let q = parse_query("exists u . !D(u, u)").unwrap();
         assert!(naive_eval_boolean(&d0, &q));
-        assert!(!certain_answers_boolean(&d0, &q, Semantics::Cwa, &WorldBounds::default()));
-        assert!(!naive_evaluation_works(&d0, &q, Semantics::Cwa, &WorldBounds::default()));
+        assert!(!certain_answers_boolean(
+            &d0,
+            &q,
+            Semantics::Cwa,
+            &WorldBounds::default()
+        ));
+        assert!(!naive_evaluation_works(
+            &d0,
+            &q,
+            Semantics::Cwa,
+            &WorldBounds::default()
+        ));
     }
 
     #[test]
@@ -236,7 +284,12 @@ mod tests {
         assert!(report.agrees());
         assert_eq!(report.certain.len(), 1);
         // Under OWA the same holds (it is a conjunctive query).
-        assert!(naive_evaluation_works(&d, &q, Semantics::Owa, &WorldBounds::default()));
+        assert!(naive_evaluation_works(
+            &d,
+            &q,
+            Semantics::Owa,
+            &WorldBounds::default()
+        ));
     }
 
     #[test]
@@ -254,8 +307,18 @@ mod tests {
         // Whereas with two distinct nulls it is not certain (they may differ) — except
         // under the minimal semantics, where minimality forces the collapse.
         let d2 = inst! { "R" => [[x(1), x(2)]] };
-        assert!(!certain_answers_boolean(&d2, &q, Semantics::Cwa, &WorldBounds::default()));
-        assert!(!certain_answers_boolean(&d2, &q, Semantics::Owa, &WorldBounds::default()));
+        assert!(!certain_answers_boolean(
+            &d2,
+            &q,
+            Semantics::Cwa,
+            &WorldBounds::default()
+        ));
+        assert!(!certain_answers_boolean(
+            &d2,
+            &q,
+            Semantics::Owa,
+            &WorldBounds::default()
+        ));
     }
 
     #[test]
@@ -265,11 +328,21 @@ mod tests {
         let d = inst! { "R" => [[x(1)]] };
         let q = parse_query("exists u . R(u) & u = 5").unwrap();
         assert!(!naive_eval_boolean(&d, &q));
-        assert!(!certain_answers_boolean(&d, &q, Semantics::Cwa, &WorldBounds::default()));
+        assert!(!certain_answers_boolean(
+            &d,
+            &q,
+            Semantics::Cwa,
+            &WorldBounds::default()
+        ));
         // The dual query ∃u (R(u) ∧ ¬(u = 5)) is naïvely true but not certain.
         let q2 = parse_query("exists u . R(u) & !(u = 5)").unwrap();
         assert!(naive_eval_boolean(&d, &q2));
-        assert!(!certain_answers_boolean(&d, &q2, Semantics::Cwa, &WorldBounds::default()));
+        assert!(!certain_answers_boolean(
+            &d,
+            &q2,
+            Semantics::Cwa,
+            &WorldBounds::default()
+        ));
     }
 
     #[test]
@@ -299,6 +372,11 @@ mod tests {
         // and naive evaluation agrees — a Pos query, per Theorem 5.2.
         let d0 = d0();
         let q = parse_query("forall u . exists v . D(u, v)").unwrap();
-        assert!(naive_evaluation_works(&d0, &q, Semantics::Wcwa, &WorldBounds::default()));
+        assert!(naive_evaluation_works(
+            &d0,
+            &q,
+            Semantics::Wcwa,
+            &WorldBounds::default()
+        ));
     }
 }

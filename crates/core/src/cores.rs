@@ -50,7 +50,10 @@ pub fn representative_core_semantics_match(
     );
     let core = core_of(d);
     let of_d: BTreeSet<Instance> = semantics.enumerate_worlds(d, bounds).into_iter().collect();
-    let of_core: BTreeSet<Instance> = semantics.enumerate_worlds(&core, bounds).into_iter().collect();
+    let of_core: BTreeSet<Instance> = semantics
+        .enumerate_worlds(&core, bounds)
+        .into_iter()
+        .collect();
     of_d.iter().all(|w| semantics.contains_world(&core, w))
         && of_core.iter().all(|w| semantics.contains_world(d, w))
 }
@@ -115,7 +118,12 @@ mod tests {
         assert!(!report.agrees());
         assert!(report.naive_undershoots());
         // Over the core, naïve evaluation works (Corollary 10.12).
-        assert!(naive_evaluation_works_on_core(&d, &q, Semantics::MinimalCwa, &WorldBounds::default()));
+        assert!(naive_evaluation_works_on_core(
+            &d,
+            &q,
+            Semantics::MinimalCwa,
+            &WorldBounds::default()
+        ));
     }
 
     #[test]
@@ -184,6 +192,12 @@ mod tests {
         assert!(is_core(&core));
         let q = parse_query("forall u . D(u, u)").unwrap();
         assert!(agrees_with_core(&core, &q));
-        assert!(compare_naive_and_certain(&core, &q, Semantics::MinimalCwa, &WorldBounds::default()).agrees());
+        assert!(compare_naive_and_certain(
+            &core,
+            &q,
+            Semantics::MinimalCwa,
+            &WorldBounds::default()
+        )
+        .agrees());
     }
 }

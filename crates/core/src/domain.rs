@@ -33,7 +33,10 @@ pub struct RelationalDomain {
 impl RelationalDomain {
     /// Creates a domain with default bounds.
     pub fn new(semantics: Semantics) -> Self {
-        RelationalDomain { semantics, bounds: WorldBounds::default() }
+        RelationalDomain {
+            semantics,
+            bounds: WorldBounds::default(),
+        }
     }
 
     /// The (bounded) semantics `⟦D⟧` of an instance.
@@ -65,7 +68,10 @@ impl RelationalDomain {
     /// Checks the first fairness condition of Proposition 3.2 at a complete instance:
     /// `c ∈ ⟦c⟧`.
     pub fn fair_condition_one(&self, c: &Instance) -> bool {
-        assert!(c.is_complete(), "fairness condition (1) is about complete instances");
+        assert!(
+            c.is_complete(),
+            "fairness condition (1) is about complete instances"
+        );
         self.semantics.contains_world(c, c)
     }
 
@@ -73,11 +79,16 @@ impl RelationalDomain {
     /// a complete instance `c ∈ ⟦x⟧`: `⟦c⟧ ⊆ ⟦x⟧`, sampled over the bounded worlds of
     /// `c` and verified with the exact membership test on `x`.
     pub fn fair_condition_two(&self, x: &Instance, c: &Instance) -> bool {
-        assert!(c.is_complete(), "fairness condition (2) needs a complete instance");
+        assert!(
+            c.is_complete(),
+            "fairness condition (2) needs a complete instance"
+        );
         if !self.semantics.contains_world(x, c) {
             return true; // vacuously: c is not in ⟦x⟧
         }
-        self.semantics_of(c).iter().all(|w| self.semantics.contains_world(x, w))
+        self.semantics_of(c)
+            .iter()
+            .all(|w| self.semantics.contains_world(x, w))
     }
 }
 
@@ -98,9 +109,17 @@ mod tests {
     #[test]
     fn valuation_based_semantics_are_saturated() {
         for d in samples() {
-            for sem in [Semantics::Owa, Semantics::Cwa, Semantics::Wcwa, Semantics::PowersetCwa] {
+            for sem in [
+                Semantics::Owa,
+                Semantics::Cwa,
+                Semantics::Wcwa,
+                Semantics::PowersetCwa,
+            ] {
                 let domain = RelationalDomain::new(sem);
-                assert!(domain.is_saturated_at(&d), "{sem} should be saturated at\n{d}");
+                assert!(
+                    domain.is_saturated_at(&d),
+                    "{sem} should be saturated at\n{d}"
+                );
             }
         }
     }
@@ -123,7 +142,12 @@ mod tests {
     fn fairness_conditions_hold_for_the_standard_semantics() {
         let complete = inst! { "R" => [[c(1), c(2)], [c(2), c(2)]] };
         let incomplete = inst! { "R" => [[x(1), c(2)]] };
-        for sem in [Semantics::Owa, Semantics::Cwa, Semantics::Wcwa, Semantics::PowersetCwa] {
+        for sem in [
+            Semantics::Owa,
+            Semantics::Cwa,
+            Semantics::Wcwa,
+            Semantics::PowersetCwa,
+        ] {
             let domain = RelationalDomain::new(sem);
             assert!(domain.fair_condition_one(&complete), "{sem}");
             assert!(domain.fair_condition_two(&incomplete, &complete), "{sem}");

@@ -47,5 +47,7 @@ pub mod semantics;
 pub mod summary;
 pub mod updates;
 
-pub use certain::{certain_answers, certain_answers_boolean, naive_evaluation_works, NaiveEvalReport};
+pub use certain::{
+    certain_answers, certain_answers_boolean, naive_evaluation_works, NaiveEvalReport,
+};
 pub use semantics::{Semantics, WorldBounds};

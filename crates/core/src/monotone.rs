@@ -88,7 +88,10 @@ mod tests {
         let d = inst! { "R" => [[c(1), x(1)]], "S" => [[x(1), c(4)]] };
         let q = parse_query("exists u v z . R(u, z) & S(z, v)").unwrap();
         for sem in Semantics::ALL {
-            assert!(weakly_monotone_at(&d, &q, sem, &WorldBounds::default()), "{sem}");
+            assert!(
+                weakly_monotone_at(&d, &q, sem, &WorldBounds::default()),
+                "{sem}"
+            );
         }
     }
 
@@ -96,23 +99,46 @@ mod tests {
     fn universal_query_not_weakly_monotone_under_owa() {
         // ∀x∃y D(x,y) on D0: true naïvely, false in an extended OWA world.
         let q = parse_query("forall u . exists v . D(u, v)").unwrap();
-        assert!(!weakly_monotone_at(&d0(), &q, Semantics::Owa, &WorldBounds::default()));
+        assert!(!weakly_monotone_at(
+            &d0(),
+            &q,
+            Semantics::Owa,
+            &WorldBounds::default()
+        ));
         // But weakly monotone at D0 under CWA / WCWA.
-        assert!(weakly_monotone_at(&d0(), &q, Semantics::Cwa, &WorldBounds::default()));
-        assert!(weakly_monotone_at(&d0(), &q, Semantics::Wcwa, &WorldBounds::default()));
+        assert!(weakly_monotone_at(
+            &d0(),
+            &q,
+            Semantics::Cwa,
+            &WorldBounds::default()
+        ));
+        assert!(weakly_monotone_at(
+            &d0(),
+            &q,
+            Semantics::Wcwa,
+            &WorldBounds::default()
+        ));
     }
 
     #[test]
     fn negation_not_weakly_monotone_under_cwa() {
         let q = parse_query("exists u . !D(u, u)").unwrap();
-        assert!(!weakly_monotone_at(&d0(), &q, Semantics::Cwa, &WorldBounds::default()));
+        assert!(!weakly_monotone_at(
+            &d0(),
+            &q,
+            Semantics::Cwa,
+            &WorldBounds::default()
+        ));
     }
 
     #[test]
     fn false_queries_are_trivially_weakly_monotone() {
         let q = parse_query("exists u . Missing(u)").unwrap();
         for sem in Semantics::ALL {
-            assert!(weakly_monotone_at(&d0(), &q, sem, &WorldBounds::default()), "{sem}");
+            assert!(
+                weakly_monotone_at(&d0(), &q, sem, &WorldBounds::default()),
+                "{sem}"
+            );
         }
     }
 
@@ -121,17 +147,29 @@ mod tests {
         let d = inst! { "R" => [[x(1), c(2)]] };
         let d_prime = inst! { "R" => [[c(1), c(2)]] };
         let ucq = parse_query("exists u . R(u, 2)").unwrap();
-        assert_eq!(monotone_on_pair(&d, &d_prime, &ucq, Semantics::Owa), Some(true));
+        assert_eq!(
+            monotone_on_pair(&d, &d_prime, &ucq, Semantics::Owa),
+            Some(true)
+        );
         // A non-monotone query on an ordered pair.
         let neg = parse_query("exists u . !R(u, u)").unwrap();
         let bigger = inst! { "R" => [[c(1), c(2)], [c(2), c(2)], [c(1), c(1)], [c(2), c(1)]] };
         // d ≼_OWA bigger and neg is true on d (no self-loop syntactically)…
-        assert_eq!(monotone_on_pair(&d, &bigger, &neg, Semantics::Owa), Some(false));
+        assert_eq!(
+            monotone_on_pair(&d, &bigger, &neg, Semantics::Owa),
+            Some(false)
+        );
         // Minimal semantics have no characterised ordering.
-        assert_eq!(monotone_on_pair(&d, &d_prime, &ucq, Semantics::MinimalCwa), None);
+        assert_eq!(
+            monotone_on_pair(&d, &d_prime, &ucq, Semantics::MinimalCwa),
+            None
+        );
         // Unrelated pairs are vacuously fine.
         let unrelated = inst! { "R" => [[c(9), c(9)]] };
-        assert_eq!(monotone_on_pair(&d, &unrelated, &neg, Semantics::Cwa), Some(true));
+        assert_eq!(
+            monotone_on_pair(&d, &unrelated, &neg, Semantics::Cwa),
+            Some(true)
+        );
     }
 
     #[test]
@@ -140,7 +178,10 @@ mod tests {
         let d = inst! { "R" => [[c(1)], [x(1)]] };
         let q = parse_query("Q(u) :- R(u)").unwrap();
         for sem in Semantics::ALL {
-            assert!(weakly_monotone_at(&d, &q, sem, &WorldBounds::default()), "{sem}");
+            assert!(
+                weakly_monotone_at(&d, &q, sem, &WorldBounds::default()),
+                "{sem}"
+            );
         }
     }
 }

@@ -95,8 +95,14 @@ mod tests {
         let grown = inst! { "R" => [[c(1), c(2)], [c(3), c(4)]] };
         assert!(owa_leq(&d, &grown));
         assert!(!cwa_leq(&d, &grown));
-        assert!(!wcwa_leq(&d, &grown), "WCWA forbids new active-domain values");
-        assert!(powerset_cwa_leq(&d, &grown), "but the powerset ordering allows two copies");
+        assert!(
+            !wcwa_leq(&d, &grown),
+            "WCWA forbids new active-domain values"
+        );
+        assert!(
+            powerset_cwa_leq(&d, &grown),
+            "but the powerset ordering allows two copies"
+        );
         // Growth within the active domain is fine for WCWA.
         let within = inst! { "R" => [[c(1), c(2)], [c(2), c(1)]] };
         assert!(wcwa_leq(&d, &within));

@@ -95,7 +95,10 @@ impl Semantics {
     /// # Panics
     /// Panics if `world` is not complete.
     pub fn contains_world(self, d: &Instance, world: &Instance) -> bool {
-        assert!(world.is_complete(), "possible worlds must be complete instances");
+        assert!(
+            world.is_complete(),
+            "possible worlds must be complete instances"
+        );
         match self {
             // D' ∈ ⟦D⟧_OWA iff some valuation (= database homomorphism into a complete
             // instance) maps D into D'.
@@ -131,7 +134,12 @@ impl Semantics {
     /// Streams the bounded possible worlds of `d` to `visitor`, stopping early if the
     /// visitor breaks. Worlds may be repeated; use [`Semantics::enumerate_worlds`] for
     /// a deduplicated list.
-    pub fn for_each_world<F>(self, d: &Instance, bounds: &WorldBounds, mut visitor: F) -> ControlFlow<()>
+    pub fn for_each_world<F>(
+        self,
+        d: &Instance,
+        bounds: &WorldBounds,
+        mut visitor: F,
+    ) -> ControlFlow<()>
     where
         F: FnMut(&Instance) -> ControlFlow<()>,
     {
@@ -269,7 +277,10 @@ impl Default for WorldBounds {
 impl WorldBounds {
     /// Bounds that additionally account for the constants mentioned by a query.
     pub fn for_query_constants(constants: BTreeSet<Constant>) -> Self {
-        WorldBounds { extra_constants: constants, ..WorldBounds::default() }
+        WorldBounds {
+            extra_constants: constants,
+            ..WorldBounds::default()
+        }
     }
 
     /// The valuation budget for an instance under a given semantics: its constants,
@@ -279,7 +290,11 @@ impl WorldBounds {
     pub fn budget_for(&self, d: &Instance, semantics: Semantics) -> BTreeSet<Constant> {
         let mut budget = d.constants();
         budget.extend(self.extra_constants.iter().cloned());
-        let multiplier = if semantics.is_powerset() { self.union_width.max(1) } else { 1 };
+        let multiplier = if semantics.is_powerset() {
+            self.union_width.max(1)
+        } else {
+            1
+        };
         let fresh = fresh_constants(d.nulls().len() * multiplier, &budget);
         budget.extend(fresh);
         budget
@@ -350,7 +365,8 @@ fn missing_tuples_over(base: &Instance, domain: &BTreeSet<Value>) -> Vec<(String
 fn add_facts(base: &Instance, extra: &[(String, Tuple)]) -> Instance {
     let mut out = base.clone();
     for (rel, tuple) in extra {
-        out.add_tuple(rel, tuple.clone()).expect("arity-consistent extension");
+        out.add_tuple(rel, tuple.clone())
+            .expect("arity-consistent extension");
     }
     out
 }
@@ -477,13 +493,19 @@ mod tests {
     #[test]
     fn enumerated_worlds_are_members() {
         let d = inst! { "R" => [[c(1), x(1)]], "S" => [[x(1)]] };
-        let bounds = WorldBounds { owa_max_extra_tuples: 1, ..WorldBounds::default() };
+        let bounds = WorldBounds {
+            owa_max_extra_tuples: 1,
+            ..WorldBounds::default()
+        };
         for sem in Semantics::ALL {
             let worlds = sem.enumerate_worlds(&d, &bounds);
             assert!(!worlds.is_empty(), "{sem} produced no worlds");
             for w in &worlds {
                 assert!(w.is_complete());
-                assert!(sem.contains_world(&d, w), "{sem}: enumerated world not a member\n{w}");
+                assert!(
+                    sem.contains_world(&d, w),
+                    "{sem}: enumerated world not a member\n{w}"
+                );
             }
         }
     }
@@ -495,14 +517,20 @@ mod tests {
         assert_eq!(worlds.len(), 1);
         assert!(worlds[0].same_facts(&d));
         for sem in Semantics::ALL {
-            assert!(sem.contains_world(&d, &d), "{sem} must contain the complete instance itself");
+            assert!(
+                sem.contains_world(&d, &d),
+                "{sem} must contain the complete instance itself"
+            );
         }
     }
 
     #[test]
     fn owa_enumeration_contains_proper_extensions() {
         let d = inst! { "R" => [[x(1), x(1)]] };
-        let bounds = WorldBounds { owa_max_extra_tuples: 1, ..WorldBounds::default() };
+        let bounds = WorldBounds {
+            owa_max_extra_tuples: 1,
+            ..WorldBounds::default()
+        };
         let worlds = Semantics::Owa.enumerate_worlds(&d, &bounds);
         assert!(worlds.iter().any(|w| w.fact_count() == 1));
         assert!(worlds.iter().any(|w| w.fact_count() == 2));
@@ -513,7 +541,10 @@ mod tests {
         // Two nulls, no constants: budget = 2 fresh constants (union width 1 would give 2,
         // default width 2 gives up to 4); either way every world has the symmetric shape.
         let d0 = d0();
-        let bounds = WorldBounds { union_width: 1, ..WorldBounds::default() };
+        let bounds = WorldBounds {
+            union_width: 1,
+            ..WorldBounds::default()
+        };
         let worlds = Semantics::Cwa.enumerate_worlds(&d0, &bounds);
         // Valuations over {f0, f1}: 4 of them; worlds collapse to 3 distinct instances
         // ({(f0,f0)}, {(f1,f1)}, {(f0,f1),(f1,f0)}).
@@ -523,7 +554,10 @@ mod tests {
     #[test]
     fn max_worlds_truncates() {
         let d = inst! { "R" => [[x(1), x(2), x(3)]] };
-        let bounds = WorldBounds { max_worlds: 5, ..WorldBounds::default() };
+        let bounds = WorldBounds {
+            max_worlds: 5,
+            ..WorldBounds::default()
+        };
         let worlds = Semantics::Cwa.enumerate_worlds(&d, &bounds);
         assert!(worlds.len() <= 5);
     }

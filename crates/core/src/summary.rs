@@ -121,7 +121,11 @@ pub fn figure1() -> Vec<Figure1Cell> {
     let mut cells = Vec::new();
     for semantics in Semantics::ALL {
         for fragment in FRAGMENTS {
-            cells.push(Figure1Cell { semantics, fragment, expectation: expectation(semantics, fragment) });
+            cells.push(Figure1Cell {
+                semantics,
+                fragment,
+                expectation: expectation(semantics, fragment),
+            });
         }
     }
     cells
@@ -150,14 +154,23 @@ mod tests {
 
     #[test]
     fn guaranteed_fragments_match_figure_1() {
-        assert_eq!(guaranteed_fragment(Semantics::Owa), Fragment::ExistentialPositive);
+        assert_eq!(
+            guaranteed_fragment(Semantics::Owa),
+            Fragment::ExistentialPositive
+        );
         assert_eq!(guaranteed_fragment(Semantics::Wcwa), Fragment::Positive);
-        assert_eq!(guaranteed_fragment(Semantics::Cwa), Fragment::PositiveGuarded);
+        assert_eq!(
+            guaranteed_fragment(Semantics::Cwa),
+            Fragment::PositiveGuarded
+        );
         assert_eq!(
             guaranteed_fragment(Semantics::PowersetCwa),
             Fragment::ExistentialPositiveBooleanGuarded
         );
-        assert_eq!(guaranteed_fragment(Semantics::MinimalCwa), Fragment::PositiveGuarded);
+        assert_eq!(
+            guaranteed_fragment(Semantics::MinimalCwa),
+            Fragment::PositiveGuarded
+        );
         assert_eq!(
             guaranteed_fragment(Semantics::MinimalPowersetCwa),
             Fragment::ExistentialPositiveBooleanGuarded
@@ -201,13 +214,22 @@ mod tests {
 
     #[test]
     fn owa_beyond_ucq_is_not_guaranteed() {
-        assert_eq!(expectation(Semantics::Owa, Fragment::Positive), Expectation::NotGuaranteed);
+        assert_eq!(
+            expectation(Semantics::Owa, Fragment::Positive),
+            Expectation::NotGuaranteed
+        );
         assert_eq!(
             expectation(Semantics::Owa, Fragment::PositiveGuarded),
             Expectation::NotGuaranteed
         );
-        assert_eq!(expectation(Semantics::Wcwa, Fragment::PositiveGuarded), Expectation::NotGuaranteed);
-        assert_eq!(expectation(Semantics::Cwa, Fragment::PositiveGuarded), Expectation::Works);
+        assert_eq!(
+            expectation(Semantics::Wcwa, Fragment::PositiveGuarded),
+            Expectation::NotGuaranteed
+        );
+        assert_eq!(
+            expectation(Semantics::Cwa, Fragment::PositiveGuarded),
+            Expectation::Works
+        );
         assert_eq!(
             expectation(Semantics::PowersetCwa, Fragment::Positive),
             Expectation::NotGuaranteed

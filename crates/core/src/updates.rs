@@ -33,14 +33,21 @@ pub enum UpdateKind {
 
 /// The CWA update `D[v/⊥]`: replaces every occurrence of the null by the value.
 pub fn cwa_update(d: &Instance, null: NullId, value: &Value) -> Instance {
-    d.map_values(|v| if *v == Value::Null(null) { value.clone() } else { v.clone() })
+    d.map_values(|v| {
+        if *v == Value::Null(null) {
+            value.clone()
+        } else {
+            v.clone()
+        }
+    })
 }
 
 /// The OWA update: adds a tuple to a relation (which must exist with that arity, or
 /// not exist at all).
 pub fn owa_update(d: &Instance, relation: &str, tuple: Tuple) -> Instance {
     let mut out = d.clone();
-    out.add_tuple(relation, tuple).expect("OWA update must respect the relation arity");
+    out.add_tuple(relation, tuple)
+        .expect("OWA update must respect the relation arity");
     out
 }
 
@@ -49,11 +56,10 @@ pub fn owa_update(d: &Instance, relation: &str, tuple: Tuple) -> Instance {
 pub fn fresh_copy(d: &Instance, avoid: &BTreeSet<NullId>) -> Instance {
     let mut used: BTreeSet<NullId> = d.nulls();
     used.extend(avoid.iter().copied());
-    let mut next = used.iter().map(|n| n.0 + 1).max().unwrap_or(0);
+    let base = used.iter().map(|n| n.0 + 1).max().unwrap_or(0);
     let mut renaming = std::collections::BTreeMap::new();
-    for n in d.nulls() {
-        renaming.insert(n, NullId(next));
-        next += 1;
+    for (offset, n) in d.nulls().into_iter().enumerate() {
+        renaming.insert(n, NullId(base + offset as u32));
     }
     d.map_values(|v| match v {
         Value::Null(n) => Value::Null(renaming[n]),
@@ -71,7 +77,10 @@ pub fn copying_cwa_update(d: &Instance, null: NullId, value: &Value) -> Instance
 /// The "multiple CWA update" used in the proof of Theorem 7.1:
 /// `D ↦ ⋃_{v ∈ values} D[v/⊥]`.
 pub fn multi_cwa_update(d: &Instance, null: NullId, values: &[Value]) -> Instance {
-    assert!(!values.is_empty(), "a multiple CWA update needs at least one value");
+    assert!(
+        !values.is_empty(),
+        "a multiple CWA update needs at least one value"
+    );
     let mut out: Option<Instance> = None;
     for v in values {
         let step = cwa_update(d, null, v);
@@ -94,7 +103,10 @@ pub struct ReachabilityBounds {
 
 impl Default for ReachabilityBounds {
     fn default() -> Self {
-        ReachabilityBounds { max_steps: 8, max_states: 20_000 }
+        ReachabilityBounds {
+            max_steps: 8,
+            max_states: 20_000,
+        }
     }
 }
 
@@ -242,15 +254,30 @@ mod tests {
         let d = inst! { "R" => [[x(1), x(2)]] };
         let d_prime = inst! { "R" => [[c(1), c(2)]] };
         assert!(cwa_leq(&d, &d_prime));
-        assert!(reachable_by_updates(&d, &d_prime, &[UpdateKind::Cwa], &ReachabilityBounds::default()));
+        assert!(reachable_by_updates(
+            &d,
+            &d_prime,
+            &[UpdateKind::Cwa],
+            &ReachabilityBounds::default()
+        ));
         // Collapsing both nulls also works.
         let collapsed = inst! { "R" => [[c(9), c(9)]] };
         assert!(cwa_leq(&d, &collapsed));
-        assert!(reachable_by_updates(&d, &collapsed, &[UpdateKind::Cwa], &ReachabilityBounds::default()));
+        assert!(reachable_by_updates(
+            &d,
+            &collapsed,
+            &[UpdateKind::Cwa],
+            &ReachabilityBounds::default()
+        ));
         // But a grown instance is not reachable by CWA updates alone…
         let grown = inst! { "R" => [[c(1), c(2)], [c(2), c(1)]] };
         assert!(!cwa_leq(&d, &grown));
-        assert!(!reachable_by_updates(&d, &grown, &[UpdateKind::Cwa], &ReachabilityBounds::default()));
+        assert!(!reachable_by_updates(
+            &d,
+            &grown,
+            &[UpdateKind::Cwa],
+            &ReachabilityBounds::default()
+        ));
         // …while it is reachable once OWA updates are allowed, matching ≼_OWA.
         assert!(owa_leq(&d, &grown));
         assert!(reachable_by_updates(
@@ -268,7 +295,12 @@ mod tests {
         let d = inst! { "R" => [[x(1), x(2)]] };
         let two_copies = inst! { "R" => [[c(1), c(2)], [c(3), c(4)]] };
         assert!(powerset_cwa_leq(&d, &two_copies));
-        assert!(!reachable_by_updates(&d, &two_copies, &[UpdateKind::Cwa], &ReachabilityBounds::default()));
+        assert!(!reachable_by_updates(
+            &d,
+            &two_copies,
+            &[UpdateKind::Cwa],
+            &ReachabilityBounds::default()
+        ));
         assert!(reachable_by_updates(
             &d,
             &two_copies,
@@ -288,7 +320,12 @@ mod tests {
             &ReachabilityBounds::default()
         ));
         // Reflexivity: an instance reaches itself with zero updates.
-        assert!(reachable_by_updates(&d, &d, &[], &ReachabilityBounds::default()));
+        assert!(reachable_by_updates(
+            &d,
+            &d,
+            &[],
+            &ReachabilityBounds::default()
+        ));
     }
 
     #[test]

@@ -52,7 +52,11 @@ pub struct FormulaGenerator {
 impl FormulaGenerator {
     /// Creates a generator with the given configuration and seed.
     pub fn new(config: FormulaGeneratorConfig, seed: u64) -> Self {
-        FormulaGenerator { config, rng: StdRng::seed_from_u64(seed), next_var: 0 }
+        FormulaGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            next_var: 0,
+        }
     }
 
     fn fresh_var(&mut self) -> String {
@@ -92,10 +96,14 @@ impl FormulaGenerator {
         match self.rng.gen_range(0..4) {
             0 => self.random_atom(scope),
             1 => Formula::and(
-                (0..2).map(|_| self.gen_existential_positive(scope, depth - 1)).collect::<Vec<_>>(),
+                (0..2)
+                    .map(|_| self.gen_existential_positive(scope, depth - 1))
+                    .collect::<Vec<_>>(),
             ),
             2 => Formula::or(
-                (0..2).map(|_| self.gen_existential_positive(scope, depth - 1)).collect::<Vec<_>>(),
+                (0..2)
+                    .map(|_| self.gen_existential_positive(scope, depth - 1))
+                    .collect::<Vec<_>>(),
             ),
             _ => {
                 let v = self.fresh_var();
@@ -113,8 +121,16 @@ impl FormulaGenerator {
         }
         match self.rng.gen_range(0..5) {
             0 => self.random_atom(scope),
-            1 => Formula::and((0..2).map(|_| self.gen_positive(scope, depth - 1)).collect::<Vec<_>>()),
-            2 => Formula::or((0..2).map(|_| self.gen_positive(scope, depth - 1)).collect::<Vec<_>>()),
+            1 => Formula::and(
+                (0..2)
+                    .map(|_| self.gen_positive(scope, depth - 1))
+                    .collect::<Vec<_>>(),
+            ),
+            2 => Formula::or(
+                (0..2)
+                    .map(|_| self.gen_positive(scope, depth - 1))
+                    .collect::<Vec<_>>(),
+            ),
             3 => {
                 let v = self.fresh_var();
                 let mut extended = scope.to_vec();
@@ -139,10 +155,14 @@ impl FormulaGenerator {
         match self.rng.gen_range(0..5) {
             0 => self.random_atom(scope),
             1 => Formula::and(
-                (0..2).map(|_| self.gen_positive_guarded(scope, depth - 1)).collect::<Vec<_>>(),
+                (0..2)
+                    .map(|_| self.gen_positive_guarded(scope, depth - 1))
+                    .collect::<Vec<_>>(),
             ),
             2 => Formula::or(
-                (0..2).map(|_| self.gen_positive_guarded(scope, depth - 1)).collect::<Vec<_>>(),
+                (0..2)
+                    .map(|_| self.gen_positive_guarded(scope, depth - 1))
+                    .collect::<Vec<_>>(),
             ),
             3 => {
                 // Unguarded quantifier: the body must stay within Pos.
@@ -163,7 +183,12 @@ impl FormulaGenerator {
     /// A guarded universal `∀x̄ (R(x̄) → φ)`. When `boolean_guard` is set the body's
     /// free variables are restricted to the guard variables (the `∃Pos+∀G_bool` rule);
     /// otherwise the body may also use the enclosing scope (`Pos+∀G`).
-    fn gen_guarded_universal(&mut self, scope: &[String], depth: usize, boolean_guard: bool) -> Formula {
+    fn gen_guarded_universal(
+        &mut self,
+        scope: &[String],
+        depth: usize,
+        boolean_guard: bool,
+    ) -> Formula {
         let (name, arity) = self.random_relation();
         let guard_vars: Vec<String> = (0..arity.max(1)).map(|_| self.fresh_var()).collect();
         let body_scope: Vec<String> = if boolean_guard {
@@ -202,10 +227,14 @@ impl FormulaGenerator {
         match self.rng.gen_range(0..5) {
             0 => self.random_atom(scope),
             1 => Formula::and(
-                (0..2).map(|_| self.gen_dpos_gbool(scope, depth - 1)).collect::<Vec<_>>(),
+                (0..2)
+                    .map(|_| self.gen_dpos_gbool(scope, depth - 1))
+                    .collect::<Vec<_>>(),
             ),
             2 => Formula::or(
-                (0..2).map(|_| self.gen_dpos_gbool(scope, depth - 1)).collect::<Vec<_>>(),
+                (0..2)
+                    .map(|_| self.gen_dpos_gbool(scope, depth - 1))
+                    .collect::<Vec<_>>(),
             ),
             3 => {
                 let v = self.fresh_var();
@@ -224,8 +253,16 @@ impl FormulaGenerator {
         }
         match self.rng.gen_range(0..6) {
             0 => self.random_atom(scope),
-            1 => Formula::and((0..2).map(|_| self.gen_full_fo(scope, depth - 1)).collect::<Vec<_>>()),
-            2 => Formula::or((0..2).map(|_| self.gen_full_fo(scope, depth - 1)).collect::<Vec<_>>()),
+            1 => Formula::and(
+                (0..2)
+                    .map(|_| self.gen_full_fo(scope, depth - 1))
+                    .collect::<Vec<_>>(),
+            ),
+            2 => Formula::or(
+                (0..2)
+                    .map(|_| self.gen_full_fo(scope, depth - 1))
+                    .collect::<Vec<_>>(),
+            ),
             3 => Formula::not(self.gen_full_fo(scope, depth - 1)),
             4 => {
                 let v = self.fresh_var();
@@ -294,7 +331,10 @@ mod tests {
 
     fn generator(fragment: Fragment, seed: u64) -> FormulaGenerator {
         FormulaGenerator::new(
-            FormulaGeneratorConfig { fragment, ..FormulaGeneratorConfig::default() },
+            FormulaGeneratorConfig {
+                fragment,
+                ..FormulaGeneratorConfig::default()
+            },
             seed,
         )
     }
@@ -348,7 +388,10 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_non_positive, "the FO generator should produce genuinely non-positive formulas");
+        assert!(
+            saw_non_positive,
+            "the FO generator should produce genuinely non-positive formulas"
+        );
     }
 
     #[test]
@@ -362,6 +405,9 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_guard, "the Pos+∀G generator should produce guarded universals");
+        assert!(
+            saw_guard,
+            "the Pos+∀G generator should produce guarded universals"
+        );
     }
 }

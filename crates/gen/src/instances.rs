@@ -47,7 +47,11 @@ pub struct InstanceGenerator {
 impl InstanceGenerator {
     /// Creates a generator with the given configuration and seed.
     pub fn new(config: InstanceGeneratorConfig, seed: u64) -> Self {
-        InstanceGenerator { config, rng: StdRng::seed_from_u64(seed), next_fresh_null: 1000 }
+        InstanceGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            next_fresh_null: 1000,
+        }
     }
 
     /// The configuration in use.
@@ -125,7 +129,10 @@ mod tests {
             let d = generator.generate();
             assert_eq!(d.schema().len(), 3);
             for rel in d.relations() {
-                assert!(rel.len() <= 2, "duplicates may collapse below the target count");
+                assert!(
+                    rel.len() <= 2,
+                    "duplicates may collapse below the target count"
+                );
             }
         }
     }

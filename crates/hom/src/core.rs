@@ -66,9 +66,8 @@ pub fn core_with_retraction(d: &Instance) -> (Instance, ValueMap) {
             // Restrict the retraction to the active domain of the original instance
             // for a tidy result.
             let adom = d.adom();
-            let restricted = ValueMap::from_pairs(
-                adom.iter().map(|v| (v.clone(), retraction.apply(v))),
-            );
+            let restricted =
+                ValueMap::from_pairs(adom.iter().map(|v| (v.clone(), retraction.apply(v))));
             return (current, restricted);
         }
     }

@@ -15,11 +15,17 @@ fn iso_with_config(d: &Instance, d_prime: &Instance, database: bool) -> bool {
     if d.adom().len() != d_prime.adom().len() || d.fact_count() != d_prime.fact_count() {
         return false;
     }
-    let base = if database { HomConfig::database() } else { HomConfig::unrestricted() };
+    let base = if database {
+        HomConfig::database()
+    } else {
+        HomConfig::unrestricted()
+    };
     exists_homomorphism(
         d,
         d_prime,
-        &base.with_injective(true).with_surjectivity(Surjectivity::StrongOnto),
+        &base
+            .with_injective(true)
+            .with_surjectivity(Surjectivity::StrongOnto),
     )
 }
 
@@ -97,6 +103,9 @@ mod tests {
     #[test]
     fn empty_instances_are_isomorphic() {
         assert!(isomorphic(&Instance::new(), &Instance::new()));
-        assert!(isomorphic_fixing_constants(&Instance::new(), &Instance::new()));
+        assert!(isomorphic_fixing_constants(
+            &Instance::new(),
+            &Instance::new()
+        ));
     }
 }

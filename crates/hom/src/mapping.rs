@@ -26,7 +26,9 @@ impl ValueMap {
     where
         I: IntoIterator<Item = (Value, Value)>,
     {
-        ValueMap { map: pairs.into_iter().collect() }
+        ValueMap {
+            map: pairs.into_iter().collect(),
+        }
     }
 
     /// Binds `from ↦ to`, returning the previous binding if any.

@@ -104,7 +104,10 @@ mod tests {
         // (Proposition 10.4's saturation witness).
         let c3 = directed_cycle(3, NodeKind::Nulls, 0);
         let v = ValueMap::from_pairs(
-            c3.nulls().into_iter().enumerate().map(|(i, n)| (Value::Null(n), c(100 + i as i64))),
+            c3.nulls()
+                .into_iter()
+                .enumerate()
+                .map(|(i, n)| (Value::Null(n), c(100 + i as i64))),
         );
         assert!(is_minimal_valuation(&v, &c3));
     }

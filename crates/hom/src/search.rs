@@ -82,7 +82,10 @@ impl HomConfig {
 
     /// Unrestricted homomorphisms (constants may move).
     pub fn unrestricted() -> Self {
-        HomConfig { database_homomorphism: false, ..HomConfig::default() }
+        HomConfig {
+            database_homomorphism: false,
+            ..HomConfig::default()
+        }
     }
 
     /// Sets the surjectivity requirement.
@@ -128,8 +131,10 @@ struct Searcher<'a> {
 
 impl<'a> Searcher<'a> {
     fn new(source: &'a Instance, target: &'a Instance, config: &'a HomConfig) -> Option<Self> {
-        let facts: Vec<(&str, Vec<Value>)> =
-            source.facts().map(|(r, t)| (r, t.values().to_vec())).collect();
+        let facts: Vec<(&str, Vec<Value>)> = source
+            .facts()
+            .map(|(r, t)| (r, t.values().to_vec()))
+            .collect();
 
         // Initial assignment: preassigned bindings, then the identity on constants for
         // database homomorphisms.
@@ -162,8 +167,11 @@ impl<'a> Searcher<'a> {
         }
 
         // Remaining variables and their candidate target values.
-        let mut variables: Vec<Value> =
-            adom.iter().filter(|v| !assignment.contains_key(*v)).cloned().collect();
+        let mut variables: Vec<Value> = adom
+            .iter()
+            .filter(|v| !assignment.contains_key(*v))
+            .cloned()
+            .collect();
         match config.ordering {
             VariableOrdering::SourceOrder => {}
             VariableOrdering::MostOccurrencesFirst => {
@@ -173,7 +181,8 @@ impl<'a> Searcher<'a> {
                         *occurrences.entry(v).or_default() += 1;
                     }
                 }
-                variables.sort_by_key(|v| std::cmp::Reverse(occurrences.get(v).copied().unwrap_or(0)));
+                variables
+                    .sort_by_key(|v| std::cmp::Reverse(occurrences.get(v).copied().unwrap_or(0)));
             }
         }
 
@@ -183,7 +192,15 @@ impl<'a> Searcher<'a> {
             None => target_adom.into_iter().collect(),
         };
 
-        Some(Searcher { target, facts, variables, candidates, config, assignment, used_targets })
+        Some(Searcher {
+            target,
+            facts,
+            variables,
+            candidates,
+            config,
+            assignment,
+            used_targets,
+        })
     }
 
     /// Checks that every fact whose values are all assigned maps into the target, and
@@ -228,8 +245,11 @@ impl<'a> Searcher<'a> {
         match self.config.surjectivity {
             Surjectivity::None => true,
             Surjectivity::OntoActiveDomain => {
-                let image: BTreeSet<Value> =
-                    source.adom().iter().map(|v| self.assignment[v].clone()).collect();
+                let image: BTreeSet<Value> = source
+                    .adom()
+                    .iter()
+                    .map(|v| self.assignment[v].clone())
+                    .collect();
                 image == self.target.adom()
             }
             Surjectivity::StrongOnto => {
@@ -304,7 +324,11 @@ pub fn search_homomorphisms<F>(
 }
 
 /// Finds one homomorphism satisfying the configuration, if any.
-pub fn find_homomorphism(source: &Instance, target: &Instance, config: &HomConfig) -> Option<ValueMap> {
+pub fn find_homomorphism(
+    source: &Instance,
+    target: &Instance,
+    config: &HomConfig,
+) -> Option<ValueMap> {
     let mut found = None;
     search_homomorphisms(source, target, config, |h| {
         found = Some(h.clone());
@@ -322,7 +346,11 @@ pub fn exists_homomorphism(source: &Instance, target: &Instance, config: &HomCon
 ///
 /// Intended for small instances (tests, experiments); the number of homomorphisms is
 /// exponential in general.
-pub fn all_homomorphisms(source: &Instance, target: &Instance, config: &HomConfig) -> Vec<ValueMap> {
+pub fn all_homomorphisms(
+    source: &Instance,
+    target: &Instance,
+    config: &HomConfig,
+) -> Vec<ValueMap> {
     let mut out = Vec::new();
     search_homomorphisms(source, target, config, |h| {
         out.push(h.clone());
@@ -415,7 +443,9 @@ mod tests {
         assert!(exists_homomorphism(
             &d,
             &onto_target,
-            &config.clone().with_surjectivity(Surjectivity::OntoActiveDomain)
+            &config
+                .clone()
+                .with_surjectivity(Surjectivity::OntoActiveDomain)
         ));
         assert!(exists_homomorphism(&d, &onto_target, &config));
     }
@@ -470,7 +500,9 @@ mod tests {
         assert_eq!(h.apply(&x(2)), c(4));
         // An impossible preassignment yields no homomorphism.
         let pre = ValueMap::from_pairs([(x(1), c(2))]);
-        assert!(find_homomorphism(&d, &target, &HomConfig::database().with_preassigned(pre)).is_none());
+        assert!(
+            find_homomorphism(&d, &target, &HomConfig::database().with_preassigned(pre)).is_none()
+        );
     }
 
     #[test]
@@ -478,7 +510,9 @@ mod tests {
         let d = inst! { "R" => [[c(1), x(1)]] };
         let target = inst! { "R" => [[c(1), c(2)]] };
         let pre = ValueMap::from_pairs([(c(1), c(9))]);
-        assert!(find_homomorphism(&d, &target, &HomConfig::database().with_preassigned(pre)).is_none());
+        assert!(
+            find_homomorphism(&d, &target, &HomConfig::database().with_preassigned(pre)).is_none()
+        );
     }
 
     #[test]
@@ -515,7 +549,10 @@ mod tests {
     fn both_orderings_agree() {
         let g = disjoint_cycles(4, 6, NodeKind::Nulls);
         let c2 = directed_cycle(2, NodeKind::Constants, 300);
-        for ordering in [VariableOrdering::SourceOrder, VariableOrdering::MostOccurrencesFirst] {
+        for ordering in [
+            VariableOrdering::SourceOrder,
+            VariableOrdering::MostOccurrencesFirst,
+        ] {
             let config = HomConfig::database().with_ordering(ordering);
             assert!(exists_homomorphism(&g, &c2, &config));
         }

@@ -20,7 +20,9 @@ use crate::mapping::ValueMap;
 /// constant and does not move any constant.
 pub fn is_valuation(map: &ValueMap, d: &Instance) -> bool {
     map.preserves_constants()
-        && d.nulls().iter().all(|n| map.apply(&Value::Null(*n)).is_const())
+        && d.nulls()
+            .iter()
+            .all(|n| map.apply(&Value::Null(*n)).is_const())
 }
 
 /// Applies a valuation to an instance, producing the complete instance `v(D)`.
@@ -28,7 +30,10 @@ pub fn is_valuation(map: &ValueMap, d: &Instance) -> bool {
 /// # Panics
 /// Panics if `map` is not a valuation for `d` (the result would not be complete).
 pub fn apply_valuation(map: &ValueMap, d: &Instance) -> Instance {
-    assert!(is_valuation(map, d), "apply_valuation: mapping is not a valuation for the instance");
+    assert!(
+        is_valuation(map, d),
+        "apply_valuation: mapping is not a valuation for the instance"
+    );
     map.apply_instance(d)
 }
 

@@ -42,21 +42,28 @@ pub fn tuple_leq(t: &Tuple, t_prime: &Tuple) -> bool {
     if t.arity() != t_prime.arity() {
         return false;
     }
-    t.values().iter().zip(t_prime.values()).all(|(a, b)| !a.is_const() || a == b)
+    t.values()
+        .iter()
+        .zip(t_prime.values())
+        .all(|(a, b)| !a.is_const() || a == b)
 }
 
 fn hoare_leq_relation(r: &Relation, r_prime: &Relation) -> bool {
-    r.tuples().all(|t| r_prime.tuples().any(|tp| tuple_leq(t, tp)))
+    r.tuples()
+        .all(|t| r_prime.tuples().any(|tp| tuple_leq(t, tp)))
 }
 
 fn plotkin_extra_leq_relation(r: &Relation, r_prime: &Relation) -> bool {
-    r_prime.tuples().all(|tp| r.tuples().any(|t| tuple_leq(t, tp)))
+    r_prime
+        .tuples()
+        .all(|tp| r.tuples().any(|t| tuple_leq(t, tp)))
 }
 
 fn relations_of<'a>(d: &'a Instance, d_prime: &'a Instance) -> Vec<(Relation, Relation)> {
     // Pair up relations by name; a relation missing on either side is treated as empty
     // with the arity of the present one.
-    let mut names: std::collections::BTreeSet<String> = d.relation_names().map(String::from).collect();
+    let mut names: std::collections::BTreeSet<String> =
+        d.relation_names().map(String::from).collect();
     names.extend(d_prime.relation_names().map(String::from));
     names
         .into_iter()
@@ -81,7 +88,9 @@ fn relations_of<'a>(d: &'a Instance, d_prime: &'a Instance) -> Vec<(Relation, Re
 ///
 /// Over Codd databases this is the accepted ordering for the OWA semantics (§6).
 pub fn hoare_leq(d: &Instance, d_prime: &Instance) -> bool {
-    relations_of(d, d_prime).iter().all(|(r, rp)| hoare_leq_relation(r, rp))
+    relations_of(d, d_prime)
+        .iter()
+        .all(|(r, rp)| hoare_leq_relation(r, rp))
 }
 
 /// The Plotkin ordering `D ⊑ᴾ D'`: `D ⊑ᴴ D'` and, relation by relation, every tuple of
@@ -129,22 +138,31 @@ mod tests {
         // D = {(null, 2)}, D' = {(1, 2), (2, 2)} — the SQL example of §6: losing the
         // first attribute of both (1,2) and (2,2) yields a single tuple (null, 2).
         let mut d = Instance::new();
-        d.add_tuple("R", tuple_of([Value::null(1), Value::int(2)])).unwrap();
+        d.add_tuple("R", tuple_of([Value::null(1), Value::int(2)]))
+            .unwrap();
         let mut d_prime = Instance::new();
-        d_prime.add_tuple("R", tuple_of([Value::int(1), Value::int(2)])).unwrap();
-        d_prime.add_tuple("R", tuple_of([Value::int(2), Value::int(2)])).unwrap();
+        d_prime
+            .add_tuple("R", tuple_of([Value::int(1), Value::int(2)]))
+            .unwrap();
+        d_prime
+            .add_tuple("R", tuple_of([Value::int(2), Value::int(2)]))
+            .unwrap();
         (d, d_prime)
     }
 
     #[test]
     fn is_codd_detects_repeated_nulls() {
         let mut codd = Instance::new();
-        codd.add_tuple("R", tuple_of([Value::null(1), Value::int(1)])).unwrap();
-        codd.add_tuple("R", tuple_of([Value::null(2), Value::int(2)])).unwrap();
+        codd.add_tuple("R", tuple_of([Value::null(1), Value::int(1)]))
+            .unwrap();
+        codd.add_tuple("R", tuple_of([Value::null(2), Value::int(2)]))
+            .unwrap();
         assert!(is_codd(&codd));
 
         let mut naive = Instance::new();
-        naive.add_tuple("R", tuple_of([Value::null(1), Value::null(1)])).unwrap();
+        naive
+            .add_tuple("R", tuple_of([Value::null(1), Value::null(1)]))
+            .unwrap();
         assert!(!is_codd(&naive));
 
         let mut across = Instance::new();
@@ -180,10 +198,15 @@ mod tests {
         // D = {(null,2)}, D' = {(1,2),(3,4)}: Hoare holds ((null,2) ⊑ (1,2)) but (3,4)
         // dominates no tuple of D, so Plotkin fails.
         let mut d = Instance::new();
-        d.add_tuple("R", tuple_of([Value::null(1), Value::int(2)])).unwrap();
+        d.add_tuple("R", tuple_of([Value::null(1), Value::int(2)]))
+            .unwrap();
         let mut d_prime = Instance::new();
-        d_prime.add_tuple("R", tuple_of([Value::int(1), Value::int(2)])).unwrap();
-        d_prime.add_tuple("R", tuple_of([Value::int(3), Value::int(4)])).unwrap();
+        d_prime
+            .add_tuple("R", tuple_of([Value::int(1), Value::int(2)]))
+            .unwrap();
+        d_prime
+            .add_tuple("R", tuple_of([Value::int(3), Value::int(4)]))
+            .unwrap();
         assert!(hoare_leq(&d, &d_prime));
         assert!(!plotkin_leq(&d, &d_prime));
     }
@@ -201,7 +224,8 @@ mod tests {
 
         // Add a second null tuple to D: now a perfect matching exists.
         let mut d2 = d.clone();
-        d2.add_tuple("R", tuple_of([Value::null(2), Value::int(2)])).unwrap();
+        d2.add_tuple("R", tuple_of([Value::null(2), Value::int(2)]))
+            .unwrap();
         assert!(plotkin_leq(&d2, &d_prime));
         assert!(has_perfect_matching_from(&d_prime, &d2));
         assert!(cwa_matching_leq(&d2, &d_prime));

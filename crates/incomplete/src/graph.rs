@@ -49,7 +49,9 @@ impl GraphBuilder {
     /// Adds an edge between the given node identifiers (absolute, not offset-relative).
     pub fn edge(&mut self, from: u32, to: u32) -> &mut Self {
         let t = tuple_of([self.node_value(from), self.node_value(to)]);
-        self.instance.add_tuple(&self.relation, t).expect("binary relation");
+        self.instance
+            .add_tuple(&self.relation, t)
+            .expect("binary relation");
         self.next_node = self.next_node.max(from + 1).max(to + 1);
         self
     }

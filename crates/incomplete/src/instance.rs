@@ -31,14 +31,18 @@ impl Instance {
     pub fn empty_of_schema(schema: &Schema) -> Self {
         let mut inst = Instance::new();
         for r in schema.relations() {
-            inst.relations.insert(r.name.clone(), Relation::new(r.name, r.arity));
+            inst.relations
+                .insert(r.name.clone(), Relation::new(r.name, r.arity));
         }
         inst
     }
 
     /// The schema of the instance: every relation name with its arity.
     pub fn schema(&self) -> Schema {
-        self.relations.values().map(|r| (r.name().to_string(), r.arity())).collect()
+        self.relations
+            .values()
+            .map(|r| (r.name().to_string(), r.arity()))
+            .collect()
     }
 
     /// Ensures a relation with the given name and arity exists (empty if new).
@@ -53,7 +57,8 @@ impl Instance {
             }),
             Some(_) => Ok(()),
             None => {
-                self.relations.insert(name.to_string(), Relation::new(name, arity));
+                self.relations
+                    .insert(name.to_string(), Relation::new(name, arity));
                 Ok(())
             }
         }
@@ -61,21 +66,34 @@ impl Instance {
 
     /// Adds a tuple to relation `name`, creating the relation (with the tuple's
     /// arity) if it does not exist yet.
-    pub fn add_tuple(&mut self, name: &str, tuple: impl Into<Tuple>) -> Result<bool, RelationError> {
+    pub fn add_tuple(
+        &mut self,
+        name: &str,
+        tuple: impl Into<Tuple>,
+    ) -> Result<bool, RelationError> {
         let tuple = tuple.into();
         self.ensure_relation(name, tuple.arity())?;
-        self.relations.get_mut(name).expect("relation just ensured").insert(tuple)
+        self.relations
+            .get_mut(name)
+            .expect("relation just ensured")
+            .insert(tuple)
     }
 
     /// Removes a tuple from relation `name`; returns whether it was present.
     pub fn remove_tuple(&mut self, name: &str, tuple: &Tuple) -> bool {
-        self.relations.get_mut(name).map(|r| r.remove(tuple)).unwrap_or(false)
+        self.relations
+            .get_mut(name)
+            .map(|r| r.remove(tuple))
+            .unwrap_or(false)
     }
 
     /// Returns `true` iff relation `name` contains `tuple` (missing relations are
     /// treated as empty).
     pub fn contains_tuple(&self, name: &str, tuple: &Tuple) -> bool {
-        self.relations.get(name).map(|r| r.contains(tuple)).unwrap_or(false)
+        self.relations
+            .get(name)
+            .map(|r| r.contains(tuple))
+            .unwrap_or(false)
     }
 
     /// Looks up a relation by name.
@@ -105,7 +123,9 @@ impl Instance {
 
     /// Iterates over all facts `(relation name, tuple)` of the instance.
     pub fn facts(&self) -> impl Iterator<Item = (&str, &Tuple)> + '_ {
-        self.relations.values().flat_map(|r| r.tuples().map(move |t| (r.name(), t)))
+        self.relations
+            .values()
+            .flat_map(|r| r.tuples().map(move |t| (r.name(), t)))
     }
 
     /// The total number of tuples across all relations.
@@ -121,12 +141,18 @@ impl Instance {
     /// The active domain `adom(D) = Const(D) ∪ Null(D)`: every value occurring in
     /// some tuple.
     pub fn adom(&self) -> BTreeSet<Value> {
-        self.relations.values().flat_map(|r| r.values().cloned()).collect()
+        self.relations
+            .values()
+            .flat_map(|r| r.values().cloned())
+            .collect()
     }
 
     /// `Const(D)`: the set of constants occurring in the instance.
     pub fn constants(&self) -> BTreeSet<Constant> {
-        self.relations.values().flat_map(|r| r.constants().cloned()).collect()
+        self.relations
+            .values()
+            .flat_map(|r| r.constants().cloned())
+            .collect()
     }
 
     /// `Null(D)`: the set of nulls occurring in the instance.
@@ -142,9 +168,9 @@ impl Instance {
     /// Returns `true` iff every tuple of `self` is a tuple of `other` (relation by
     /// relation; relations missing from either side are treated as empty).
     pub fn is_subinstance_of(&self, other: &Instance) -> bool {
-        self.relations.values().all(|r| {
-            r.tuples().all(|t| other.contains_tuple(r.name(), t))
-        })
+        self.relations
+            .values()
+            .all(|r| r.tuples().all(|t| other.contains_tuple(r.name(), t)))
     }
 
     /// Returns `true` iff `self` and `other` hold exactly the same facts
@@ -173,7 +199,8 @@ impl Instance {
     pub fn map_values<F: FnMut(&Value) -> Value>(&self, mut f: F) -> Instance {
         let mut out = Instance::new();
         for r in self.relations.values() {
-            out.relations.insert(r.name().to_string(), r.map_values(&mut f));
+            out.relations
+                .insert(r.name().to_string(), r.map_values(&mut f));
         }
         out
     }
@@ -303,10 +330,14 @@ mod tests {
     fn sample() -> Instance {
         // R = {(1, ⊥1), (⊥2, ⊥3)}, S = {(⊥1, 4), (⊥3, 5)} — the paper's §1 example.
         let mut d = Instance::new();
-        d.add_tuple("R", tuple_of([Value::int(1), Value::null(1)])).unwrap();
-        d.add_tuple("R", tuple_of([Value::null(2), Value::null(3)])).unwrap();
-        d.add_tuple("S", tuple_of([Value::null(1), Value::int(4)])).unwrap();
-        d.add_tuple("S", tuple_of([Value::null(3), Value::int(5)])).unwrap();
+        d.add_tuple("R", tuple_of([Value::int(1), Value::null(1)]))
+            .unwrap();
+        d.add_tuple("R", tuple_of([Value::null(2), Value::null(3)]))
+            .unwrap();
+        d.add_tuple("S", tuple_of([Value::null(1), Value::int(4)]))
+            .unwrap();
+        d.add_tuple("S", tuple_of([Value::null(3), Value::int(5)]))
+            .unwrap();
         d
     }
 
@@ -324,10 +355,15 @@ mod tests {
     #[test]
     fn adom_constants_nulls() {
         let d = sample();
-        assert_eq!(d.nulls(), [NullId(1), NullId(2), NullId(3)].into_iter().collect());
+        assert_eq!(
+            d.nulls(),
+            [NullId(1), NullId(2), NullId(3)].into_iter().collect()
+        );
         assert_eq!(
             d.constants(),
-            [Constant::int(1), Constant::int(4), Constant::int(5)].into_iter().collect()
+            [Constant::int(1), Constant::int(4), Constant::int(5)]
+                .into_iter()
+                .collect()
         );
         assert_eq!(d.adom().len(), 6);
         assert!(!d.is_complete());
@@ -370,7 +406,13 @@ mod tests {
     fn map_values_builds_image() {
         let d = sample();
         // A valuation sending every null to the constant 9.
-        let image = d.map_values(|v| if v.is_null() { Value::int(9) } else { v.clone() });
+        let image = d.map_values(|v| {
+            if v.is_null() {
+                Value::int(9)
+            } else {
+                v.clone()
+            }
+        });
         assert!(image.is_complete());
         assert!(image.contains_tuple("R", &tuple_of([1i64, 9])));
         assert!(image.contains_tuple("S", &tuple_of([9i64, 4])));
@@ -379,14 +421,17 @@ mod tests {
     #[test]
     fn canonical_form_identifies_null_renamings() {
         let mut a = Instance::new();
-        a.add_tuple("R", tuple_of([Value::null(10), Value::null(20)])).unwrap();
+        a.add_tuple("R", tuple_of([Value::null(10), Value::null(20)]))
+            .unwrap();
         let mut b = Instance::new();
-        b.add_tuple("R", tuple_of([Value::null(3), Value::null(7)])).unwrap();
+        b.add_tuple("R", tuple_of([Value::null(3), Value::null(7)]))
+            .unwrap();
         assert_ne!(a, b);
         assert_eq!(a.canonical_form(), b.canonical_form());
         // But collapsing nulls is *not* a renaming.
         let mut c = Instance::new();
-        c.add_tuple("R", tuple_of([Value::null(1), Value::null(1)])).unwrap();
+        c.add_tuple("R", tuple_of([Value::null(1), Value::null(1)]))
+            .unwrap();
         assert_ne!(a.canonical_form(), c.canonical_form());
     }
 
@@ -401,7 +446,8 @@ mod tests {
         let r = frozen.relation("R").unwrap();
         let s = frozen.relation("S").unwrap();
         let joined = r.tuples().any(|rt| {
-            s.tuples().any(|st| rt.get(1) == st.get(0) && rt.get(0) == Some(&Value::int(1)))
+            s.tuples()
+                .any(|st| rt.get(1) == st.get(0) && rt.get(0) == Some(&Value::int(1)))
         });
         assert!(joined);
     }
@@ -419,7 +465,9 @@ mod tests {
 
     #[test]
     fn fresh_constants_avoid_collisions() {
-        let used: BTreeSet<Constant> = [Constant::str("f0"), Constant::str("f2")].into_iter().collect();
+        let used: BTreeSet<Constant> = [Constant::str("f0"), Constant::str("f2")]
+            .into_iter()
+            .collect();
         let fresh = fresh_constants(3, &used);
         assert_eq!(fresh.len(), 3);
         for c in &fresh {

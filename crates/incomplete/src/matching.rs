@@ -17,7 +17,10 @@ impl BipartiteGraph {
     /// Creates a bipartite graph with `left` left vertices and `right` right vertices
     /// and no edges.
     pub fn new(left: usize, right: usize) -> Self {
-        BipartiteGraph { adjacency: vec![Vec::new(); left], right_count: right }
+        BipartiteGraph {
+            adjacency: vec![Vec::new(); left],
+            right_count: right,
+        }
     }
 
     /// Adds an edge between left vertex `l` and right vertex `r`.
@@ -53,7 +56,10 @@ impl BipartiteGraph {
             let mut visited = vec![false; self.right_count];
             self.try_augment(start, &mut visited, &mut match_left, &mut match_right);
         }
-        Matching { match_left, match_right }
+        Matching {
+            match_left,
+            match_right,
+        }
     }
 
     fn try_augment(

@@ -44,11 +44,19 @@ pub enum RelationError {
 impl fmt::Display for RelationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RelationError::ArityMismatch { relation, expected, found } => write!(
+            RelationError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
                 f,
                 "arity mismatch for relation {relation}: expected {expected}, got {found}"
             ),
-            RelationError::IncompatibleRelations { relation, left, right } => write!(
+            RelationError::IncompatibleRelations {
+                relation,
+                left,
+                right,
+            } => write!(
                 f,
                 "incompatible arities for relation {relation}: {left} vs {right}"
             ),
@@ -61,7 +69,11 @@ impl std::error::Error for RelationError {}
 impl Relation {
     /// Creates an empty relation with the given name and arity.
     pub fn new(name: impl Into<String>, arity: usize) -> Self {
-        Relation { name: name.into(), arity, tuples: BTreeSet::new() }
+        Relation {
+            name: name.into(),
+            arity,
+            tuples: BTreeSet::new(),
+        }
     }
 
     /// The relation name.
@@ -116,9 +128,7 @@ impl Relation {
     /// Returns `true` iff every tuple of `self` is a tuple of `other`
     /// (and the names and arities agree).
     pub fn is_subrelation_of(&self, other: &Relation) -> bool {
-        self.name == other.name
-            && self.arity == other.arity
-            && self.tuples.is_subset(&other.tuples)
+        self.name == other.name && self.arity == other.arity && self.tuples.is_subset(&other.tuples)
     }
 
     /// Returns `true` iff no tuple contains a null.
@@ -196,7 +206,11 @@ mod tests {
         assert_eq!(r.insert(tuple_of([1i64, 2])), Ok(false));
         assert!(matches!(
             r.insert(tuple_of([1i64])),
-            Err(RelationError::ArityMismatch { expected: 2, found: 1, .. })
+            Err(RelationError::ArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            })
         ));
         assert_eq!(r.len(), 1);
         assert!(!r.is_empty());
@@ -217,7 +231,8 @@ mod tests {
         let mut small = Relation::new("R", 2);
         small.insert(tuple_of([1i64, 2])).unwrap();
         let mut big = small.clone();
-        big.insert(tuple_of([Value::int(3), Value::null(1)])).unwrap();
+        big.insert(tuple_of([Value::int(3), Value::null(1)]))
+            .unwrap();
         assert!(small.is_subrelation_of(&big));
         assert!(!big.is_subrelation_of(&small));
         assert!(small.is_complete());
@@ -227,8 +242,10 @@ mod tests {
     #[test]
     fn map_values_produces_image() {
         let mut r = Relation::new("R", 2);
-        r.insert(tuple_of([Value::null(1), Value::null(2)])).unwrap();
-        r.insert(tuple_of([Value::null(2), Value::null(1)])).unwrap();
+        r.insert(tuple_of([Value::null(1), Value::null(2)]))
+            .unwrap();
+        r.insert(tuple_of([Value::null(2), Value::null(1)]))
+            .unwrap();
         // Collapse both nulls onto the same constant: the image has a single tuple.
         let image = r.map_values(|_| Value::int(0));
         assert_eq!(image.len(), 1);
@@ -276,9 +293,17 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = RelationError::ArityMismatch { relation: "R".into(), expected: 2, found: 3 };
+        let e = RelationError::ArityMismatch {
+            relation: "R".into(),
+            expected: 2,
+            found: 3,
+        };
         assert!(e.to_string().contains("arity mismatch"));
-        let e = RelationError::IncompatibleRelations { relation: "R".into(), left: 1, right: 2 };
+        let e = RelationError::IncompatibleRelations {
+            relation: "R".into(),
+            left: 1,
+            right: 2,
+        };
         assert!(e.to_string().contains("incompatible"));
     }
 }

@@ -15,7 +15,10 @@ pub struct RelationSchema {
 impl RelationSchema {
     /// Creates a relation schema.
     pub fn new(name: impl Into<String>, arity: usize) -> Self {
-        RelationSchema { name: name.into(), arity }
+        RelationSchema {
+            name: name.into(),
+            arity,
+        }
     }
 }
 
@@ -69,9 +72,10 @@ impl Schema {
 
     /// Iterates over the relation schemas in name order.
     pub fn relations(&self) -> impl Iterator<Item = RelationSchema> + '_ {
-        self.relations
-            .iter()
-            .map(|(name, arity)| RelationSchema { name: name.clone(), arity: *arity })
+        self.relations.iter().map(|(name, arity)| RelationSchema {
+            name: name.clone(),
+            arity: *arity,
+        })
     }
 
     /// The number of relation symbols.
@@ -125,7 +129,10 @@ mod tests {
     fn from_relations_and_iter() {
         let s = Schema::from_relations([("R", 2), ("S", 1)]);
         let rels: Vec<_> = s.relations().collect();
-        assert_eq!(rels, vec![RelationSchema::new("R", 2), RelationSchema::new("S", 1)]);
+        assert_eq!(
+            rels,
+            vec![RelationSchema::new("R", 2), RelationSchema::new("S", 1)]
+        );
         let s2: Schema = vec![("R", 2), ("S", 1)].into_iter().collect();
         assert_eq!(s, s2);
     }

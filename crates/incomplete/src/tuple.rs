@@ -53,8 +53,8 @@ impl Tuple {
     }
 
     /// Applies a value mapping position-wise, producing a new tuple.
-    pub fn map<F: FnMut(&Value) -> Value>(&self, mut f: F) -> Tuple {
-        Tuple(self.0.iter().map(|v| f(v)).collect())
+    pub fn map<F: FnMut(&Value) -> Value>(&self, f: F) -> Tuple {
+        Tuple(self.0.iter().map(f).collect())
     }
 
     /// Consumes the tuple, returning its values.
@@ -156,7 +156,12 @@ mod tests {
 
     #[test]
     fn nulls_and_constants_iterators() {
-        let tup = t(&[Value::int(1), Value::null(3), Value::null(3), Value::str("x")]);
+        let tup = t(&[
+            Value::int(1),
+            Value::null(3),
+            Value::null(3),
+            Value::str("x"),
+        ]);
         let nulls: Vec<_> = tup.nulls().collect();
         assert_eq!(nulls, vec![NullId(3), NullId(3)]);
         let consts: Vec<_> = tup.constants().cloned().collect();

@@ -96,7 +96,10 @@ pub enum Formula {
 impl Formula {
     /// Builds a relational atom.
     pub fn atom(relation: impl Into<String>, terms: impl IntoIterator<Item = Term>) -> Self {
-        Formula::Atom { relation: relation.into(), terms: terms.into_iter().collect() }
+        Formula::Atom {
+            relation: relation.into(),
+            terms: terms.into_iter().collect(),
+        }
     }
 
     /// Builds an equality atom.
@@ -105,6 +108,7 @@ impl Formula {
     }
 
     /// Builds a negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(inner: Formula) -> Self {
         Formula::Not(Box::new(inner))
     }
@@ -180,13 +184,13 @@ impl Formula {
     ///
     /// # Panics
     /// Panics if the guard variables are not pairwise distinct.
-    pub fn forall_guarded(
-        relation: impl Into<String>,
-        vars: Vec<String>,
-        body: Formula,
-    ) -> Self {
+    pub fn forall_guarded(relation: impl Into<String>, vars: Vec<String>, body: Formula) -> Self {
         let distinct: BTreeSet<&String> = vars.iter().collect();
-        assert_eq!(distinct.len(), vars.len(), "guard variables must be pairwise distinct");
+        assert_eq!(
+            distinct.len(),
+            vars.len(),
+            "guard variables must be pairwise distinct"
+        );
         let guard = Formula::Atom {
             relation: relation.into(),
             terms: vars.iter().map(|v| Term::Var(v.clone())).collect(),
@@ -315,7 +319,10 @@ impl Formula {
     ///
     /// # Panics
     /// Panics if asked to substitute a null.
-    pub fn substitute_constants(&self, subst: &std::collections::BTreeMap<String, Value>) -> Formula {
+    pub fn substitute_constants(
+        &self,
+        subst: &std::collections::BTreeMap<String, Value>,
+    ) -> Formula {
         let sub_term = |t: &Term, bound: &Vec<String>| -> Term {
             match t {
                 Term::Var(v) if !bound.contains(v) => match subst.get(v) {
@@ -533,7 +540,10 @@ mod tests {
             Formula::atom("R", [Term::int(1), Term::var("x")]),
             Formula::eq(Term::var("x"), Term::str("a")),
         ]);
-        assert_eq!(f.constants(), [Constant::int(1), Constant::str("a")].into_iter().collect());
+        assert_eq!(
+            f.constants(),
+            [Constant::int(1), Constant::str("a")].into_iter().collect()
+        );
         assert_eq!(f.relations(), ["R".to_string()].into_iter().collect());
     }
 
@@ -572,7 +582,10 @@ mod tests {
         );
         assert_eq!(g.to_string(), "forall x . (R(x) -> (S(x) | false))");
         assert_eq!(Formula::not(Formula::True).to_string(), "!true");
-        assert_eq!(Formula::eq(Term::var("x"), Term::str("a")).to_string(), "x = 'a'");
+        assert_eq!(
+            Formula::eq(Term::var("x"), Term::str("a")).to_string(),
+            "x = 'a'"
+        );
     }
 
     #[test]

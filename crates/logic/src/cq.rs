@@ -125,10 +125,8 @@ impl ConjunctiveQuery {
     /// the variable → null assignment.
     pub fn canonical_instance(&self) -> (Instance, BTreeMap<String, Value>) {
         let mut assignment: BTreeMap<String, Value> = BTreeMap::new();
-        let mut next = 0u32;
-        for v in self.variables() {
-            assignment.insert(v, Value::null(next));
-            next += 1;
+        for (next, v) in self.variables().into_iter().enumerate() {
+            assignment.insert(v, Value::null(next as u32));
         }
         let mut instance = Instance::new();
         for (rel, terms) in &self.atoms {
@@ -245,8 +243,8 @@ impl UnionOfConjunctiveQueries {
                     )
                 })
                 .collect();
-            let renamed =
-                ConjunctiveQuery::new(head.clone(), renamed_atoms).expect("renaming preserves safety");
+            let renamed = ConjunctiveQuery::new(head.clone(), renamed_atoms)
+                .expect("renaming preserves safety");
             parts.push(renamed.to_formula());
         }
         Query::new(head, Formula::or(parts))
@@ -337,7 +335,8 @@ mod tests {
 
     #[test]
     fn safety_is_enforced() {
-        let err = ConjunctiveQuery::new(["x"], vec![("R".into(), vec![Term::var("y")])]).unwrap_err();
+        let err =
+            ConjunctiveQuery::new(["x"], vec![("R".into(), vec![Term::var("y")])]).unwrap_err();
         assert_eq!(err, CqError::UnsafeHeadVariable("x".into()));
         assert!(err.to_string().contains("does not occur"));
         let err = ConjunctiveQuery::new(["x"], vec![]).unwrap_err();

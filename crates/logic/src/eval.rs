@@ -72,16 +72,12 @@ fn satisfies_with_domain(
             !satisfies_with_domain(instance, a, assignment, domain)
                 || satisfies_with_domain(instance, b, assignment, domain)
         }
-        Formula::Exists(vars, body) => {
-            assign_all(domain, vars, assignment, &mut |extended| {
-                satisfies_with_domain(instance, body, extended, domain)
-            })
-        }
-        Formula::Forall(vars, body) => {
-            !assign_all(domain, vars, assignment, &mut |extended| {
-                !satisfies_with_domain(instance, body, extended, domain)
-            })
-        }
+        Formula::Exists(vars, body) => assign_all(domain, vars, assignment, &mut |extended| {
+            satisfies_with_domain(instance, body, extended, domain)
+        }),
+        Formula::Forall(vars, body) => !assign_all(domain, vars, assignment, &mut |extended| {
+            !satisfies_with_domain(instance, body, extended, domain)
+        }),
     }
 }
 
@@ -209,7 +205,10 @@ pub fn naive_eval_query(instance: &Instance, query: &Query) -> BTreeSet<Tuple> {
 /// Naïve evaluation of a Boolean query: for sentences the "drop tuples with nulls"
 /// step is vacuous, so this is plain evaluation on the incomplete instance.
 pub fn naive_eval_boolean(instance: &Instance, query: &Query) -> bool {
-    debug_assert!(query.is_boolean(), "naive_eval_boolean expects a Boolean query");
+    debug_assert!(
+        query.is_boolean(),
+        "naive_eval_boolean expects a Boolean query"
+    );
     evaluate_boolean(instance, query.formula())
 }
 

@@ -53,7 +53,10 @@ impl std::fmt::Display for Fragment {
 }
 
 fn is_atomic_or_truth(f: &Formula) -> bool {
-    matches!(f, Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(_, _))
+    matches!(
+        f,
+        Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(_, _)
+    )
 }
 
 /// Returns `true` iff the formula is existential positive (`∃Pos`): built from atoms,
@@ -300,11 +303,8 @@ mod tests {
     fn pos_guarded_restricts_plain_quantifiers_to_pos_bodies() {
         // ∃x ∀y (R(x,y) → S(y)): the unguarded ∃ wraps a non-Pos body, so the formula
         // is outside Pos+∀G by the paper's inductive definition.
-        let guarded = Formula::forall_guarded(
-            "R2",
-            vec!["y".into()],
-            Formula::atom("S", [Term::var("y")]),
-        );
+        let guarded =
+            Formula::forall_guarded("R2", vec!["y".into()], Formula::atom("S", [Term::var("y")]));
         let f = Formula::exists(["x"], guarded.clone());
         assert!(!is_positive_guarded(&f));
         // But conjunctions/disjunctions of guarded formulas stay inside.
@@ -326,7 +326,10 @@ mod tests {
         ]);
         // This one is both Pos+∀G and ∃Pos+∀G_bool; the tie-break reports Pos+∀G.
         assert_eq!(classify(&dpos_gbool_only), Fragment::PositiveGuarded);
-        assert!(is_in_fragment(&dpos_gbool_only, Fragment::ExistentialPositiveBooleanGuarded));
+        assert!(is_in_fragment(
+            &dpos_gbool_only,
+            Fragment::ExistentialPositiveBooleanGuarded
+        ));
     }
 
     #[test]
@@ -334,7 +337,10 @@ mod tests {
         assert_eq!(Fragment::ExistentialPositive.to_string(), "∃Pos");
         assert_eq!(Fragment::Positive.to_string(), "Pos");
         assert_eq!(Fragment::PositiveGuarded.to_string(), "Pos+∀G");
-        assert_eq!(Fragment::ExistentialPositiveBooleanGuarded.to_string(), "∃Pos+∀G_bool");
+        assert_eq!(
+            Fragment::ExistentialPositiveBooleanGuarded.to_string(),
+            "∃Pos+∀G_bool"
+        );
         assert_eq!(Fragment::FullFirstOrder.to_string(), "FO");
     }
 }

@@ -77,11 +77,17 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(input: &'a str) -> Self {
-        Lexer { input, chars: input.char_indices().peekable() }
+        Lexer {
+            input,
+            chars: input.char_indices().peekable(),
+        }
     }
 
     fn error(&self, offset: usize, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset }
+        ParseError {
+            message: message.into(),
+            offset,
+        }
     }
 
     fn tokenize(&mut self) -> Result<Vec<(usize, Token)>, ParseError> {
@@ -176,7 +182,11 @@ impl<'a> Lexer<'a> {
                             break;
                         }
                     }
-                    let end = self.chars.peek().map(|&(i, _)| i).unwrap_or(self.input.len());
+                    let end = self
+                        .chars
+                        .peek()
+                        .map(|&(i, _)| i)
+                        .unwrap_or(self.input.len());
                     tokens.push((start, Token::Ident(self.input[start..end].to_string())));
                 }
                 other => return Err(self.error(offset, format!("unexpected character '{other}'"))),
@@ -209,7 +219,10 @@ struct Parser {
 
 impl Parser {
     fn new(tokens: Vec<(usize, Token)>) -> Self {
-        Parser { tokens, position: 0 }
+        Parser {
+            tokens,
+            position: 0,
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -225,7 +238,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.offset() }
+        ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        }
     }
 
     fn advance(&mut self) -> Option<Token> {
@@ -266,7 +282,11 @@ impl Parser {
             self.advance();
             parts.push(self.parse_conjunction()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one part") } else { Formula::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Formula::Or(parts)
+        })
     }
 
     fn parse_conjunction(&mut self) -> Result<Formula, ParseError> {
@@ -275,7 +295,11 @@ impl Parser {
             self.advance();
             parts.push(self.parse_unary()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one part") } else { Formula::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Formula::And(parts)
+        })
     }
 
     fn parse_unary(&mut self) -> Result<Formula, ParseError> {
@@ -324,7 +348,9 @@ impl Parser {
                 break;
             }
             if !starts_lowercase(name) {
-                return Err(self.error(format!("'{name}' is not a variable (must start lower-case)")));
+                return Err(self.error(format!(
+                    "'{name}' is not a variable (must start lower-case)"
+                )));
             }
             vars.push(name.clone());
             self.advance();
@@ -353,7 +379,10 @@ impl Parser {
                     }
                 }
                 self.expect(&Token::RParen, "')' to close the atom")?;
-                return Ok(Formula::Atom { relation: name, terms });
+                return Ok(Formula::Atom {
+                    relation: name,
+                    terms,
+                });
             }
         }
         let left = self.parse_term()?;
@@ -365,9 +394,9 @@ impl Parser {
     fn parse_term(&mut self) -> Result<Term, ParseError> {
         match self.advance() {
             Some(Token::Ident(name)) if starts_lowercase(&name) => Ok(Term::var(name)),
-            Some(Token::Ident(name)) => {
-                Err(self.error(format!("'{name}' cannot be used as a term (variables are lower-case)")))
-            }
+            Some(Token::Ident(name)) => Err(self.error(format!(
+                "'{name}' cannot be used as a term (variables are lower-case)"
+            ))),
             Some(Token::Int(i)) => Ok(Term::int(i)),
             Some(Token::Str(s)) => Ok(Term::str(s)),
             _ => Err(self.error("expected a term")),
@@ -395,7 +424,10 @@ impl Parser {
             return Err(self.error("unexpected trailing input"));
         }
         let free: Vec<String> = body.free_variables().into_iter().collect();
-        Query::new(free, body).map_err(|e| ParseError { message: e.to_string(), offset: 0 })
+        Query::new(free, body).map_err(|e| ParseError {
+            message: e.to_string(),
+            offset: 0,
+        })
     }
 
     fn try_parse_head(&mut self) -> Result<Vec<String>, ParseError> {
@@ -431,7 +463,10 @@ impl Parser {
 }
 
 fn starts_lowercase(s: &str) -> bool {
-    s.chars().next().map(|c| c.is_lowercase() || c == '_').unwrap_or(false)
+    s.chars()
+        .next()
+        .map(|c| c.is_lowercase() || c == '_')
+        .unwrap_or(false)
 }
 
 fn starts_uppercase(s: &str) -> bool {
@@ -492,13 +527,16 @@ mod tests {
     fn parses_negation_and_precedence() {
         let f = parse_formula("!R(x) | S(x) & T(x)").unwrap();
         // & binds tighter than |, so this is (!R(x)) ∨ (S(x) ∧ T(x)).
-        assert_eq!(f, Formula::Or(vec![
-            Formula::not(Formula::atom("R", [Term::var("x")])),
-            Formula::And(vec![
-                Formula::atom("S", [Term::var("x")]),
-                Formula::atom("T", [Term::var("x")]),
-            ]),
-        ]));
+        assert_eq!(
+            f,
+            Formula::Or(vec![
+                Formula::not(Formula::atom("R", [Term::var("x")])),
+                Formula::And(vec![
+                    Formula::atom("S", [Term::var("x")]),
+                    Formula::atom("T", [Term::var("x")]),
+                ]),
+            ])
+        );
         assert_eq!(classify(&f), Fragment::FullFirstOrder);
     }
 
@@ -520,7 +558,9 @@ mod tests {
     fn parses_constants_and_strings() {
         let f = parse_formula("R(1, x) & x = 'paris' & S(-3)").unwrap();
         assert!(f.constants().contains(&nev_incomplete::Constant::int(1)));
-        assert!(f.constants().contains(&nev_incomplete::Constant::str("paris")));
+        assert!(f
+            .constants()
+            .contains(&nev_incomplete::Constant::str("paris")));
         assert!(f.constants().contains(&nev_incomplete::Constant::int(-3)));
     }
 
@@ -529,7 +569,13 @@ mod tests {
         assert_eq!(parse_formula("true").unwrap(), Formula::True);
         assert_eq!(parse_formula("false").unwrap(), Formula::False);
         let f = parse_formula("P()").unwrap();
-        assert_eq!(f, Formula::Atom { relation: "P".into(), terms: vec![] });
+        assert_eq!(
+            f,
+            Formula::Atom {
+                relation: "P".into(),
+                terms: vec![]
+            }
+        );
     }
 
     #[test]
@@ -540,17 +586,69 @@ mod tests {
         assert!(b.is_boolean());
     }
 
+    /// Exemplar formulas exercising every production of the grammar, used by the
+    /// round-trip tests below.
+    const EXEMPLARS: [&str; 16] = [
+        // The paper's worked queries.
+        "exists z . (R(x, z) & S(z, y))",
+        "forall u . exists v . D(u, v)",
+        "forall u . D(u, u)",
+        "exists u . !D(u, u)",
+        // Connectives, precedence and associativity.
+        "forall x . (R(x) -> (S(x) | T(x, 1)))",
+        "!(exists u . D(u, u))",
+        "forall a b . (E(a, b) -> E(b, a))",
+        "!R(x) | S(x) & T(x)",
+        "R(x) -> S(x) -> T(x)",
+        "R(x) & S(x) & T(x) | R(y)",
+        // Equality, constants, strings, negative integers.
+        "x = y & R(x, y)",
+        "R(1, x) & x = 'paris' & S(-3)",
+        // Truth constants and nullary atoms.
+        "true | false",
+        "P() & true",
+        // Multi-variable quantifier blocks and guarded universals.
+        "forall x y . (R(x, y) -> exists z . R(y, z))",
+        "exists x y z . (R(x, y) & R(y, z) & R(z, x))",
+    ];
+
     #[test]
     fn display_parse_round_trip() {
-        for text in [
-            "exists z . (R(x, z) & S(z, y))",
-            "forall x . (R(x) -> (S(x) | T(x, 1)))",
-            "!(exists u . D(u, u))",
-            "forall a b . (E(a, b) -> E(b, a))",
-        ] {
+        for text in EXEMPLARS {
             let f = parse_formula(text).unwrap();
             let reparsed = parse_formula(&f.to_string()).unwrap();
             assert_eq!(f, reparsed, "round-trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn query_display_parse_round_trip() {
+        // Rendered queries re-parse to the same head and body, for Boolean and k-ary
+        // heads alike (`Q() :- …` exercises the empty-head production).
+        for text in EXEMPLARS {
+            let q = parse_query(text).unwrap();
+            let reparsed = parse_query(&q.to_string()).unwrap();
+            assert_eq!(
+                q.answer_variables(),
+                reparsed.answer_variables(),
+                "head round-trip failed for {text}"
+            );
+            assert_eq!(
+                q.formula(),
+                reparsed.formula(),
+                "body round-trip failed for {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_normalises_to_a_fixed_point() {
+        // Display output is itself a fixed point: render(parse(render(f))) == render(f),
+        // so textual comparison of formulas is reliable.
+        for text in EXEMPLARS {
+            let once = parse_formula(text).unwrap().to_string();
+            let twice = parse_formula(&once).unwrap().to_string();
+            assert_eq!(once, twice, "display is not a fixed point for {text}");
         }
     }
 
@@ -563,10 +661,16 @@ mod tests {
         assert!(parse_formula("x = ").is_err());
         assert!(parse_formula("'unterminated").is_err());
         assert!(parse_formula("R(x) -").is_err());
-        assert!(parse_formula("forall X . R(X)").is_err(), "upper-case variables are rejected");
+        assert!(
+            parse_formula("forall X . R(X)").is_err(),
+            "upper-case variables are rejected"
+        );
         let err = parse_formula("R(x").unwrap_err();
         assert!(err.to_string().contains("parse error"));
-        assert!(parse_query("Q(x) :- R(x, y)").is_err(), "free variable y not in head");
+        assert!(
+            parse_query("Q(x) :- R(x, y)").is_err(),
+            "free variable y not in head"
+        );
     }
 
     #[test]

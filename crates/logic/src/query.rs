@@ -31,7 +31,10 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::UnlistedFreeVariable(v) => {
-                write!(f, "free variable {v} is not listed among the answer variables")
+                write!(
+                    f,
+                    "free variable {v} is not listed among the answer variables"
+                )
             }
             QueryError::DuplicateAnswerVariable(v) => {
                 write!(f, "answer variable {v} is listed more than once")
@@ -76,7 +79,10 @@ impl Query {
             "Query::boolean requires a sentence; free variables: {:?}",
             formula.free_variables()
         );
-        Query { free: Vec::new(), formula }
+        Query {
+            free: Vec::new(),
+            formula,
+        }
     }
 
     /// The answer variables in output order.

@@ -42,12 +42,7 @@ pub fn not_in_list(value: &Value, list: &[Value]) -> TruthValue {
 ///
 /// # Panics
 /// Panics if a column index is out of range.
-pub fn difference_not_in(
-    x: &Relation,
-    x_column: usize,
-    y: &Relation,
-    y_column: usize,
-) -> Relation {
+pub fn difference_not_in(x: &Relation, x_column: usize, y: &Relation, y_column: usize) -> Relation {
     assert!(x_column < x.arity(), "x column index out of range");
     let y_values = project_column(y, y_column);
     let mut out = Relation::new(format!("{}_minus_{}", x.name(), y.name()), x.arity());
@@ -81,7 +76,10 @@ mod tests {
         let y_rel = unary("Y", vec![x(1)]);
         assert!(x_rel.len() > y_rel.len());
         let diff = difference_not_in(&x_rel, 0, &y_rel, 0);
-        assert!(diff.is_empty(), "SQL returns no rows: every NOT IN is unknown");
+        assert!(
+            diff.is_empty(),
+            "SQL returns no rows: every NOT IN is unknown"
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ impl TruthValue {
     }
 
     /// Three-valued negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> TruthValue {
         match self {
             TruthValue::True => TruthValue::False,

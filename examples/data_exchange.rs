@@ -21,10 +21,20 @@ use nev_logic::parse_query;
 /// Source: a flat `Emp(name, city)` relation.
 fn source() -> Instance {
     let mut src = Instance::new();
-    src.add_tuple("Emp", vec![s("ada"), s("paris")].into_iter().collect::<Vec<Value>>())
-        .unwrap();
-    src.add_tuple("Emp", vec![s("bob"), s("oslo")].into_iter().collect::<Vec<Value>>())
-        .unwrap();
+    src.add_tuple(
+        "Emp",
+        vec![s("ada"), s("paris")]
+            .into_iter()
+            .collect::<Vec<Value>>(),
+    )
+    .unwrap();
+    src.add_tuple(
+        "Emp",
+        vec![s("bob"), s("oslo")]
+            .into_iter()
+            .collect::<Vec<Value>>(),
+    )
+    .unwrap();
     src
 }
 
@@ -58,7 +68,10 @@ fn main() {
         // A conjunctive query: who works in some department located in paris?
         ("ucq", "Q(n) :- exists d . Works(n, d) & Dept(d, 'paris')"),
         // A positive query with a universal guard: every department is located somewhere.
-        ("guarded", "forall d c . Dept(d, c) -> exists n . Works(n, d)"),
+        (
+            "guarded",
+            "forall d c . Dept(d, c) -> exists n . Works(n, d)",
+        ),
         // A query with negation: is there an employee without a department? (unsafe to
         // answer naively).
         ("negation", "exists n d . Works(n, d) & !Dept(d, 'paris')"),
@@ -72,8 +85,16 @@ fn main() {
             println!(
                 "    {:<12} naive = {:?}  certain = {:?}  agree = {}",
                 sem.short_name(),
-                report.naive.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
-                report.certain.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+                report
+                    .naive
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>(),
+                report
+                    .certain
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>(),
                 report.agrees()
             );
         }

@@ -36,7 +36,11 @@ fn show_orderings(label: &str, d: &Instance, e: &Instance) {
 fn main() {
     println!("== Semantic orderings (Proposition 6.1 / Theorem 7.1) ==\n");
     let d = inst! { "R" => [[x(1), x(2)]] };
-    show_orderings("replacing nulls by constants:", &d, &inst! { "R" => [[c(1), c(2)]] });
+    show_orderings(
+        "replacing nulls by constants:",
+        &d,
+        &inst! { "R" => [[c(1), c(2)]] },
+    );
     show_orderings(
         "growing within the active domain:",
         &d,
@@ -64,7 +68,12 @@ fn main() {
         "{} reachable from {} with CWA updates only: {}",
         two_copies,
         d,
-        reachable_by_updates(&d, &two_copies, &[UpdateKind::Cwa], &ReachabilityBounds::default())
+        reachable_by_updates(
+            &d,
+            &two_copies,
+            &[UpdateKind::Cwa],
+            &ReachabilityBounds::default()
+        )
     );
     println!(
         "…and with CWA + copying CWA updates: {}",
@@ -81,7 +90,11 @@ fn main() {
     let codd_e = inst! { "R" => [[c(1), c(2)], [c(2), c(2)]] };
     println!("D  = {codd_d}");
     println!("D' = {codd_e}");
-    println!("  ⊑ᴴ (Hoare): {}   matches ≼_OWA: {}", hoare_leq(&codd_d, &codd_e), owa_leq(&codd_d, &codd_e));
+    println!(
+        "  ⊑ᴴ (Hoare): {}   matches ≼_OWA: {}",
+        hoare_leq(&codd_d, &codd_e),
+        owa_leq(&codd_d, &codd_e)
+    );
     println!(
         "  ⊑ᴾ (Plotkin): {}  matches ⋐_CWA: {}",
         plotkin_leq(&codd_d, &codd_e),
@@ -100,7 +113,16 @@ fn main() {
     let g = disjoint_cycles(4, 6, NodeKind::Nulls);
     let c2 = directed_cycle(2, NodeKind::Nulls, 50);
     println!("C4 + C6 is a core: {}", is_core(&g));
-    println!("C2 + C4 is a core: {}", is_core(&disjoint_cycles(2, 4, NodeKind::Nulls)));
-    println!("core(C2 + C4) has {} edges (the C2 component)", core_of(&disjoint_cycles(2, 4, NodeKind::Nulls)).fact_count());
-    println!("C4 + C6 maps homomorphically onto C2: {}", nev_hom::search::has_db_homomorphism(&g, &c2));
+    println!(
+        "C2 + C4 is a core: {}",
+        is_core(&disjoint_cycles(2, 4, NodeKind::Nulls))
+    );
+    println!(
+        "core(C2 + C4) has {} edges (the C2 component)",
+        core_of(&disjoint_cycles(2, 4, NodeKind::Nulls)).fact_count()
+    );
+    println!(
+        "C4 + C6 maps homomorphically onto C2: {}",
+        nev_hom::search::has_db_homomorphism(&g, &c2)
+    );
 }

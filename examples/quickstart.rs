@@ -28,7 +28,10 @@ fn main() {
 
     // Step 1 of naïve evaluation: run the query with nulls as ordinary values.
     let raw = evaluate_query(&d, &q);
-    println!("Evaluating with nulls as values gives {} tuples:", raw.len());
+    println!(
+        "Evaluating with nulls as values gives {} tuples:",
+        raw.len()
+    );
     for t in &raw {
         println!("  {t}");
     }
@@ -43,12 +46,21 @@ fn main() {
     // Ground truth: certain answers under each semantics.
     println!("\nCertain answers (bounded possible-world oracle):");
     let bounds = WorldBounds::default();
-    for sem in [Semantics::Owa, Semantics::Cwa, Semantics::Wcwa, Semantics::PowersetCwa] {
+    for sem in [
+        Semantics::Owa,
+        Semantics::Cwa,
+        Semantics::Wcwa,
+        Semantics::PowersetCwa,
+    ] {
         let report = compare_naive_and_certain(&d, &q, sem, &bounds);
         println!(
             "  {:<10} certain = {:?}  naive agrees: {}",
             sem.short_name(),
-            report.certain.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+            report
+                .certain
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>(),
             report.agrees()
         );
     }

@@ -35,10 +35,22 @@ fn main() {
     for t in x_rel.tuples() {
         let v = t.get(0).unwrap();
         let truth = not_in_list(v, &[x(1)]);
-        println!("  row {t}: NOT IN evaluates to {truth} → {}", if truth == TruthValue::True { "kept" } else { "filtered out" });
+        println!(
+            "  row {t}: NOT IN evaluates to {truth} → {}",
+            if truth == TruthValue::True {
+                "kept"
+            } else {
+                "filtered out"
+            }
+        );
     }
     let sql_result = difference_not_in(&x_rel, 0, &y_rel, 0);
-    println!("  result: {} rows — although |X| = {} > |Y| = {}", sql_result.len(), x_rel.len(), y_rel.len());
+    println!(
+        "  result: {} rows — although |X| = {} > |Y| = {}",
+        sql_result.len(),
+        x_rel.len(),
+        y_rel.len()
+    );
     println!();
 
     // The same data as a naive database, and the difference query as first-order logic.

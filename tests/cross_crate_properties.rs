@@ -14,14 +14,17 @@ use nev_hom::iso::isomorphic_fixing_constants;
 use nev_hom::search::{has_db_homomorphism, has_strong_onto_db_homomorphism};
 use nev_hom::{core_of, is_core, ValueMap};
 use nev_incomplete::{Instance, Schema, Tuple, Value};
+use nev_logic::ast::Term;
 use nev_logic::cq::ConjunctiveQuery;
 use nev_logic::eval::evaluate_query;
 use nev_logic::fragment::{is_in_fragment, Fragment};
 use nev_logic::parser::parse_formula;
-use nev_logic::ast::Term;
 
 fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![(1i64..=3).prop_map(Value::int), (1u32..=3).prop_map(Value::null)]
+    prop_oneof![
+        (1i64..=3).prop_map(Value::int),
+        (1u32..=3).prop_map(Value::null)
+    ]
 }
 
 /// Small instances over R/2 and S/1.
@@ -107,6 +110,46 @@ proptest! {
         let before = nev_logic::eval::naive_eval_boolean(&d, &q);
         let after = nev_logic::eval::naive_eval_boolean(&image, &q);
         prop_assert!(!before || after);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 30, .. ProptestConfig::default() })]
+
+    /// Rendered formulas re-parse to the same AST, for random formulas of every
+    /// fragment — the parser/printer pair is a faithful round-trip on the whole
+    /// generator codomain, not just hand-picked exemplars.
+    #[test]
+    fn generated_formulas_round_trip_through_the_parser(seed in 0u64..10_000) {
+        for fragment in [
+            Fragment::ExistentialPositive,
+            Fragment::Positive,
+            Fragment::PositiveGuarded,
+            Fragment::ExistentialPositiveBooleanGuarded,
+            Fragment::FullFirstOrder,
+        ] {
+            let mut formulas = FormulaGenerator::new(
+                FormulaGeneratorConfig {
+                    fragment,
+                    schema: Schema::from_relations([("R", 2), ("S", 1)]),
+                    max_depth: 3,
+                    ..FormulaGeneratorConfig::default()
+                },
+                seed,
+            );
+            let q = formulas.generate_sentence();
+            let rendered = q.formula().to_string();
+            let reparsed = parse_formula(&rendered).unwrap_or_else(|e| {
+                panic!("{fragment}: rendered formula `{rendered}` failed to parse: {e}")
+            });
+            prop_assert_eq!(
+                q.formula(),
+                &reparsed,
+                "{}: round-trip changed `{}`",
+                fragment,
+                rendered
+            );
+        }
     }
 }
 

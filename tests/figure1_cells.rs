@@ -13,7 +13,9 @@
 use nev_core::certain::compare_naive_and_certain;
 use nev_core::summary::{expectation, figure1, guaranteed_fragment, Expectation};
 use nev_core::{Semantics, WorldBounds};
-use nev_gen::{FormulaGenerator, FormulaGeneratorConfig, InstanceGenerator, InstanceGeneratorConfig};
+use nev_gen::{
+    FormulaGenerator, FormulaGeneratorConfig, InstanceGenerator, InstanceGeneratorConfig,
+};
 use nev_hom::core_of;
 use nev_incomplete::builder::x;
 use nev_incomplete::{inst, Schema};
@@ -25,7 +27,11 @@ fn schema() -> Schema {
 }
 
 fn bounds() -> WorldBounds {
-    WorldBounds { owa_max_extra_tuples: 1, wcwa_max_extra_tuples: 2, ..WorldBounds::default() }
+    WorldBounds {
+        owa_max_extra_tuples: 1,
+        wcwa_max_extra_tuples: 2,
+        ..WorldBounds::default()
+    }
 }
 
 fn instance_generator(seed: u64) -> InstanceGenerator {
@@ -66,7 +72,11 @@ fn assert_cell_agrees(semantics: Semantics, fragment: Fragment, trials: usize, o
         if over_cores {
             d = core_of(&d);
         }
-        let q = if trial % 2 == 0 { formulas.generate_sentence() } else { formulas.generate_query(1) };
+        let q = if trial % 2 == 0 {
+            formulas.generate_sentence()
+        } else {
+            formulas.generate_query(1)
+        };
         assert!(is_in_fragment(q.formula(), fragment));
         let report = compare_naive_and_certain(&d, &q, semantics, &bounds());
         assert!(
@@ -94,25 +104,50 @@ fn guaranteed_cells_agree_cwa() {
     assert_cell_agrees(Semantics::Cwa, Fragment::ExistentialPositive, 8, false);
     assert_cell_agrees(Semantics::Cwa, Fragment::Positive, 8, false);
     assert_cell_agrees(Semantics::Cwa, Fragment::PositiveGuarded, 8, false);
-    assert_cell_agrees(Semantics::Cwa, Fragment::ExistentialPositiveBooleanGuarded, 8, false);
+    assert_cell_agrees(
+        Semantics::Cwa,
+        Fragment::ExistentialPositiveBooleanGuarded,
+        8,
+        false,
+    );
 }
 
 #[test]
 fn guaranteed_cells_agree_powerset_cwa() {
-    assert_cell_agrees(Semantics::PowersetCwa, Fragment::ExistentialPositive, 8, false);
-    assert_cell_agrees(Semantics::PowersetCwa, Fragment::ExistentialPositiveBooleanGuarded, 8, false);
+    assert_cell_agrees(
+        Semantics::PowersetCwa,
+        Fragment::ExistentialPositive,
+        8,
+        false,
+    );
+    assert_cell_agrees(
+        Semantics::PowersetCwa,
+        Fragment::ExistentialPositiveBooleanGuarded,
+        8,
+        false,
+    );
 }
 
 #[test]
 fn guaranteed_cells_agree_minimal_cwa_over_cores() {
-    assert_cell_agrees(Semantics::MinimalCwa, Fragment::ExistentialPositive, 6, false);
+    assert_cell_agrees(
+        Semantics::MinimalCwa,
+        Fragment::ExistentialPositive,
+        6,
+        false,
+    );
     assert_cell_agrees(Semantics::MinimalCwa, Fragment::Positive, 6, true);
     assert_cell_agrees(Semantics::MinimalCwa, Fragment::PositiveGuarded, 6, true);
 }
 
 #[test]
 fn guaranteed_cells_agree_minimal_powerset_cwa_over_cores() {
-    assert_cell_agrees(Semantics::MinimalPowersetCwa, Fragment::ExistentialPositive, 6, false);
+    assert_cell_agrees(
+        Semantics::MinimalPowersetCwa,
+        Fragment::ExistentialPositive,
+        6,
+        false,
+    );
     assert_cell_agrees(
         Semantics::MinimalPowersetCwa,
         Fragment::ExistentialPositiveBooleanGuarded,
@@ -129,12 +164,18 @@ fn beyond_the_guarantee_counterexamples_exist() {
     // OWA × Pos: the §2.4 counterexample ∀x∃y D(x,y).
     let pos = parse_query("forall u . exists v . D(u, v)").unwrap();
     assert!(!compare_naive_and_certain(&d0, &pos, Semantics::Owa, &bounds).agrees());
-    assert_eq!(expectation(Semantics::Owa, Fragment::Positive), Expectation::NotGuaranteed);
+    assert_eq!(
+        expectation(Semantics::Owa, Fragment::Positive),
+        Expectation::NotGuaranteed
+    );
 
     // CWA × FO: ∃x ¬D(x,x).
     let neg = parse_query("exists u . !D(u, u)").unwrap();
     assert!(!compare_naive_and_certain(&d0, &neg, Semantics::Cwa, &bounds).agrees());
-    assert_eq!(expectation(Semantics::Cwa, Fragment::FullFirstOrder), Expectation::NotGuaranteed);
+    assert_eq!(
+        expectation(Semantics::Cwa, Fragment::FullFirstOrder),
+        Expectation::NotGuaranteed
+    );
 
     // WCWA × FO: the same sentence also fails under WCWA (a tuple within the active
     // domain can complete the loop).
@@ -145,11 +186,36 @@ fn beyond_the_guarantee_counterexamples_exist() {
     // MinimalCwa × Pos off cores: ∀x D(x,x) on the §10 instance.
     let d_min = inst! { "D" => [[x(1), x(1)], [x(1), x(2)]] };
     let forall_loop = parse_query("forall u . D(u, u)").unwrap();
-    assert!(!compare_naive_and_certain(&d_min, &forall_loop, Semantics::MinimalCwa, &bounds).agrees());
+    assert!(
+        !compare_naive_and_certain(&d_min, &forall_loop, Semantics::MinimalCwa, &bounds).agrees()
+    );
     assert_eq!(
         expectation(Semantics::MinimalCwa, Fragment::Positive),
         Expectation::WorksOverCores
     );
+}
+
+#[test]
+fn figure1_cells_are_reproducible_for_a_fixed_seed() {
+    // The harness derives every per-cell RNG stream from the explicit config seed, so
+    // a cell run twice — or run on another machine — produces identical outcomes.
+    use nev_bench::figure1::{run_cell, Figure1Config};
+    let config = Figure1Config {
+        trials: 6,
+        ..Figure1Config::quick()
+    };
+    let first = run_cell(Semantics::Cwa, Fragment::ExistentialPositive, &config);
+    let second = run_cell(Semantics::Cwa, Fragment::ExistentialPositive, &config);
+    assert_eq!(first.agreements, second.agreements);
+    assert_eq!(first.sound, second.sound);
+    assert_eq!(first.counterexamples, second.counterexamples);
+
+    // The generators themselves are seed-deterministic streams.
+    let mut a = instance_generator(123);
+    let mut b = instance_generator(123);
+    for _ in 0..5 {
+        assert_eq!(a.generate(), b.generate());
+    }
 }
 
 #[test]

@@ -10,7 +10,9 @@ use nev_core::cores::{
 };
 use nev_core::domain::RelationalDomain;
 use nev_core::{Semantics, WorldBounds};
-use nev_gen::{FormulaGenerator, FormulaGeneratorConfig, InstanceGenerator, InstanceGeneratorConfig};
+use nev_gen::{
+    FormulaGenerator, FormulaGeneratorConfig, InstanceGenerator, InstanceGeneratorConfig,
+};
 use nev_hom::minimal::{enumerate_minimal_cwa_worlds, enumerate_minimal_valuations};
 use nev_hom::{core_of, is_core};
 use nev_incomplete::builder::x;
@@ -54,8 +56,18 @@ fn e7_naive_evaluation_fails_off_cores_but_works_on_them() {
     assert!(!agrees_with_core(&d, &q));
 
     // Restricting to the core restores the equivalence (Corollary 10.12).
-    assert!(naive_evaluation_works_on_core(&d, &q, Semantics::MinimalCwa, &bounds));
-    assert!(naive_evaluation_works_on_core(&d, &q, Semantics::MinimalPowersetCwa, &bounds));
+    assert!(naive_evaluation_works_on_core(
+        &d,
+        &q,
+        Semantics::MinimalCwa,
+        &bounds
+    ));
+    assert!(naive_evaluation_works_on_core(
+        &d,
+        &q,
+        Semantics::MinimalPowersetCwa,
+        &bounds
+    ));
 }
 
 #[test]
@@ -116,10 +128,18 @@ fn e8_soundness_of_naive_evaluation_for_guarded_fragments() {
         codd: false,
     };
     let bounds = WorldBounds::default();
-    for fragment in [Fragment::PositiveGuarded, Fragment::ExistentialPositiveBooleanGuarded] {
+    for fragment in [
+        Fragment::PositiveGuarded,
+        Fragment::ExistentialPositiveBooleanGuarded,
+    ] {
         let mut instances = InstanceGenerator::new(instance_config.clone(), 7 + fragment as u64);
         let mut formulas = FormulaGenerator::new(
-            FormulaGeneratorConfig { fragment, schema: schema.clone(), max_depth: 2, ..FormulaGeneratorConfig::default() },
+            FormulaGeneratorConfig {
+                fragment,
+                schema: schema.clone(),
+                max_depth: 2,
+                ..FormulaGeneratorConfig::default()
+            },
             99 + fragment as u64,
         );
         for _ in 0..8 {
@@ -162,7 +182,10 @@ fn ucqs_work_even_off_cores_under_minimal_semantics() {
     for _ in 0..8 {
         let d = instances.generate();
         let q = formulas.generate_sentence();
-        assert!(agrees_with_core(&d, &q), "UCQ `{q}` distinguished an instance from its core");
+        assert!(
+            agrees_with_core(&d, &q),
+            "UCQ `{q}` distinguished an instance from its core"
+        );
         for sem in [Semantics::MinimalCwa, Semantics::MinimalPowersetCwa] {
             let report = compare_naive_and_certain(&d, &q, sem, &bounds);
             assert!(report.agrees(), "{sem}: `{q}` on\n{d}");

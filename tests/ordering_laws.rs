@@ -139,18 +139,31 @@ fn theorem_6_2_and_7_1_update_reachability_on_fixed_examples() {
     let copies = nev_incomplete::inst! { "R" => [[Value::int(1), Value::int(2)], [Value::int(3), Value::int(4)]] };
     let bounds = ReachabilityBounds::default();
 
-    assert_eq!(cwa_leq(&d, &refined), reachable_by_updates(&d, &refined, &[UpdateKind::Cwa], &bounds));
+    assert_eq!(
+        cwa_leq(&d, &refined),
+        reachable_by_updates(&d, &refined, &[UpdateKind::Cwa], &bounds)
+    );
     assert_eq!(
         owa_leq(&d, &grown),
         reachable_by_updates(&d, &grown, &[UpdateKind::Cwa, UpdateKind::Owa], &bounds)
     );
     assert_eq!(
         powerset_cwa_leq(&d, &copies),
-        reachable_by_updates(&d, &copies, &[UpdateKind::Cwa, UpdateKind::CopyingCwa], &bounds)
+        reachable_by_updates(
+            &d,
+            &copies,
+            &[UpdateKind::Cwa, UpdateKind::CopyingCwa],
+            &bounds
+        )
     );
     // Negative case: an instance with different constants is unreachable and unrelated.
     let unrelated = nev_incomplete::inst! { "R" => [[Value::int(7), Value::int(8)], [Value::int(8), Value::int(7)]] };
     assert!(owa_leq(&d, &unrelated));
     assert!(!cwa_leq(&refined, &unrelated));
-    assert!(!reachable_by_updates(&refined, &unrelated, &[UpdateKind::Cwa], &bounds));
+    assert!(!reachable_by_updates(
+        &refined,
+        &unrelated,
+        &[UpdateKind::Cwa],
+        &bounds
+    ));
 }

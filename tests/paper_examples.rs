@@ -5,7 +5,9 @@
 //! cores (`nev-hom`), queries and naïve evaluation (`nev-logic`), semantics, certain
 //! answers and orderings (`nev-core`).
 
-use nev_core::certain::{certain_answers_boolean, compare_naive_and_certain, naive_evaluation_works};
+use nev_core::certain::{
+    certain_answers_boolean, compare_naive_and_certain, naive_evaluation_works,
+};
 use nev_core::ordering::{cwa_leq, owa_leq, powerset_cwa_leq, wcwa_leq};
 use nev_core::{Semantics, WorldBounds};
 use nev_hom::minimal::is_minimal_homomorphism;
@@ -49,7 +51,10 @@ fn e3_intro_conjunctive_query() {
     // tests — their exact world enumerations grow quickly with three nulls.
     for sem in [Semantics::Owa, Semantics::Cwa, Semantics::MinimalCwa] {
         let report = compare_naive_and_certain(&d, &q, sem, &WorldBounds::default());
-        assert!(report.agrees(), "{sem}: naive and certain answers must agree");
+        assert!(
+            report.agrees(),
+            "{sem}: naive and certain answers must agree"
+        );
         assert_eq!(report.certain, naive, "{sem}");
     }
 }
@@ -62,8 +67,14 @@ fn e2_fact_1_boundary_on_d0() {
     let sym = parse_query("exists u v . D(u, v) & D(v, u)").unwrap();
     assert!(naive_eval_boolean(&d0, &sym));
     for sem in [Semantics::Owa, Semantics::Cwa] {
-        assert!(certain_answers_boolean(&d0, &sym, sem, &WorldBounds::default()), "{sem}");
-        assert!(naive_evaluation_works(&d0, &sym, sem, &WorldBounds::default()), "{sem}");
+        assert!(
+            certain_answers_boolean(&d0, &sym, sem, &WorldBounds::default()),
+            "{sem}"
+        );
+        assert!(
+            naive_evaluation_works(&d0, &sym, sem, &WorldBounds::default()),
+            "{sem}"
+        );
     }
 
     // ∀x∃y D(x,y) is Pos but not a UCQ: naive evaluation returns true; the certain
@@ -71,12 +82,42 @@ fn e2_fact_1_boundary_on_d0() {
     let total = parse_query("forall u . exists v . D(u, v)").unwrap();
     assert_eq!(classify(total.formula()), Fragment::Positive);
     assert!(naive_eval_boolean(&d0, &total));
-    assert!(certain_answers_boolean(&d0, &total, Semantics::Cwa, &WorldBounds::default()));
-    assert!(certain_answers_boolean(&d0, &total, Semantics::Wcwa, &WorldBounds::default()));
-    assert!(!certain_answers_boolean(&d0, &total, Semantics::Owa, &WorldBounds::default()));
-    assert!(naive_evaluation_works(&d0, &total, Semantics::Cwa, &WorldBounds::default()));
-    assert!(naive_evaluation_works(&d0, &total, Semantics::Wcwa, &WorldBounds::default()));
-    assert!(!naive_evaluation_works(&d0, &total, Semantics::Owa, &WorldBounds::default()));
+    assert!(certain_answers_boolean(
+        &d0,
+        &total,
+        Semantics::Cwa,
+        &WorldBounds::default()
+    ));
+    assert!(certain_answers_boolean(
+        &d0,
+        &total,
+        Semantics::Wcwa,
+        &WorldBounds::default()
+    ));
+    assert!(!certain_answers_boolean(
+        &d0,
+        &total,
+        Semantics::Owa,
+        &WorldBounds::default()
+    ));
+    assert!(naive_evaluation_works(
+        &d0,
+        &total,
+        Semantics::Cwa,
+        &WorldBounds::default()
+    ));
+    assert!(naive_evaluation_works(
+        &d0,
+        &total,
+        Semantics::Wcwa,
+        &WorldBounds::default()
+    ));
+    assert!(!naive_evaluation_works(
+        &d0,
+        &total,
+        Semantics::Owa,
+        &WorldBounds::default()
+    ));
 }
 
 #[test]
@@ -108,11 +149,21 @@ fn theorem_5_2_positive_results_on_d0() {
     // A Pos+∀G sentence: ∀x y (D(x,y) → ∃z D(y,z)) — works under CWA.
     let guarded = parse_query("forall a b . D(a, b) -> exists z . D(b, z)").unwrap();
     assert_eq!(classify(guarded.formula()), Fragment::PositiveGuarded);
-    assert!(naive_evaluation_works(&d0, &guarded, Semantics::Cwa, &bounds));
+    assert!(naive_evaluation_works(
+        &d0,
+        &guarded,
+        Semantics::Cwa,
+        &bounds
+    ));
     // An ∃Pos+∀G_bool sentence: ∀a b (D(a,b) → ∃z (D(a,z) ∧ D(z,a))) — works under ⦅ ⦆_CWA.
     let gbool = parse_query("forall a b . D(a, b) -> exists z . D(a, z) & D(z, a)").unwrap();
     assert!(nev_logic::fragment::is_existential_positive_boolean_guarded(gbool.formula()));
-    assert!(naive_evaluation_works(&d0, &gbool, Semantics::PowersetCwa, &bounds));
+    assert!(naive_evaluation_works(
+        &d0,
+        &gbool,
+        Semantics::PowersetCwa,
+        &bounds
+    ));
     // And the same sentence also works under plain CWA (strong onto homomorphisms are
     // singleton unions).
     assert!(naive_evaluation_works(&d0, &gbool, Semantics::Cwa, &bounds));
@@ -164,7 +215,10 @@ fn e6_proposition_10_1_counterexamples() {
         (x(5), x(7)),
     ]);
     assert_eq!(h.apply_instance(&d), h_image);
-    assert!(!is_minimal_homomorphism(&h, &d), "h is not D-minimal (Prop. 10.1)");
+    assert!(
+        !is_minimal_homomorphism(&h, &d),
+        "h is not D-minimal (Prop. 10.1)"
+    );
 
     // The graph version: G = C4 + C6 and H = C3 + C2 are cores, a homomorphism G → H
     // exists, but it is not G-minimal because G → C2.
@@ -182,7 +236,10 @@ fn e6_proposition_10_1_counterexamples() {
     // The collapse onto C2 alone is not a CWA world of G (not strong onto the union),
     // but the core of G is G itself.
     assert_eq!(core_of(&g), g);
-    assert!(has_db_homomorphism(&g, &directed_cycle(2, NodeKind::Constants, 300)));
+    assert!(has_db_homomorphism(
+        &g,
+        &directed_cycle(2, NodeKind::Constants, 300)
+    ));
 }
 
 #[test]

@@ -1,0 +1,250 @@
+//! Offline, vendored stand-in for the crates.io `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so this crate implements the
+//! API subset the workspace benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId::new`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop instead of criterion's statistical machinery.
+//! Timings are printed as `<group>/<id> ... time: <mean> (<iters> iters)`.
+//!
+//! Swap the `path` dependency for the real `criterion` when building with
+//! network access; no bench file has to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to [`std::hint::black_box`].
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    target_time: Duration,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly for roughly the configured measurement time
+    /// and records the mean wall-clock duration per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call, mirroring criterion's warm-up phase.
+        black_box(routine());
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.target_time || iters >= 10_000 {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+/// A named collection of related benchmarks, mirroring criterion's groups.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    // Group-local measurement budget: sample_size must not leak into later groups.
+    target_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count. Accepted for API compatibility; the
+    /// stub's measurement loop is time-bounded, so this only scales it.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Keep short-sample groups short in the stub too.
+        self.target_time = Duration::from_millis((n as u64).clamp(5, 100));
+        self
+    }
+
+    /// Runs one benchmark identified by `id`.
+    pub fn bench_function<O, R: FnMut(&mut Bencher) -> O>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        let target_time = self.target_time;
+        self.criterion.run_one(&full, target_time, |b| {
+            routine(b);
+        });
+        self
+    }
+
+    /// Runs one benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, O, R: FnMut(&mut Bencher, &I) -> O>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        let target_time = self.target_time;
+        self.criterion.run_one(&full, target_time, |b| {
+            routine(b, input);
+        });
+        self
+    }
+
+    /// Finishes the group. A no-op in the stub; kept for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target_time: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            target_time: self.target_time,
+            criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<O, R: FnMut(&mut Bencher) -> O>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into().to_string();
+        let target_time = self.target_time;
+        self.run_one(&id, target_time, |b| {
+            routine(b);
+        });
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        label: &str,
+        target_time: Duration,
+        mut routine: impl FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher {
+            target_time,
+            result: None,
+        };
+        routine(&mut bencher);
+        match bencher.result {
+            Some((total, iters)) if iters > 0 => {
+                let per_iter = total / iters as u32;
+                println!("{label:<60} time: {per_iter:>12?} ({iters} iters)");
+            }
+            _ => println!("{label:<60} time: (no measurement)"),
+        }
+    }
+}
+
+/// Bundles benchmark functions into a single runner function, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `fn main` running every group, for `harness = false` benches.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_size_does_not_leak_across_groups() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("first");
+            group.sample_size(5);
+            group.finish();
+        }
+        let group = c.benchmark_group("second");
+        assert_eq!(group.target_time, Duration::from_millis(50));
+        group.finish();
+    }
+
+    #[test]
+    fn groups_run_and_record() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

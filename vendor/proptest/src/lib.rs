@@ -1,0 +1,393 @@
+//! Offline, vendored stand-in for the crates.io `proptest` crate.
+//!
+//! The build environment has no network access, so this crate implements the
+//! property-testing subset the workspace tests use:
+//!
+//! * a [`strategy::Strategy`] trait with `prop_map`, implemented for integer
+//!   ranges, pairs/triples of strategies, and [`collection::vec`];
+//! * the [`prop_oneof!`] macro (uniform choice between alternatives);
+//! * the [`proptest!`] macro, which expands each property to a `#[test]` that
+//!   draws `cases` deterministic samples and runs the body;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] forwarding to `assert!` /
+//!   `assert_eq!` (no shrinking — a failing case panics with its values in the
+//!   assertion message);
+//! * [`test_runner::Config`] (aliased `ProptestConfig` in the prelude) with the
+//!   `cases` knob.
+//!
+//! Sampling is deterministic: the RNG is seeded from the property's name, so a
+//! failure reproduces on every run. Swap the `path` dependency for the real
+//! `proptest` when building with network access; no test has to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking: a strategy
+    /// simply draws a value from an RNG.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between two strategies of the same value type.
+    #[derive(Debug, Clone)]
+    pub struct Union2<A, B> {
+        a: A,
+        b: B,
+    }
+
+    impl<A, B> Union2<A, B> {
+        /// Creates the two-way union.
+        pub fn new(a: A, b: B) -> Self {
+            Union2 { a, b }
+        }
+    }
+
+    impl<A: Strategy, B: Strategy<Value = A::Value>> Strategy for Union2<A, B> {
+        type Value = A::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.gen_bool(0.5) {
+                self.a.generate(rng)
+            } else {
+                self.b.generate(rng)
+            }
+        }
+    }
+
+    /// Uniform choice between three strategies of the same value type.
+    #[derive(Debug, Clone)]
+    pub struct Union3<A, B, C> {
+        a: A,
+        b: B,
+        c: C,
+    }
+
+    impl<A, B, C> Union3<A, B, C> {
+        /// Creates the three-way union.
+        pub fn new(a: A, b: B, c: C) -> Self {
+            Union3 { a, b, c }
+        }
+    }
+
+    impl<A: Strategy, B: Strategy<Value = A::Value>, C: Strategy<Value = A::Value>> Strategy
+        for Union3<A, B, C>
+    {
+        type Value = A::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            match rng.gen_range(0u8..3) {
+                0 => self.a.generate(rng),
+                1 => self.b.generate(rng),
+                _ => self.c.generate(rng),
+            }
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The test-runner configuration and deterministic RNG seeding.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    ///
+    /// Only `cases` is meaningful to the stub; the struct is non-exhaustive in
+    /// spirit but keeps its fields public so struct-update syntax
+    /// (`ProptestConfig { cases: 40, ..ProptestConfig::default() }`) works.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+        /// Accepted for compatibility; the stub never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Seeds a [`StdRng`] deterministically from a property's name, so every
+    /// run of the suite sees the same sequence of cases.
+    pub fn deterministic_rng(property_name: &str) -> StdRng {
+        // FNV-1a over the property name.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in property_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(hash)
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($a:expr, $b:expr $(,)?) => {
+        $crate::strategy::Union2::new($a, $b)
+    };
+    ($a:expr, $b:expr, $c:expr $(,)?) => {
+        $crate::strategy::Union3::new($a, $b, $c)
+    };
+}
+
+/// Asserts inside a property; forwards to `assert!` (the stub never shrinks).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assertion inside a property; forwards to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Inequality assertion inside a property; forwards to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }` item
+/// becomes a test drawing `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::deterministic_rng(stringify!($name));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// Pairs, maps and vec strategies compose and stay in range.
+        #[test]
+        fn composed_strategies_stay_in_range(
+            (a, b) in (0i64..10, 5u32..=6),
+            v in collection::vec(prop_oneof![0i32..5, 10i32..15], 1..=4),
+        ) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!(b == 5 || b == 6);
+            prop_assert!(!v.is_empty() && v.len() <= 4);
+            prop_assert!(v.iter().all(|x| (0..5).contains(x) || (10..15).contains(x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::deterministic_rng("p");
+        let mut b = crate::test_runner::deterministic_rng("p");
+        for _ in 0..32 {
+            assert_eq!((0u64..1000).generate(&mut a), (0u64..1000).generate(&mut b));
+        }
+    }
+}
