@@ -4,16 +4,17 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use nev_bench::workloads::{chain_instance, chain_query};
-use nev_core::certain::certain_answers_boolean;
+use nev_core::engine::{CertainEngine, PreparedQuery};
 use nev_core::{Semantics, WorldBounds};
 
 fn bench_semantics_scaling(c: &mut Criterion) {
-    let q = chain_query();
+    let prepared = PreparedQuery::new(chain_query());
     let bounds = WorldBounds {
         owa_max_extra_tuples: 1,
         wcwa_max_extra_tuples: 1,
         ..WorldBounds::default()
     };
+    let engine = CertainEngine::with_bounds(bounds);
     let mut group = c.benchmark_group("certain_scaling_semantics");
     for nulls in [1u32, 2, 3] {
         let d = chain_instance(nulls);
@@ -21,7 +22,7 @@ fn bench_semantics_scaling(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(sem.short_name().replace(' ', "_"), nulls),
                 &d,
-                |b, d| b.iter(|| certain_answers_boolean(d, &q, sem, &bounds)),
+                |b, d| b.iter(|| engine.certain_answers(d, sem, &prepared)),
             );
         }
     }
@@ -30,7 +31,7 @@ fn bench_semantics_scaling(c: &mut Criterion) {
     for nulls in [1u32, 2] {
         let d = chain_instance(nulls);
         group.bench_with_input(BenchmarkId::new("powerset_CWA", nulls), &d, |b, d| {
-            b.iter(|| certain_answers_boolean(d, &q, Semantics::PowersetCwa, &bounds))
+            b.iter(|| engine.certain_answers(d, Semantics::PowersetCwa, &prepared))
         });
     }
     group.finish();
@@ -38,22 +39,26 @@ fn bench_semantics_scaling(c: &mut Criterion) {
 
 fn bench_enumeration_vs_early_exit(c: &mut Criterion) {
     // Ablation: materialising every world (`enumerate_worlds`) versus the streaming
-    // early-exit intersection used by `certain_answers_boolean`. On a query that is
-    // certainly true the two do the same work; on a falsifiable query the early exit
-    // wins by stopping at the first counter-world.
+    // early-exit intersection driven by the lazy `Semantics::worlds` iterator. On a
+    // query that is certainly true the two do the same work; on a falsifiable query
+    // the early exit wins by stopping at the first counter-world.
     let d = chain_instance(3);
-    let q_true = chain_query();
-    let q_false = nev_logic::parse_query("exists u . R(u, 99)").unwrap();
+    let q_true = PreparedQuery::new(chain_query());
+    let q_false = PreparedQuery::parse("exists u . R(u, 99)").unwrap();
     let bounds = WorldBounds::default();
+    let engine = CertainEngine::with_bounds(bounds.clone());
     let mut group = c.benchmark_group("enumeration_vs_early_exit");
     group.bench_function("materialise_all_worlds", |b| {
         b.iter(|| Semantics::Cwa.enumerate_worlds(&d, &bounds).len())
     });
+    group.bench_function("stream_all_worlds_lazily", |b| {
+        b.iter(|| Semantics::Cwa.worlds(&d, &bounds).count())
+    });
     group.bench_function("early_exit_on_true_query", |b| {
-        b.iter(|| certain_answers_boolean(&d, &q_true, Semantics::Cwa, &bounds))
+        b.iter(|| engine.certain_answers(&d, Semantics::Cwa, &q_true))
     });
     group.bench_function("early_exit_on_false_query", |b| {
-        b.iter(|| certain_answers_boolean(&d, &q_false, Semantics::Cwa, &bounds))
+        b.iter(|| engine.certain_answers(&d, Semantics::Cwa, &q_false))
     });
     group.finish();
 }

@@ -5,32 +5,37 @@
 //! naïve evaluation is a single polynomial-time pass over the instance, while the
 //! ground-truth oracle enumerates `|budget|^{#nulls}` valuations (exponential in the
 //! number of nulls), for the same query and the same instance.
+//!
+//! Queries are prepared once with [`PreparedQuery`] — parsing and fragment
+//! classification stay out of the measured loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use nev_bench::workloads::{chain_instance, chain_query, intro_instance, intro_query};
-use nev_core::certain::{certain_answers_boolean, compare_naive_and_certain};
+use nev_core::engine::{CertainEngine, PreparedQuery};
 use nev_core::{Semantics, WorldBounds};
 use nev_logic::eval::{naive_eval_boolean, naive_eval_query};
 
 fn bench_intro_example(c: &mut Criterion) {
     let d = intro_instance();
     let q = intro_query();
-    let bounds = WorldBounds::default();
+    let prepared = PreparedQuery::new(q.clone());
+    let engine = CertainEngine::new();
     let mut group = c.benchmark_group("intro_example");
     group.bench_function("naive_eval", |b| b.iter(|| naive_eval_query(&d, &q)));
     group.bench_function("certain_answers_cwa", |b| {
-        b.iter(|| compare_naive_and_certain(&d, &q, Semantics::Cwa, &bounds))
+        b.iter(|| engine.compare(&d, Semantics::Cwa, &prepared))
     });
     group.bench_function("certain_answers_owa_bounded", |b| {
-        b.iter(|| compare_naive_and_certain(&d, &q, Semantics::Owa, &bounds))
+        b.iter(|| engine.compare(&d, Semantics::Owa, &prepared))
     });
     group.finish();
 }
 
 fn bench_chain_scaling(c: &mut Criterion) {
     let q = chain_query();
-    let bounds = WorldBounds::default();
+    let prepared = PreparedQuery::new(q.clone());
+    let engine = CertainEngine::with_bounds(WorldBounds::default());
     let mut group = c.benchmark_group("naive_vs_certain_chain");
     for nulls in [1u32, 2, 3, 4] {
         let d = chain_instance(nulls);
@@ -38,7 +43,7 @@ fn bench_chain_scaling(c: &mut Criterion) {
             b.iter(|| naive_eval_boolean(d, &q))
         });
         group.bench_with_input(BenchmarkId::new("certain_cwa", nulls), &d, |b, d| {
-            b.iter(|| certain_answers_boolean(d, &q, Semantics::Cwa, &bounds))
+            b.iter(|| engine.certain_answers(d, Semantics::Cwa, &prepared))
         });
     }
     group.finish();

@@ -7,18 +7,54 @@
 //! Usage:
 //!
 //! ```text
-//! figure1 [--quick] [--trials N] [--seed S] [--skip-table] [--skip-examples]
+//! figure1 [--quick] [--trials N] [--seed S] [--semantics NAME] [--fragment NAME]
+//!         [--skip-table] [--skip-examples]
 //! ```
+//!
+//! `--semantics` / `--fragment` restrict the table to one row / column; they accept
+//! both the Figure 1 names and ASCII spellings (`owa`, `powerset-cwa`, `epos`,
+//! `pos-g`, …) via the `FromStr` implementations on `Semantics` and `Fragment`.
 //!
 //! The output is Markdown; `EXPERIMENTS.md` records a captured run.
 
 use nev_bench::examples::{render_examples_markdown, run_paper_examples};
-use nev_bench::figure1::{render_markdown, run_all_cells, Figure1Config};
+use nev_bench::figure1::{render_markdown, run_cells, Figure1Config};
+use nev_core::Semantics;
+use nev_logic::Fragment;
 
 struct Options {
     config: Figure1Config,
     run_table: bool,
     run_examples: bool,
+    semantics: Option<Semantics>,
+    fragment: Option<Fragment>,
+}
+
+fn usage_and_exit(code: i32) -> ! {
+    println!(
+        "usage: figure1 [--quick] [--trials N] [--seed S] [--semantics NAME] \
+         [--fragment NAME] [--skip-table] [--skip-examples]"
+    );
+    std::process::exit(code);
+}
+
+/// Parses a flag value, exiting with a readable message on failure.
+fn parse_value<T>(flag: &str, value: Option<String>) -> T
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let Some(value) = value else {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    };
+    match value.parse() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("invalid {flag} value: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn parse_options() -> Options {
@@ -26,29 +62,30 @@ fn parse_options() -> Options {
         config: Figure1Config::default(),
         run_table: true,
         run_examples: true,
+        semantics: None,
+        fragment: None,
     };
     let mut args = std::env::args().skip(1);
+    let mut explicit_trials = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            // Only lower the trial count: --quick must not clobber an explicit
-            // --seed/--trials given earlier on the command line.
-            "--quick" => options.config.trials = Figure1Config::quick().trials,
+            // --quick must not clobber an explicit --trials given anywhere on the
+            // command line; on its own it lowers the count to the quick default.
+            "--quick" => {
+                if !explicit_trials {
+                    options.config.trials = Figure1Config::quick().trials;
+                }
+            }
             "--trials" => {
-                let value = args.next().expect("--trials needs a value");
-                options.config.trials = value.parse().expect("--trials needs an integer");
+                options.config.trials = parse_value("--trials", args.next());
+                explicit_trials = true;
             }
-            "--seed" => {
-                let value = args.next().expect("--seed needs a value");
-                options.config.seed = value.parse().expect("--seed needs an integer");
-            }
+            "--seed" => options.config.seed = parse_value("--seed", args.next()),
+            "--semantics" => options.semantics = Some(parse_value("--semantics", args.next())),
+            "--fragment" => options.fragment = Some(parse_value("--fragment", args.next())),
             "--skip-table" => options.run_table = false,
             "--skip-examples" => options.run_examples = false,
-            "--help" | "-h" => {
-                println!(
-                    "usage: figure1 [--quick] [--trials N] [--seed S] [--skip-table] [--skip-examples]"
-                );
-                std::process::exit(0);
-            }
+            "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("unknown option: {other}");
                 std::process::exit(2);
@@ -76,11 +113,25 @@ fn main() {
     }
 
     if options.run_table {
+        let scope = match (options.semantics, options.fragment) {
+            (None, None) => String::new(),
+            (sem, frag) => format!(
+                " [{}{}{}]",
+                sem.map(|s| s.to_string()).unwrap_or_default(),
+                if sem.is_some() && frag.is_some() {
+                    " × "
+                } else {
+                    ""
+                },
+                frag.map(|f| f.to_string()).unwrap_or_default()
+            ),
+        };
         println!(
-            "## Figure 1 validation (E1): {} trials per cell, seed {}\n",
-            options.config.trials, options.config.seed
+            "## Figure 1 validation (E1){}: {} trials per cell, seed {}\n",
+            scope, options.config.trials, options.config.seed
         );
-        let outcomes = run_all_cells(&options.config);
+        // The filters are parsed enum values, so at least one cell always matches.
+        let outcomes = run_cells(&options.config, options.semantics, options.fragment);
         print!("{}", render_markdown(&outcomes));
         let mismatches: Vec<_> = outcomes
             .iter()

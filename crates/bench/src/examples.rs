@@ -6,8 +6,8 @@
 //! records the output. The integration test-suite asserts the same facts, so a failing
 //! example here would also fail `cargo test`.
 
-use nev_core::certain::{certain_answers_boolean, compare_naive_and_certain};
 use nev_core::cores::{agrees_with_core, naive_is_sound_approximation};
+use nev_core::engine::{CertainEngine, PreparedQuery};
 use nev_core::ordering::{cwa_leq, owa_leq, powerset_cwa_leq};
 use nev_core::updates::{reachable_by_updates, ReachabilityBounds, UpdateKind};
 use nev_core::{Semantics, WorldBounds};
@@ -39,15 +39,17 @@ pub struct ExampleResult {
 /// Runs every worked example and returns the results in `DESIGN.md` order.
 pub fn run_paper_examples() -> Vec<ExampleResult> {
     let bounds = WorldBounds::default();
+    // `compare` (the forced bounded oracle) throughout: the examples *validate* the
+    // paper's claims, so the certified fast path must not be assumed.
+    let engine = CertainEngine::with_bounds(bounds.clone());
     let mut results = Vec::new();
 
     // E3 — §1: the intro's UCQ has certain answer {(1,4)} and naïve evaluation finds it.
     {
-        let report = compare_naive_and_certain(
+        let report = engine.compare(
             &workloads::intro_instance(),
-            &workloads::intro_query(),
             Semantics::Owa,
-            &bounds,
+            &PreparedQuery::new(workloads::intro_query()),
         );
         let expected: std::collections::BTreeSet<Tuple> =
             [Tuple::new(vec![c(1), c(4)])].into_iter().collect();
@@ -62,9 +64,9 @@ pub fn run_paper_examples() -> Vec<ExampleResult> {
     // E2 — §2.4: ∀x∃y D(x,y) on D0 is naively true, certain under CWA, not under OWA.
     {
         let d0 = workloads::d0();
-        let q = workloads::forall_exists_query();
-        let cwa = certain_answers_boolean(&d0, &q, Semantics::Cwa, &bounds);
-        let owa = certain_answers_boolean(&d0, &q, Semantics::Owa, &bounds);
+        let q = PreparedQuery::new(workloads::forall_exists_query());
+        let cwa = engine.compare(&d0, Semantics::Cwa, &q).is_certainly_true();
+        let owa = engine.compare(&d0, Semantics::Owa, &q).is_certainly_true();
         results.push(ExampleResult {
             id: "E2",
             claim: "§2.4: ∀x∃y D(x,y) on D0 — naive true, certain under CWA, not certain under OWA"
@@ -145,8 +147,9 @@ pub fn run_paper_examples() -> Vec<ExampleResult> {
     {
         let d = workloads::minimal_example_instance();
         let q = workloads::forall_loop_query();
-        let report = compare_naive_and_certain(&d, &q, Semantics::MinimalCwa, &bounds);
-        let on_core = compare_naive_and_certain(&core_of(&d), &q, Semantics::MinimalCwa, &bounds);
+        let prepared = PreparedQuery::new(q.clone());
+        let report = engine.compare(&d, Semantics::MinimalCwa, &prepared);
+        let on_core = engine.compare(&core_of(&d), Semantics::MinimalCwa, &prepared);
         results.push(ExampleResult {
             id: "E7",
             claim: "§10: ∀x D(x,x) fails naive evaluation under ⟦ ⟧min_CWA off cores, works on the core".into(),

@@ -3,8 +3,8 @@
 
 use std::fmt::Write as _;
 
-use nev_core::certain::compare_naive_and_certain;
 use nev_core::cores::naive_is_sound_approximation;
+use nev_core::engine::{CertainEngine, PreparedQuery};
 use nev_core::summary::{expectation, Expectation, FRAGMENTS};
 use nev_core::{Semantics, WorldBounds};
 use nev_gen::{
@@ -95,6 +95,9 @@ pub struct CellOutcome {
     /// Trials on which the naïve answers were a subset of the certain answers
     /// (soundness; relevant for the minimal semantics and for `NotGuaranteed` cells).
     pub sound: usize,
+    /// Trials on which the engine would have taken the certified naïve fast path
+    /// (the validation below still runs the bounded oracle on every trial).
+    pub certified_naive: usize,
     /// Human-readable descriptions of the first few disagreements found.
     pub counterexamples: Vec<String>,
 }
@@ -143,9 +146,11 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
         .wrapping_add(semantics as u64 * 101 + fragment as u64 * 7);
     let mut instances = InstanceGenerator::new(config.instance_config(), cell_seed);
     let mut formulas = FormulaGenerator::new(config.formula_config(fragment), cell_seed ^ 0xf1f1);
+    let engine = CertainEngine::with_bounds(config.bounds.clone());
 
     let mut agreements = 0;
     let mut sound = 0;
+    let mut certified_naive = 0;
     let mut counterexamples = Vec::new();
 
     for trial in 0..config.trials {
@@ -167,7 +172,14 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
             raw_instance.clone()
         };
 
-        let report = compare_naive_and_certain(&instance, &query, semantics, &config.bounds);
+        // `compare` (not `evaluate`) on purpose: the harness *checks* the theorems
+        // the engine's certified fast path assumes, so it always runs the bounded
+        // oracle. The plan is still recorded, witnessing what dispatch would do.
+        let prepared = PreparedQuery::new(query.clone());
+        if engine.plan(&instance, semantics, &prepared).is_certified() {
+            certified_naive += 1;
+        }
+        let report = engine.compare(&instance, semantics, &prepared);
         if report.agrees() {
             agreements += 1;
         } else if counterexamples.len() < 3 {
@@ -188,19 +200,36 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
         trials: config.trials,
         agreements,
         sound,
+        certified_naive,
         counterexamples,
     }
 }
 
-/// Runs every cell of Figure 1.
-pub fn run_all_cells(config: &Figure1Config) -> Vec<CellOutcome> {
+/// Runs the cells of Figure 1 matching the optional semantics / fragment filters
+/// (`None` keeps every row resp. column).
+pub fn run_cells(
+    config: &Figure1Config,
+    semantics_filter: Option<Semantics>,
+    fragment_filter: Option<Fragment>,
+) -> Vec<CellOutcome> {
     let mut out = Vec::new();
     for semantics in Semantics::ALL {
+        if semantics_filter.is_some_and(|s| s != semantics) {
+            continue;
+        }
         for fragment in FRAGMENTS {
+            if fragment_filter.is_some_and(|f| f != fragment) {
+                continue;
+            }
             out.push(run_cell(semantics, fragment, config));
         }
     }
     out
+}
+
+/// Runs every cell of Figure 1.
+pub fn run_all_cells(config: &Figure1Config) -> Vec<CellOutcome> {
+    run_cells(config, None, None)
 }
 
 /// Renders cell outcomes as a Markdown table (the regenerated Figure 1).
@@ -208,9 +237,9 @@ pub fn render_markdown(outcomes: &[CellOutcome]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "| semantics | fragment | paper | agreement | sound | status |"
+        "| semantics | fragment | paper | agreement | sound | certified plan | status |"
     );
-    let _ = writeln!(s, "|---|---|---|---|---|---|");
+    let _ = writeln!(s, "|---|---|---|---|---|---|---|");
     for o in outcomes {
         let paper = match o.expectation {
             Expectation::Works => "works",
@@ -228,8 +257,17 @@ pub fn render_markdown(outcomes: &[CellOutcome]) -> String {
         };
         let _ = writeln!(
             s,
-            "| {} | {} | {} | {}/{} | {}/{} | {} |",
-            o.semantics, o.fragment, paper, o.agreements, o.trials, o.sound, o.trials, status
+            "| {} | {} | {} | {}/{} | {}/{} | {}/{} | {} |",
+            o.semantics,
+            o.fragment,
+            paper,
+            o.agreements,
+            o.trials,
+            o.sound,
+            o.trials,
+            o.certified_naive,
+            o.trials,
+            status
         );
     }
     s
@@ -254,6 +292,26 @@ mod tests {
         assert!(outcome.fully_agrees(), "{:?}", outcome.counterexamples);
         assert!(outcome.satisfies_expectation());
         assert!((outcome.agreement_rate() - 1.0).abs() < f64::EPSILON);
+        // A Works cell dispatches to the certified fast path on every trial.
+        assert_eq!(outcome.certified_naive, outcome.trials);
+    }
+
+    #[test]
+    fn cell_filters_select_rows_and_columns() {
+        let config = Figure1Config {
+            trials: 1,
+            ..Figure1Config::quick()
+        };
+        let row = run_cells(&config, Some(Semantics::Owa), None);
+        assert_eq!(row.len(), FRAGMENTS.len());
+        assert!(row.iter().all(|o| o.semantics == Semantics::Owa));
+        let cell = run_cells(
+            &config,
+            Some(Semantics::Cwa),
+            Some(Fragment::ExistentialPositive),
+        );
+        assert_eq!(cell.len(), 1);
+        assert_eq!(cell[0].fragment, Fragment::ExistentialPositive);
     }
 
     #[test]
@@ -265,6 +323,7 @@ mod tests {
             trials: 3,
             agreements: 3,
             sound: 3,
+            certified_naive: 3,
             counterexamples: vec![],
         }];
         let md = render_markdown(&outcomes);

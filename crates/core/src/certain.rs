@@ -18,26 +18,38 @@
 //!   preservation theorem for the query's fragment (which gives
 //!   `naïve ⊆ certain_true`), pins `certain_true` between two equal sets and hence
 //!   certifies exact agreement.
+//!
+//! **Deprecated surface.** These free functions re-derive the query's bounds per call
+//! and always run the bounded oracle; they are kept as thin shims over
+//! [`crate::engine::CertainEngine`], which classifies a query once
+//! ([`crate::engine::PreparedQuery`]), dispatches on Figure 1
+//! ([`crate::engine::EvalPlan`]) and supports batched single-pass evaluation.
 
 use std::collections::BTreeSet;
-use std::ops::ControlFlow;
 
 use nev_incomplete::{Instance, Tuple};
-use nev_logic::eval::{evaluate_boolean, evaluate_query, naive_eval_boolean, naive_eval_query};
 use nev_logic::Query;
 
+use crate::engine::{CertainEngine, PreparedQuery};
 use crate::semantics::{Semantics, WorldBounds};
 
 /// Bounds pre-populated with the constants mentioned by a query, so that the world
 /// enumeration is generic relative to them.
 pub fn bounds_for_query(query: &Query, base: &WorldBounds) -> WorldBounds {
-    let mut bounds = base.clone();
-    bounds.extra_constants.extend(query.formula().constants());
-    bounds
+    base.extended_with(query.formula().constants())
 }
 
 /// Computes the certain answer to a **Boolean** query under the given semantics, over
 /// the bounded world enumeration.
+///
+/// # Panics
+/// Panics if the query is not Boolean; prefer
+/// [`CertainEngine::certainly_true`], which reports the mismatch as a typed
+/// [`crate::engine::EngineError`] instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `nev_core::engine::CertainEngine::certainly_true` (plan-then-execute API)"
+)]
 pub fn certain_answers_boolean(
     d: &Instance,
     query: &Query,
@@ -48,17 +60,10 @@ pub fn certain_answers_boolean(
         query.is_boolean(),
         "certain_answers_boolean expects a Boolean query"
     );
-    let bounds = bounds_for_query(query, bounds);
-    let mut certain = true;
-    let _ = semantics.for_each_world(d, &bounds, |world| {
-        if !evaluate_boolean(world, query.formula()) {
-            certain = false;
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(())
-        }
-    });
-    certain
+    let engine = CertainEngine::with_bounds(bounds.clone());
+    !engine
+        .certain_answers(d, semantics, &PreparedQuery::new(query.clone()))
+        .is_empty()
 }
 
 /// Computes the certain answers to a k-ary query under the given semantics, over the
@@ -69,32 +74,21 @@ pub fn certain_answers_boolean(
 /// an answer), so the result is additionally restricted to those constants — this
 /// keeps the bounded enumeration from reporting tuples built out of its internal fresh
 /// constants.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `nev_core::engine::CertainEngine::certain_answers` (plan-then-execute API)"
+)]
 pub fn certain_answers(
     d: &Instance,
     query: &Query,
     semantics: Semantics,
     bounds: &WorldBounds,
 ) -> BTreeSet<Tuple> {
-    let bounds = bounds_for_query(query, bounds);
-    let mut allowed = d.constants();
-    allowed.extend(query.formula().constants());
-    let mut certain: Option<BTreeSet<Tuple>> = None;
-    let _ = semantics.for_each_world(d, &bounds, |world| {
-        let answers: BTreeSet<Tuple> = evaluate_query(world, query)
-            .into_iter()
-            .filter(|t| t.constants().all(|c| allowed.contains(c)) && t.is_complete())
-            .collect();
-        certain = Some(match certain.take() {
-            None => answers,
-            Some(previous) => previous.intersection(&answers).cloned().collect(),
-        });
-        if certain.as_ref().map(BTreeSet::is_empty).unwrap_or(false) {
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(())
-        }
-    });
-    certain.unwrap_or_default()
+    CertainEngine::with_bounds(bounds.clone()).certain_answers(
+        d,
+        semantics,
+        &PreparedQuery::new(query.clone()),
+    )
 }
 
 /// The outcome of comparing naïve evaluation with certain answers on one instance.
@@ -130,54 +124,51 @@ impl NaiveEvalReport {
 }
 
 /// Compares naïve evaluation with certain answers for a (Boolean or k-ary) query on a
-/// single instance.
+/// single instance. Always runs the bounded oracle (never the certified shortcut), so
+/// the report genuinely *validates* the paper's guarantees.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `nev_core::engine::CertainEngine::compare` (plan-then-execute API)"
+)]
 pub fn compare_naive_and_certain(
     d: &Instance,
     query: &Query,
     semantics: Semantics,
     bounds: &WorldBounds,
 ) -> NaiveEvalReport {
-    let naive = if query.is_boolean() {
-        if naive_eval_boolean(d, query) {
-            [Tuple::new(Vec::new())].into_iter().collect()
-        } else {
-            BTreeSet::new()
-        }
-    } else {
-        naive_eval_query(d, query)
-    };
-    let certain = if query.is_boolean() {
-        if certain_answers_boolean(d, query, semantics, bounds) {
-            [Tuple::new(Vec::new())].into_iter().collect()
-        } else {
-            BTreeSet::new()
-        }
-    } else {
-        certain_answers(d, query, semantics, bounds)
-    };
+    let engine = CertainEngine::with_bounds(bounds.clone());
+    let eval = engine.compare(d, semantics, &PreparedQuery::new(query.clone()));
     NaiveEvalReport {
         semantics,
-        naive,
-        certain,
+        naive: eval.naive,
+        certain: eval.certain,
     }
 }
 
 /// Returns `true` iff naïve evaluation computes the (bounded) certain answers for the
 /// query on this instance under this semantics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `nev_core::engine::CertainEngine::compare` and `Evaluation::agrees`"
+)]
 pub fn naive_evaluation_works(
     d: &Instance,
     query: &Query,
     semantics: Semantics,
     bounds: &WorldBounds,
 ) -> bool {
-    compare_naive_and_certain(d, query, semantics, bounds).agrees()
+    CertainEngine::with_bounds(bounds.clone())
+        .compare(d, semantics, &PreparedQuery::new(query.clone()))
+        .agrees()
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims themselves are under test here
 mod tests {
     use super::*;
     use nev_incomplete::builder::{c, x};
     use nev_incomplete::inst;
+    use nev_logic::eval::naive_eval_boolean;
     use nev_logic::parse_query;
 
     fn d0() -> Instance {

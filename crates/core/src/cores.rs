@@ -22,7 +22,7 @@ use nev_hom::core::core_of;
 use nev_incomplete::Instance;
 use nev_logic::Query;
 
-use crate::certain::{certain_answers, compare_naive_and_certain};
+use crate::engine::{CertainEngine, PreparedQuery};
 use crate::monotone::constant_answers;
 use crate::semantics::{Semantics, WorldBounds};
 
@@ -71,7 +71,11 @@ pub fn naive_is_sound_approximation(
     if naive.is_empty() {
         return true;
     }
-    let certain = certain_answers(d, query, semantics, bounds);
+    let certain = CertainEngine::with_bounds(bounds.clone()).certain_answers(
+        d,
+        semantics,
+        &PreparedQuery::new(query.clone()),
+    );
     naive.is_subset(&certain)
 }
 
@@ -86,7 +90,9 @@ pub fn naive_evaluation_works_on_core(
     bounds: &WorldBounds,
 ) -> bool {
     let core = core_of(d);
-    compare_naive_and_certain(&core, query, semantics, bounds).agrees()
+    CertainEngine::with_bounds(bounds.clone())
+        .compare(&core, semantics, &PreparedQuery::new(query.clone()))
+        .agrees()
 }
 
 #[cfg(test)]
@@ -112,7 +118,7 @@ mod tests {
         // answer is true (all minimal worlds are single loops) while naïve evaluation
         // says false.
         let report =
-            compare_naive_and_certain(&d, &q, Semantics::MinimalCwa, &WorldBounds::default());
+            CertainEngine::new().compare(&d, Semantics::MinimalCwa, &PreparedQuery::new(q.clone()));
         assert!(report.naive.is_empty());
         assert!(!report.certain.is_empty());
         assert!(!report.agrees());
@@ -192,12 +198,8 @@ mod tests {
         assert!(is_core(&core));
         let q = parse_query("forall u . D(u, u)").unwrap();
         assert!(agrees_with_core(&core, &q));
-        assert!(compare_naive_and_certain(
-            &core,
-            &q,
-            Semantics::MinimalCwa,
-            &WorldBounds::default()
-        )
-        .agrees());
+        assert!(CertainEngine::new()
+            .compare(&core, Semantics::MinimalCwa, &PreparedQuery::new(q))
+            .agrees());
     }
 }

@@ -1,0 +1,884 @@
+//! `CertainEngine` — the plan-then-execute query-evaluation API (Figure 1 as a
+//! dispatch table).
+//!
+//! The rest of `nev-core` *validates* the paper's central result — naïve evaluation
+//! computes certain answers exactly when the query's fragment is preserved under the
+//! semantics' homomorphisms. This module *operationalises* it:
+//!
+//! 1. a [`PreparedQuery`] parses and classifies a query **once** (fragment,
+//!    constants, arity) instead of re-deriving them per call;
+//! 2. an [`EvalPlan`] is chosen per (instance, semantics, query) by consulting the
+//!    machine-readable Figure 1 ([`crate::summary::expectation`]):
+//!    [`EvalPlan::CertifiedNaive`] answers by one polynomial naïve evaluation pass
+//!    and carries a [`Certificate`] naming the theorem that justifies the shortcut,
+//!    while [`EvalPlan::BoundedEnumeration`] falls back to the possible-world oracle;
+//! 3. the bounded oracle streams worlds from the lazy [`Semantics::worlds`] iterator
+//!    with early exit (a Boolean query stops at the first counter-world, a k-ary
+//!    intersection stops when it becomes empty);
+//! 4. [`CertainEngine::evaluate_all`] amortises the expensive part across a batch:
+//!    the instance's worlds are enumerated **at most once** and every per-query
+//!    certain-answer intersection is folded in that single pass.
+//!
+//! The free functions of [`crate::certain`] remain as deprecated shims delegating to
+//! this engine.
+//!
+//! ```
+//! use nev_core::engine::{CertainEngine, EvalPlan};
+//! use nev_core::Semantics;
+//! use nev_incomplete::builder::{c, x};
+//! use nev_incomplete::inst;
+//!
+//! // The paper's introduction: R = {(1,⊥1),(⊥2,⊥3)}, S = {(⊥1,4),(⊥3,5)}.
+//! let d = inst! {
+//!     "R" => [[c(1), x(1)], [x(2), x(3)]],
+//!     "S" => [[x(1), c(4)], [x(3), c(5)]],
+//! };
+//! let engine = CertainEngine::new();
+//! let q = engine.prepare("Q(x, y) :- exists z . R(x, z) & S(z, y)")?;
+//!
+//! // A union of conjunctive queries under OWA: Figure 1 certifies naïve evaluation,
+//! // so no possible world is ever enumerated.
+//! let eval = engine.evaluate(&d, Semantics::Owa, &q);
+//! assert!(matches!(eval.plan, EvalPlan::CertifiedNaive(_)));
+//! assert_eq!(eval.worlds_enumerated, 0);
+//! assert_eq!(eval.certain.len(), 1);
+//! # Ok::<(), nev_core::engine::EngineError>(())
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use nev_hom::is_core;
+use nev_incomplete::{Constant, Instance, Tuple};
+use nev_logic::eval::{evaluate_boolean, evaluate_query, naive_eval_query};
+use nev_logic::fragment::classify;
+use nev_logic::parser::ParseError;
+use nev_logic::query::QueryError;
+use nev_logic::{parse_query, Fragment, Query};
+
+use crate::semantics::{Semantics, WorldBounds};
+use crate::summary::{expectation, Expectation};
+
+/// Errors surfaced by the engine API (replacing the `assert!`-based panics of the
+/// legacy free functions).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// The query text failed to parse.
+    Parse(ParseError),
+    /// The parsed formula was not a well-formed query (free-variable problems).
+    Query(QueryError),
+    /// A Boolean-only entry point was called with a k-ary query.
+    NotBoolean {
+        /// The arity of the offending query.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "query parse error: {e}"),
+            EngineError::Query(e) => write!(f, "ill-formed query: {e}"),
+            EngineError::NotBoolean { arity } => {
+                write!(f, "expected a Boolean query, got one of arity {arity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Parse(e) => Some(e),
+            EngineError::Query(e) => Some(e),
+            EngineError::NotBoolean { .. } => None,
+        }
+    }
+}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+/// A query prepared for repeated evaluation: parsed and classified **once**, with the
+/// fragment, the mentioned constants and the arity cached.
+///
+/// ```
+/// use nev_core::engine::PreparedQuery;
+/// use nev_logic::Fragment;
+///
+/// let q = PreparedQuery::parse("forall u . exists v . D(u, v)")?;
+/// assert_eq!(q.fragment(), Fragment::Positive);
+/// assert!(q.is_boolean());
+/// # Ok::<(), nev_core::engine::EngineError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PreparedQuery {
+    query: Query,
+    fragment: Fragment,
+    constants: BTreeSet<Constant>,
+}
+
+impl PreparedQuery {
+    /// Prepares an already-built [`Query`], classifying it into the smallest Figure 1
+    /// fragment and caching its constants.
+    pub fn new(query: Query) -> Self {
+        let fragment = classify(query.formula());
+        let constants = query.formula().constants();
+        PreparedQuery {
+            query,
+            fragment,
+            constants,
+        }
+    }
+
+    /// Parses and prepares a query from the text syntax of `nev-logic`.
+    pub fn parse(text: &str) -> Result<Self, EngineError> {
+        Ok(PreparedQuery::new(parse_query(text)?))
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The smallest Figure 1 fragment containing the query's formula.
+    pub fn fragment(&self) -> Fragment {
+        self.fragment
+    }
+
+    /// The constants mentioned by the query's formula.
+    pub fn constants(&self) -> &BTreeSet<Constant> {
+        &self.constants
+    }
+
+    /// The arity of the query (`0` for Boolean queries).
+    pub fn arity(&self) -> usize {
+        self.query.arity()
+    }
+
+    /// Returns `true` iff the query is Boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.query.is_boolean()
+    }
+
+    /// World-enumeration bounds extended with this query's constants, so that the
+    /// enumeration is generic relative to them (the cached equivalent of
+    /// [`crate::certain::bounds_for_query`]).
+    pub fn bounds(&self, base: &WorldBounds) -> WorldBounds {
+        base.extended_with(self.constants.iter().cloned())
+    }
+}
+
+impl fmt::Display for PreparedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.query, self.fragment)
+    }
+}
+
+/// A machine-checkable justification for skipping world enumeration: the Figure 1
+/// cell that guarantees naïve evaluation, and the paper result behind it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Certificate {
+    /// The semantics of the cell.
+    pub semantics: Semantics,
+    /// The query fragment of the cell.
+    pub fragment: Fragment,
+    /// The guarantee Figure 1 records for the cell.
+    pub expectation: Expectation,
+    /// For `WorksOverCores` cells: the instance was verified to be a core, which is
+    /// the side condition of the guarantee (Corollary 10.12).
+    pub core_checked: bool,
+    /// The paper result justifying the certified shortcut.
+    pub theorem: &'static str,
+}
+
+impl Certificate {
+    /// Re-derives the certificate from the machine-readable Figure 1 and confirms the
+    /// shortcut was justified: the cell really carries a guarantee, and the
+    /// over-cores side condition was discharged where required.
+    pub fn check(&self) -> bool {
+        let cell = expectation(self.semantics, self.fragment);
+        cell == self.expectation
+            && match cell {
+                Expectation::Works => true,
+                Expectation::WorksOverCores => self.core_checked,
+                Expectation::NotGuaranteed => false,
+            }
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} × {}: {}{}",
+            self.semantics,
+            self.fragment,
+            self.theorem,
+            if self.core_checked {
+                " [instance verified to be a core]"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// The paper result behind each semantics' Figure 1 guarantee.
+fn theorem_for(semantics: Semantics) -> &'static str {
+    match semantics {
+        Semantics::Owa => {
+            "Theorem 4.8 + Corollary 4.9: ∃Pos is preserved under homomorphisms \
+             (optimal by Libkin 2011)"
+        }
+        Semantics::Wcwa => "Theorem 5.2: Pos is preserved under onto homomorphisms",
+        Semantics::Cwa => "Theorem 5.2: Pos+∀G is preserved under strong onto homomorphisms",
+        Semantics::PowersetCwa => {
+            "Proposition 7.4: ∃Pos+∀G_bool is preserved under unions of strong onto \
+             homomorphisms"
+        }
+        Semantics::MinimalCwa => {
+            "Corollary 10.12: Pos+∀G is naïvely evaluable over cores under ⟦ ⟧min_CWA"
+        }
+        Semantics::MinimalPowersetCwa => {
+            "Corollary 10.12: ∃Pos+∀G_bool is naïvely evaluable over cores under ⦅ ⦆min_CWA"
+        }
+    }
+}
+
+/// How the engine answers a query on a given instance and semantics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvalPlan {
+    /// Figure 1 guarantees naïve evaluation computes the certain answers: one
+    /// polynomial evaluation pass, no world enumeration, with the justifying
+    /// [`Certificate`].
+    CertifiedNaive(Certificate),
+    /// No guarantee applies: intersect query answers over the bounded possible-world
+    /// enumeration.
+    BoundedEnumeration,
+}
+
+impl EvalPlan {
+    /// Returns the certificate of a certified plan.
+    pub fn certificate(&self) -> Option<&Certificate> {
+        match self {
+            EvalPlan::CertifiedNaive(cert) => Some(cert),
+            EvalPlan::BoundedEnumeration => None,
+        }
+    }
+
+    /// Returns `true` for the certified naïve fast path.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, EvalPlan::CertifiedNaive(_))
+    }
+}
+
+/// The outcome of evaluating one prepared query on one instance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Evaluation {
+    /// The semantics used.
+    pub semantics: Semantics,
+    /// The plan the engine executed.
+    pub plan: EvalPlan,
+    /// The naïve answers `Q^C(D)`; for Boolean queries a singleton empty tuple
+    /// encodes `true` and the empty set encodes `false`.
+    pub naive: BTreeSet<Tuple>,
+    /// The certain answers: equal to `naive` on the certified path, the bounded
+    /// possible-world intersection otherwise.
+    pub certain: BTreeSet<Tuple>,
+    /// Number of possible worlds visited to produce this answer (`0` on the
+    /// certified path).
+    pub worlds_enumerated: usize,
+}
+
+impl Evaluation {
+    /// Returns `true` iff naïve evaluation agrees with the certain answers.
+    pub fn agrees(&self) -> bool {
+        self.naive == self.certain
+    }
+
+    /// Boolean decoding of the certain answers (`true` iff the empty tuple is
+    /// certain). Meaningful for Boolean queries only.
+    pub fn is_certainly_true(&self) -> bool {
+        !self.certain.is_empty()
+    }
+
+    /// Returns `true` iff naïve evaluation produced an answer that is not certain.
+    pub fn naive_overshoots(&self) -> bool {
+        !self.naive.is_subset(&self.certain)
+    }
+
+    /// Returns `true` iff every naïve answer is certain but some certain answer is
+    /// missed.
+    pub fn naive_undershoots(&self) -> bool {
+        self.naive.is_subset(&self.certain) && self.naive != self.certain
+    }
+}
+
+/// The outcome of a batch evaluation: per-query results plus the enumeration
+/// accounting that witnesses the single shared world pass.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BatchEvaluation {
+    /// One evaluation per input query, in input order.
+    pub results: Vec<Evaluation>,
+    /// Number of world-enumeration passes over the instance: `0` when every query
+    /// took the certified fast path, `1` otherwise — never more.
+    pub enumeration_passes: usize,
+    /// Total number of worlds visited across the batch.
+    pub worlds_enumerated: usize,
+}
+
+impl BatchEvaluation {
+    /// Returns `true` iff naïve evaluation agreed with the certain answers on every
+    /// query of the batch.
+    pub fn all_agree(&self) -> bool {
+        self.results.iter().all(Evaluation::agrees)
+    }
+}
+
+/// The reusable query-evaluation engine: world-enumeration bounds plus the Figure 1
+/// dispatch table.
+///
+/// ```
+/// use nev_core::engine::CertainEngine;
+/// use nev_core::Semantics;
+/// use nev_incomplete::builder::x;
+/// use nev_incomplete::inst;
+///
+/// // D0 = {(⊥,⊥′),(⊥′,⊥)} and the §2.4 query ∀x∃y D(x,y): naïvely true, certain
+/// // under CWA (certified, no enumeration), refuted by enumeration under OWA.
+/// let d0 = inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] };
+/// let engine = CertainEngine::new();
+/// let q = engine.prepare("forall u . exists v . D(u, v)")?;
+/// assert_eq!(engine.certainly_true(&d0, Semantics::Cwa, &q)?, true);
+/// assert_eq!(engine.certainly_true(&d0, Semantics::Owa, &q)?, false);
+/// # Ok::<(), nev_core::engine::EngineError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CertainEngine {
+    bounds: WorldBounds,
+}
+
+impl CertainEngine {
+    /// An engine with the default [`WorldBounds`].
+    pub fn new() -> Self {
+        CertainEngine::default()
+    }
+
+    /// An engine with explicit world-enumeration bounds.
+    pub fn with_bounds(bounds: WorldBounds) -> Self {
+        CertainEngine { bounds }
+    }
+
+    /// The engine's base world-enumeration bounds (query constants are added per
+    /// query at evaluation time).
+    pub fn bounds(&self) -> &WorldBounds {
+        &self.bounds
+    }
+
+    /// Parses and prepares a query (convenience for [`PreparedQuery::parse`]).
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery, EngineError> {
+        PreparedQuery::parse(text)
+    }
+
+    /// Chooses the evaluation plan for a query on an instance by consulting the
+    /// machine-readable Figure 1: certified naïve evaluation exactly when the
+    /// (semantics, fragment) cell carries a guarantee — unconditionally for `Works`
+    /// cells, and after verifying the instance is a core for `WorksOverCores` cells.
+    pub fn plan(&self, d: &Instance, semantics: Semantics, query: &PreparedQuery) -> EvalPlan {
+        let cell = expectation(semantics, query.fragment());
+        match cell {
+            Expectation::Works => EvalPlan::CertifiedNaive(Certificate {
+                semantics,
+                fragment: query.fragment(),
+                expectation: cell,
+                core_checked: false,
+                theorem: theorem_for(semantics),
+            }),
+            Expectation::WorksOverCores if is_core(d) => EvalPlan::CertifiedNaive(Certificate {
+                semantics,
+                fragment: query.fragment(),
+                expectation: cell,
+                core_checked: true,
+                theorem: theorem_for(semantics),
+            }),
+            _ => EvalPlan::BoundedEnumeration,
+        }
+    }
+
+    /// Evaluates a query with plan dispatch: certified naïve evaluation when Figure 1
+    /// applies (no world enumeration), the bounded oracle otherwise.
+    pub fn evaluate(
+        &self,
+        d: &Instance,
+        semantics: Semantics,
+        query: &PreparedQuery,
+    ) -> Evaluation {
+        match self.plan(d, semantics, query) {
+            plan @ EvalPlan::CertifiedNaive(_) => {
+                let naive = naive_answers(d, query);
+                Evaluation {
+                    semantics,
+                    plan,
+                    certain: naive.clone(),
+                    naive,
+                    worlds_enumerated: 0,
+                }
+            }
+            EvalPlan::BoundedEnumeration => self.compare(d, semantics, query),
+        }
+    }
+
+    /// Decides a Boolean query with plan dispatch. Returns
+    /// [`EngineError::NotBoolean`] for k-ary queries instead of panicking.
+    pub fn certainly_true(
+        &self,
+        d: &Instance,
+        semantics: Semantics,
+        query: &PreparedQuery,
+    ) -> Result<bool, EngineError> {
+        if !query.is_boolean() {
+            return Err(EngineError::NotBoolean {
+                arity: query.arity(),
+            });
+        }
+        Ok(self.evaluate(d, semantics, query).is_certainly_true())
+    }
+
+    /// Runs the ground-truth oracle unconditionally — naïve evaluation **and** the
+    /// bounded possible-world intersection — regardless of what Figure 1 guarantees.
+    ///
+    /// This is the validation entry point: the Figure 1 harness uses it to *check*
+    /// the theorems that [`CertainEngine::evaluate`] *assumes*.
+    pub fn compare(&self, d: &Instance, semantics: Semantics, query: &PreparedQuery) -> Evaluation {
+        let naive = naive_answers(d, query);
+        let (certain, worlds_enumerated) = self.bounded_certain(d, semantics, query);
+        Evaluation {
+            semantics,
+            plan: EvalPlan::BoundedEnumeration,
+            naive,
+            certain,
+            worlds_enumerated,
+        }
+    }
+
+    /// The certain answers over the bounded world enumeration (the oracle side of
+    /// [`CertainEngine::compare`], without the naïve pass). For Boolean queries the
+    /// singleton-empty-tuple encoding is used.
+    pub fn certain_answers(
+        &self,
+        d: &Instance,
+        semantics: Semantics,
+        query: &PreparedQuery,
+    ) -> BTreeSet<Tuple> {
+        self.bounded_certain(d, semantics, query).0
+    }
+
+    /// Evaluates a batch of prepared queries on one instance, enumerating the
+    /// instance's possible worlds **at most once**: queries whose Figure 1 cell is
+    /// guaranteed take the certified naïve path, and all remaining per-query
+    /// certain-answer intersections are folded in a single shared world pass.
+    ///
+    /// The shared pass runs over bounds extended with the **union** of the pending
+    /// queries' constants, so each such query may be intersected over a different
+    /// world sample than a solo [`CertainEngine::evaluate`] with its own constants
+    /// would visit. Every visited world is a genuine possible world, so the batched
+    /// result — like every bounded oracle here — remains an over-approximation of
+    /// the true certain answers. When [`WorldBounds::max_worlds`] does not truncate
+    /// the enumeration, the shared pass visits a *superset* of each solo pass's
+    /// worlds and the batched answers are therefore at least as tight; under
+    /// truncation the two samples may differ in either direction. Batched and solo
+    /// answers coincide whenever the batch's queries mention the same constants (in
+    /// particular, no constants at all).
+    pub fn evaluate_all(
+        &self,
+        d: &Instance,
+        semantics: Semantics,
+        queries: &[PreparedQuery],
+    ) -> BatchEvaluation {
+        struct PendingQuery {
+            index: usize,
+            allowed: BTreeSet<Constant>,
+            acc: Option<BTreeSet<Tuple>>,
+            resolved: bool,
+        }
+
+        let mut results: Vec<Option<Evaluation>> = (0..queries.len()).map(|_| None).collect();
+        let mut pending: Vec<PendingQuery> = Vec::new();
+        let mut merged = self.bounds.clone();
+        for (index, query) in queries.iter().enumerate() {
+            match self.plan(d, semantics, query) {
+                plan @ EvalPlan::CertifiedNaive(_) => {
+                    let naive = naive_answers(d, query);
+                    results[index] = Some(Evaluation {
+                        semantics,
+                        plan,
+                        certain: naive.clone(),
+                        naive,
+                        worlds_enumerated: 0,
+                    });
+                }
+                EvalPlan::BoundedEnumeration => {
+                    merged
+                        .extra_constants
+                        .extend(query.constants().iter().cloned());
+                    let mut allowed = d.constants();
+                    allowed.extend(query.constants().iter().cloned());
+                    pending.push(PendingQuery {
+                        index,
+                        allowed,
+                        acc: None,
+                        resolved: false,
+                    });
+                }
+            }
+        }
+
+        let enumeration_passes = usize::from(!pending.is_empty());
+        let mut worlds_enumerated = 0usize;
+        if !pending.is_empty() {
+            for world in semantics.worlds(d, &merged) {
+                worlds_enumerated += 1;
+                let mut all_resolved = true;
+                for p in &mut pending {
+                    if p.resolved {
+                        continue;
+                    }
+                    let query = &queries[p.index];
+                    let answers = answers_in_world(&world, query, &p.allowed);
+                    let next: BTreeSet<Tuple> = match p.acc.take() {
+                        None => answers,
+                        Some(prev) => prev.intersection(&answers).cloned().collect(),
+                    };
+                    p.resolved = next.is_empty();
+                    p.acc = Some(next);
+                    all_resolved &= p.resolved;
+                }
+                if all_resolved {
+                    break;
+                }
+            }
+            for p in pending {
+                let query = &queries[p.index];
+                results[p.index] = Some(Evaluation {
+                    semantics,
+                    plan: EvalPlan::BoundedEnumeration,
+                    naive: naive_answers(d, query),
+                    certain: p.acc.unwrap_or_default(),
+                    worlds_enumerated,
+                });
+            }
+        }
+
+        BatchEvaluation {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every query was planned"))
+                .collect(),
+            enumeration_passes,
+            worlds_enumerated,
+        }
+    }
+
+    /// The bounded oracle: intersect the query's answers over the streamed worlds,
+    /// exiting early when a Boolean query meets a counter-world or a k-ary
+    /// intersection becomes empty.
+    fn bounded_certain(
+        &self,
+        d: &Instance,
+        semantics: Semantics,
+        query: &PreparedQuery,
+    ) -> (BTreeSet<Tuple>, usize) {
+        let bounds = query.bounds(&self.bounds);
+        let mut visited = 0usize;
+        if query.is_boolean() {
+            let mut certain = true;
+            for world in semantics.worlds(d, &bounds) {
+                visited += 1;
+                if !evaluate_boolean(&world, query.query().formula()) {
+                    certain = false;
+                    break;
+                }
+            }
+            (encode_boolean(certain), visited)
+        } else {
+            // Certain answers of a generic query can only mention constants of the
+            // instance or the query; restricting to them keeps the enumeration's
+            // internal fresh constants out of the result.
+            let mut allowed = d.constants();
+            allowed.extend(query.constants().iter().cloned());
+            let mut certain: Option<BTreeSet<Tuple>> = None;
+            for world in semantics.worlds(d, &bounds) {
+                visited += 1;
+                let answers = answers_in_world(&world, query, &allowed);
+                let next: BTreeSet<Tuple> = match certain.take() {
+                    None => answers,
+                    Some(prev) => prev.intersection(&answers).cloned().collect(),
+                };
+                let empty = next.is_empty();
+                certain = Some(next);
+                if empty {
+                    break;
+                }
+            }
+            (certain.unwrap_or_default(), visited)
+        }
+    }
+}
+
+/// The naïve answers `Q^C(D)` with the Boolean `{()} / ∅` encoding.
+fn naive_answers(d: &Instance, query: &PreparedQuery) -> BTreeSet<Tuple> {
+    naive_eval_query(d, query.query())
+}
+
+/// The query's answers in one complete world, restricted to the allowed constants
+/// (Boolean queries use the `{()} / ∅` encoding).
+fn answers_in_world(
+    world: &Instance,
+    query: &PreparedQuery,
+    allowed: &BTreeSet<Constant>,
+) -> BTreeSet<Tuple> {
+    if query.is_boolean() {
+        encode_boolean(evaluate_boolean(world, query.query().formula()))
+    } else {
+        evaluate_query(world, query.query())
+            .into_iter()
+            .filter(|t| t.constants().all(|c| allowed.contains(c)) && t.is_complete())
+            .collect()
+    }
+}
+
+fn encode_boolean(value: bool) -> BTreeSet<Tuple> {
+    if value {
+        [Tuple::new(Vec::new())].into_iter().collect()
+    } else {
+        BTreeSet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::FRAGMENTS;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+
+    fn d0() -> Instance {
+        inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] }
+    }
+
+    #[test]
+    fn prepare_caches_fragment_and_constants() {
+        let engine = CertainEngine::new();
+        let q = engine
+            .prepare("exists u . R(u) & u = 5")
+            .expect("valid query");
+        assert_eq!(q.fragment(), Fragment::ExistentialPositive);
+        assert_eq!(q.constants().len(), 1);
+        assert!(q.is_boolean());
+        let extended = q.bounds(&WorldBounds::default());
+        assert_eq!(extended.extra_constants.len(), 1);
+        assert!(q.to_string().contains("∃Pos"));
+    }
+
+    #[test]
+    fn prepare_reports_parse_and_query_errors() {
+        let engine = CertainEngine::new();
+        let parse_err = engine.prepare("exists u . R(u").unwrap_err();
+        assert!(matches!(parse_err, EngineError::Parse(_)));
+        assert!(parse_err.to_string().contains("parse error"));
+        // Free-variable problems surface through the parser's error path.
+        let query_err = engine.prepare("Q(a) :- R(a, b)").unwrap_err();
+        assert!(query_err.to_string().contains("not listed"));
+        // Building directly from an ill-formed Query is reported as EngineError::Query.
+        let raw = Query::new(["a"], nev_logic::parse_formula("R(a, b)").unwrap());
+        assert!(matches!(
+            raw.map_err(EngineError::from),
+            Err(EngineError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn plan_follows_figure_1_exactly() {
+        // On a non-core instance the plan must be certified exactly on Works cells.
+        let engine = CertainEngine::new();
+        let d = inst! { "D" => [[x(1), x(1)], [x(1), x(2)]] };
+        assert!(!nev_hom::is_core(&d));
+        for semantics in Semantics::ALL {
+            for fragment in FRAGMENTS {
+                let query = match fragment {
+                    Fragment::ExistentialPositive => "exists u v . D(u, v)",
+                    Fragment::Positive => "forall u . exists v . D(u, v)",
+                    Fragment::PositiveGuarded => "forall u v . D(u, v) -> exists w . D(v, w)",
+                    // An unguarded ∃ wrapping a Boolean guard is outside Pos+∀G, so
+                    // classify() cannot tie-break this one away from ∃Pos+∀G_bool.
+                    Fragment::ExistentialPositiveBooleanGuarded => {
+                        "exists u . D(u, u) & (forall v w . D(v, w) -> D(w, v))"
+                    }
+                    Fragment::FullFirstOrder => "exists u . !D(u, u)",
+                };
+                let prepared = engine.prepare(query).expect("valid query");
+                assert_eq!(prepared.fragment(), fragment, "{query}");
+                let plan = engine.plan(&d, semantics, &prepared);
+                let expected = expectation(semantics, fragment) == Expectation::Works;
+                assert_eq!(plan.is_certified(), expected, "{semantics} × {fragment}");
+                if let Some(cert) = plan.certificate() {
+                    assert!(cert.check(), "{semantics} × {fragment}");
+                    assert!(!cert.theorem.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_over_cores_cells_certify_on_cores_only() {
+        let engine = CertainEngine::new();
+        let q = engine.prepare("forall u . D(u, u)").expect("valid query");
+        assert_eq!(q.fragment(), Fragment::Positive);
+        // Off cores: bounded enumeration.
+        let d = inst! { "D" => [[x(1), x(1)], [x(1), x(2)]] };
+        assert!(!engine.plan(&d, Semantics::MinimalCwa, &q).is_certified());
+        // On the core: certified with the core side condition recorded.
+        let core = inst! { "D" => [[x(1), x(1)]] };
+        let plan = engine.plan(&core, Semantics::MinimalCwa, &q);
+        let cert = plan.certificate().expect("certified on cores");
+        assert!(cert.core_checked);
+        assert_eq!(cert.expectation, Expectation::WorksOverCores);
+        assert!(cert.check());
+        assert!(cert.to_string().contains("core"));
+    }
+
+    #[test]
+    fn forged_certificates_fail_the_check() {
+        let forged = Certificate {
+            semantics: Semantics::Owa,
+            fragment: Fragment::FullFirstOrder,
+            expectation: Expectation::Works,
+            core_checked: false,
+            theorem: "made up",
+        };
+        assert!(!forged.check());
+        let missing_core_check = Certificate {
+            semantics: Semantics::MinimalCwa,
+            fragment: Fragment::PositiveGuarded,
+            expectation: Expectation::WorksOverCores,
+            core_checked: false,
+            theorem: theorem_for(Semantics::MinimalCwa),
+        };
+        assert!(!missing_core_check.check());
+    }
+
+    #[test]
+    fn certified_path_matches_the_oracle_on_the_intro_example() {
+        let engine = CertainEngine::new();
+        let d = inst! {
+            "R" => [[c(1), x(1)], [x(2), x(3)]],
+            "S" => [[x(1), c(4)], [x(3), c(5)]],
+        };
+        let q = engine
+            .prepare("Q(x, y) :- exists z . R(x, z) & S(z, y)")
+            .expect("valid query");
+        for semantics in [Semantics::Owa, Semantics::Cwa] {
+            let fast = engine.evaluate(&d, semantics, &q);
+            let oracle = engine.compare(&d, semantics, &q);
+            assert!(fast.plan.is_certified(), "{semantics}");
+            assert_eq!(fast.worlds_enumerated, 0, "{semantics}");
+            assert!(oracle.worlds_enumerated > 0, "{semantics}");
+            assert_eq!(fast.certain, oracle.certain, "{semantics}");
+            assert!(oracle.agrees(), "{semantics}");
+        }
+    }
+
+    #[test]
+    fn bounded_plan_detects_the_owa_counterexample() {
+        let engine = CertainEngine::new();
+        let q = engine
+            .prepare("forall u . exists v . D(u, v)")
+            .expect("valid query");
+        let eval = engine.evaluate(&d0(), Semantics::Owa, &q);
+        assert_eq!(eval.plan, EvalPlan::BoundedEnumeration);
+        assert!(eval.worlds_enumerated > 0);
+        assert!(!eval.agrees());
+        assert!(eval.naive_overshoots());
+        assert!(!eval.naive_undershoots());
+        assert!(!eval.is_certainly_true());
+    }
+
+    #[test]
+    fn certainly_true_replaces_the_boolean_panic_with_an_error() {
+        let engine = CertainEngine::new();
+        let kary = engine.prepare("Q(u) :- R(u)").expect("valid query");
+        let err = engine
+            .certainly_true(&inst! { "R" => [[c(1)]] }, Semantics::Cwa, &kary)
+            .unwrap_err();
+        assert_eq!(err, EngineError::NotBoolean { arity: 1 });
+        assert!(err.to_string().contains("arity 1"));
+    }
+
+    #[test]
+    fn batch_evaluation_enumerates_at_most_once() {
+        let engine = CertainEngine::new();
+        let queries = [
+            // ∃Pos: certified under OWA, answered without any enumeration.
+            engine
+                .prepare("exists u v . D(u, v) & D(v, u)")
+                .expect("valid query"),
+            // Pos and FO: both need the bounded oracle under OWA.
+            engine
+                .prepare("forall u . exists v . D(u, v)")
+                .expect("valid query"),
+            engine.prepare("exists u . !D(u, u)").expect("valid query"),
+        ];
+        let batch = engine.evaluate_all(&d0(), Semantics::Owa, &queries);
+        assert_eq!(batch.results.len(), 3);
+        assert_eq!(batch.enumeration_passes, 1);
+        assert!(batch.worlds_enumerated > 0);
+        assert!(batch.results[0].plan.is_certified());
+        assert_eq!(batch.results[0].worlds_enumerated, 0);
+        // The shared pass must reproduce the per-query oracle answers (the queries
+        // mention no constants, so the merged bounds equal the per-query bounds).
+        for (i, query) in queries.iter().enumerate().skip(1) {
+            let solo = engine.compare(&d0(), Semantics::Owa, query);
+            assert_eq!(batch.results[i].certain, solo.certain, "query {i}");
+        }
+        // The single shared pass visits no more worlds than the two solo oracles.
+        let solo_total: usize = queries[1..]
+            .iter()
+            .map(|q| engine.compare(&d0(), Semantics::Owa, q).worlds_enumerated)
+            .sum();
+        assert!(batch.worlds_enumerated <= solo_total);
+    }
+
+    #[test]
+    fn all_certified_batch_skips_enumeration_entirely() {
+        let engine = CertainEngine::new();
+        let queries = [
+            engine.prepare("exists u v . D(u, v)").expect("valid query"),
+            engine
+                .prepare("exists u . D(u, u) | exists v w . D(v, w) & D(w, v)")
+                .expect("valid query"),
+        ];
+        let batch = engine.evaluate_all(&d0(), Semantics::Cwa, &queries);
+        assert_eq!(batch.enumeration_passes, 0);
+        assert_eq!(batch.worlds_enumerated, 0);
+        assert!(batch.all_agree());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let engine = CertainEngine::new();
+        let batch = engine.evaluate_all(&d0(), Semantics::Owa, &[]);
+        assert!(batch.results.is_empty());
+        assert_eq!(batch.enumeration_passes, 0);
+        assert_eq!(batch.worlds_enumerated, 0);
+    }
+}

@@ -8,12 +8,17 @@
 //!
 //! The crate is organised to mirror the paper:
 //!
+//! * [`engine`] — **the evaluation API**: [`engine::CertainEngine`] turns Figure 1
+//!   into a dispatch table — queries are prepared (classified) once, answered by
+//!   certified naïve evaluation when the paper guarantees it and by the bounded
+//!   possible-world oracle otherwise, with batched single-pass evaluation;
 //! * [`semantics`] — the six concrete semantics of incompleteness (OWA, CWA, WCWA,
 //!   powerset CWA, minimal CWA, minimal powerset CWA), exact possible-world
-//!   membership tests, and bounded possible-world enumeration (§2.3, §4.3, §7, §10);
+//!   membership tests, and lazy bounded possible-world enumeration (§2.3, §4.3, §7,
+//!   §10);
 //! * [`certain`] — certain answers (Boolean and k-ary) computed against the
 //!   enumerated worlds, naïve evaluation, and the `naïve = certain` comparison that
-//!   the whole paper is about (§2.4, §8);
+//!   the whole paper is about (§2.4, §8) — now deprecated shims over [`engine`];
 //! * [`ordering`] — the semantic orderings `≼_OWA`, `≼_CWA`, `≼_WCWA`, `⋐_CWA` and
 //!   their homomorphism characterisations (Proposition 6.1, Theorem 7.1), plus the
 //!   Codd-database cross-checks (§6);
@@ -39,6 +44,7 @@
 pub mod certain;
 pub mod cores;
 pub mod domain;
+pub mod engine;
 pub mod monotone;
 pub mod ordering;
 pub mod preservation;
@@ -47,7 +53,11 @@ pub mod semantics;
 pub mod summary;
 pub mod updates;
 
+#[allow(deprecated)] // legacy re-exports kept for downstream compatibility
 pub use certain::{
     certain_answers, certain_answers_boolean, naive_evaluation_works, NaiveEvalReport,
 };
-pub use semantics::{Semantics, WorldBounds};
+pub use engine::{
+    BatchEvaluation, CertainEngine, Certificate, EngineError, EvalPlan, Evaluation, PreparedQuery,
+};
+pub use semantics::{ParseSemanticsError, Semantics, WorldBounds, Worlds};

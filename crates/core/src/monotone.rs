@@ -11,7 +11,6 @@
 //! themselves are exercised by the integration tests and the Figure 1 harness.
 
 use std::collections::BTreeSet;
-use std::ops::ControlFlow;
 
 use nev_incomplete::{Instance, Tuple};
 use nev_logic::eval::naive_eval_query;
@@ -40,17 +39,11 @@ pub fn weakly_monotone_at(
     if here.is_empty() {
         return true;
     }
-    let mut ok = true;
-    let _ = semantics.for_each_world(d, &bounds, |world| {
-        let there = constant_answers(world, query);
-        if !here.is_subset(&there) {
-            ok = false;
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(())
-        }
-    });
-    ok
+    // The lazy world iterator gives the early exit for free: `all` stops at the
+    // first world whose answers do not dominate.
+    semantics
+        .worlds(d, &bounds)
+        .all(|world| here.is_subset(&constant_answers(&world, query)))
 }
 
 /// Checks the monotonicity implication for one ordered pair: if `d ≼ d'` under the

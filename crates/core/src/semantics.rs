@@ -122,82 +122,63 @@ impl Semantics {
     pub fn enumerate_worlds(self, d: &Instance, bounds: &WorldBounds) -> Vec<Instance> {
         let mut out = Vec::new();
         let mut seen = BTreeSet::new();
-        let _ = self.for_each_world(d, bounds, |w| {
+        for w in self.worlds(d, bounds) {
             if seen.insert(w.clone()) {
-                out.push(w.clone());
+                out.push(w);
             }
-            ControlFlow::Continue(())
-        });
+        }
         out
     }
 
-    /// Streams the bounded possible worlds of `d` to `visitor`, stopping early if the
-    /// visitor breaks. Worlds may be repeated; use [`Semantics::enumerate_worlds`] for
-    /// a deduplicated list.
-    pub fn for_each_world<F>(
-        self,
-        d: &Instance,
-        bounds: &WorldBounds,
-        mut visitor: F,
-    ) -> ControlFlow<()>
-    where
-        F: FnMut(&Instance) -> ControlFlow<()>,
-    {
+    /// Returns a lazily-driven iterator over the bounded possible worlds of `d`
+    /// under this semantics — the streaming primitive behind
+    /// [`Semantics::for_each_world`], [`Semantics::enumerate_worlds`] and the
+    /// `engine` module's evaluation paths.
+    ///
+    /// The valuation list (`|budget|^#nulls` entries) is still materialised up
+    /// front, as it always was; what is lazy is everything downstream: world
+    /// **instances** are built on demand (one valuation image, one extension batch,
+    /// one union combination at a time), so early-exit consumers — a Boolean
+    /// certain-answer check that found a counter-world, an intersection that became
+    /// empty — skip the instance construction and query evaluation for every world
+    /// after their exit point. Worlds may be repeated; use
+    /// [`Semantics::enumerate_worlds`] for a deduplicated list.
+    pub fn worlds<'a>(self, d: &'a Instance, bounds: &WorldBounds) -> Worlds<'a> {
         let budget = bounds.budget_for(d, self);
         let valuations = enumerate_valuations(d, &budget);
-        let mut emitted = 0usize;
-        let mut emit = |w: &Instance, visitor: &mut F| -> ControlFlow<()> {
-            emitted += 1;
-            if emitted > bounds.max_worlds {
-                return ControlFlow::Break(());
-            }
-            visitor(w)
-        };
-
-        match self {
-            Semantics::Cwa => {
-                for v in &valuations {
-                    let world = v.apply_instance(d);
-                    emit(&world, &mut visitor)?;
-                }
-            }
-            Semantics::MinimalCwa => {
-                // Deduplicate images before the (comparatively expensive) minimality
-                // check: many valuations share an image.
-                let mut seen = BTreeSet::new();
-                for v in &valuations {
-                    let world = v.apply_instance(d);
-                    if seen.insert(world.clone()) && is_minimal_image(d, &world) {
-                        emit(&world, &mut visitor)?;
-                    }
-                }
-            }
-            Semantics::Wcwa => {
-                for v in &valuations {
-                    let base = v.apply_instance(d);
-                    let candidates = missing_tuples_over(&base, &base.adom());
-                    for extra in subsets_up_to(&candidates, bounds.wcwa_max_extra_tuples) {
-                        let world = add_facts(&base, &extra);
-                        emit(&world, &mut visitor)?;
-                    }
-                }
-            }
+        let state = match self {
+            Semantics::Cwa => WorldsState::Valuations {
+                valuations: valuations.into_iter(),
+                minimal: false,
+                seen: BTreeSet::new(),
+            },
+            Semantics::MinimalCwa => WorldsState::Valuations {
+                valuations: valuations.into_iter(),
+                minimal: true,
+                seen: BTreeSet::new(),
+            },
+            Semantics::Wcwa => WorldsState::Extensions {
+                valuations: valuations.into_iter(),
+                extension_domain: BTreeSet::new(),
+                grow_domain: false,
+                max_extra: bounds.wcwa_max_extra_tuples,
+                pending: Vec::new().into_iter(),
+            },
             Semantics::Owa => {
                 let fresh: Vec<Constant> = {
                     let mut avoid = budget.clone();
                     avoid.extend(bounds.extra_constants.iter().cloned());
                     fresh_constants(bounds.owa_fresh_values, &avoid)
                 };
-                for v in &valuations {
-                    let base = v.apply_instance(d);
-                    let mut domain: BTreeSet<Value> = base.adom();
-                    domain.extend(budget.iter().cloned().map(Value::Const));
-                    domain.extend(fresh.iter().cloned().map(Value::Const));
-                    let candidates = missing_tuples_over(&base, &domain);
-                    for extra in subsets_up_to(&candidates, bounds.owa_max_extra_tuples) {
-                        let world = add_facts(&base, &extra);
-                        emit(&world, &mut visitor)?;
-                    }
+                let mut extension_domain: BTreeSet<Value> =
+                    budget.iter().cloned().map(Value::Const).collect();
+                extension_domain.extend(fresh.into_iter().map(Value::Const));
+                WorldsState::Extensions {
+                    valuations: valuations.into_iter(),
+                    extension_domain,
+                    grow_domain: true,
+                    max_extra: bounds.owa_max_extra_tuples,
+                    pending: Vec::new().into_iter(),
                 }
             }
             Semantics::PowersetCwa | Semantics::MinimalPowersetCwa => {
@@ -221,22 +202,234 @@ impl Semantics {
                 };
                 // Unions of at most `union_width` images (non-empty selections).
                 let width = bounds.union_width.max(1);
-                for combo in combinations_up_to(images.len(), width) {
-                    let mut world = Instance::empty_of_schema(&d.schema());
-                    for idx in &combo {
-                        world = world.union(&images[*idx]).expect("same schema");
-                    }
-                    emit(&world, &mut visitor)?;
+                let combos = combinations_up_to(images.len(), width);
+                WorldsState::Unions {
+                    images,
+                    combos: combos.into_iter(),
                 }
             }
+        };
+        Worlds {
+            d,
+            emitted: 0,
+            max_worlds: bounds.max_worlds,
+            overflowed: false,
+            finished: false,
+            state,
         }
-        ControlFlow::Continue(())
+    }
+
+    /// Streams the bounded possible worlds of `d` to `visitor`, stopping early if the
+    /// visitor breaks. A thin closure-style wrapper around [`Semantics::worlds`];
+    /// worlds may be repeated. Returns `Break` iff the visitor broke or the
+    /// enumeration was truncated by [`WorldBounds::max_worlds`].
+    pub fn for_each_world<F>(
+        self,
+        d: &Instance,
+        bounds: &WorldBounds,
+        mut visitor: F,
+    ) -> ControlFlow<()>
+    where
+        F: FnMut(&Instance) -> ControlFlow<()>,
+    {
+        let mut worlds = self.worlds(d, bounds);
+        for w in &mut worlds {
+            visitor(&w)?;
+        }
+        if worlds.truncated() {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+}
+
+/// An iterator over the bounded possible worlds of an instance, created by
+/// [`Semantics::worlds`].
+///
+/// World materialisation is incremental (the valuation list itself is prebuilt —
+/// see [`Semantics::worlds`]): the CWA family applies one valuation per step, the
+/// OWA/WCWA extension semantics materialise the extension subsets of one valuation
+/// image at a time, and the powerset semantics prebuild the deduplicated images and
+/// combination indices but construct one union instance per step. The iterator
+/// stops after [`WorldBounds::max_worlds`] items (see [`Worlds::truncated`]).
+pub struct Worlds<'a> {
+    d: &'a Instance,
+    emitted: usize,
+    max_worlds: usize,
+    /// A world beyond `max_worlds` was generated and suppressed.
+    overflowed: bool,
+    /// The underlying enumeration is exhausted (or the cap was hit).
+    finished: bool,
+    state: WorldsState,
+}
+
+enum WorldsState {
+    /// CWA and minimal CWA: one world per valuation (deduplicated and filtered for
+    /// minimality in the minimal variant).
+    Valuations {
+        valuations: std::vec::IntoIter<ValueMap>,
+        minimal: bool,
+        seen: BTreeSet<Instance>,
+    },
+    /// WCWA and OWA: every valuation image plus all bounded fact extensions over the
+    /// image's active domain (WCWA) or the enlarged constant budget (OWA).
+    Extensions {
+        valuations: std::vec::IntoIter<ValueMap>,
+        /// Extra values extension tuples may use beyond the image's active domain.
+        extension_domain: BTreeSet<Value>,
+        /// OWA grows the domain with the budget; WCWA keeps `adom(v(D))`.
+        grow_domain: bool,
+        max_extra: usize,
+        /// Extension worlds of the current valuation image, materialised per image.
+        pending: std::vec::IntoIter<Instance>,
+    },
+    /// Powerset semantics: unions of at most `union_width` valuation images.
+    Unions {
+        images: Vec<Instance>,
+        combos: std::vec::IntoIter<Vec<usize>>,
+    },
+}
+
+impl Worlds<'_> {
+    /// Returns `true` iff the iteration was genuinely cut short by
+    /// [`WorldBounds::max_worlds`]: a further world existed beyond the cap and was
+    /// suppressed. An enumeration that completes at exactly the cap is not
+    /// truncated.
+    pub fn truncated(&self) -> bool {
+        self.overflowed
+    }
+
+    fn next_world(&mut self) -> Option<Instance> {
+        let d = self.d;
+        match &mut self.state {
+            WorldsState::Valuations {
+                valuations,
+                minimal,
+                seen,
+            } => loop {
+                let v = valuations.next()?;
+                let world = v.apply_instance(d);
+                if !*minimal {
+                    return Some(world);
+                }
+                // Deduplicate images before the (comparatively expensive) minimality
+                // check: many valuations share an image.
+                if seen.insert(world.clone()) && is_minimal_image(d, &world) {
+                    return Some(world);
+                }
+            },
+            WorldsState::Extensions {
+                valuations,
+                extension_domain,
+                grow_domain,
+                max_extra,
+                pending,
+            } => loop {
+                if let Some(world) = pending.next() {
+                    return Some(world);
+                }
+                let v = valuations.next()?;
+                let base = v.apply_instance(d);
+                let mut domain: BTreeSet<Value> = base.adom();
+                if *grow_domain {
+                    domain.extend(extension_domain.iter().cloned());
+                }
+                let candidates = missing_tuples_over(&base, &domain);
+                let worlds: Vec<Instance> = subsets_up_to(&candidates, *max_extra)
+                    .into_iter()
+                    .map(|extra| add_facts(&base, &extra))
+                    .collect();
+                *pending = worlds.into_iter();
+            },
+            WorldsState::Unions { images, combos } => {
+                let combo = combos.next()?;
+                let mut world = Instance::empty_of_schema(&d.schema());
+                for idx in &combo {
+                    world = world.union(&images[*idx]).expect("same schema");
+                }
+                Some(world)
+            }
+        }
+    }
+}
+
+impl Iterator for Worlds<'_> {
+    type Item = Instance;
+
+    fn next(&mut self) -> Option<Instance> {
+        if self.finished {
+            return None;
+        }
+        let Some(world) = self.next_world() else {
+            self.finished = true;
+            return None;
+        };
+        if self.emitted >= self.max_worlds {
+            // The cap is only a genuine truncation if this further world existed.
+            self.overflowed = true;
+            self.finished = true;
+            return None;
+        }
+        self.emitted += 1;
+        Some(world)
     }
 }
 
 impl std::fmt::Display for Semantics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.short_name())
+    }
+}
+
+/// Error returned when parsing a [`Semantics`] from an unrecognised name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseSemanticsError(pub String);
+
+impl std::fmt::Display for ParseSemanticsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown semantics `{}` (expected one of: owa, wcwa, cwa, powerset-cwa, \
+             minimal-cwa, minimal-powerset-cwa, or a Figure 1 short name)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseSemanticsError {}
+
+impl std::str::FromStr for Semantics {
+    type Err = ParseSemanticsError;
+
+    /// Parses both the Figure 1 short names (as printed by `Display`, so
+    /// `to_string`/`parse` round-trips) and ASCII command-line spellings such as
+    /// `owa`, `powerset-cwa` or `minimal_cwa` (case-insensitive, `-`/`_`
+    /// interchangeable).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        // The exact Display forms first: they contain spaces and brackets.
+        for sem in Semantics::ALL {
+            if trimmed == sem.short_name() {
+                return Ok(sem);
+            }
+        }
+        let normalized: String = trimmed
+            .to_ascii_lowercase()
+            .chars()
+            .map(|ch| if ch == '_' || ch == ' ' { '-' } else { ch })
+            .collect();
+        match normalized.as_str() {
+            "owa" => Ok(Semantics::Owa),
+            "cwa" => Ok(Semantics::Cwa),
+            "wcwa" => Ok(Semantics::Wcwa),
+            "powerset-cwa" | "pcwa" => Ok(Semantics::PowersetCwa),
+            "minimal-cwa" | "min-cwa" => Ok(Semantics::MinimalCwa),
+            "minimal-powerset-cwa" | "min-powerset-cwa" | "min-pcwa" => {
+                Ok(Semantics::MinimalPowersetCwa)
+            }
+            _ => Err(ParseSemanticsError(trimmed.to_string())),
+        }
     }
 }
 
@@ -281,6 +474,19 @@ impl WorldBounds {
             extra_constants: constants,
             ..WorldBounds::default()
         }
+    }
+
+    /// A copy of these bounds with additional query constants in the budget — the
+    /// single primitive behind [`crate::certain::bounds_for_query`] and
+    /// `PreparedQuery::bounds`, so the derivation cannot diverge between the legacy
+    /// and engine paths.
+    pub fn extended_with<I>(&self, constants: I) -> WorldBounds
+    where
+        I: IntoIterator<Item = Constant>,
+    {
+        let mut bounds = self.clone();
+        bounds.extra_constants.extend(constants);
+        bounds
     }
 
     /// The valuation budget for an instance under a given semantics: its constants,
@@ -579,5 +785,77 @@ mod tests {
         let d = d0();
         let incomplete = inst! { "D" => [[x(5), c(1)]] };
         Semantics::Cwa.contains_world(&d, &incomplete);
+    }
+
+    #[test]
+    fn worlds_iterator_matches_for_each_world() {
+        // The lazy iterator and the closure wrapper must stream identical worlds in
+        // identical order, for every semantics.
+        let d = inst! { "R" => [[c(1), x(1)]], "S" => [[x(1)]] };
+        let bounds = WorldBounds {
+            owa_max_extra_tuples: 1,
+            ..WorldBounds::default()
+        };
+        for sem in Semantics::ALL {
+            let via_iterator: Vec<Instance> = sem.worlds(&d, &bounds).collect();
+            let mut via_closure = Vec::new();
+            let _ = sem.for_each_world(&d, &bounds, |w| {
+                via_closure.push(w.clone());
+                ControlFlow::Continue(())
+            });
+            assert_eq!(via_iterator, via_closure, "{sem}");
+            assert!(!via_iterator.is_empty(), "{sem}");
+        }
+    }
+
+    #[test]
+    fn worlds_iterator_respects_max_worlds_and_reports_truncation() {
+        let d = inst! { "R" => [[x(1), x(2), x(3)]] };
+        let bounds = WorldBounds {
+            max_worlds: 5,
+            ..WorldBounds::default()
+        };
+        let mut worlds = Semantics::Cwa.worlds(&d, &bounds);
+        assert_eq!(worlds.by_ref().count(), 5);
+        assert!(worlds.truncated());
+        // An untruncated enumeration is not flagged.
+        let small = inst! { "R" => [[c(1)]] };
+        let mut all = Semantics::Cwa.worlds(&small, &WorldBounds::default());
+        assert_eq!(all.by_ref().count(), 1);
+        assert!(!all.truncated());
+        // Completing at *exactly* the cap is not a truncation either: the single
+        // CWA world of a complete instance under max_worlds = 1.
+        let exact_bounds = WorldBounds {
+            max_worlds: 1,
+            ..WorldBounds::default()
+        };
+        let mut exact = Semantics::Cwa.worlds(&small, &exact_bounds);
+        assert_eq!(exact.by_ref().count(), 1);
+        assert!(!exact.truncated());
+        let _ = exact.next();
+        assert!(!exact.truncated(), "re-polling must not flip the flag");
+    }
+
+    #[test]
+    fn semantics_from_str_round_trips() {
+        for sem in Semantics::ALL {
+            let rendered = sem.to_string();
+            assert_eq!(rendered.parse::<Semantics>(), Ok(sem), "{rendered}");
+        }
+        assert_eq!("owa".parse::<Semantics>(), Ok(Semantics::Owa));
+        assert_eq!(
+            "Powerset_CWA".parse::<Semantics>(),
+            Ok(Semantics::PowersetCwa)
+        );
+        assert_eq!(
+            "minimal-cwa".parse::<Semantics>(),
+            Ok(Semantics::MinimalCwa)
+        );
+        assert_eq!(
+            "min-powerset-cwa".parse::<Semantics>(),
+            Ok(Semantics::MinimalPowersetCwa)
+        );
+        let err = "nope".parse::<Semantics>().unwrap_err();
+        assert!(err.to_string().contains("unknown semantics"));
     }
 }

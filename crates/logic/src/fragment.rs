@@ -39,16 +39,87 @@ pub enum Fragment {
     FullFirstOrder,
 }
 
-impl std::fmt::Display for Fragment {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let name = match self {
+impl Fragment {
+    /// The five fragments in Figure 1 order (smallest guarantee first, full FO last).
+    pub const ALL: [Fragment; 5] = [
+        Fragment::ExistentialPositive,
+        Fragment::Positive,
+        Fragment::PositiveGuarded,
+        Fragment::ExistentialPositiveBooleanGuarded,
+        Fragment::FullFirstOrder,
+    ];
+
+    /// The name used in Figure 1 and in experiment logs (also the `Display` form).
+    pub fn short_name(self) -> &'static str {
+        match self {
             Fragment::ExistentialPositive => "∃Pos",
             Fragment::Positive => "Pos",
             Fragment::PositiveGuarded => "Pos+∀G",
             Fragment::ExistentialPositiveBooleanGuarded => "∃Pos+∀G_bool",
             Fragment::FullFirstOrder => "FO",
-        };
-        write!(f, "{name}")
+        }
+    }
+}
+
+impl std::fmt::Display for Fragment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.short_name())
+    }
+}
+
+/// Error returned when parsing a [`Fragment`] from an unrecognised name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseFragmentError(pub String);
+
+impl std::fmt::Display for ParseFragmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown fragment `{}` (expected one of: epos, pos, pos-g, epos-gbool, fo, \
+             or a Figure 1 short name)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseFragmentError {}
+
+impl std::str::FromStr for Fragment {
+    type Err = ParseFragmentError;
+
+    /// Parses both the Figure 1 short names (as printed by `Display`, so
+    /// `to_string`/`parse` round-trips) and ASCII command-line spellings such as
+    /// `epos`, `pos-g` or `existential_positive` (case-insensitive, `-`/`_`
+    /// interchangeable).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        // The exact Display forms first: they contain non-ASCII quantifier symbols.
+        for fragment in Fragment::ALL {
+            if trimmed == fragment.short_name() {
+                return Ok(fragment);
+            }
+        }
+        let normalized: String = trimmed
+            .to_ascii_lowercase()
+            .chars()
+            .map(|ch| {
+                if ch == '_' || ch == ' ' || ch == '+' {
+                    '-'
+                } else {
+                    ch
+                }
+            })
+            .collect();
+        match normalized.as_str() {
+            "epos" | "existential-positive" | "ucq" => Ok(Fragment::ExistentialPositive),
+            "pos" | "positive" => Ok(Fragment::Positive),
+            "pos-g" | "pos-forall-g" | "positive-guarded" => Ok(Fragment::PositiveGuarded),
+            "epos-gbool" | "epos-g-bool" | "existential-positive-boolean-guarded" => {
+                Ok(Fragment::ExistentialPositiveBooleanGuarded)
+            }
+            "fo" | "full-fo" | "first-order" | "full-first-order" => Ok(Fragment::FullFirstOrder),
+            _ => Err(ParseFragmentError(trimmed.to_string())),
+        }
     }
 }
 
@@ -330,6 +401,28 @@ mod tests {
             &dpos_gbool_only,
             Fragment::ExistentialPositiveBooleanGuarded
         ));
+    }
+
+    #[test]
+    fn fragment_from_str_round_trips() {
+        for fragment in Fragment::ALL {
+            let rendered = fragment.to_string();
+            assert_eq!(rendered.parse::<Fragment>(), Ok(fragment), "{rendered}");
+        }
+        assert_eq!(
+            "epos".parse::<Fragment>(),
+            Ok(Fragment::ExistentialPositive)
+        );
+        assert_eq!("ucq".parse::<Fragment>(), Ok(Fragment::ExistentialPositive));
+        assert_eq!("Positive".parse::<Fragment>(), Ok(Fragment::Positive));
+        assert_eq!("pos+g".parse::<Fragment>(), Ok(Fragment::PositiveGuarded));
+        assert_eq!(
+            "epos_gbool".parse::<Fragment>(),
+            Ok(Fragment::ExistentialPositiveBooleanGuarded)
+        );
+        assert_eq!("FO".parse::<Fragment>(), Ok(Fragment::FullFirstOrder));
+        let err = "posg??".parse::<Fragment>().unwrap_err();
+        assert!(err.to_string().contains("unknown fragment"));
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod query;
 
 pub use ast::{Formula, Term};
 pub use eval::{evaluate_boolean, evaluate_query, naive_eval_boolean, naive_eval_query};
-pub use fragment::Fragment;
+pub use fragment::{Fragment, ParseFragmentError};
 pub use parser::{parse_formula, parse_query, ParseError};
 pub use query::Query;

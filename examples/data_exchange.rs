@@ -11,12 +11,11 @@
 //! contrasting OWA (the usual data-exchange semantics), CWA and the minimal
 //! closed-world semantics of Hernich (§10).
 
-use nev_core::certain::compare_naive_and_certain;
 use nev_core::cores::agrees_with_core;
-use nev_core::{Semantics, WorldBounds};
+use nev_core::engine::{CertainEngine, EngineError};
+use nev_core::Semantics;
 use nev_incomplete::builder::{s, x};
 use nev_incomplete::{Instance, Value};
-use nev_logic::parse_query;
 
 /// Source: a flat `Emp(name, city)` relation.
 fn source() -> Instance {
@@ -57,13 +56,13 @@ fn exchange(src: &Instance) -> Instance {
     target
 }
 
-fn main() {
+fn main() -> Result<(), EngineError> {
     let src = source();
     let target = exchange(&src);
     println!("Source instance:\n{src}\n");
     println!("Exchanged target instance (labelled nulls for unknown departments):\n{target}\n");
 
-    let bounds = WorldBounds::default();
+    let engine = CertainEngine::new();
     let queries = [
         // A conjunctive query: who works in some department located in paris?
         ("ucq", "Q(n) :- exists d . Works(n, d) & Dept(d, 'paris')"),
@@ -78,12 +77,18 @@ fn main() {
     ];
 
     for (label, text) in queries {
-        let q = parse_query(text).expect("valid query");
-        println!("[{label}] {q}");
+        let q = engine.prepare(text)?;
+        println!("[{label}] {} — fragment {}", q.query(), q.fragment());
         for sem in [Semantics::Owa, Semantics::Cwa, Semantics::MinimalCwa] {
-            let report = compare_naive_and_certain(&target, &q, sem, &bounds);
+            // The bounded oracle validates; the plan shows what dispatch would do.
+            let report = engine.compare(&target, sem, &q);
+            let plan = if engine.plan(&target, sem, &q).is_certified() {
+                "certified naive"
+            } else {
+                "bounded enumeration"
+            };
             println!(
-                "    {:<12} naive = {:?}  certain = {:?}  agree = {}",
+                "    {:<12} plan = {plan:<19} naive = {:?}  certain = {:?}  agree = {}",
                 sem.short_name(),
                 report
                     .naive
@@ -100,7 +105,7 @@ fn main() {
         }
         println!(
             "    query distinguishes target from its core: {}",
-            !agrees_with_core(&target, &q)
+            !agrees_with_core(&target, q.query())
         );
         println!();
     }
@@ -108,4 +113,5 @@ fn main() {
     println!("Unions of conjunctive queries are answered correctly by naive evaluation under");
     println!("every semantics; the guarded universal needs a closed-world reading; the query");
     println!("with negation cannot be answered naively at all.");
+    Ok(())
 }

@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 
-use nev_core::certain::compare_naive_and_certain;
+use nev_core::engine::{CertainEngine, PreparedQuery};
 use nev_core::monotone::weakly_monotone_at;
 use nev_core::{Semantics, WorldBounds};
 use nev_gen::{FormulaGenerator, FormulaGeneratorConfig};
@@ -173,9 +173,11 @@ proptest! {
         let q = formulas.generate_sentence();
         prop_assert!(is_in_fragment(q.formula(), Fragment::ExistentialPositive));
         let bounds = WorldBounds { owa_max_extra_tuples: 1, ..WorldBounds::default() };
+        let engine = CertainEngine::with_bounds(bounds.clone());
+        let prepared = PreparedQuery::new(q.clone());
         for sem in [Semantics::Cwa, Semantics::Owa] {
             prop_assert!(weakly_monotone_at(&d, &q, sem, &bounds));
-            let report = compare_naive_and_certain(&d, &q, sem, &bounds);
+            let report = engine.compare(&d, sem, &prepared);
             prop_assert!(report.agrees(), "{}: {:?}", sem, report);
         }
     }
@@ -195,9 +197,10 @@ proptest! {
             },
             seed,
         );
-        let q = formulas.generate_sentence();
+        let q = PreparedQuery::new(formulas.generate_sentence());
+        let engine = CertainEngine::new();
         for sem in [Semantics::Cwa, Semantics::MinimalCwa, Semantics::PowersetCwa] {
-            let report = compare_naive_and_certain(&complete, &q, sem, &WorldBounds::default());
+            let report = engine.compare(&complete, sem, &q);
             prop_assert!(report.agrees(), "{}", sem);
         }
     }

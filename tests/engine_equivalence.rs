@@ -1,0 +1,179 @@
+//! Property tests for the `CertainEngine`: on seeded generated workloads across all
+//! 6 semantics × 5 fragments,
+//!
+//! * the engine's planned dispatch returns **identical answers** to the legacy
+//!   free-function path (and to its own forced bounded oracle) — the certified
+//!   naïve fast path never changes a result, it only skips work;
+//! * `CertifiedNaive` plans are chosen **only** for cells Figure 1 guarantees
+//!   (`Works` unconditionally, `WorksOverCores` after verifying the instance is a
+//!   core), and every issued certificate passes its own `check()`;
+//! * `evaluate_all` enumerates an instance's worlds at most once and reproduces the
+//!   per-query oracle answers under the shared (merged-constants) bounds.
+#![allow(deprecated)] // the equivalence target *is* the legacy free-function path
+
+use proptest::prelude::*;
+
+use nev_bench::workloads::cell_workload;
+use nev_core::certain::compare_naive_and_certain;
+use nev_core::engine::{CertainEngine, PreparedQuery};
+use nev_core::summary::{expectation, Expectation, FRAGMENTS};
+use nev_core::{Semantics, WorldBounds};
+use nev_hom::{core_of, is_core};
+
+fn bounds() -> WorldBounds {
+    WorldBounds {
+        owa_max_extra_tuples: 1,
+        wcwa_max_extra_tuples: 2,
+        ..WorldBounds::default()
+    }
+}
+
+/// One seeded trial per Figure 1 cell; `WorksOverCores` cells are exercised on the
+/// core of the generated instance, mirroring the Figure 1 harness.
+fn cell_trials(
+    seed: u64,
+) -> impl Iterator<Item = (Semantics, PreparedQuery, nev_incomplete::Instance)> {
+    Semantics::ALL.into_iter().flat_map(move |semantics| {
+        FRAGMENTS.into_iter().map(move |fragment| {
+            let cell_seed = seed
+                .wrapping_mul(131)
+                .wrapping_add(semantics as u64 * 31 + fragment as u64);
+            let (instance, query) = cell_workload(fragment, cell_seed, 1)
+                .pop()
+                .expect("one trial");
+            let instance = if expectation(semantics, fragment) == Expectation::WorksOverCores {
+                core_of(&instance)
+            } else {
+                instance
+            };
+            (semantics, PreparedQuery::new(query), instance)
+        })
+    })
+}
+
+proptest! {
+    // Plans never enumerate worlds, so this property can afford many seeds.
+    #![proptest_config(ProptestConfig { cases: 25, .. ProptestConfig::default() })]
+
+    /// `CertifiedNaive` is chosen exactly where Figure 1 guarantees it, and every
+    /// certificate re-checks against the machine-readable table.
+    #[test]
+    fn certified_plans_only_on_guaranteed_cells(seed in 0u64..10_000) {
+        let engine = CertainEngine::with_bounds(bounds());
+        for (semantics, query, instance) in cell_trials(seed) {
+            let plan = engine.plan(&instance, semantics, &query);
+            // The generator targets a fragment but classification picks the smallest
+            // one, so consult the table for the query's *actual* fragment.
+            let cell = expectation(semantics, query.fragment());
+            let should_certify = match cell {
+                Expectation::Works => true,
+                Expectation::WorksOverCores => is_core(&instance),
+                Expectation::NotGuaranteed => false,
+            };
+            prop_assert_eq!(
+                plan.is_certified(),
+                should_certify,
+                "{} × {} on core={}",
+                semantics,
+                query.fragment(),
+                is_core(&instance)
+            );
+            if let Some(cert) = plan.certificate() {
+                prop_assert!(cert.check(), "{} × {}", semantics, query.fragment());
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case sweeps all 30 cells through the bounded oracle — keep the count low.
+    #![proptest_config(ProptestConfig { cases: 3, .. ProptestConfig::default() })]
+
+    /// The planned dispatch (certified fast path included) returns exactly the same
+    /// answers as the legacy free-function path and the forced bounded oracle, on
+    /// every cell of Figure 1.
+    #[test]
+    fn engine_answers_match_the_legacy_path(seed in 0u64..1_000) {
+        let engine = CertainEngine::with_bounds(bounds());
+        for (semantics, query, instance) in cell_trials(seed) {
+            let planned = engine.evaluate(&instance, semantics, &query);
+            let oracle = engine.compare(&instance, semantics, &query);
+            let legacy = compare_naive_and_certain(&instance, query.query(), semantics, &bounds());
+            prop_assert_eq!(
+                &planned.certain,
+                &oracle.certain,
+                "{} × {}: dispatch changed the answer on\n{}",
+                semantics,
+                query.fragment(),
+                instance
+            );
+            prop_assert_eq!(&planned.naive, &legacy.naive, "{}", semantics);
+            prop_assert_eq!(&oracle.certain, &legacy.certain, "{}", semantics);
+            if planned.plan.is_certified() {
+                prop_assert_eq!(planned.worlds_enumerated, 0);
+                prop_assert!(oracle.agrees(), "{} × {}", semantics, query.fragment());
+            }
+        }
+    }
+
+    /// Batched evaluation performs at most one world pass per instance and
+    /// reproduces the per-query answers under the same merged bounds.
+    #[test]
+    fn evaluate_all_is_single_pass_and_answer_preserving(seed in 0u64..1_000) {
+        for semantics in [Semantics::Owa, Semantics::Cwa, Semantics::PowersetCwa] {
+            // One shared instance, one query per fragment.
+            let (instance, _) = cell_workload(nev_logic::Fragment::Positive, seed ^ 0xabcd, 1)
+                .pop()
+                .expect("one instance");
+            let queries: Vec<PreparedQuery> = FRAGMENTS
+                .into_iter()
+                .map(|fragment| {
+                    let (_, query) = cell_workload(fragment, seed.wrapping_add(fragment as u64), 1)
+                        .pop()
+                        .expect("one query");
+                    PreparedQuery::new(query)
+                })
+                .collect();
+
+            let engine = CertainEngine::with_bounds(bounds());
+            let batch = engine.evaluate_all(&instance, semantics, &queries);
+            prop_assert!(batch.enumeration_passes <= 1, "{semantics}");
+            prop_assert_eq!(batch.results.len(), queries.len());
+
+            // Reference: per-query evaluation under the merged constant budget the
+            // batch used for its shared pass — the constants of the queries that
+            // actually needed enumeration (certified queries never contribute).
+            let mut merged = bounds();
+            for query in queries
+                .iter()
+                .filter(|q| !engine.plan(&instance, semantics, q).is_certified())
+            {
+                merged.extra_constants.extend(query.constants().iter().cloned());
+            }
+            let reference = CertainEngine::with_bounds(merged);
+            let mut reference_worlds = 0usize;
+            for (query, result) in queries.iter().zip(&batch.results) {
+                let solo = if result.plan.is_certified() {
+                    reference.evaluate(&instance, semantics, query)
+                } else {
+                    reference.compare(&instance, semantics, query)
+                };
+                reference_worlds += solo.worlds_enumerated;
+                prop_assert_eq!(
+                    &result.certain,
+                    &solo.certain,
+                    "{} × {} on\n{}",
+                    semantics,
+                    query.fragment(),
+                    instance
+                );
+            }
+            // The single shared pass never visits more worlds than the sequential
+            // per-query passes it replaces.
+            prop_assert!(batch.worlds_enumerated <= reference_worlds, "{semantics}");
+            if batch.enumeration_passes == 0 {
+                prop_assert_eq!(batch.worlds_enumerated, 0);
+            }
+        }
+    }
+}

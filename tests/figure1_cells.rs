@@ -10,7 +10,7 @@
 //! The full 30-cell sweep with larger trial counts lives in the `figure1` binary of
 //! `nev-bench`; these tests keep the per-cell workload small enough for `cargo test`.
 
-use nev_core::certain::compare_naive_and_certain;
+use nev_core::engine::{CertainEngine, PreparedQuery};
 use nev_core::summary::{expectation, figure1, guaranteed_fragment, Expectation};
 use nev_core::{Semantics, WorldBounds};
 use nev_gen::{
@@ -67,6 +67,7 @@ fn assert_cell_agrees(semantics: Semantics, fragment: Fragment, trials: usize, o
     let seed = 4000 + semantics as u64 * 17 + fragment as u64;
     let mut instances = instance_generator(seed);
     let mut formulas = formula_generator(fragment, seed ^ 0xbeef);
+    let engine = CertainEngine::with_bounds(bounds());
     for trial in 0..trials {
         let mut d = instances.generate();
         if over_cores {
@@ -78,7 +79,9 @@ fn assert_cell_agrees(semantics: Semantics, fragment: Fragment, trials: usize, o
             formulas.generate_query(1)
         };
         assert!(is_in_fragment(q.formula(), fragment));
-        let report = compare_naive_and_certain(&d, &q, semantics, &bounds());
+        // `compare` forces the bounded oracle: these tests *validate* the guarantee
+        // the engine's certified path would otherwise assume.
+        let report = engine.compare(&d, semantics, &PreparedQuery::new(q.clone()));
         assert!(
             report.agrees(),
             "{semantics} × {fragment}: naive != certain for `{q}` on\n{d}\nnaive: {:?}\ncertain: {:?}",
@@ -158,20 +161,20 @@ fn guaranteed_cells_agree_minimal_powerset_cwa_over_cores() {
 
 #[test]
 fn beyond_the_guarantee_counterexamples_exist() {
-    let bounds = bounds();
+    let engine = CertainEngine::with_bounds(bounds());
     let d0 = inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] };
 
     // OWA × Pos: the §2.4 counterexample ∀x∃y D(x,y).
-    let pos = parse_query("forall u . exists v . D(u, v)").unwrap();
-    assert!(!compare_naive_and_certain(&d0, &pos, Semantics::Owa, &bounds).agrees());
+    let pos = PreparedQuery::new(parse_query("forall u . exists v . D(u, v)").unwrap());
+    assert!(!engine.compare(&d0, Semantics::Owa, &pos).agrees());
     assert_eq!(
         expectation(Semantics::Owa, Fragment::Positive),
         Expectation::NotGuaranteed
     );
 
     // CWA × FO: ∃x ¬D(x,x).
-    let neg = parse_query("exists u . !D(u, u)").unwrap();
-    assert!(!compare_naive_and_certain(&d0, &neg, Semantics::Cwa, &bounds).agrees());
+    let neg = PreparedQuery::new(parse_query("exists u . !D(u, u)").unwrap());
+    assert!(!engine.compare(&d0, Semantics::Cwa, &neg).agrees());
     assert_eq!(
         expectation(Semantics::Cwa, Fragment::FullFirstOrder),
         Expectation::NotGuaranteed
@@ -180,15 +183,14 @@ fn beyond_the_guarantee_counterexamples_exist() {
     // WCWA × FO: the same sentence also fails under WCWA (a tuple within the active
     // domain can complete the loop).
     let d_single = inst! { "D" => [[x(1), x(2)]] };
-    let neg_loop = parse_query("exists u . !D(u, u)").unwrap();
-    assert!(!compare_naive_and_certain(&d_single, &neg_loop, Semantics::Wcwa, &bounds).agrees());
+    assert!(!engine.compare(&d_single, Semantics::Wcwa, &neg).agrees());
 
     // MinimalCwa × Pos off cores: ∀x D(x,x) on the §10 instance.
     let d_min = inst! { "D" => [[x(1), x(1)], [x(1), x(2)]] };
-    let forall_loop = parse_query("forall u . D(u, u)").unwrap();
-    assert!(
-        !compare_naive_and_certain(&d_min, &forall_loop, Semantics::MinimalCwa, &bounds).agrees()
-    );
+    let forall_loop = PreparedQuery::new(parse_query("forall u . D(u, u)").unwrap());
+    assert!(!engine
+        .compare(&d_min, Semantics::MinimalCwa, &forall_loop)
+        .agrees());
     assert_eq!(
         expectation(Semantics::MinimalCwa, Fragment::Positive),
         Expectation::WorksOverCores

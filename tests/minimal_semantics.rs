@@ -3,12 +3,12 @@
 
 use std::collections::BTreeSet;
 
-use nev_core::certain::compare_naive_and_certain;
 use nev_core::cores::{
     agrees_with_core, naive_evaluation_works_on_core, naive_is_sound_approximation,
     representative_core_semantics_match,
 };
 use nev_core::domain::RelationalDomain;
+use nev_core::engine::{CertainEngine, PreparedQuery};
 use nev_core::{Semantics, WorldBounds};
 use nev_gen::{
     FormulaGenerator, FormulaGeneratorConfig, InstanceGenerator, InstanceGeneratorConfig,
@@ -48,7 +48,8 @@ fn e7_naive_evaluation_fails_off_cores_but_works_on_them() {
     let bounds = WorldBounds::default();
 
     // The certain answer under ⟦ ⟧min_CWA is true, naive evaluation says false.
-    let report = compare_naive_and_certain(&d, &q, Semantics::MinimalCwa, &bounds);
+    let engine = CertainEngine::with_bounds(bounds.clone());
+    let report = engine.compare(&d, Semantics::MinimalCwa, &PreparedQuery::new(q.clone()));
     assert!(!report.agrees());
     assert!(report.naive_undershoots());
 
@@ -186,8 +187,9 @@ fn ucqs_work_even_off_cores_under_minimal_semantics() {
             agrees_with_core(&d, &q),
             "UCQ `{q}` distinguished an instance from its core"
         );
+        let prepared = PreparedQuery::new(q.clone());
         for sem in [Semantics::MinimalCwa, Semantics::MinimalPowersetCwa] {
-            let report = compare_naive_and_certain(&d, &q, sem, &bounds);
+            let report = CertainEngine::with_bounds(bounds.clone()).compare(&d, sem, &prepared);
             assert!(report.agrees(), "{sem}: `{q}` on\n{d}");
         }
     }

@@ -122,7 +122,8 @@ proptest! {
             (Semantics::Cwa, cwa_leq as fn(&Instance, &Instance) -> bool),
             (Semantics::PowersetCwa, powerset_cwa_leq),
         ] {
-            for world in sem.enumerate_worlds(&d, &bounds).into_iter().take(5) {
+            // The lazy iterator means only the five sampled worlds are ever built.
+            for world in sem.worlds(&d, &bounds).take(5) {
                 prop_assert!(leq(&d, &world), "{sem}: world should dominate the instance");
             }
         }

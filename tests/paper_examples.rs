@@ -5,11 +5,9 @@
 //! cores (`nev-hom`), queries and naïve evaluation (`nev-logic`), semantics, certain
 //! answers and orderings (`nev-core`).
 
-use nev_core::certain::{
-    certain_answers_boolean, compare_naive_and_certain, naive_evaluation_works,
-};
+use nev_core::engine::{CertainEngine, PreparedQuery};
 use nev_core::ordering::{cwa_leq, owa_leq, powerset_cwa_leq, wcwa_leq};
-use nev_core::{Semantics, WorldBounds};
+use nev_core::Semantics;
 use nev_hom::minimal::is_minimal_homomorphism;
 use nev_hom::search::{find_homomorphism, has_db_homomorphism, HomConfig};
 use nev_hom::{core_of, is_core};
@@ -49,13 +47,20 @@ fn e3_intro_conjunctive_query() {
     // OWA, CWA and the minimal semantics on the full intro instance; WCWA and the
     // powerset semantics are exercised on the (smaller) D0 instance in the other
     // tests — their exact world enumerations grow quickly with three nulls.
+    let engine = CertainEngine::new();
+    let prepared = PreparedQuery::new(q.clone());
     for sem in [Semantics::Owa, Semantics::Cwa, Semantics::MinimalCwa] {
-        let report = compare_naive_and_certain(&d, &q, sem, &WorldBounds::default());
+        let report = engine.compare(&d, sem, &prepared);
         assert!(
             report.agrees(),
             "{sem}: naive and certain answers must agree"
         );
         assert_eq!(report.certain, naive, "{sem}");
+        // The engine's dispatch recognises the UCQ and certifies the fast path,
+        // whose answers the oracle above just confirmed.
+        let fast = engine.evaluate(&d, sem, &prepared);
+        assert!(fast.plan.is_certified(), "{sem}");
+        assert_eq!(fast.certain, report.certain, "{sem}");
     }
 }
 
@@ -64,60 +69,29 @@ fn e2_fact_1_boundary_on_d0() {
     let d0 = d0();
     // ∃x,y (D(x,y) ∧ D(y,x)) is a UCQ: certainly true under OWA and CWA, and naive
     // evaluation returns true.
-    let sym = parse_query("exists u v . D(u, v) & D(v, u)").unwrap();
-    assert!(naive_eval_boolean(&d0, &sym));
+    let sym = PreparedQuery::new(parse_query("exists u v . D(u, v) & D(v, u)").unwrap());
+    let engine = CertainEngine::new();
+    assert!(naive_eval_boolean(&d0, sym.query()));
     for sem in [Semantics::Owa, Semantics::Cwa] {
-        assert!(
-            certain_answers_boolean(&d0, &sym, sem, &WorldBounds::default()),
-            "{sem}"
-        );
-        assert!(
-            naive_evaluation_works(&d0, &sym, sem, &WorldBounds::default()),
-            "{sem}"
-        );
+        let report = engine.compare(&d0, sem, &sym);
+        assert!(report.is_certainly_true(), "{sem}");
+        assert!(report.agrees(), "{sem}");
     }
 
     // ∀x∃y D(x,y) is Pos but not a UCQ: naive evaluation returns true; the certain
     // answer is true under CWA and WCWA but false under OWA — the boundary of Fact 1.
-    let total = parse_query("forall u . exists v . D(u, v)").unwrap();
-    assert_eq!(classify(total.formula()), Fragment::Positive);
-    assert!(naive_eval_boolean(&d0, &total));
-    assert!(certain_answers_boolean(
-        &d0,
-        &total,
-        Semantics::Cwa,
-        &WorldBounds::default()
-    ));
-    assert!(certain_answers_boolean(
-        &d0,
-        &total,
-        Semantics::Wcwa,
-        &WorldBounds::default()
-    ));
-    assert!(!certain_answers_boolean(
-        &d0,
-        &total,
-        Semantics::Owa,
-        &WorldBounds::default()
-    ));
-    assert!(naive_evaluation_works(
-        &d0,
-        &total,
-        Semantics::Cwa,
-        &WorldBounds::default()
-    ));
-    assert!(naive_evaluation_works(
-        &d0,
-        &total,
-        Semantics::Wcwa,
-        &WorldBounds::default()
-    ));
-    assert!(!naive_evaluation_works(
-        &d0,
-        &total,
-        Semantics::Owa,
-        &WorldBounds::default()
-    ));
+    let total = PreparedQuery::new(parse_query("forall u . exists v . D(u, v)").unwrap());
+    assert_eq!(total.fragment(), Fragment::Positive);
+    assert!(naive_eval_boolean(&d0, total.query()));
+    let cwa = engine.compare(&d0, Semantics::Cwa, &total);
+    let wcwa = engine.compare(&d0, Semantics::Wcwa, &total);
+    let owa = engine.compare(&d0, Semantics::Owa, &total);
+    assert!(cwa.is_certainly_true());
+    assert!(wcwa.is_certainly_true());
+    assert!(!owa.is_certainly_true());
+    assert!(cwa.agrees());
+    assert!(wcwa.agrees());
+    assert!(!owa.agrees());
 }
 
 #[test]
@@ -145,38 +119,31 @@ fn e4_wcwa_strictly_between_cwa_and_owa() {
 #[test]
 fn theorem_5_2_positive_results_on_d0() {
     let d0 = d0();
-    let bounds = WorldBounds::default();
+    let engine = CertainEngine::new();
     // A Pos+∀G sentence: ∀x y (D(x,y) → ∃z D(y,z)) — works under CWA.
-    let guarded = parse_query("forall a b . D(a, b) -> exists z . D(b, z)").unwrap();
-    assert_eq!(classify(guarded.formula()), Fragment::PositiveGuarded);
-    assert!(naive_evaluation_works(
-        &d0,
-        &guarded,
-        Semantics::Cwa,
-        &bounds
-    ));
+    let guarded =
+        PreparedQuery::new(parse_query("forall a b . D(a, b) -> exists z . D(b, z)").unwrap());
+    assert_eq!(guarded.fragment(), Fragment::PositiveGuarded);
+    assert!(engine.compare(&d0, Semantics::Cwa, &guarded).agrees());
     // An ∃Pos+∀G_bool sentence: ∀a b (D(a,b) → ∃z (D(a,z) ∧ D(z,a))) — works under ⦅ ⦆_CWA.
-    let gbool = parse_query("forall a b . D(a, b) -> exists z . D(a, z) & D(z, a)").unwrap();
-    assert!(nev_logic::fragment::is_existential_positive_boolean_guarded(gbool.formula()));
-    assert!(naive_evaluation_works(
-        &d0,
-        &gbool,
-        Semantics::PowersetCwa,
-        &bounds
-    ));
+    let gbool = PreparedQuery::new(
+        parse_query("forall a b . D(a, b) -> exists z . D(a, z) & D(z, a)").unwrap(),
+    );
+    assert!(nev_logic::fragment::is_existential_positive_boolean_guarded(gbool.query().formula()));
+    assert!(engine.compare(&d0, Semantics::PowersetCwa, &gbool).agrees());
     // And the same sentence also works under plain CWA (strong onto homomorphisms are
     // singleton unions).
-    assert!(naive_evaluation_works(&d0, &gbool, Semantics::Cwa, &bounds));
+    assert!(engine.compare(&d0, Semantics::Cwa, &gbool).agrees());
 }
 
 #[test]
 fn negation_breaks_naive_evaluation_under_cwa() {
     // Beyond Pos+∀G: ∃x ¬D(x,x) on D0 is naively true but not certain under CWA.
     let d0 = d0();
-    let q = parse_query("exists u . !D(u, u)").unwrap();
-    assert_eq!(classify(q.formula()), Fragment::FullFirstOrder);
-    assert!(naive_eval_boolean(&d0, &q));
-    let report = compare_naive_and_certain(&d0, &q, Semantics::Cwa, &WorldBounds::default());
+    let q = PreparedQuery::new(parse_query("exists u . !D(u, u)").unwrap());
+    assert_eq!(q.fragment(), Fragment::FullFirstOrder);
+    assert!(naive_eval_boolean(&d0, q.query()));
+    let report = CertainEngine::new().compare(&d0, Semantics::Cwa, &q);
     assert!(report.naive_overshoots());
 }
 

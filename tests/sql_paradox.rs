@@ -1,8 +1,8 @@
 //! Experiment E9: the SQL three-valued-logic paradox from the paper's introduction,
 //! contrasted with naïve evaluation over marked nulls and with certain answers.
 
-use nev_core::certain::certain_answers;
-use nev_core::{Semantics, WorldBounds};
+use nev_core::engine::CertainEngine;
+use nev_core::Semantics;
 use nev_incomplete::builder::{c, x};
 use nev_incomplete::inst;
 use nev_incomplete::tuple::tuple_of;
@@ -48,7 +48,9 @@ fn certain_answers_agree_with_sql_caution_here() {
         "Y" => [[x(1)]],
     };
     let q = parse_query("Q(u) :- X(u) & !Y(u)").unwrap();
-    let certain = certain_answers(&d, &q, Semantics::Cwa, &WorldBounds::default());
+    let engine = CertainEngine::new();
+    let prepared = nev_core::engine::PreparedQuery::new(q);
+    let certain = engine.certain_answers(&d, Semantics::Cwa, &prepared);
     assert!(certain.is_empty());
 
     // But SQL is *not* computing certain answers in general: if Y additionally
@@ -60,7 +62,7 @@ fn certain_answers_agree_with_sql_caution_here() {
         "X" => [[c(1)], [c(2)], [c(3)]],
         "Y" => [[c(2)]],
     };
-    let certain_forced = certain_answers(&forced, &q, Semantics::Cwa, &WorldBounds::default());
+    let certain_forced = engine.certain_answers(&forced, Semantics::Cwa, &prepared);
     assert_eq!(certain_forced.len(), 2);
     assert!(certain_forced.contains(&tuple_of([c(1)])));
     assert!(certain_forced.contains(&tuple_of([c(3)])));
