@@ -98,6 +98,9 @@ pub struct CellOutcome {
     /// Trials on which the engine would have taken the certified naïve fast path
     /// (the validation below still runs the bounded oracle on every trial).
     pub certified_naive: usize,
+    /// Trials on which that fast path would have run on the compiled `nev-exec`
+    /// pipeline (the query's shape compiled; the rest fall back to the interpreter).
+    pub compiled_plans: usize,
     /// Human-readable descriptions of the first few disagreements found.
     pub counterexamples: Vec<String>,
 }
@@ -151,6 +154,7 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
     let mut agreements = 0;
     let mut sound = 0;
     let mut certified_naive = 0;
+    let mut compiled_plans = 0;
     let mut counterexamples = Vec::new();
 
     for trial in 0..config.trials {
@@ -176,8 +180,12 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
         // the engine's certified fast path assumes, so it always runs the bounded
         // oracle. The plan is still recorded, witnessing what dispatch would do.
         let prepared = PreparedQuery::new(query.clone());
-        if engine.plan(&instance, semantics, &prepared).is_certified() {
+        let plan = engine.plan(&instance, semantics, &prepared);
+        if plan.is_certified() {
             certified_naive += 1;
+        }
+        if plan.is_compiled() {
+            compiled_plans += 1;
         }
         let report = engine.compare(&instance, semantics, &prepared);
         if report.agrees() {
@@ -201,6 +209,7 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
         agreements,
         sound,
         certified_naive,
+        compiled_plans,
         counterexamples,
     }
 }
@@ -237,9 +246,9 @@ pub fn render_markdown(outcomes: &[CellOutcome]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "| semantics | fragment | paper | agreement | sound | certified plan | status |"
+        "| semantics | fragment | paper | agreement | sound | certified plan | compiled | status |"
     );
-    let _ = writeln!(s, "|---|---|---|---|---|---|---|");
+    let _ = writeln!(s, "|---|---|---|---|---|---|---|---|");
     for o in outcomes {
         let paper = match o.expectation {
             Expectation::Works => "works",
@@ -257,7 +266,7 @@ pub fn render_markdown(outcomes: &[CellOutcome]) -> String {
         };
         let _ = writeln!(
             s,
-            "| {} | {} | {} | {}/{} | {}/{} | {}/{} | {} |",
+            "| {} | {} | {} | {}/{} | {}/{} | {}/{} | {}/{} | {} |",
             o.semantics,
             o.fragment,
             paper,
@@ -266,6 +275,8 @@ pub fn render_markdown(outcomes: &[CellOutcome]) -> String {
             o.sound,
             o.trials,
             o.certified_naive,
+            o.trials,
+            o.compiled_plans,
             o.trials,
             status
         );
@@ -324,6 +335,7 @@ mod tests {
             agreements: 3,
             sound: 3,
             certified_naive: 3,
+            compiled_plans: 2,
             counterexamples: vec![],
         }];
         let md = render_markdown(&outcomes);

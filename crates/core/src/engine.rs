@@ -5,19 +5,28 @@
 //! computes certain answers exactly when the query's fragment is preserved under the
 //! semantics' homomorphisms. This module *operationalises* it:
 //!
-//! 1. a [`PreparedQuery`] parses and classifies a query **once** (fragment,
-//!    constants, arity) instead of re-deriving them per call;
+//! 1. a [`PreparedQuery`] parses, classifies **and compiles** a query once
+//!    (fragment, constants, arity, and — when the `nev-exec` compiler accepts its
+//!    shape — a physical relational-algebra plan) instead of re-deriving them per
+//!    call;
 //! 2. an [`EvalPlan`] is chosen per (instance, semantics, query) by consulting the
-//!    machine-readable Figure 1 ([`crate::summary::expectation`]):
-//!    [`EvalPlan::CertifiedNaive`] answers by one polynomial naïve evaluation pass
-//!    and carries a [`Certificate`] naming the theorem that justifies the shortcut,
-//!    while [`EvalPlan::BoundedEnumeration`] falls back to the possible-world oracle;
+//!    machine-readable Figure 1 ([`crate::summary::expectation`]): on guaranteed
+//!    cells the engine answers by one polynomial naïve evaluation pass — executed by
+//!    the compiled set-at-a-time engine ([`EvalPlan::CompiledNaive`]) when a plan
+//!    exists, by the tree-walking interpreter ([`EvalPlan::CertifiedNaive`])
+//!    otherwise — carrying a [`Certificate`] naming both the justifying theorem and
+//!    the executor; everything else is [`EvalPlan::BoundedEnumeration`];
 //! 3. the bounded oracle streams worlds from the lazy [`Semantics::worlds`] iterator
 //!    with early exit (a Boolean query stops at the first counter-world, a k-ary
-//!    intersection stops when it becomes empty);
+//!    intersection stops when it becomes empty); each per-world evaluation also
+//!    routes through the compiled plan when one exists;
 //! 4. [`CertainEngine::evaluate_all`] amortises the expensive part across a batch:
 //!    the instance's worlds are enumerated **at most once** and every per-query
 //!    certain-answer intersection is folded in that single pass.
+//!
+//! Every [`Evaluation`] carries an [`ExecStats`] counter block (rows scanned, hash
+//! probes, interpreter fallbacks) mirroring the `worlds_enumerated` /
+//! `enumeration_passes` telemetry, so callers can see *how* an answer was produced.
 //!
 //! The free functions of [`crate::certain`] remain as deprecated shims delegating to
 //! this engine.
@@ -37,17 +46,21 @@
 //! let q = engine.prepare("Q(x, y) :- exists z . R(x, z) & S(z, y)")?;
 //!
 //! // A union of conjunctive queries under OWA: Figure 1 certifies naïve evaluation,
-//! // so no possible world is ever enumerated.
+//! // so no possible world is ever enumerated — and the join pipeline compiles, so
+//! // the pass runs on the nev-exec hash-join executor, not the interpreter.
 //! let eval = engine.evaluate(&d, Semantics::Owa, &q);
-//! assert!(matches!(eval.plan, EvalPlan::CertifiedNaive(_)));
+//! assert!(matches!(eval.plan, EvalPlan::CompiledNaive(_)));
 //! assert_eq!(eval.worlds_enumerated, 0);
 //! assert_eq!(eval.certain.len(), 1);
+//! assert!(eval.exec.hash_probes > 0);
+//! assert_eq!(eval.exec.fallbacks, 0);
 //! # Ok::<(), nev_core::engine::EngineError>(())
 //! ```
 
 use std::collections::BTreeSet;
 use std::fmt;
 
+use nev_exec::{CompiledQuery, ExecStats};
 use nev_hom::is_core;
 use nev_incomplete::{Constant, Instance, Tuple};
 use nev_logic::eval::{evaluate_boolean, evaluate_query, naive_eval_query};
@@ -125,18 +138,24 @@ pub struct PreparedQuery {
     query: Query,
     fragment: Fragment,
     constants: BTreeSet<Constant>,
+    compiled: Option<CompiledQuery>,
 }
 
 impl PreparedQuery {
-    /// Prepares an already-built [`Query`], classifying it into the smallest Figure 1
-    /// fragment and caching its constants.
+    /// Prepares an already-built [`Query`]: classifies it into the smallest Figure 1
+    /// fragment, caches its constants, and attempts to compile it into a `nev-exec`
+    /// physical plan (kept as `None` when the compiler rejects the shape — every
+    /// later evaluation then falls back to the tree-walking interpreter and records
+    /// the fallback in [`ExecStats::fallbacks`]).
     pub fn new(query: Query) -> Self {
         let fragment = classify(query.formula());
         let constants = query.formula().constants();
+        let compiled = CompiledQuery::compile(&query).ok();
         PreparedQuery {
             query,
             fragment,
             constants,
+            compiled,
         }
     }
 
@@ -170,6 +189,17 @@ impl PreparedQuery {
         self.query.is_boolean()
     }
 
+    /// The compiled physical plan, when the `nev-exec` compiler accepted the
+    /// query's shape.
+    pub fn compiled(&self) -> Option<&CompiledQuery> {
+        self.compiled.as_ref()
+    }
+
+    /// Returns `true` iff the query has a compiled physical plan.
+    pub fn compiles(&self) -> bool {
+        self.compiled.is_some()
+    }
+
     /// World-enumeration bounds extended with this query's constants, so that the
     /// enumeration is generic relative to them (the cached equivalent of
     /// [`crate::certain::bounds_for_query`]).
@@ -184,8 +214,28 @@ impl fmt::Display for PreparedQuery {
     }
 }
 
+/// Which engine executes the certified naïve evaluation pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Executor {
+    /// The `nev-exec` compiled relational-algebra pipeline (interned codes, hash
+    /// joins, set-at-a-time operators).
+    CompiledAlgebra,
+    /// The tree-walking active-domain interpreter of `nev-logic::eval`.
+    Interpreter,
+}
+
+impl fmt::Display for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Executor::CompiledAlgebra => write!(f, "nev-exec compiled algebra"),
+            Executor::Interpreter => write!(f, "tree-walking interpreter"),
+        }
+    }
+}
+
 /// A machine-checkable justification for skipping world enumeration: the Figure 1
-/// cell that guarantees naïve evaluation, and the paper result behind it.
+/// cell that guarantees naïve evaluation, the paper result behind it, and the
+/// executor that will run the single naïve pass.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Certificate {
     /// The semantics of the cell.
@@ -199,6 +249,8 @@ pub struct Certificate {
     pub core_checked: bool,
     /// The paper result justifying the certified shortcut.
     pub theorem: &'static str,
+    /// The engine executing the naïve pass this certificate authorises.
+    pub executor: Executor,
 }
 
 impl Certificate {
@@ -220,7 +272,7 @@ impl fmt::Display for Certificate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} × {}: {}{}",
+            "{} × {}: {}{} [executor: {}]",
             self.semantics,
             self.fragment,
             self.theorem,
@@ -228,7 +280,8 @@ impl fmt::Display for Certificate {
                 " [instance verified to be a core]"
             } else {
                 ""
-            }
+            },
+            self.executor
         )
     }
 }
@@ -258,9 +311,13 @@ fn theorem_for(semantics: Semantics) -> &'static str {
 /// How the engine answers a query on a given instance and semantics.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EvalPlan {
-    /// Figure 1 guarantees naïve evaluation computes the certain answers: one
-    /// polynomial evaluation pass, no world enumeration, with the justifying
-    /// [`Certificate`].
+    /// Figure 1 guarantees naïve evaluation computes the certain answers **and**
+    /// the query compiled: one set-at-a-time pass on the `nev-exec` operator
+    /// pipeline, no world enumeration, with the justifying [`Certificate`].
+    CompiledNaive(Certificate),
+    /// Figure 1 guarantees naïve evaluation but the compiler rejected the query's
+    /// shape: one tree-walking interpreter pass (recorded as a fallback in
+    /// [`ExecStats`]), no world enumeration.
     CertifiedNaive(Certificate),
     /// No guarantee applies: intersect query answers over the bounded possible-world
     /// enumeration.
@@ -271,14 +328,22 @@ impl EvalPlan {
     /// Returns the certificate of a certified plan.
     pub fn certificate(&self) -> Option<&Certificate> {
         match self {
-            EvalPlan::CertifiedNaive(cert) => Some(cert),
+            EvalPlan::CompiledNaive(cert) | EvalPlan::CertifiedNaive(cert) => Some(cert),
             EvalPlan::BoundedEnumeration => None,
         }
     }
 
-    /// Returns `true` for the certified naïve fast path.
+    /// Returns `true` for the certified naïve fast path (compiled or interpreted).
     pub fn is_certified(&self) -> bool {
-        matches!(self, EvalPlan::CertifiedNaive(_))
+        matches!(
+            self,
+            EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)
+        )
+    }
+
+    /// Returns `true` iff the plan executes on the compiled `nev-exec` pipeline.
+    pub fn is_compiled(&self) -> bool {
+        matches!(self, EvalPlan::CompiledNaive(_))
     }
 }
 
@@ -298,6 +363,10 @@ pub struct Evaluation {
     /// Number of possible worlds visited to produce this answer (`0` on the
     /// certified path).
     pub worlds_enumerated: usize,
+    /// Compiled-execution counters for this answer: rows scanned, hash probes,
+    /// and the number of evaluations that fell back to the interpreter because
+    /// the query has no compiled plan.
+    pub exec: ExecStats,
 }
 
 impl Evaluation {
@@ -342,6 +411,15 @@ impl BatchEvaluation {
     /// query of the batch.
     pub fn all_agree(&self) -> bool {
         self.results.iter().all(Evaluation::agrees)
+    }
+
+    /// The batch's compiled-execution counters, aggregated across all results.
+    pub fn exec_totals(&self) -> ExecStats {
+        let mut totals = ExecStats::new();
+        for r in &self.results {
+            totals.merge(&r.exec);
+        }
+        totals
     }
 }
 
@@ -394,29 +472,38 @@ impl CertainEngine {
     /// machine-readable Figure 1: certified naïve evaluation exactly when the
     /// (semantics, fragment) cell carries a guarantee — unconditionally for `Works`
     /// cells, and after verifying the instance is a core for `WorksOverCores` cells.
+    /// Certified cells route to the compiled `nev-exec` pipeline when the query has
+    /// a plan, and to the interpreter otherwise.
     pub fn plan(&self, d: &Instance, semantics: Semantics, query: &PreparedQuery) -> EvalPlan {
         let cell = expectation(semantics, query.fragment());
-        match cell {
-            Expectation::Works => EvalPlan::CertifiedNaive(Certificate {
-                semantics,
-                fragment: query.fragment(),
-                expectation: cell,
-                core_checked: false,
-                theorem: theorem_for(semantics),
-            }),
-            Expectation::WorksOverCores if is_core(d) => EvalPlan::CertifiedNaive(Certificate {
-                semantics,
-                fragment: query.fragment(),
-                expectation: cell,
-                core_checked: true,
-                theorem: theorem_for(semantics),
-            }),
-            _ => EvalPlan::BoundedEnumeration,
+        let executor = if query.compiles() {
+            Executor::CompiledAlgebra
+        } else {
+            Executor::Interpreter
+        };
+        let certificate = |core_checked: bool| Certificate {
+            semantics,
+            fragment: query.fragment(),
+            expectation: cell,
+            core_checked,
+            theorem: theorem_for(semantics),
+            executor,
+        };
+        let certified = match cell {
+            Expectation::Works => Some(certificate(false)),
+            Expectation::WorksOverCores if is_core(d) => Some(certificate(true)),
+            _ => None,
+        };
+        match certified {
+            Some(cert) if query.compiles() => EvalPlan::CompiledNaive(cert),
+            Some(cert) => EvalPlan::CertifiedNaive(cert),
+            None => EvalPlan::BoundedEnumeration,
         }
     }
 
     /// Evaluates a query with plan dispatch: certified naïve evaluation when Figure 1
-    /// applies (no world enumeration), the bounded oracle otherwise.
+    /// applies (no world enumeration; compiled when the query has a plan), the
+    /// bounded oracle otherwise.
     pub fn evaluate(
         &self,
         d: &Instance,
@@ -424,14 +511,15 @@ impl CertainEngine {
         query: &PreparedQuery,
     ) -> Evaluation {
         match self.plan(d, semantics, query) {
-            plan @ EvalPlan::CertifiedNaive(_) => {
-                let naive = naive_answers(d, query);
+            plan @ (EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)) => {
+                let (naive, exec) = naive_answers(d, query);
                 Evaluation {
                     semantics,
                     plan,
                     certain: naive.clone(),
                     naive,
                     worlds_enumerated: 0,
+                    exec,
                 }
             }
             EvalPlan::BoundedEnumeration => self.compare(d, semantics, query),
@@ -460,14 +548,15 @@ impl CertainEngine {
     /// This is the validation entry point: the Figure 1 harness uses it to *check*
     /// the theorems that [`CertainEngine::evaluate`] *assumes*.
     pub fn compare(&self, d: &Instance, semantics: Semantics, query: &PreparedQuery) -> Evaluation {
-        let naive = naive_answers(d, query);
-        let (certain, worlds_enumerated) = self.bounded_certain(d, semantics, query);
+        let (naive, mut exec) = naive_answers(d, query);
+        let (certain, worlds_enumerated) = self.bounded_certain(d, semantics, query, &mut exec);
         Evaluation {
             semantics,
             plan: EvalPlan::BoundedEnumeration,
             naive,
             certain,
             worlds_enumerated,
+            exec,
         }
     }
 
@@ -480,7 +569,8 @@ impl CertainEngine {
         semantics: Semantics,
         query: &PreparedQuery,
     ) -> BTreeSet<Tuple> {
-        self.bounded_certain(d, semantics, query).0
+        self.bounded_certain(d, semantics, query, &mut ExecStats::new())
+            .0
     }
 
     /// Evaluates a batch of prepared queries on one instance, enumerating the
@@ -510,6 +600,7 @@ impl CertainEngine {
             allowed: BTreeSet<Constant>,
             acc: Option<BTreeSet<Tuple>>,
             resolved: bool,
+            exec: ExecStats,
         }
 
         let mut results: Vec<Option<Evaluation>> = (0..queries.len()).map(|_| None).collect();
@@ -517,14 +608,15 @@ impl CertainEngine {
         let mut merged = self.bounds.clone();
         for (index, query) in queries.iter().enumerate() {
             match self.plan(d, semantics, query) {
-                plan @ EvalPlan::CertifiedNaive(_) => {
-                    let naive = naive_answers(d, query);
+                plan @ (EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)) => {
+                    let (naive, exec) = naive_answers(d, query);
                     results[index] = Some(Evaluation {
                         semantics,
                         plan,
                         certain: naive.clone(),
                         naive,
                         worlds_enumerated: 0,
+                        exec,
                     });
                 }
                 EvalPlan::BoundedEnumeration => {
@@ -538,6 +630,7 @@ impl CertainEngine {
                         allowed,
                         acc: None,
                         resolved: false,
+                        exec: ExecStats::new(),
                     });
                 }
             }
@@ -554,7 +647,7 @@ impl CertainEngine {
                         continue;
                     }
                     let query = &queries[p.index];
-                    let answers = answers_in_world(&world, query, &p.allowed);
+                    let answers = answers_in_world(&world, query, &p.allowed, &mut p.exec);
                     let next: BTreeSet<Tuple> = match p.acc.take() {
                         None => answers,
                         Some(prev) => prev.intersection(&answers).cloned().collect(),
@@ -569,12 +662,16 @@ impl CertainEngine {
             }
             for p in pending {
                 let query = &queries[p.index];
+                let (naive, naive_exec) = naive_answers(d, query);
+                let mut exec = p.exec;
+                exec.merge(&naive_exec);
                 results[p.index] = Some(Evaluation {
                     semantics,
                     plan: EvalPlan::BoundedEnumeration,
-                    naive: naive_answers(d, query),
+                    naive,
                     certain: p.acc.unwrap_or_default(),
                     worlds_enumerated,
+                    exec,
                 });
             }
         }
@@ -591,12 +688,16 @@ impl CertainEngine {
 
     /// The bounded oracle: intersect the query's answers over the streamed worlds,
     /// exiting early when a Boolean query meets a counter-world or a k-ary
-    /// intersection becomes empty.
+    /// intersection becomes empty. Per-world evaluations run on the compiled plan
+    /// when one exists; otherwise each world's evaluation is one interpreter
+    /// fallback in `exec` — `fallbacks` uniformly counts interpreter-routed
+    /// evaluation passes, whichever entry point triggered them.
     fn bounded_certain(
         &self,
         d: &Instance,
         semantics: Semantics,
         query: &PreparedQuery,
+        exec: &mut ExecStats,
     ) -> (BTreeSet<Tuple>, usize) {
         let bounds = query.bounds(&self.bounds);
         let mut visited = 0usize;
@@ -604,7 +705,18 @@ impl CertainEngine {
             let mut certain = true;
             for world in semantics.worlds(d, &bounds) {
                 visited += 1;
-                if !evaluate_boolean(&world, query.query().formula()) {
+                let holds = match query.compiled() {
+                    Some(compiled) => {
+                        let out = compiled.execute(&world);
+                        exec.merge(&out.stats);
+                        !out.answers.is_empty()
+                    }
+                    None => {
+                        exec.fallbacks += 1;
+                        evaluate_boolean(&world, query.query().formula())
+                    }
+                };
+                if !holds {
                     certain = false;
                     break;
                 }
@@ -619,7 +731,7 @@ impl CertainEngine {
             let mut certain: Option<BTreeSet<Tuple>> = None;
             for world in semantics.worlds(d, &bounds) {
                 visited += 1;
-                let answers = answers_in_world(&world, query, &allowed);
+                let answers = answers_in_world(&world, query, &allowed, exec);
                 let next: BTreeSet<Tuple> = match certain.take() {
                     None => answers,
                     Some(prev) => prev.intersection(&answers).cloned().collect(),
@@ -635,26 +747,45 @@ impl CertainEngine {
     }
 }
 
-/// The naïve answers `Q^C(D)` with the Boolean `{()} / ∅` encoding.
-fn naive_answers(d: &Instance, query: &PreparedQuery) -> BTreeSet<Tuple> {
-    naive_eval_query(d, query.query())
+/// The naïve answers `Q^C(D)` with the Boolean `{()} / ∅` encoding, executed by the
+/// compiled plan when one exists (one interpreter fallback is recorded otherwise).
+fn naive_answers(d: &Instance, query: &PreparedQuery) -> (BTreeSet<Tuple>, ExecStats) {
+    match query.compiled() {
+        Some(compiled) => {
+            let out = compiled.execute_naive(d);
+            (out.answers, out.stats)
+        }
+        None => (naive_eval_query(d, query.query()), ExecStats::fallback()),
+    }
 }
 
 /// The query's answers in one complete world, restricted to the allowed constants
-/// (Boolean queries use the `{()} / ∅` encoding).
+/// (Boolean queries use the `{()} / ∅` encoding). Runs on the compiled plan when
+/// one exists, merging its counters into `exec`; an interpreter evaluation counts
+/// as one fallback.
 fn answers_in_world(
     world: &Instance,
     query: &PreparedQuery,
     allowed: &BTreeSet<Constant>,
+    exec: &mut ExecStats,
 ) -> BTreeSet<Tuple> {
-    if query.is_boolean() {
-        encode_boolean(evaluate_boolean(world, query.query().formula()))
-    } else {
-        evaluate_query(world, query.query())
-            .into_iter()
-            .filter(|t| t.constants().all(|c| allowed.contains(c)) && t.is_complete())
-            .collect()
-    }
+    let raw = match query.compiled() {
+        Some(compiled) => {
+            let out = compiled.execute(world);
+            exec.merge(&out.stats);
+            out.answers
+        }
+        None => {
+            exec.fallbacks += 1;
+            if query.is_boolean() {
+                return encode_boolean(evaluate_boolean(world, query.query().formula()));
+            }
+            evaluate_query(world, query.query())
+        }
+    };
+    raw.into_iter()
+        .filter(|t| t.constants().all(|c| allowed.contains(c)) && t.is_complete())
+        .collect()
 }
 
 fn encode_boolean(value: bool) -> BTreeSet<Tuple> {
@@ -765,6 +896,7 @@ mod tests {
             expectation: Expectation::Works,
             core_checked: false,
             theorem: "made up",
+            executor: Executor::Interpreter,
         };
         assert!(!forged.check());
         let missing_core_check = Certificate {
@@ -773,6 +905,7 @@ mod tests {
             expectation: Expectation::WorksOverCores,
             core_checked: false,
             theorem: theorem_for(Semantics::MinimalCwa),
+            executor: Executor::CompiledAlgebra,
         };
         assert!(!missing_core_check.check());
     }
@@ -796,6 +929,70 @@ mod tests {
             assert_eq!(fast.certain, oracle.certain, "{semantics}");
             assert!(oracle.agrees(), "{semantics}");
         }
+    }
+
+    #[test]
+    fn certified_cells_route_through_the_compiled_pipeline() {
+        let engine = CertainEngine::new();
+        let d = inst! {
+            "R" => [[c(1), x(1)], [x(2), x(3)]],
+            "S" => [[x(1), c(4)], [x(3), c(5)]],
+        };
+        let q = engine
+            .prepare("Q(x, y) :- exists z . R(x, z) & S(z, y)")
+            .expect("valid query");
+        assert!(q.compiles());
+        let eval = engine.evaluate(&d, Semantics::Owa, &q);
+        assert!(eval.plan.is_compiled());
+        assert!(eval.plan.is_certified());
+        assert_eq!(eval.exec.fallbacks, 0);
+        assert!(eval.exec.hash_probes > 0, "{}", eval.exec);
+        let cert = eval.plan.certificate().expect("certified");
+        assert_eq!(cert.executor, Executor::CompiledAlgebra);
+        assert!(cert.to_string().contains("compiled algebra"));
+        assert!(cert.check());
+    }
+
+    #[test]
+    fn compiler_rejected_queries_fall_back_to_the_interpreter() {
+        let engine = CertainEngine::new();
+        // A Pos query whose ∀ block needs a 4-column active-domain complement: the
+        // compiler rejects it, but Pos × WCWA is still a Works cell — the engine
+        // must answer via the interpreter, record the fallback, and stay correct.
+        let q = engine
+            .prepare("forall u v w t . R(u, v) & R(w, t)")
+            .expect("valid query");
+        assert_eq!(q.fragment(), Fragment::Positive);
+        assert!(!q.compiles());
+        assert!(q.compiled().is_none());
+        let d = inst! { "R" => [[c(1), c(1)]] };
+        let eval = engine.evaluate(&d, Semantics::Wcwa, &q);
+        assert!(eval.plan.is_certified());
+        assert!(!eval.plan.is_compiled());
+        assert!(eval.exec.fallbacks > 0);
+        let oracle = engine.compare(&d, Semantics::Wcwa, &q);
+        assert_eq!(eval.certain, oracle.certain);
+        assert!(
+            oracle.exec.fallbacks > 0,
+            "oracle world passes fell back too"
+        );
+        let cert = eval.plan.certificate().expect("certified");
+        assert_eq!(cert.executor, Executor::Interpreter);
+        assert!(cert.to_string().contains("interpreter"));
+    }
+
+    #[test]
+    fn bounded_oracle_worlds_run_on_the_compiled_plan() {
+        let engine = CertainEngine::new();
+        // FO under OWA: no certificate, but the 1-column complement compiles, so
+        // every per-world evaluation uses the executor (no fallbacks).
+        let q = engine.prepare("exists u . !D(u, u)").expect("valid query");
+        assert!(q.compiles());
+        let eval = engine.evaluate(&d0(), Semantics::Owa, &q);
+        assert_eq!(eval.plan, EvalPlan::BoundedEnumeration);
+        assert!(eval.worlds_enumerated > 0);
+        assert_eq!(eval.exec.fallbacks, 0);
+        assert!(eval.exec.rows_scanned > 0, "{}", eval.exec);
     }
 
     #[test]

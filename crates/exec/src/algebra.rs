@@ -1,0 +1,297 @@
+//! The physical relational-algebra operator DAG.
+//!
+//! Every operator consumes and produces *binding relations*: sets of rows over a
+//! **sorted** list of variable names (the schema). Working with sorted schemas makes
+//! the natural join, anti-join and union alignments purely positional and keeps the
+//! plan deterministic; the final projection to the query's answer-variable order
+//! happens once, in [`crate::CompiledQuery`].
+//!
+//! The semantics implemented here is the *active-domain* semantics of
+//! [`nev_logic::eval`]: `DomainPad` and `Complement` range over `adom(D)`, which is
+//! exactly how the interpreter's quantifiers and negations behave.
+
+use std::fmt;
+
+use nev_incomplete::Value;
+
+/// One argument position of a base-relation scan.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ScanTerm {
+    /// A variable: the position is emitted as (or equality-checked against) a column.
+    Var(String),
+    /// A constant: the position is a selection `col = value`.
+    Const(Value),
+}
+
+/// A node of the physical operator DAG.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PlanNode {
+    /// Scan a base relation with a selection/projection pattern: constant positions
+    /// are selections (served by a hash index keyed on the bound columns), repeated
+    /// variables are intra-row equality checks, and the output schema is the sorted
+    /// set of distinct variables.
+    Scan {
+        /// Base relation name.
+        relation: String,
+        /// One entry per relation position.
+        pattern: Vec<ScanTerm>,
+        /// Sorted distinct variables of the pattern.
+        schema: Vec<String>,
+    },
+    /// The 0-ary relation holding exactly the empty row (`true`).
+    Unit,
+    /// The empty relation over a schema (`false`, or a statically empty selection).
+    Empty {
+        /// Output schema.
+        schema: Vec<String>,
+    },
+    /// `{(a) | a ∈ adom, a = value}` — equality of a variable with a constant:
+    /// one row if the constant occurs in the instance, no rows otherwise.
+    AdomConst {
+        /// The variable.
+        var: String,
+        /// The constant to pin it to.
+        value: Value,
+    },
+    /// `{(a, a) | a ∈ adom}` over two distinct variables — the equality atom `x = y`.
+    AdomEq {
+        /// The two variables, sorted.
+        vars: [String; 2],
+    },
+    /// Natural hash join on the shared variables (cross product if none).
+    Join {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+    },
+    /// Anti-join: rows of `left` with **no** matching row in `right`. The lowering
+    /// guarantees `right`'s schema is a subset of `left`'s — this is the
+    /// active-domain difference serving in-conjunction negation.
+    AntiJoin {
+        /// Rows to filter.
+        left: Box<PlanNode>,
+        /// Rows to exclude matches of.
+        right: Box<PlanNode>,
+    },
+    /// Set union of inputs with identical schemas.
+    Union {
+        /// The inputs.
+        inputs: Vec<PlanNode>,
+    },
+    /// Projection onto a (sorted) subset of the input schema, with duplicate
+    /// elimination — existential quantification.
+    Project {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Sorted subset of the input schema to keep.
+        keep: Vec<String>,
+    },
+    /// Cross product with `adom(D)` for each listed variable — the active-domain
+    /// padding that aligns subformulas over different free-variable sets.
+    DomainPad {
+        /// Input.
+        input: Box<PlanNode>,
+        /// New variables, disjoint from the input schema.
+        vars: Vec<String>,
+    },
+    /// Active-domain complement: `adom(D)^schema ∖ input` — negation.
+    Complement {
+        /// Input.
+        input: Box<PlanNode>,
+    },
+}
+
+/// Merges two sorted deduplicated schemas into their sorted union.
+pub fn merge_schemas(a: &[String], b: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+impl PlanNode {
+    /// The sorted output schema of the node (recomputed recursively; the executor
+    /// instead threads schemas through its batches).
+    pub fn schema(&self) -> Vec<String> {
+        match self {
+            PlanNode::Scan { schema, .. } | PlanNode::Empty { schema } => schema.clone(),
+            PlanNode::Unit => Vec::new(),
+            PlanNode::AdomConst { var, .. } => vec![var.clone()],
+            PlanNode::AdomEq { vars } => vars.to_vec(),
+            PlanNode::Join { left, right } => merge_schemas(&left.schema(), &right.schema()),
+            PlanNode::AntiJoin { left, .. } => left.schema(),
+            PlanNode::Union { inputs } => inputs.first().map(PlanNode::schema).unwrap_or_default(),
+            PlanNode::Project { keep, .. } => keep.clone(),
+            PlanNode::DomainPad { input, vars } => {
+                let mut sorted_vars = vars.clone();
+                sorted_vars.sort();
+                merge_schemas(&input.schema(), &sorted_vars)
+            }
+            PlanNode::Complement { input } => input.schema(),
+        }
+    }
+
+    /// The number of operator nodes in the DAG (a size measure for tests/logs).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            PlanNode::Scan { .. }
+            | PlanNode::Unit
+            | PlanNode::Empty { .. }
+            | PlanNode::AdomConst { .. }
+            | PlanNode::AdomEq { .. } => 0,
+            PlanNode::Join { left, right } | PlanNode::AntiJoin { left, right } => {
+                left.node_count() + right.node_count()
+            }
+            PlanNode::Union { inputs } => inputs.iter().map(PlanNode::node_count).sum(),
+            PlanNode::Project { input, .. }
+            | PlanNode::DomainPad { input, .. }
+            | PlanNode::Complement { input } => input.node_count(),
+        }
+    }
+
+    fn render(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            PlanNode::Scan {
+                relation, pattern, ..
+            } => {
+                write!(f, "{pad}Scan {relation}(")?;
+                for (i, t) in pattern.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match t {
+                        ScanTerm::Var(v) => write!(f, "{v}")?,
+                        ScanTerm::Const(c) => write!(f, "{c}")?,
+                    }
+                }
+                writeln!(f, ")")
+            }
+            PlanNode::Unit => writeln!(f, "{pad}Unit"),
+            PlanNode::Empty { schema } => writeln!(f, "{pad}Empty [{}]", schema.join(", ")),
+            PlanNode::AdomConst { var, value } => {
+                writeln!(f, "{pad}AdomConst {var} = {value}")
+            }
+            PlanNode::AdomEq { vars } => writeln!(f, "{pad}AdomEq {} = {}", vars[0], vars[1]),
+            PlanNode::Join { left, right } => {
+                writeln!(f, "{pad}HashJoin")?;
+                left.render(f, indent + 1)?;
+                right.render(f, indent + 1)
+            }
+            PlanNode::AntiJoin { left, right } => {
+                writeln!(f, "{pad}AntiJoin")?;
+                left.render(f, indent + 1)?;
+                right.render(f, indent + 1)
+            }
+            PlanNode::Union { inputs } => {
+                writeln!(f, "{pad}Union")?;
+                for i in inputs {
+                    i.render(f, indent + 1)?;
+                }
+                Ok(())
+            }
+            PlanNode::Project { input, keep } => {
+                writeln!(f, "{pad}Project [{}]", keep.join(", "))?;
+                input.render(f, indent + 1)
+            }
+            PlanNode::DomainPad { input, vars } => {
+                writeln!(f, "{pad}DomainPad [{}]", vars.join(", "))?;
+                input.render(f, indent + 1)
+            }
+            PlanNode::Complement { input } => {
+                writeln!(f, "{pad}Complement")?;
+                input.render(f, indent + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for PlanNode {
+    /// Renders the plan as an indented EXPLAIN-style tree.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.render(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rel: &str, vars: &[&str]) -> PlanNode {
+        let mut schema: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
+        schema.sort();
+        schema.dedup();
+        PlanNode::Scan {
+            relation: rel.into(),
+            pattern: vars.iter().map(|v| ScanTerm::Var(v.to_string())).collect(),
+            schema,
+        }
+    }
+
+    #[test]
+    fn merge_schemas_is_a_sorted_union() {
+        let a = vec!["a".to_string(), "c".to_string()];
+        let b = vec!["b".to_string(), "c".to_string(), "d".to_string()];
+        assert_eq!(merge_schemas(&a, &b), ["a", "b", "c", "d"]);
+        assert_eq!(merge_schemas(&a, &[]), a);
+    }
+
+    #[test]
+    fn schemas_propagate_through_operators() {
+        let join = PlanNode::Join {
+            left: Box::new(scan("R", &["x", "y"])),
+            right: Box::new(scan("S", &["y", "z"])),
+        };
+        assert_eq!(join.schema(), ["x", "y", "z"]);
+        let project = PlanNode::Project {
+            input: Box::new(join.clone()),
+            keep: vec!["x".into(), "z".into()],
+        };
+        assert_eq!(project.schema(), ["x", "z"]);
+        let pad = PlanNode::DomainPad {
+            input: Box::new(project),
+            vars: vec!["w".into()],
+        };
+        assert_eq!(pad.schema(), ["w", "x", "z"]);
+        assert_eq!(join.node_count(), 3);
+        assert_eq!(PlanNode::Unit.schema(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn display_renders_a_tree() {
+        let plan = PlanNode::Project {
+            input: Box::new(PlanNode::Join {
+                left: Box::new(scan("R", &["x", "y"])),
+                right: Box::new(PlanNode::AdomConst {
+                    var: "y".into(),
+                    value: Value::int(3),
+                }),
+            }),
+            keep: vec!["x".into()],
+        };
+        let s = plan.to_string();
+        assert!(s.contains("Project [x]"));
+        assert!(s.contains("HashJoin"));
+        assert!(s.contains("Scan R(x, y)"));
+        assert!(s.contains("AdomConst y = 3"));
+    }
+}

@@ -1,0 +1,583 @@
+//! Set-at-a-time execution of compiled plans over interned instances.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use nev_incomplete::{Instance, Tuple};
+
+use crate::algebra::{merge_schemas, PlanNode, ScanTerm};
+use crate::intern::{ColumnarRelation, InternedInstance};
+use crate::lower::CompiledQuery;
+use crate::stats::ExecStats;
+
+/// The result of executing a compiled query on one instance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExecOutput {
+    /// The answer tuples (Boolean queries use the `{()} / ∅` encoding).
+    pub answers: BTreeSet<Tuple>,
+    /// Execution counters for this pass.
+    pub stats: ExecStats,
+}
+
+/// An intermediate binding relation: rows of codes over a sorted variable schema.
+struct Batch {
+    schema: Vec<String>,
+    rows: Vec<Vec<u32>>,
+}
+
+impl Batch {
+    fn empty(schema: Vec<String>) -> Self {
+        Batch {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+}
+
+/// A base-relation hash index: key codes (one per bound column) → row ids.
+type RelationIndex = HashMap<Vec<u32>, Vec<usize>>;
+
+/// Per-execution state: the interned instance, the counters, and the cache of base
+/// hash indexes keyed on (relation, bound column positions) — shared by every scan
+/// of the same relation with the same bound shape (e.g. self-joins).
+struct ExecContext<'a> {
+    inst: &'a InternedInstance,
+    stats: ExecStats,
+    indexes: HashMap<(String, Vec<usize>), RelationIndex>,
+}
+
+impl<'a> ExecContext<'a> {
+    fn new(inst: &'a InternedInstance) -> Self {
+        ExecContext {
+            inst,
+            stats: ExecStats::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// Rows of `rel` whose `cols` hold exactly `key`, via a (cached) hash index.
+    fn probe_index(
+        &mut self,
+        relation: &str,
+        rel: &ColumnarRelation,
+        cols: &[usize],
+        key: &[u32],
+    ) -> Vec<usize> {
+        let map_key = (relation.to_string(), cols.to_vec());
+        if !self.indexes.contains_key(&map_key) {
+            let mut index: RelationIndex = HashMap::new();
+            for r in 0..rel.len() {
+                let k: Vec<u32> = cols.iter().map(|&c| rel.col(c)[r]).collect();
+                index.entry(k).or_default().push(r);
+            }
+            self.stats.index_builds += 1;
+            self.stats.rows_scanned += rel.len() as u64;
+            self.indexes.insert(map_key.clone(), index);
+        }
+        self.stats.hash_probes += 1;
+        self.indexes[&map_key].get(key).cloned().unwrap_or_default()
+    }
+}
+
+fn eval(node: &PlanNode, ctx: &mut ExecContext<'_>) -> Batch {
+    match node {
+        PlanNode::Scan {
+            relation,
+            pattern,
+            schema,
+        } => eval_scan(relation, pattern, schema, ctx),
+        PlanNode::Unit => Batch {
+            schema: Vec::new(),
+            rows: vec![Vec::new()],
+        },
+        PlanNode::Empty { schema } => Batch::empty(schema.clone()),
+        PlanNode::AdomConst { var, value } => {
+            let rows = match ctx.inst.dictionary().code(value) {
+                Some(code) => vec![vec![code]],
+                None => Vec::new(),
+            };
+            Batch {
+                schema: vec![var.clone()],
+                rows,
+            }
+        }
+        PlanNode::AdomEq { vars } => {
+            let n = ctx.inst.dictionary().len() as u32;
+            ctx.stats.intermediate_rows += u64::from(n);
+            Batch {
+                schema: vars.to_vec(),
+                rows: (0..n).map(|c| vec![c, c]).collect(),
+            }
+        }
+        PlanNode::Join { left, right } => {
+            let l = eval(left, ctx);
+            let r = eval(right, ctx);
+            eval_join(l, r, ctx)
+        }
+        PlanNode::AntiJoin { left, right } => {
+            let l = eval(left, ctx);
+            let r = eval(right, ctx);
+            eval_anti_join(l, r, ctx)
+        }
+        PlanNode::Union { inputs } => {
+            let mut schema = Vec::new();
+            let mut seen: HashSet<Vec<u32>> = HashSet::new();
+            let mut rows = Vec::new();
+            for input in inputs {
+                let b = eval(input, ctx);
+                schema = b.schema;
+                for row in b.rows {
+                    if seen.insert(row.clone()) {
+                        rows.push(row);
+                    }
+                }
+            }
+            ctx.stats.intermediate_rows += rows.len() as u64;
+            Batch { schema, rows }
+        }
+        PlanNode::Project { input, keep } => {
+            let b = eval(input, ctx);
+            let positions: Vec<usize> = keep
+                .iter()
+                .map(|v| {
+                    b.schema
+                        .binary_search(v)
+                        .expect("projection keeps schema columns")
+                })
+                .collect();
+            let mut seen: HashSet<Vec<u32>> = HashSet::new();
+            let mut rows = Vec::new();
+            for row in &b.rows {
+                let projected: Vec<u32> = positions.iter().map(|&p| row[p]).collect();
+                if seen.insert(projected.clone()) {
+                    rows.push(projected);
+                }
+            }
+            ctx.stats.intermediate_rows += rows.len() as u64;
+            Batch {
+                schema: keep.clone(),
+                rows,
+            }
+        }
+        PlanNode::DomainPad { input, vars } => {
+            let b = eval(input, ctx);
+            eval_domain_pad(b, vars, ctx)
+        }
+        PlanNode::Complement { input } => {
+            let b = eval(input, ctx);
+            eval_complement(b, ctx)
+        }
+    }
+}
+
+fn eval_scan(
+    relation: &str,
+    pattern: &[ScanTerm],
+    schema: &[String],
+    ctx: &mut ExecContext<'_>,
+) -> Batch {
+    let Some(rel) = ctx.inst.relation(relation) else {
+        return Batch::empty(schema.to_vec());
+    };
+    if rel.arity() != pattern.len() {
+        // A same-named relation of a different arity never matches the atom —
+        // exactly the interpreter's `contains` behaviour.
+        return Batch::empty(schema.to_vec());
+    }
+    // Resolve constant positions to codes; a constant absent from the instance
+    // makes the whole selection empty.
+    let mut bound_cols = Vec::new();
+    let mut bound_codes = Vec::new();
+    let mut first_occurrence: HashMap<&str, usize> = HashMap::new();
+    let mut eq_checks = Vec::new();
+    for (i, t) in pattern.iter().enumerate() {
+        match t {
+            ScanTerm::Const(v) => match ctx.inst.dictionary().code(v) {
+                Some(code) => {
+                    bound_cols.push(i);
+                    bound_codes.push(code);
+                }
+                None => return Batch::empty(schema.to_vec()),
+            },
+            ScanTerm::Var(v) => match first_occurrence.get(v.as_str()) {
+                Some(&f) => eq_checks.push((f, i)),
+                None => {
+                    first_occurrence.insert(v, i);
+                }
+            },
+        }
+    }
+    let out_positions: Vec<usize> = schema
+        .iter()
+        .map(|v| first_occurrence[v.as_str()])
+        .collect();
+    let candidates: Vec<usize> = if bound_cols.is_empty() {
+        ctx.stats.rows_scanned += rel.len() as u64;
+        (0..rel.len()).collect()
+    } else {
+        ctx.probe_index(relation, rel, &bound_cols, &bound_codes)
+    };
+    let rows: Vec<Vec<u32>> = candidates
+        .into_iter()
+        .filter(|&r| {
+            eq_checks
+                .iter()
+                .all(|&(a, b)| rel.col(a)[r] == rel.col(b)[r])
+        })
+        .map(|r| out_positions.iter().map(|&p| rel.col(p)[r]).collect())
+        .collect();
+    Batch {
+        schema: schema.to_vec(),
+        rows,
+    }
+}
+
+fn eval_join(l: Batch, r: Batch, ctx: &mut ExecContext<'_>) -> Batch {
+    let schema = merge_schemas(&l.schema, &r.schema);
+    // Shared variables and their positions on each side.
+    let shared: Vec<&String> = l
+        .schema
+        .iter()
+        .filter(|v| r.schema.binary_search(v).is_ok())
+        .collect();
+    let lkey: Vec<usize> = shared
+        .iter()
+        .map(|v| l.schema.binary_search(v).expect("shared"))
+        .collect();
+    let rkey: Vec<usize> = shared
+        .iter()
+        .map(|v| r.schema.binary_search(v).expect("shared"))
+        .collect();
+    // For every output column, where it comes from (left wins on shared columns).
+    enum Src {
+        L(usize),
+        R(usize),
+    }
+    let sources: Vec<Src> = schema
+        .iter()
+        .map(|v| match l.schema.binary_search(v) {
+            Ok(p) => Src::L(p),
+            Err(_) => Src::R(r.schema.binary_search(v).expect("from one side")),
+        })
+        .collect();
+    // Build on the smaller side, probe with the larger.
+    let build_left = l.rows.len() <= r.rows.len();
+    let (build, probe) = if build_left { (&l, &r) } else { (&r, &l) };
+    let (build_key, probe_key) = if build_left {
+        (&lkey, &rkey)
+    } else {
+        (&rkey, &lkey)
+    };
+    let mut table: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+    for (i, row) in build.rows.iter().enumerate() {
+        let key: Vec<u32> = build_key.iter().map(|&p| row[p]).collect();
+        table.entry(key).or_default().push(i);
+    }
+    let mut rows = Vec::new();
+    for probe_row in &probe.rows {
+        ctx.stats.hash_probes += 1;
+        let key: Vec<u32> = probe_key.iter().map(|&p| probe_row[p]).collect();
+        let Some(matches) = table.get(&key) else {
+            continue;
+        };
+        for &b in matches {
+            let build_row = &build.rows[b];
+            let (lrow, rrow) = if build_left {
+                (build_row, probe_row)
+            } else {
+                (probe_row, build_row)
+            };
+            rows.push(
+                sources
+                    .iter()
+                    .map(|s| match s {
+                        Src::L(p) => lrow[*p],
+                        Src::R(p) => rrow[*p],
+                    })
+                    .collect(),
+            );
+        }
+    }
+    ctx.stats.intermediate_rows += rows.len() as u64;
+    Batch { schema, rows }
+}
+
+fn eval_anti_join(l: Batch, r: Batch, ctx: &mut ExecContext<'_>) -> Batch {
+    // The lowering guarantees r.schema ⊆ l.schema.
+    let positions: Vec<usize> = r
+        .schema
+        .iter()
+        .map(|v| l.schema.binary_search(v).expect("anti-join schema subset"))
+        .collect();
+    let exclude: HashSet<Vec<u32>> = r.rows.into_iter().collect();
+    let rows: Vec<Vec<u32>> = l
+        .rows
+        .into_iter()
+        .filter(|row| {
+            ctx.stats.hash_probes += 1;
+            let key: Vec<u32> = positions.iter().map(|&p| row[p]).collect();
+            !exclude.contains(&key)
+        })
+        .collect();
+    ctx.stats.intermediate_rows += rows.len() as u64;
+    Batch {
+        schema: l.schema,
+        rows,
+    }
+}
+
+fn eval_domain_pad(b: Batch, vars: &[String], ctx: &mut ExecContext<'_>) -> Batch {
+    let mut sorted_vars: Vec<String> = vars.to_vec();
+    sorted_vars.sort();
+    let schema = merge_schemas(&b.schema, &sorted_vars);
+    let n = ctx.inst.dictionary().len() as u32;
+    if n == 0 {
+        return Batch::empty(schema);
+    }
+    enum Src {
+        Input(usize),
+        Pad(usize),
+    }
+    let sources: Vec<Src> = schema
+        .iter()
+        .map(|v| match b.schema.binary_search(v) {
+            Ok(p) => Src::Input(p),
+            Err(_) => Src::Pad(sorted_vars.binary_search(v).expect("padded")),
+        })
+        .collect();
+    let k = sorted_vars.len();
+    let mut rows = Vec::new();
+    let mut pad = vec![0u32; k];
+    for row in &b.rows {
+        pad.iter_mut().for_each(|p| *p = 0);
+        loop {
+            rows.push(
+                sources
+                    .iter()
+                    .map(|s| match s {
+                        Src::Input(p) => row[*p],
+                        Src::Pad(p) => pad[*p],
+                    })
+                    .collect(),
+            );
+            // Advance the odometer over adom^k.
+            let mut pos = 0;
+            loop {
+                if pos == k {
+                    break;
+                }
+                pad[pos] += 1;
+                if pad[pos] < n {
+                    break;
+                }
+                pad[pos] = 0;
+                pos += 1;
+            }
+            if pos == k {
+                break;
+            }
+        }
+    }
+    ctx.stats.intermediate_rows += rows.len() as u64;
+    Batch { schema, rows }
+}
+
+fn eval_complement(b: Batch, ctx: &mut ExecContext<'_>) -> Batch {
+    let k = b.schema.len();
+    if k == 0 {
+        // Boolean negation under the {()} / ∅ encoding.
+        let rows = if b.rows.is_empty() {
+            vec![Vec::new()]
+        } else {
+            Vec::new()
+        };
+        return Batch {
+            schema: b.schema,
+            rows,
+        };
+    }
+    let n = ctx.inst.dictionary().len() as u32;
+    let present: HashSet<Vec<u32>> = b.rows.into_iter().collect();
+    let mut rows = Vec::new();
+    let mut current = vec![0u32; k];
+    if n > 0 {
+        loop {
+            if !present.contains(&current) {
+                rows.push(current.clone());
+            }
+            let mut pos = 0;
+            loop {
+                if pos == k {
+                    break;
+                }
+                current[pos] += 1;
+                if current[pos] < n {
+                    break;
+                }
+                current[pos] = 0;
+                pos += 1;
+            }
+            if pos == k {
+                break;
+            }
+        }
+    }
+    ctx.stats.intermediate_rows += rows.len() as u64;
+    Batch {
+        schema: b.schema,
+        rows,
+    }
+}
+
+impl CompiledQuery {
+    /// Executes the plan on an instance, returning **all** answers — including
+    /// tuples containing nulls — like [`nev_logic::eval::evaluate_query`].
+    pub fn execute(&self, d: &Instance) -> ExecOutput {
+        let interned = InternedInstance::new(d);
+        let mut stats = ExecStats::new();
+        let answers = self.execute_interned(&interned, false, &mut stats);
+        ExecOutput { answers, stats }
+    }
+
+    /// Executes the plan and keeps only the all-constant answers — **naïve
+    /// evaluation**, like [`nev_logic::eval::naive_eval_query`].
+    pub fn execute_naive(&self, d: &Instance) -> ExecOutput {
+        let interned = InternedInstance::new(d);
+        let mut stats = ExecStats::new();
+        let answers = self.execute_interned(&interned, true, &mut stats);
+        ExecOutput { answers, stats }
+    }
+
+    /// Executes against an already-interned instance, merging counters into
+    /// `stats`. With `complete_only`, rows containing null codes are dropped — the
+    /// "discard tuples with nulls" half of naïve evaluation, decided with one
+    /// integer comparison per position.
+    pub fn execute_interned(
+        &self,
+        inst: &InternedInstance,
+        complete_only: bool,
+        stats: &mut ExecStats,
+    ) -> BTreeSet<Tuple> {
+        let mut ctx = ExecContext::new(inst);
+        let batch = eval(&self.plan, &mut ctx);
+        debug_assert_eq!(batch.schema, self.schema, "plan schema must match");
+        let dict = inst.dictionary();
+        let mut answers = BTreeSet::new();
+        for row in &batch.rows {
+            if complete_only && !row.iter().all(|&code| dict.is_const(code)) {
+                continue;
+            }
+            let tuple: Tuple = self
+                .output_positions
+                .iter()
+                .map(|&p| dict.value(row[p]).clone())
+                .collect();
+            answers.insert(tuple);
+        }
+        stats.merge(&ctx.stats);
+        answers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+    use nev_logic::eval::{evaluate_query, naive_eval_query};
+    use nev_logic::parse_query;
+
+    fn check(text: &str, d: &Instance) -> ExecOutput {
+        let q = parse_query(text).expect("valid query");
+        let compiled = CompiledQuery::compile(&q).expect("compiles");
+        let out = compiled.execute(d);
+        assert_eq!(out.answers, evaluate_query(d, &q), "raw answers on {text}");
+        let naive = compiled.execute_naive(d);
+        assert_eq!(
+            naive.answers,
+            naive_eval_query(d, &q),
+            "naive answers on {text}"
+        );
+        out
+    }
+
+    fn intro() -> Instance {
+        inst! {
+            "R" => [[c(1), x(1)], [x(2), x(3)]],
+            "S" => [[x(1), c(4)], [x(3), c(5)]],
+        }
+    }
+
+    #[test]
+    fn intro_join_matches_the_interpreter() {
+        let out = check("Q(x, y) :- exists z . R(x, z) & S(z, y)", &intro());
+        assert_eq!(out.answers.len(), 2);
+        assert!(out.stats.rows_scanned > 0);
+        assert!(out.stats.hash_probes > 0);
+    }
+
+    #[test]
+    fn constants_in_atoms_use_the_index() {
+        let d = inst! { "R" => [[c(1), c(2)], [c(1), c(3)], [c(2), c(3)]] };
+        let out = check("Q(u) :- R(1, u)", &d);
+        assert_eq!(out.answers.len(), 2);
+        assert_eq!(out.stats.index_builds, 1);
+        assert!(out.stats.hash_probes >= 1);
+    }
+
+    #[test]
+    fn self_joins_share_one_index() {
+        let d = inst! { "R" => [[c(1), c(2)], [c(2), c(3)]] };
+        // Two scans of R bound on column 0 share the cached index.
+        let out = check("Q(u) :- exists v . R(1, v) & R(2, u)", &d);
+        assert_eq!(out.stats.index_builds, 1);
+    }
+
+    #[test]
+    fn repeated_variables_select_within_rows() {
+        let d = inst! { "R" => [[c(1), c(1)], [c(1), c(2)], [x(1), x(1)]] };
+        let out = check("Q(u) :- R(u, u)", &d);
+        assert_eq!(out.answers.len(), 2);
+    }
+
+    #[test]
+    fn negation_forall_and_equality_match_the_interpreter() {
+        let d0 = inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] };
+        let loops = inst! { "D" => [[x(1), x(1)], [x(1), x(2)]] };
+        for d in [&d0, &loops, &Instance::new()] {
+            check("forall u . exists v . D(u, v)", d);
+            check("exists u . !D(u, u)", d);
+            check("forall u v . D(u, v) -> D(v, u)", d);
+            check("Q(u) :- exists v . D(u, v) & !D(v, u)", d);
+            check("exists u v . D(u, v) & u = v", d);
+            check("exists u . D(u, u) & u = 1", d);
+        }
+    }
+
+    #[test]
+    fn empty_instances_and_missing_relations() {
+        let empty = Instance::new();
+        check("exists u . T(u)", &empty);
+        check("Q(u) :- T(u)", &empty);
+        check("forall u . T(u)", &empty);
+        let d = inst! { "R" => [[c(1)]] };
+        check("exists u . T(u)", &d);
+        // A constant absent from the instance: empty selection, not an error.
+        check("exists u . R(9)", &d);
+    }
+
+    #[test]
+    fn answer_variables_absent_from_the_formula_range_over_adom() {
+        let d = inst! { "R" => [[c(1)], [c(2)]] };
+        let out = check("Q(u, v) :- R(u)", &d);
+        assert_eq!(out.answers.len(), 4);
+    }
+
+    #[test]
+    fn boolean_encoding_round_trips() {
+        let d = inst! { "R" => [[c(1)]] };
+        let t = check("exists u . R(u)", &d);
+        assert_eq!(t.answers.len(), 1);
+        let f = check("exists u . S(u)", &d);
+        assert!(f.answers.is_empty());
+    }
+}

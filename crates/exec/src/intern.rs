@@ -1,0 +1,202 @@
+//! Dictionary encoding of instances: `Value → u32` codes and columnar batches.
+//!
+//! Tree-walking evaluation compares [`Value`]s — heap-allocated strings, enum tags —
+//! at every step. The compiled engine instead interns the active domain of an
+//! instance **once** into dense `u32` codes (constants first, then nulls, in the
+//! deterministic [`Instance::adom_ordered`] order) and stores every relation as a
+//! column-major batch of codes. All downstream operators work on codes: equality is
+//! an integer compare, hashing is integer hashing, and "is this answer tuple free of
+//! nulls?" is a single comparison against the constant count.
+
+use std::collections::HashMap;
+
+use nev_incomplete::{Instance, Value};
+
+/// A per-instance interning dictionary: a bijection between `adom(D)` and the code
+/// range `0..len`, with constants occupying the low codes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dictionary {
+    values: Vec<Value>,
+    codes: HashMap<Value, u32>,
+    const_count: u32,
+}
+
+impl Dictionary {
+    /// Interns the active domain of an instance. Codes `0..const_count` are the
+    /// constants of `D`, codes `const_count..len` its nulls.
+    pub fn from_instance(d: &Instance) -> Self {
+        let values = d.adom_ordered();
+        let const_count = values.iter().take_while(|v| v.is_const()).count() as u32;
+        let codes = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+        Dictionary {
+            values,
+            codes,
+            const_count,
+        }
+    }
+
+    /// The code of a value, if the value occurs in the instance.
+    pub fn code(&self, v: &Value) -> Option<u32> {
+        self.codes.get(v).copied()
+    }
+
+    /// The value behind a code.
+    ///
+    /// # Panics
+    /// Panics if the code is out of range.
+    pub fn value(&self, code: u32) -> &Value {
+        &self.values[code as usize]
+    }
+
+    /// Returns `true` iff the code denotes a constant (not a null).
+    pub fn is_const(&self, code: u32) -> bool {
+        code < self.const_count
+    }
+
+    /// The size of the interned active domain.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` iff the active domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The number of constants in the active domain.
+    pub fn const_count(&self) -> usize {
+        self.const_count as usize
+    }
+}
+
+/// One relation stored column-major: `cols[i][r]` is the code at position `i` of
+/// row `r`. Rows follow the relation's deterministic tuple order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ColumnarRelation {
+    arity: usize,
+    len: usize,
+    cols: Vec<Vec<u32>>,
+}
+
+impl ColumnarRelation {
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` iff the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One column of codes.
+    pub fn col(&self, i: usize) -> &[u32] {
+        &self.cols[i]
+    }
+
+    /// Materialises row `r` as a vector of codes.
+    pub fn row(&self, r: usize) -> Vec<u32> {
+        self.cols.iter().map(|c| c[r]).collect()
+    }
+}
+
+/// An instance interned for compiled execution: the dictionary plus every relation
+/// as a columnar code batch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InternedInstance {
+    dict: Dictionary,
+    relations: HashMap<String, ColumnarRelation>,
+}
+
+impl InternedInstance {
+    /// Interns an instance: builds the dictionary and encodes every relation
+    /// column by column (via [`nev_incomplete::Relation::column`]).
+    pub fn new(d: &Instance) -> Self {
+        let dict = Dictionary::from_instance(d);
+        let relations = d
+            .relations()
+            .map(|r| {
+                let cols: Vec<Vec<u32>> = (0..r.arity())
+                    .map(|i| {
+                        r.column(i)
+                            .map(|v| dict.code(v).expect("every relation value is in adom"))
+                            .collect()
+                    })
+                    .collect();
+                let rel = ColumnarRelation {
+                    arity: r.arity(),
+                    len: r.len(),
+                    cols,
+                };
+                (r.name().to_string(), rel)
+            })
+            .collect();
+        InternedInstance { dict, relations }
+    }
+
+    /// The interning dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Looks up a relation's columnar batch by name.
+    pub fn relation(&self, name: &str) -> Option<&ColumnarRelation> {
+        self.relations.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+
+    fn sample() -> Instance {
+        inst! {
+            "R" => [[c(1), x(1)], [x(2), x(3)]],
+            "S" => [[x(1), c(4)], [x(3), c(5)]],
+        }
+    }
+
+    #[test]
+    fn dictionary_codes_constants_first() {
+        let d = sample();
+        let dict = Dictionary::from_instance(&d);
+        assert_eq!(dict.len(), 6);
+        assert_eq!(dict.const_count(), 3);
+        for code in 0..dict.len() as u32 {
+            assert_eq!(dict.is_const(code), dict.value(code).is_const());
+            assert_eq!(dict.code(dict.value(code)), Some(code));
+        }
+        assert_eq!(dict.code(&Value::int(999)), None);
+        assert!(!dict.is_empty());
+        assert!(Dictionary::from_instance(&Instance::new()).is_empty());
+    }
+
+    #[test]
+    fn columnar_relations_round_trip_rows() {
+        let d = sample();
+        let interned = InternedInstance::new(&d);
+        let dict = interned.dictionary();
+        let r = interned.relation("R").expect("R interned");
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.col(0).len(), 2);
+        // Decode every row back to values and check it is a tuple of R.
+        for row in 0..r.len() {
+            let decoded: Vec<Value> = r.row(row).iter().map(|&c| dict.value(c).clone()).collect();
+            assert!(d.contains_tuple("R", &decoded.into_iter().collect()));
+        }
+        assert!(interned.relation("T").is_none());
+    }
+}

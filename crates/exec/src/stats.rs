@@ -1,0 +1,100 @@
+//! Execution telemetry: the `ExecStats` counter block.
+
+use std::fmt;
+
+/// Counters describing one (or several, merged) compiled-execution passes.
+///
+/// The engine (`nev-core`) surfaces these next to its `worlds_enumerated` /
+/// `enumeration_passes` telemetry, so a caller can see *how* an answer was produced:
+/// how much base data was scanned, how much hashing the joins did, and whether any
+/// evaluation had to fall back to the tree-walking interpreter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExecStats {
+    /// Base-relation rows read by scans and index builds.
+    pub rows_scanned: u64,
+    /// Hash-table probes performed by joins, anti-joins and index lookups.
+    pub hash_probes: u64,
+    /// Hash indexes built over base relations (keyed on bound columns).
+    pub index_builds: u64,
+    /// Rows produced by intermediate operators (joins, unions, pads, complements).
+    pub intermediate_rows: u64,
+    /// Evaluations routed to the tree-walking interpreter because the query has no
+    /// compiled form (the compiler rejected its shape).
+    pub fallbacks: u64,
+}
+
+impl ExecStats {
+    /// A zeroed counter block.
+    pub fn new() -> Self {
+        ExecStats::default()
+    }
+
+    /// The counter block recording exactly one interpreter fallback.
+    pub fn fallback() -> Self {
+        ExecStats {
+            fallbacks: 1,
+            ..ExecStats::default()
+        }
+    }
+
+    /// Adds another counter block into this one (used to aggregate the per-world
+    /// executions of the bounded oracle, or a whole batch).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.hash_probes += other.hash_probes;
+        self.index_builds += other.index_builds;
+        self.intermediate_rows += other.intermediate_rows;
+        self.fallbacks += other.fallbacks;
+    }
+
+    /// Returns `true` iff every counter is zero (no compiled work, no fallbacks).
+    pub fn is_empty(&self) -> bool {
+        *self == ExecStats::default()
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scanned={} probes={} indexes={} intermediate={} fallbacks={}",
+            self.rows_scanned,
+            self.hash_probes,
+            self.index_builds,
+            self.intermediate_rows,
+            self.fallbacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = ExecStats {
+            rows_scanned: 1,
+            hash_probes: 2,
+            index_builds: 3,
+            intermediate_rows: 4,
+            fallbacks: 0,
+        };
+        a.merge(&ExecStats::fallback());
+        a.merge(&ExecStats {
+            rows_scanned: 10,
+            ..ExecStats::default()
+        });
+        assert_eq!(a.rows_scanned, 11);
+        assert_eq!(a.fallbacks, 1);
+        assert!(!a.is_empty());
+        assert!(ExecStats::new().is_empty());
+    }
+
+    #[test]
+    fn display_lists_all_counters() {
+        let s = ExecStats::fallback().to_string();
+        assert!(s.contains("fallbacks=1"));
+        assert!(s.contains("scanned=0"));
+    }
+}

@@ -147,6 +147,14 @@ impl Instance {
             .collect()
     }
 
+    /// The active domain as an ordered vector — constants first, then nulls (the
+    /// derived `Ord` on [`Value`]), each group sorted. This is the interning hook
+    /// used by dictionary encoders (`nev-exec`): assigning codes in this order makes
+    /// "is this code a constant?" a single comparison against the constant count.
+    pub fn adom_ordered(&self) -> Vec<Value> {
+        self.adom().into_iter().collect()
+    }
+
     /// `Const(D)`: the set of constants occurring in the instance.
     pub fn constants(&self) -> BTreeSet<Constant> {
         self.relations
@@ -367,6 +375,19 @@ mod tests {
         );
         assert_eq!(d.adom().len(), 6);
         assert!(!d.is_complete());
+    }
+
+    #[test]
+    fn adom_ordered_puts_constants_first() {
+        let d = sample();
+        let ordered = d.adom_ordered();
+        assert_eq!(ordered.len(), 6);
+        let const_count = d.constants().len();
+        assert!(ordered[..const_count].iter().all(Value::is_const));
+        assert!(ordered[const_count..].iter().all(Value::is_null));
+        let mut sorted = ordered.clone();
+        sorted.sort();
+        assert_eq!(ordered, sorted, "the order is the derived Ord order");
     }
 
     #[test]

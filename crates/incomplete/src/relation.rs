@@ -151,6 +151,24 @@ impl Relation {
         self.tuples.iter().flat_map(|t| t.values().iter())
     }
 
+    /// Iterates over the values of one column (position `i` of every tuple, in the
+    /// relation's deterministic tuple order) — the loading hook for columnar
+    /// representations such as `nev-exec`'s interned batches.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds for the relation's arity.
+    pub fn column(&self, i: usize) -> impl Iterator<Item = &Value> + '_ {
+        assert!(
+            i < self.arity,
+            "column {i} out of bounds for {}/{}",
+            self.name,
+            self.arity
+        );
+        self.tuples
+            .iter()
+            .map(move |t| t.get(i).expect("tuple arity checked on insert"))
+    }
+
     /// Applies a value mapping to every tuple, producing the image relation.
     pub fn map_values<F: FnMut(&Value) -> Value>(&self, mut f: F) -> Relation {
         let mut out = Relation::new(self.name.clone(), self.arity);
@@ -271,6 +289,29 @@ mod tests {
         assert_eq!(r.nulls().collect::<Vec<_>>(), vec![NullId(7)]);
         assert_eq!(r.constants().count(), 1);
         assert_eq!(r.values().count(), 2);
+    }
+
+    #[test]
+    fn column_iterates_one_position_in_tuple_order() {
+        let mut r = Relation::new("R", 2);
+        r.insert(tuple_of([Value::int(2), Value::null(1)])).unwrap();
+        r.insert(tuple_of([Value::int(1), Value::int(9)])).unwrap();
+        // Tuple order is the BTreeSet order: (1, 9) before (2, ⊥1).
+        assert_eq!(
+            r.column(0).cloned().collect::<Vec<_>>(),
+            vec![Value::int(1), Value::int(2)]
+        );
+        assert_eq!(
+            r.column(1).cloned().collect::<Vec<_>>(),
+            vec![Value::int(9), Value::null(1)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn column_out_of_bounds_panics() {
+        let r = Relation::new("R", 1);
+        let _ = r.column(1).count();
     }
 
     #[test]

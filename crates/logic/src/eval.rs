@@ -32,14 +32,20 @@ fn term_value(term: &Term, assignment: &Assignment) -> Option<Value> {
 /// make the enclosing atom false (they can never be satisfied), which only matters for
 /// ill-formed inputs.
 pub fn satisfies(instance: &Instance, formula: &Formula, assignment: &Assignment) -> bool {
-    satisfies_with_domain(instance, formula, assignment, &instance.adom())
+    let domain: Vec<Value> = instance.adom().into_iter().collect();
+    let mut current = assignment.clone();
+    satisfies_with_domain(instance, formula, &mut current, &domain)
 }
 
+/// The recursive satisfaction check. `assignment` is threaded mutably — quantifiers
+/// extend it in place and restore it on the way out — so no per-candidate clones are
+/// made anywhere below the one clone in the public entry points. `domain` is the
+/// active domain, shared as a slice for the same reason.
 fn satisfies_with_domain(
     instance: &Instance,
     formula: &Formula,
-    assignment: &Assignment,
-    domain: &BTreeSet<Value>,
+    assignment: &mut Assignment,
+    domain: &[Value],
 ) -> bool {
     match formula {
         Formula::True => true,
@@ -81,44 +87,35 @@ fn satisfies_with_domain(
     }
 }
 
-/// Tries every extension of `assignment` mapping `vars` into `domain`; returns `true`
-/// as soon as `test` accepts one of them.
+/// Tries every extension of `assignment` mapping `vars` into `domain`, mutating and
+/// restoring the assignment in place; returns `true` as soon as `test` accepts one.
 fn assign_all(
-    domain: &BTreeSet<Value>,
+    domain: &[Value],
     vars: &[String],
-    assignment: &Assignment,
-    test: &mut dyn FnMut(&Assignment) -> bool,
+    current: &mut Assignment,
+    test: &mut dyn FnMut(&mut Assignment) -> bool,
 ) -> bool {
-    fn go(
-        domain: &BTreeSet<Value>,
-        vars: &[String],
-        current: &mut Assignment,
-        test: &mut dyn FnMut(&Assignment) -> bool,
-    ) -> bool {
-        match vars.split_first() {
-            None => test(current),
-            Some((v, rest)) => {
-                for value in domain {
-                    let previous = current.insert(v.clone(), value.clone());
-                    let found = go(domain, rest, current, test);
-                    match previous {
-                        Some(p) => {
-                            current.insert(v.clone(), p);
-                        }
-                        None => {
-                            current.remove(v);
-                        }
+    match vars.split_first() {
+        None => test(current),
+        Some((v, rest)) => {
+            for value in domain {
+                let previous = current.insert(v.clone(), value.clone());
+                let found = assign_all(domain, rest, current, test);
+                match previous {
+                    Some(p) => {
+                        current.insert(v.clone(), p);
                     }
-                    if found {
-                        return true;
+                    None => {
+                        current.remove(v);
                     }
                 }
-                false
+                if found {
+                    return true;
+                }
             }
+            false
         }
     }
-    let mut current = assignment.clone();
-    go(domain, vars, &mut current, test)
 }
 
 /// Evaluates a Boolean query (sentence) on the instance, with nulls treated as
@@ -132,14 +129,14 @@ pub fn evaluate_boolean(instance: &Instance, formula: &Formula) -> bool {
 /// Evaluates a k-ary query on the instance under the active-domain semantics,
 /// returning the set of answer tuples `Q(D) ⊆ adom(D)ᵏ` (nulls may appear in answers).
 pub fn evaluate_query(instance: &Instance, query: &Query) -> BTreeSet<Tuple> {
-    let domain = instance.adom();
+    let domain: Vec<Value> = instance.adom().into_iter().collect();
     let mut answers = BTreeSet::new();
-    let vars = query.answer_variables().to_vec();
+    let vars = query.answer_variables();
     collect_answers(
         instance,
         query.formula(),
         &domain,
-        &vars,
+        vars,
         &mut Assignment::new(),
         &mut answers,
     );
@@ -149,12 +146,13 @@ pub fn evaluate_query(instance: &Instance, query: &Query) -> BTreeSet<Tuple> {
 fn collect_answers(
     instance: &Instance,
     formula: &Formula,
-    domain: &BTreeSet<Value>,
+    domain: &[Value],
     vars: &[String],
     current: &mut Assignment,
     answers: &mut BTreeSet<Tuple>,
 ) {
-    // Enumerate the cartesian product of the active domain over the answer variables.
+    // Enumerate the cartesian product of the active domain over the answer variables,
+    // reusing one mutable assignment for every candidate tuple.
     let k = vars.len();
     if k == 0 {
         if satisfies_with_domain(instance, formula, current, domain) {
@@ -162,28 +160,29 @@ fn collect_answers(
         }
         return;
     }
-    let domain_vec: Vec<Value> = domain.iter().cloned().collect();
-    if domain_vec.is_empty() {
+    if domain.is_empty() {
         return;
     }
     let mut indices = vec![0usize; k];
     loop {
-        let mut assignment = current.clone();
         for (v, idx) in vars.iter().zip(&indices) {
-            assignment.insert(v.clone(), domain_vec[*idx].clone());
+            current.insert(v.clone(), domain[*idx].clone());
         }
-        if satisfies_with_domain(instance, formula, &assignment, domain) {
-            let tuple: Tuple = vars.iter().map(|v| assignment[v].clone()).collect();
+        if satisfies_with_domain(instance, formula, current, domain) {
+            let tuple: Tuple = vars.iter().map(|v| current[v].clone()).collect();
             answers.insert(tuple);
         }
         // Advance the counter.
         let mut pos = 0;
         loop {
             if pos == k {
+                for v in vars {
+                    current.remove(v);
+                }
                 return;
             }
             indices[pos] += 1;
-            if indices[pos] < domain_vec.len() {
+            if indices[pos] < domain.len() {
                 break;
             }
             indices[pos] = 0;

@@ -13,7 +13,9 @@
 //!   evaluate, then discard answer tuples containing nulls;
 //! * [`query`] — k-ary queries (a formula plus an ordered tuple of free variables);
 //! * [`cq`] — conjunctive queries and unions of conjunctive queries as first-class
-//!   data, their canonical (frozen) instances, and evaluation by homomorphism.
+//!   data, their canonical (frozen) instances, and evaluation by homomorphism;
+//! * [`rewrite`] — semantics-preserving rewrites into the executable core
+//!   (`→` elimination, `∀ ⇒ ¬∃¬`) used by the `nev-exec` compiler.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@ pub mod eval;
 pub mod fragment;
 pub mod parser;
 pub mod query;
+pub mod rewrite;
 
 pub use ast::{Formula, Term};
 pub use eval::{evaluate_boolean, evaluate_query, naive_eval_boolean, naive_eval_query};

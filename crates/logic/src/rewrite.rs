@@ -1,0 +1,156 @@
+//! Rewrites toward the executable core of the language.
+//!
+//! The compiled execution engine (`nev-exec`) lowers formulas into relational
+//! algebra. Its lowering only has to understand the connectives
+//! `true/false/atom/=/¬/∧/∨/∃` because the two remaining connectives are
+//! definable: `φ → ψ ≡ ¬φ ∨ ψ` and `∀x̄ φ ≡ ¬∃x̄ ¬φ`. Both rewrites are applied
+//! under the *active-domain* semantics of [`crate::eval`], where they are exact
+//! equivalences (quantifiers on both sides range over the same `adom(D)`).
+//!
+//! The rewrites deliberately use the raw AST constructors, not the flattening
+//! smart constructors, so the output shape is predictable for the lowering and
+//! the rewritten formula prints close to its textbook form.
+
+use crate::ast::Formula;
+
+/// Replaces every implication `φ → ψ` by `¬φ ∨ ψ`, recursively.
+pub fn eliminate_implications(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(_, _) => f.clone(),
+        Formula::Not(inner) => Formula::Not(Box::new(eliminate_implications(inner))),
+        Formula::And(parts) => Formula::And(parts.iter().map(eliminate_implications).collect()),
+        Formula::Or(parts) => Formula::Or(parts.iter().map(eliminate_implications).collect()),
+        Formula::Implies(a, b) => Formula::Or(vec![
+            Formula::Not(Box::new(eliminate_implications(a))),
+            eliminate_implications(b),
+        ]),
+        Formula::Exists(vars, body) => {
+            Formula::Exists(vars.clone(), Box::new(eliminate_implications(body)))
+        }
+        Formula::Forall(vars, body) => {
+            Formula::Forall(vars.clone(), Box::new(eliminate_implications(body)))
+        }
+    }
+}
+
+/// Replaces every universal quantifier `∀x̄ φ` by `¬∃x̄ ¬φ`, recursively.
+pub fn eliminate_universals(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(_, _) => f.clone(),
+        Formula::Not(inner) => Formula::Not(Box::new(eliminate_universals(inner))),
+        Formula::And(parts) => Formula::And(parts.iter().map(eliminate_universals).collect()),
+        Formula::Or(parts) => Formula::Or(parts.iter().map(eliminate_universals).collect()),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(eliminate_universals(a)),
+            Box::new(eliminate_universals(b)),
+        ),
+        Formula::Exists(vars, body) => {
+            Formula::Exists(vars.clone(), Box::new(eliminate_universals(body)))
+        }
+        Formula::Forall(vars, body) => Formula::Not(Box::new(Formula::Exists(
+            vars.clone(),
+            Box::new(Formula::Not(Box::new(eliminate_universals(body)))),
+        ))),
+    }
+}
+
+/// Rewrites a formula into the executable core `true/false/atom/=/¬/∧/∨/∃`:
+/// implications become `¬φ ∨ ψ` and universals become `¬∃¬` (in that order, so the
+/// implications produced nowhere reintroduce `∀`).
+pub fn to_executable_core(f: &Formula) -> Formula {
+    eliminate_universals(&eliminate_implications(f))
+}
+
+/// Returns `true` iff the formula uses only the executable core connectives.
+pub fn is_executable_core(f: &Formula) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(_, _) => true,
+        Formula::Not(inner) => is_executable_core(inner),
+        Formula::And(parts) | Formula::Or(parts) => parts.iter().all(is_executable_core),
+        Formula::Implies(_, _) | Formula::Forall(_, _) => false,
+        Formula::Exists(_, body) => is_executable_core(body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate_query, satisfies, Assignment};
+    use crate::parser::parse_formula;
+    use crate::query::Query;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+
+    fn rewrite_cases() -> Vec<Formula> {
+        [
+            "forall u . exists v . D(u, v)",
+            "forall u v . D(u, v) -> D(v, u)",
+            "exists u . D(u, u) & (forall v w . D(v, w) -> D(w, v))",
+            "forall u . (D(u, u) | exists v . D(u, v))",
+            "exists u . !D(u, u)",
+            "forall u . u = u",
+            "(exists u v . D(u, v)) -> (exists w . D(w, w))",
+        ]
+        .iter()
+        .map(|s| parse_formula(s).expect("valid formula"))
+        .collect()
+    }
+
+    #[test]
+    fn rewrites_produce_the_executable_core() {
+        for f in rewrite_cases() {
+            let core = to_executable_core(&f);
+            assert!(is_executable_core(&core), "{f} → {core}");
+            assert_eq!(
+                f.free_variables(),
+                core.free_variables(),
+                "free variables must be preserved: {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn rewrites_preserve_active_domain_semantics() {
+        let instances = [
+            inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] },
+            inst! { "D" => [[c(1), c(2)], [c(2), c(2)]] },
+            inst! { "D" => [[x(1), x(1)]] },
+            nev_incomplete::Instance::new(),
+        ];
+        for f in rewrite_cases() {
+            let core = to_executable_core(&f);
+            for d in &instances {
+                if f.is_sentence() {
+                    assert_eq!(
+                        satisfies(d, &f, &Assignment::new()),
+                        satisfies(d, &core, &Assignment::new()),
+                        "{f} vs {core} on {d}"
+                    );
+                } else {
+                    let vars: Vec<String> = f.free_variables().into_iter().collect();
+                    let q = Query::new(vars.clone(), f.clone()).expect("well-formed");
+                    let qc = Query::new(vars, core.clone()).expect("well-formed");
+                    assert_eq!(
+                        evaluate_query(d, &q),
+                        evaluate_query(d, &qc),
+                        "{f} vs {core} on {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forall_becomes_not_exists_not() {
+        let f = parse_formula("forall u . D(u, u)").expect("valid");
+        let core = eliminate_universals(&f);
+        assert_eq!(core.to_string(), "!(exists u . !D(u, u))");
+    }
+
+    #[test]
+    fn implication_becomes_disjunction() {
+        let f = parse_formula("D(u, u) -> D(u, v)").expect("valid");
+        let core = eliminate_implications(&f);
+        assert_eq!(core.to_string(), "!D(u, u) | D(u, v)");
+    }
+}

@@ -11,6 +11,8 @@
 //!   tables), orderings on tuples and instances;
 //! * [`hom`] — homomorphisms, valuations, minimality, cores and isomorphism;
 //! * [`logic`] — first-order queries, syntactic fragments, naïve evaluation;
+//! * [`exec`] — the compiled relational-algebra execution engine behind the
+//!   certified naïve path (interned codes, hash joins, `ExecStats`);
 //! * [`core`] — the paper's semantics of incompleteness, certain answers,
 //!   semantic orderings, update systems and the Figure 1 summary;
 //! * [`gen`] — seeded random instance and formula generators;
@@ -23,6 +25,7 @@
 
 pub use nev_bench as bench;
 pub use nev_core as core;
+pub use nev_exec as exec;
 pub use nev_gen as gen;
 pub use nev_hom as hom;
 pub use nev_incomplete as incomplete;
