@@ -8,19 +8,26 @@
 //!
 //! ```text
 //! figure1 [--quick] [--trials N] [--seed S] [--semantics NAME] [--fragment NAME]
-//!         [--skip-table] [--skip-examples]
+//!         [--threads N] [--skip-table] [--skip-examples]
 //! ```
 //!
 //! `--semantics` / `--fragment` restrict the table to one row / column; they accept
 //! both the Figure 1 names and ASCII spellings (`owa`, `powerset-cwa`, `epos`,
 //! `pos-g`, …) via the `FromStr` implementations on `Semantics` and `Fragment`.
+//! `--threads N` validates the cells in parallel on an `N`-worker `nev-serve` pool;
+//! each cell is an independent deterministic task, so the table is byte-identical
+//! at every thread count.
 //!
 //! The output is Markdown; `EXPERIMENTS.md` records a captured run.
 
+use std::sync::Arc;
+
 use nev_bench::examples::{render_examples_markdown, run_paper_examples};
-use nev_bench::figure1::{render_markdown, run_cells, Figure1Config};
+use nev_bench::figure1::{cell_pairs, render_markdown, run_cell, Figure1Config};
 use nev_core::Semantics;
 use nev_logic::Fragment;
+use nev_serve::cli::parse_flag_value;
+use nev_serve::WorkerPool;
 
 struct Options {
     config: Figure1Config,
@@ -28,33 +35,15 @@ struct Options {
     run_examples: bool,
     semantics: Option<Semantics>,
     fragment: Option<Fragment>,
+    threads: usize,
 }
 
 fn usage_and_exit(code: i32) -> ! {
     println!(
         "usage: figure1 [--quick] [--trials N] [--seed S] [--semantics NAME] \
-         [--fragment NAME] [--skip-table] [--skip-examples]"
+         [--fragment NAME] [--threads N] [--skip-table] [--skip-examples]"
     );
     std::process::exit(code);
-}
-
-/// Parses a flag value, exiting with a readable message on failure.
-fn parse_value<T>(flag: &str, value: Option<String>) -> T
-where
-    T: std::str::FromStr,
-    T::Err: std::fmt::Display,
-{
-    let Some(value) = value else {
-        eprintln!("{flag} needs a value");
-        std::process::exit(2);
-    };
-    match value.parse() {
-        Ok(parsed) => parsed,
-        Err(e) => {
-            eprintln!("invalid {flag} value: {e}");
-            std::process::exit(2);
-        }
-    }
 }
 
 fn parse_options() -> Options {
@@ -64,6 +53,7 @@ fn parse_options() -> Options {
         run_examples: true,
         semantics: None,
         fragment: None,
+        threads: 0,
     };
     let mut args = std::env::args().skip(1);
     let mut explicit_trials = false;
@@ -77,12 +67,13 @@ fn parse_options() -> Options {
                 }
             }
             "--trials" => {
-                options.config.trials = parse_value("--trials", args.next());
+                options.config.trials = parse_flag_value("--trials", args.next());
                 explicit_trials = true;
             }
-            "--seed" => options.config.seed = parse_value("--seed", args.next()),
-            "--semantics" => options.semantics = Some(parse_value("--semantics", args.next())),
-            "--fragment" => options.fragment = Some(parse_value("--fragment", args.next())),
+            "--seed" => options.config.seed = parse_flag_value("--seed", args.next()),
+            "--semantics" => options.semantics = Some(parse_flag_value("--semantics", args.next())),
+            "--fragment" => options.fragment = Some(parse_flag_value("--fragment", args.next())),
+            "--threads" => options.threads = parse_flag_value("--threads", args.next()),
             "--skip-table" => options.run_table = false,
             "--skip-examples" => options.run_examples = false,
             "--help" | "-h" => usage_and_exit(0),
@@ -126,12 +117,32 @@ fn main() {
                 frag.map(|f| f.to_string()).unwrap_or_default()
             ),
         };
+        let threads_note = if options.threads > 0 {
+            format!(", {} validation threads", options.threads)
+        } else {
+            String::new()
+        };
         println!(
-            "## Figure 1 validation (E1){}: {} trials per cell, seed {}\n",
-            scope, options.config.trials, options.config.seed
+            "## Figure 1 validation (E1){}: {} trials per cell, seed {}{}\n",
+            scope, options.config.trials, options.config.seed, threads_note
         );
         // The filters are parsed enum values, so at least one cell always matches.
-        let outcomes = run_cells(&options.config, options.semantics, options.fragment);
+        // Each cell is a self-contained deterministic task; with --threads the
+        // work-list fans out across a worker pool and reassembles in cell order,
+        // so the table bytes do not depend on the thread count.
+        let pairs = cell_pairs(options.semantics, options.fragment);
+        let outcomes = if options.threads > 0 {
+            let pool = WorkerPool::new(options.threads);
+            let config = Arc::new(options.config.clone());
+            pool.run(pairs, move |_, (semantics, fragment)| {
+                run_cell(semantics, fragment, &config)
+            })
+        } else {
+            pairs
+                .into_iter()
+                .map(|(semantics, fragment)| run_cell(semantics, fragment, &options.config))
+                .collect()
+        };
         print!("{}", render_markdown(&outcomes));
         let mismatches: Vec<_> = outcomes
             .iter()

@@ -214,13 +214,15 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
     }
 }
 
-/// Runs the cells of Figure 1 matching the optional semantics / fragment filters
-/// (`None` keeps every row resp. column).
-pub fn run_cells(
-    config: &Figure1Config,
+/// The (semantics, fragment) cells matching the optional filters (`None` keeps
+/// every row resp. column), in Figure 1 order. This is the work-list the
+/// `figure1 --threads` flag distributes across a `nev-serve` worker pool; each
+/// cell is an independent deterministic task, so the assembled table is identical
+/// at any worker count.
+pub fn cell_pairs(
     semantics_filter: Option<Semantics>,
     fragment_filter: Option<Fragment>,
-) -> Vec<CellOutcome> {
+) -> Vec<(Semantics, Fragment)> {
     let mut out = Vec::new();
     for semantics in Semantics::ALL {
         if semantics_filter.is_some_and(|s| s != semantics) {
@@ -230,10 +232,23 @@ pub fn run_cells(
             if fragment_filter.is_some_and(|f| f != fragment) {
                 continue;
             }
-            out.push(run_cell(semantics, fragment, config));
+            out.push((semantics, fragment));
         }
     }
     out
+}
+
+/// Runs the cells of Figure 1 matching the optional semantics / fragment filters
+/// (`None` keeps every row resp. column).
+pub fn run_cells(
+    config: &Figure1Config,
+    semantics_filter: Option<Semantics>,
+    fragment_filter: Option<Fragment>,
+) -> Vec<CellOutcome> {
+    cell_pairs(semantics_filter, fragment_filter)
+        .into_iter()
+        .map(|(semantics, fragment)| run_cell(semantics, fragment, config))
+        .collect()
 }
 
 /// Runs every cell of Figure 1.

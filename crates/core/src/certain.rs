@@ -6,10 +6,28 @@
 //! `D` (treating nulls as values) and discarding answer tuples with nulls produces
 //! exactly `certain(Q, D)` on every `D`.
 //!
-//! The functions here compute certain answers against the bounded possible-world
-//! enumeration of [`crate::semantics`] and compare them with naïve evaluation. The
-//! exactness guarantees of the enumeration (exact for the CWA family, sound
-//! over-approximation of certain answers otherwise) translate as follows:
+//! Certain answers are computed against the bounded possible-world enumeration of
+//! [`crate::semantics`] and compared with naïve evaluation by
+//! [`crate::engine::CertainEngine`] — **the** evaluation API:
+//!
+//! * [`crate::engine::CertainEngine::certain_answers`] — the bounded oracle
+//!   (Boolean queries use the `{()} / ∅` encoding, so "certainly true" is
+//!   "non-empty");
+//! * [`crate::engine::CertainEngine::compare`] — naïve evaluation **and** the
+//!   bounded oracle side by side, the validation primitive behind the Figure 1
+//!   harness;
+//! * [`crate::engine::CertainEngine::evaluate`] — plan-then-execute dispatch that
+//!   skips the oracle entirely on guaranteed Figure 1 cells;
+//! * [`crate::engine::Evaluation::agrees`] — "naïve evaluation works" on one
+//!   instance.
+//!
+//! The free functions that used to live here (`certain_answers`,
+//! `certain_answers_boolean`, `compare_naive_and_certain`,
+//! `naive_evaluation_works`) were deprecated shims over the engine since the
+//! plan-then-execute API landed; every caller has migrated, and they are gone.
+//!
+//! The exactness guarantees of the bounded enumeration (exact for the CWA family,
+//! sound over-approximation of certain answers otherwise) translate as follows:
 //!
 //! * a reported **disagreement** where the naïve answer is *not contained* in the
 //!   bounded certain answers is always a genuine failure of naïve evaluation, because
@@ -18,161 +36,64 @@
 //!   preservation theorem for the query's fragment (which gives
 //!   `naïve ⊆ certain_true`), pins `certain_true` between two equal sets and hence
 //!   certifies exact agreement.
-//!
-//! **Deprecated surface.** These free functions re-derive the query's bounds per call
-//! and always run the bounded oracle; they are kept as thin shims over
-//! [`crate::engine::CertainEngine`], which classifies a query once
-//! ([`crate::engine::PreparedQuery`]), dispatches on Figure 1
-//! ([`crate::engine::EvalPlan`]) and supports batched single-pass evaluation.
 
-use std::collections::BTreeSet;
-
-use nev_incomplete::{Instance, Tuple};
 use nev_logic::Query;
 
-use crate::engine::{CertainEngine, PreparedQuery};
-use crate::semantics::{Semantics, WorldBounds};
+use crate::semantics::WorldBounds;
 
 /// Bounds pre-populated with the constants mentioned by a query, so that the world
 /// enumeration is generic relative to them.
+///
+/// The cached equivalent, for a query that is prepared once, is
+/// [`crate::engine::PreparedQuery::bounds`]; both delegate to
+/// [`WorldBounds::extended_with`], so the derivation cannot diverge.
 pub fn bounds_for_query(query: &Query, base: &WorldBounds) -> WorldBounds {
     base.extended_with(query.formula().constants())
 }
 
-/// Computes the certain answer to a **Boolean** query under the given semantics, over
-/// the bounded world enumeration.
-///
-/// # Panics
-/// Panics if the query is not Boolean; prefer
-/// [`CertainEngine::certainly_true`], which reports the mismatch as a typed
-/// [`crate::engine::EngineError`] instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `nev_core::engine::CertainEngine::certainly_true` (plan-then-execute API)"
-)]
-pub fn certain_answers_boolean(
-    d: &Instance,
-    query: &Query,
-    semantics: Semantics,
-    bounds: &WorldBounds,
-) -> bool {
-    assert!(
-        query.is_boolean(),
-        "certain_answers_boolean expects a Boolean query"
-    );
-    let engine = CertainEngine::with_bounds(bounds.clone());
-    !engine
-        .certain_answers(d, semantics, &PreparedQuery::new(query.clone()))
-        .is_empty()
-}
-
-/// Computes the certain answers to a k-ary query under the given semantics, over the
-/// bounded world enumeration: the intersection of `Q(D')` over all enumerated worlds.
-///
-/// Certain answers of a generic query can only mention constants of the instance or of
-/// the query (renaming any other constant yields another world where the tuple is not
-/// an answer), so the result is additionally restricted to those constants — this
-/// keeps the bounded enumeration from reporting tuples built out of its internal fresh
-/// constants.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `nev_core::engine::CertainEngine::certain_answers` (plan-then-execute API)"
-)]
-pub fn certain_answers(
-    d: &Instance,
-    query: &Query,
-    semantics: Semantics,
-    bounds: &WorldBounds,
-) -> BTreeSet<Tuple> {
-    CertainEngine::with_bounds(bounds.clone()).certain_answers(
-        d,
-        semantics,
-        &PreparedQuery::new(query.clone()),
-    )
-}
-
-/// The outcome of comparing naïve evaluation with certain answers on one instance.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct NaiveEvalReport {
-    /// The semantics used.
-    pub semantics: Semantics,
-    /// The naïve answers `Q^C(D)` (constant tuples of `Q(D)`); for Boolean queries a
-    /// singleton empty tuple encodes `true` and the empty set encodes `false`.
-    pub naive: BTreeSet<Tuple>,
-    /// The certain answers over the bounded world enumeration.
-    pub certain: BTreeSet<Tuple>,
-}
-
-impl NaiveEvalReport {
-    /// Returns `true` iff naïve evaluation agrees with the (bounded) certain answers.
-    pub fn agrees(&self) -> bool {
-        self.naive == self.certain
-    }
-
-    /// Returns `true` iff naïve evaluation produced an answer that is not certain —
-    /// which, by the soundness of the bounded enumeration, witnesses a genuine failure
-    /// of naïve evaluation (an *unsound* naïve answer).
-    pub fn naive_overshoots(&self) -> bool {
-        !self.naive.is_subset(&self.certain)
-    }
-
-    /// Returns `true` iff every naïve answer is certain but some certain answer is
-    /// missed by naïve evaluation (naïve evaluation is sound but incomplete here).
-    pub fn naive_undershoots(&self) -> bool {
-        self.naive.is_subset(&self.certain) && self.naive != self.certain
-    }
-}
-
-/// Compares naïve evaluation with certain answers for a (Boolean or k-ary) query on a
-/// single instance. Always runs the bounded oracle (never the certified shortcut), so
-/// the report genuinely *validates* the paper's guarantees.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `nev_core::engine::CertainEngine::compare` (plan-then-execute API)"
-)]
-pub fn compare_naive_and_certain(
-    d: &Instance,
-    query: &Query,
-    semantics: Semantics,
-    bounds: &WorldBounds,
-) -> NaiveEvalReport {
-    let engine = CertainEngine::with_bounds(bounds.clone());
-    let eval = engine.compare(d, semantics, &PreparedQuery::new(query.clone()));
-    NaiveEvalReport {
-        semantics,
-        naive: eval.naive,
-        certain: eval.certain,
-    }
-}
-
-/// Returns `true` iff naïve evaluation computes the (bounded) certain answers for the
-/// query on this instance under this semantics.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `nev_core::engine::CertainEngine::compare` and `Evaluation::agrees`"
-)]
-pub fn naive_evaluation_works(
-    d: &Instance,
-    query: &Query,
-    semantics: Semantics,
-    bounds: &WorldBounds,
-) -> bool {
-    CertainEngine::with_bounds(bounds.clone())
-        .compare(d, semantics, &PreparedQuery::new(query.clone()))
-        .agrees()
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the shims themselves are under test here
 mod tests {
     use super::*;
+    use crate::engine::CertainEngine;
+    use crate::semantics::Semantics;
     use nev_incomplete::builder::{c, x};
-    use nev_incomplete::inst;
+    use nev_incomplete::{inst, Instance, Tuple};
     use nev_logic::eval::naive_eval_boolean;
     use nev_logic::parse_query;
 
     fn d0() -> Instance {
         inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] }
+    }
+
+    fn engine() -> CertainEngine {
+        CertainEngine::new()
+    }
+
+    /// The certain-answer decision for a Boolean query, via the engine's oracle.
+    fn certainly(d: &Instance, text: &str, sem: Semantics) -> bool {
+        let e = engine();
+        let q = e.prepare(text).expect("valid query");
+        !e.certain_answers(d, sem, &q).is_empty()
+    }
+
+    /// Does naïve evaluation compute the bounded certain answers here?
+    fn naive_works(d: &Instance, text: &str, sem: Semantics) -> bool {
+        let e = engine();
+        let q = e.prepare(text).expect("valid query");
+        e.compare(d, sem, &q).agrees()
+    }
+
+    #[test]
+    fn bounds_for_query_collects_the_constants() {
+        let q = parse_query("exists u . R(u) & u = 5").unwrap();
+        let bounds = bounds_for_query(&q, &WorldBounds::default());
+        assert_eq!(bounds.extra_constants.len(), 1);
+        // … and matches the prepared query's cached derivation.
+        let prepared = engine().prepare("exists u . R(u) & u = 5").unwrap();
+        assert_eq!(
+            prepared.bounds(&WorldBounds::default()).extra_constants,
+            bounds.extra_constants
+        );
     }
 
     #[test]
@@ -183,9 +104,12 @@ mod tests {
             "R" => [[c(1), x(1)], [x(2), x(3)]],
             "S" => [[x(1), c(4)], [x(3), c(5)]],
         };
-        let q = parse_query("Q(x, y) :- exists z . R(x, z) & S(z, y)").unwrap();
+        let e = engine();
+        let q = e
+            .prepare("Q(x, y) :- exists z . R(x, z) & S(z, y)")
+            .unwrap();
         for sem in [Semantics::Owa, Semantics::Cwa] {
-            let report = compare_naive_and_certain(&d, &q, sem, &WorldBounds::default());
+            let report = e.compare(&d, sem, &q);
             assert!(report.agrees(), "{sem}: {report:?}");
             assert_eq!(report.certain.len(), 1);
             assert!(report.certain.contains(&Tuple::new(vec![c(1), c(4)])));
@@ -196,50 +120,21 @@ mod tests {
     fn section_2_4_examples_on_d0() {
         let d0 = d0();
         // ∃x,y (D(x,y) ∧ D(y,x)): certain under both OWA and CWA, naïve evaluation true.
-        let sym = parse_query("exists u v . D(u, v) & D(v, u)").unwrap();
-        assert!(naive_eval_boolean(&d0, &sym));
-        assert!(certain_answers_boolean(
-            &d0,
-            &sym,
-            Semantics::Owa,
-            &WorldBounds::default()
-        ));
-        assert!(certain_answers_boolean(
-            &d0,
-            &sym,
-            Semantics::Cwa,
-            &WorldBounds::default()
-        ));
+        let sym = "exists u v . D(u, v) & D(v, u)";
+        assert!(naive_eval_boolean(&d0, &parse_query(sym).unwrap()));
+        assert!(certainly(&d0, sym, Semantics::Owa));
+        assert!(certainly(&d0, sym, Semantics::Cwa));
         // ∀x∃y D(x,y): naïve evaluation true; certain under CWA, NOT certain under OWA.
-        let total = parse_query("forall u . exists v . D(u, v)").unwrap();
-        assert!(naive_eval_boolean(&d0, &total));
-        assert!(certain_answers_boolean(
-            &d0,
-            &total,
-            Semantics::Cwa,
-            &WorldBounds::default()
-        ));
-        assert!(!certain_answers_boolean(
-            &d0,
-            &total,
-            Semantics::Owa,
-            &WorldBounds::default()
-        ));
+        let total = "forall u . exists v . D(u, v)";
+        assert!(naive_eval_boolean(&d0, &parse_query(total).unwrap()));
+        assert!(certainly(&d0, total, Semantics::Cwa));
+        assert!(!certainly(&d0, total, Semantics::Owa));
         // Hence naïve evaluation works for it under CWA but not under OWA.
-        assert!(naive_evaluation_works(
-            &d0,
-            &total,
-            Semantics::Cwa,
-            &WorldBounds::default()
-        ));
-        assert!(!naive_evaluation_works(
-            &d0,
-            &total,
-            Semantics::Owa,
-            &WorldBounds::default()
-        ));
-        let report =
-            compare_naive_and_certain(&d0, &total, Semantics::Owa, &WorldBounds::default());
+        assert!(naive_works(&d0, total, Semantics::Cwa));
+        assert!(!naive_works(&d0, total, Semantics::Owa));
+        let e = engine();
+        let q = e.prepare(total).unwrap();
+        let report = e.compare(&d0, Semantics::Owa, &q);
         assert!(report.naive_overshoots());
         assert!(!report.naive_undershoots());
     }
@@ -249,20 +144,10 @@ mod tests {
         // Q = ∃x ¬D(x,x) on D0: naïvely true (no self-loops syntactically), but the
         // world collapsing both nulls has only a self-loop, so not certain under CWA.
         let d0 = d0();
-        let q = parse_query("exists u . !D(u, u)").unwrap();
-        assert!(naive_eval_boolean(&d0, &q));
-        assert!(!certain_answers_boolean(
-            &d0,
-            &q,
-            Semantics::Cwa,
-            &WorldBounds::default()
-        ));
-        assert!(!naive_evaluation_works(
-            &d0,
-            &q,
-            Semantics::Cwa,
-            &WorldBounds::default()
-        ));
+        let q = "exists u . !D(u, u)";
+        assert!(naive_eval_boolean(&d0, &parse_query(q).unwrap()));
+        assert!(!certainly(&d0, q, Semantics::Cwa));
+        assert!(!naive_works(&d0, q, Semantics::Cwa));
     }
 
     #[test]
@@ -270,17 +155,13 @@ mod tests {
         // Q(u) = R(u): naïve answers {1}; under CWA the null's value varies, so the
         // certain answers are also {1}.
         let d = inst! { "R" => [[c(1)], [x(1)]] };
-        let q = parse_query("Q(u) :- R(u)").unwrap();
-        let report = compare_naive_and_certain(&d, &q, Semantics::Cwa, &WorldBounds::default());
+        let e = engine();
+        let q = e.prepare("Q(u) :- R(u)").unwrap();
+        let report = e.compare(&d, Semantics::Cwa, &q);
         assert!(report.agrees());
         assert_eq!(report.certain.len(), 1);
         // Under OWA the same holds (it is a conjunctive query).
-        assert!(naive_evaluation_works(
-            &d,
-            &q,
-            Semantics::Owa,
-            &WorldBounds::default()
-        ));
+        assert!(naive_works(&d, "Q(u) :- R(u)", Semantics::Owa));
     }
 
     #[test]
@@ -288,28 +169,18 @@ mod tests {
         // D = {R(⊥,⊥)}: Q = ∃u R(u,u) is certainly true under every semantics, because
         // the repeated null forces a self-loop in every world.
         let d = inst! { "R" => [[x(1), x(1)]] };
-        let q = parse_query("exists u . R(u, u)").unwrap();
+        let q = "exists u . R(u, u)";
         for sem in Semantics::ALL {
             assert!(
-                certain_answers_boolean(&d, &q, sem, &WorldBounds::default()),
+                certainly(&d, q, sem),
                 "{sem} should certainly satisfy ∃u R(u,u)"
             );
         }
         // Whereas with two distinct nulls it is not certain (they may differ) — except
         // under the minimal semantics, where minimality forces the collapse.
         let d2 = inst! { "R" => [[x(1), x(2)]] };
-        assert!(!certain_answers_boolean(
-            &d2,
-            &q,
-            Semantics::Cwa,
-            &WorldBounds::default()
-        ));
-        assert!(!certain_answers_boolean(
-            &d2,
-            &q,
-            Semantics::Owa,
-            &WorldBounds::default()
-        ));
+        assert!(!certainly(&d2, q, Semantics::Cwa));
+        assert!(!certainly(&d2, q, Semantics::Owa));
     }
 
     #[test]
@@ -317,30 +188,21 @@ mod tests {
         // Q = ∃u (R(u) ∧ u = 5): not certain under CWA because ⊥ need not be 5; the
         // budget must contain the constant 5 for the counterexample world to exist.
         let d = inst! { "R" => [[x(1)]] };
-        let q = parse_query("exists u . R(u) & u = 5").unwrap();
-        assert!(!naive_eval_boolean(&d, &q));
-        assert!(!certain_answers_boolean(
-            &d,
-            &q,
-            Semantics::Cwa,
-            &WorldBounds::default()
-        ));
+        let q = "exists u . R(u) & u = 5";
+        assert!(!naive_eval_boolean(&d, &parse_query(q).unwrap()));
+        assert!(!certainly(&d, q, Semantics::Cwa));
         // The dual query ∃u (R(u) ∧ ¬(u = 5)) is naïvely true but not certain.
-        let q2 = parse_query("exists u . R(u) & !(u = 5)").unwrap();
-        assert!(naive_eval_boolean(&d, &q2));
-        assert!(!certain_answers_boolean(
-            &d,
-            &q2,
-            Semantics::Cwa,
-            &WorldBounds::default()
-        ));
+        let q2 = "exists u . R(u) & !(u = 5)";
+        assert!(naive_eval_boolean(&d, &parse_query(q2).unwrap()));
+        assert!(!certainly(&d, q2, Semantics::Cwa));
     }
 
     #[test]
     fn boolean_report_encoding() {
         let d = inst! { "R" => [[c(1)]] };
-        let q = parse_query("exists u . R(u)").unwrap();
-        let report = compare_naive_and_certain(&d, &q, Semantics::Cwa, &WorldBounds::default());
+        let e = engine();
+        let q = e.prepare("exists u . R(u)").unwrap();
+        let report = e.compare(&d, Semantics::Cwa, &q);
         assert!(report.agrees());
         assert_eq!(report.naive.len(), 1);
         assert_eq!(report.naive.iter().next().unwrap().arity(), 0);
@@ -349,9 +211,12 @@ mod tests {
     #[test]
     fn complete_instance_certain_answers_equal_evaluation() {
         let d = inst! { "R" => [[c(1), c(2)], [c(2), c(3)]] };
-        let q = parse_query("Q(a, b) :- R(a, b) | exists z . R(a, z) & R(z, b)").unwrap();
+        let e = engine();
+        let q = e
+            .prepare("Q(a, b) :- R(a, b) | exists z . R(a, z) & R(z, b)")
+            .unwrap();
         for sem in Semantics::ALL {
-            let report = compare_naive_and_certain(&d, &q, sem, &WorldBounds::default());
+            let report = e.compare(&d, sem, &q);
             assert!(report.agrees(), "{sem} must agree on complete instances");
             assert_eq!(report.certain.len(), 3);
         }
@@ -361,13 +226,10 @@ mod tests {
     fn wcwa_positive_universal_query_works() {
         // Q = ∀x ∃y D(x,y) on D0 is certain under WCWA (the active domain cannot grow)
         // and naive evaluation agrees — a Pos query, per Theorem 5.2.
-        let d0 = d0();
-        let q = parse_query("forall u . exists v . D(u, v)").unwrap();
-        assert!(naive_evaluation_works(
-            &d0,
-            &q,
-            Semantics::Wcwa,
-            &WorldBounds::default()
+        assert!(naive_works(
+            &d0(),
+            "forall u . exists v . D(u, v)",
+            Semantics::Wcwa
         ));
     }
 }

@@ -28,8 +28,12 @@
 //! probes, interpreter fallbacks) mirroring the `worlds_enumerated` /
 //! `enumeration_passes` telemetry, so callers can see *how* an answer was produced.
 //!
-//! The free functions of [`crate::certain`] remain as deprecated shims delegating to
-//! this engine.
+//! This engine **is** the evaluation API (the legacy free functions of
+//! [`crate::certain`] were removed once every caller migrated). The per-world
+//! primitives the oracle is built from — [`PreparedQuery::naive_answers`] and
+//! [`PreparedQuery::answers_in_world`] — are public, so external schedulers (the
+//! `nev-serve` parallel oracle splits the [`Semantics::worlds`] stream across a
+//! worker pool) can reassemble the exact same certain-answer intersection.
 //!
 //! ```
 //! use nev_core::engine::{CertainEngine, EvalPlan};
@@ -205,6 +209,46 @@ impl PreparedQuery {
     /// [`crate::certain::bounds_for_query`]).
     pub fn bounds(&self, base: &WorldBounds) -> WorldBounds {
         base.extended_with(self.constants.iter().cloned())
+    }
+
+    /// The constants an answer tuple may mention on instance `d`: the instance's
+    /// constants plus the query's own. Certain answers are restricted to this set —
+    /// renaming any other constant yields another world where the tuple is not an
+    /// answer — which keeps the bounded enumeration's internal fresh constants out
+    /// of results. This is the `allowed` argument of
+    /// [`PreparedQuery::answers_in_world`].
+    pub fn allowed_constants(&self, d: &Instance) -> BTreeSet<Constant> {
+        let mut allowed = d.constants();
+        allowed.extend(self.constants.iter().cloned());
+        allowed
+    }
+
+    /// The naïve answers `Q^C(D)` with the Boolean `{()} / ∅` encoding, executed by
+    /// the compiled plan when one exists (one interpreter fallback is recorded
+    /// otherwise). This is the single certified pass behind
+    /// [`EvalPlan::CompiledNaive`] / [`EvalPlan::CertifiedNaive`].
+    pub fn naive_answers(&self, d: &Instance) -> (BTreeSet<Tuple>, ExecStats) {
+        naive_answers(d, self)
+    }
+
+    /// The query's answers in one complete world, restricted to the `allowed`
+    /// constants (Boolean queries use the `{()} / ∅` encoding — the answer set is
+    /// non-empty iff the sentence holds in the world). Runs on the compiled plan
+    /// when one exists, merging its counters into `exec`; an interpreter evaluation
+    /// counts as one fallback.
+    ///
+    /// The bounded oracle is *exactly* the intersection of this set over a world
+    /// stream — for Boolean and k-ary queries alike, since `{()} ∩ {()} = {()}` and
+    /// any empty factor empties the product. Exposing the per-world step lets
+    /// external schedulers (e.g. the `nev-serve` chunked parallel oracle) compute
+    /// the same certain answers under their own world partitioning.
+    pub fn answers_in_world(
+        &self,
+        world: &Instance,
+        allowed: &BTreeSet<Constant>,
+        exec: &mut ExecStats,
+    ) -> BTreeSet<Tuple> {
+        answers_in_world(world, self, allowed, exec)
     }
 }
 
@@ -589,11 +633,15 @@ impl CertainEngine {
     /// truncation the two samples may differ in either direction. Batched and solo
     /// answers coincide whenever the batch's queries mention the same constants (in
     /// particular, no constants at all).
-    pub fn evaluate_all(
+    ///
+    /// Queries are taken by [`std::borrow::Borrow`], so `&[PreparedQuery]` and
+    /// `&[Arc<PreparedQuery>]` both work — cached plans need not be cloned to be
+    /// batched.
+    pub fn evaluate_all<Q: std::borrow::Borrow<PreparedQuery>>(
         &self,
         d: &Instance,
         semantics: Semantics,
-        queries: &[PreparedQuery],
+        queries: &[Q],
     ) -> BatchEvaluation {
         struct PendingQuery {
             index: usize,
@@ -606,7 +654,7 @@ impl CertainEngine {
         let mut results: Vec<Option<Evaluation>> = (0..queries.len()).map(|_| None).collect();
         let mut pending: Vec<PendingQuery> = Vec::new();
         let mut merged = self.bounds.clone();
-        for (index, query) in queries.iter().enumerate() {
+        for (index, query) in queries.iter().map(std::borrow::Borrow::borrow).enumerate() {
             match self.plan(d, semantics, query) {
                 plan @ (EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)) => {
                     let (naive, exec) = naive_answers(d, query);
@@ -646,7 +694,7 @@ impl CertainEngine {
                     if p.resolved {
                         continue;
                     }
-                    let query = &queries[p.index];
+                    let query = queries[p.index].borrow();
                     let answers = answers_in_world(&world, query, &p.allowed, &mut p.exec);
                     let next: BTreeSet<Tuple> = match p.acc.take() {
                         None => answers,
@@ -661,7 +709,7 @@ impl CertainEngine {
                 }
             }
             for p in pending {
-                let query = &queries[p.index];
+                let query = queries[p.index].borrow();
                 let (naive, naive_exec) = naive_answers(d, query);
                 let mut exec = p.exec;
                 exec.merge(&naive_exec);
@@ -786,6 +834,12 @@ fn answers_in_world(
     raw.into_iter()
         .filter(|t| t.constants().all(|c| allowed.contains(c)) && t.is_complete())
         .collect()
+}
+
+/// The `{()} / ∅` Boolean answer encoding used throughout the engine: `true` is the
+/// singleton empty tuple, `false` the empty set.
+pub fn boolean_answers(value: bool) -> BTreeSet<Tuple> {
+    encode_boolean(value)
 }
 
 fn encode_boolean(value: bool) -> BTreeSet<Tuple> {
@@ -1073,7 +1127,7 @@ mod tests {
     #[test]
     fn empty_batch_is_a_no_op() {
         let engine = CertainEngine::new();
-        let batch = engine.evaluate_all(&d0(), Semantics::Owa, &[]);
+        let batch = engine.evaluate_all::<PreparedQuery>(&d0(), Semantics::Owa, &[]);
         assert!(batch.results.is_empty());
         assert_eq!(batch.enumeration_passes, 0);
         assert_eq!(batch.worlds_enumerated, 0);

@@ -16,9 +16,10 @@
 //!   powerset CWA, minimal CWA, minimal powerset CWA), exact possible-world
 //!   membership tests, and lazy bounded possible-world enumeration (§2.3, §4.3, §7,
 //!   §10);
-//! * [`certain`] — certain answers (Boolean and k-ary) computed against the
-//!   enumerated worlds, naïve evaluation, and the `naïve = certain` comparison that
-//!   the whole paper is about (§2.4, §8) — now deprecated shims over [`engine`];
+//! * [`certain`] — certain answers (Boolean and k-ary) against the enumerated
+//!   worlds, naïve evaluation, and the `naïve = certain` comparison that the whole
+//!   paper is about (§2.4, §8) — documentation and the query-bounds helper; the
+//!   computations themselves live on [`engine::CertainEngine`];
 //! * [`ordering`] — the semantic orderings `≼_OWA`, `≼_CWA`, `≼_WCWA`, `⋐_CWA` and
 //!   their homomorphism characterisations (Proposition 6.1, Theorem 7.1), plus the
 //!   Codd-database cross-checks (§6);
@@ -53,10 +54,6 @@ pub mod semantics;
 pub mod summary;
 pub mod updates;
 
-#[allow(deprecated)] // legacy re-exports kept for downstream compatibility
-pub use certain::{
-    certain_answers, certain_answers_boolean, naive_evaluation_works, NaiveEvalReport,
-};
 pub use engine::{
     BatchEvaluation, CertainEngine, Certificate, EngineError, EvalPlan, Evaluation, PreparedQuery,
 };

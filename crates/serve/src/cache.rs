@@ -1,0 +1,327 @@
+//! The plan cache: parse + classify + compile once per distinct (query, semantics)
+//! pair, not once per request.
+//!
+//! A [`PreparedQuery`] is the expensive per-query preparation the engine performs —
+//! parsing, fragment classification, constant collection and relational-algebra
+//! compilation. Under service traffic the same query text arrives over and over, so
+//! the cache keys an LRU on **normalized query text × semantics** and stores the
+//! prepared query behind an `Arc` together with the instance-independent half of
+//! the Figure 1 dispatch (the cell's [`Expectation`]). The semantics is part of the
+//! key because the cached dispatch metadata is per-cell; the `Arc<PreparedQuery>`
+//! itself is shared across the semantics entries of the same text, so compilation
+//! still happens once per distinct text.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nev_core::engine::{EngineError, PreparedQuery};
+use nev_core::summary::{expectation, Expectation};
+use nev_core::Semantics;
+
+/// A cached entry: the shared prepared query plus the Figure 1 cell guarantee for
+/// the keyed semantics (the instance-independent part of plan dispatch).
+#[derive(Clone, Debug)]
+pub struct CachedPlan {
+    /// The prepared (parsed, classified, compiled) query, shared across semantics.
+    pub prepared: Arc<PreparedQuery>,
+    /// The semantics this entry was keyed under.
+    pub semantics: Semantics,
+    /// `expectation(semantics, fragment)` — what Figure 1 guarantees for the cell.
+    pub cell: Expectation,
+}
+
+struct Entry {
+    plan: CachedPlan,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<(String, Semantics), Entry>,
+    /// Monotonic recency clock; bumped on every hit or insertion.
+    clock: u64,
+}
+
+/// An LRU cache of [`CachedPlan`]s keyed on (normalized query text, semantics).
+///
+/// ```
+/// use nev_serve::cache::PlanCache;
+/// use nev_core::Semantics;
+///
+/// let cache = PlanCache::new(64);
+/// let a = cache.get_or_prepare("exists u .  R(u)", Semantics::Owa).unwrap();
+/// // Same query modulo whitespace: a cache hit sharing the same Arc.
+/// let b = cache.get_or_prepare("exists u . R(u)", Semantics::Owa).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&a.prepared, &b.prepared));
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("entries", &self.entries.len())
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+/// Normalizes query text for cache keying: surrounding whitespace is trimmed and
+/// internal runs of whitespace collapse to one space, so superficial formatting
+/// differences hit the same entry. Identifiers are case-sensitive and untouched.
+pub fn normalize(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` (text, semantics) entries; a capacity of
+    /// zero disables caching (every lookup prepares afresh).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                clock: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("cache lock poisoned")
+            .entries
+            .len()
+    }
+
+    /// Returns `true` iff the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far (each miss prepared a query).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the LRU policy so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Looks up the (normalized `text`, `semantics`) entry, preparing and inserting
+    /// it on a miss. Parse/classification errors are returned verbatim and cached
+    /// nothing.
+    pub fn get_or_prepare(
+        &self,
+        text: &str,
+        semantics: Semantics,
+    ) -> Result<CachedPlan, EngineError> {
+        let key = (normalize(text), semantics);
+        if let Some(plan) = self.lookup(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(plan);
+        }
+        // Prepare outside the lock: parsing + compilation is the expensive part and
+        // must not serialise concurrent misses on different texts.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = self.shared_prepared(&key.0)?;
+        let plan = CachedPlan {
+            cell: expectation(semantics, prepared.fragment()),
+            prepared,
+            semantics,
+        };
+        self.insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// Warms the cache for `text` under **every** semantics (the `PREPARE` command):
+    /// one parse + compile, six cell entries sharing the same `Arc`.
+    pub fn prepare_all(&self, text: &str) -> Result<Arc<PreparedQuery>, EngineError> {
+        let normalized = normalize(text);
+        let prepared = self.shared_prepared(&normalized)?;
+        for semantics in Semantics::ALL {
+            let key = (normalized.clone(), semantics);
+            if self.lookup(&key).is_none() {
+                self.insert(
+                    key,
+                    CachedPlan {
+                        prepared: Arc::clone(&prepared),
+                        semantics,
+                        cell: expectation(semantics, prepared.fragment()),
+                    },
+                );
+            }
+        }
+        Ok(prepared)
+    }
+
+    /// An `Arc<PreparedQuery>` for `text`, reusing any semantics-sibling entry's
+    /// `Arc` so one text is compiled at most once while cached.
+    fn shared_prepared(&self, normalized: &str) -> Result<Arc<PreparedQuery>, EngineError> {
+        {
+            let inner = self.inner.lock().expect("cache lock poisoned");
+            for sibling in Semantics::ALL {
+                if let Some(e) = inner.entries.get(&(normalized.to_string(), sibling)) {
+                    return Ok(Arc::clone(&e.plan.prepared));
+                }
+            }
+        }
+        Ok(Arc::new(PreparedQuery::parse(normalized)?))
+    }
+
+    fn lookup(&self, key: &(String, Semantics)) -> Option<CachedPlan> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        let entry = inner.entries.get_mut(key)?;
+        entry.last_used = clock;
+        Some(entry.plan.clone())
+    }
+
+    fn insert(&self, key: (String, Semantics), plan: CachedPlan) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.entries.insert(
+            key,
+            Entry {
+                plan,
+                last_used: clock,
+            },
+        );
+        while inner.entries.len() > self.capacity {
+            // O(capacity) victim scan: capacities are small (hundreds), and the
+            // scan runs only on insertions past capacity.
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity cache");
+            inner.entries.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_logic::Fragment;
+
+    #[test]
+    fn normalization_collapses_whitespace_only() {
+        assert_eq!(normalize("  exists u .   R(u)  "), "exists u . R(u)");
+        assert_ne!(normalize("exists u . r(u)"), normalize("exists u . R(u)"));
+    }
+
+    #[test]
+    fn hits_share_the_prepared_arc_across_semantics() {
+        let cache = PlanCache::new(16);
+        let owa = cache
+            .get_or_prepare("forall u . exists v . D(u, v)", Semantics::Owa)
+            .unwrap();
+        let cwa = cache
+            .get_or_prepare("forall u .  exists v . D(u, v)", Semantics::Cwa)
+            .unwrap();
+        // Different cells…
+        assert_ne!(owa.cell, cwa.cell);
+        assert_eq!(owa.prepared.fragment(), Fragment::Positive);
+        // …but one compilation: the sibling entry's Arc is reused.
+        assert!(Arc::ptr_eq(&owa.prepared, &cwa.prepared));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn prepare_all_warms_every_semantics_row() {
+        let cache = PlanCache::new(16);
+        let prepared = cache.prepare_all("exists u v . D(u, v)").unwrap();
+        assert_eq!(cache.len(), Semantics::ALL.len());
+        for semantics in Semantics::ALL {
+            let hit = cache
+                .get_or_prepare("exists u v . D(u, v)", semantics)
+                .unwrap();
+            assert!(Arc::ptr_eq(&hit.prepared, &prepared));
+        }
+        assert_eq!(cache.hits(), Semantics::ALL.len() as u64);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let cache = PlanCache::new(2);
+        cache
+            .get_or_prepare("exists u . A(u)", Semantics::Owa)
+            .unwrap();
+        cache
+            .get_or_prepare("exists u . B(u)", Semantics::Owa)
+            .unwrap();
+        // Touch A so B is the LRU victim.
+        cache
+            .get_or_prepare("exists u . A(u)", Semantics::Owa)
+            .unwrap();
+        cache
+            .get_or_prepare("exists u . C(u)", Semantics::Owa)
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // A survived, B did not.
+        cache
+            .get_or_prepare("exists u . A(u)", Semantics::Owa)
+            .unwrap();
+        assert_eq!(cache.hits(), 2);
+        cache
+            .get_or_prepare("exists u . B(u)", Semantics::Owa)
+            .unwrap();
+        assert_eq!(cache.misses(), 4, "B was re-prepared after eviction");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0);
+        cache
+            .get_or_prepare("exists u . A(u)", Semantics::Owa)
+            .unwrap();
+        cache
+            .get_or_prepare("exists u . A(u)", Semantics::Owa)
+            .unwrap();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn parse_errors_surface_and_cache_nothing() {
+        let cache = PlanCache::new(8);
+        assert!(cache
+            .get_or_prepare("exists u . R(u", Semantics::Owa)
+            .is_err());
+        assert!(cache.prepare_all("exists u . R(u").is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Tiny shared helpers for the workspace's hand-rolled binary flag parsers
+//! (`nevd`, `nevload`, `figure1`): one place for the "flag needs a value /
+//! invalid value" handling so exit codes and message formats cannot drift.
+
+/// Parses the value of `flag`, exiting with code 2 and a readable message when
+/// the value is missing or fails to parse.
+pub fn parse_flag_value<T>(flag: &str, value: Option<String>) -> T
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let Some(value) = value else {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    };
+    match value.parse() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("invalid {flag} value: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! The blocking line-protocol client and the seeded load generator.
+//!
+//! [`Client`] is the minimal building block: send one request line, read one
+//! response line. [`run_load`] drives a whole seeded [`workload`] through a
+//! server and checks every answer **against a bare in-process
+//! `CertainEngine` evaluation** of the same snapshot — deliberately bypassing
+//! the serve layer's cache/pool/oracle so a serve-layer bug cannot cancel out —
+//! the round-trip correctness check behind `nevload` and the CI smoke run.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use nev_core::Semantics;
+use nev_gen::{
+    FormulaGenerator, FormulaGeneratorConfig, InstanceGenerator, InstanceGeneratorConfig,
+};
+use nev_incomplete::{Instance, Schema};
+use nev_logic::Fragment;
+
+use crate::state::{ServeConfig, ServeState};
+use crate::wire::render_instance;
+
+/// A blocking client for the `nevd` line protocol.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7878`).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request line and reads the one response line.
+    pub fn send(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+}
+
+/// One request of a generated workload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WorkloadRequest {
+    /// Catalog name of the target instance.
+    pub instance: String,
+    /// Semantics to evaluate under.
+    pub semantics: Semantics,
+    /// Query text (rendered from a generated formula).
+    pub query: String,
+}
+
+/// A seeded service workload: named instances plus a request stream over them.
+///
+/// Queries are generated **without constants** so batched evaluation provably
+/// coincides with solo evaluation (the engine's merged-bounds caveat) and mix the
+/// guaranteed fragments (certified, cheap) with Pos/FO under OWA and CWA (oracle
+/// bound — the traffic the worker pool exists for).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Workload {
+    /// Named instances to `LOAD`.
+    pub instances: Vec<(String, Instance)>,
+    /// `EVAL` requests over them.
+    pub requests: Vec<WorkloadRequest>,
+}
+
+/// Generates the seeded workload: `instances` named instances over the `R/2, S/1`
+/// schema and `requests` EVAL requests cycling over them. Deterministic in
+/// `(seed, instances, requests)`.
+pub fn workload(seed: u64, instances: usize, requests: usize) -> Workload {
+    let schema = Schema::from_relations([("R", 2), ("S", 1)]);
+    let mut instance_gen = InstanceGenerator::new(
+        InstanceGeneratorConfig {
+            schema: schema.clone(),
+            tuples_per_relation: (1, 3),
+            constant_pool: 2,
+            null_pool: 2,
+            null_probability: 0.5,
+            codd: false,
+        },
+        seed,
+    );
+    let named: Vec<(String, Instance)> = (0..instances.max(1))
+        .map(|i| (format!("inst{i}"), instance_gen.generate()))
+        .collect();
+
+    // A rotating mix of fragments; each gets its own deterministic generator.
+    let fragments = [
+        Fragment::ExistentialPositive,
+        Fragment::Positive,
+        Fragment::PositiveGuarded,
+        Fragment::ExistentialPositiveBooleanGuarded,
+        Fragment::FullFirstOrder,
+    ];
+    let mut generators: Vec<FormulaGenerator> = fragments
+        .iter()
+        .map(|&fragment| {
+            FormulaGenerator::new(
+                FormulaGeneratorConfig {
+                    fragment,
+                    schema: schema.clone(),
+                    constant_pool: 2,
+                    constant_probability: 0.0,
+                    max_depth: 2,
+                },
+                seed ^ (0x5e17e + fragment as u64),
+            )
+        })
+        .collect();
+    let semantics = [Semantics::Owa, Semantics::Cwa, Semantics::Wcwa];
+    let n_generators = generators.len();
+    let requests = (0..requests)
+        .map(|i| {
+            let query = generators[i % n_generators].generate_sentence();
+            WorkloadRequest {
+                instance: named[i % named.len()].0.clone(),
+                semantics: semantics[(i / n_generators) % semantics.len()],
+                query: query.to_string(),
+            }
+        })
+        .collect();
+    Workload {
+        instances: named,
+        requests,
+    }
+}
+
+/// The outcome of one load-generator run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LoadReport {
+    /// Instances loaded.
+    pub loaded: usize,
+    /// Requests answered.
+    pub answered: usize,
+    /// Server responses that differed from the in-process reference (each entry is
+    /// `(request line, server response, expected response)`).
+    pub mismatches: Vec<(String, String, String)>,
+    /// The server's final `STATS` line.
+    pub server_stats: String,
+}
+
+impl LoadReport {
+    /// Did every server answer match the in-process reference?
+    pub fn all_match(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "loaded {} instance(s), answered {} request(s), {} mismatch(es)",
+            self.loaded,
+            self.answered,
+            self.mismatches.len()
+        )?;
+        for (request, got, expected) in &self.mismatches {
+            writeln!(
+                f,
+                "  MISMATCH {request}\n    server:   {got}\n    expected: {expected}"
+            )?;
+        }
+        write!(f, "server {}", self.server_stats)
+    }
+}
+
+/// Drives the seeded workload against the server at `addr`, checking every `EVAL`
+/// response against a **bare** in-process [`nev_core::engine::CertainEngine`]
+/// evaluation of the same
+/// snapshot — deliberately *not* a second `ServeState`, so a bug common to the
+/// whole serve layer (cache, pool, parallel oracle) cannot cancel out: the
+/// reference path shares only the engine itself with the code under test.
+/// Assumes the server runs the default [`ServeConfig`] world bounds. Returns the
+/// report; `all_match()` is the pass/fail signal.
+pub fn run_load(
+    addr: &str,
+    seed: u64,
+    instances: usize,
+    requests: usize,
+) -> io::Result<LoadReport> {
+    use std::collections::HashMap;
+
+    use nev_core::engine::{CertainEngine, EvalPlan, PreparedQuery};
+
+    let workload = workload(seed, instances, requests);
+    let engine = CertainEngine::with_bounds(ServeConfig::default().bounds);
+    let mut loaded: HashMap<&str, &Instance> = HashMap::new();
+    let mut client = Client::connect(addr)?;
+    let mut report = LoadReport::default();
+
+    for (name, instance) in &workload.instances {
+        let line = format!("LOAD {name} {}", render_instance(instance));
+        let response = client.send(&line)?;
+        if !response.starts_with("OK") {
+            report
+                .mismatches
+                .push((line, response, "OK loaded/replaced …".to_string()));
+            continue;
+        }
+        loaded.insert(name, instance);
+        report.loaded += 1;
+    }
+
+    for request in &workload.requests {
+        let line = format!(
+            "EVAL {} {} {}",
+            request.instance,
+            semantics_spelling(request.semantics),
+            request.query
+        );
+        let response = client.send(&line)?;
+        // Prepare afresh per request (no plan cache) and evaluate sequentially:
+        // the reference must exercise none of the serve-layer machinery.
+        let expected = match loaded.get(request.instance.as_str()) {
+            None => format!(
+                "ERR unknown instance `{}` (LOAD it first)",
+                request.instance
+            ),
+            Some(instance) => match PreparedQuery::parse(&request.query) {
+                Err(e) => format!("ERR {e}"),
+                Ok(prepared) => {
+                    let evaluation = engine.evaluate(instance, request.semantics, &prepared);
+                    let plan = match evaluation.plan {
+                        EvalPlan::CompiledNaive(_) => "compiled",
+                        EvalPlan::CertifiedNaive(_) => "certified",
+                        EvalPlan::BoundedEnumeration => "oracle",
+                    };
+                    format!(
+                        "OK plan={plan} certain={}",
+                        crate::wire::render_answers(&evaluation.certain)
+                    )
+                }
+            },
+        };
+        if response == expected {
+            report.answered += 1;
+        } else {
+            report.mismatches.push((line, response, expected));
+        }
+    }
+
+    report.server_stats = client.send("STATS")?;
+    let _ = client.send("QUIT");
+    Ok(report)
+}
+
+/// Runs the load generator against a freshly spawned in-process server (the
+/// `nevload --self-check` mode): returns the report and tears the server down.
+pub fn self_check(
+    seed: u64,
+    instances: usize,
+    requests: usize,
+    workers: usize,
+) -> io::Result<LoadReport> {
+    let state = Arc::new(ServeState::new(ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    }));
+    let server = crate::server::Server::bind("127.0.0.1:0", state)?;
+    let mut handle = server.spawn()?;
+    let report = run_load(&handle.addr().to_string(), seed, instances, requests);
+    handle.shutdown();
+    report
+}
+
+/// The ASCII spelling of a semantics accepted by `Semantics::from_str` (the wire
+/// form used in `EVAL` lines).
+pub fn semantics_spelling(semantics: Semantics) -> &'static str {
+    match semantics {
+        Semantics::Owa => "owa",
+        Semantics::Cwa => "cwa",
+        Semantics::Wcwa => "wcwa",
+        Semantics::PowersetCwa => "powerset-cwa",
+        Semantics::MinimalCwa => "minimal-cwa",
+        Semantics::MinimalPowersetCwa => "minimal-powerset-cwa",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_seed_deterministic() {
+        let a = workload(42, 2, 12);
+        let b = workload(42, 2, 12);
+        assert_eq!(a, b);
+        assert_eq!(a.instances.len(), 2);
+        assert_eq!(a.requests.len(), 12);
+        let c = workload(43, 2, 12);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn self_check_round_trips_byte_identically() {
+        let report = self_check(7, 2, 10, 2).expect("self-check runs");
+        assert_eq!(report.loaded, 2);
+        assert!(report.all_match(), "{report}");
+        assert_eq!(report.answered, 10);
+        assert!(
+            report.server_stats.contains("evals=10"),
+            "{}",
+            report.server_stats
+        );
+    }
+
+    #[test]
+    fn spellings_round_trip_through_from_str() {
+        for semantics in Semantics::ALL {
+            assert_eq!(
+                semantics_spelling(semantics).parse::<Semantics>(),
+                Ok(semantics)
+            );
+        }
+    }
+}

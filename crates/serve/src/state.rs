@@ -1,0 +1,626 @@
+//! The shared service state: catalog + plan cache + worker pool + engine, and the
+//! request handlers (`LOAD` / `PREPARE` / `EVAL` / `STATS`) built on them.
+//!
+//! One [`ServeState`] is shared (behind an `Arc`) by every connection thread of a
+//! [`crate::server::Server`] and by in-process callers (benchmarks, tests, the
+//! load generator's reference run). It is `Send + Sync` by construction: the
+//! catalog hands out immutable snapshots, the cache hands out `Arc`s, the pool is
+//! its own synchronisation, and the engine is immutable configuration.
+//!
+//! Two evaluation paths exist:
+//!
+//! * [`ServeState::eval`] — one request: Figure 1 dispatch via the cached plan; a
+//!   certified cell is answered by one naïve pass on the snapshot, everything else
+//!   goes to the **parallel oracle** (the world stream chunked across the pool with
+//!   early-exit cancellation);
+//! * [`ServeState::eval_batch`] — many requests: requests are grouped by (instance,
+//!   semantics), each group's distinct queries are folded into **one shared world
+//!   pass** (`CertainEngine::evaluate_all`), and the groups run in parallel across
+//!   the pool. Repeated queries hit the plan cache and duplicate (query, instance,
+//!   semantics) triples are answered by a single evaluation.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use nev_core::engine::{CertainEngine, EngineError, EvalPlan, PreparedQuery};
+use nev_core::{Semantics, WorldBounds};
+use nev_incomplete::{Instance, Tuple};
+
+use crate::cache::PlanCache;
+use crate::catalog::Catalog;
+use crate::oracle::{parallel_certain_answers, DEFAULT_CHUNK};
+use crate::pool::WorkerPool;
+use crate::stats::{ServeStats, StatsSnapshot};
+use crate::wire::{self, Command};
+
+/// Configuration of a service instance.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Background worker threads (callers help, so `0` is sequential).
+    pub workers: usize,
+    /// Plan-cache capacity in (query, semantics) entries.
+    pub cache_capacity: usize,
+    /// World-enumeration bounds used by every evaluation.
+    pub bounds: WorldBounds,
+    /// Worlds per parallel-oracle chunk.
+    pub oracle_chunk: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            cache_capacity: 256,
+            bounds: WorldBounds::default(),
+            oracle_chunk: DEFAULT_CHUNK,
+        }
+    }
+}
+
+/// A service-level error (rendered as an `ERR` line by the server).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ServeError {
+    /// The request line failed to parse.
+    Wire(wire::WireError),
+    /// `EVAL`/`LOAD` referenced a name the catalog does not hold.
+    UnknownInstance(String),
+    /// The semantics spelling was not recognised.
+    UnknownSemantics(String),
+    /// The query failed to parse or classify.
+    Engine(EngineError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Wire(e) => write!(f, "{e}"),
+            ServeError::UnknownInstance(name) => {
+                write!(f, "unknown instance `{name}` (LOAD it first)")
+            }
+            ServeError::UnknownSemantics(s) => write!(f, "unknown semantics `{s}`"),
+            ServeError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<wire::WireError> for ServeError {
+    fn from(e: wire::WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// How an `EVAL` was answered (the wire `plan=` token).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlanKind {
+    /// Certified naïve pass on the compiled `nev-exec` pipeline.
+    Compiled,
+    /// Certified naïve pass on the tree-walking interpreter.
+    Certified,
+    /// Bounded possible-world oracle (parallel in [`ServeState::eval`]).
+    Oracle,
+}
+
+impl PlanKind {
+    fn of(plan: &EvalPlan) -> Self {
+        match plan {
+            EvalPlan::CompiledNaive(_) => PlanKind::Compiled,
+            EvalPlan::CertifiedNaive(_) => PlanKind::Certified,
+            EvalPlan::BoundedEnumeration => PlanKind::Oracle,
+        }
+    }
+}
+
+impl fmt::Display for PlanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanKind::Compiled => write!(f, "compiled"),
+            PlanKind::Certified => write!(f, "certified"),
+            PlanKind::Oracle => write!(f, "oracle"),
+        }
+    }
+}
+
+/// One `EVAL` request, as consumed by [`ServeState::eval_batch`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EvalRequest {
+    /// Catalog name of the instance.
+    pub instance: String,
+    /// Semantics to evaluate under.
+    pub semantics: Semantics,
+    /// Query text.
+    pub query: String,
+}
+
+/// One `EVAL` answer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EvalResponse {
+    /// How the request was answered.
+    pub plan: PlanKind,
+    /// The certain answers (Boolean queries use the `{()} / ∅` encoding).
+    pub certain: BTreeSet<Tuple>,
+}
+
+impl EvalResponse {
+    /// The canonical wire payload: `plan=<plan> certain=<answers>`.
+    pub fn render(&self) -> String {
+        format!(
+            "plan={} certain={}",
+            self.plan,
+            wire::render_answers(&self.certain)
+        )
+    }
+}
+
+/// The shared state of one `nevd` service.
+#[derive(Debug)]
+pub struct ServeState {
+    engine: CertainEngine,
+    catalog: Catalog,
+    cache: PlanCache,
+    pool: WorkerPool,
+    stats: ServeStats,
+    oracle_chunk: usize,
+}
+
+impl ServeState {
+    /// Builds a service from its configuration.
+    pub fn new(config: ServeConfig) -> Self {
+        ServeState {
+            engine: CertainEngine::with_bounds(config.bounds),
+            catalog: Catalog::new(),
+            cache: PlanCache::new(config.cache_capacity),
+            pool: WorkerPool::new(config.workers),
+            stats: ServeStats::new(),
+            oracle_chunk: config.oracle_chunk.max(1),
+        }
+    }
+
+    /// The instance catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The plan cache.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// The worker pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The underlying engine (bounds included).
+    pub fn engine(&self) -> &CertainEngine {
+        &self.engine
+    }
+
+    /// The service counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Registers (or replaces) a named instance; returns `true` on replacement.
+    pub fn load(&self, name: impl Into<String>, instance: Instance) -> bool {
+        ServeStats::bump(&self.stats.loads);
+        self.catalog.register(name, instance).is_some()
+    }
+
+    /// Parses, classifies and compiles a query into the plan cache (all semantics).
+    pub fn prepare(&self, text: &str) -> Result<Arc<PreparedQuery>, ServeError> {
+        ServeStats::bump(&self.stats.prepares);
+        Ok(self.cache.prepare_all(text)?)
+    }
+
+    /// Answers one `EVAL` request: certified naïve pass when Figure 1 guarantees
+    /// it, the chunked **parallel oracle** otherwise. The certain answers are
+    /// identical to `CertainEngine::evaluate` on the same inputs — dispatch is the
+    /// engine's, only the oracle's schedule differs.
+    pub fn eval(
+        &self,
+        name: &str,
+        semantics: Semantics,
+        query_text: &str,
+    ) -> Result<EvalResponse, ServeError> {
+        let instance = self
+            .catalog
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownInstance(name.to_string()))?;
+        let plan = self.cache.get_or_prepare(query_text, semantics)?;
+        let response = self.eval_prepared(&instance, semantics, &plan.prepared);
+        ServeStats::bump(&self.stats.evals);
+        Ok(response)
+    }
+
+    /// The dispatch core shared by [`ServeState::eval`] and the batch path's
+    /// fallback: certified cells run one naïve pass, the rest run the parallel
+    /// oracle on this state's pool.
+    fn eval_prepared(
+        &self,
+        instance: &Instance,
+        semantics: Semantics,
+        prepared: &Arc<PreparedQuery>,
+    ) -> EvalResponse {
+        match self.engine.plan(instance, semantics, prepared) {
+            plan @ (EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)) => {
+                ServeStats::bump(&self.stats.certified);
+                if plan.is_compiled() {
+                    ServeStats::bump(&self.stats.compiled);
+                }
+                let (naive, _exec) = prepared.naive_answers(instance);
+                EvalResponse {
+                    plan: PlanKind::of(&plan),
+                    certain: naive,
+                }
+            }
+            EvalPlan::BoundedEnumeration => {
+                ServeStats::bump(&self.stats.oracle);
+                let outcome = parallel_certain_answers(
+                    &self.pool,
+                    &self.engine,
+                    instance,
+                    semantics,
+                    prepared,
+                    self.oracle_chunk,
+                );
+                ServeStats::add(&self.stats.worlds, outcome.worlds_considered as u64);
+                if outcome.cancelled {
+                    ServeStats::bump(&self.stats.oracle_cancelled);
+                }
+                EvalResponse {
+                    plan: PlanKind::Oracle,
+                    certain: outcome.certain,
+                }
+            }
+        }
+    }
+
+    /// Answers a batch of `EVAL` requests, amortising across them:
+    ///
+    /// * the plan cache prepares each distinct query text once;
+    /// * requests are grouped by (instance, semantics) and each group's distinct
+    ///   queries share **one** bounded world pass (`CertainEngine::evaluate_all`);
+    /// * groups execute in parallel on the worker pool.
+    ///
+    /// Responses come back in request order. Note the engine's documented batching
+    /// caveat: the shared pass runs under the union of the group's query constants,
+    /// so a request's answer coincides with its solo [`ServeState::eval`] answer
+    /// whenever the grouped queries mention the same constants (in particular, no
+    /// constants at all) or the world cap does not truncate.
+    pub fn eval_batch(&self, requests: &[EvalRequest]) -> Vec<Result<EvalResponse, ServeError>> {
+        // Resolve instances + plans up front, building (group key → unique queries).
+        struct Slot {
+            group: usize,
+            query_in_group: usize,
+        }
+        struct Group {
+            instance: Arc<Instance>,
+            semantics: Semantics,
+            queries: Vec<Arc<PreparedQuery>>,
+            seen: HashMap<String, usize>,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        let mut group_index: HashMap<(String, Semantics), usize> = HashMap::new();
+        let mut slots: Vec<Result<Slot, ServeError>> = Vec::with_capacity(requests.len());
+        for request in requests {
+            let resolved = self
+                .catalog
+                .get(&request.instance)
+                .ok_or_else(|| ServeError::UnknownInstance(request.instance.clone()))
+                .and_then(|instance| {
+                    let plan = self
+                        .cache
+                        .get_or_prepare(&request.query, request.semantics)?;
+                    Ok((instance, plan))
+                });
+            match resolved {
+                Err(e) => slots.push(Err(e)),
+                Ok((instance, plan)) => {
+                    let key = (request.instance.clone(), request.semantics);
+                    let gi = *group_index.entry(key).or_insert_with(|| {
+                        groups.push(Group {
+                            instance,
+                            semantics: request.semantics,
+                            queries: Vec::new(),
+                            seen: HashMap::new(),
+                        });
+                        groups.len() - 1
+                    });
+                    let group = &mut groups[gi];
+                    let normalized = crate::cache::normalize(&request.query);
+                    let qi = match group.seen.get(&normalized) {
+                        Some(&qi) => qi,
+                        None => {
+                            // The Arc from the cache is batched as-is: evaluate_all
+                            // takes queries by Borrow, so no plan is deep-cloned.
+                            group.queries.push(Arc::clone(&plan.prepared));
+                            group.seen.insert(normalized, group.queries.len() - 1);
+                            group.queries.len() - 1
+                        }
+                    };
+                    slots.push(Ok(Slot {
+                        group: gi,
+                        query_in_group: qi,
+                    }));
+                }
+            }
+        }
+
+        // One pool task per group: a single shared world pass for its queries.
+        let engine = self.engine.clone();
+        let items: Vec<(Arc<Instance>, Semantics, Vec<Arc<PreparedQuery>>)> = groups
+            .into_iter()
+            .map(|g| (g.instance, g.semantics, g.queries))
+            .collect();
+        let batch_results = self
+            .pool
+            .run(items, move |_, (instance, semantics, queries)| {
+                let batch = engine.evaluate_all(&instance, semantics, &queries);
+                let responses: Vec<EvalResponse> = batch
+                    .results
+                    .into_iter()
+                    .map(|evaluation| EvalResponse {
+                        plan: PlanKind::of(&evaluation.plan),
+                        certain: evaluation.certain,
+                    })
+                    .collect();
+                (responses, batch.worlds_enumerated)
+            });
+
+        // Telemetry parity with the solo path: per evaluation actually performed
+        // (one per unique query of each group), plus the shared-pass world counts.
+        for (responses, worlds) in &batch_results {
+            ServeStats::add(&self.stats.worlds, *worlds as u64);
+            for response in responses {
+                match response.plan {
+                    PlanKind::Compiled => {
+                        ServeStats::bump(&self.stats.certified);
+                        ServeStats::bump(&self.stats.compiled);
+                    }
+                    PlanKind::Certified => ServeStats::bump(&self.stats.certified),
+                    PlanKind::Oracle => ServeStats::bump(&self.stats.oracle),
+                }
+            }
+        }
+
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(s) => {
+                    ServeStats::bump(&self.stats.evals);
+                    Ok(batch_results[s.group].0[s.query_in_group].clone())
+                }
+                Err(e) => {
+                    ServeStats::bump(&self.stats.errors);
+                    Err(e)
+                }
+            })
+            .collect()
+    }
+
+    /// The `STATS` counters (the cache/catalog gauges are appended by
+    /// [`ServeState::render_stats`]).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The canonical `STATS` payload.
+    pub fn render_stats(&self) -> String {
+        format!(
+            "{} cache_hits={} cache_misses={} cache_evictions={} cache_entries={} \
+             instances={} pool_workers={}",
+            self.stats.snapshot(),
+            self.cache.hits(),
+            self.cache.misses(),
+            self.cache.evictions(),
+            self.cache.len(),
+            self.catalog.len(),
+            self.pool.workers()
+        )
+    }
+
+    /// Handles one protocol line, returning the response line (always exactly one
+    /// line, `OK …` or `ERR …`). `QUIT` returns `OK bye`; closing the connection is
+    /// the server loop's business.
+    pub fn handle_line(&self, line: &str) -> String {
+        ServeStats::bump(&self.stats.requests);
+        match self.handle_command(line) {
+            Ok(payload) => format!("OK {payload}"),
+            Err(e) => {
+                ServeStats::bump(&self.stats.errors);
+                format!("ERR {e}")
+            }
+        }
+    }
+
+    fn handle_command(&self, line: &str) -> Result<String, ServeError> {
+        match wire::parse_command(line)? {
+            Command::Load { name, instance } => {
+                let facts = instance.fact_count();
+                let replaced = self.load(&name, instance);
+                Ok(format!(
+                    "{} {name} facts={facts}",
+                    if replaced { "replaced" } else { "loaded" }
+                ))
+            }
+            Command::Prepare { query } => {
+                let prepared = self.prepare(&query)?;
+                Ok(format!(
+                    "prepared fragment={} arity={} compiles={}",
+                    prepared.fragment().short_name(),
+                    prepared.arity(),
+                    prepared.compiles()
+                ))
+            }
+            Command::Eval {
+                name,
+                semantics,
+                query,
+            } => {
+                let semantics: Semantics = semantics
+                    .parse()
+                    .map_err(|_| ServeError::UnknownSemantics(semantics))?;
+                let response = self.eval(&name, semantics, &query)?;
+                Ok(response.render())
+            }
+            Command::Stats => Ok(self.render_stats()),
+            Command::Quit => Ok("bye".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::x;
+    use nev_incomplete::inst;
+
+    fn state(workers: usize) -> ServeState {
+        ServeState::new(ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        })
+    }
+
+    fn d0() -> Instance {
+        inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] }
+    }
+
+    #[test]
+    fn eval_matches_the_in_process_engine_on_both_paths() {
+        let state = state(2);
+        state.load("d0", d0());
+        let engine = CertainEngine::new();
+        for (text, semantics) in [
+            // Certified cell (∃Pos × CWA) and oracle cells (Pos/FO × OWA).
+            ("exists u v . D(u, v) & D(v, u)", Semantics::Cwa),
+            ("forall u . exists v . D(u, v)", Semantics::Owa),
+            ("exists u . !D(u, u)", Semantics::Owa),
+        ] {
+            let served = state.eval("d0", semantics, text).expect("served");
+            let reference = engine.evaluate(&d0(), semantics, &engine.prepare(text).unwrap());
+            assert_eq!(served.certain, reference.certain, "{text}");
+            assert_eq!(served.plan, PlanKind::of(&reference.plan), "{text}");
+        }
+        let snap = state.snapshot();
+        assert_eq!(snap.evals, 3);
+        assert_eq!(snap.certified, 1);
+        assert_eq!(snap.oracle, 2);
+        assert!(snap.worlds > 0);
+    }
+
+    #[test]
+    fn unknown_names_and_semantics_are_typed_errors() {
+        let state = state(0);
+        assert_eq!(
+            state.eval("nope", Semantics::Owa, "exists u . D(u, u)"),
+            Err(ServeError::UnknownInstance("nope".into()))
+        );
+        state.load("d0", d0());
+        assert!(matches!(
+            state.handle_line("EVAL d0 nonsense exists u . D(u, u)").as_str(),
+            s if s.starts_with("ERR unknown semantics")
+        ));
+        assert!(state
+            .handle_line("EVAL d0 owa exists u . D(u")
+            .starts_with("ERR"));
+        assert_eq!(state.snapshot().errors, 2);
+    }
+
+    #[test]
+    fn protocol_round_trip_session() {
+        let state = state(1);
+        assert_eq!(
+            state.handle_line("LOAD d0 D(?1,?2);D(?2,?1)"),
+            "OK loaded d0 facts=2"
+        );
+        assert_eq!(
+            state.handle_line("LOAD d0 D(?1,?2);D(?2,?1)"),
+            "OK replaced d0 facts=2"
+        );
+        let prepared = state.handle_line("PREPARE forall u . exists v . D(u, v)");
+        assert_eq!(prepared, "OK prepared fragment=Pos arity=0 compiles=true");
+        let eval = state.handle_line("EVAL d0 cwa forall u . exists v . D(u, v)");
+        assert_eq!(eval, "OK plan=compiled certain={()}");
+        let owa = state.handle_line("EVAL d0 owa forall u . exists v . D(u, v)");
+        assert_eq!(owa, "OK plan=oracle certain={}");
+        let stats = state.handle_line("STATS");
+        assert!(stats.starts_with("OK requests="), "{stats}");
+        assert!(stats.contains("pool_workers=1"), "{stats}");
+        assert_eq!(state.handle_line("QUIT"), "OK bye");
+    }
+
+    #[test]
+    fn eval_batch_amortises_and_preserves_request_order() {
+        let state = state(3);
+        state.load("d0", d0());
+        state.load("loops", inst! { "D" => [[x(1), x(1)], [x(1), x(2)]] });
+        let texts = [
+            "exists u v . D(u, v) & D(v, u)",
+            "forall u . exists v . D(u, v)",
+            "exists u . !D(u, u)",
+        ];
+        // 18 requests: 3 queries × 2 instances × OWA/CWA, plus 6 duplicates.
+        let mut requests = Vec::new();
+        for name in ["d0", "loops"] {
+            for semantics in [Semantics::Owa, Semantics::Cwa] {
+                for text in texts {
+                    requests.push(EvalRequest {
+                        instance: name.into(),
+                        semantics,
+                        query: text.into(),
+                    });
+                }
+            }
+        }
+        requests.extend(requests.clone().into_iter().take(6));
+        let responses = state.eval_batch(&requests);
+        assert_eq!(responses.len(), requests.len());
+        // Every response matches the solo path (no constants ⇒ batching is exact),
+        // and duplicates are byte-identical to their originals.
+        for (request, response) in requests.iter().zip(&responses) {
+            let response = response.as_ref().expect("batch request served");
+            let solo = state
+                .eval(&request.instance, request.semantics, &request.query)
+                .expect("solo request served");
+            assert_eq!(response.certain, solo.certain, "{request:?}");
+            assert_eq!(response.plan, solo.plan, "{request:?}");
+        }
+        for (dup, original) in responses[18..].iter().zip(&responses[..6]) {
+            assert_eq!(dup.as_ref().unwrap(), original.as_ref().unwrap());
+        }
+        // The distinct texts were prepared once each (per semantics row they hit).
+        assert!(state.cache().misses() <= (texts.len() * 2) as u64);
+    }
+
+    #[test]
+    fn eval_batch_reports_per_request_errors_in_place() {
+        let state = state(1);
+        state.load("d0", d0());
+        let requests = [
+            EvalRequest {
+                instance: "missing".into(),
+                semantics: Semantics::Owa,
+                query: "exists u . D(u, u)".into(),
+            },
+            EvalRequest {
+                instance: "d0".into(),
+                semantics: Semantics::Owa,
+                query: "exists u . D(u, u)".into(),
+            },
+        ];
+        let responses = state.eval_batch(&requests);
+        assert!(matches!(responses[0], Err(ServeError::UnknownInstance(_))));
+        assert!(responses[1].is_ok());
+    }
+}

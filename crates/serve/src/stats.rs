@@ -1,0 +1,130 @@
+//! Service-wide telemetry: lock-free counters behind the `STATS` command.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters shared by every connection and worker of a
+/// [`crate::state::ServeState`]. All counters are relaxed atomics — they are
+/// telemetry, not synchronisation.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Protocol requests handled (any command, including failed ones).
+    pub requests: AtomicU64,
+    /// `LOAD` commands that registered or replaced a catalog instance.
+    pub loads: AtomicU64,
+    /// `PREPARE` commands served.
+    pub prepares: AtomicU64,
+    /// `EVAL` requests answered successfully.
+    pub evals: AtomicU64,
+    /// Requests rejected with an `ERR` response.
+    pub errors: AtomicU64,
+    /// Evaluations answered by a certified naïve pass (no world enumeration).
+    pub certified: AtomicU64,
+    /// Certified evaluations executed on the compiled `nev-exec` pipeline.
+    pub compiled: AtomicU64,
+    /// Evaluations that needed the bounded possible-world oracle.
+    pub oracle: AtomicU64,
+    /// Worlds evaluated across all oracle runs (parallel chunks included).
+    pub worlds: AtomicU64,
+    /// Oracle runs cut short by early-exit cancellation.
+    pub oracle_cancelled: AtomicU64,
+}
+
+impl ServeStats {
+    /// A zeroed counter block.
+    pub fn new() -> Self {
+        ServeStats::default()
+    }
+
+    /// Relaxed-increment helper.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed add helper.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A plain-data copy of the counters (the `STATS` response payload).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            loads: self.loads.load(Ordering::Relaxed),
+            prepares: self.prepares.load(Ordering::Relaxed),
+            evals: self.evals.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            certified: self.certified.load(Ordering::Relaxed),
+            compiled: self.compiled.load(Ordering::Relaxed),
+            oracle: self.oracle.load(Ordering::Relaxed),
+            worlds: self.worlds.load(Ordering::Relaxed),
+            oracle_cancelled: self.oracle_cancelled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServeStats`], extended by the cache and catalog
+/// gauges when rendered by the server.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StatsSnapshot {
+    /// See [`ServeStats::requests`].
+    pub requests: u64,
+    /// See [`ServeStats::loads`].
+    pub loads: u64,
+    /// See [`ServeStats::prepares`].
+    pub prepares: u64,
+    /// See [`ServeStats::evals`].
+    pub evals: u64,
+    /// See [`ServeStats::errors`].
+    pub errors: u64,
+    /// See [`ServeStats::certified`].
+    pub certified: u64,
+    /// See [`ServeStats::compiled`].
+    pub compiled: u64,
+    /// See [`ServeStats::oracle`].
+    pub oracle: u64,
+    /// See [`ServeStats::worlds`].
+    pub worlds: u64,
+    /// See [`ServeStats::oracle_cancelled`].
+    pub oracle_cancelled: u64,
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requests={} loads={} prepares={} evals={} errors={} certified={} \
+             compiled={} oracle={} worlds={} oracle_cancelled={}",
+            self.requests,
+            self.loads,
+            self.prepares,
+            self.evals,
+            self.errors,
+            self.certified,
+            self.compiled,
+            self.oracle,
+            self.worlds,
+            self.oracle_cancelled
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let stats = ServeStats::new();
+        ServeStats::bump(&stats.requests);
+        ServeStats::bump(&stats.requests);
+        ServeStats::add(&stats.worlds, 7);
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.worlds, 7);
+        assert_eq!(snap.errors, 0);
+        let rendered = snap.to_string();
+        assert!(rendered.contains("requests=2"));
+        assert!(rendered.contains("worlds=7"));
+    }
+}

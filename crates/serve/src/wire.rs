@@ -1,0 +1,399 @@
+//! The `nevd` line protocol: request parsing and canonical rendering.
+//!
+//! Every request and every response is **one line** of UTF-8 text. The grammar:
+//!
+//! ```text
+//! request   = "LOAD" name facts
+//!           | "PREPARE" query-text
+//!           | "EVAL" name semantics query-text
+//!           | "STATS"
+//!           | "QUIT"
+//! facts     = "-"                      (the empty instance)
+//!           | fact (";" fact)*
+//! fact      = relname "(" values ")"   (values may be empty: a 0-ary fact)
+//! values    = value ("," value)*
+//! value     = integer                  (a constant, e.g. 42 or -7)
+//!           | "?" positive-integer     (a labelled null, e.g. ?1)
+//!           | symbol                   (a string constant, e.g. paris)
+//! semantics = "owa" | "cwa" | "wcwa" | "powerset-cwa" | "minimal-cwa" | …
+//!             (every spelling `Semantics::from_str` accepts)
+//! response  = "OK" payload | "ERR" message
+//! ```
+//!
+//! Rendering is **canonical**: instances and answer sets serialise from `BTreeMap`/
+//! `BTreeSet` iteration order, so equal values always render to identical bytes.
+//! That is what makes "server round-trip answers are byte-identical to an
+//! in-process [`nev_core::engine::CertainEngine::evaluate`]" a checkable property —
+//! the load-generator client asserts it on every response.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use nev_incomplete::{Instance, Tuple, Value};
+
+/// A parsed protocol request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Command {
+    /// `LOAD name facts` — register (or replace) a named instance.
+    Load {
+        /// Catalog name to bind.
+        name: String,
+        /// The parsed instance.
+        instance: Instance,
+    },
+    /// `PREPARE query` — parse, classify and compile a query into the plan cache.
+    Prepare {
+        /// The raw query text.
+        query: String,
+    },
+    /// `EVAL name semantics query` — certain answers of `query` on the named
+    /// instance under the given semantics.
+    Eval {
+        /// Catalog name to evaluate on.
+        name: String,
+        /// The semantics spelling (validated by the state layer).
+        semantics: String,
+        /// The raw query text.
+        query: String,
+    },
+    /// `STATS` — service counters.
+    Stats,
+    /// `QUIT` — close the connection.
+    Quit,
+}
+
+/// A protocol-level parse failure (rendered as an `ERR` response).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+/// Parses one request line.
+pub fn parse_command(line: &str) -> Result<Command, WireError> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((verb, rest)) => (verb, rest.trim()),
+        None => (line, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "LOAD" => {
+            let (name, facts) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| err("usage: LOAD <name> <facts>"))?;
+            Ok(Command::Load {
+                name: valid_name(name)?,
+                instance: parse_instance(facts.trim())?,
+            })
+        }
+        "PREPARE" => {
+            if rest.is_empty() {
+                return Err(err("usage: PREPARE <query>"));
+            }
+            Ok(Command::Prepare {
+                query: rest.to_string(),
+            })
+        }
+        "EVAL" => {
+            let (name, tail) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| err("usage: EVAL <name> <semantics> <query>"))?;
+            let (semantics, query) = tail
+                .trim()
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| err("usage: EVAL <name> <semantics> <query>"))?;
+            Ok(Command::Eval {
+                name: valid_name(name)?,
+                semantics: semantics.to_string(),
+                query: query.trim().to_string(),
+            })
+        }
+        "STATS" => {
+            if rest.is_empty() {
+                Ok(Command::Stats)
+            } else {
+                Err(err("STATS takes no arguments"))
+            }
+        }
+        "QUIT" => Ok(Command::Quit),
+        other => Err(err(format!(
+            "unknown command `{other}` (expected LOAD, PREPARE, EVAL, STATS or QUIT)"
+        ))),
+    }
+}
+
+fn valid_name(name: &str) -> Result<String, WireError> {
+    if !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        Ok(name.to_string())
+    } else {
+        Err(err(format!(
+            "invalid instance name `{name}` (alphanumeric, `_` and `-` only)"
+        )))
+    }
+}
+
+/// Parses the `facts` payload of a `LOAD` command.
+pub fn parse_instance(text: &str) -> Result<Instance, WireError> {
+    let mut instance = Instance::new();
+    if text == "-" || text.is_empty() {
+        return Ok(instance);
+    }
+    for fact in text.split(';') {
+        let fact = fact.trim();
+        if fact.is_empty() {
+            continue;
+        }
+        let open = fact
+            .find('(')
+            .ok_or_else(|| err(format!("fact `{fact}` is missing `(`")))?;
+        let close = fact
+            .rfind(')')
+            .filter(|&i| i == fact.len() - 1 && i > open)
+            .ok_or_else(|| err(format!("fact `{fact}` must end with `)`")))?;
+        let relation = fact[..open].trim();
+        if relation.is_empty()
+            || !relation
+                .chars()
+                .all(|ch| ch.is_ascii_alphanumeric() || ch == '_')
+        {
+            return Err(err(format!(
+                "fact `{fact}` needs an alphanumeric relation name"
+            )));
+        }
+        let body = fact[open + 1..close].trim();
+        let values = if body.is_empty() {
+            Vec::new()
+        } else {
+            body.split(',')
+                .map(|v| parse_value(v.trim()))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        instance
+            .add_tuple(relation, Tuple::new(values))
+            .map_err(|e| err(format!("fact `{fact}`: {e}")))?;
+    }
+    Ok(instance)
+}
+
+/// Parses one wire value: `?N` is a null, an integer literal is an `Int`
+/// constant, a bare symbol is a `Str` constant, and a single-quoted string
+/// (`'…'`, no embedded quotes) is a `Str` constant verbatim — the quoted form
+/// covers strings that would otherwise be ambiguous (`'7'` is the *string* 7)
+/// or unparseable as bare symbols (`'a b'`).
+pub fn parse_value(text: &str) -> Result<Value, WireError> {
+    if let Some(null) = text.strip_prefix('?') {
+        let id: u32 = null
+            .parse()
+            .map_err(|_| err(format!("invalid null `{text}` (expected ?N)")))?;
+        return Ok(Value::null(id));
+    }
+    if let Some(quoted) = text.strip_prefix('\'') {
+        let inner = quoted
+            .strip_suffix('\'')
+            .ok_or_else(|| err(format!("unterminated quoted value `{text}`")))?;
+        if inner.contains('\'') {
+            return Err(err(format!(
+                "quoted value `{text}` may not contain embedded quotes"
+            )));
+        }
+        return Ok(Value::str(inner));
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Value::int(i));
+    }
+    if is_bare_symbol(text) {
+        return Ok(Value::str(text));
+    }
+    Err(err(format!(
+        "invalid value `{text}` (integer, ?N null, bare symbol, or 'quoted string')"
+    )))
+}
+
+/// A string that parses back as the same `Str` constant when rendered bare: made
+/// of symbol characters and not mistakable for an integer or a null.
+fn is_bare_symbol(text: &str) -> bool {
+    !text.is_empty()
+        && text
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        && text.parse::<i64>().is_err()
+        && !text.starts_with('?')
+}
+
+/// Renders an instance in the `facts` wire syntax; canonical (sorted relations,
+/// sorted tuples) and round-trips through [`parse_instance`].
+pub fn render_instance(instance: &Instance) -> String {
+    let mut facts = Vec::new();
+    for relation in instance.relations() {
+        for tuple in relation.tuples() {
+            facts.push(format!("{}({})", relation.name(), render_values(tuple)));
+        }
+    }
+    if facts.is_empty() {
+        "-".to_string()
+    } else {
+        facts.join(";")
+    }
+}
+
+fn render_values(tuple: &Tuple) -> String {
+    tuple
+        .values()
+        .iter()
+        .map(render_value)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn render_value(value: &Value) -> String {
+    match value {
+        Value::Null(n) => format!("?{}", n.index()),
+        Value::Const(c) => {
+            let rendered = c.to_string();
+            // Quote any Str constant the bare syntax would misread — one that
+            // looks like an integer (`"7"`), a null, or contains non-symbol
+            // characters — so rendering always round-trips through
+            // `parse_value`. Int constants always render bare.
+            if c.as_str().is_some() && !is_bare_symbol(&rendered) {
+                format!("'{rendered}'")
+            } else {
+                rendered
+            }
+        }
+    }
+}
+
+/// Renders an answer set canonically: `{}`, `{()}`, or `{(1,4),(2,paris)}` — the
+/// `BTreeSet` order makes equal sets byte-identical.
+pub fn render_answers(answers: &BTreeSet<Tuple>) -> String {
+    let tuples: Vec<String> = answers
+        .iter()
+        .map(|t| format!("({})", render_values(t)))
+        .collect();
+    format!("{{{}}}", tuples.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(
+            parse_command("LOAD d0 D(?1,?2);D(?2,?1)"),
+            Ok(Command::Load {
+                name: "d0".into(),
+                instance: inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] },
+            })
+        );
+        assert_eq!(
+            parse_command("EVAL d0 owa forall u . exists v . D(u, v)"),
+            Ok(Command::Eval {
+                name: "d0".into(),
+                semantics: "owa".into(),
+                query: "forall u . exists v . D(u, v)".into(),
+            })
+        );
+        assert_eq!(
+            parse_command("  prepare exists u . R(u)"),
+            Ok(Command::Prepare {
+                query: "exists u . R(u)".into(),
+            })
+        );
+        assert_eq!(parse_command("STATS"), Ok(Command::Stats));
+        assert_eq!(parse_command("quit"), Ok(Command::Quit));
+    }
+
+    #[test]
+    fn malformed_commands_are_rejected_with_usage_hints() {
+        for (line, needle) in [
+            ("LOAD onlyname", "usage: LOAD"),
+            ("EVAL d0 owa", "usage: EVAL"),
+            ("PREPARE", "usage: PREPARE"),
+            ("STATS now", "no arguments"),
+            ("FROBNICATE", "unknown command"),
+            ("LOAD bad!name R(1)", "invalid instance name"),
+        ] {
+            let e = parse_command(line).unwrap_err();
+            assert!(e.to_string().contains(needle), "{line}: {e}");
+        }
+    }
+
+    #[test]
+    fn instances_round_trip() {
+        let d = inst! {
+            "R" => [[c(1), x(1)], [x(2), x(3)]],
+            "S" => [[x(1), c(4)], [x(3), c(5)]],
+        };
+        let wire = render_instance(&d);
+        assert_eq!(parse_instance(&wire), Ok(d));
+        // The empty instance renders as `-`.
+        assert_eq!(render_instance(&Instance::new()), "-");
+        assert_eq!(parse_instance("-"), Ok(Instance::new()));
+    }
+
+    #[test]
+    fn string_constants_and_negative_integers_parse() {
+        assert_eq!(parse_value("paris"), Ok(Value::str("paris")));
+        assert_eq!(parse_value("-7"), Ok(Value::int(-7)));
+        assert_eq!(parse_value("?12"), Ok(Value::null(12)));
+        assert!(parse_value("a b").is_err());
+        assert!(parse_value("?x").is_err());
+        assert!(parse_value("").is_err());
+        // The quoted form keeps string-typed values distinct from their lookalikes.
+        assert_eq!(parse_value("'7'"), Ok(Value::str("7")));
+        assert_eq!(parse_value("'a b'"), Ok(Value::str("a b")));
+        assert_eq!(parse_value("'?1'"), Ok(Value::str("?1")));
+        assert!(parse_value("'oops").is_err());
+        assert!(parse_value("'a'b'").is_err());
+    }
+
+    #[test]
+    fn ambiguous_string_constants_round_trip_quoted() {
+        use nev_incomplete::Tuple;
+        // Str("7") ≠ Int(7); the wire form must preserve the distinction, and
+        // whitespace-bearing strings must render to something parseable.
+        let mut d = Instance::new();
+        d.add_tuple(
+            "R",
+            Tuple::new(vec![Value::str("7"), Value::int(7), Value::str("a b")]),
+        )
+        .unwrap();
+        let wire = render_instance(&d);
+        assert_eq!(wire, "R('7',7,'a b')");
+        assert_eq!(parse_instance(&wire), Ok(d));
+    }
+
+    #[test]
+    fn arity_mismatches_are_wire_errors() {
+        let e = parse_instance("R(1,2);R(3)").unwrap_err();
+        assert!(e.to_string().contains("R(3)"), "{e}");
+    }
+
+    #[test]
+    fn answers_render_canonically() {
+        let mut answers = BTreeSet::new();
+        assert_eq!(render_answers(&answers), "{}");
+        answers.insert(Tuple::new(vec![]));
+        assert_eq!(render_answers(&answers), "{()}");
+        let mut kary = BTreeSet::new();
+        kary.insert(Tuple::new(vec![c(2), Value::str("paris")]));
+        kary.insert(Tuple::new(vec![c(1), c(4)]));
+        assert_eq!(render_answers(&kary), "{(1,4),(2,paris)}");
+    }
+}

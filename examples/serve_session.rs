@@ -1,0 +1,66 @@
+//! A worked `nevd` session: spawn the service in-process on an ephemeral loopback
+//! port, drive it over real TCP with the line protocol, and cross-check one answer
+//! against the in-process engine.
+//!
+//! ```sh
+//! cargo run --release --example serve_session
+//! ```
+
+use std::sync::Arc;
+
+use naive_eval::core::engine::CertainEngine;
+use naive_eval::core::Semantics;
+use naive_eval::serve::state::{ServeConfig, ServeState};
+use naive_eval::serve::wire::{parse_instance, render_answers};
+use naive_eval::serve::{Client, Server};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2-worker service: catalog + plan cache + pool behind a TCP listener.
+    let state = Arc::new(ServeState::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    }));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&state))?;
+    let addr = server.local_addr()?;
+    let mut handle = server.spawn()?;
+    println!("nevd listening on {addr}\n");
+
+    let mut client = Client::connect(&addr.to_string())?;
+    let session = [
+        // The paper's introduction: R = {(1,⊥1),(⊥2,⊥3)}, S = {(⊥1,4),(⊥3,5)}.
+        "LOAD intro R(1,?1);R(?2,?3);S(?1,4);S(?3,5)",
+        // D0 = {(⊥,⊥′),(⊥′,⊥)} from §2.3/§2.4.
+        "LOAD d0 D(?1,?2);D(?2,?1)",
+        // Warm the plan cache: parse + classify + compile once, all semantics.
+        "PREPARE Q(x, y) :- exists z . R(x, z) & S(z, y)",
+        // ∃Pos × OWA is certified: compiled naïve pass, no world enumerated.
+        "EVAL intro owa Q(x, y) :- exists z . R(x, z) & S(z, y)",
+        // Pos × CWA is certified; the same query under OWA needs the oracle,
+        // which refutes it — the §2.4 counterexample, served.
+        "EVAL d0 cwa forall u . exists v . D(u, v)",
+        "EVAL d0 owa forall u . exists v . D(u, v)",
+        "STATS",
+        "QUIT",
+    ];
+    for request in session {
+        let response = client.send(request)?;
+        println!("> {request}");
+        println!("< {response}");
+    }
+
+    // The round-trip property the load generator checks on every request: the
+    // served answer is byte-identical to an in-process engine evaluation.
+    let engine = CertainEngine::new();
+    let intro = parse_instance("R(1,?1);R(?2,?3);S(?1,4);S(?3,5)")?;
+    let q = engine.prepare("Q(x, y) :- exists z . R(x, z) & S(z, y)")?;
+    let reference = engine.evaluate(&intro, Semantics::Owa, &q);
+    println!(
+        "\nin-process reference: plan=compiled certain={}",
+        render_answers(&reference.certain)
+    );
+    assert_eq!(render_answers(&reference.certain), "{(1,4)}");
+
+    handle.shutdown();
+    println!("server shut down cleanly");
+    Ok(())
+}

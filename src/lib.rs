@@ -17,6 +17,9 @@
 //!   semantic orderings, update systems and the Figure 1 summary;
 //! * [`gen`] — seeded random instance and formula generators;
 //! * [`sql`] — SQL-style three-valued logic (the motivating paradox);
+//! * [`serve`] — the concurrent certain-answer service: shared catalog, plan
+//!   cache, work-stealing pool, parallel oracle, and the `nevd` line-protocol
+//!   server with its `nevload` load generator;
 //! * [`mod@bench`] — the experiment harness behind the `figure1` binary and the
 //!   Criterion benchmarks.
 
@@ -30,4 +33,5 @@ pub use nev_gen as gen;
 pub use nev_hom as hom;
 pub use nev_incomplete as incomplete;
 pub use nev_logic as logic;
+pub use nev_serve as serve;
 pub use nev_sql as sql;

@@ -1,20 +1,18 @@
 //! Property tests for the `CertainEngine`: on seeded generated workloads across all
 //! 6 semantics × 5 fragments,
 //!
-//! * the engine's planned dispatch returns **identical answers** to the legacy
-//!   free-function path (and to its own forced bounded oracle) — the certified
-//!   naïve fast path never changes a result, it only skips work;
+//! * the engine's planned dispatch returns **identical answers** to its forced
+//!   bounded oracle and to the raw interpreter's naïve pass — the certified naïve
+//!   fast path never changes a result, it only skips work;
 //! * `CertifiedNaive` plans are chosen **only** for cells Figure 1 guarantees
 //!   (`Works` unconditionally, `WorksOverCores` after verifying the instance is a
 //!   core), and every issued certificate passes its own `check()`;
 //! * `evaluate_all` enumerates an instance's worlds at most once and reproduces the
 //!   per-query oracle answers under the shared (merged-constants) bounds.
-#![allow(deprecated)] // the equivalence target *is* the legacy free-function path
 
 use proptest::prelude::*;
 
 use nev_bench::workloads::cell_workload;
-use nev_core::certain::compare_naive_and_certain;
 use nev_core::engine::{CertainEngine, PreparedQuery};
 use nev_core::summary::{expectation, Expectation, FRAGMENTS};
 use nev_core::{Semantics, WorldBounds};
@@ -90,15 +88,15 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 3, .. ProptestConfig::default() })]
 
     /// The planned dispatch (certified fast path included) returns exactly the same
-    /// answers as the legacy free-function path and the forced bounded oracle, on
-    /// every cell of Figure 1.
+    /// answers as the forced bounded oracle, and its naïve side matches the raw
+    /// tree-walking interpreter, on every cell of Figure 1.
     #[test]
-    fn engine_answers_match_the_legacy_path(seed in 0u64..1_000) {
+    fn engine_answers_match_the_oracle_path(seed in 0u64..1_000) {
         let engine = CertainEngine::with_bounds(bounds());
         for (semantics, query, instance) in cell_trials(seed) {
             let planned = engine.evaluate(&instance, semantics, &query);
             let oracle = engine.compare(&instance, semantics, &query);
-            let legacy = compare_naive_and_certain(&instance, query.query(), semantics, &bounds());
+            let interpreter = nev_logic::naive_eval_query(&instance, query.query());
             prop_assert_eq!(
                 &planned.certain,
                 &oracle.certain,
@@ -107,8 +105,8 @@ proptest! {
                 query.fragment(),
                 instance
             );
-            prop_assert_eq!(&planned.naive, &legacy.naive, "{}", semantics);
-            prop_assert_eq!(&oracle.certain, &legacy.certain, "{}", semantics);
+            prop_assert_eq!(&planned.naive, &interpreter, "{}", semantics);
+            prop_assert_eq!(&oracle.naive, &interpreter, "{}", semantics);
             if planned.plan.is_certified() {
                 prop_assert_eq!(planned.worlds_enumerated, 0);
                 prop_assert!(oracle.agrees(), "{} × {}", semantics, query.fragment());
