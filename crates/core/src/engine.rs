@@ -64,7 +64,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use nev_exec::{CompiledQuery, ExecStats};
+use nev_exec::{CompiledQuery, CompilerConfig, ExecStats};
 use nev_hom::is_core;
 use nev_incomplete::{Constant, Instance, Tuple};
 use nev_logic::eval::{evaluate_boolean, evaluate_query, naive_eval_query};
@@ -152,9 +152,16 @@ impl PreparedQuery {
     /// later evaluation then falls back to the tree-walking interpreter and records
     /// the fallback in [`ExecStats::fallbacks`]).
     pub fn new(query: Query) -> Self {
+        PreparedQuery::with_compiler_config(query, &CompilerConfig::default())
+    }
+
+    /// Prepares a query under an explicit [`CompilerConfig`] — e.g. with
+    /// `optimize: false` to pin the literal syntactic lowering as a baseline
+    /// (the differential suite compares optimised against exactly this).
+    pub fn with_compiler_config(query: Query, config: &CompilerConfig) -> Self {
         let fragment = classify(query.formula());
         let constants = query.formula().constants();
-        let compiled = CompiledQuery::compile(&query).ok();
+        let compiled = CompiledQuery::compile_with(&query, config).ok();
         PreparedQuery {
             query,
             fragment,
@@ -202,6 +209,13 @@ impl PreparedQuery {
     /// Returns `true` iff the query has a compiled physical plan.
     pub fn compiles(&self) -> bool {
         self.compiled.is_some()
+    }
+
+    /// The `EXPLAIN` rendering of the compiled plan — both the logical lowering
+    /// and the `nev-opt` rule-optimised plan the executor runs — or `None` when
+    /// the compiler rejected the query's shape (interpreter fallback).
+    pub fn explain(&self) -> Option<String> {
+        self.compiled.as_ref().map(CompiledQuery::explain)
     }
 
     /// World-enumeration bounds extended with this query's constants, so that the
@@ -1122,6 +1136,41 @@ mod tests {
         assert_eq!(batch.enumeration_passes, 0);
         assert_eq!(batch.worlds_enumerated, 0);
         assert!(batch.all_agree());
+    }
+
+    #[test]
+    fn prepared_queries_explain_both_plans() {
+        let engine = CertainEngine::new();
+        let q = engine
+            .prepare("Q(x, y) :- exists z . R(x, z) & S(z, y)")
+            .expect("valid query");
+        let explain = q.explain().expect("the join chain compiles");
+        assert!(explain.contains("HashJoin"), "{explain}");
+        // Compiler-rejected shapes have no plan to explain.
+        let rejected = engine
+            .prepare("forall u v w t . R(u, v) & R(w, t)")
+            .expect("valid query");
+        assert_eq!(rejected.explain(), None);
+        // An explicit config pins the unoptimised lowering as a baseline: same
+        // answers, rules_fired == 0.
+        let query = parse_query("Q(u) :- exists v . R(u, v) & (S(u) | !T(v))").expect("valid");
+        let optimised = PreparedQuery::new(query.clone());
+        let baseline = PreparedQuery::with_compiler_config(
+            query,
+            &CompilerConfig {
+                optimize: false,
+                ..CompilerConfig::default()
+            },
+        );
+        let plan = optimised.compiled().expect("compiles");
+        let raw = baseline.compiled().expect("compiles");
+        assert!(plan.rules_fired() > 0);
+        assert_eq!(raw.rules_fired(), 0);
+        let d = inst! { "R" => [[c(1), c(2)]], "S" => [[c(1)]], "T" => [[c(2)]] };
+        assert_eq!(
+            plan.execute_naive(&d).answers,
+            raw.execute_naive(&d).answers
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::fmt;
 use nev_incomplete::Value;
 
 /// One argument position of a base-relation scan.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum ScanTerm {
     /// A variable: the position is emitted as (or equality-checked against) a column.
     Var(String),
@@ -24,7 +24,7 @@ pub enum ScanTerm {
 }
 
 /// A node of the physical operator DAG.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum PlanNode {
     /// Scan a base relation with a selection/projection pattern: constant positions
     /// are selections (served by a hash index keyed on the bound columns), repeated
@@ -128,6 +128,20 @@ pub fn merge_schemas(a: &[String], b: &[String]) -> Vec<String> {
     out
 }
 
+/// Flattens a nested join tree into its group leaves, recursing through `Join`
+/// nodes only — the **one** definition of what a "join group" is, shared by the
+/// rule stage's projection pushdown and the executor's cost-based reorderer so
+/// their notion of group membership can never drift.
+pub fn flatten_join_refs<'p>(node: &'p PlanNode, leaves: &mut Vec<&'p PlanNode>) {
+    match node {
+        PlanNode::Join { left, right } => {
+            flatten_join_refs(left, leaves);
+            flatten_join_refs(right, leaves);
+        }
+        leaf => leaves.push(leaf),
+    }
+}
+
 impl PlanNode {
     /// The sorted output schema of the node (recomputed recursively; the executor
     /// instead threads schemas through its batches).
@@ -165,6 +179,46 @@ impl PlanNode {
             PlanNode::Project { input, .. }
             | PlanNode::DomainPad { input, .. }
             | PlanNode::Complement { input } => input.node_count(),
+        }
+    }
+
+    /// A single-line rendering of the plan (nested, parenthesised) — the form the
+    /// `EXPLAIN` wire command ships, since every protocol response is one line.
+    pub fn compact(&self) -> String {
+        match self {
+            PlanNode::Scan {
+                relation, pattern, ..
+            } => {
+                let args: Vec<String> = pattern
+                    .iter()
+                    .map(|t| match t {
+                        ScanTerm::Var(v) => v.clone(),
+                        ScanTerm::Const(c) => c.to_string(),
+                    })
+                    .collect();
+                format!("Scan {relation}({})", args.join(","))
+            }
+            PlanNode::Unit => "Unit".to_string(),
+            PlanNode::Empty { schema } => format!("Empty[{}]", schema.join(",")),
+            PlanNode::AdomConst { var, value } => format!("AdomConst {var}={value}"),
+            PlanNode::AdomEq { vars } => format!("AdomEq {}={}", vars[0], vars[1]),
+            PlanNode::Join { left, right } => {
+                format!("HashJoin({}, {})", left.compact(), right.compact())
+            }
+            PlanNode::AntiJoin { left, right } => {
+                format!("AntiJoin({}, {})", left.compact(), right.compact())
+            }
+            PlanNode::Union { inputs } => {
+                let parts: Vec<String> = inputs.iter().map(PlanNode::compact).collect();
+                format!("Union({})", parts.join(", "))
+            }
+            PlanNode::Project { input, keep } => {
+                format!("Project[{}]({})", keep.join(","), input.compact())
+            }
+            PlanNode::DomainPad { input, vars } => {
+                format!("DomainPad[{}]({})", vars.join(","), input.compact())
+            }
+            PlanNode::Complement { input } => format!("Complement({})", input.compact()),
         }
     }
 
@@ -293,5 +347,9 @@ mod tests {
         assert!(s.contains("HashJoin"));
         assert!(s.contains("Scan R(x, y)"));
         assert!(s.contains("AdomConst y = 3"));
+        // The compact form is the same tree on one line.
+        let compact = plan.compact();
+        assert_eq!(compact, "Project[x](HashJoin(Scan R(x,y), AdomConst y=3))");
+        assert!(!compact.contains('\n'));
     }
 }

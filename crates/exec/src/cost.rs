@@ -1,0 +1,222 @@
+//! The cost model behind the `nev-opt` optimiser: output-cardinality estimates
+//! for every operator, seeded from **real** base-relation cardinalities.
+//!
+//! Estimates are deliberately simple — classical textbook formulas under a
+//! uniformity assumption — because they only need to *rank* alternative join
+//! orders, not predict run times:
+//!
+//! * a [`PlanNode::Scan`] starts from the relation's actual row count (read off
+//!   the [`InternedInstance`]) and divides by `|adom|` per bound column and per
+//!   repeated-variable equality check;
+//! * a join multiplies its inputs and divides by `|adom|` per shared variable
+//!   (each shared variable is an equality predicate with selectivity
+//!   `1/|adom|` under uniformity);
+//! * `DomainPad` multiplies by `|adom|` per padded variable and `Complement`
+//!   subtracts from `|adom|^k` — which is exactly why the rule stage tries to
+//!   rewrite both away before the cost stage ever ranks them.
+//!
+//! Everything is `f64`: the estimates cross `|adom|^k` scales where `u64` would
+//! overflow, and ranking does not need exactness.
+
+use std::collections::HashSet;
+
+use crate::algebra::{PlanNode, ScanTerm};
+use crate::intern::InternedInstance;
+
+/// Estimated output rows of `node` on `inst` (always finite and `>= 0`).
+pub fn estimate(node: &PlanNode, inst: &InternedInstance) -> f64 {
+    let adom = (inst.dictionary().len() as f64).max(1.0);
+    estimate_inner(node, inst, adom)
+}
+
+fn estimate_inner(node: &PlanNode, inst: &InternedInstance, adom: f64) -> f64 {
+    match node {
+        PlanNode::Scan {
+            relation, pattern, ..
+        } => estimate_scan(relation, pattern, inst, adom),
+        PlanNode::Unit => 1.0,
+        PlanNode::Empty { .. } => 0.0,
+        // Real data again: one row iff the constant occurs in the instance.
+        PlanNode::AdomConst { value, .. } => {
+            if inst.dictionary().code(value).is_some() {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        // Real size, not the division-safe clamp: an empty domain has no rows.
+        PlanNode::AdomEq { .. } => inst.dictionary().len() as f64,
+        PlanNode::Join { left, right } => {
+            let l = estimate_inner(left, inst, adom);
+            let r = estimate_inner(right, inst, adom);
+            join_estimate(l, &left.schema(), r, &right.schema(), adom)
+        }
+        // An anti-join keeps at most the left side; halving is the usual
+        // "unknown selectivity" guess.
+        PlanNode::AntiJoin { left, .. } => estimate_inner(left, inst, adom) * 0.5,
+        PlanNode::Union { inputs } => {
+            let sum: f64 = inputs.iter().map(|i| estimate_inner(i, inst, adom)).sum();
+            let k = inputs.first().map(|i| i.schema().len()).unwrap_or(0);
+            sum.min(domain_power(adom, k))
+        }
+        PlanNode::Project { input, keep } => {
+            estimate_inner(input, inst, adom).min(domain_power(adom, keep.len()))
+        }
+        PlanNode::DomainPad { input, vars } => {
+            estimate_inner(input, inst, adom) * domain_power(adom, vars.len())
+        }
+        PlanNode::Complement { input } => {
+            let k = input.schema().len();
+            (domain_power(adom, k) - estimate_inner(input, inst, adom)).max(0.0)
+        }
+    }
+}
+
+/// The estimated output of joining relations of sizes `l` and `r` over the given
+/// (sorted) schemas: `l·r / |adom|^s` for `s` shared variables — the uniformity
+/// selectivity of `s` equality predicates. No shared variables is a genuine
+/// cross product.
+pub fn join_estimate(l: f64, l_schema: &[String], r: f64, r_schema: &[String], adom: f64) -> f64 {
+    let shared = shared_count(l_schema, r_schema);
+    l * r / domain_power(adom, shared)
+}
+
+/// Number of variables two sorted schemas share.
+pub fn shared_count(a: &[String], b: &[String]) -> usize {
+    let (mut i, mut j, mut shared) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                shared += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    shared
+}
+
+fn domain_power(adom: f64, k: usize) -> f64 {
+    // Cap the exponent so pathological schemas cannot overflow to infinity.
+    adom.powi(k.min(32) as i32).max(1.0)
+}
+
+fn estimate_scan(relation: &str, pattern: &[ScanTerm], inst: &InternedInstance, adom: f64) -> f64 {
+    let Some(rel) = inst.relation(relation) else {
+        return 0.0;
+    };
+    if rel.arity() != pattern.len() {
+        return 0.0;
+    }
+    let mut selectivity_predicates = 0usize;
+    let mut seen: HashSet<&str> = HashSet::new();
+    for term in pattern {
+        match term {
+            ScanTerm::Const(value) => {
+                // A constant absent from the instance empties the scan outright.
+                if inst.dictionary().code(value).is_none() {
+                    return 0.0;
+                }
+                selectivity_predicates += 1;
+            }
+            ScanTerm::Var(v) => {
+                if !seen.insert(v.as_str()) {
+                    // Repeated variable: an intra-row equality check.
+                    selectivity_predicates += 1;
+                }
+            }
+        }
+    }
+    rel.len() as f64 / domain_power(adom, selectivity_predicates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::c;
+    use nev_incomplete::{inst, Value};
+
+    fn scan(rel: &str, vars: &[&str]) -> PlanNode {
+        let mut schema: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
+        schema.sort();
+        schema.dedup();
+        PlanNode::Scan {
+            relation: rel.into(),
+            pattern: vars.iter().map(|v| ScanTerm::Var(v.to_string())).collect(),
+            schema,
+        }
+    }
+
+    #[test]
+    fn scans_use_real_cardinalities() {
+        let d = inst! {
+            "R" => [[c(1), c(2)], [c(2), c(3)], [c(3), c(1)]],
+            "S" => [[c(1)]],
+        };
+        let interned = InternedInstance::new(&d);
+        assert_eq!(estimate(&scan("R", &["x", "y"]), &interned), 3.0);
+        assert_eq!(estimate(&scan("S", &["x"]), &interned), 1.0);
+        assert_eq!(estimate(&scan("T", &["x"]), &interned), 0.0);
+        // Bound columns and repeated variables divide by |adom|.
+        let bound = PlanNode::Scan {
+            relation: "R".into(),
+            pattern: vec![ScanTerm::Const(Value::int(1)), ScanTerm::Var("y".into())],
+            schema: vec!["y".into()],
+        };
+        assert!(estimate(&bound, &interned) < 3.0);
+        let absent = PlanNode::Scan {
+            relation: "R".into(),
+            pattern: vec![ScanTerm::Const(Value::int(99)), ScanTerm::Var("y".into())],
+            schema: vec!["y".into()],
+        };
+        assert_eq!(estimate(&absent, &interned), 0.0);
+        assert!(estimate(&scan("R", &["x", "x"]), &interned) < 3.0);
+    }
+
+    #[test]
+    fn joins_divide_by_shared_variables_and_pads_multiply() {
+        let d = inst! {
+            "R" => [[c(1), c(2)], [c(2), c(3)], [c(3), c(1)]],
+            "S" => [[c(1), c(2)], [c(2), c(3)]],
+        };
+        let interned = InternedInstance::new(&d);
+        let adom = interned.dictionary().len() as f64;
+        let join = PlanNode::Join {
+            left: Box::new(scan("R", &["x", "y"])),
+            right: Box::new(scan("S", &["y", "z"])),
+        };
+        assert_eq!(estimate(&join, &interned), 3.0 * 2.0 / adom);
+        let cross = PlanNode::Join {
+            left: Box::new(scan("R", &["x", "y"])),
+            right: Box::new(scan("S", &["u", "v"])),
+        };
+        assert_eq!(estimate(&cross, &interned), 6.0);
+        let pad = PlanNode::DomainPad {
+            input: Box::new(scan("S", &["y", "z"])),
+            vars: vec!["w".into()],
+        };
+        assert_eq!(estimate(&pad, &interned), 2.0 * adom);
+        let complement = PlanNode::Complement {
+            input: Box::new(scan("S", &["y", "z"])),
+        };
+        assert_eq!(estimate(&complement, &interned), adom * adom - 2.0);
+    }
+
+    #[test]
+    fn empty_instances_estimate_zero_data() {
+        let interned = InternedInstance::new(&nev_incomplete::Instance::new());
+        assert_eq!(estimate(&scan("R", &["x"]), &interned), 0.0);
+        assert_eq!(estimate(&PlanNode::Unit, &interned), 1.0);
+        assert_eq!(
+            estimate(
+                &PlanNode::AdomEq {
+                    vars: ["x".into(), "y".into()]
+                },
+                &interned
+            ),
+            0.0
+        );
+    }
+}

@@ -1,12 +1,21 @@
 //! Set-at-a-time execution of compiled plans over interned instances.
+//!
+//! This is also where stage 2 of the `nev-opt` optimiser lives: join groups
+//! (kept flat by the rule stage) are re-ordered **here**, per instance, by the
+//! greedy cost-based search of [`crate::optimize`] seeded from the actual
+//! base-relation cardinalities of the [`InternedInstance`] at hand. The chosen
+//! order is memoised in the per-execution context, alongside the hash index
+//! cache, and an empty intermediate short-circuits the rest of its group.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use nev_incomplete::{Instance, Tuple};
 
-use crate::algebra::{merge_schemas, PlanNode, ScanTerm};
+use crate::algebra::{flatten_join_refs, merge_schemas, PlanNode, ScanTerm};
+use crate::cost;
 use crate::intern::{ColumnarRelation, InternedInstance};
 use crate::lower::CompiledQuery;
+use crate::optimize::greedy_join_order;
 use crate::stats::ExecStats;
 
 /// The result of executing a compiled query on one instance.
@@ -36,22 +45,56 @@ impl Batch {
 /// A base-relation hash index: key codes (one per bound column) → row ids.
 type RelationIndex = HashMap<Vec<u32>, Vec<usize>>;
 
-/// Per-execution state: the interned instance, the counters, and the cache of base
+/// Per-execution state: the interned instance, the counters, the cache of base
 /// hash indexes keyed on (relation, bound column positions) — shared by every scan
-/// of the same relation with the same bound shape (e.g. self-joins).
+/// of the same relation with the same bound shape (e.g. self-joins) — and the
+/// memoised cost-based join orders (keyed on the group's structural hash, so
+/// identical groups appearing twice in one plan decide their order once).
 struct ExecContext<'a> {
     inst: &'a InternedInstance,
     stats: ExecStats,
     indexes: HashMap<(String, Vec<usize>), RelationIndex>,
+    /// Keyed on the group node itself (not a digest): a hash collision must
+    /// fall through to equality, never to another group's order vector.
+    join_orders: HashMap<PlanNode, Vec<usize>>,
+    /// Stage-2 cost-based reordering enabled (`CompilerConfig::optimize`).
+    reorder: bool,
 }
 
 impl<'a> ExecContext<'a> {
-    fn new(inst: &'a InternedInstance) -> Self {
+    fn new(inst: &'a InternedInstance, reorder: bool) -> Self {
         ExecContext {
             inst,
             stats: ExecStats::new(),
             indexes: HashMap::new(),
+            join_orders: HashMap::new(),
+            reorder,
         }
+    }
+
+    /// The execution order for one flattened join group, decided by the greedy
+    /// cost-based search on this instance's real cardinalities and memoised per
+    /// group. `joins_reordered` is bumped when the decision (not each reuse)
+    /// deviates from the written order.
+    fn join_order(&mut self, group: &PlanNode, leaves: &[&PlanNode]) -> Vec<usize> {
+        if !self.reorder {
+            return (0..leaves.len()).collect();
+        }
+        if let Some(order) = self.join_orders.get(group) {
+            return order.clone();
+        }
+        let schemas: Vec<Vec<String>> = leaves.iter().map(|l| l.schema()).collect();
+        let estimates: Vec<f64> = leaves
+            .iter()
+            .map(|l| cost::estimate(l, self.inst))
+            .collect();
+        let adom = (self.inst.dictionary().len() as f64).max(1.0);
+        let order = greedy_join_order(&schemas, &estimates, adom);
+        if order.iter().enumerate().any(|(pos, &i)| pos != i) {
+            self.stats.joins_reordered += 1;
+        }
+        self.join_orders.insert(group.clone(), order.clone());
+        order
     }
 
     /// Rows of `rel` whose `cols` hold exactly `key`, via a (cached) hash index.
@@ -108,11 +151,7 @@ fn eval(node: &PlanNode, ctx: &mut ExecContext<'_>) -> Batch {
                 rows: (0..n).map(|c| vec![c, c]).collect(),
             }
         }
-        PlanNode::Join { left, right } => {
-            let l = eval(left, ctx);
-            let r = eval(right, ctx);
-            eval_join(l, r, ctx)
-        }
+        PlanNode::Join { .. } => eval_join_group(node, ctx),
         PlanNode::AntiJoin { left, right } => {
             let l = eval(left, ctx);
             let r = eval(right, ctx);
@@ -167,6 +206,33 @@ fn eval(node: &PlanNode, ctx: &mut ExecContext<'_>) -> Batch {
             eval_complement(b, ctx)
         }
     }
+}
+
+/// Evaluates one flattened join group in the cost-chosen order, folding joins
+/// pairwise and short-circuiting to an empty batch (over the group's full
+/// schema) as soon as the accumulator empties — unevaluated members cannot
+/// resurrect an empty join.
+fn eval_join_group(group: &PlanNode, ctx: &mut ExecContext<'_>) -> Batch {
+    let mut leaves = Vec::new();
+    flatten_join_refs(group, &mut leaves);
+    let order = ctx.join_order(group, &leaves);
+    let full_schema = leaves
+        .iter()
+        .fold(Vec::new(), |acc, l| merge_schemas(&acc, &l.schema()));
+    let mut acc: Option<Batch> = None;
+    for &i in &order {
+        if let Some(batch) = &acc {
+            if batch.rows.is_empty() {
+                return Batch::empty(full_schema);
+            }
+        }
+        let next = eval(leaves[i], ctx);
+        acc = Some(match acc {
+            None => next,
+            Some(prev) => eval_join(prev, next, ctx),
+        });
+    }
+    acc.expect("a join group has at least two members")
 }
 
 fn eval_scan(
@@ -457,7 +523,11 @@ impl CompiledQuery {
         complete_only: bool,
         stats: &mut ExecStats,
     ) -> BTreeSet<Tuple> {
-        let mut ctx = ExecContext::new(inst);
+        let mut ctx = ExecContext::new(inst, self.reorder);
+        // Replay the compile-time rule count and the root cardinality estimate
+        // into this execution's telemetry (`as` saturates, never panics).
+        ctx.stats.rules_fired = self.rules.total();
+        ctx.stats.estimated_rows = cost::estimate(&self.plan, inst) as u64;
         let batch = eval(&self.plan, &mut ctx);
         debug_assert_eq!(batch.schema, self.schema, "plan schema must match");
         let dict = inst.dictionary();

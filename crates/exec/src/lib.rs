@@ -14,8 +14,13 @@
 //! * [`lower`] — the `Formula`/`Query` → algebra compiler (safe, active-domain
 //!   faithful; `→`/`∀` eliminated via [`nev_logic::rewrite`]), with a cost guard
 //!   that rejects wide complements so the engine can fall back to the interpreter;
+//! * [`rules`], [`cost`], [`optimize`] — **`nev-opt`**, the two-stage plan
+//!   optimiser: compile-time rewrite rules (projection pushdown, self-join
+//!   deduplication, complement → anti-join, pad absorption, union flattening)
+//!   plus an execution-time greedy join-order search seeded from real
+//!   base-relation cardinalities;
 //! * [`exec`] — the executor, with the [`ExecStats`] counter block (rows scanned,
-//!   hash probes, index builds, fallbacks);
+//!   hash probes, index builds, fallbacks, rules fired, joins reordered);
 //! * [`stats`] — the counters themselves.
 //!
 //! The crate is semantics-complete over the executable core: for every query it
@@ -47,13 +52,18 @@
 #![warn(missing_docs)]
 
 pub mod algebra;
+pub mod cost;
 pub mod exec;
 pub mod intern;
 pub mod lower;
+pub mod optimize;
+pub mod rules;
 pub mod stats;
 
 pub use algebra::{PlanNode, ScanTerm};
 pub use exec::ExecOutput;
 pub use intern::{ColumnarRelation, Dictionary, InternedInstance};
 pub use lower::{CompileError, CompiledQuery, CompilerConfig};
+pub use optimize::greedy_join_order;
+pub use rules::RuleReport;
 pub use stats::ExecStats;

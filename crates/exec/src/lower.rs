@@ -38,12 +38,18 @@ pub struct CompilerConfig {
     /// the one shape where the interpreter's candidate-at-a-time evaluation wins;
     /// queries needing one are rejected and routed to the interpreter.
     pub max_complement_columns: usize,
+    /// Run the `nev-opt` rule stage ([`crate::optimize`]) over the lowered plan.
+    /// Disabling it yields the literal syntactic lowering — the baseline the
+    /// differential suite (`tests/opt_equivalence.rs`) and the `opt_pipeline`
+    /// benchmark compare against.
+    pub optimize: bool,
 }
 
 impl Default for CompilerConfig {
     fn default() -> Self {
         CompilerConfig {
             max_complement_columns: 3,
+            optimize: true,
         }
     }
 }
@@ -331,7 +337,16 @@ fn lower_exists(
 /// different instances (or different possible worlds of one instance).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CompiledQuery {
+    /// The plan the executor runs: the logical lowering after the `nev-opt`
+    /// rule stage (or the logical plan itself with `optimize: false`).
     pub(crate) plan: PlanNode,
+    /// The literal syntactic lowering, kept for `EXPLAIN`-style introspection.
+    pub(crate) logical: PlanNode,
+    /// Which rules fired while optimising `logical` into `plan`.
+    pub(crate) rules: crate::rules::RuleReport,
+    /// Whether the executor may run the stage-2 cost-based join reorder
+    /// (`CompilerConfig::optimize`; off = the literal written join order).
+    pub(crate) reorder: bool,
     /// Answer variables in output order.
     pub(crate) answer_vars: Vec<String>,
     /// The plan's sorted schema (== sorted answer variables).
@@ -347,8 +362,9 @@ impl CompiledQuery {
     }
 
     /// Compiles a query: rewrites `→`/`∀` away, lowers the executable core into the
-    /// operator DAG, and pads the plan so that unused answer variables range over
-    /// the active domain (exactly as the interpreter enumerates them).
+    /// operator DAG, pads the plan so that unused answer variables range over
+    /// the active domain (exactly as the interpreter enumerates them), and —
+    /// unless disabled — runs the `nev-opt` rule stage over the result.
     pub fn compile_with(query: &Query, config: &CompilerConfig) -> Result<Self, CompileError> {
         let core = to_executable_core(query.formula());
         let lowered = lower(&core, config)?;
@@ -365,17 +381,47 @@ impl CompiledQuery {
                     .expect("answer variables form the schema")
             })
             .collect();
+        let logical = padded.node;
+        let (plan, rules) = if config.optimize {
+            crate::optimize::optimize(logical.clone())
+        } else {
+            (logical.clone(), crate::rules::RuleReport::default())
+        };
+        debug_assert_eq!(
+            plan.schema(),
+            padded.schema,
+            "optimisation preserves schema"
+        );
         Ok(CompiledQuery {
-            plan: padded.node,
+            plan,
+            logical,
+            rules,
+            reorder: config.optimize,
             answer_vars: query.answer_variables().to_vec(),
             schema: padded.schema,
             output_positions,
         })
     }
 
-    /// The root of the physical plan.
+    /// The root of the physical plan the executor runs (rule-optimised by
+    /// default).
     pub fn plan(&self) -> &PlanNode {
         &self.plan
+    }
+
+    /// The literal syntactic lowering, before the rule stage ran.
+    pub fn logical_plan(&self) -> &PlanNode {
+        &self.logical
+    }
+
+    /// The rule firings recorded while optimising this query.
+    pub fn rules(&self) -> &crate::rules::RuleReport {
+        &self.rules
+    }
+
+    /// Total number of optimiser rules fired at compile time.
+    pub fn rules_fired(&self) -> u64 {
+        self.rules.total()
     }
 
     /// The answer variables, in output order.
@@ -383,13 +429,37 @@ impl CompiledQuery {
         &self.answer_vars
     }
 
-    /// An EXPLAIN-style rendering of the plan.
+    /// An EXPLAIN-style rendering: the logical plan and, when it differs, the
+    /// rule-optimised plan the executor actually runs.
     pub fn explain(&self) -> String {
+        if self.plan == self.logical {
+            format!(
+                "CompiledQuery({}) [{} operators, 0 rules fired]\n{}",
+                self.answer_vars.join(", "),
+                self.plan.node_count(),
+                self.plan
+            )
+        } else {
+            format!(
+                "CompiledQuery({}) [{} rules fired]\nlogical [{} operators]:\n{}optimized [{} operators]:\n{}",
+                self.answer_vars.join(", "),
+                self.rules_fired(),
+                self.logical.node_count(),
+                self.logical,
+                self.plan.node_count(),
+                self.plan
+            )
+        }
+    }
+
+    /// A one-line `EXPLAIN` rendering (what the `nevd` wire protocol ships):
+    /// `rules=<n> logical=(…) optimized=(…)`.
+    pub fn explain_compact(&self) -> String {
         format!(
-            "CompiledQuery({}) [{} operators]\n{}",
-            self.answer_vars.join(", "),
-            self.plan.node_count(),
-            self.plan
+            "rules={} logical=({}) optimized=({})",
+            self.rules_fired(),
+            self.logical.compact(),
+            self.plan.compact()
         )
     }
 }
@@ -448,6 +518,7 @@ mod tests {
         // A looser config accepts the same query.
         let config = CompilerConfig {
             max_complement_columns: 4,
+            ..CompilerConfig::default()
         };
         assert!(CompiledQuery::compile_with(&q, &config).is_ok());
     }

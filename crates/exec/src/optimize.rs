@@ -1,0 +1,147 @@
+//! `nev-opt` — the two-stage plan optimiser for the certified naive path.
+//!
+//! **Stage 1 (compile time, rule-based)** is [`crate::rules`]: semantics-
+//! preserving rewrites — projection pushdown, self-join deduplication,
+//! `Complement` → anti-join, pad absorption, union flattening — applied once
+//! when a query is compiled, so every consumer of the cached
+//! [`crate::CompiledQuery`] (the engine's `PreparedQuery`, the serve layer's
+//! `PlanCache`) executes the rewritten plan.
+//!
+//! **Stage 2 (execution time, cost-based)** is [`greedy_join_order`]: join
+//! groups are kept flat by stage 1, and at execution time the executor
+//! ([`crate::exec`]) re-orders each group greedily — smallest estimated
+//! intermediate first, cross products deferred to last — using the cost model
+//! of [`crate::cost`] seeded from the **actual** base-relation cardinalities of
+//! the instance at hand. The chosen order is memoised per group alongside the
+//! executor's hash-index cache, and re-derived per instance because different
+//! instances (or different possible worlds of one instance) have different
+//! cardinalities.
+
+use crate::algebra::PlanNode;
+use crate::cost::{join_estimate, shared_count};
+use crate::rules::{apply_rules, RuleReport};
+
+/// Runs the rule-based stage over a lowered plan. The returned plan computes
+/// exactly the same rows on every instance; the report says which rules fired.
+pub fn optimize(plan: PlanNode) -> (PlanNode, RuleReport) {
+    apply_rules(plan)
+}
+
+/// Greedy join-order search over one flattened join group.
+///
+/// `schemas[i]`/`estimates[i]` describe group member `i` (sorted schema,
+/// estimated cardinality on the current instance). Returns the execution
+/// order: start from the smallest estimated member, then repeatedly fold in
+/// the member minimising the estimated intermediate size among those sharing
+/// at least one variable with the accumulated schema — members sharing none
+/// (cross products) are deferred until nothing else remains. Ties break on the
+/// lowest index, so the search is deterministic and the identity permutation
+/// means "the written order was already chosen".
+pub fn greedy_join_order(schemas: &[Vec<String>], estimates: &[f64], adom: f64) -> Vec<usize> {
+    let n = schemas.len();
+    if n <= 1 {
+        return (0..n).collect();
+    }
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+
+    // Seed: the smallest estimated member that shares a variable with someone
+    // (so the chain can grow joins, not cross products). A member estimated
+    // empty trumps connectivity — joining anything with it is free.
+    let connected_at_all: Vec<bool> = (0..n)
+        .map(|i| (0..n).any(|j| j != i && shared_count(&schemas[i], &schemas[j]) > 0))
+        .collect();
+    let first_pos = (0..remaining.len())
+        .min_by(|&a, &b| {
+            let ia = remaining[a];
+            let ib = remaining[b];
+            let pref = |i: usize| !(estimates[i] < 1.0 || connected_at_all[i]);
+            pref(ia)
+                .cmp(&pref(ib))
+                .then(estimates[ia].total_cmp(&estimates[ib]))
+                .then(ia.cmp(&ib))
+        })
+        .expect("non-empty group");
+    let first = remaining.remove(first_pos);
+    order.push(first);
+    let mut acc_schema = schemas[first].clone();
+    let mut acc_estimate = estimates[first];
+
+    while !remaining.is_empty() {
+        // Prefer members connected to the accumulated schema; among them (or
+        // among all, when none connects) minimise the estimated join output.
+        let connected: Vec<usize> = (0..remaining.len())
+            .filter(|&p| shared_count(&acc_schema, &schemas[remaining[p]]) > 0)
+            .collect();
+        let candidates = if connected.is_empty() {
+            (0..remaining.len()).collect()
+        } else {
+            connected
+        };
+        let best_pos = candidates
+            .into_iter()
+            .min_by(|&a, &b| {
+                let ia = remaining[a];
+                let ib = remaining[b];
+                let ea =
+                    join_estimate(acc_estimate, &acc_schema, estimates[ia], &schemas[ia], adom);
+                let eb =
+                    join_estimate(acc_estimate, &acc_schema, estimates[ib], &schemas[ib], adom);
+                ea.total_cmp(&eb).then(ia.cmp(&ib))
+            })
+            .expect("non-empty candidates");
+        let next = remaining.remove(best_pos);
+        acc_estimate = join_estimate(
+            acc_estimate,
+            &acc_schema,
+            estimates[next],
+            &schemas[next],
+            adom,
+        );
+        acc_schema = crate::algebra::merge_schemas(&acc_schema, &schemas[next]);
+        order.push(next);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(vars: &[&str]) -> Vec<String> {
+        let mut v: Vec<String> = vars.iter().map(|x| x.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn smallest_member_starts_and_chains_follow_connectivity() {
+        // R(x,y)=100, S(y,z)=100, T(z,w)=2: start at T, then S (shares z),
+        // then R (shares y) — never the written order.
+        let schemas = [s(&["x", "y"]), s(&["y", "z"]), s(&["z", "w"])];
+        let estimates = [100.0, 100.0, 2.0];
+        assert_eq!(greedy_join_order(&schemas, &estimates, 50.0), [2, 1, 0]);
+    }
+
+    #[test]
+    fn cross_products_are_deferred_to_last() {
+        // U(a) is tiny but shares nothing; the connected chain must run first.
+        let schemas = [s(&["x", "y"]), s(&["y", "z"]), s(&["a"])];
+        let estimates = [10.0, 10.0, 1.0];
+        let order = greedy_join_order(&schemas, &estimates, 10.0);
+        assert_eq!(*order.last().expect("non-empty"), 2, "{order:?}");
+        // …unless a member is estimated empty: then it leads, because an empty
+        // accumulator short-circuits the whole group.
+        let order = greedy_join_order(&schemas, &[10.0, 10.0, 0.0], 10.0);
+        assert_eq!(order[0], 2, "{order:?}");
+    }
+
+    #[test]
+    fn already_optimal_orders_come_back_as_identity() {
+        let schemas = [s(&["x", "y"]), s(&["y", "z"])];
+        let estimates = [2.0, 10.0];
+        assert_eq!(greedy_join_order(&schemas, &estimates, 10.0), [0, 1]);
+        assert_eq!(greedy_join_order(&[s(&["x"])], &[5.0], 10.0), [0]);
+        assert_eq!(greedy_join_order(&[], &[], 10.0), Vec::<usize>::new());
+    }
+}

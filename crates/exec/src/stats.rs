@@ -21,6 +21,17 @@ pub struct ExecStats {
     /// Evaluations routed to the tree-walking interpreter because the query has no
     /// compiled form (the compiler rejected its shape).
     pub fallbacks: u64,
+    /// Rewrite rules the `nev-opt` optimiser fired while producing the executed
+    /// plan (compile-time; replayed into the stats of every execution so callers
+    /// see which plan shape answered them).
+    pub rules_fired: u64,
+    /// Join groups whose execution order differed from the written (syntactic)
+    /// order because the cost-based greedy search chose a cheaper one.
+    pub joins_reordered: u64,
+    /// The cost model's estimate of the root plan's output rows, summed over the
+    /// executions merged into this block (compare with `intermediate_rows` to see
+    /// how far off the uniformity assumptions were).
+    pub estimated_rows: u64,
 }
 
 impl ExecStats {
@@ -45,6 +56,9 @@ impl ExecStats {
         self.index_builds += other.index_builds;
         self.intermediate_rows += other.intermediate_rows;
         self.fallbacks += other.fallbacks;
+        self.rules_fired += other.rules_fired;
+        self.joins_reordered += other.joins_reordered;
+        self.estimated_rows += other.estimated_rows;
     }
 
     /// Returns `true` iff every counter is zero (no compiled work, no fallbacks).
@@ -57,12 +71,16 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} probes={} indexes={} intermediate={} fallbacks={}",
+            "scanned={} probes={} indexes={} intermediate={} fallbacks={} rules={} \
+             reordered={} estimated={}",
             self.rows_scanned,
             self.hash_probes,
             self.index_builds,
             self.intermediate_rows,
-            self.fallbacks
+            self.fallbacks,
+            self.rules_fired,
+            self.joins_reordered,
+            self.estimated_rows
         )
     }
 }
@@ -79,6 +97,9 @@ mod tests {
             index_builds: 3,
             intermediate_rows: 4,
             fallbacks: 0,
+            rules_fired: 2,
+            joins_reordered: 1,
+            estimated_rows: 8,
         };
         a.merge(&ExecStats::fallback());
         a.merge(&ExecStats {
@@ -87,6 +108,9 @@ mod tests {
         });
         assert_eq!(a.rows_scanned, 11);
         assert_eq!(a.fallbacks, 1);
+        assert_eq!(a.rules_fired, 2);
+        assert_eq!(a.joins_reordered, 1);
+        assert_eq!(a.estimated_rows, 8);
         assert!(!a.is_empty());
         assert!(ExecStats::new().is_empty());
     }
@@ -96,5 +120,8 @@ mod tests {
         let s = ExecStats::fallback().to_string();
         assert!(s.contains("fallbacks=1"));
         assert!(s.contains("scanned=0"));
+        assert!(s.contains("rules=0"));
+        assert!(s.contains("reordered=0"));
+        assert!(s.contains("estimated=0"));
     }
 }

@@ -3,13 +3,19 @@
 //!
 //! A [`PreparedQuery`] is the expensive per-query preparation the engine performs —
 //! parsing, fragment classification, constant collection and relational-algebra
-//! compilation. Under service traffic the same query text arrives over and over, so
-//! the cache keys an LRU on **normalized query text × semantics** and stores the
-//! prepared query behind an `Arc` together with the instance-independent half of
-//! the Figure 1 dispatch (the cell's [`Expectation`]). The semantics is part of the
-//! key because the cached dispatch metadata is per-cell; the `Arc<PreparedQuery>`
-//! itself is shared across the semantics entries of the same text, so compilation
-//! still happens once per distinct text.
+//! compilation (rule-optimised by `nev-opt`, so the cache stores the optimised
+//! plan). Under service traffic the same query text arrives over and over, so the
+//! cache keys an LRU on the **parsed query's canonical `Display` rendering ×
+//! semantics** and stores the prepared query behind an `Arc` together with the
+//! instance-independent half of the Figure 1 dispatch (the cell's
+//! [`Expectation`]). Canonical keying means *every* superficial spelling
+//! difference — whitespace, punctuation spacing (`exists u.R(u)` vs
+//! `exists u . R(u)`), redundant parentheses — hits the same entry; each lookup
+//! pays one parse, which is cheap next to the classification + compilation a
+//! miss would repeat. The semantics is part of the key because the cached
+//! dispatch metadata is per-cell; the `Arc<PreparedQuery>` itself is shared
+//! across the semantics entries of the same canonical text, so compilation still
+//! happens once per distinct query.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,6 +24,7 @@ use std::sync::{Arc, Mutex};
 use nev_core::engine::{EngineError, PreparedQuery};
 use nev_core::summary::{expectation, Expectation};
 use nev_core::Semantics;
+use nev_logic::{parse_query, Query};
 
 /// A cached entry: the shared prepared query plus the Figure 1 cell guarantee for
 /// the keyed semantics (the instance-independent part of plan dispatch).
@@ -42,7 +49,8 @@ struct Inner {
     clock: u64,
 }
 
-/// An LRU cache of [`CachedPlan`]s keyed on (normalized query text, semantics).
+/// An LRU cache of [`CachedPlan`]s keyed on (canonical query rendering,
+/// semantics).
 ///
 /// ```
 /// use nev_serve::cache::PlanCache;
@@ -50,8 +58,9 @@ struct Inner {
 ///
 /// let cache = PlanCache::new(64);
 /// let a = cache.get_or_prepare("exists u .  R(u)", Semantics::Owa).unwrap();
-/// // Same query modulo whitespace: a cache hit sharing the same Arc.
-/// let b = cache.get_or_prepare("exists u . R(u)", Semantics::Owa).unwrap();
+/// // Same query modulo spelling — whitespace AND punctuation spacing: a cache
+/// // hit sharing the same Arc.
+/// let b = cache.get_or_prepare("exists u.R(u)", Semantics::Owa).unwrap();
 /// assert!(std::sync::Arc::ptr_eq(&a.prepared, &b.prepared));
 /// assert_eq!(cache.hits(), 1);
 /// assert_eq!(cache.misses(), 1);
@@ -74,11 +83,14 @@ impl std::fmt::Debug for Inner {
     }
 }
 
-/// Normalizes query text for cache keying: surrounding whitespace is trimmed and
-/// internal runs of whitespace collapse to one space, so superficial formatting
-/// differences hit the same entry. Identifiers are case-sensitive and untouched.
-pub fn normalize(text: &str) -> String {
-    text.split_whitespace().collect::<Vec<_>>().join(" ")
+/// Canonicalizes query text for cache keying: the text is parsed and the query's
+/// `Display` rendering — a parse/render fixed point — becomes the key, so any
+/// two spellings of the same query (whitespace, punctuation spacing, redundant
+/// parentheses) occupy one cache slot. Returns the parsed query alongside the
+/// key so a cache miss never re-parses.
+pub fn canonical(text: &str) -> Result<(String, Query), EngineError> {
+    let query = parse_query(text)?;
+    Ok((query.to_string(), query))
 }
 
 impl PlanCache {
@@ -131,23 +143,24 @@ impl PlanCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
-    /// Looks up the (normalized `text`, `semantics`) entry, preparing and inserting
-    /// it on a miss. Parse/classification errors are returned verbatim and cached
-    /// nothing.
+    /// Looks up the (canonical `text`, `semantics`) entry, preparing and inserting
+    /// it on a miss. Parse/classification errors are returned verbatim, cache
+    /// nothing and count nothing.
     pub fn get_or_prepare(
         &self,
         text: &str,
         semantics: Semantics,
     ) -> Result<CachedPlan, EngineError> {
-        let key = (normalize(text), semantics);
+        let (canonical_text, query) = canonical(text)?;
+        let key = (canonical_text, semantics);
         if let Some(plan) = self.lookup(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(plan);
         }
-        // Prepare outside the lock: parsing + compilation is the expensive part and
-        // must not serialise concurrent misses on different texts.
+        // Prepare outside the lock: classification + compilation is the expensive
+        // part and must not serialise concurrent misses on different texts.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let prepared = self.shared_prepared(&key.0)?;
+        let (prepared, _reused) = self.shared_prepared(&key.0, query);
         let plan = CachedPlan {
             cell: expectation(semantics, prepared.fragment()),
             prepared,
@@ -157,13 +170,22 @@ impl PlanCache {
         Ok(plan)
     }
 
-    /// Warms the cache for `text` under **every** semantics (the `PREPARE` command):
-    /// one parse + compile, six cell entries sharing the same `Arc`.
+    /// Warms the cache for `text` under **every** semantics (the `PREPARE`
+    /// command): one parse + compile, six cell entries sharing the same `Arc`.
+    /// Counts one hit when a semantics sibling already held the compiled query
+    /// and one miss when it had to be compiled afresh — so the hit/miss counters
+    /// reflect preparations actually performed, `PREPARE` and `EVAL` alike (with
+    /// `capacity == 0` nothing is retained and every call is one miss).
     pub fn prepare_all(&self, text: &str) -> Result<Arc<PreparedQuery>, EngineError> {
-        let normalized = normalize(text);
-        let prepared = self.shared_prepared(&normalized)?;
+        let (canonical_text, query) = canonical(text)?;
+        let (prepared, reused) = self.shared_prepared(&canonical_text, query);
+        if reused {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
         for semantics in Semantics::ALL {
-            let key = (normalized.clone(), semantics);
+            let key = (canonical_text.clone(), semantics);
             if self.lookup(&key).is_none() {
                 self.insert(
                     key,
@@ -178,18 +200,20 @@ impl PlanCache {
         Ok(prepared)
     }
 
-    /// An `Arc<PreparedQuery>` for `text`, reusing any semantics-sibling entry's
-    /// `Arc` so one text is compiled at most once while cached.
-    fn shared_prepared(&self, normalized: &str) -> Result<Arc<PreparedQuery>, EngineError> {
+    /// An `Arc<PreparedQuery>` for the canonical text, reusing any
+    /// semantics-sibling entry's `Arc` (so one query is compiled at most once
+    /// while cached, and a re-prepared sibling re-joins the surviving `Arc`
+    /// after an eviction). The flag reports whether a sibling was reused.
+    fn shared_prepared(&self, canonical_text: &str, query: Query) -> (Arc<PreparedQuery>, bool) {
         {
             let inner = self.inner.lock().expect("cache lock poisoned");
             for sibling in Semantics::ALL {
-                if let Some(e) = inner.entries.get(&(normalized.to_string(), sibling)) {
-                    return Ok(Arc::clone(&e.plan.prepared));
+                if let Some(e) = inner.entries.get(&(canonical_text.to_string(), sibling)) {
+                    return (Arc::clone(&e.plan.prepared), true);
                 }
             }
         }
-        Ok(Arc::new(PreparedQuery::parse(normalized)?))
+        (Arc::new(PreparedQuery::new(query)), false)
     }
 
     fn lookup(&self, key: &(String, Semantics)) -> Option<CachedPlan> {
@@ -236,9 +260,34 @@ mod tests {
     use nev_logic::Fragment;
 
     #[test]
-    fn normalization_collapses_whitespace_only() {
-        assert_eq!(normalize("  exists u .   R(u)  "), "exists u . R(u)");
-        assert_ne!(normalize("exists u . r(u)"), normalize("exists u . R(u)"));
+    fn canonical_keys_unify_spelling_variants() {
+        let (a, _) = canonical("exists u.R(u)").unwrap();
+        let (b, _) = canonical("  exists u .   R(u)  ").unwrap();
+        let (c, _) = canonical("exists u . (R(u))").unwrap();
+        assert_eq!(a, b, "punctuation spacing is not part of the key");
+        assert_eq!(a, c, "redundant parentheses are not part of the key");
+        let (other, _) = canonical("exists u . S(u)").unwrap();
+        assert_ne!(a, other);
+        assert!(canonical("exists u . R(u").is_err());
+    }
+
+    #[test]
+    fn punctuation_spacing_variants_share_one_slot() {
+        // Whitespace-collapsing keys used to give `exists u.R(u)` and
+        // `exists u . R(u)` two slots for one plan; canonical keys fix the
+        // hit rate: four spellings, one miss, three hits.
+        let cache = PlanCache::new(16);
+        for text in [
+            "exists u . R(u)",
+            "exists u.R(u)",
+            "exists  u .  R(u)",
+            "exists u . (R(u))",
+        ] {
+            cache.get_or_prepare(text, Semantics::Owa).unwrap();
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 3);
     }
 
     #[test]
@@ -313,6 +362,51 @@ mod tests {
             .unwrap();
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_prepare_all_keeps_counters_honest() {
+        let cache = PlanCache::new(0);
+        let a = cache.prepare_all("exists u . A(u)").unwrap();
+        let b = cache.prepare_all("exists u . A(u)").unwrap();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(
+            cache.misses(),
+            2,
+            "nothing is retained, so every PREPARE compiles afresh"
+        );
+        assert!(!Arc::ptr_eq(&a, &b), "no sibling entry to share with");
+    }
+
+    #[test]
+    fn sibling_eviction_keeps_the_shared_arc_and_counters_consistent() {
+        // Capacity 3 < 6 semantics rows: prepare_all inserts six siblings and
+        // the LRU immediately evicts the three oldest.
+        let cache = PlanCache::new(3);
+        let prepared = cache.prepare_all("exists u . A(u)").unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 3);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // An evicted sibling misses but re-joins the *surviving* Arc — one
+        // compilation total, no divergent plans.
+        let evicted = cache
+            .get_or_prepare("exists u . A(u)", Semantics::ALL[0])
+            .unwrap();
+        assert!(Arc::ptr_eq(&evicted.prepared, &prepared));
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        // A surviving sibling is a genuine hit on the same Arc.
+        let survivor = cache
+            .get_or_prepare("exists u . A(u)", Semantics::ALL[5])
+            .unwrap();
+        assert!(Arc::ptr_eq(&survivor.prepared, &prepared));
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        // A warm re-PREPARE is one hit (the sibling Arc), not six.
+        let again = cache.prepare_all("exists u . A(u)").unwrap();
+        assert!(Arc::ptr_eq(&again, &prepared));
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        assert_eq!(cache.len(), 3, "capacity is still respected");
     }
 
     #[test]

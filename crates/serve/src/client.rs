@@ -150,6 +150,8 @@ pub struct LoadReport {
     pub loaded: usize,
     /// Requests answered.
     pub answered: usize,
+    /// `EXPLAIN` cross-checks that matched the in-process reference.
+    pub explained: usize,
     /// Server responses that differed from the in-process reference (each entry is
     /// `(request line, server response, expected response)`).
     pub mismatches: Vec<(String, String, String)>,
@@ -168,9 +170,10 @@ impl fmt::Display for LoadReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "loaded {} instance(s), answered {} request(s), {} mismatch(es)",
+            "loaded {} instance(s), answered {} request(s), explained {}, {} mismatch(es)",
             self.loaded,
             self.answered,
+            self.explained,
             self.mismatches.len()
         )?;
         for (request, got, expected) in &self.mismatches {
@@ -258,10 +261,53 @@ pub fn run_load(
         }
     }
 
+    // Cross-check EXPLAIN on a sample of the workload: the served dispatch
+    // decision and `nev-opt` plan rendering must be byte-identical to the bare
+    // in-process engine's (same philosophy as the EVAL check above).
+    for request in workload.requests.iter().take(EXPLAIN_SAMPLE) {
+        let line = format!(
+            "EXPLAIN {} {} {}",
+            request.instance,
+            semantics_spelling(request.semantics),
+            request.query
+        );
+        let response = client.send(&line)?;
+        let expected = match loaded.get(request.instance.as_str()) {
+            None => format!(
+                "ERR unknown instance `{}` (LOAD it first)",
+                request.instance
+            ),
+            Some(instance) => match PreparedQuery::parse(&request.query) {
+                Err(e) => format!("ERR {e}"),
+                Ok(prepared) => {
+                    let dispatch = match engine.plan(instance, request.semantics, &prepared) {
+                        EvalPlan::CompiledNaive(_) => "compiled",
+                        EvalPlan::CertifiedNaive(_) => "certified",
+                        EvalPlan::BoundedEnumeration => "oracle",
+                    };
+                    match prepared.compiled() {
+                        Some(compiled) => {
+                            format!("OK dispatch={dispatch} {}", compiled.explain_compact())
+                        }
+                        None => format!("OK dispatch={dispatch} compiled=false"),
+                    }
+                }
+            },
+        };
+        if response == expected {
+            report.explained += 1;
+        } else {
+            report.mismatches.push((line, response, expected));
+        }
+    }
+
     report.server_stats = client.send("STATS")?;
     let _ = client.send("QUIT");
     Ok(report)
 }
+
+/// How many workload requests [`run_load`] re-issues as `EXPLAIN` cross-checks.
+const EXPLAIN_SAMPLE: usize = 4;
 
 /// Runs the load generator against a freshly spawned in-process server (the
 /// `nevload --self-check` mode): returns the report and tears the server down.
@@ -316,8 +362,14 @@ mod tests {
         assert_eq!(report.loaded, 2);
         assert!(report.all_match(), "{report}");
         assert_eq!(report.answered, 10);
+        assert_eq!(report.explained, 4, "EXPLAIN sample cross-checked");
         assert!(
             report.server_stats.contains("evals=10"),
+            "{}",
+            report.server_stats
+        );
+        assert!(
+            report.server_stats.contains("explains=4"),
             "{}",
             report.server_stats
         );

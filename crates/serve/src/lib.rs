@@ -12,10 +12,11 @@
 //!
 //! ```text
 //! server (nevd accept loop, one thread per connection)
-//!   └──► state    (ServeState: LOAD/PREPARE/EVAL/STATS handlers,
+//!   └──► state    (ServeState: LOAD/PREPARE/EVAL/EXPLAIN/STATS handlers,
 //!         │        grouped batch evaluation over evaluate_all)
 //!         ├──► catalog  (named Arc<Instance> snapshots, copy-on-write swaps)
-//!         ├──► cache    (LRU of Arc<PreparedQuery>, keyed text × semantics)
+//!         ├──► cache    (LRU of Arc<PreparedQuery> holding the nev-opt
+//!         │              optimised plan, keyed canonical rendering × semantics)
 //!         ├──► oracle   (possible-world stream chunked across the pool,
 //!         │              early-exit cancellation; verdicts ≡ sequential)
 //!         ├──► pool     (work-stealing deques, caller-helps, deterministic maps)

@@ -1,5 +1,6 @@
 //! The shared service state: catalog + plan cache + worker pool + engine, and the
-//! request handlers (`LOAD` / `PREPARE` / `EVAL` / `STATS`) built on them.
+//! request handlers (`LOAD` / `PREPARE` / `EVAL` / `EXPLAIN` / `STATS`) built on
+//! them.
 //!
 //! One [`ServeState`] is shared (behind an `Arc`) by every connection thread of a
 //! [`crate::server::Server`] and by in-process callers (benchmarks, tests, the
@@ -222,6 +223,30 @@ impl ServeState {
         Ok(self.cache.prepare_all(text)?)
     }
 
+    /// Answers one `EXPLAIN` request: the Figure 1 dispatch decision for the
+    /// query on the named instance (the core check needs real data) plus the
+    /// `nev-opt` plan pair — `rules=<fired> logical=(…) optimized=(…)` — without
+    /// executing anything. Compiler-rejected shapes report
+    /// `compiled=false` instead of plans.
+    pub fn explain(
+        &self,
+        name: &str,
+        semantics: Semantics,
+        query_text: &str,
+    ) -> Result<String, ServeError> {
+        let instance = self
+            .catalog
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownInstance(name.to_string()))?;
+        let plan = self.cache.get_or_prepare(query_text, semantics)?;
+        let dispatch = PlanKind::of(&self.engine.plan(&instance, semantics, &plan.prepared));
+        ServeStats::bump(&self.stats.explains);
+        Ok(match plan.prepared.compiled() {
+            Some(compiled) => format!("dispatch={dispatch} {}", compiled.explain_compact()),
+            None => format!("dispatch={dispatch} compiled=false"),
+        })
+    }
+
     /// Answers one `EVAL` request: certified naïve pass when Figure 1 guarantees
     /// it, the chunked **parallel oracle** otherwise. The certain answers are
     /// identical to `CertainEngine::evaluate` on the same inputs — dispatch is the
@@ -337,14 +362,16 @@ impl ServeState {
                         groups.len() - 1
                     });
                     let group = &mut groups[gi];
-                    let normalized = crate::cache::normalize(&request.query);
-                    let qi = match group.seen.get(&normalized) {
+                    // Dedup on the same canonical rendering the cache keys on,
+                    // so spelling variants collapse to one evaluation too.
+                    let canonical_text = plan.prepared.query().to_string();
+                    let qi = match group.seen.get(&canonical_text) {
                         Some(&qi) => qi,
                         None => {
                             // The Arc from the cache is batched as-is: evaluate_all
                             // takes queries by Borrow, so no plan is deep-cloned.
                             group.queries.push(Arc::clone(&plan.prepared));
-                            group.seen.insert(normalized, group.queries.len() - 1);
+                            group.seen.insert(canonical_text, group.queries.len() - 1);
                             group.queries.len() - 1
                         }
                     };
@@ -473,6 +500,16 @@ impl ServeState {
                 let response = self.eval(&name, semantics, &query)?;
                 Ok(response.render())
             }
+            Command::Explain {
+                name,
+                semantics,
+                query,
+            } => {
+                let semantics: Semantics = semantics
+                    .parse()
+                    .map_err(|_| ServeError::UnknownSemantics(semantics))?;
+                self.explain(&name, semantics, &query)
+            }
             Command::Stats => Ok(self.render_stats()),
             Command::Quit => Ok("bye".to_string()),
         }
@@ -558,6 +595,31 @@ mod tests {
         assert!(stats.starts_with("OK requests="), "{stats}");
         assert!(stats.contains("pool_workers=1"), "{stats}");
         assert_eq!(state.handle_line("QUIT"), "OK bye");
+    }
+
+    #[test]
+    fn explain_exposes_the_optimised_plan_over_the_protocol() {
+        let state = state(0);
+        state.load("d0", d0());
+        // A compiled certified cell: dispatch decision plus both plans.
+        let line = state.handle_line("EXPLAIN d0 cwa exists u v . D(u, v)");
+        assert!(line.starts_with("OK dispatch=compiled rules="), "{line}");
+        assert!(line.contains("logical=("), "{line}");
+        assert!(line.contains("optimized=("), "{line}");
+        assert!(!line.contains('\n'), "one line per response: {line}");
+        // A compiler-rejected shape reports the interpreter fallback.
+        let fallback = state.handle_line("EXPLAIN d0 wcwa forall u v w t . D(u, v) & D(w, t)");
+        assert!(fallback.contains("compiled=false"), "{fallback}");
+        assert!(fallback.starts_with("OK dispatch=certified"), "{fallback}");
+        // Unknown instances are typed errors, exactly like EVAL.
+        assert!(state
+            .handle_line("EXPLAIN nope owa exists u . D(u, u)")
+            .starts_with("ERR unknown instance"));
+        assert_eq!(state.snapshot().explains, 2);
+        assert_eq!(state.snapshot().evals, 0, "EXPLAIN executes nothing");
+        // EXPLAIN warms the same plan cache EVAL uses.
+        state.handle_line("EVAL d0 cwa exists u v . D(u, v)");
+        assert!(state.cache().hits() >= 1);
     }
 
     #[test]

@@ -16,6 +16,8 @@ pub struct ServeStats {
     pub prepares: AtomicU64,
     /// `EVAL` requests answered successfully.
     pub evals: AtomicU64,
+    /// `EXPLAIN` requests answered successfully.
+    pub explains: AtomicU64,
     /// Requests rejected with an `ERR` response.
     pub errors: AtomicU64,
     /// Evaluations answered by a certified naïve pass (no world enumeration).
@@ -53,6 +55,7 @@ impl ServeStats {
             loads: self.loads.load(Ordering::Relaxed),
             prepares: self.prepares.load(Ordering::Relaxed),
             evals: self.evals.load(Ordering::Relaxed),
+            explains: self.explains.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             certified: self.certified.load(Ordering::Relaxed),
             compiled: self.compiled.load(Ordering::Relaxed),
@@ -75,6 +78,8 @@ pub struct StatsSnapshot {
     pub prepares: u64,
     /// See [`ServeStats::evals`].
     pub evals: u64,
+    /// See [`ServeStats::explains`].
+    pub explains: u64,
     /// See [`ServeStats::errors`].
     pub errors: u64,
     /// See [`ServeStats::certified`].
@@ -93,12 +98,13 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "requests={} loads={} prepares={} evals={} errors={} certified={} \
+            "requests={} loads={} prepares={} evals={} explains={} errors={} certified={} \
              compiled={} oracle={} worlds={} oracle_cancelled={}",
             self.requests,
             self.loads,
             self.prepares,
             self.evals,
+            self.explains,
             self.errors,
             self.certified,
             self.compiled,

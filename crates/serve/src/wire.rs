@@ -6,6 +6,7 @@
 //! request   = "LOAD" name facts
 //!           | "PREPARE" query-text
 //!           | "EVAL" name semantics query-text
+//!           | "EXPLAIN" name semantics query-text
 //!           | "STATS"
 //!           | "QUIT"
 //! facts     = "-"                      (the empty instance)
@@ -15,10 +16,16 @@
 //! value     = integer                  (a constant, e.g. 42 or -7)
 //!           | "?" positive-integer     (a labelled null, e.g. ?1)
 //!           | symbol                   (a string constant, e.g. paris)
+//!           | "'" chars "'"            (a quoted string constant; a literal
+//!                                       quote is written doubled: '')
 //! semantics = "owa" | "cwa" | "wcwa" | "powerset-cwa" | "minimal-cwa" | …
 //!             (every spelling `Semantics::from_str` accepts)
 //! response  = "OK" payload | "ERR" message
 //! ```
+//!
+//! The `;` and `,` separators of the facts grammar are recognised **outside
+//! quotes only**, so quoted strings may contain any character (newlines aside —
+//! the transport is line-based).
 //!
 //! Rendering is **canonical**: instances and answer sets serialise from `BTreeMap`/
 //! `BTreeSet` iteration order, so equal values always render to identical bytes.
@@ -50,6 +57,16 @@ pub enum Command {
     /// instance under the given semantics.
     Eval {
         /// Catalog name to evaluate on.
+        name: String,
+        /// The semantics spelling (validated by the state layer).
+        semantics: String,
+        /// The raw query text.
+        query: String,
+    },
+    /// `EXPLAIN name semantics query` — the dispatch decision and the `nev-opt`
+    /// optimised plan for `query` on the named instance, without executing it.
+    Explain {
+        /// Catalog name the dispatch would run on (core checks need it).
         name: String,
         /// The semantics spelling (validated by the state layer).
         semantics: String,
@@ -104,17 +121,19 @@ pub fn parse_command(line: &str) -> Result<Command, WireError> {
             })
         }
         "EVAL" => {
-            let (name, tail) = rest
-                .split_once(char::is_whitespace)
-                .ok_or_else(|| err("usage: EVAL <name> <semantics> <query>"))?;
-            let (semantics, query) = tail
-                .trim()
-                .split_once(char::is_whitespace)
-                .ok_or_else(|| err("usage: EVAL <name> <semantics> <query>"))?;
+            let (name, semantics, query) = parse_eval_shape(rest, "EVAL")?;
             Ok(Command::Eval {
-                name: valid_name(name)?,
-                semantics: semantics.to_string(),
-                query: query.trim().to_string(),
+                name,
+                semantics,
+                query,
+            })
+        }
+        "EXPLAIN" => {
+            let (name, semantics, query) = parse_eval_shape(rest, "EXPLAIN")?;
+            Ok(Command::Explain {
+                name,
+                semantics,
+                query,
             })
         }
         "STATS" => {
@@ -126,9 +145,24 @@ pub fn parse_command(line: &str) -> Result<Command, WireError> {
         }
         "QUIT" => Ok(Command::Quit),
         other => Err(err(format!(
-            "unknown command `{other}` (expected LOAD, PREPARE, EVAL, STATS or QUIT)"
+            "unknown command `{other}` (expected LOAD, PREPARE, EVAL, EXPLAIN, STATS or QUIT)"
         ))),
     }
+}
+
+/// Parses the shared `<name> <semantics> <query>` tail of `EVAL`/`EXPLAIN`.
+fn parse_eval_shape(rest: &str, verb: &str) -> Result<(String, String, String), WireError> {
+    let usage = || err(format!("usage: {verb} <name> <semantics> <query>"));
+    let (name, tail) = rest.split_once(char::is_whitespace).ok_or_else(usage)?;
+    let (semantics, query) = tail
+        .trim()
+        .split_once(char::is_whitespace)
+        .ok_or_else(usage)?;
+    Ok((
+        valid_name(name)?,
+        semantics.to_string(),
+        query.trim().to_string(),
+    ))
 }
 
 fn valid_name(name: &str) -> Result<String, WireError> {
@@ -145,13 +179,33 @@ fn valid_name(name: &str) -> Result<String, WireError> {
     }
 }
 
+/// Splits `text` at every `sep` occurring **outside** single-quoted runs, so
+/// quoted string constants may contain the grammar's own separators. Quote
+/// doubling (`''`) toggles out and straight back in, which is exactly what a
+/// literal quote needs.
+fn split_outside_quotes(text: &str, sep: char) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    for (i, ch) in text.char_indices() {
+        if ch == '\'' {
+            in_quotes = !in_quotes;
+        } else if ch == sep && !in_quotes {
+            parts.push(&text[start..i]);
+            start = i + sep.len_utf8();
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
 /// Parses the `facts` payload of a `LOAD` command.
 pub fn parse_instance(text: &str) -> Result<Instance, WireError> {
     let mut instance = Instance::new();
     if text == "-" || text.is_empty() {
         return Ok(instance);
     }
-    for fact in text.split(';') {
+    for fact in split_outside_quotes(text, ';') {
         let fact = fact.trim();
         if fact.is_empty() {
             continue;
@@ -177,7 +231,8 @@ pub fn parse_instance(text: &str) -> Result<Instance, WireError> {
         let values = if body.is_empty() {
             Vec::new()
         } else {
-            body.split(',')
+            split_outside_quotes(body, ',')
+                .into_iter()
                 .map(|v| parse_value(v.trim()))
                 .collect::<Result<Vec<_>, _>>()?
         };
@@ -190,9 +245,9 @@ pub fn parse_instance(text: &str) -> Result<Instance, WireError> {
 
 /// Parses one wire value: `?N` is a null, an integer literal is an `Int`
 /// constant, a bare symbol is a `Str` constant, and a single-quoted string
-/// (`'…'`, no embedded quotes) is a `Str` constant verbatim — the quoted form
-/// covers strings that would otherwise be ambiguous (`'7'` is the *string* 7)
-/// or unparseable as bare symbols (`'a b'`).
+/// (`'…'`, a literal quote written doubled as `''`) is a `Str` constant
+/// verbatim — the quoted form covers strings that would otherwise be ambiguous
+/// (`'7'` is the *string* 7) or unparseable as bare symbols (`'a b'`, `'a;b'`).
 pub fn parse_value(text: &str) -> Result<Value, WireError> {
     if let Some(null) = text.strip_prefix('?') {
         let id: u32 = null
@@ -201,12 +256,26 @@ pub fn parse_value(text: &str) -> Result<Value, WireError> {
         return Ok(Value::null(id));
     }
     if let Some(quoted) = text.strip_prefix('\'') {
-        let inner = quoted
-            .strip_suffix('\'')
-            .ok_or_else(|| err(format!("unterminated quoted value `{text}`")))?;
-        if inner.contains('\'') {
+        let mut inner = String::with_capacity(quoted.len());
+        let mut chars = quoted.chars().peekable();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            if c != '\'' {
+                inner.push(c);
+            } else if chars.peek() == Some(&'\'') {
+                chars.next();
+                inner.push('\'');
+            } else {
+                closed = true;
+                break;
+            }
+        }
+        if !closed {
+            return Err(err(format!("unterminated quoted value `{text}`")));
+        }
+        if chars.next().is_some() {
             return Err(err(format!(
-                "quoted value `{text}` may not contain embedded quotes"
+                "quoted value `{text}` has trailing characters after the closing quote"
             )));
         }
         return Ok(Value::str(inner));
@@ -265,10 +334,11 @@ fn render_value(value: &Value) -> String {
             let rendered = c.to_string();
             // Quote any Str constant the bare syntax would misread — one that
             // looks like an integer (`"7"`), a null, or contains non-symbol
-            // characters — so rendering always round-trips through
-            // `parse_value`. Int constants always render bare.
+            // characters (separators and quotes included) — doubling embedded
+            // quotes, so rendering always round-trips through `parse_value`
+            // and the quote-aware fact splitting. Int constants render bare.
             if c.as_str().is_some() && !is_bare_symbol(&rendered) {
-                format!("'{rendered}'")
+                format!("'{}'", rendered.replace('\'', "''"))
             } else {
                 rendered
             }
@@ -291,6 +361,7 @@ mod tests {
     use super::*;
     use nev_incomplete::builder::{c, x};
     use nev_incomplete::inst;
+    use proptest::prelude::*;
 
     #[test]
     fn commands_parse() {
@@ -317,6 +388,14 @@ mod tests {
         );
         assert_eq!(parse_command("STATS"), Ok(Command::Stats));
         assert_eq!(parse_command("quit"), Ok(Command::Quit));
+        assert_eq!(
+            parse_command("EXPLAIN d0 cwa exists u . R(u)"),
+            Ok(Command::Explain {
+                name: "d0".into(),
+                semantics: "cwa".into(),
+                query: "exists u . R(u)".into(),
+            })
+        );
     }
 
     #[test]
@@ -324,6 +403,7 @@ mod tests {
         for (line, needle) in [
             ("LOAD onlyname", "usage: LOAD"),
             ("EVAL d0 owa", "usage: EVAL"),
+            ("EXPLAIN d0 owa", "usage: EXPLAIN"),
             ("PREPARE", "usage: PREPARE"),
             ("STATS now", "no arguments"),
             ("FROBNICATE", "unknown command"),
@@ -361,6 +441,28 @@ mod tests {
         assert_eq!(parse_value("'?1'"), Ok(Value::str("?1")));
         assert!(parse_value("'oops").is_err());
         assert!(parse_value("'a'b'").is_err());
+        // Doubled quotes decode to literal quotes; stray ones stay errors.
+        assert_eq!(parse_value("''"), Ok(Value::str("")));
+        assert_eq!(parse_value("''''"), Ok(Value::str("'")));
+        assert_eq!(parse_value("'it''s'"), Ok(Value::str("it's")));
+        assert!(parse_value("'''").is_err());
+    }
+
+    #[test]
+    fn separators_and_quotes_inside_strings_round_trip() {
+        // `;` and `,` are the facts grammar's own separators, `)` closes facts,
+        // and `'` is the quote itself: all of them previously broke the
+        // byte-identical round trip when they appeared inside a string constant.
+        let mut d = Instance::new();
+        for (i, s) in ["a;b", "a,b", "it's", "a)b", "(", "';'", "R(1)", ""]
+            .into_iter()
+            .enumerate()
+        {
+            d.add_tuple("R", Tuple::new(vec![Value::int(i as i64), Value::str(s)]))
+                .unwrap();
+        }
+        let wire = render_instance(&d);
+        assert_eq!(parse_instance(&wire), Ok(d));
     }
 
     #[test]
@@ -377,6 +479,61 @@ mod tests {
         let wire = render_instance(&d);
         assert_eq!(wire, "R('7',7,'a b')");
         assert_eq!(parse_instance(&wire), Ok(d));
+    }
+
+    /// A deterministic splitmix64 step (no dev-dependency on `rand` here).
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A seeded instance over adversarial values: string constants drawn from
+    /// the grammar's own separator/quote/lookalike characters, integer
+    /// constants (negative and zero included) and labelled nulls.
+    fn adversarial_instance(seed: u64) -> Instance {
+        const ALPHABET: &[char] = &[
+            '\'', ';', ',', '(', ')', '?', '-', '0', '7', 'a', 'B', '_', ' ', '.', '!', '=',
+        ];
+        let mut state = seed;
+        let mut d = Instance::new();
+        let relations = [("R", 1usize), ("S", 2), ("T_0", 3)];
+        let facts = 1 + (splitmix(&mut state) % 6) as usize;
+        for _ in 0..facts {
+            let (name, arity) = relations[(splitmix(&mut state) % 3) as usize];
+            let values: Vec<Value> = (0..arity)
+                .map(|_| match splitmix(&mut state) % 4 {
+                    0 => Value::null((splitmix(&mut state) % 5) as u32 + 1),
+                    1 => Value::int(splitmix(&mut state) as i64 % 100),
+                    _ => {
+                        let len = (splitmix(&mut state) % 6) as usize;
+                        let s: String = (0..len)
+                            .map(|_| ALPHABET[(splitmix(&mut state) % 16) as usize])
+                            .collect();
+                        Value::str(s)
+                    }
+                })
+                .collect();
+            d.add_tuple(name, Tuple::new(values)).unwrap();
+        }
+        d
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+        /// The canonical-rendering round trip the self-check relies on:
+        /// `parse_instance(render_instance(d)) == d`, byte-exactly in value
+        /// structure, over adversarial symbols (separators, quotes, integer
+        /// and null lookalikes, whitespace, empty strings).
+        #[test]
+        fn rendering_round_trips_adversarial_instances(seed in 0u64..1_000_000) {
+            let d = adversarial_instance(seed);
+            let wire = render_instance(&d);
+            prop_assert_eq!(parse_instance(&wire), Ok(d));
+        }
     }
 
     #[test]

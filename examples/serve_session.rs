@@ -39,6 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // which refutes it — the §2.4 counterexample, served.
         "EVAL d0 cwa forall u . exists v . D(u, v)",
         "EVAL d0 owa forall u . exists v . D(u, v)",
+        // EXPLAIN: the dispatch decision plus the nev-opt plan pair (logical
+        // and optimised), without executing anything.
+        "EXPLAIN intro owa Q(x, y) :- exists z . R(x, z) & S(z, y)",
         "STATS",
         "QUIT",
     ];
@@ -46,6 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let response = client.send(request)?;
         println!("> {request}");
         println!("< {response}");
+        if request.starts_with("EXPLAIN") {
+            assert!(
+                response.starts_with("OK dispatch=compiled") && response.contains("optimized=("),
+                "EXPLAIN must expose the optimised plan: {response}"
+            );
+        }
     }
 
     // The round-trip property the load generator checks on every request: the
