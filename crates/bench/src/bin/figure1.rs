@@ -14,9 +14,10 @@
 //! `--semantics` / `--fragment` restrict the table to one row / column; they accept
 //! both the Figure 1 names and ASCII spellings (`owa`, `powerset-cwa`, `epos`,
 //! `pos-g`, …) via the `FromStr` implementations on `Semantics` and `Fragment`.
-//! `--threads N` validates the cells in parallel on an `N`-worker `nev-serve` pool;
-//! each cell is an independent deterministic task, so the table is byte-identical
-//! at every thread count.
+//! `--threads N` validates the cells in parallel on an `N`-worker `nev-runtime`
+//! pool; each cell is an independent deterministic task, so the table is
+//! byte-identical at every thread count. When the flag is absent, `NEV_WORKERS`
+//! (the workspace-wide pool-size knob) supplies the default.
 //!
 //! The output is Markdown; `EXPERIMENTS.md` records a captured run.
 
@@ -27,7 +28,7 @@ use nev_bench::figure1::{cell_pairs, render_markdown, run_cell, Figure1Config};
 use nev_core::Semantics;
 use nev_logic::Fragment;
 use nev_serve::cli::parse_flag_value;
-use nev_serve::WorkerPool;
+use nev_serve::{env_workers, WorkerPool};
 
 struct Options {
     config: Figure1Config,
@@ -53,7 +54,7 @@ fn parse_options() -> Options {
         run_examples: true,
         semantics: None,
         fragment: None,
-        threads: 0,
+        threads: env_workers().unwrap_or(0),
     };
     let mut args = std::env::args().skip(1);
     let mut explicit_trials = false;

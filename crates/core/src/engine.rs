@@ -63,8 +63,9 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
-use nev_exec::{CompiledQuery, CompilerConfig, ExecStats};
+use nev_exec::{CompiledQuery, CompilerConfig, ExecOptions, ExecStats};
 use nev_hom::is_core;
 use nev_incomplete::{Constant, Instance, Tuple};
 use nev_logic::eval::{evaluate_boolean, evaluate_query, naive_eval_query};
@@ -72,6 +73,7 @@ use nev_logic::fragment::classify;
 use nev_logic::parser::ParseError;
 use nev_logic::query::QueryError;
 use nev_logic::{parse_query, Fragment, Query};
+use nev_runtime::WorkerPool;
 
 use crate::semantics::{Semantics, WorldBounds};
 use crate::summary::{expectation, Expectation};
@@ -242,7 +244,18 @@ impl PreparedQuery {
     /// otherwise). This is the single certified pass behind
     /// [`EvalPlan::CompiledNaive`] / [`EvalPlan::CertifiedNaive`].
     pub fn naive_answers(&self, d: &Instance) -> (BTreeSet<Tuple>, ExecStats) {
-        naive_answers(d, self)
+        naive_answers(d, self, &ExecOptions::default())
+    }
+
+    /// [`PreparedQuery::naive_answers`] under explicit [`ExecOptions`] — with a
+    /// pool attached, the compiled pass runs morsel-parallel. This is what
+    /// [`CertainEngine::naive_answers`] calls with the engine's own options.
+    pub fn naive_answers_with(
+        &self,
+        d: &Instance,
+        options: &ExecOptions,
+    ) -> (BTreeSet<Tuple>, ExecStats) {
+        naive_answers(d, self, options)
     }
 
     /// The query's answers in one complete world, restricted to the `allowed`
@@ -502,6 +515,7 @@ impl BatchEvaluation {
 #[derive(Clone, Debug, Default)]
 pub struct CertainEngine {
     bounds: WorldBounds,
+    exec: ExecOptions,
 }
 
 impl CertainEngine {
@@ -512,7 +526,29 @@ impl CertainEngine {
 
     /// An engine with explicit world-enumeration bounds.
     pub fn with_bounds(bounds: WorldBounds) -> Self {
-        CertainEngine { bounds }
+        CertainEngine {
+            bounds,
+            exec: ExecOptions::default(),
+        }
+    }
+
+    /// Attaches a shared worker pool: certified naïve passes dispatch scan and
+    /// join morsels on it (see [`nev_exec::ExecOptions`]). Answers are
+    /// byte-identical with or without a pool — only wall-clock changes.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.exec.pool = Some(pool);
+        self
+    }
+
+    /// Overrides the full execution options (pool and morsel granularity).
+    pub fn with_exec_options(mut self, exec: ExecOptions) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The execution options certified naïve passes run under.
+    pub fn exec_options(&self) -> &ExecOptions {
+        &self.exec
     }
 
     /// The engine's base world-enumeration bounds (query constants are added per
@@ -570,7 +606,7 @@ impl CertainEngine {
     ) -> Evaluation {
         match self.plan(d, semantics, query) {
             plan @ (EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)) => {
-                let (naive, exec) = naive_answers(d, query);
+                let (naive, exec) = naive_answers(d, query, &self.exec);
                 Evaluation {
                     semantics,
                     plan,
@@ -600,13 +636,25 @@ impl CertainEngine {
         Ok(self.evaluate(d, semantics, query).is_certainly_true())
     }
 
+    /// The naïve answers of one prepared query under **this engine's** execution
+    /// options — the single certified pass, morsel-parallel when the engine
+    /// carries a shared pool. Prefer this over [`PreparedQuery::naive_answers`]
+    /// when an engine is at hand, so the configured pool is actually used.
+    pub fn naive_answers(
+        &self,
+        d: &Instance,
+        query: &PreparedQuery,
+    ) -> (BTreeSet<Tuple>, ExecStats) {
+        naive_answers(d, query, &self.exec)
+    }
+
     /// Runs the ground-truth oracle unconditionally — naïve evaluation **and** the
     /// bounded possible-world intersection — regardless of what Figure 1 guarantees.
     ///
     /// This is the validation entry point: the Figure 1 harness uses it to *check*
     /// the theorems that [`CertainEngine::evaluate`] *assumes*.
     pub fn compare(&self, d: &Instance, semantics: Semantics, query: &PreparedQuery) -> Evaluation {
-        let (naive, mut exec) = naive_answers(d, query);
+        let (naive, mut exec) = naive_answers(d, query, &self.exec);
         let (certain, worlds_enumerated) = self.bounded_certain(d, semantics, query, &mut exec);
         Evaluation {
             semantics,
@@ -671,7 +719,7 @@ impl CertainEngine {
         for (index, query) in queries.iter().map(std::borrow::Borrow::borrow).enumerate() {
             match self.plan(d, semantics, query) {
                 plan @ (EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)) => {
-                    let (naive, exec) = naive_answers(d, query);
+                    let (naive, exec) = naive_answers(d, query, &self.exec);
                     results[index] = Some(Evaluation {
                         semantics,
                         plan,
@@ -724,7 +772,7 @@ impl CertainEngine {
             }
             for p in pending {
                 let query = queries[p.index].borrow();
-                let (naive, naive_exec) = naive_answers(d, query);
+                let (naive, naive_exec) = naive_answers(d, query, &self.exec);
                 let mut exec = p.exec;
                 exec.merge(&naive_exec);
                 results[p.index] = Some(Evaluation {
@@ -753,7 +801,10 @@ impl CertainEngine {
     /// intersection becomes empty. Per-world evaluations run on the compiled plan
     /// when one exists; otherwise each world's evaluation is one interpreter
     /// fallback in `exec` — `fallbacks` uniformly counts interpreter-routed
-    /// evaluation passes, whichever entry point triggered them.
+    /// evaluation passes, whichever entry point triggered them. Per-world
+    /// executions stay sequential even when the engine carries a pool: worlds
+    /// are small and freshly interned, so the profitable parallel axis is
+    /// *across* worlds (the serve layer's chunked oracle), not within one.
     fn bounded_certain(
         &self,
         d: &Instance,
@@ -811,10 +862,16 @@ impl CertainEngine {
 
 /// The naïve answers `Q^C(D)` with the Boolean `{()} / ∅` encoding, executed by the
 /// compiled plan when one exists (one interpreter fallback is recorded otherwise).
-fn naive_answers(d: &Instance, query: &PreparedQuery) -> (BTreeSet<Tuple>, ExecStats) {
+/// The compiled pass runs under `options` — morsel-parallel when a pool is
+/// attached, plain sequential otherwise.
+fn naive_answers(
+    d: &Instance,
+    query: &PreparedQuery,
+    options: &ExecOptions,
+) -> (BTreeSet<Tuple>, ExecStats) {
     match query.compiled() {
         Some(compiled) => {
-            let out = compiled.execute_naive(d);
+            let out = compiled.execute_naive_with(d, options);
             (out.answers, out.stats)
         }
         None => (naive_eval_query(d, query.query()), ExecStats::fallback()),

@@ -1,15 +1,42 @@
-//! Set-at-a-time execution of compiled plans over interned instances.
+//! Vectorised, set-at-a-time execution of compiled plans over interned instances.
+//!
+//! Intermediates are **column-major** `Batch`es — one flat `Vec<u32>` per
+//! schema column plus a row count — so operators run as tight per-column loops
+//! over dense code vectors instead of pushing one heap-allocated row at a time.
+//! Hash keys are gathered into reusable buffers and looked up through
+//! `Borrow<[u32]>`, so the probe loops of joins, anti-joins and dedup allocate
+//! only when they *insert*. Sets appear exactly once, at the final
+//! [`ExecOutput`] boundary, which keeps answers canonical (`BTreeSet`) without
+//! paying ordered-set maintenance inside the pipeline.
 //!
 //! This is also where stage 2 of the `nev-opt` optimiser lives: join groups
 //! (kept flat by the rule stage) are re-ordered **here**, per instance, by the
 //! greedy cost-based search of [`crate::optimize`] seeded from the actual
 //! base-relation cardinalities of the [`InternedInstance`] at hand. The chosen
 //! order is memoised in the per-execution context, alongside the hash index
-//! cache, and an empty intermediate short-circuits the rest of its group.
+//! cache (keyed on interned relation *ids*, never cloned names), and an empty
+//! intermediate short-circuits the rest of its group.
+//!
+//! # Morsel-driven parallelism
+//!
+//! When [`ExecOptions`] carries a shared [`WorkerPool`], large base-relation
+//! scans split into fixed-size **morsels** dispatched across the pool, and
+//! large hash joins run a **partitioned** build/probe: build rows scatter into
+//! a fixed number of partitions, one hash table is built per partition in
+//! parallel, and probe morsels route by the same deterministic hash. Partial
+//! batches merge back in submission order (the pool's [`WorkerPool::run`]
+//! preserves slot order), so both the answers *and* the telemetry are
+//! byte-identical at every worker count: morsel and partition counts depend
+//! only on the data and [`ExecOptions::morsel_rows`], never on how many
+//! threads happen to serve them. Pools with fewer than two background workers
+//! add no parallel capacity, so they take the sequential kernels unchanged —
+//! the parallel machinery is strictly pay-as-you-go.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use nev_incomplete::{Instance, Tuple};
+use nev_runtime::WorkerPool;
 
 use crate::algebra::{flatten_join_refs, merge_schemas, PlanNode, ScanTerm};
 use crate::cost;
@@ -17,6 +44,64 @@ use crate::intern::{ColumnarRelation, InternedInstance};
 use crate::lower::CompiledQuery;
 use crate::optimize::greedy_join_order;
 use crate::stats::ExecStats;
+
+/// Default number of rows per scan/probe morsel. Below this, the coordination
+/// cost of crossing a thread boundary exceeds the work being shipped.
+pub const DEFAULT_MORSEL_ROWS: usize = 1024;
+
+/// Number of build-side partitions of a parallel hash join. A fixed constant —
+/// never derived from the worker count — so the partition layout (and the
+/// telemetry counting it) is a pure function of the data.
+const JOIN_PARTITIONS: usize = 8;
+
+/// How a compiled plan executes: an optional shared worker pool for
+/// morsel-driven parallelism, and the morsel granularity.
+///
+/// The default (`pool: None`) is the plain sequential executor. With a pool,
+/// operators over at least `2 × morsel_rows` rows fan out across it; smaller
+/// inputs stay on the calling thread, and a pool with fewer than two
+/// background workers is treated as sequential (the submitting thread would be
+/// doing all the work anyway, so the fan-out could only add overhead). Answers
+/// are identical either way — the determinism suite pins this at worker counts
+/// 0, 1, 2 and 8.
+#[derive(Clone, Debug)]
+pub struct ExecOptions {
+    /// The shared pool morsels dispatch on; `None` (or a pool with `< 2`
+    /// background workers) keeps execution sequential.
+    pub pool: Option<Arc<WorkerPool>>,
+    /// Rows per morsel (clamped to at least 1).
+    pub morsel_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            pool: None,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Sequential options (no pool, default morsel size).
+    pub fn sequential() -> Self {
+        ExecOptions::default()
+    }
+
+    /// Options dispatching morsels on `pool` at the default granularity.
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
+        ExecOptions {
+            pool: Some(pool),
+            ..ExecOptions::default()
+        }
+    }
+
+    /// The number of background workers of the attached pool (`0` when there is
+    /// no pool, or a pool in caller-runs-everything mode).
+    pub fn workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.workers())
+    }
+}
 
 /// The result of executing a compiled query on one instance.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -27,60 +112,124 @@ pub struct ExecOutput {
     pub stats: ExecStats,
 }
 
-/// An intermediate binding relation: rows of codes over a sorted variable schema.
+/// An intermediate binding relation, column-major: `cols[i][r]` is the code of
+/// schema variable `i` in row `r`. The explicit `rows` count carries the
+/// cardinality of zero-column (Boolean) batches, where `{()}` vs `∅` is the
+/// whole answer.
 struct Batch {
     schema: Vec<String>,
-    rows: Vec<Vec<u32>>,
+    cols: Vec<Vec<u32>>,
+    rows: usize,
 }
 
 impl Batch {
     fn empty(schema: Vec<String>) -> Self {
+        let cols = vec![Vec::new(); schema.len()];
         Batch {
             schema,
-            rows: Vec::new(),
+            cols,
+            rows: 0,
         }
+    }
+
+    fn unit() -> Self {
+        Batch {
+            schema: Vec::new(),
+            cols: Vec::new(),
+            rows: 1,
+        }
+    }
+
+    /// Gathers the key of row `r` over `positions` into `buf` (reused across rows).
+    fn key_into(&self, r: usize, positions: &[usize], buf: &mut Vec<u32>) {
+        buf.clear();
+        buf.extend(positions.iter().map(|&p| self.cols[p][r]));
     }
 }
 
 /// A base-relation hash index: key codes (one per bound column) → row ids.
 type RelationIndex = HashMap<Vec<u32>, Vec<usize>>;
 
+/// A deterministic FNV-1a hash over key codes, used to partition parallel hash
+/// joins. Deliberately *not* `RandomState`: the partition a row lands in must
+/// be the same in every run, on every thread, so telemetry and merge order are
+/// reproducible.
+fn partition_hash(key: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &code in key {
+        h ^= u64::from(code);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Splits `0..total` into `[start, end)` morsel ranges of `morsel` rows each.
+fn morsel_ranges(total: usize, morsel: usize) -> Vec<(usize, usize)> {
+    let morsel = morsel.max(1);
+    (0..total)
+        .step_by(morsel)
+        .map(|start| (start, (start + morsel).min(total)))
+        .collect()
+}
+
+/// The shared handles a parallel execution needs: `Arc`s of the interned
+/// instance and the pool, so morsel closures (which must be `'static`) can
+/// clone their own owners.
+#[derive(Clone, Copy)]
+struct SharedExec<'a> {
+    inst: &'a Arc<InternedInstance>,
+    pool: &'a Arc<WorkerPool>,
+}
+
 /// Per-execution state: the interned instance, the counters, the cache of base
-/// hash indexes keyed on (relation, bound column positions) — shared by every scan
-/// of the same relation with the same bound shape (e.g. self-joins) — and the
-/// memoised cost-based join orders (keyed on the group's structural hash, so
-/// identical groups appearing twice in one plan decide their order once).
+/// hash indexes keyed on (relation id, bound column positions) — shared by every
+/// scan of the same relation with the same bound shape (e.g. self-joins) — and
+/// the memoised cost-based join orders.
 struct ExecContext<'a> {
     inst: &'a InternedInstance,
+    /// `Some` when this execution may dispatch morsels on a pool.
+    shared: Option<SharedExec<'a>>,
     stats: ExecStats,
-    indexes: HashMap<(String, Vec<usize>), RelationIndex>,
-    /// Keyed on the group node itself (not a digest): a hash collision must
-    /// fall through to equality, never to another group's order vector.
-    join_orders: HashMap<PlanNode, Vec<usize>>,
+    indexes: HashMap<u32, HashMap<Vec<usize>, RelationIndex>>,
+    /// Keyed on the group node's address within the plan: the plan outlives the
+    /// context, so an address identifies one group node for the whole
+    /// execution. Structurally identical groups at different addresses decide
+    /// their (identical, deterministic) order independently — a cheap repeat
+    /// instead of a deep `PlanNode` clone per cache key.
+    join_orders: HashMap<usize, Vec<usize>>,
     /// Stage-2 cost-based reordering enabled (`CompilerConfig::optimize`).
     reorder: bool,
+    morsel_rows: usize,
 }
 
 impl<'a> ExecContext<'a> {
-    fn new(inst: &'a InternedInstance, reorder: bool) -> Self {
+    fn new(
+        inst: &'a InternedInstance,
+        shared: Option<SharedExec<'a>>,
+        reorder: bool,
+        morsel_rows: usize,
+    ) -> Self {
         ExecContext {
             inst,
+            shared,
             stats: ExecStats::new(),
             indexes: HashMap::new(),
             join_orders: HashMap::new(),
             reorder,
+            morsel_rows: morsel_rows.max(1),
         }
     }
 
     /// The execution order for one flattened join group, decided by the greedy
     /// cost-based search on this instance's real cardinalities and memoised per
-    /// group. `joins_reordered` is bumped when the decision (not each reuse)
-    /// deviates from the written order.
+    /// group node. `joins_reordered` is bumped when the decision (not each
+    /// reuse) deviates from the written order.
     fn join_order(&mut self, group: &PlanNode, leaves: &[&PlanNode]) -> Vec<usize> {
         if !self.reorder {
             return (0..leaves.len()).collect();
         }
-        if let Some(order) = self.join_orders.get(group) {
+        let key = group as *const PlanNode as usize;
+        if let Some(order) = self.join_orders.get(&key) {
             return order.clone();
         }
         let schemas: Vec<Vec<String>> = leaves.iter().map(|l| l.schema()).collect();
@@ -93,31 +242,43 @@ impl<'a> ExecContext<'a> {
         if order.iter().enumerate().any(|(pos, &i)| pos != i) {
             self.stats.joins_reordered += 1;
         }
-        self.join_orders.insert(group.clone(), order.clone());
+        self.join_orders.insert(key, order.clone());
         order
     }
 
-    /// Rows of `rel` whose `cols` hold exactly `key`, via a (cached) hash index.
+    /// Rows of `rel` (interned id `id`) whose `cols` hold exactly `key`, via a
+    /// cached hash index. Lookups borrow `cols` as a slice — no key is cloned
+    /// unless the index is actually built.
     fn probe_index(
         &mut self,
-        relation: &str,
+        id: u32,
         rel: &ColumnarRelation,
         cols: &[usize],
         key: &[u32],
     ) -> Vec<usize> {
-        let map_key = (relation.to_string(), cols.to_vec());
-        if !self.indexes.contains_key(&map_key) {
+        let per_relation = self.indexes.entry(id).or_default();
+        if !per_relation.contains_key(cols) {
             let mut index: RelationIndex = HashMap::new();
+            let mut k: Vec<u32> = Vec::with_capacity(cols.len());
             for r in 0..rel.len() {
-                let k: Vec<u32> = cols.iter().map(|&c| rel.col(c)[r]).collect();
-                index.entry(k).or_default().push(r);
+                k.clear();
+                k.extend(cols.iter().map(|&c| rel.col(c)[r]));
+                match index.get_mut(k.as_slice()) {
+                    Some(rows) => rows.push(r),
+                    None => {
+                        index.insert(k.clone(), vec![r]);
+                    }
+                }
             }
             self.stats.index_builds += 1;
             self.stats.rows_scanned += rel.len() as u64;
-            self.indexes.insert(map_key.clone(), index);
+            per_relation.insert(cols.to_vec(), index);
         }
         self.stats.hash_probes += 1;
-        self.indexes[&map_key].get(key).cloned().unwrap_or_default()
+        self.indexes[&id][cols]
+            .get(key)
+            .cloned()
+            .unwrap_or_default()
     }
 }
 
@@ -128,27 +289,27 @@ fn eval(node: &PlanNode, ctx: &mut ExecContext<'_>) -> Batch {
             pattern,
             schema,
         } => eval_scan(relation, pattern, schema, ctx),
-        PlanNode::Unit => Batch {
-            schema: Vec::new(),
-            rows: vec![Vec::new()],
-        },
+        PlanNode::Unit => Batch::unit(),
         PlanNode::Empty { schema } => Batch::empty(schema.clone()),
         PlanNode::AdomConst { var, value } => {
-            let rows = match ctx.inst.dictionary().code(value) {
-                Some(code) => vec![vec![code]],
-                None => Vec::new(),
+            let (cols, rows) = match ctx.inst.dictionary().code(value) {
+                Some(code) => (vec![vec![code]], 1),
+                None => (vec![Vec::new()], 0),
             };
             Batch {
                 schema: vec![var.clone()],
+                cols,
                 rows,
             }
         }
         PlanNode::AdomEq { vars } => {
             let n = ctx.inst.dictionary().len() as u32;
             ctx.stats.intermediate_rows += u64::from(n);
+            let column: Vec<u32> = (0..n).collect();
             Batch {
                 schema: vars.to_vec(),
-                rows: (0..n).map(|c| vec![c, c]).collect(),
+                cols: vec![column.clone(), column],
+                rows: n as usize,
             }
         }
         PlanNode::Join { .. } => eval_join_group(node, ctx),
@@ -158,20 +319,27 @@ fn eval(node: &PlanNode, ctx: &mut ExecContext<'_>) -> Batch {
             eval_anti_join(l, r, ctx)
         }
         PlanNode::Union { inputs } => {
-            let mut schema = Vec::new();
+            let mut out: Option<Batch> = None;
             let mut seen: HashSet<Vec<u32>> = HashSet::new();
-            let mut rows = Vec::new();
+            let mut key: Vec<u32> = Vec::new();
             for input in inputs {
                 let b = eval(input, ctx);
-                schema = b.schema;
-                for row in b.rows {
-                    if seen.insert(row.clone()) {
-                        rows.push(row);
+                let acc = out.get_or_insert_with(|| Batch::empty(b.schema.clone()));
+                let all: Vec<usize> = (0..b.cols.len()).collect();
+                for r in 0..b.rows {
+                    b.key_into(r, &all, &mut key);
+                    if !seen.contains(key.as_slice()) {
+                        seen.insert(key.clone());
+                        for (ci, col) in acc.cols.iter_mut().enumerate() {
+                            col.push(b.cols[ci][r]);
+                        }
+                        acc.rows += 1;
                     }
                 }
             }
-            ctx.stats.intermediate_rows += rows.len() as u64;
-            Batch { schema, rows }
+            let out = out.unwrap_or_else(|| Batch::empty(Vec::new()));
+            ctx.stats.intermediate_rows += out.rows as u64;
+            out
         }
         PlanNode::Project { input, keep } => {
             let b = eval(input, ctx);
@@ -183,19 +351,21 @@ fn eval(node: &PlanNode, ctx: &mut ExecContext<'_>) -> Batch {
                         .expect("projection keeps schema columns")
                 })
                 .collect();
+            let mut out = Batch::empty(keep.clone());
             let mut seen: HashSet<Vec<u32>> = HashSet::new();
-            let mut rows = Vec::new();
-            for row in &b.rows {
-                let projected: Vec<u32> = positions.iter().map(|&p| row[p]).collect();
-                if seen.insert(projected.clone()) {
-                    rows.push(projected);
+            let mut key: Vec<u32> = Vec::with_capacity(positions.len());
+            for r in 0..b.rows {
+                b.key_into(r, &positions, &mut key);
+                if !seen.contains(key.as_slice()) {
+                    seen.insert(key.clone());
+                    for (ci, &p) in positions.iter().enumerate() {
+                        out.cols[ci].push(b.cols[p][r]);
+                    }
+                    out.rows += 1;
                 }
             }
-            ctx.stats.intermediate_rows += rows.len() as u64;
-            Batch {
-                schema: keep.clone(),
-                rows,
-            }
+            ctx.stats.intermediate_rows += out.rows as u64;
+            out
         }
         PlanNode::DomainPad { input, vars } => {
             let b = eval(input, ctx);
@@ -222,7 +392,7 @@ fn eval_join_group(group: &PlanNode, ctx: &mut ExecContext<'_>) -> Batch {
     let mut acc: Option<Batch> = None;
     for &i in &order {
         if let Some(batch) = &acc {
-            if batch.rows.is_empty() {
+            if batch.rows == 0 {
                 return Batch::empty(full_schema);
             }
         }
@@ -241,9 +411,10 @@ fn eval_scan(
     schema: &[String],
     ctx: &mut ExecContext<'_>,
 ) -> Batch {
-    let Some(rel) = ctx.inst.relation(relation) else {
+    let Some(id) = ctx.inst.relation_id(relation) else {
         return Batch::empty(schema.to_vec());
     };
+    let rel = ctx.inst.relation_by_id(id);
     if rel.arity() != pattern.len() {
         // A same-named relation of a different arity never matches the atom —
         // exactly the interpreter's `contains` behaviour.
@@ -276,95 +447,267 @@ fn eval_scan(
         .iter()
         .map(|v| first_occurrence[v.as_str()])
         .collect();
-    let candidates: Vec<usize> = if bound_cols.is_empty() {
+    if bound_cols.is_empty() {
         ctx.stats.rows_scanned += rel.len() as u64;
-        (0..rel.len()).collect()
-    } else {
-        ctx.probe_index(relation, rel, &bound_cols, &bound_codes)
-    };
-    let rows: Vec<Vec<u32>> = candidates
-        .into_iter()
-        .filter(|&r| {
-            eq_checks
-                .iter()
-                .all(|&(a, b)| rel.col(a)[r] == rel.col(b)[r])
-        })
-        .map(|r| out_positions.iter().map(|&p| rel.col(p)[r]).collect())
-        .collect();
-    Batch {
-        schema: schema.to_vec(),
-        rows,
+        return scan_full(id, rel, &eq_checks, &out_positions, schema, ctx);
     }
+    let candidates = ctx.probe_index(id, rel, &bound_cols, &bound_codes);
+    let mut out = Batch::empty(schema.to_vec());
+    for &r in &candidates {
+        if eq_checks
+            .iter()
+            .all(|&(a, b)| rel.col(a)[r] == rel.col(b)[r])
+        {
+            for (ci, &p) in out_positions.iter().enumerate() {
+                out.cols[ci].push(rel.col(p)[r]);
+            }
+            out.rows += 1;
+        }
+    }
+    out
+}
+
+/// A full (unbound) relation scan: filter by the repeated-variable equality
+/// checks, gather the output columns. Large relations split into morsels on
+/// the shared pool; the partial batches concatenate in morsel order, so the
+/// output is identical to the sequential gather.
+fn scan_full(
+    id: u32,
+    rel: &ColumnarRelation,
+    eq_checks: &[(usize, usize)],
+    out_positions: &[usize],
+    schema: &[String],
+    ctx: &mut ExecContext<'_>,
+) -> Batch {
+    let morsel = ctx.morsel_rows;
+    if let Some(shared) = ctx.shared {
+        if rel.len() >= 2 * morsel {
+            let ranges = morsel_ranges(rel.len(), morsel);
+            ctx.stats.morsels_dispatched += ranges.len() as u64;
+            ctx.stats.batches_processed += ranges.len() as u64;
+            let inst = Arc::clone(shared.inst);
+            let eq: Arc<Vec<(usize, usize)>> = Arc::new(eq_checks.to_vec());
+            let outp: Arc<Vec<usize>> = Arc::new(out_positions.to_vec());
+            let parts = shared.pool.run(ranges, move |_, (start, end)| {
+                let rel = inst.relation_by_id(id);
+                let mut cols: Vec<Vec<u32>> = vec![Vec::new(); outp.len()];
+                let mut rows = 0usize;
+                for r in start..end {
+                    if eq.iter().all(|&(a, b)| rel.col(a)[r] == rel.col(b)[r]) {
+                        for (ci, &p) in outp.iter().enumerate() {
+                            cols[ci].push(rel.col(p)[r]);
+                        }
+                        rows += 1;
+                    }
+                }
+                (cols, rows)
+            });
+            let mut out = Batch::empty(schema.to_vec());
+            for (part_cols, part_rows) in parts {
+                for (ci, part) in part_cols.into_iter().enumerate() {
+                    out.cols[ci].extend(part);
+                }
+                out.rows += part_rows;
+            }
+            return out;
+        }
+    }
+    let mut out = Batch::empty(schema.to_vec());
+    for r in 0..rel.len() {
+        if eq_checks
+            .iter()
+            .all(|&(a, b)| rel.col(a)[r] == rel.col(b)[r])
+        {
+            for (ci, &p) in out_positions.iter().enumerate() {
+                out.cols[ci].push(rel.col(p)[r]);
+            }
+            out.rows += 1;
+        }
+    }
+    out
 }
 
 fn eval_join(l: Batch, r: Batch, ctx: &mut ExecContext<'_>) -> Batch {
     let schema = merge_schemas(&l.schema, &r.schema);
     // Shared variables and their positions on each side.
-    let shared: Vec<&String> = l
+    let shared_vars: Vec<&String> = l
         .schema
         .iter()
         .filter(|v| r.schema.binary_search(v).is_ok())
         .collect();
-    let lkey: Vec<usize> = shared
+    let lkey: Vec<usize> = shared_vars
         .iter()
         .map(|v| l.schema.binary_search(v).expect("shared"))
         .collect();
-    let rkey: Vec<usize> = shared
+    let rkey: Vec<usize> = shared_vars
         .iter()
         .map(|v| r.schema.binary_search(v).expect("shared"))
         .collect();
-    // For every output column, where it comes from (left wins on shared columns).
-    enum Src {
-        L(usize),
-        R(usize),
-    }
-    let sources: Vec<Src> = schema
+    // For every output column, where it comes from: `(from_left, position)` —
+    // left wins on shared columns.
+    let sources: Vec<(bool, usize)> = schema
         .iter()
         .map(|v| match l.schema.binary_search(v) {
-            Ok(p) => Src::L(p),
-            Err(_) => Src::R(r.schema.binary_search(v).expect("from one side")),
+            Ok(p) => (true, p),
+            Err(_) => (false, r.schema.binary_search(v).expect("from one side")),
         })
         .collect();
     // Build on the smaller side, probe with the larger.
-    let build_left = l.rows.len() <= r.rows.len();
-    let (build, probe) = if build_left { (&l, &r) } else { (&r, &l) };
+    let build_left = l.rows <= r.rows;
     let (build_key, probe_key) = if build_left {
-        (&lkey, &rkey)
+        (lkey, rkey)
     } else {
-        (&rkey, &lkey)
+        (rkey, lkey)
     };
-    let mut table: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
-    for (i, row) in build.rows.iter().enumerate() {
-        let key: Vec<u32> = build_key.iter().map(|&p| row[p]).collect();
-        table.entry(key).or_default().push(i);
-    }
-    let mut rows = Vec::new();
-    for probe_row in &probe.rows {
-        ctx.stats.hash_probes += 1;
-        let key: Vec<u32> = probe_key.iter().map(|&p| probe_row[p]).collect();
-        let Some(matches) = table.get(&key) else {
-            continue;
-        };
-        for &b in matches {
-            let build_row = &build.rows[b];
-            let (lrow, rrow) = if build_left {
-                (build_row, probe_row)
-            } else {
-                (probe_row, build_row)
-            };
-            rows.push(
-                sources
-                    .iter()
-                    .map(|s| match s {
-                        Src::L(p) => lrow[*p],
-                        Src::R(p) => rrow[*p],
-                    })
-                    .collect(),
-            );
+    let probe_rows = if build_left { r.rows } else { l.rows };
+    ctx.stats.hash_probes += probe_rows as u64;
+    let parallel = ctx.shared.filter(|_| probe_rows >= 2 * ctx.morsel_rows);
+    let (cols, rows) = match parallel {
+        Some(shared) => {
+            ctx.stats.parallel_joins += 1;
+            eval_join_partitioned(
+                Arc::new(l),
+                Arc::new(r),
+                build_left,
+                Arc::new(build_key),
+                Arc::new(probe_key),
+                Arc::new(sources),
+                shared,
+                ctx.morsel_rows,
+                &mut ctx.stats,
+            )
         }
+        None => {
+            let (build, probe) = if build_left { (&l, &r) } else { (&r, &l) };
+            let mut table: HashMap<Vec<u32>, Vec<usize>> = HashMap::with_capacity(build.rows);
+            let mut key: Vec<u32> = Vec::with_capacity(build_key.len());
+            for i in 0..build.rows {
+                build.key_into(i, &build_key, &mut key);
+                match table.get_mut(key.as_slice()) {
+                    Some(rows) => rows.push(i),
+                    None => {
+                        table.insert(key.clone(), vec![i]);
+                    }
+                }
+            }
+            let mut cols: Vec<Vec<u32>> = vec![Vec::new(); sources.len()];
+            let mut rows = 0usize;
+            for prow in 0..probe.rows {
+                probe.key_into(prow, &probe_key, &mut key);
+                let Some(matches) = table.get(key.as_slice()) else {
+                    continue;
+                };
+                for &b in matches {
+                    let (li, ri) = if build_left { (b, prow) } else { (prow, b) };
+                    for (ci, &(from_left, p)) in sources.iter().enumerate() {
+                        cols[ci].push(if from_left {
+                            l.cols[p][li]
+                        } else {
+                            r.cols[p][ri]
+                        });
+                    }
+                    rows += 1;
+                }
+            }
+            (cols, rows)
+        }
+    };
+    ctx.stats.intermediate_rows += rows as u64;
+    Batch { schema, cols, rows }
+}
+
+/// The parallel hash join: the build side scatters into [`JOIN_PARTITIONS`]
+/// buckets by a deterministic key hash, one hash table is built per partition
+/// across the pool, and probe morsels route by the same hash. Probe morsels
+/// merge in order, and within a key the match list preserves build-row order,
+/// so the output rows equal the sequential join's, row for row.
+#[allow(clippy::too_many_arguments)]
+fn eval_join_partitioned(
+    l: Arc<Batch>,
+    r: Arc<Batch>,
+    build_left: bool,
+    build_key: Arc<Vec<usize>>,
+    probe_key: Arc<Vec<usize>>,
+    sources: Arc<Vec<(bool, usize)>>,
+    shared: SharedExec<'_>,
+    morsel: usize,
+    stats: &mut ExecStats,
+) -> (Vec<Vec<u32>>, usize) {
+    let (build, probe) = if build_left { (&l, &r) } else { (&r, &l) };
+    // 1. Scatter build rows into partitions (sequential: one cheap pass that
+    //    fixes a layout every later task agrees on).
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); JOIN_PARTITIONS];
+    let mut key: Vec<u32> = Vec::with_capacity(build_key.len());
+    for i in 0..build.rows {
+        build.key_into(i, &build_key, &mut key);
+        buckets[(partition_hash(&key) as usize) % JOIN_PARTITIONS].push(i);
     }
-    ctx.stats.intermediate_rows += rows.len() as u64;
-    Batch { schema, rows }
+    let buckets = Arc::new(buckets);
+    // 2. Build one table per partition, in parallel.
+    stats.morsels_dispatched += JOIN_PARTITIONS as u64;
+    let tables: Vec<HashMap<Vec<u32>, Vec<usize>>> = {
+        let build = Arc::clone(if build_left { &l } else { &r });
+        let build_key = Arc::clone(&build_key);
+        let buckets = Arc::clone(&buckets);
+        shared
+            .pool
+            .run((0..JOIN_PARTITIONS).collect(), move |_, p| {
+                let mut table: HashMap<Vec<u32>, Vec<usize>> =
+                    HashMap::with_capacity(buckets[p].len());
+                for &i in &buckets[p] {
+                    let key: Vec<u32> = build_key.iter().map(|&c| build.cols[c][i]).collect();
+                    table.entry(key).or_default().push(i);
+                }
+                table
+            })
+    };
+    let tables = Arc::new(tables);
+    // 3. Probe in morsels, routing each key to its partition's table.
+    let ranges = morsel_ranges(probe.rows, morsel);
+    stats.morsels_dispatched += ranges.len() as u64;
+    stats.batches_processed += ranges.len() as u64;
+    let parts = {
+        let la = Arc::clone(&l);
+        let ra = Arc::clone(&r);
+        shared.pool.run(ranges, move |_, (start, end)| {
+            let probe = if build_left { &ra } else { &la };
+            let mut cols: Vec<Vec<u32>> = vec![Vec::new(); sources.len()];
+            let mut rows = 0usize;
+            let mut key: Vec<u32> = Vec::with_capacity(probe_key.len());
+            for prow in start..end {
+                probe.key_into(prow, &probe_key, &mut key);
+                let table = &tables[(partition_hash(&key) as usize) % JOIN_PARTITIONS];
+                let Some(matches) = table.get(key.as_slice()) else {
+                    continue;
+                };
+                for &b in matches {
+                    let (li, ri) = if build_left { (b, prow) } else { (prow, b) };
+                    for (ci, &(from_left, p)) in sources.iter().enumerate() {
+                        cols[ci].push(if from_left {
+                            la.cols[p][li]
+                        } else {
+                            ra.cols[p][ri]
+                        });
+                    }
+                    rows += 1;
+                }
+            }
+            (cols, rows)
+        })
+    };
+    let mut merged: Vec<Vec<u32>> = Vec::new();
+    let mut rows = 0usize;
+    for (part_cols, part_rows) in parts {
+        if merged.is_empty() {
+            merged = part_cols;
+        } else {
+            for (ci, part) in part_cols.into_iter().enumerate() {
+                merged[ci].extend(part);
+            }
+        }
+        rows += part_rows;
+    }
+    (merged, rows)
 }
 
 fn eval_anti_join(l: Batch, r: Batch, ctx: &mut ExecContext<'_>) -> Batch {
@@ -374,28 +717,35 @@ fn eval_anti_join(l: Batch, r: Batch, ctx: &mut ExecContext<'_>) -> Batch {
         .iter()
         .map(|v| l.schema.binary_search(v).expect("anti-join schema subset"))
         .collect();
-    let exclude: HashSet<Vec<u32>> = r.rows.into_iter().collect();
-    let rows: Vec<Vec<u32>> = l
-        .rows
-        .into_iter()
-        .filter(|row| {
-            ctx.stats.hash_probes += 1;
-            let key: Vec<u32> = positions.iter().map(|&p| row[p]).collect();
-            !exclude.contains(&key)
-        })
-        .collect();
-    ctx.stats.intermediate_rows += rows.len() as u64;
-    Batch {
-        schema: l.schema,
-        rows,
+    let all_r: Vec<usize> = (0..r.cols.len()).collect();
+    let mut exclude: HashSet<Vec<u32>> = HashSet::with_capacity(r.rows);
+    let mut key: Vec<u32> = Vec::with_capacity(all_r.len());
+    for i in 0..r.rows {
+        r.key_into(i, &all_r, &mut key);
+        if !exclude.contains(key.as_slice()) {
+            exclude.insert(key.clone());
+        }
     }
+    ctx.stats.hash_probes += l.rows as u64;
+    let mut out = Batch::empty(l.schema.clone());
+    for i in 0..l.rows {
+        l.key_into(i, &positions, &mut key);
+        if !exclude.contains(key.as_slice()) {
+            for (ci, col) in out.cols.iter_mut().enumerate() {
+                col.push(l.cols[ci][i]);
+            }
+            out.rows += 1;
+        }
+    }
+    ctx.stats.intermediate_rows += out.rows as u64;
+    out
 }
 
 fn eval_domain_pad(b: Batch, vars: &[String], ctx: &mut ExecContext<'_>) -> Batch {
     let mut sorted_vars: Vec<String> = vars.to_vec();
     sorted_vars.sort();
     let schema = merge_schemas(&b.schema, &sorted_vars);
-    let n = ctx.inst.dictionary().len() as u32;
+    let n = ctx.inst.dictionary().len();
     if n == 0 {
         return Batch::empty(schema);
     }
@@ -411,119 +761,171 @@ fn eval_domain_pad(b: Batch, vars: &[String], ctx: &mut ExecContext<'_>) -> Batc
         })
         .collect();
     let k = sorted_vars.len();
-    let mut rows = Vec::new();
-    let mut pad = vec![0u32; k];
-    for row in &b.rows {
-        pad.iter_mut().for_each(|p| *p = 0);
-        loop {
-            rows.push(
-                sources
-                    .iter()
-                    .map(|s| match s {
-                        Src::Input(p) => row[*p],
-                        Src::Pad(p) => pad[*p],
-                    })
-                    .collect(),
-            );
-            // Advance the odometer over adom^k.
-            let mut pos = 0;
-            loop {
-                if pos == k {
-                    break;
+    // Each input row expands into adom^k padded rows; pad column `p` cycles
+    // with period n^(p+1) (position 0 fastest), matching the little-endian
+    // odometer the row-at-a-time executor ran. Every output column is filled
+    // with one arithmetic loop — no per-row materialisation.
+    let reps = n
+        .checked_pow(k as u32)
+        .expect("domain pad cardinality overflows usize");
+    let total = b.rows * reps;
+    let mut cols: Vec<Vec<u32>> = Vec::with_capacity(sources.len());
+    for src in &sources {
+        let mut col: Vec<u32> = Vec::with_capacity(total);
+        match src {
+            Src::Input(p) => {
+                for i in 0..b.rows {
+                    let v = b.cols[*p][i];
+                    col.resize(col.len() + reps, v);
                 }
-                pad[pos] += 1;
-                if pad[pos] < n {
-                    break;
-                }
-                pad[pos] = 0;
-                pos += 1;
             }
-            if pos == k {
-                break;
+            Src::Pad(p) => {
+                let stride = n.pow(*p as u32);
+                for _ in 0..b.rows {
+                    for j in 0..reps {
+                        col.push(((j / stride) % n) as u32);
+                    }
+                }
             }
         }
+        cols.push(col);
     }
-    ctx.stats.intermediate_rows += rows.len() as u64;
-    Batch { schema, rows }
+    ctx.stats.intermediate_rows += total as u64;
+    Batch {
+        schema,
+        cols,
+        rows: total,
+    }
 }
 
 fn eval_complement(b: Batch, ctx: &mut ExecContext<'_>) -> Batch {
     let k = b.schema.len();
     if k == 0 {
         // Boolean negation under the {()} / ∅ encoding.
-        let rows = if b.rows.is_empty() {
-            vec![Vec::new()]
-        } else {
-            Vec::new()
-        };
+        let rows = usize::from(b.rows == 0);
         return Batch {
             schema: b.schema,
+            cols: b.cols,
             rows,
         };
     }
-    let n = ctx.inst.dictionary().len() as u32;
-    let present: HashSet<Vec<u32>> = b.rows.into_iter().collect();
-    let mut rows = Vec::new();
-    let mut current = vec![0u32; k];
+    let n = ctx.inst.dictionary().len();
+    let all: Vec<usize> = (0..k).collect();
+    let mut present: HashSet<Vec<u32>> = HashSet::with_capacity(b.rows);
+    let mut key: Vec<u32> = Vec::with_capacity(k);
+    for i in 0..b.rows {
+        b.key_into(i, &all, &mut key);
+        if !present.contains(key.as_slice()) {
+            present.insert(key.clone());
+        }
+    }
+    let mut out = Batch::empty(b.schema);
     if n > 0 {
-        loop {
-            if !present.contains(&current) {
-                rows.push(current.clone());
+        let total = n
+            .checked_pow(k as u32)
+            .expect("complement cardinality overflows usize");
+        let mut current = vec![0u32; k];
+        for _ in 0..total {
+            if !present.contains(current.as_slice()) {
+                for (ci, &v) in current.iter().enumerate() {
+                    out.cols[ci].push(v);
+                }
+                out.rows += 1;
             }
-            let mut pos = 0;
-            loop {
-                if pos == k {
+            // Advance the little-endian odometer over adom^k.
+            for value in current.iter_mut() {
+                *value += 1;
+                if (*value as usize) < n {
                     break;
                 }
-                current[pos] += 1;
-                if current[pos] < n {
-                    break;
-                }
-                current[pos] = 0;
-                pos += 1;
-            }
-            if pos == k {
-                break;
+                *value = 0;
             }
         }
     }
-    ctx.stats.intermediate_rows += rows.len() as u64;
-    Batch {
-        schema: b.schema,
-        rows,
-    }
+    ctx.stats.intermediate_rows += out.rows as u64;
+    out
 }
 
 impl CompiledQuery {
     /// Executes the plan on an instance, returning **all** answers — including
     /// tuples containing nulls — like [`nev_logic::eval::evaluate_query`].
     pub fn execute(&self, d: &Instance) -> ExecOutput {
-        let interned = InternedInstance::new(d);
-        let mut stats = ExecStats::new();
-        let answers = self.execute_interned(&interned, false, &mut stats);
-        ExecOutput { answers, stats }
+        self.execute_with(d, &ExecOptions::default())
     }
 
     /// Executes the plan and keeps only the all-constant answers — **naïve
     /// evaluation**, like [`nev_logic::eval::naive_eval_query`].
     pub fn execute_naive(&self, d: &Instance) -> ExecOutput {
-        let interned = InternedInstance::new(d);
+        self.execute_naive_with(d, &ExecOptions::default())
+    }
+
+    /// [`CompiledQuery::execute`] under explicit [`ExecOptions`] (e.g. with a
+    /// shared worker pool for morsel-driven parallelism).
+    pub fn execute_with(&self, d: &Instance, options: &ExecOptions) -> ExecOutput {
+        let interned = Arc::new(InternedInstance::new(d));
         let mut stats = ExecStats::new();
-        let answers = self.execute_interned(&interned, true, &mut stats);
+        let answers = self.execute_interned_with(&interned, false, &mut stats, options);
         ExecOutput { answers, stats }
     }
 
-    /// Executes against an already-interned instance, merging counters into
-    /// `stats`. With `complete_only`, rows containing null codes are dropped — the
-    /// "discard tuples with nulls" half of naïve evaluation, decided with one
-    /// integer comparison per position.
+    /// [`CompiledQuery::execute_naive`] under explicit [`ExecOptions`].
+    pub fn execute_naive_with(&self, d: &Instance, options: &ExecOptions) -> ExecOutput {
+        let interned = Arc::new(InternedInstance::new(d));
+        let mut stats = ExecStats::new();
+        let answers = self.execute_interned_with(&interned, true, &mut stats, options);
+        ExecOutput { answers, stats }
+    }
+
+    /// Executes against an already-interned instance, sequentially, merging
+    /// counters into `stats`. With `complete_only`, rows containing null codes
+    /// are dropped — the "discard tuples with nulls" half of naïve evaluation,
+    /// decided with one integer comparison per position.
     pub fn execute_interned(
         &self,
         inst: &InternedInstance,
         complete_only: bool,
         stats: &mut ExecStats,
     ) -> BTreeSet<Tuple> {
-        let mut ctx = ExecContext::new(inst, self.reorder);
+        self.run_interned(inst, None, complete_only, stats, DEFAULT_MORSEL_ROWS)
+    }
+
+    /// [`CompiledQuery::execute_interned`] under explicit [`ExecOptions`]: the
+    /// instance arrives in an `Arc` so morsel tasks (which outlive no borrow)
+    /// can share it across the pool.
+    pub fn execute_interned_with(
+        &self,
+        inst: &Arc<InternedInstance>,
+        complete_only: bool,
+        stats: &mut ExecStats,
+        options: &ExecOptions,
+    ) -> BTreeSet<Tuple> {
+        // Fanning out only pays when the pool genuinely adds parallel capacity:
+        // with zero or one background workers the submitting thread is doing
+        // (essentially) all the work anyway, and every morsel would still pay
+        // queue, boxing and partition-hash overhead. Below two workers the
+        // sequential kernels run unchanged — the pay-as-you-go guarantee the
+        // `exec_scaling` bench pins against the set-at-a-time baseline.
+        match options.pool.as_ref().filter(|pool| pool.workers() >= 2) {
+            Some(pool) => self.run_interned(
+                inst,
+                Some(SharedExec { inst, pool }),
+                complete_only,
+                stats,
+                options.morsel_rows,
+            ),
+            None => self.run_interned(inst, None, complete_only, stats, options.morsel_rows),
+        }
+    }
+
+    fn run_interned(
+        &self,
+        inst: &InternedInstance,
+        shared: Option<SharedExec<'_>>,
+        complete_only: bool,
+        stats: &mut ExecStats,
+        morsel_rows: usize,
+    ) -> BTreeSet<Tuple> {
+        let mut ctx = ExecContext::new(inst, shared, self.reorder, morsel_rows);
         // Replay the compile-time rule count and the root cardinality estimate
         // into this execution's telemetry (`as` saturates, never panics).
         ctx.stats.rules_fired = self.rules.total();
@@ -532,14 +934,14 @@ impl CompiledQuery {
         debug_assert_eq!(batch.schema, self.schema, "plan schema must match");
         let dict = inst.dictionary();
         let mut answers = BTreeSet::new();
-        for row in &batch.rows {
-            if complete_only && !row.iter().all(|&code| dict.is_const(code)) {
+        for r in 0..batch.rows {
+            if complete_only && !batch.cols.iter().all(|col| dict.is_const(col[r])) {
                 continue;
             }
             let tuple: Tuple = self
                 .output_positions
                 .iter()
-                .map(|&p| dict.value(row[p]).clone())
+                .map(|&p| dict.value(batch.cols[p][r]).clone())
                 .collect();
             answers.insert(tuple);
         }
@@ -649,5 +1051,133 @@ mod tests {
         assert_eq!(t.answers.len(), 1);
         let f = check("exists u . S(u)", &d);
         assert!(f.answers.is_empty());
+    }
+
+    /// A join-chain workload big enough to cross small morsel thresholds.
+    fn chain_instance(rows: usize) -> Instance {
+        let mut d = Instance::new();
+        for i in 0..rows {
+            let a = c((i % 17) as i64);
+            let b = c((i % 13) as i64);
+            d.add_tuple("R", vec![a.clone(), b.clone()]).unwrap();
+            d.add_tuple("S", vec![b, c((i % 7) as i64)]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn parallel_execution_equals_sequential_at_every_worker_count() {
+        let d = chain_instance(300);
+        let q = parse_query("Q(u, w) :- exists v . R(u, v) & S(v, w)").expect("valid query");
+        let compiled = CompiledQuery::compile(&q).expect("compiles");
+        let sequential = compiled.execute_naive(&d);
+        for workers in [0, 1, 2, 8] {
+            let options = ExecOptions {
+                pool: Some(Arc::new(WorkerPool::new(workers))),
+                morsel_rows: 64,
+            };
+            let parallel = compiled.execute_naive_with(&d, &options);
+            assert_eq!(
+                parallel.answers, sequential.answers,
+                "workers={workers}: answers changed"
+            );
+            if workers >= 2 {
+                assert!(
+                    parallel.stats.morsels_dispatched > 0,
+                    "workers={workers}: the morsel path engaged"
+                );
+                assert!(parallel.stats.parallel_joins > 0, "workers={workers}");
+            } else {
+                // Pools that cannot add parallel capacity run the sequential
+                // kernels unchanged — pay-as-you-go, no fan-out overhead.
+                assert_eq!(parallel.stats, sequential.stats, "workers={workers}");
+            }
+            // Morsel counts are a function of the data, never the worker count.
+            let again = compiled.execute_naive_with(&d, &options);
+            assert_eq!(parallel.stats, again.stats, "workers={workers}");
+        }
+        // Parallel-capable worker counts report identical telemetry.
+        let stats: Vec<ExecStats> = [2usize, 3, 8]
+            .iter()
+            .map(|&workers| {
+                let options = ExecOptions {
+                    pool: Some(Arc::new(WorkerPool::new(workers))),
+                    morsel_rows: 64,
+                };
+                compiled.execute_naive_with(&d, &options).stats
+            })
+            .collect();
+        assert_eq!(stats[0], stats[1]);
+        assert_eq!(stats[1], stats[2]);
+    }
+
+    #[test]
+    fn small_inputs_stay_sequential_even_with_a_pool() {
+        let d = intro();
+        let q = parse_query("Q(x, y) :- exists z . R(x, z) & S(z, y)").expect("valid query");
+        let compiled = CompiledQuery::compile(&q).expect("compiles");
+        let options = ExecOptions::with_pool(Arc::new(WorkerPool::new(4)));
+        let out = compiled.execute_naive_with(&d, &options);
+        assert_eq!(
+            out.stats.morsels_dispatched, 0,
+            "below the morsel threshold"
+        );
+        assert_eq!(out.stats.parallel_joins, 0);
+        assert_eq!(out.answers, compiled.execute_naive(&d).answers);
+    }
+
+    #[test]
+    fn empty_instances_dispatch_no_morsels() {
+        let q = parse_query("Q(u, w) :- exists v . R(u, v) & S(v, w)").expect("valid query");
+        let compiled = CompiledQuery::compile(&q).expect("compiles");
+        let options = ExecOptions {
+            pool: Some(Arc::new(WorkerPool::new(2))),
+            morsel_rows: 1,
+        };
+        let out = compiled.execute_naive_with(&Instance::new(), &options);
+        assert!(out.answers.is_empty());
+        assert_eq!(out.stats.morsels_dispatched, 0);
+        assert_eq!(out.stats.batches_processed, 0);
+    }
+
+    #[test]
+    fn morsel_telemetry_counts_scan_chunks() {
+        // 10 rows, morsel_rows = 2 → exactly 5 scan morsels per unbound scan.
+        let mut d = Instance::new();
+        for i in 0..10 {
+            d.add_tuple("R", vec![c(i as i64)]).unwrap();
+        }
+        let q = parse_query("Q(u) :- R(u)").expect("valid query");
+        let compiled = CompiledQuery::compile(&q).expect("compiles");
+        let options = ExecOptions {
+            pool: Some(Arc::new(WorkerPool::new(2))),
+            morsel_rows: 2,
+        };
+        let out = compiled.execute_naive_with(&d, &options);
+        assert_eq!(out.answers.len(), 10);
+        assert_eq!(out.stats.morsels_dispatched, 5);
+        assert_eq!(out.stats.batches_processed, 5);
+        assert_eq!(out.stats.rows_scanned, 10);
+    }
+
+    #[test]
+    fn parallel_stats_match_sequential_core_counters() {
+        // The shared counters (scanned/probes/indexes/intermediate) must not
+        // depend on whether the morsel path ran.
+        let d = chain_instance(200);
+        let q = parse_query("Q(u, w) :- exists v . R(u, v) & S(v, w)").expect("valid query");
+        let compiled = CompiledQuery::compile(&q).expect("compiles");
+        let sequential = compiled.execute_naive(&d).stats;
+        let options = ExecOptions {
+            pool: Some(Arc::new(WorkerPool::new(3))),
+            morsel_rows: 32,
+        };
+        let parallel = compiled.execute_naive_with(&d, &options).stats;
+        assert_eq!(parallel.rows_scanned, sequential.rows_scanned);
+        assert_eq!(parallel.hash_probes, sequential.hash_probes);
+        assert_eq!(parallel.index_builds, sequential.index_builds);
+        assert_eq!(parallel.intermediate_rows, sequential.intermediate_rows);
+        assert!(parallel.morsels_dispatched > 0);
+        assert_eq!(sequential.morsels_dispatched, 0);
     }
 }

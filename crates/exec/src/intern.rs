@@ -109,20 +109,27 @@ impl ColumnarRelation {
     }
 }
 
-/// An instance interned for compiled execution: the dictionary plus every relation
-/// as a columnar code batch.
+/// An instance interned for compiled execution: the dictionary plus every
+/// relation as a columnar code batch, addressed by a dense `u32` **relation
+/// id** assigned in sorted-name order. The executor resolves each scanned name
+/// to its id once and keys every per-relation cache (hash indexes, morsel
+/// tasks) on the id — no `String` clone or string hash on the hot path.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct InternedInstance {
     dict: Dictionary,
-    relations: HashMap<String, ColumnarRelation>,
+    /// Relation names in id order (sorted, so ids are deterministic).
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+    relations: Vec<ColumnarRelation>,
 }
 
 impl InternedInstance {
-    /// Interns an instance: builds the dictionary and encodes every relation
-    /// column by column (via [`nev_incomplete::Relation::column`]).
+    /// Interns an instance: builds the dictionary, encodes every relation
+    /// column by column (via [`nev_incomplete::Relation::column`]), and assigns
+    /// relation ids `0..n` in sorted-name order.
     pub fn new(d: &Instance) -> Self {
         let dict = Dictionary::from_instance(d);
-        let relations = d
+        let mut encoded: Vec<(String, ColumnarRelation)> = d
             .relations()
             .map(|r| {
                 let cols: Vec<Vec<u32>> = (0..r.arity())
@@ -140,7 +147,21 @@ impl InternedInstance {
                 (r.name().to_string(), rel)
             })
             .collect();
-        InternedInstance { dict, relations }
+        encoded.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut names = Vec::with_capacity(encoded.len());
+        let mut ids = HashMap::with_capacity(encoded.len());
+        let mut relations = Vec::with_capacity(encoded.len());
+        for (id, (name, rel)) in encoded.into_iter().enumerate() {
+            ids.insert(name.clone(), id as u32);
+            names.push(name);
+            relations.push(rel);
+        }
+        InternedInstance {
+            dict,
+            names,
+            ids,
+            relations,
+        }
     }
 
     /// The interning dictionary.
@@ -150,7 +171,35 @@ impl InternedInstance {
 
     /// Looks up a relation's columnar batch by name.
     pub fn relation(&self, name: &str) -> Option<&ColumnarRelation> {
-        self.relations.get(name)
+        self.ids.get(name).map(|&id| &self.relations[id as usize])
+    }
+
+    /// The dense id of a relation, if the instance has one by that name. Ids
+    /// are assigned in sorted-name order, so they are stable across re-interns
+    /// of equal instances.
+    pub fn relation_id(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// The columnar batch behind a relation id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn relation_by_id(&self, id: u32) -> &ColumnarRelation {
+        &self.relations[id as usize]
+    }
+
+    /// The name behind a relation id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn relation_name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// The number of relations in the instance.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
     }
 }
 
@@ -198,5 +247,27 @@ mod tests {
             assert!(d.contains_tuple("R", &decoded.into_iter().collect()));
         }
         assert!(interned.relation("T").is_none());
+    }
+
+    #[test]
+    fn relation_ids_are_dense_and_sorted_by_name() {
+        let d = sample();
+        let interned = InternedInstance::new(&d);
+        assert_eq!(interned.relation_count(), 2);
+        let r = interned.relation_id("R").expect("R has an id");
+        let s = interned.relation_id("S").expect("S has an id");
+        assert_eq!((r, s), (0, 1), "ids follow sorted-name order");
+        assert_eq!(interned.relation_name(r), "R");
+        assert_eq!(interned.relation_name(s), "S");
+        assert_eq!(interned.relation_id("T"), None);
+        // Id and name lookups resolve to the same batch.
+        assert_eq!(
+            interned.relation_by_id(r),
+            interned.relation("R").expect("R interned")
+        );
+        // Re-interning an equal instance assigns the same ids.
+        let again = InternedInstance::new(&sample());
+        assert_eq!(again.relation_id("R"), Some(r));
+        assert_eq!(again.relation_id("S"), Some(s));
     }
 }

@@ -19,8 +19,11 @@
 //!   deduplication, complement → anti-join, pad absorption, union flattening)
 //!   plus an execution-time greedy join-order search seeded from real
 //!   base-relation cardinalities;
-//! * [`exec`] — the executor, with the [`ExecStats`] counter block (rows scanned,
-//!   hash probes, index builds, fallbacks, rules fired, joins reordered);
+//! * [`exec`] — the vectorised executor: column-major batches, allocation-free
+//!   hash kernels, and **morsel-driven parallelism** over a shared
+//!   [`nev_runtime::WorkerPool`] (opt in via [`ExecOptions`]), with the
+//!   [`ExecStats`] counter block (rows scanned, hash probes, index builds,
+//!   fallbacks, rules fired, joins reordered, morsels dispatched);
 //! * [`stats`] — the counters themselves.
 //!
 //! The crate is semantics-complete over the executable core: for every query it
@@ -61,7 +64,7 @@ pub mod rules;
 pub mod stats;
 
 pub use algebra::{PlanNode, ScanTerm};
-pub use exec::ExecOutput;
+pub use exec::{ExecOptions, ExecOutput, DEFAULT_MORSEL_ROWS};
 pub use intern::{ColumnarRelation, Dictionary, InternedInstance};
 pub use lower::{CompileError, CompiledQuery, CompilerConfig};
 pub use optimize::greedy_join_order;

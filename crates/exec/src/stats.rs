@@ -32,6 +32,14 @@ pub struct ExecStats {
     /// executions merged into this block (compare with `intermediate_rows` to see
     /// how far off the uniformity assumptions were).
     pub estimated_rows: u64,
+    /// Morsels dispatched on the shared worker pool (scan chunks, join build
+    /// partitions, probe chunks). Zero on a purely sequential execution; a pure
+    /// function of the data and the morsel size, never of the worker count.
+    pub morsels_dispatched: u64,
+    /// Column batches produced by morsel tasks (scan and probe chunks).
+    pub batches_processed: u64,
+    /// Hash joins that ran the partitioned parallel build/probe path.
+    pub parallel_joins: u64,
 }
 
 impl ExecStats {
@@ -59,6 +67,9 @@ impl ExecStats {
         self.rules_fired += other.rules_fired;
         self.joins_reordered += other.joins_reordered;
         self.estimated_rows += other.estimated_rows;
+        self.morsels_dispatched += other.morsels_dispatched;
+        self.batches_processed += other.batches_processed;
+        self.parallel_joins += other.parallel_joins;
     }
 
     /// Returns `true` iff every counter is zero (no compiled work, no fallbacks).
@@ -72,7 +83,7 @@ impl fmt::Display for ExecStats {
         write!(
             f,
             "scanned={} probes={} indexes={} intermediate={} fallbacks={} rules={} \
-             reordered={} estimated={}",
+             reordered={} estimated={} morsels={} batches={} parallel_joins={}",
             self.rows_scanned,
             self.hash_probes,
             self.index_builds,
@@ -80,7 +91,10 @@ impl fmt::Display for ExecStats {
             self.fallbacks,
             self.rules_fired,
             self.joins_reordered,
-            self.estimated_rows
+            self.estimated_rows,
+            self.morsels_dispatched,
+            self.batches_processed,
+            self.parallel_joins
         )
     }
 }
@@ -100,6 +114,9 @@ mod tests {
             rules_fired: 2,
             joins_reordered: 1,
             estimated_rows: 8,
+            morsels_dispatched: 5,
+            batches_processed: 5,
+            parallel_joins: 1,
         };
         a.merge(&ExecStats::fallback());
         a.merge(&ExecStats {
@@ -111,6 +128,9 @@ mod tests {
         assert_eq!(a.rules_fired, 2);
         assert_eq!(a.joins_reordered, 1);
         assert_eq!(a.estimated_rows, 8);
+        assert_eq!(a.morsels_dispatched, 5);
+        assert_eq!(a.batches_processed, 5);
+        assert_eq!(a.parallel_joins, 1);
         assert!(!a.is_empty());
         assert!(ExecStats::new().is_empty());
     }
@@ -123,5 +143,8 @@ mod tests {
         assert!(s.contains("rules=0"));
         assert!(s.contains("reordered=0"));
         assert!(s.contains("estimated=0"));
+        assert!(s.contains("morsels=0"));
+        assert!(s.contains("batches=0"));
+        assert!(s.contains("parallel_joins=0"));
     }
 }

@@ -1,0 +1,27 @@
+//! `nev-runtime` — the shared execution runtime of the `naive-eval` workspace.
+//!
+//! This crate holds the infrastructure that *both* the execution engine
+//! (`nev-exec`, for morsel-driven parallel scans and joins inside a single
+//! certified naïve pass) and the serving layer (`nev-serve`, for parallel
+//! request handling and the chunked possible-world oracle) need: a
+//! work-stealing [`WorkerPool`] with caller-helps semantics and deterministic,
+//! order-preserving parallel maps.
+//!
+//! It lives below every other `nev-*` crate (dependencies: `std` only) so that
+//! `nev-exec` can parallelise operator pipelines without depending on the
+//! serving layer — the dependency arrow is `serve → exec → runtime`, never a
+//! cycle. `nev-serve` re-exports [`WorkerPool`] for backwards compatibility,
+//! so existing `nev_serve::pool::WorkerPool` imports keep working.
+
+pub mod pool;
+
+pub use pool::WorkerPool;
+
+/// The worker count configured through the `NEV_WORKERS` environment variable,
+/// if set to a parseable `usize`. This is the **one** knob every consumer of
+/// the shared pool reads: `nev-serve` defaults its pool size to it, and the
+/// `figure1` harness defaults `--threads` to it — so thread counts are
+/// configured in exactly one place.
+pub fn env_workers() -> Option<usize> {
+    std::env::var("NEV_WORKERS").ok()?.trim().parse().ok()
+}

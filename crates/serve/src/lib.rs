@@ -19,11 +19,21 @@
 //!         │              optimised plan, keyed canonical rendering × semantics)
 //!         ├──► oracle   (possible-world stream chunked across the pool,
 //!         │              early-exit cancellation; verdicts ≡ sequential)
-//!         ├──► pool     (work-stealing deques, caller-helps, deterministic maps)
+//!         ├──► pool     (re-export of nev_runtime::WorkerPool: work-stealing
+//!         │              deques, caller-helps, deterministic maps — shared by
+//!         │              request batches, oracle chunks and exec morsels)
 //!         ├──► stats    (relaxed atomic counters behind STATS)
 //!         └──► wire     (line-protocol grammar, canonical rendering)
 //! client (blocking protocol client, seeded load generator, self-check)
 //! ```
+//!
+//! The pool itself lives in the **`nev-runtime`** crate, below `nev-exec` in
+//! the dependency order, so the execution engine can dispatch morsel-driven
+//! parallel scans and joins on the *same* threads that serve requests: one
+//! `ServeState` holds one `Arc<WorkerPool>`, hands it to its engine's
+//! [`nev_exec::ExecOptions`], and sizes it from [`ServeConfig::workers`]
+//! (defaulting to the `NEV_WORKERS` environment variable via
+//! [`env_workers`]).
 //!
 //! Correctness invariants, each backed by a test suite:
 //!
@@ -56,6 +66,7 @@ pub mod wire;
 pub use cache::PlanCache;
 pub use catalog::Catalog;
 pub use client::{run_load, self_check, workload, Client, LoadReport};
+pub use nev_runtime::env_workers;
 pub use oracle::{parallel_certain_answers, OracleOutcome};
 pub use pool::WorkerPool;
 pub use server::{Server, ServerHandle};

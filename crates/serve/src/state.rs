@@ -27,7 +27,9 @@ use std::sync::Arc;
 
 use nev_core::engine::{CertainEngine, EngineError, EvalPlan, PreparedQuery};
 use nev_core::{Semantics, WorldBounds};
+use nev_exec::{ExecOptions, DEFAULT_MORSEL_ROWS};
 use nev_incomplete::{Instance, Tuple};
+use nev_runtime::env_workers;
 
 use crate::cache::PlanCache;
 use crate::catalog::Catalog;
@@ -47,15 +49,21 @@ pub struct ServeConfig {
     pub bounds: WorldBounds,
     /// Worlds per parallel-oracle chunk.
     pub oracle_chunk: usize,
+    /// Rows per exec-layer morsel on the shared pool (certified naïve passes).
+    pub morsel_rows: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            workers: 4,
+            // Thread counts are configured in exactly one place: NEV_WORKERS
+            // (when set) sizes the shared pool for the request path, the
+            // parallel oracle, and the exec morsel path alike.
+            workers: env_workers().unwrap_or(4),
             cache_capacity: 256,
             bounds: WorldBounds::default(),
             oracle_chunk: DEFAULT_CHUNK,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
         }
     }
 }
@@ -168,19 +176,27 @@ pub struct ServeState {
     engine: CertainEngine,
     catalog: Catalog,
     cache: PlanCache,
-    pool: WorkerPool,
+    pool: Arc<WorkerPool>,
     stats: ServeStats,
     oracle_chunk: usize,
 }
 
 impl ServeState {
-    /// Builds a service from its configuration.
+    /// Builds a service from its configuration. The worker pool is **shared**:
+    /// the same threads serve batched requests, parallel-oracle world chunks,
+    /// and the exec layer's scan/join morsels (the engine is handed an `Arc` of
+    /// the pool through its [`ExecOptions`]).
     pub fn new(config: ServeConfig) -> Self {
+        let pool = Arc::new(WorkerPool::new(config.workers));
+        let engine = CertainEngine::with_bounds(config.bounds).with_exec_options(ExecOptions {
+            pool: Some(Arc::clone(&pool)),
+            morsel_rows: config.morsel_rows.max(1),
+        });
         ServeState {
-            engine: CertainEngine::with_bounds(config.bounds),
+            engine,
             catalog: Catalog::new(),
             cache: PlanCache::new(config.cache_capacity),
-            pool: WorkerPool::new(config.workers),
+            pool,
             stats: ServeStats::new(),
             oracle_chunk: config.oracle_chunk.max(1),
         }
@@ -241,9 +257,18 @@ impl ServeState {
         let plan = self.cache.get_or_prepare(query_text, semantics)?;
         let dispatch = PlanKind::of(&self.engine.plan(&instance, semantics, &plan.prepared));
         ServeStats::bump(&self.stats.explains);
+        let exec = self.engine.exec_options();
+        let runtime = format!(
+            "exec_workers={} morsel_rows={}",
+            exec.workers(),
+            exec.morsel_rows
+        );
         Ok(match plan.prepared.compiled() {
-            Some(compiled) => format!("dispatch={dispatch} {}", compiled.explain_compact()),
-            None => format!("dispatch={dispatch} compiled=false"),
+            Some(compiled) => format!(
+                "dispatch={dispatch} {} {runtime}",
+                compiled.explain_compact()
+            ),
+            None => format!("dispatch={dispatch} compiled=false {runtime}"),
         })
     }
 
@@ -282,7 +307,11 @@ impl ServeState {
                 if plan.is_compiled() {
                     ServeStats::bump(&self.stats.compiled);
                 }
-                let (naive, _exec) = prepared.naive_answers(instance);
+                // Through the engine, so the pass runs under the shared pool's
+                // ExecOptions (morsel-parallel scans and joins on large data).
+                let (naive, exec) = self.engine.naive_answers(instance, prepared);
+                ServeStats::add(&self.stats.morsels, exec.morsels_dispatched);
+                ServeStats::add(&self.stats.parallel_joins, exec.parallel_joins);
                 EvalResponse {
                     plan: PlanKind::of(&plan),
                     certain: naive,

@@ -30,6 +30,11 @@ pub struct ServeStats {
     pub worlds: AtomicU64,
     /// Oracle runs cut short by early-exit cancellation.
     pub oracle_cancelled: AtomicU64,
+    /// Exec-layer morsels dispatched on the shared pool by certified naïve
+    /// passes (scan chunks, join build partitions, probe chunks).
+    pub morsels: AtomicU64,
+    /// Hash joins that ran the exec layer's partitioned parallel path.
+    pub parallel_joins: AtomicU64,
 }
 
 impl ServeStats {
@@ -62,6 +67,8 @@ impl ServeStats {
             oracle: self.oracle.load(Ordering::Relaxed),
             worlds: self.worlds.load(Ordering::Relaxed),
             oracle_cancelled: self.oracle_cancelled.load(Ordering::Relaxed),
+            morsels: self.morsels.load(Ordering::Relaxed),
+            parallel_joins: self.parallel_joins.load(Ordering::Relaxed),
         }
     }
 }
@@ -92,6 +99,10 @@ pub struct StatsSnapshot {
     pub worlds: u64,
     /// See [`ServeStats::oracle_cancelled`].
     pub oracle_cancelled: u64,
+    /// See [`ServeStats::morsels`].
+    pub morsels: u64,
+    /// See [`ServeStats::parallel_joins`].
+    pub parallel_joins: u64,
 }
 
 impl fmt::Display for StatsSnapshot {
@@ -99,7 +110,7 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "requests={} loads={} prepares={} evals={} explains={} errors={} certified={} \
-             compiled={} oracle={} worlds={} oracle_cancelled={}",
+             compiled={} oracle={} worlds={} oracle_cancelled={} morsels={} parallel_joins={}",
             self.requests,
             self.loads,
             self.prepares,
@@ -110,7 +121,9 @@ impl fmt::Display for StatsSnapshot {
             self.compiled,
             self.oracle,
             self.worlds,
-            self.oracle_cancelled
+            self.oracle_cancelled,
+            self.morsels,
+            self.parallel_joins
         )
     }
 }
@@ -132,5 +145,7 @@ mod tests {
         let rendered = snap.to_string();
         assert!(rendered.contains("requests=2"));
         assert!(rendered.contains("worlds=7"));
+        assert!(rendered.contains("morsels=0"));
+        assert!(rendered.contains("parallel_joins=0"));
     }
 }

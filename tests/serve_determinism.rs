@@ -4,10 +4,11 @@
 //!
 //! 1. **Figure 1 determinism** — routing cell validation through the worker pool
 //!    (the `figure1 --threads` path) renders a byte-identical Markdown table at
-//!    1, 2 and 8 workers for the same seed;
+//!    0, 1, 2 and 8 workers for the same seed;
 //! 2. **service determinism** — the seeded load-generator workload produces
-//!    byte-identical response lines (certain-answer sets included) at 1, 2 and 8
-//!    workers;
+//!    byte-identical response lines (certain-answer sets included) at 0, 1, 2
+//!    and 8 workers, including with morsels small enough that the certified
+//!    exec path fans scans and joins out across the shared pool;
 //! 3. **parallel ≡ sequential** — a proptest over seeded workloads of all five
 //!    fragments: the chunked parallel oracle's verdict equals the engine's
 //!    sequential oracle on every trial, for every chunk size tried.
@@ -25,7 +26,20 @@ use naive_eval::serve::oracle::parallel_certain_answers;
 use naive_eval::serve::state::{ServeConfig, ServeState};
 use naive_eval::serve::{workload, WorkerPool};
 
-const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+// Zero workers is the caller-helps degenerate pool: genuinely sequential, so
+// every parallel rendering is checked against a no-thread baseline too.
+const WORKER_COUNTS: [usize; 4] = [0, 1, 2, 8];
+
+/// Every transcript must match the first (the workers=0 sequential baseline).
+fn assert_all_identical<T: PartialEq + std::fmt::Debug>(outputs: &[T]) {
+    for (i, output) in outputs.iter().enumerate().skip(1) {
+        assert_eq!(
+            &outputs[0], output,
+            "workers={} diverged from workers={}",
+            WORKER_COUNTS[i], WORKER_COUNTS[0]
+        );
+    }
+}
 
 fn bounds() -> WorldBounds {
     WorldBounds {
@@ -52,8 +66,7 @@ fn figure1_tables_are_byte_identical_across_worker_counts() {
         });
         tables.push(render_markdown(&outcomes));
     }
-    assert_eq!(tables[0], tables[1], "1 vs 2 workers");
-    assert_eq!(tables[1], tables[2], "2 vs 8 workers");
+    assert_all_identical(&tables);
     assert!(tables[0].contains("OWA"), "the table rendered");
 }
 
@@ -84,11 +97,55 @@ fn served_responses_are_byte_identical_across_worker_counts() {
             .collect();
         transcripts.push(responses);
     }
-    assert_eq!(transcripts[0], transcripts[1], "1 vs 2 workers");
-    assert_eq!(transcripts[1], transcripts[2], "2 vs 8 workers");
+    assert_all_identical(&transcripts);
     assert!(
         transcripts[0].iter().any(|r| r.contains("plan=oracle")),
         "the workload exercised the parallel oracle: {transcripts:?}"
+    );
+}
+
+/// The certified exec path through the shared pool: with single-row morsels the
+/// compiled executor fans scans and joins out across workers, and the rendered
+/// certain-answer sets must still be byte-identical at every worker count.
+#[test]
+fn morsel_driven_exec_responses_are_byte_identical_across_worker_counts() {
+    let generated = workload(20130701, 2, 18);
+    let mut transcripts: Vec<Vec<String>> = Vec::new();
+    for workers in WORKER_COUNTS {
+        let state = ServeState::new(ServeConfig {
+            workers,
+            bounds: bounds(),
+            // Absurdly fine granularity so even the small seeded instances
+            // cross the 2×morsel fan-out threshold inside nev-exec.
+            morsel_rows: 1,
+            ..ServeConfig::default()
+        });
+        for (name, instance) in &generated.instances {
+            state.load(name.clone(), instance.clone());
+        }
+        let responses: Vec<String> = generated
+            .requests
+            .iter()
+            .map(|request| {
+                state
+                    .eval(&request.instance, request.semantics, &request.query)
+                    .map(|r| r.render())
+                    .unwrap_or_else(|e| format!("ERR {e}"))
+            })
+            .collect();
+        let snapshot = state.stats().snapshot();
+        if workers >= 2 {
+            assert!(
+                snapshot.morsels > 0,
+                "workers={workers}: single-row morsels engaged the exec fan-out"
+            );
+        }
+        transcripts.push(responses);
+    }
+    assert_all_identical(&transcripts);
+    assert!(
+        transcripts[0].iter().any(|r| r.contains("plan=compiled")),
+        "the workload exercised the certified exec path: {transcripts:?}"
     );
 }
 
@@ -127,8 +184,7 @@ fn batched_responses_are_byte_identical_across_worker_counts() {
                 .collect(),
         );
     }
-    assert_eq!(transcripts[0], transcripts[1], "1 vs 2 workers");
-    assert_eq!(transcripts[1], transcripts[2], "2 vs 8 workers");
+    assert_all_identical(&transcripts);
 }
 
 const FRAGMENTS: [Fragment; 5] = [
