@@ -1,0 +1,115 @@
+//! Experiment E13: the PTIME symbolic pipeline vs the bounded oracle across null
+//! density.
+//!
+//! The [`null_density_workload`] family sweeps the number of independent nulls in a
+//! unary relation past the oracle's feasibility wall: under WCWA the bounded
+//! enumeration visits exponentially many worlds in the null count, so a capped
+//! oracle run stops answering exactly (its `truncated` flag comes up) at a modest
+//! density. The symbolic paths never hit the wall:
+//!
+//! * **sandwich_certified** — `CertainEngine::evaluate` on the query the
+//!   Kleene/naïve sandwich closes: an exact verdict with *zero* worlds enumerated,
+//!   at every density;
+//! * **kleene_under_approx** — `CertainEngine::symbolic_under_approximation` on the
+//!   query the sandwich leaves open: the sound PTIME under-approximation, still
+//!   polynomial where the oracle below has long since truncated;
+//! * **bounded_oracle** — `CertainEngine::compare` on the same open query with a
+//!   deliberately low world cap: cheap before the wall, a capped exhaustive sweep
+//!   (flagged truncated) past it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nev_bench::workloads::{null_density_workload, sandwich_certified_query, sandwich_open_query};
+use nev_core::engine::{CertainEngine, PreparedQuery};
+use nev_core::{Semantics, WorldBounds};
+
+/// Null counts swept by the polynomial symbolic paths.
+const SYMBOLIC_DENSITIES: [u32; 4] = [4, 8, 16, 32];
+
+/// Null counts swept by the capped oracle — the wall sits inside this range.
+const ORACLE_DENSITIES: [u32; 3] = [2, 4, 8];
+
+/// A deliberately low world cap so the oracle's feasibility wall sits at a
+/// CI-friendly null count instead of the default 500k-world budget.
+fn capped_bounds() -> WorldBounds {
+    WorldBounds {
+        max_worlds: 256,
+        ..WorldBounds::default()
+    }
+}
+
+/// The sandwich-certified path: exact answers, zero worlds, any density.
+fn bench_sandwich_certified(c: &mut Criterion) {
+    let engine = CertainEngine::new();
+    let query = PreparedQuery::new(sandwich_certified_query());
+    let mut group = c.benchmark_group("symbolic_pipeline");
+    for nulls in SYMBOLIC_DENSITIES {
+        let d = null_density_workload(nulls);
+        // The whole point of the path: dispatch certifies without enumeration.
+        let evaluation = engine.evaluate(&d, Semantics::Wcwa, &query);
+        assert!(
+            evaluation.plan.is_symbolic(),
+            "sandwich closes at k={nulls}"
+        );
+        assert_eq!(evaluation.worlds_enumerated, 0);
+        group.bench_with_input(BenchmarkId::new("sandwich_certified", nulls), &d, |b, d| {
+            b.iter(|| engine.evaluate(d, Semantics::Wcwa, &query).certain.len())
+        });
+    }
+    group.finish();
+}
+
+/// The Kleene under-approximation on the open query: sound and polynomial at
+/// densities where the bounded oracle has long since truncated.
+fn bench_kleene_under_approx(c: &mut Criterion) {
+    let engine = CertainEngine::new();
+    let query = PreparedQuery::new(sandwich_open_query());
+    let mut group = c.benchmark_group("symbolic_pipeline");
+    for nulls in SYMBOLIC_DENSITIES {
+        let d = null_density_workload(nulls);
+        group.bench_with_input(
+            BenchmarkId::new("kleene_under_approx", nulls),
+            &d,
+            |b, d| {
+                b.iter(|| {
+                    engine
+                        .symbolic_under_approximation(d, Semantics::Wcwa, &query)
+                        .certain
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The capped bounded oracle on the open query: past the feasibility wall every
+/// run exhausts the cap and raises the truncation flag.
+fn bench_bounded_oracle(c: &mut Criterion) {
+    let engine = CertainEngine::with_bounds(capped_bounds());
+    let query = PreparedQuery::new(sandwich_open_query());
+    // Record the wall itself: at the top density the oracle truncates while the
+    // symbolic path above still answers in polynomial time.
+    let wall = null_density_workload(*ORACLE_DENSITIES.last().unwrap());
+    let at_wall = engine.compare(&wall, Semantics::Wcwa, &query);
+    assert!(
+        at_wall.truncated,
+        "the capped oracle truncates past the wall"
+    );
+    let mut group = c.benchmark_group("symbolic_pipeline");
+    for nulls in ORACLE_DENSITIES {
+        let d = null_density_workload(nulls);
+        group.bench_with_input(BenchmarkId::new("bounded_oracle", nulls), &d, |b, d| {
+            b.iter(|| engine.compare(d, Semantics::Wcwa, &query).certain.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sandwich_certified,
+    bench_kleene_under_approx,
+    bench_bounded_oracle
+);
+criterion_main!(benches);

@@ -101,6 +101,10 @@ pub struct CellOutcome {
     /// Trials on which that fast path would have run on the compiled `nev-exec`
     /// pipeline (the query's shape compiled; the rest fall back to the interpreter).
     pub compiled_plans: usize,
+    /// Trials on which the symbolic probe would have retired the oracle: the cell is
+    /// not certified, but conditional tables or the Kleene/naïve sandwich close on
+    /// the trial's instance, so dispatch answers exactly with zero worlds.
+    pub symbolic_plans: usize,
     /// Human-readable descriptions of the first few disagreements found.
     pub counterexamples: Vec<String>,
 }
@@ -155,6 +159,7 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
     let mut sound = 0;
     let mut certified_naive = 0;
     let mut compiled_plans = 0;
+    let mut symbolic_plans = 0;
     let mut counterexamples = Vec::new();
 
     for trial in 0..config.trials {
@@ -187,6 +192,12 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
         if plan.is_compiled() {
             compiled_plans += 1;
         }
+        if engine
+            .plan_with_symbolic(&instance, semantics, &prepared)
+            .is_symbolic()
+        {
+            symbolic_plans += 1;
+        }
         let report = engine.compare(&instance, semantics, &prepared);
         if report.agrees() {
             agreements += 1;
@@ -210,6 +221,7 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
         sound,
         certified_naive,
         compiled_plans,
+        symbolic_plans,
         counterexamples,
     }
 }
@@ -261,9 +273,9 @@ pub fn render_markdown(outcomes: &[CellOutcome]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "| semantics | fragment | paper | agreement | sound | certified plan | compiled | status |"
+        "| semantics | fragment | paper | agreement | sound | certified plan | compiled | symbolic | status |"
     );
-    let _ = writeln!(s, "|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(s, "|---|---|---|---|---|---|---|---|---|");
     for o in outcomes {
         let paper = match o.expectation {
             Expectation::Works => "works",
@@ -281,7 +293,7 @@ pub fn render_markdown(outcomes: &[CellOutcome]) -> String {
         };
         let _ = writeln!(
             s,
-            "| {} | {} | {} | {}/{} | {}/{} | {}/{} | {}/{} | {} |",
+            "| {} | {} | {} | {}/{} | {}/{} | {}/{} | {}/{} | {}/{} | {} |",
             o.semantics,
             o.fragment,
             paper,
@@ -292,6 +304,8 @@ pub fn render_markdown(outcomes: &[CellOutcome]) -> String {
             o.certified_naive,
             o.trials,
             o.compiled_plans,
+            o.trials,
+            o.symbolic_plans,
             o.trials,
             status
         );
@@ -351,6 +365,7 @@ mod tests {
             sound: 3,
             certified_naive: 3,
             compiled_plans: 2,
+            symbolic_plans: 1,
             counterexamples: vec![],
         }];
         let md = render_markdown(&outcomes);

@@ -74,6 +74,7 @@ use nev_logic::parser::ParseError;
 use nev_logic::query::QueryError;
 use nev_logic::{parse_query, Fragment, Query};
 use nev_runtime::WorkerPool;
+use nev_symbolic::{cwa_certain_answers, under_approximation, EvalProfile};
 
 use crate::semantics::{Semantics, WorldBounds};
 use crate::summary::{expectation, Expectation};
@@ -379,6 +380,122 @@ fn theorem_for(semantics: Semantics) -> &'static str {
     }
 }
 
+/// Whether a symbolic answer is the exact certain-answer set or a sound subset.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SymbolicMode {
+    /// The symbolic answers **are** the certain answers.
+    Exact,
+    /// The symbolic answers are a sound under-approximation: every returned
+    /// tuple is certain, but certain tuples may be missing.
+    UnderApprox,
+}
+
+impl fmt::Display for SymbolicMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolicMode::Exact => write!(f, "exact"),
+            SymbolicMode::UnderApprox => write!(f, "under-approx"),
+        }
+    }
+}
+
+/// Which PTIME symbolic technique produced the answer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SymbolicTechnique {
+    /// CWA conditional tables: per-candidate `=`/`≠` conditions whose validity
+    /// decides certainty; exact when every surviving condition is
+    /// equality-only ([`nev_symbolic::ctable`]).
+    ConditionalTables,
+    /// The sandwich: the Kleene under-approximation coincided with the naïve
+    /// over-approximation, pinning the certain answers from both sides.
+    Sandwich,
+    /// Plain unknown-as-false Kleene evaluation, reported as an
+    /// under-approximation without an exactness claim.
+    Kleene,
+}
+
+impl fmt::Display for SymbolicTechnique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolicTechnique::ConditionalTables => write!(f, "conditional tables"),
+            SymbolicTechnique::Sandwich => write!(f, "sandwich"),
+            SymbolicTechnique::Kleene => write!(f, "3-valued Kleene"),
+        }
+    }
+}
+
+/// A machine-checkable justification for answering a non-guaranteed Figure 1
+/// cell without enumerating worlds: which PTIME technique ran and what it
+/// proved (exactness or mere soundness).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SymbolicCertificate {
+    /// The semantics of the cell.
+    pub semantics: Semantics,
+    /// The query fragment of the cell.
+    pub fragment: Fragment,
+    /// Exactness claim of the answer.
+    pub mode: SymbolicMode,
+    /// The technique that produced it.
+    pub technique: SymbolicTechnique,
+    /// For minimal-semantics sandwiches: the instance was verified to be a
+    /// core, the side condition under which the naïve answers over-approximate
+    /// the certain answers (the fresh-injective image is then a possible
+    /// world).
+    pub core_checked: bool,
+}
+
+impl SymbolicCertificate {
+    /// Confirms the certificate's claims are internally consistent: exactness
+    /// is only ever claimed by the techniques that can prove it, and the
+    /// minimal-semantics sandwich carries its core side condition.
+    pub fn check(&self) -> bool {
+        match self.technique {
+            SymbolicTechnique::ConditionalTables => {
+                self.semantics == Semantics::Cwa && self.mode == SymbolicMode::Exact
+            }
+            SymbolicTechnique::Sandwich => {
+                self.mode == SymbolicMode::Exact
+                    && (!self.semantics.is_minimal() || self.core_checked)
+            }
+            SymbolicTechnique::Kleene => self.mode == SymbolicMode::UnderApprox,
+        }
+    }
+}
+
+impl fmt::Display for SymbolicCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} × {}: {} via {}{}",
+            self.semantics,
+            self.fragment,
+            self.mode,
+            self.technique,
+            if self.core_checked {
+                " [instance verified to be a core]"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// The per-semantics soundness profile the Kleene evaluator runs under (see
+/// `nev-symbolic`'s [`EvalProfile`] docs for the proofs): OWA closes nothing,
+/// WCWA closes the domain, CWA closes both, and the powerset semantics close
+/// atoms only — via renamed unification — because unions of valuation images
+/// defeat domain closure. The minimal variants inherit their parent's profile
+/// (minimal worlds are a subset of the parent's, so every ∀-world invariant
+/// carries over).
+pub fn symbolic_profile(semantics: Semantics) -> EvalProfile {
+    match semantics {
+        Semantics::Owa => EvalProfile::open_world(),
+        Semantics::Wcwa => EvalProfile::weak_closed(),
+        Semantics::Cwa | Semantics::MinimalCwa => EvalProfile::closed(),
+        Semantics::PowersetCwa | Semantics::MinimalPowersetCwa => EvalProfile::powerset(),
+    }
+}
+
 /// How the engine answers a query on a given instance and semantics.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EvalPlan {
@@ -390,26 +507,48 @@ pub enum EvalPlan {
     /// shape: one tree-walking interpreter pass (recorded as a fallback in
     /// [`ExecStats`]), no world enumeration.
     CertifiedNaive(Certificate),
+    /// No Figure 1 guarantee applies, but a PTIME symbolic technique settled the
+    /// answer without enumerating a single world (see [`SymbolicCertificate`]).
+    /// [`CertainEngine::plan`] never returns this statically — it is the
+    /// evaluation-time upgrade of [`EvalPlan::BoundedEnumeration`] reported by
+    /// [`CertainEngine::evaluate`] and [`CertainEngine::plan_with_symbolic`].
+    Symbolic(SymbolicCertificate),
     /// No guarantee applies: intersect query answers over the bounded possible-world
     /// enumeration.
     BoundedEnumeration,
 }
 
 impl EvalPlan {
-    /// Returns the certificate of a certified plan.
+    /// Returns the certificate of a certified naïve plan. Symbolic plans carry
+    /// a [`SymbolicCertificate`] instead — see [`EvalPlan::symbolic_certificate`].
     pub fn certificate(&self) -> Option<&Certificate> {
         match self {
             EvalPlan::CompiledNaive(cert) | EvalPlan::CertifiedNaive(cert) => Some(cert),
-            EvalPlan::BoundedEnumeration => None,
+            EvalPlan::Symbolic(_) | EvalPlan::BoundedEnumeration => None,
+        }
+    }
+
+    /// Returns the certificate of a symbolic plan.
+    pub fn symbolic_certificate(&self) -> Option<&SymbolicCertificate> {
+        match self {
+            EvalPlan::Symbolic(cert) => Some(cert),
+            _ => None,
         }
     }
 
     /// Returns `true` for the certified naïve fast path (compiled or interpreted).
+    /// Symbolic plans answer without enumeration too, but by a different
+    /// argument — test them with [`EvalPlan::is_symbolic`].
     pub fn is_certified(&self) -> bool {
         matches!(
             self,
             EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)
         )
+    }
+
+    /// Returns `true` for the PTIME symbolic path.
+    pub fn is_symbolic(&self) -> bool {
+        matches!(self, EvalPlan::Symbolic(_))
     }
 
     /// Returns `true` iff the plan executes on the compiled `nev-exec` pipeline.
@@ -434,6 +573,14 @@ pub struct Evaluation {
     /// Number of possible worlds visited to produce this answer (`0` on the
     /// certified path).
     pub worlds_enumerated: usize,
+    /// Whether the bounded oracle's world stream was cut off by
+    /// [`WorldBounds::max_worlds`] *and* the verdict depended on exhausting it.
+    /// A truncated answer is an over-approximation drawn from a world sample,
+    /// not an exact oracle verdict. Early exits (a Boolean counter-world, an
+    /// emptied k-ary intersection) are definitive regardless of the cap, and
+    /// the certified and symbolic paths never enumerate, so those all report
+    /// `false`.
+    pub truncated: bool,
     /// Compiled-execution counters for this answer: rows scanned, hash probes,
     /// and the number of evaluations that fell back to the interpreter because
     /// the query has no compiled plan.
@@ -475,6 +622,10 @@ pub struct BatchEvaluation {
     pub enumeration_passes: usize,
     /// Total number of worlds visited across the batch.
     pub worlds_enumerated: usize,
+    /// Whether the shared world pass was truncated by
+    /// [`WorldBounds::max_worlds`] with unresolved queries still drawing on it
+    /// (see [`Evaluation::truncated`]).
+    pub truncated: bool,
 }
 
 impl BatchEvaluation {
@@ -595,9 +746,11 @@ impl CertainEngine {
         }
     }
 
-    /// Evaluates a query with plan dispatch: certified naïve evaluation when Figure 1
-    /// applies (no world enumeration; compiled when the query has a plan), the
-    /// bounded oracle otherwise.
+    /// Evaluates a query with plan dispatch: certified naïve evaluation when
+    /// Figure 1 applies (no world enumeration; compiled when the query has a
+    /// plan); on non-guaranteed cells the PTIME symbolic ladder — CWA
+    /// conditional tables, then the Kleene/naïve sandwich — and only when the
+    /// sandwich stays open the bounded world-enumeration oracle.
     pub fn evaluate(
         &self,
         d: &Instance,
@@ -613,11 +766,161 @@ impl CertainEngine {
                     certain: naive.clone(),
                     naive,
                     worlds_enumerated: 0,
+                    truncated: false,
                     exec,
                 }
             }
-            EvalPlan::BoundedEnumeration => self.compare(d, semantics, query),
+            EvalPlan::Symbolic(_) | EvalPlan::BoundedEnumeration => {
+                let (naive, mut exec) = naive_answers(d, query, &self.exec);
+                if let Some(eval) = self.symbolic_with_naive(d, semantics, query, &naive, &exec) {
+                    return eval;
+                }
+                let (certain, worlds_enumerated, truncated) =
+                    self.bounded_certain(d, semantics, query, &mut exec);
+                Evaluation {
+                    semantics,
+                    plan: EvalPlan::BoundedEnumeration,
+                    naive,
+                    certain,
+                    worlds_enumerated,
+                    truncated,
+                    exec,
+                }
+            }
         }
+    }
+
+    /// Attempts the PTIME exact symbolic techniques on a non-guaranteed cell.
+    /// Returns `Some` iff one of them *certified* the certain answers — with
+    /// `worlds_enumerated == 0` and an [`EvalPlan::Symbolic`] plan — and `None`
+    /// when the query should fall back to the bounded oracle. Certified
+    /// Figure 1 cells also return `None`: naïve evaluation already answers
+    /// them exactly without any symbolic machinery.
+    pub fn evaluate_symbolic(
+        &self,
+        d: &Instance,
+        semantics: Semantics,
+        query: &PreparedQuery,
+    ) -> Option<Evaluation> {
+        if self.plan(d, semantics, query).is_certified() {
+            return None;
+        }
+        let (naive, exec) = naive_answers(d, query, &self.exec);
+        self.symbolic_with_naive(d, semantics, query, &naive, &exec)
+    }
+
+    /// The unconditional Kleene under-approximation: every returned tuple is a
+    /// certain answer under any semantics (sound for full FO), but certain
+    /// tuples may be missing — the plan carries
+    /// [`SymbolicMode::UnderApprox`] to say so. PTIME, zero worlds enumerated.
+    pub fn symbolic_under_approximation(
+        &self,
+        d: &Instance,
+        semantics: Semantics,
+        query: &PreparedQuery,
+    ) -> Evaluation {
+        let (naive, exec) = naive_answers(d, query, &self.exec);
+        let under = under_approximation(d, query.query(), symbolic_profile(semantics));
+        Evaluation {
+            semantics,
+            plan: EvalPlan::Symbolic(SymbolicCertificate {
+                semantics,
+                fragment: query.fragment(),
+                mode: SymbolicMode::UnderApprox,
+                technique: SymbolicTechnique::Kleene,
+                core_checked: false,
+            }),
+            naive,
+            certain: under,
+            worlds_enumerated: 0,
+            truncated: false,
+            exec,
+        }
+    }
+
+    /// Like [`CertainEngine::plan`], but additionally runs the PTIME symbolic
+    /// probe on non-guaranteed cells: when conditional tables or the sandwich
+    /// would certify the answer, returns the [`EvalPlan::Symbolic`] plan
+    /// [`CertainEngine::evaluate`] would report. Costs up to one naïve pass
+    /// plus the symbolic evaluation — still polynomial, never a world.
+    pub fn plan_with_symbolic(
+        &self,
+        d: &Instance,
+        semantics: Semantics,
+        query: &PreparedQuery,
+    ) -> EvalPlan {
+        match self.plan(d, semantics, query) {
+            EvalPlan::Symbolic(_) | EvalPlan::BoundedEnumeration => {
+                let (naive, exec) = naive_answers(d, query, &self.exec);
+                match self.symbolic_with_naive(d, semantics, query, &naive, &exec) {
+                    Some(eval) => eval.plan,
+                    None => EvalPlan::BoundedEnumeration,
+                }
+            }
+            plan => plan,
+        }
+    }
+
+    /// The symbolic ladder, reusing an already-computed naïve pass: (1) under
+    /// CWA, conditional tables — exact whenever the surviving conditions are
+    /// equality-only; (2) the sandwich — the Kleene under-approximation `U`
+    /// satisfies `U ⊆ certain`, and `certain ⊆ naive` whenever the
+    /// fresh-injective image of `d` is a possible world (always, except under
+    /// the minimal semantics off cores), so `U == naive` pins the certain
+    /// answers exactly. Returns `None` when neither technique certifies.
+    fn symbolic_with_naive(
+        &self,
+        d: &Instance,
+        semantics: Semantics,
+        query: &PreparedQuery,
+        naive: &BTreeSet<Tuple>,
+        exec: &ExecStats,
+    ) -> Option<Evaluation> {
+        let certificate = |mode, technique, core_checked| SymbolicCertificate {
+            semantics,
+            fragment: query.fragment(),
+            mode,
+            technique,
+            core_checked,
+        };
+        if semantics == Semantics::Cwa {
+            let report = cwa_certain_answers(d, query.query());
+            if report.exact {
+                return Some(Evaluation {
+                    semantics,
+                    plan: EvalPlan::Symbolic(certificate(
+                        SymbolicMode::Exact,
+                        SymbolicTechnique::ConditionalTables,
+                        false,
+                    )),
+                    naive: naive.clone(),
+                    certain: report.answers,
+                    worlds_enumerated: 0,
+                    truncated: false,
+                    exec: *exec,
+                });
+            }
+        }
+        let core_checked = semantics.is_minimal() && is_core(d);
+        if !semantics.is_minimal() || core_checked {
+            let under = under_approximation(d, query.query(), symbolic_profile(semantics));
+            if under == *naive {
+                return Some(Evaluation {
+                    semantics,
+                    plan: EvalPlan::Symbolic(certificate(
+                        SymbolicMode::Exact,
+                        SymbolicTechnique::Sandwich,
+                        core_checked,
+                    )),
+                    naive: naive.clone(),
+                    certain: under,
+                    worlds_enumerated: 0,
+                    truncated: false,
+                    exec: *exec,
+                });
+            }
+        }
+        None
     }
 
     /// Decides a Boolean query with plan dispatch. Returns
@@ -655,13 +958,15 @@ impl CertainEngine {
     /// the theorems that [`CertainEngine::evaluate`] *assumes*.
     pub fn compare(&self, d: &Instance, semantics: Semantics, query: &PreparedQuery) -> Evaluation {
         let (naive, mut exec) = naive_answers(d, query, &self.exec);
-        let (certain, worlds_enumerated) = self.bounded_certain(d, semantics, query, &mut exec);
+        let (certain, worlds_enumerated, truncated) =
+            self.bounded_certain(d, semantics, query, &mut exec);
         Evaluation {
             semantics,
             plan: EvalPlan::BoundedEnumeration,
             naive,
             certain,
             worlds_enumerated,
+            truncated,
             exec,
         }
     }
@@ -708,6 +1013,7 @@ impl CertainEngine {
         struct PendingQuery {
             index: usize,
             allowed: BTreeSet<Constant>,
+            naive: BTreeSet<Tuple>,
             acc: Option<BTreeSet<Tuple>>,
             resolved: bool,
             exec: ExecStats,
@@ -726,10 +1032,20 @@ impl CertainEngine {
                         certain: naive.clone(),
                         naive,
                         worlds_enumerated: 0,
+                        truncated: false,
                         exec,
                     });
                 }
-                EvalPlan::BoundedEnumeration => {
+                EvalPlan::Symbolic(_) | EvalPlan::BoundedEnumeration => {
+                    // The naïve pass is needed either way — by the symbolic
+                    // sandwich now or as the pending query's over-approximation
+                    // report later — so it is computed once, here.
+                    let (naive, exec) = naive_answers(d, query, &self.exec);
+                    if let Some(eval) = self.symbolic_with_naive(d, semantics, query, &naive, &exec)
+                    {
+                        results[index] = Some(eval);
+                        continue;
+                    }
                     merged
                         .extra_constants
                         .extend(query.constants().iter().cloned());
@@ -738,9 +1054,10 @@ impl CertainEngine {
                     pending.push(PendingQuery {
                         index,
                         allowed,
+                        naive,
                         acc: None,
                         resolved: false,
-                        exec: ExecStats::new(),
+                        exec,
                     });
                 }
             }
@@ -748,8 +1065,10 @@ impl CertainEngine {
 
         let enumeration_passes = usize::from(!pending.is_empty());
         let mut worlds_enumerated = 0usize;
+        let mut batch_truncated = false;
         if !pending.is_empty() {
-            for world in semantics.worlds(d, &merged) {
+            let mut worlds = semantics.worlds(d, &merged);
+            for world in worlds.by_ref() {
                 worlds_enumerated += 1;
                 let mut all_resolved = true;
                 for p in &mut pending {
@@ -770,18 +1089,20 @@ impl CertainEngine {
                     break;
                 }
             }
+            // Queries that emptied their intersection exited definitively; the
+            // rest drew on the whole stream, so a capped stream taints them.
+            let stream_truncated = worlds.truncated();
             for p in pending {
-                let query = queries[p.index].borrow();
-                let (naive, naive_exec) = naive_answers(d, query, &self.exec);
-                let mut exec = p.exec;
-                exec.merge(&naive_exec);
+                let truncated = !p.resolved && stream_truncated;
+                batch_truncated |= truncated;
                 results[p.index] = Some(Evaluation {
                     semantics,
                     plan: EvalPlan::BoundedEnumeration,
-                    naive,
+                    naive: p.naive,
                     certain: p.acc.unwrap_or_default(),
                     worlds_enumerated,
-                    exec,
+                    truncated,
+                    exec: p.exec,
                 });
             }
         }
@@ -793,6 +1114,7 @@ impl CertainEngine {
                 .collect(),
             enumeration_passes,
             worlds_enumerated,
+            truncated: batch_truncated,
         }
     }
 
@@ -805,18 +1127,25 @@ impl CertainEngine {
     /// executions stay sequential even when the engine carries a pool: worlds
     /// are small and freshly interned, so the profitable parallel axis is
     /// *across* worlds (the serve layer's chunked oracle), not within one.
+    ///
+    /// The third component reports truncation: `true` iff the world stream was
+    /// cut off by [`WorldBounds::max_worlds`] *and* the verdict depended on
+    /// exhausting it. Early exits — a Boolean counter-world, an emptied k-ary
+    /// intersection — are definitive, so they report `false` even when more
+    /// worlds existed beyond the cap.
     fn bounded_certain(
         &self,
         d: &Instance,
         semantics: Semantics,
         query: &PreparedQuery,
         exec: &mut ExecStats,
-    ) -> (BTreeSet<Tuple>, usize) {
+    ) -> (BTreeSet<Tuple>, usize, bool) {
         let bounds = query.bounds(&self.bounds);
         let mut visited = 0usize;
         if query.is_boolean() {
+            let mut worlds = semantics.worlds(d, &bounds);
             let mut certain = true;
-            for world in semantics.worlds(d, &bounds) {
+            for world in worlds.by_ref() {
                 visited += 1;
                 let holds = match query.compiled() {
                     Some(compiled) => {
@@ -834,28 +1163,36 @@ impl CertainEngine {
                     break;
                 }
             }
-            (encode_boolean(certain), visited)
+            // A counter-world is a definitive "not certain"; a "certain" verdict
+            // rests on having seen *every* world, so a capped stream taints it.
+            let truncated = certain && worlds.truncated();
+            (encode_boolean(certain), visited, truncated)
         } else {
             // Certain answers of a generic query can only mention constants of the
             // instance or the query; restricting to them keeps the enumeration's
             // internal fresh constants out of the result.
             let mut allowed = d.constants();
             allowed.extend(query.constants().iter().cloned());
+            let mut worlds = semantics.worlds(d, &bounds);
             let mut certain: Option<BTreeSet<Tuple>> = None;
-            for world in semantics.worlds(d, &bounds) {
+            let mut emptied = false;
+            for world in worlds.by_ref() {
                 visited += 1;
                 let answers = answers_in_world(&world, query, &allowed, exec);
                 let next: BTreeSet<Tuple> = match certain.take() {
                     None => answers,
                     Some(prev) => prev.intersection(&answers).cloned().collect(),
                 };
-                let empty = next.is_empty();
+                emptied = next.is_empty();
                 certain = Some(next);
-                if empty {
+                if emptied {
                     break;
                 }
             }
-            (certain.unwrap_or_default(), visited)
+            // An emptied intersection can only shrink further: definitive. A
+            // non-empty one is an over-approximation if worlds were suppressed.
+            let truncated = !emptied && worlds.truncated();
+            (certain.unwrap_or_default(), visited, truncated)
         }
     }
 }
@@ -1237,5 +1574,197 @@ mod tests {
         assert!(batch.results.is_empty());
         assert_eq!(batch.enumeration_passes, 0);
         assert_eq!(batch.worlds_enumerated, 0);
+        assert!(!batch.truncated);
+    }
+
+    #[test]
+    fn cwa_conditional_tables_retire_the_oracle_on_fo_queries() {
+        let engine = CertainEngine::new();
+        // FO × CWA is NotGuaranteed, but the intro sentence's conditions stay
+        // equality-only on d0, so conditional tables certify it exactly.
+        let q = engine.prepare("exists u . D(u, u)").expect("valid query");
+        assert_eq!(q.fragment(), Fragment::ExistentialPositive);
+        // Force a non-guaranteed cell with a genuinely FO query instead.
+        let q = engine
+            .prepare("exists u v . D(u, v) & !(u = v)")
+            .expect("valid query");
+        assert_eq!(q.fragment(), Fragment::FullFirstOrder);
+        let d = inst! { "D" => [[c(1), c(2)]] };
+        let eval = engine.evaluate(&d, Semantics::Cwa, &q);
+        let cert = eval.plan.symbolic_certificate().expect("symbolic");
+        assert_eq!(cert.technique, SymbolicTechnique::ConditionalTables);
+        assert_eq!(cert.mode, SymbolicMode::Exact);
+        assert!(cert.check());
+        assert_eq!(eval.worlds_enumerated, 0);
+        assert!(!eval.truncated);
+        assert_eq!(eval.certain, engine.compare(&d, Semantics::Cwa, &q).certain);
+        assert!(cert.to_string().contains("conditional tables"));
+    }
+
+    #[test]
+    fn sandwich_certifies_a_false_universal_with_zero_worlds() {
+        let engine = CertainEngine::new();
+        // Pos × OWA is NotGuaranteed. On a broken chain the naïve answer is
+        // already false, and U = N = ∅ pins "not certain" with zero worlds.
+        let q = engine
+            .prepare("forall u . exists v . R(u, v)")
+            .expect("valid query");
+        let d = inst! { "R" => [[c(1), x(1)]] };
+        let eval = engine.evaluate(&d, Semantics::Owa, &q);
+        let cert = eval.plan.symbolic_certificate().expect("symbolic");
+        assert_eq!(cert.technique, SymbolicTechnique::Sandwich);
+        assert_eq!(cert.mode, SymbolicMode::Exact);
+        assert!(cert.check());
+        assert_eq!(eval.worlds_enumerated, 0);
+        assert!(!eval.is_certainly_true());
+        assert_eq!(
+            eval.certain,
+            engine.compare(&d, Semantics::Owa, &q).certain,
+            "sandwich agrees with the oracle"
+        );
+    }
+
+    #[test]
+    fn open_sandwiches_still_fall_back_to_the_oracle() {
+        let engine = CertainEngine::new();
+        // On d0 the naïve answer to the §2.4 sentence is true but the OWA
+        // under-approximation cannot close the ∀: the sandwich stays open and
+        // the oracle refutes — the existing counterexample must survive.
+        let q = engine
+            .prepare("forall u . exists v . D(u, v)")
+            .expect("valid query");
+        let eval = engine.evaluate(&d0(), Semantics::Owa, &q);
+        assert_eq!(eval.plan, EvalPlan::BoundedEnumeration);
+        assert!(eval.worlds_enumerated > 0);
+        assert!(!eval.is_certainly_true());
+    }
+
+    #[test]
+    fn minimal_sandwich_requires_the_core_side_condition() {
+        let engine = CertainEngine::new();
+        let q = engine
+            .prepare("forall u . exists v . D(v, u)")
+            .expect("valid query");
+        assert_eq!(q.fragment(), Fragment::Positive);
+        // Pos × minimal-CWA is WorksOverCores; off cores the plan is the
+        // oracle and the sandwich is *not allowed* to certify (the
+        // fresh-injective image need not be a minimal world).
+        let non_core = inst! { "D" => [[x(1), x(1)], [x(1), x(2)]] };
+        let eval = engine.evaluate(&non_core, Semantics::MinimalCwa, &q);
+        assert!(!eval.plan.is_symbolic(), "no core, no sandwich");
+        // A forged certificate claiming a minimal sandwich without the core
+        // check must fail verification.
+        let forged = SymbolicCertificate {
+            semantics: Semantics::MinimalCwa,
+            fragment: Fragment::Positive,
+            mode: SymbolicMode::Exact,
+            technique: SymbolicTechnique::Sandwich,
+            core_checked: false,
+        };
+        assert!(!forged.check());
+    }
+
+    #[test]
+    fn under_approximation_entry_point_is_sound_everywhere() {
+        let engine = CertainEngine::new();
+        let q = engine.prepare("exists u . !D(u, u)").expect("valid query");
+        for semantics in Semantics::ALL {
+            let under = engine.symbolic_under_approximation(&d0(), semantics, &q);
+            let cert = under.plan.symbolic_certificate().expect("symbolic");
+            assert_eq!(cert.technique, SymbolicTechnique::Kleene);
+            assert_eq!(cert.mode, SymbolicMode::UnderApprox);
+            assert!(cert.check());
+            assert_eq!(under.worlds_enumerated, 0);
+            let oracle = engine.compare(&d0(), semantics, &q);
+            assert!(
+                under.certain.is_subset(&oracle.certain) || oracle.truncated,
+                "{semantics}: under-approximation must stay below the oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_with_symbolic_upgrades_only_certifiable_cells() {
+        let engine = CertainEngine::new();
+        let certifiable = engine
+            .prepare("forall u . exists v . R(u, v)")
+            .expect("valid query");
+        let d = inst! { "R" => [[c(1), x(1)]] };
+        assert_eq!(
+            engine.plan(&d, Semantics::Owa, &certifiable),
+            EvalPlan::BoundedEnumeration,
+            "the static plan never claims symbolic"
+        );
+        assert!(engine
+            .plan_with_symbolic(&d, Semantics::Owa, &certifiable)
+            .is_symbolic());
+        let open = engine
+            .prepare("forall u . exists v . D(u, v)")
+            .expect("valid query");
+        assert_eq!(
+            engine.plan_with_symbolic(&d0(), Semantics::Owa, &open),
+            EvalPlan::BoundedEnumeration
+        );
+        // Certified cells are untouched — and evaluate_symbolic declines them.
+        let certified = engine.prepare("exists u v . D(u, v)").expect("valid");
+        assert!(engine
+            .plan_with_symbolic(&d0(), Semantics::Owa, &certified)
+            .is_certified());
+        assert!(engine
+            .evaluate_symbolic(&d0(), Semantics::Owa, &certified)
+            .is_none());
+    }
+
+    #[test]
+    fn truncated_oracle_verdicts_carry_the_flag() {
+        // Three nulls under OWA exceed a 4-world cap, and the sentence below
+        // holds in every sampled world, so the "certain" verdict leans on the
+        // cut-off stream and must be flagged.
+        let engine = CertainEngine::with_bounds(WorldBounds {
+            max_worlds: 4,
+            ..WorldBounds::default()
+        });
+        let d = inst! { "R" => [[x(1)], [x(2)], [x(3)]] };
+        let q = engine.prepare("exists u . R(u)").expect("valid query");
+        let eval = engine.compare(&d, Semantics::Owa, &q);
+        assert!(eval.is_certainly_true());
+        assert!(eval.truncated, "exhausted a capped stream");
+        // A definitive counter-world clears the flag even under the same cap
+        // (this sentence fails in every world, so the first one refutes it).
+        let refuted = engine.prepare("forall u . R(u) -> !R(u)").expect("valid");
+        let eval = engine.compare(&d, Semantics::Owa, &refuted);
+        assert!(!eval.is_certainly_true());
+        assert!(!eval.truncated, "early exit is definitive");
+        // Untruncated streams never set the flag.
+        let roomy = CertainEngine::new();
+        let eval = roomy.compare(&d0(), Semantics::Owa, &q);
+        assert!(!eval.truncated);
+    }
+
+    #[test]
+    fn batch_results_report_truncation_per_query() {
+        let engine = CertainEngine::with_bounds(WorldBounds {
+            max_worlds: 4,
+            ..WorldBounds::default()
+        });
+        let d = inst! { "R" => [[x(1)], [x(2)], [x(3)]] };
+        // Both queries are FO × WCWA (NotGuaranteed). The first's sandwich
+        // closes (S is absent from every world, naïve and Kleene agree on
+        // false); the second's stays open (naïvely true, Kleene unknown on the
+        // absent S), and its "certain" verdict survives every sampled world.
+        let queries = [
+            engine
+                .prepare("exists u . S(u) & !R(u)")
+                .expect("valid query"),
+            engine
+                .prepare("exists u . R(u) & !S(u)")
+                .expect("valid query"),
+        ];
+        let batch = engine.evaluate_all(&d, Semantics::Wcwa, &queries);
+        assert!(batch.results[0].plan.is_symbolic());
+        assert!(!batch.results[0].truncated);
+        assert_eq!(batch.results[0].worlds_enumerated, 0);
+        assert!(batch.results[1].truncated);
+        assert!(batch.truncated);
     }
 }

@@ -55,6 +55,7 @@ pub mod summary;
 pub mod updates;
 
 pub use engine::{
-    BatchEvaluation, CertainEngine, Certificate, EngineError, EvalPlan, Evaluation, PreparedQuery,
+    symbolic_profile, BatchEvaluation, CertainEngine, Certificate, EngineError, EvalPlan,
+    Evaluation, PreparedQuery, SymbolicCertificate, SymbolicMode, SymbolicTechnique,
 };
 pub use semantics::{ParseSemanticsError, Semantics, WorldBounds, Worlds};

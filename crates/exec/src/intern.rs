@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use nev_incomplete::{Instance, Value};
+use nev_incomplete::{Constant, Instance, Value};
 
 /// A per-instance interning dictionary: a bijection between `adom(D)` and the code
 /// range `0..len`, with constants occupying the low codes.
@@ -27,6 +27,44 @@ impl Dictionary {
     pub fn from_instance(d: &Instance) -> Self {
         let values = d.adom_ordered();
         let const_count = values.iter().take_while(|v| v.is_const()).count() as u32;
+        let codes = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+        Dictionary {
+            values,
+            codes,
+            const_count,
+        }
+    }
+
+    /// Interns the active domain plus a set of extra constants that do not
+    /// occur in the instance (e.g. constants mentioned only by a query).
+    ///
+    /// Extras are appended after the instance's own constants (deduplicated,
+    /// in sorted order) and before the nulls, so the "constants occupy the
+    /// low codes" invariant of [`Dictionary::is_const`] still holds and the
+    /// codes of the instance's own values are unchanged relative to
+    /// [`Dictionary::from_instance`].
+    pub fn from_instance_with_extras<'a, I>(d: &Instance, extras: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Constant>,
+    {
+        let adom = d.adom_ordered();
+        let own_consts = adom.iter().take_while(|v| v.is_const()).count();
+        let mut fresh: Vec<Value> = extras
+            .into_iter()
+            .map(|c| Value::Const(c.clone()))
+            .filter(|v| !adom[..own_consts].contains(v))
+            .collect();
+        fresh.sort();
+        fresh.dedup();
+        let mut values = Vec::with_capacity(adom.len() + fresh.len());
+        values.extend_from_slice(&adom[..own_consts]);
+        values.extend(fresh);
+        let const_count = values.len() as u32;
+        values.extend_from_slice(&adom[own_consts..]);
         let codes = values
             .iter()
             .enumerate()
@@ -229,6 +267,27 @@ mod tests {
         assert_eq!(dict.code(&Value::int(999)), None);
         assert!(!dict.is_empty());
         assert!(Dictionary::from_instance(&Instance::new()).is_empty());
+    }
+
+    #[test]
+    fn extras_extend_the_constant_block_without_moving_nulls_behind_constants() {
+        let d = sample();
+        let extras = [Constant::from(99), Constant::from(1)]; // 1 already interned
+        let dict = Dictionary::from_instance_with_extras(&d, extras.iter());
+        assert_eq!(dict.const_count(), 4, "one genuinely new constant");
+        assert_eq!(dict.len(), 7);
+        let code = dict.code(&Value::int(99)).expect("extra is interned");
+        assert!(dict.is_const(code));
+        // Every interned value still round-trips and nulls stay above the
+        // constant block.
+        for code in 0..dict.len() as u32 {
+            assert_eq!(dict.is_const(code), dict.value(code).is_const());
+            assert_eq!(dict.code(dict.value(code)), Some(code));
+        }
+        // No extras: identical to the plain constructor.
+        let plain = Dictionary::from_instance(&d);
+        let empty = Dictionary::from_instance_with_extras(&d, std::iter::empty());
+        assert_eq!(plain, empty);
     }
 
     #[test]

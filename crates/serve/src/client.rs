@@ -245,11 +245,17 @@ pub fn run_load(
                     let plan = match evaluation.plan {
                         EvalPlan::CompiledNaive(_) => "compiled",
                         EvalPlan::CertifiedNaive(_) => "certified",
+                        EvalPlan::Symbolic(_) => "symbolic",
                         EvalPlan::BoundedEnumeration => "oracle",
                     };
                     format!(
-                        "OK plan={plan} certain={}",
-                        crate::wire::render_answers(&evaluation.certain)
+                        "OK plan={plan} certain={}{}",
+                        crate::wire::render_answers(&evaluation.certain),
+                        if evaluation.truncated {
+                            " truncated=true"
+                        } else {
+                            ""
+                        }
                     )
                 }
             },
@@ -283,11 +289,13 @@ pub fn run_load(
             Some(instance) => match PreparedQuery::parse(&request.query) {
                 Err(e) => format!("ERR {e}"),
                 Ok(prepared) => {
-                    let dispatch = match engine.plan(instance, request.semantics, &prepared) {
-                        EvalPlan::CompiledNaive(_) => "compiled",
-                        EvalPlan::CertifiedNaive(_) => "certified",
-                        EvalPlan::BoundedEnumeration => "oracle",
-                    };
+                    let dispatch =
+                        match engine.plan_with_symbolic(instance, request.semantics, &prepared) {
+                            EvalPlan::CompiledNaive(_) => "compiled",
+                            EvalPlan::CertifiedNaive(_) => "certified",
+                            EvalPlan::Symbolic(_) => "symbolic",
+                            EvalPlan::BoundedEnumeration => "oracle",
+                        };
                     match prepared.compiled() {
                         Some(compiled) => {
                             format!("OK dispatch={dispatch} {}", compiled.explain_compact())

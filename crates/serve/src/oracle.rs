@@ -55,6 +55,11 @@ pub struct OracleOutcome {
     pub chunks: usize,
     /// Whether early-exit cancellation fired.
     pub cancelled: bool,
+    /// Whether the world stream was cut off by the world cap with the verdict
+    /// still drawing on it. A cancelled run exited on definitive evidence (a
+    /// counter-world, an emptied intersection), so it is never truncated; an
+    /// exhausted run over a capped stream is an over-approximation and is.
+    pub truncated: bool,
     /// Aggregated executor counters across all per-world evaluations.
     pub exec: ExecStats,
 }
@@ -136,11 +141,13 @@ pub fn parallel_certain_answers(
     // sequential oracle exactly: a Boolean query is vacuously certain over an empty
     // enumeration, a k-ary intersection is empty.
     let certain = acc.unwrap_or_else(|| nev_core::engine::boolean_answers(query.is_boolean()));
+    let cancelled = cancel.load(Ordering::Relaxed);
     OracleOutcome {
         certain,
         worlds_considered,
         chunks,
-        cancelled: cancel.load(Ordering::Relaxed),
+        cancelled,
+        truncated: !cancelled && worlds.truncated(),
         exec,
     }
 }

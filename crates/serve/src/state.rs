@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use nev_core::engine::{CertainEngine, EngineError, EvalPlan, PreparedQuery};
+use nev_core::engine::{CertainEngine, EngineError, EvalPlan, PreparedQuery, SymbolicTechnique};
 use nev_core::{Semantics, WorldBounds};
 use nev_exec::{ExecOptions, DEFAULT_MORSEL_ROWS};
 use nev_incomplete::{Instance, Tuple};
@@ -115,6 +115,9 @@ pub enum PlanKind {
     Compiled,
     /// Certified naïve pass on the tree-walking interpreter.
     Certified,
+    /// PTIME symbolic certificate (conditional tables or the sandwich) on a
+    /// non-guaranteed cell — exact, zero worlds enumerated.
+    Symbolic,
     /// Bounded possible-world oracle (parallel in [`ServeState::eval`]).
     Oracle,
 }
@@ -124,6 +127,7 @@ impl PlanKind {
         match plan {
             EvalPlan::CompiledNaive(_) => PlanKind::Compiled,
             EvalPlan::CertifiedNaive(_) => PlanKind::Certified,
+            EvalPlan::Symbolic(_) => PlanKind::Symbolic,
             EvalPlan::BoundedEnumeration => PlanKind::Oracle,
         }
     }
@@ -134,6 +138,7 @@ impl fmt::Display for PlanKind {
         match self {
             PlanKind::Compiled => write!(f, "compiled"),
             PlanKind::Certified => write!(f, "certified"),
+            PlanKind::Symbolic => write!(f, "symbolic"),
             PlanKind::Oracle => write!(f, "oracle"),
         }
     }
@@ -157,15 +162,27 @@ pub struct EvalResponse {
     pub plan: PlanKind,
     /// The certain answers (Boolean queries use the `{()} / ∅` encoding).
     pub certain: BTreeSet<Tuple>,
+    /// Whether an oracle answer drew on a world stream cut off by the world
+    /// cap (see [`nev_core::Evaluation::truncated`]); such an answer is an
+    /// over-approximation from a world sample, and the wire says so.
+    pub truncated: bool,
 }
 
 impl EvalResponse {
-    /// The canonical wire payload: `plan=<plan> certain=<answers>`.
+    /// The canonical wire payload: `plan=<plan> certain=<answers>`, extended
+    /// with ` truncated=true` exactly when the oracle verdict was cut short —
+    /// untruncated responses render byte-identically to before the flag
+    /// existed.
     pub fn render(&self) -> String {
         format!(
-            "plan={} certain={}",
+            "plan={} certain={}{}",
             self.plan,
-            wire::render_answers(&self.certain)
+            wire::render_answers(&self.certain),
+            if self.truncated {
+                " truncated=true"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -255,7 +272,14 @@ impl ServeState {
             .get(name)
             .ok_or_else(|| ServeError::UnknownInstance(name.to_string()))?;
         let plan = self.cache.get_or_prepare(query_text, semantics)?;
-        let dispatch = PlanKind::of(&self.engine.plan(&instance, semantics, &plan.prepared));
+        // `plan_with_symbolic` runs the PTIME probe on non-guaranteed cells, so
+        // EXPLAIN reports `dispatch=symbolic` exactly when EVAL would answer
+        // symbolically — still without enumerating a single world.
+        let dispatch = PlanKind::of(&self.engine.plan_with_symbolic(
+            &instance,
+            semantics,
+            &plan.prepared,
+        ));
         ServeStats::bump(&self.stats.explains);
         let exec = self.engine.exec_options();
         let runtime = format!(
@@ -315,9 +339,30 @@ impl ServeState {
                 EvalResponse {
                     plan: PlanKind::of(&plan),
                     certain: naive,
+                    truncated: false,
                 }
             }
-            EvalPlan::BoundedEnumeration => {
+            EvalPlan::Symbolic(_) | EvalPlan::BoundedEnumeration => {
+                // The PTIME symbolic ladder first: when conditional tables or
+                // the sandwich certify, the exponential oracle is retired for
+                // this request — zero worlds, nothing to truncate.
+                if let Some(evaluation) =
+                    self.engine.evaluate_symbolic(instance, semantics, prepared)
+                {
+                    ServeStats::bump(&self.stats.symbolic);
+                    if evaluation
+                        .plan
+                        .symbolic_certificate()
+                        .is_some_and(|c| c.technique == SymbolicTechnique::Sandwich)
+                    {
+                        ServeStats::bump(&self.stats.sandwich_exact);
+                    }
+                    return EvalResponse {
+                        plan: PlanKind::Symbolic,
+                        certain: evaluation.certain,
+                        truncated: false,
+                    };
+                }
                 ServeStats::bump(&self.stats.oracle);
                 let outcome = parallel_certain_answers(
                     &self.pool,
@@ -331,9 +376,13 @@ impl ServeState {
                 if outcome.cancelled {
                     ServeStats::bump(&self.stats.oracle_cancelled);
                 }
+                if outcome.truncated {
+                    ServeStats::bump(&self.stats.truncated);
+                }
                 EvalResponse {
                     plan: PlanKind::Oracle,
                     certain: outcome.certain,
+                    truncated: outcome.truncated,
                 }
             }
         }
@@ -422,21 +471,32 @@ impl ServeState {
             .pool
             .run(items, move |_, (instance, semantics, queries)| {
                 let batch = engine.evaluate_all(&instance, semantics, &queries);
+                let sandwiches = batch
+                    .results
+                    .iter()
+                    .filter(|e| {
+                        e.plan
+                            .symbolic_certificate()
+                            .is_some_and(|c| c.technique == SymbolicTechnique::Sandwich)
+                    })
+                    .count() as u64;
                 let responses: Vec<EvalResponse> = batch
                     .results
                     .into_iter()
                     .map(|evaluation| EvalResponse {
                         plan: PlanKind::of(&evaluation.plan),
                         certain: evaluation.certain,
+                        truncated: evaluation.truncated,
                     })
                     .collect();
-                (responses, batch.worlds_enumerated)
+                (responses, batch.worlds_enumerated, sandwiches)
             });
 
         // Telemetry parity with the solo path: per evaluation actually performed
         // (one per unique query of each group), plus the shared-pass world counts.
-        for (responses, worlds) in &batch_results {
+        for (responses, worlds, sandwiches) in &batch_results {
             ServeStats::add(&self.stats.worlds, *worlds as u64);
+            ServeStats::add(&self.stats.sandwich_exact, *sandwiches);
             for response in responses {
                 match response.plan {
                     PlanKind::Compiled => {
@@ -444,7 +504,11 @@ impl ServeState {
                         ServeStats::bump(&self.stats.compiled);
                     }
                     PlanKind::Certified => ServeStats::bump(&self.stats.certified),
+                    PlanKind::Symbolic => ServeStats::bump(&self.stats.symbolic),
                     PlanKind::Oracle => ServeStats::bump(&self.stats.oracle),
+                }
+                if response.truncated {
+                    ServeStats::bump(&self.stats.truncated);
                 }
             }
         }
@@ -548,7 +612,7 @@ impl ServeState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nev_incomplete::builder::x;
+    use nev_incomplete::builder::{c, x};
     use nev_incomplete::inst;
 
     fn state(workers: usize) -> ServeState {
@@ -692,6 +756,56 @@ mod tests {
         }
         // The distinct texts were prepared once each (per semantics row they hit).
         assert!(state.cache().misses() <= (texts.len() * 2) as u64);
+    }
+
+    #[test]
+    fn symbolic_dispatch_retires_the_oracle_and_shows_on_the_wire() {
+        let state = state(2);
+        // A broken chain: Pos × OWA carries no Figure 1 guarantee, but the
+        // Kleene/naïve sandwich closes on "certainly false" — zero worlds.
+        state.load("chain", inst! { "R" => [[c(1), x(1)]] });
+        let eval = state.handle_line("EVAL chain owa forall u . exists v . R(u, v)");
+        assert_eq!(eval, "OK plan=symbolic certain={}");
+        let explain = state.handle_line("EXPLAIN chain owa forall u . exists v . R(u, v)");
+        assert!(explain.starts_with("OK dispatch=symbolic"), "{explain}");
+        let snap = state.snapshot();
+        assert_eq!(snap.symbolic, 1, "EXPLAIN probes but does not evaluate");
+        assert_eq!(snap.sandwich_exact, 1);
+        assert_eq!(snap.oracle, 0);
+        assert_eq!(snap.worlds, 0, "the oracle was retired for this request");
+        let stats = state.handle_line("STATS");
+        assert!(stats.contains("symbolic=1"), "{stats}");
+        assert!(stats.contains("sandwich_exact=1"), "{stats}");
+        assert!(stats.contains("truncated=0"), "{stats}");
+    }
+
+    #[test]
+    fn truncated_oracle_verdicts_are_flagged_on_the_wire() {
+        let state = ServeState::new(ServeConfig {
+            workers: 1,
+            bounds: WorldBounds {
+                max_worlds: 4,
+                ..WorldBounds::default()
+            },
+            ..ServeConfig::default()
+        });
+        state.load("nulls", inst! { "R" => [[x(1)], [x(2)], [x(3)]] });
+        // FO × WCWA, sandwich open (naïvely true, Kleene unknown on the absent
+        // S), and every sampled world satisfies the sentence: the capped
+        // stream is exhausted and the verdict must carry the flag.
+        let line = state.handle_line("EVAL nulls wcwa exists u . R(u) & !S(u)");
+        assert_eq!(line, "OK plan=oracle certain={()} truncated=true");
+        assert_eq!(state.snapshot().truncated, 1);
+        // The same verdict through the batch path carries the same flag.
+        let responses = state.eval_batch(&[EvalRequest {
+            instance: "nulls".into(),
+            semantics: Semantics::Wcwa,
+            query: "exists u . R(u) & !S(u)".into(),
+        }]);
+        let response = responses[0].as_ref().expect("served");
+        assert!(response.truncated);
+        assert_eq!(response.render(), "plan=oracle certain={()} truncated=true");
+        assert_eq!(state.snapshot().truncated, 2);
     }
 
     #[test]

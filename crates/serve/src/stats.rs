@@ -35,6 +35,14 @@ pub struct ServeStats {
     pub morsels: AtomicU64,
     /// Hash joins that ran the exec layer's partitioned parallel path.
     pub parallel_joins: AtomicU64,
+    /// Evaluations answered by a PTIME symbolic certificate (conditional
+    /// tables or the sandwich) instead of world enumeration.
+    pub symbolic: AtomicU64,
+    /// Symbolic answers certified by the Kleene/naïve sandwich specifically.
+    pub sandwich_exact: AtomicU64,
+    /// Oracle answers whose world stream was cut off by the world cap with the
+    /// verdict still drawing on it (over-approximations, flagged on the wire).
+    pub truncated: AtomicU64,
 }
 
 impl ServeStats {
@@ -69,6 +77,9 @@ impl ServeStats {
             oracle_cancelled: self.oracle_cancelled.load(Ordering::Relaxed),
             morsels: self.morsels.load(Ordering::Relaxed),
             parallel_joins: self.parallel_joins.load(Ordering::Relaxed),
+            symbolic: self.symbolic.load(Ordering::Relaxed),
+            sandwich_exact: self.sandwich_exact.load(Ordering::Relaxed),
+            truncated: self.truncated.load(Ordering::Relaxed),
         }
     }
 }
@@ -103,6 +114,12 @@ pub struct StatsSnapshot {
     pub morsels: u64,
     /// See [`ServeStats::parallel_joins`].
     pub parallel_joins: u64,
+    /// See [`ServeStats::symbolic`].
+    pub symbolic: u64,
+    /// See [`ServeStats::sandwich_exact`].
+    pub sandwich_exact: u64,
+    /// See [`ServeStats::truncated`].
+    pub truncated: u64,
 }
 
 impl fmt::Display for StatsSnapshot {
@@ -110,7 +127,8 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "requests={} loads={} prepares={} evals={} explains={} errors={} certified={} \
-             compiled={} oracle={} worlds={} oracle_cancelled={} morsels={} parallel_joins={}",
+             compiled={} oracle={} worlds={} oracle_cancelled={} morsels={} parallel_joins={} \
+             symbolic={} sandwich_exact={} truncated={}",
             self.requests,
             self.loads,
             self.prepares,
@@ -123,7 +141,10 @@ impl fmt::Display for StatsSnapshot {
             self.worlds,
             self.oracle_cancelled,
             self.morsels,
-            self.parallel_joins
+            self.parallel_joins,
+            self.symbolic,
+            self.sandwich_exact,
+            self.truncated
         )
     }
 }

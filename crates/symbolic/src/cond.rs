@@ -1,0 +1,355 @@
+//! Local conditions in the c-table style: bounded DNF formulas of `=` / `≠`
+//! literals over values.
+//!
+//! A [`Cond`] describes, for one candidate answer, the set of null
+//! valuations under which the query holds. Literals are eagerly simplified
+//! at construction — `v = v` is `True`, `c = c'` for distinct constants is
+//! `False`, and dually for `≠` — so every literal that survives involves at
+//! least one null and is neither valid nor unsatisfiable on its own.
+//! Consequently a condition is *valid* (holds under every valuation) iff it
+//! simplified all the way to [`Cond::True`]: the valuation sending every
+//! null to a fresh pairwise-distinct constant falsifies every surviving
+//! equality literal simultaneously, so any disjunct still carrying a
+//! literal with an `=` can be escaped. That argument needs the surviving
+//! literals to be equalities — a surviving `≠` literal is *satisfied* by the
+//! fresh valuation — which is why [`Cond::eq_only`] gates the exact mode in
+//! [`crate::ctable`].
+//!
+//! Sizes are capped ([`MAX_DISJUNCTS`], [`MAX_LITERALS`]); an operation that
+//! would exceed a cap collapses to the sticky [`Cond::Overflow`] marker,
+//! which downstream consumers treat as "inexact, fall back".
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use nev_incomplete::Value;
+
+/// Maximum number of disjuncts a condition may hold before overflowing.
+pub const MAX_DISJUNCTS: usize = 64;
+
+/// Maximum number of literals per conjunct before overflowing.
+pub const MAX_LITERALS: usize = 24;
+
+/// One simplified literal. Operand pairs are stored in sorted order so that
+/// structurally equal literals compare equal; at least one operand is a null.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Lit {
+    /// The two values must coincide under the valuation.
+    Eq(Value, Value),
+    /// The two values must differ under the valuation.
+    Neq(Value, Value),
+}
+
+impl Lit {
+    fn negated(&self) -> Lit {
+        match self {
+            Lit::Eq(a, b) => Lit::Neq(a.clone(), b.clone()),
+            Lit::Neq(a, b) => Lit::Eq(a.clone(), b.clone()),
+        }
+    }
+
+    /// Returns `true` iff the literal is an inequality.
+    pub fn is_neq(&self) -> bool {
+        matches!(self, Lit::Neq(..))
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lit::Eq(a, b) => write!(f, "{a}={b}"),
+            Lit::Neq(a, b) => write!(f, "{a}≠{b}"),
+        }
+    }
+}
+
+/// A conjunction of literals, canonicalised as a sorted set.
+pub type Conj = BTreeSet<Lit>;
+
+/// A bounded DNF condition over null valuations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Cond {
+    /// Holds under every valuation.
+    True,
+    /// Holds under no valuation.
+    False,
+    /// Holds under the valuations satisfying at least one disjunct. The set
+    /// is non-empty and no disjunct is empty (those normalise to `True`).
+    Dnf(BTreeSet<Conj>),
+    /// A size cap was exceeded; the condition is no longer tracked exactly.
+    Overflow,
+}
+
+fn sorted_pair(a: Value, b: Value) -> (Value, Value) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Cond {
+    /// The condition `a = b`, simplified.
+    pub fn eq(a: Value, b: Value) -> Cond {
+        if a == b {
+            return Cond::True;
+        }
+        if a.is_const() && b.is_const() {
+            return Cond::False;
+        }
+        let (a, b) = sorted_pair(a, b);
+        Cond::single(Lit::Eq(a, b))
+    }
+
+    /// The condition `a ≠ b`, simplified.
+    pub fn neq(a: Value, b: Value) -> Cond {
+        if a == b {
+            return Cond::False;
+        }
+        if a.is_const() && b.is_const() {
+            return Cond::True;
+        }
+        let (a, b) = sorted_pair(a, b);
+        Cond::single(Lit::Neq(a, b))
+    }
+
+    fn single(lit: Lit) -> Cond {
+        let mut conj = Conj::new();
+        conj.insert(lit);
+        let mut disjuncts = BTreeSet::new();
+        disjuncts.insert(conj);
+        Cond::Dnf(disjuncts)
+    }
+
+    fn from_disjuncts(disjuncts: BTreeSet<Conj>) -> Cond {
+        if disjuncts.is_empty() {
+            Cond::False
+        } else if disjuncts.iter().any(Conj::is_empty) {
+            // An empty conjunct is `true`, which absorbs the disjunction.
+            Cond::True
+        } else if disjuncts.len() > MAX_DISJUNCTS {
+            Cond::Overflow
+        } else {
+            Cond::Dnf(disjuncts)
+        }
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Cond) -> Cond {
+        match (self, other) {
+            (Cond::Overflow, _) | (_, Cond::Overflow) => Cond::Overflow,
+            (Cond::True, _) | (_, Cond::True) => Cond::True,
+            (Cond::False, c) | (c, Cond::False) => c,
+            (Cond::Dnf(a), Cond::Dnf(b)) => {
+                let merged: BTreeSet<Conj> = a.into_iter().chain(b).collect();
+                Cond::from_disjuncts(merged)
+            }
+        }
+    }
+
+    /// Conjunction (DNF product, capped).
+    pub fn and(self, other: Cond) -> Cond {
+        match (self, other) {
+            (Cond::Overflow, _) | (_, Cond::Overflow) => Cond::Overflow,
+            (Cond::False, _) | (_, Cond::False) => Cond::False,
+            (Cond::True, c) | (c, Cond::True) => c,
+            (Cond::Dnf(a), Cond::Dnf(b)) => {
+                let mut product = BTreeSet::new();
+                for left in &a {
+                    for right in &b {
+                        let merged: Conj = left.iter().chain(right.iter()).cloned().collect();
+                        if merged.len() > MAX_LITERALS {
+                            return Cond::Overflow;
+                        }
+                        if contradictory(&merged) {
+                            continue;
+                        }
+                        product.insert(merged);
+                        if product.len() > MAX_DISJUNCTS {
+                            return Cond::Overflow;
+                        }
+                    }
+                }
+                Cond::from_disjuncts(product)
+            }
+        }
+    }
+
+    /// Exact negation by De Morgan: the negation of a DNF is the product of
+    /// the negated disjuncts, each a disjunction of negated literals.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Cond {
+        match self {
+            Cond::Overflow => Cond::Overflow,
+            Cond::True => Cond::False,
+            Cond::False => Cond::True,
+            Cond::Dnf(disjuncts) => {
+                let mut acc = Cond::True;
+                for conj in disjuncts {
+                    let negated = conj
+                        .iter()
+                        .map(|lit| Cond::single(lit.negated()))
+                        .fold(Cond::False, Cond::or);
+                    acc = acc.and(negated);
+                    if matches!(acc, Cond::False | Cond::Overflow) {
+                        break;
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// Returns `true` iff the condition holds under every valuation. Thanks
+    /// to eager literal simplification this is syntactic (see module docs);
+    /// the verdict is sound unconditionally and complete when
+    /// [`Cond::eq_only`] holds.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Cond::True)
+    }
+
+    /// Returns `true` iff the condition overflowed a size cap.
+    pub fn is_overflow(&self) -> bool {
+        matches!(self, Cond::Overflow)
+    }
+
+    /// Returns `true` iff no surviving literal is an inequality — the regime
+    /// where "not syntactically `True`" implies "not valid", making the
+    /// certain-answer verdict exact.
+    pub fn eq_only(&self) -> bool {
+        match self {
+            Cond::True | Cond::False => true,
+            Cond::Overflow => false,
+            Cond::Dnf(disjuncts) => !disjuncts.iter().any(|conj| conj.iter().any(Lit::is_neq)),
+        }
+    }
+}
+
+/// A conjunct containing both a literal and its negation is unsatisfiable.
+fn contradictory(conj: &Conj) -> bool {
+    conj.iter().any(|lit| conj.contains(&lit.negated()))
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::True => f.write_str("⊤"),
+            Cond::False => f.write_str("⊥"),
+            Cond::Overflow => f.write_str("overflow"),
+            Cond::Dnf(disjuncts) => {
+                let rendered: Vec<String> = disjuncts
+                    .iter()
+                    .map(|conj| {
+                        let lits: Vec<String> = conj.iter().map(Lit::to_string).collect();
+                        lits.join("∧")
+                    })
+                    .collect();
+                f.write_str(&rendered.join(" ∨ "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn null(i: u32) -> Value {
+        Value::null(i)
+    }
+
+    #[test]
+    fn ground_literals_simplify_at_construction() {
+        assert_eq!(Cond::eq(Value::int(1), Value::int(1)), Cond::True);
+        assert_eq!(Cond::eq(Value::int(1), Value::int(2)), Cond::False);
+        assert_eq!(Cond::neq(Value::int(1), Value::int(2)), Cond::True);
+        assert_eq!(Cond::neq(null(1), null(1)), Cond::False);
+        assert_eq!(Cond::eq(null(1), null(1)), Cond::True);
+        // Null-involving literals survive.
+        assert!(matches!(Cond::eq(null(1), Value::int(3)), Cond::Dnf(_)));
+    }
+
+    #[test]
+    fn literal_operands_are_stored_sorted() {
+        assert_eq!(
+            Cond::eq(Value::int(3), null(1)),
+            Cond::eq(null(1), Value::int(3))
+        );
+        assert_eq!(Cond::neq(null(2), null(1)), Cond::neq(null(1), null(2)));
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let lit = Cond::eq(null(1), Value::int(3));
+        assert_eq!(lit.clone().or(Cond::True), Cond::True);
+        assert_eq!(lit.clone().or(Cond::False), lit);
+        assert_eq!(lit.clone().and(Cond::True), lit);
+        assert_eq!(lit.clone().and(Cond::False), Cond::False);
+        assert_eq!(lit.clone().or(lit.clone()), lit);
+        assert_eq!(lit.clone().and(lit.clone()), lit);
+    }
+
+    #[test]
+    fn negation_is_exact_de_morgan() {
+        let a = Cond::eq(null(1), Value::int(3));
+        let b = Cond::eq(null(2), Value::int(4));
+        // ¬(a ∨ b) = ¬a ∧ ¬b.
+        assert_eq!(
+            a.clone().or(b.clone()).not(),
+            a.clone().not().and(b.clone().not())
+        );
+        // Double negation restores single literals.
+        assert_eq!(a.clone().not().not(), a);
+        assert_eq!(Cond::True.not(), Cond::False);
+        assert_eq!(Cond::False.not(), Cond::True);
+    }
+
+    #[test]
+    fn contradictions_drop_out_of_products() {
+        let a = Cond::eq(null(1), Value::int(3));
+        // a ∧ ¬a = false.
+        assert_eq!(a.clone().and(a.clone().not()), Cond::False);
+        // a ∨ ¬a is NOT simplified to true (DNF has no resolution rule) but
+        // it is still recognised as not syntactically valid — the sound
+        // direction of the validity check.
+        let excluded_middle = a.clone().or(a.not());
+        assert!(!excluded_middle.is_true());
+        assert!(!excluded_middle.eq_only(), "carries a ≠ literal");
+    }
+
+    #[test]
+    fn eq_only_tracks_surviving_inequalities() {
+        let eq = Cond::eq(null(1), Value::int(3));
+        let neq = Cond::neq(null(1), Value::int(3));
+        assert!(eq.eq_only());
+        assert!(!neq.eq_only());
+        assert!(!eq.clone().or(neq.clone()).eq_only());
+        assert!(Cond::True.eq_only() && Cond::False.eq_only());
+        assert!(!Cond::Overflow.eq_only());
+        // Ground inequalities simplify away and leave the condition eq-only.
+        let ground = Cond::neq(Value::int(1), Value::int(2)).and(eq.clone());
+        assert_eq!(ground, eq);
+        assert!(ground.eq_only());
+    }
+
+    #[test]
+    fn caps_collapse_to_overflow_and_overflow_is_sticky() {
+        // OR together more distinct literals than MAX_DISJUNCTS allows.
+        let mut c = Cond::False;
+        for i in 0..(MAX_DISJUNCTS as u32 + 1) {
+            c = c.or(Cond::eq(null(i), Value::int(7)));
+        }
+        assert!(c.is_overflow());
+        assert_eq!(c.clone().and(Cond::False), Cond::Overflow);
+        assert_eq!(c.clone().or(Cond::True), Cond::Overflow);
+        assert_eq!(c.not(), Cond::Overflow);
+    }
+
+    #[test]
+    fn display_renders_compactly() {
+        assert_eq!(Cond::True.to_string(), "⊤");
+        assert_eq!(Cond::False.to_string(), "⊥");
+        let c = Cond::eq(null(1), Value::int(3));
+        assert!(c.to_string().contains('='));
+    }
+}

@@ -1,0 +1,332 @@
+//! Exact symbolic evaluation under CWA via conditional tables.
+//!
+//! Under the closed-world assumption every possible world is `v(D)` for
+//! exactly one valuation `v` of the nulls, and `adom(v(D)) = v(adom(D))`.
+//! Both facts make the semantics fully *compositional in the valuation*:
+//!
+//! * an atom `R(t̄)` holds in `v(D)` iff `v(t̄)` equals `v(s̄)` for some
+//!   stored tuple `s̄` — a disjunction over stored tuples of positionwise
+//!   equality conditions;
+//! * quantifiers range exactly over `v(adom(D))`, so `∃x φ` is the
+//!   disjunction (and `∀x φ` the conjunction) of `φ[x ↦ a]` over
+//!   `a ∈ adom(D)` — including the nulls;
+//! * negation is exact condition complement.
+//!
+//! So for each candidate answer `ā` we can compile `φ[ā]` into a single
+//! [`Cond`] describing *which valuations* satisfy it, and `ā` is a certain
+//! answer iff that condition is valid. Validity is checked syntactically
+//! (`Cond::is_true`), which is sound unconditionally and complete exactly
+//! when no surviving condition carries a `≠` literal and no size cap
+//! overflowed — the [`CwaReport::exact`] flag. When `exact` is `true` the
+//! returned answers are *the* certain answers under CWA, computed in
+//! polynomial time with zero worlds enumerated.
+
+use std::collections::BTreeSet;
+
+use nev_incomplete::{Instance, Tuple, Value};
+use nev_logic::{Formula, Query, Term};
+
+use crate::cond::Cond;
+
+/// The outcome of a conditional-table evaluation under CWA.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CwaReport {
+    /// Candidate tuples whose condition is syntactically valid. Always a
+    /// sound under-approximation of the CWA certain answers; equal to them
+    /// when [`CwaReport::exact`] holds.
+    pub answers: BTreeSet<Tuple>,
+    /// Whether the verdict is exact: no condition overflowed a size cap and
+    /// every rejecting condition was equality-only.
+    pub exact: bool,
+    /// Whether any condition overflowed a size cap (implies `!exact`).
+    pub overflowed: bool,
+}
+
+/// A variable assignment over plain values (the condition algebra compares
+/// [`Value`]s directly, so no interning is needed here).
+type Assignment = std::collections::BTreeMap<String, Value>;
+
+struct CondEvaluator<'a> {
+    instance: &'a Instance,
+    domain: Vec<Value>,
+}
+
+impl CondEvaluator<'_> {
+    fn term_value(&self, term: &Term, assignment: &Assignment) -> Option<Value> {
+        match term {
+            Term::Var(v) => assignment.get(v).cloned(),
+            Term::Const(c) => Some(Value::Const(c.clone())),
+        }
+    }
+
+    fn cond(&self, formula: &Formula, assignment: &mut Assignment) -> Cond {
+        match formula {
+            Formula::True => Cond::True,
+            Formula::False => Cond::False,
+            Formula::Atom { relation, terms } => {
+                let Some(values) = terms
+                    .iter()
+                    .map(|t| self.term_value(t, assignment))
+                    .collect::<Option<Vec<Value>>>()
+                else {
+                    // Unbound variables only arise from ill-formed input;
+                    // give up on exactness rather than guess.
+                    return Cond::Overflow;
+                };
+                let Some(rel) = self.instance.relation(relation) else {
+                    return Cond::False;
+                };
+                if values.len() != rel.arity() {
+                    return Cond::False;
+                }
+                let mut acc = Cond::False;
+                let mut columns: Vec<_> = (0..rel.arity()).map(|i| rel.column(i)).collect();
+                for _ in 0..rel.len() {
+                    let mut tuple_cond = Cond::True;
+                    for (value, column) in values.iter().zip(columns.iter_mut()) {
+                        let Some(stored) = column.next() else {
+                            return Cond::Overflow;
+                        };
+                        tuple_cond = tuple_cond.and(Cond::eq(value.clone(), stored.clone()));
+                    }
+                    acc = acc.or(tuple_cond);
+                    if acc.is_true() || acc.is_overflow() {
+                        break;
+                    }
+                }
+                acc
+            }
+            Formula::Eq(left, right) => {
+                let (Some(l), Some(r)) = (
+                    self.term_value(left, assignment),
+                    self.term_value(right, assignment),
+                ) else {
+                    return Cond::Overflow;
+                };
+                Cond::eq(l, r)
+            }
+            Formula::Not(inner) => self.cond(inner, assignment).not(),
+            Formula::And(parts) => {
+                let mut acc = Cond::True;
+                for part in parts {
+                    acc = acc.and(self.cond(part, assignment));
+                    if matches!(acc, Cond::False | Cond::Overflow) {
+                        break;
+                    }
+                }
+                acc
+            }
+            Formula::Or(parts) => {
+                let mut acc = Cond::False;
+                for part in parts {
+                    acc = acc.or(self.cond(part, assignment));
+                    if acc.is_true() || acc.is_overflow() {
+                        break;
+                    }
+                }
+                acc
+            }
+            Formula::Implies(premise, conclusion) => {
+                let p = self.cond(premise, assignment).not();
+                if p.is_true() || p.is_overflow() {
+                    return p;
+                }
+                p.or(self.cond(conclusion, assignment))
+            }
+            Formula::Exists(vars, body) => self.quantify(vars, body, assignment, true),
+            Formula::Forall(vars, body) => self.quantify(vars, body, assignment, false),
+        }
+    }
+
+    fn quantify(
+        &self,
+        vars: &[String],
+        body: &Formula,
+        assignment: &mut Assignment,
+        exists: bool,
+    ) -> Cond {
+        let Some((var, rest)) = vars.split_first() else {
+            return self.cond(body, assignment);
+        };
+        let mut acc = if exists { Cond::False } else { Cond::True };
+        for value in &self.domain {
+            let previous = assignment.insert(var.clone(), value.clone());
+            let c = self.quantify(rest, body, assignment, exists);
+            match previous {
+                Some(p) => {
+                    assignment.insert(var.clone(), p);
+                }
+                None => {
+                    assignment.remove(var);
+                }
+            }
+            acc = if exists { acc.or(c) } else { acc.and(c) };
+            let settled = if exists {
+                acc.is_true()
+            } else {
+                acc == Cond::False
+            };
+            if settled || acc.is_overflow() {
+                break;
+            }
+        }
+        acc
+    }
+}
+
+/// Evaluates a query symbolically under CWA. See the module docs for the
+/// exactness contract; callers should trust `answers` as *the* certain
+/// answers only when `exact` is set, and as a sound under-approximation
+/// otherwise.
+pub fn cwa_certain_answers(d: &Instance, query: &Query) -> CwaReport {
+    let evaluator = CondEvaluator {
+        instance: d,
+        domain: d.adom_ordered(),
+    };
+    let candidates: Vec<Value> = d.constants().into_iter().map(Value::Const).collect();
+    let vars = query.answer_variables();
+    let mut answers = BTreeSet::new();
+    let mut exact = true;
+    let mut overflowed = false;
+    let mut judge = |cond: Cond, tuple: Tuple| {
+        if cond.is_overflow() {
+            overflowed = true;
+            exact = false;
+            return;
+        }
+        if cond.is_true() {
+            answers.insert(tuple);
+        } else if !cond.eq_only() {
+            // A rejecting condition with a ≠ literal might still be valid;
+            // the "not certain" verdict for this tuple is unproven.
+            exact = false;
+        }
+    };
+    if vars.is_empty() {
+        let cond = evaluator.cond(query.formula(), &mut Assignment::new());
+        judge(cond, Tuple::new(Vec::new()));
+    } else {
+        // Odometer over constants(D)^k; certain answers cannot contain
+        // nulls or query-only constants under the active-domain semantics.
+        let k = vars.len();
+        if !candidates.is_empty() {
+            let mut indices = vec![0usize; k];
+            loop {
+                let mut assignment = Assignment::new();
+                for (v, &i) in vars.iter().zip(&indices) {
+                    assignment.insert(v.clone(), candidates[i].clone());
+                }
+                let cond = evaluator.cond(query.formula(), &mut assignment);
+                let tuple: Tuple = indices.iter().map(|&i| candidates[i].clone()).collect();
+                judge(cond, tuple);
+                // Advance the odometer.
+                let mut pos = k;
+                loop {
+                    if pos == 0 {
+                        break;
+                    }
+                    pos -= 1;
+                    indices[pos] += 1;
+                    if indices[pos] < candidates.len() {
+                        break;
+                    }
+                    indices[pos] = 0;
+                }
+                if indices.iter().all(|&i| i == 0) {
+                    break;
+                }
+            }
+        }
+    }
+    CwaReport {
+        answers,
+        exact,
+        overflowed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+    use nev_logic::parse_query;
+
+    fn q(text: &str) -> Query {
+        parse_query(text).expect("parses")
+    }
+
+    #[test]
+    fn complete_instances_are_always_exact() {
+        let d = inst! { "R" => [[c(1), c(2)], [c(2), c(3)]] };
+        let report = cwa_certain_answers(&d, &q("Q(u) :- exists v . R(u, v)"));
+        assert!(report.exact);
+        assert!(!report.overflowed);
+        let expected: BTreeSet<Tuple> = [
+            Tuple::new(vec![Value::int(1)]),
+            Tuple::new(vec![Value::int(2)]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(report.answers, expected);
+    }
+
+    #[test]
+    fn intro_sentence_certifies_exactly_on_d0() {
+        // ∀u ∃v D(u,v) on d0 = {D(⊥₁,⊥₂), D(⊥₂,⊥₁)}: true in every v(D).
+        let d = inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] };
+        let report = cwa_certain_answers(&d, &q("forall u . exists v . D(u, v)"));
+        assert!(report.exact, "conditions stay equality-only");
+        assert_eq!(report.answers.len(), 1, "certainly true");
+    }
+
+    #[test]
+    fn negation_produces_inequalities_and_forfeits_exactness() {
+        // ∃u ¬D(u,u) on d0: whether v(D) has a reflexive edge depends on
+        // whether v(⊥₁) = v(⊥₂); the condition carries a ≠ literal, so the
+        // rejection is not exact.
+        let d = inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] };
+        let report = cwa_certain_answers(&d, &q("exists u . !D(u, u)"));
+        assert!(report.answers.is_empty(), "not certain, correctly rejected");
+        assert!(!report.exact, "rejection rests on an unproven ≠ condition");
+        assert!(!report.overflowed);
+    }
+
+    #[test]
+    fn ground_negation_stays_exact() {
+        // On a complete instance negation is ground and conditions simplify
+        // fully: ∃u ¬R(u,u) with R = {(1,2)} is certainly true.
+        let d = inst! { "R" => [[c(1), c(2)]] };
+        let report = cwa_certain_answers(&d, &q("exists u . !R(u, u)"));
+        assert!(report.exact);
+        assert_eq!(report.answers.len(), 1);
+    }
+
+    #[test]
+    fn equality_selections_certify_the_certain_slice() {
+        // R = {(1,⊥)}: R(1,2) holds iff ⊥ ↦ 2 — possible, not certain.
+        let d = inst! { "R" => [[c(1), x(1)]] };
+        let certain = cwa_certain_answers(&d, &q("exists v . R(1, v)"));
+        assert!(certain.exact);
+        assert_eq!(certain.answers.len(), 1, "some successor exists certainly");
+        let possible = cwa_certain_answers(&d, &q("R(1, 2)"));
+        assert!(possible.answers.is_empty());
+        assert!(possible.exact, "rejection condition is the equality ⊥=2");
+    }
+
+    #[test]
+    fn boolean_and_empty_candidate_edge_cases() {
+        // Empty instance: ∀-sentences are vacuously certain and conditions
+        // are ground.
+        let empty = Instance::new();
+        let report = cwa_certain_answers(&empty, &q("forall u . R(u)"));
+        assert!(report.exact);
+        assert_eq!(report.answers.len(), 1);
+        // k-ary query on an instance with no constants: no candidates, and
+        // that emptiness is exact (certain answers are constant tuples).
+        let nulls_only = inst! { "R" => [[x(1)]] };
+        let report = cwa_certain_answers(&nulls_only, &q("Q(u) :- R(u)"));
+        assert!(report.answers.is_empty());
+        assert!(report.exact);
+    }
+}

@@ -1,0 +1,575 @@
+//! A Kleene 3-valued evaluator over naïve tables.
+//!
+//! Evaluates full first-order formulas directly on the incomplete instance,
+//! with nulls comparing *unknown* and a per-semantics [`EvalProfile`]
+//! controlling how aggressively `Unknown` may be strengthened to a definite
+//! verdict (see [`crate::profile`] for the soundness arguments). The central
+//! guarantee, for every semantics whose profile is sound:
+//!
+//! * if the evaluator returns [`Truth::True`] for `φ[ā]`, then `ā` is a
+//!   certain answer (every possible world satisfies `φ[v(ā)]`);
+//! * if it returns [`Truth::False`], then no possible world does.
+//!
+//! Taking *unknown-as-false at the root* therefore yields a sound PTIME
+//! **under-approximation** of certain answers: [`under_approximation`]
+//! returns only tuples the oracle would also return. Cost is the same class
+//! as one naïve pass (`|adom|^quantifier-depth`), not exponential in nulls.
+//!
+//! Values are interned into dense `u32` codes via `nev-exec`'s
+//! [`Dictionary`] (extended with query-only constants, which must be
+//! comparable but are neither quantifier-domain elements nor answer
+//! candidates), so the inner loops compare integers, not heap values.
+//!
+//! Answer candidates range over `constants(D)^k`: a constant of `D` lies in
+//! every world's active domain under all six semantics, while a constant
+//! mentioned only by the query (or a null) can never be a certain answer
+//! under the active-domain semantics the oracle implements.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use nev_exec::Dictionary;
+use nev_incomplete::{Constant, Instance, Tuple, Value};
+use nev_logic::{Formula, Query, Term};
+
+use crate::profile::{AtomClosure, EvalProfile};
+use crate::tvl::Truth;
+
+/// A variable assignment over interned codes.
+type Assignment = HashMap<String, u32>;
+
+/// One stored relation, row-major over codes, with a hash set for exact
+/// membership tests (the atom-truth rule) alongside the row list the
+/// unification rules iterate.
+struct StoredRelation {
+    rows: Vec<Vec<u32>>,
+    set: HashSet<Vec<u32>>,
+}
+
+/// A 3-valued evaluator bound to one instance and one soundness profile.
+pub struct KleeneEvaluator {
+    profile: EvalProfile,
+    dict: Dictionary,
+    relations: HashMap<String, StoredRelation>,
+    /// Codes of `adom(D)` — the quantifier domain (extras excluded).
+    domain: Vec<u32>,
+    /// Codes of `constants(D)` — the answer-candidate domain.
+    candidates: Vec<u32>,
+}
+
+impl KleeneEvaluator {
+    /// Builds an evaluator for `d` under `profile`. `extra_constants` are
+    /// constants the formula mentions that may be absent from `d` (pass
+    /// [`Formula::constants`]); they are interned so terms can be compared,
+    /// but never quantified over or proposed as answers.
+    pub fn new(d: &Instance, extra_constants: &BTreeSet<Constant>, profile: EvalProfile) -> Self {
+        let dict = Dictionary::from_instance_with_extras(d, extra_constants.iter());
+        let code_of = |v: &Value| dict.code(v).expect("every instance value is interned");
+        let relations = d
+            .relations()
+            .map(|r| {
+                let cols: Vec<Vec<u32>> = (0..r.arity())
+                    .map(|i| r.column(i).map(code_of).collect())
+                    .collect();
+                let rows: Vec<Vec<u32>> = (0..r.len())
+                    .map(|row| cols.iter().map(|col| col[row]).collect())
+                    .collect();
+                let set = rows.iter().cloned().collect();
+                (r.name().to_string(), StoredRelation { rows, set })
+            })
+            .collect();
+        let domain = d.adom_ordered().iter().map(code_of).collect();
+        let candidates = d
+            .constants()
+            .into_iter()
+            .map(|c| code_of(&Value::Const(c)))
+            .collect();
+        KleeneEvaluator {
+            profile,
+            dict,
+            relations,
+            domain,
+            candidates,
+        }
+    }
+
+    /// The profile the evaluator runs under.
+    pub fn profile(&self) -> EvalProfile {
+        self.profile
+    }
+
+    /// The interning dictionary (instance values plus query-only constants).
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Evaluates a sentence under the empty assignment.
+    pub fn sentence_truth(&self, formula: &Formula) -> Truth {
+        self.truth(formula, &mut Assignment::new())
+    }
+
+    /// The sound under-approximation of certain answers: all candidate
+    /// tuples over `constants(D)^k` whose instantiated formula evaluates to
+    /// a definite [`Truth::True`]. For Boolean queries the result uses the
+    /// `{()}`/`{}` encoding shared with the rest of the engine.
+    pub fn under_approximation(&self, query: &Query) -> BTreeSet<Tuple> {
+        let mut answers = BTreeSet::new();
+        self.collect(
+            query.formula(),
+            query.answer_variables(),
+            &mut Assignment::new(),
+            &mut Vec::new(),
+            &mut answers,
+        );
+        answers
+    }
+
+    fn collect(
+        &self,
+        formula: &Formula,
+        vars: &[String],
+        assignment: &mut Assignment,
+        picked: &mut Vec<u32>,
+        answers: &mut BTreeSet<Tuple>,
+    ) {
+        let Some((var, rest)) = vars.split_first() else {
+            if self.truth(formula, assignment).is_true() {
+                answers.insert(picked.iter().map(|&c| self.dict.value(c).clone()).collect());
+            }
+            return;
+        };
+        for &code in &self.candidates {
+            let previous = assignment.insert(var.clone(), code);
+            picked.push(code);
+            self.collect(formula, rest, assignment, picked, answers);
+            picked.pop();
+            restore(assignment, var, previous);
+        }
+    }
+
+    /// Kleene truth of a formula under an assignment of interned codes.
+    fn truth(&self, formula: &Formula, assignment: &mut Assignment) -> Truth {
+        match formula {
+            Formula::True => Truth::True,
+            Formula::False => Truth::False,
+            Formula::Atom { relation, terms } => self.atom_truth(relation, terms, assignment),
+            Formula::Eq(left, right) => self.eq_truth(left, right, assignment),
+            Formula::Not(inner) => self.truth(inner, assignment).not(),
+            Formula::And(parts) => {
+                let mut acc = Truth::True;
+                for part in parts {
+                    acc = acc.and(self.truth(part, assignment));
+                    if acc.is_false() {
+                        break;
+                    }
+                }
+                acc
+            }
+            Formula::Or(parts) => {
+                let mut acc = Truth::False;
+                for part in parts {
+                    acc = acc.or(self.truth(part, assignment));
+                    if acc.is_true() {
+                        break;
+                    }
+                }
+                acc
+            }
+            Formula::Implies(premise, conclusion) => self
+                .truth(premise, assignment)
+                .not()
+                .or(self.truth(conclusion, assignment)),
+            Formula::Exists(vars, body) => self.quantify(vars, body, assignment, true),
+            Formula::Forall(vars, body) => self.quantify(vars, body, assignment, false),
+        }
+    }
+
+    fn term_code(&self, term: &Term, assignment: &Assignment) -> Option<u32> {
+        match term {
+            Term::Var(v) => assignment.get(v).copied(),
+            Term::Const(c) => self.dict.code(&Value::Const(c.clone())),
+        }
+    }
+
+    fn eq_truth(&self, left: &Term, right: &Term, assignment: &Assignment) -> Truth {
+        let (Some(l), Some(r)) = (
+            self.term_code(left, assignment),
+            self.term_code(right, assignment),
+        ) else {
+            // Unbound variables only arise from ill-formed input; stay safe.
+            return Truth::Unknown;
+        };
+        if l == r {
+            // Syntactic identity survives every valuation, including each
+            // single-valuation branch of a powerset union.
+            Truth::True
+        } else if self.dict.is_const(l) && self.dict.is_const(r) {
+            Truth::False
+        } else {
+            Truth::Unknown
+        }
+    }
+
+    fn atom_truth(&self, relation: &str, terms: &[Term], assignment: &Assignment) -> Truth {
+        let Some(codes) = terms
+            .iter()
+            .map(|t| self.term_code(t, assignment))
+            .collect::<Option<Vec<u32>>>()
+        else {
+            return Truth::Unknown;
+        };
+        let Some(stored) = self.relations.get(relation) else {
+            return match self.profile.atom_closure {
+                // An open-world superset may populate a relation the
+                // instance never mentions.
+                AtomClosure::Open => Truth::Unknown,
+                AtomClosure::Unify | AtomClosure::UnifyRenamed => Truth::False,
+            };
+        };
+        if stored.set.contains(&codes) {
+            // The literal tuple maps into every world's image of D.
+            return Truth::True;
+        }
+        match self.profile.atom_closure {
+            AtomClosure::Open => Truth::Unknown,
+            AtomClosure::Unify => {
+                if stored
+                    .rows
+                    .iter()
+                    .any(|row| self.unifies(&codes, row, false))
+                {
+                    Truth::Unknown
+                } else {
+                    Truth::False
+                }
+            }
+            AtomClosure::UnifyRenamed => {
+                if stored
+                    .rows
+                    .iter()
+                    .any(|row| self.unifies(&codes, row, true))
+                {
+                    Truth::Unknown
+                } else {
+                    Truth::False
+                }
+            }
+        }
+    }
+
+    /// Whether a single valuation can map the stored row onto the query
+    /// tuple. With `rename_stored` the stored row's nulls live in a
+    /// namespace disjoint from the query tuple's nulls (powerset unions may
+    /// resolve the same stored null differently across branches), though
+    /// each side must still be internally consistent.
+    fn unifies(&self, query: &[u32], stored: &[u32], rename_stored: bool) -> bool {
+        if query.len() != stored.len() {
+            return false;
+        }
+        let mut uf = Unifier::default();
+        for (&q, &s) in query.iter().zip(stored) {
+            let ok = match (self.dict.is_const(q), self.dict.is_const(s)) {
+                (true, true) => q == s,
+                (true, false) => {
+                    let node = uf.node(s, rename_stored);
+                    uf.bind(node, q)
+                }
+                (false, true) => {
+                    let node = uf.node(q, false);
+                    uf.bind(node, s)
+                }
+                (false, false) => {
+                    let a = uf.node(q, false);
+                    let b = uf.node(s, rename_stored);
+                    uf.union(a, b)
+                }
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn quantify(
+        &self,
+        vars: &[String],
+        body: &Formula,
+        assignment: &mut Assignment,
+        exists: bool,
+    ) -> Truth {
+        let Some((var, rest)) = vars.split_first() else {
+            return self.truth(body, assignment);
+        };
+        let mut acc = if exists { Truth::False } else { Truth::True };
+        for &code in &self.domain {
+            let previous = assignment.insert(var.clone(), code);
+            let t = self.quantify(rest, body, assignment, exists);
+            restore(assignment, var, previous);
+            acc = if exists { acc.or(t) } else { acc.and(t) };
+            if (exists && acc.is_true()) || (!exists && acc.is_false()) {
+                // Witnesses and counter-witnesses from adom(D) are
+                // definitive under every profile.
+                break;
+            }
+        }
+        if !self.profile.closed_domain {
+            // Without domain closure, exhausting adom(D) proves nothing:
+            // worlds may hold elements outside the adom image.
+            if exists && acc.is_false() {
+                acc = Truth::Unknown;
+            }
+            if !exists && acc.is_true() {
+                acc = Truth::Unknown;
+            }
+        }
+        acc
+    }
+}
+
+fn restore(assignment: &mut Assignment, var: &str, previous: Option<u32>) {
+    match previous {
+        Some(p) => {
+            assignment.insert(var.to_string(), p);
+        }
+        None => {
+            assignment.remove(var);
+        }
+    }
+}
+
+/// A tiny union-find over null occurrences, where a class may be bound to at
+/// most one constant. Keys are `(code, renamed)` so a stored null can be
+/// kept apart from an identically-coded query null.
+#[derive(Default)]
+struct Unifier {
+    keys: Vec<(u32, bool)>,
+    parent: Vec<usize>,
+    bound: Vec<Option<u32>>,
+}
+
+impl Unifier {
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn node(&mut self, code: u32, renamed: bool) -> usize {
+        match self.keys.iter().position(|&k| k == (code, renamed)) {
+            Some(i) => self.find(i),
+            None => {
+                self.keys.push((code, renamed));
+                self.parent.push(self.keys.len() - 1);
+                self.bound.push(None);
+                self.keys.len() - 1
+            }
+        }
+    }
+
+    fn bind(&mut self, node: usize, constant: u32) -> bool {
+        let root = self.find(node);
+        match self.bound[root] {
+            None => {
+                self.bound[root] = Some(constant);
+                true
+            }
+            Some(existing) => existing == constant,
+        }
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return true;
+        }
+        if let (Some(x), Some(y)) = (self.bound[ra], self.bound[rb]) {
+            if x != y {
+                return false;
+            }
+        }
+        self.bound[ra] = self.bound[ra].or(self.bound[rb]);
+        self.parent[rb] = ra;
+        true
+    }
+}
+
+/// Convenience wrapper: the sound certain-answer under-approximation of a
+/// query on an instance under a profile.
+pub fn under_approximation(d: &Instance, query: &Query, profile: EvalProfile) -> BTreeSet<Tuple> {
+    KleeneEvaluator::new(d, &query.formula().constants(), profile).under_approximation(query)
+}
+
+/// Convenience wrapper: the Kleene truth of a sentence on an instance under
+/// a profile.
+pub fn truth_of_sentence(d: &Instance, formula: &Formula, profile: EvalProfile) -> Truth {
+    KleeneEvaluator::new(d, &formula.constants(), profile).sentence_truth(formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+    use nev_logic::{parse_formula, parse_query};
+
+    /// The paper's d₀: `{D(⊥₁,⊥₂), D(⊥₂,⊥₁)}`.
+    fn d0() -> Instance {
+        inst! { "D" => [[x(1), x(2)], [x(2), x(1)]] }
+    }
+
+    fn truth(d: &Instance, formula: &str, profile: EvalProfile) -> Truth {
+        truth_of_sentence(d, &parse_formula(formula).expect("parses"), profile)
+    }
+
+    #[test]
+    fn closed_domain_proves_the_intro_sentence_on_d0() {
+        // ∀u ∃v D(u,v) holds in every CWA/WCWA world of d0: the adom image
+        // is exhaustive and both adom elements have successors.
+        let q = "forall u . exists v . D(u, v)";
+        assert_eq!(truth(&d0(), q, EvalProfile::closed()), Truth::True);
+        assert_eq!(truth(&d0(), q, EvalProfile::weak_closed()), Truth::True);
+        // Under OWA a world may add fresh elements without successors, so
+        // the same exhaustion proves nothing.
+        assert_eq!(truth(&d0(), q, EvalProfile::open_world()), Truth::Unknown);
+        // And the powerset profile must not claim domain closure either.
+        assert_eq!(truth(&d0(), q, EvalProfile::powerset()), Truth::Unknown);
+    }
+
+    #[test]
+    fn negative_atoms_stay_unknown_when_unification_succeeds() {
+        // ∃u ¬D(u,u): under CWA, D(⊥₁,⊥₁) unifies with the stored D(⊥₁,⊥₂)
+        // (map both nulls to one value), so ¬D(u,u) is unknown everywhere.
+        let q = "exists u . !D(u, u)";
+        assert_eq!(truth(&d0(), q, EvalProfile::closed()), Truth::Unknown);
+        assert_eq!(truth(&d0(), q, EvalProfile::open_world()), Truth::Unknown);
+    }
+
+    #[test]
+    fn unification_failure_makes_atoms_definitely_false_under_cwa() {
+        // D = {R(1, ⊥)}: R(2, 2) needs the constant 1 to become 2 — no
+        // valuation does that, so under CWA the atom is False and its
+        // negation certainly true; OWA still cannot close the relation.
+        let d = inst! { "R" => [[c(1), x(1)]] };
+        let q = "!R(2, 2)";
+        assert_eq!(truth(&d, q, EvalProfile::closed()), Truth::True);
+        assert_eq!(truth(&d, q, EvalProfile::powerset()), Truth::True);
+        assert_eq!(truth(&d, q, EvalProfile::open_world()), Truth::Unknown);
+        // R(1, 5) unifies (⊥ ↦ 5): unknown, not false, under CWA.
+        assert_eq!(truth(&d, "!R(1, 5)", EvalProfile::closed()), Truth::Unknown);
+        // A relation the instance never mentions is empty in every closed
+        // world but arbitrary in an open one.
+        assert_eq!(truth(&d, "!T(1)", EvalProfile::closed()), Truth::True);
+        assert_eq!(
+            truth(&d, "!T(1)", EvalProfile::open_world()),
+            Truth::Unknown
+        );
+    }
+
+    #[test]
+    fn repeated_nulls_constrain_single_valuation_unification_only() {
+        // D = {R(⊥₁,⊥₁)}: R(1,2) requires ⊥₁ ↦ 1 and ⊥₁ ↦ 2 at once — under
+        // CWA that fails, so R(1,2) is definitely false. Under the powerset
+        // semantics the union v₁(D) ∪ v₂(D) still only produces tuples of
+        // the form (a,a) — the *renamed* unifier keeps each stored tuple's
+        // occurrences tied — so it is false there too.
+        let d = inst! { "R" => [[x(1), x(1)]] };
+        assert_eq!(truth(&d, "R(1, 2)", EvalProfile::closed()), Truth::False);
+        assert_eq!(truth(&d, "R(1, 2)", EvalProfile::powerset()), Truth::False);
+        assert_eq!(
+            truth(&d, "R(1, 2)", EvalProfile::open_world()),
+            Truth::Unknown
+        );
+        // Distinct stored nulls, by contrast, may diverge.
+        let d2 = inst! { "R" => [[x(1), x(2)]] };
+        assert_eq!(truth(&d2, "R(1, 2)", EvalProfile::closed()), Truth::Unknown);
+    }
+
+    #[test]
+    fn open_domain_blocks_exists_exhaustion() {
+        // Every adom candidate makes R(1, u) false, which settles ∃u R(1,u)
+        // only when quantifiers cannot reach elements outside the adom
+        // image — i.e. under a closed domain, not under the powerset one.
+        let d = inst! { "R" => [[c(2), x(2)]] };
+        assert_eq!(
+            truth(&d, "exists u . R(1, u)", EvalProfile::closed()),
+            Truth::False
+        );
+        assert_eq!(
+            truth(&d, "exists u . R(1, u)", EvalProfile::powerset()),
+            Truth::Unknown,
+            "powerset keeps an open domain, so ∃-exhaustion is not definitive"
+        );
+    }
+
+    #[test]
+    fn eq_rules_are_profile_independent() {
+        let d = inst! { "R" => [[x(1), x(2)]] };
+        for profile in [
+            EvalProfile::open_world(),
+            EvalProfile::weak_closed(),
+            EvalProfile::closed(),
+            EvalProfile::powerset(),
+        ] {
+            // Identical values: true; distinct constants: false; a null
+            // against anything else: unknown.
+            assert_eq!(truth(&d, "exists u . u = u", profile), Truth::True);
+            assert_eq!(truth(&d, "1 = 1", profile), Truth::True);
+            assert_eq!(truth(&d, "1 = 2", profile), Truth::False);
+        }
+        // A null against a constant is unknown even under CWA.
+        assert_eq!(
+            truth(&d, "forall u v . u = v", EvalProfile::closed()),
+            Truth::Unknown
+        );
+    }
+
+    #[test]
+    fn under_approximation_returns_only_constant_tuples() {
+        // D = {R(1,2), R(2,⊥)}: x with some successor. 1 certainly
+        // qualifies; 2's successor is a null, which still *exists* in every
+        // world, so 2 qualifies too (the witness ⊥ is in adom(D)).
+        let d = inst! { "R" => [[c(1), c(2)], [c(2), x(1)]] };
+        let q = parse_query("Q(u) :- exists v . R(u, v)").expect("parses");
+        let under = under_approximation(&d, &q, EvalProfile::open_world());
+        let expected: BTreeSet<Tuple> = [
+            Tuple::new(vec![Value::int(1)]),
+            Tuple::new(vec![Value::int(2)]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(under, expected);
+        for t in &under {
+            assert!(t.is_complete());
+        }
+    }
+
+    #[test]
+    fn boolean_under_approximation_uses_the_unit_encoding() {
+        let d = d0();
+        let q = parse_query("forall u . exists v . D(u, v)").expect("parses");
+        let under = under_approximation(&d, &q, EvalProfile::closed());
+        assert_eq!(under.len(), 1, "certainly true ⇒ {{()}}");
+        assert!(under.iter().all(|t| t.arity() == 0));
+        let open = under_approximation(&d, &q, EvalProfile::open_world());
+        assert!(open.is_empty(), "unknown at the root ⇒ excluded");
+    }
+
+    #[test]
+    fn query_only_constants_are_comparable_but_never_answers() {
+        let d = inst! { "R" => [[c(1), x(1)]] };
+        // 7 is not in adom(D); the formula must still evaluate.
+        assert_eq!(truth(&d, "R(7, 7)", EvalProfile::closed()), Truth::False);
+        assert_eq!(
+            truth(&d, "exists u . R(1, u) & u = 7", EvalProfile::closed()),
+            Truth::Unknown,
+            "⊥ ↦ 7 is possible but not certain"
+        );
+        let q = parse_query("Q(u) :- u = 7").expect("parses");
+        assert!(
+            under_approximation(&d, &q, EvalProfile::closed()).is_empty(),
+            "query-only constants are not certain answers"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # nev-symbolic — PTIME symbolic approximation of certain answers
+//!
+//! The paper's Figure 1 leaves a block of (semantics, fragment) cells where
+//! naïve evaluation is **not** guaranteed; the engine's only exact recourse
+//! there is enumerating possible worlds, which is exponential in the null
+//! count. This crate provides the polynomial-time alternatives that let the
+//! dispatcher retire that fallback for most workloads:
+//!
+//! * [`kleene`] — a Kleene strong 3-valued evaluator over naïve tables.
+//!   Nulls compare *unknown*; unknown-as-false at the root yields a
+//!   **sound under-approximation** of certain answers for full first-order
+//!   logic, under every semantics, in PTIME (same cost class as one naïve
+//!   pass). How aggressively atoms and quantifiers may be closed off is
+//!   controlled by a per-semantics [`EvalProfile`].
+//! * [`cond`] + [`ctable`] — c-table style local conditions: bounded DNF
+//!   formulas of `=`/`≠` literals over values. Under CWA, where every
+//!   possible world is `v(D)` for a valuation `v` of the nulls, a tuple is a
+//!   certain answer iff its condition is *valid*. When the surviving
+//!   conditions stay equality-conjunctive the validity check is exact, giving
+//!   an **exact PTIME mode** for a useful slice of CWA queries.
+//!
+//! The sandwich `under ⊆ certain ⊆ naive` closes the loop: whenever the
+//! 3-valued under-approximation coincides with the naïve over-approximation,
+//! the certain answers are known **exactly with zero worlds enumerated**.
+//! The dispatcher that exploits this lives in `nev-core::engine`; this crate
+//! is deliberately independent of it (it only needs `nev-incomplete`,
+//! `nev-logic`, and `nev-exec`'s interning) so the engine can depend on us.
+//!
+//! ## Module DAG
+//!
+//! ```text
+//!   tvl ──► kleene ◄── profile
+//!   cond ──► ctable
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cond;
+pub mod ctable;
+pub mod kleene;
+pub mod profile;
+pub mod tvl;
+
+pub use cond::Cond;
+pub use ctable::{cwa_certain_answers, CwaReport};
+pub use kleene::{truth_of_sentence, under_approximation, KleeneEvaluator};
+pub use profile::{AtomClosure, EvalProfile};
+pub use tvl::Truth;

@@ -1,0 +1,133 @@
+//! Per-semantics evaluation profiles: how far the 3-valued evaluator may
+//! strengthen `Unknown` into a definite verdict without losing soundness.
+//!
+//! The Kleene evaluator's core rules are sound under *every* semantics of
+//! incompleteness: a tuple literally stored in `D` maps into every world, two
+//! syntactically identical values stay equal under every valuation, and two
+//! distinct constants stay distinct. What differs between the paper's
+//! semantics is how much *more* can be concluded:
+//!
+//! * **Atom falsity.** Under open-world semantics a possible world may contain
+//!   tuples `D` never mentions, so a missing atom is merely `Unknown`. Under
+//!   (minimal) CWA every world is `v(D)` for one valuation `v`, so an atom is
+//!   definitely false iff no stored tuple unifies with it under a single
+//!   consistent valuation. Under the powerset semantics a world is a *union*
+//!   `v_1(D) ∪ … ∪ v_m(D)`, so the stored tuple's nulls must be renamed apart
+//!   from the query tuple's nulls before unifying — a weaker test, because two
+//!   occurrences of the same stored null may resolve differently across the
+//!   union's branches.
+//! * **Domain closure.** `∃x φ` is definitely false (and dually `∀x φ`
+//!   definitely true) only if quantifiers cannot reach elements outside
+//!   `adom(D)`'s image. That holds for CWA and WCWA, where
+//!   `adom(W) = v(adom(D))`. It fails for OWA (worlds add fresh values) *and*
+//!   for the powerset semantics: on `D = {E(⊥,⊥)}` the powerset world
+//!   `v_1(D) ∪ v_2(D) = {E(1,1), E(2,2)}` refutes `∃y ∀x E(x,y)` even though
+//!   every single-valuation image satisfies it — so treating the adom image
+//!   as exhaustive for `∀`-introduction would be unsound there.
+//!
+//! The minimal variants inherit their parent's profile: minimal worlds are a
+//! subset of the parent's worlds, so every ∀-world invariant carries over.
+
+/// How confidently a missing atom can be called false.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AtomClosure {
+    /// Worlds may contain tuples `D` never mentions (OWA, WCWA): a missing
+    /// atom is `Unknown`, never `False`.
+    Open,
+    /// Every world is `v(D)` for a single valuation (CWA, minimal CWA): a
+    /// missing atom is `False` iff no stored tuple unifies with it under one
+    /// consistent valuation.
+    Unify,
+    /// Worlds are unions of valuation images (powerset CWA and its minimal
+    /// variant): unify with each stored tuple's nulls *renamed apart* from
+    /// the query tuple's nulls.
+    UnifyRenamed,
+}
+
+/// A per-semantics soundness profile for the Kleene evaluator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EvalProfile {
+    /// The atom-falsity rule the semantics supports.
+    pub atom_closure: AtomClosure,
+    /// Whether quantifiers range only over the image of `adom(D)`, making
+    /// `∃`-falsity and `∀`-truth provable from the active domain alone.
+    pub closed_domain: bool,
+}
+
+impl EvalProfile {
+    /// Profile for the open-world assumption: nothing may be closed off.
+    pub const fn open_world() -> Self {
+        EvalProfile {
+            atom_closure: AtomClosure::Open,
+            closed_domain: false,
+        }
+    }
+
+    /// Profile for the weak closed-world assumption: the domain is closed
+    /// (`adom(W) = v(adom(D))`) but relations may still grow.
+    pub const fn weak_closed() -> Self {
+        EvalProfile {
+            atom_closure: AtomClosure::Open,
+            closed_domain: true,
+        }
+    }
+
+    /// Profile for the closed-world assumption and its minimal variant:
+    /// single-valuation unification decides atom falsity and the domain is
+    /// closed.
+    pub const fn closed() -> Self {
+        EvalProfile {
+            atom_closure: AtomClosure::Unify,
+            closed_domain: true,
+        }
+    }
+
+    /// Profile for the powerset closed-world assumption and its minimal
+    /// variant: unification with renamed stored nulls, open domain (see the
+    /// module docs for the `∃y ∀x E(x,y)` counterexample).
+    pub const fn powerset() -> Self {
+        EvalProfile {
+            atom_closure: AtomClosure::UnifyRenamed,
+            closed_domain: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_pin_the_soundness_table() {
+        assert_eq!(
+            EvalProfile::open_world(),
+            EvalProfile {
+                atom_closure: AtomClosure::Open,
+                closed_domain: false
+            }
+        );
+        assert_eq!(
+            EvalProfile::weak_closed(),
+            EvalProfile {
+                atom_closure: AtomClosure::Open,
+                closed_domain: true
+            }
+        );
+        assert_eq!(
+            EvalProfile::closed(),
+            EvalProfile {
+                atom_closure: AtomClosure::Unify,
+                closed_domain: true
+            }
+        );
+        // The powerset profile must NOT claim a closed domain; see the
+        // module-level counterexample.
+        assert_eq!(
+            EvalProfile::powerset(),
+            EvalProfile {
+                atom_closure: AtomClosure::UnifyRenamed,
+                closed_domain: false
+            }
+        );
+    }
+}

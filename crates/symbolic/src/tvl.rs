@@ -1,0 +1,127 @@
+//! Kleene's strong three-valued logic.
+//!
+//! The truth values are ordered `False < Unknown < True`, which makes Kleene
+//! conjunction the minimum and disjunction the maximum — the same trick SQL's
+//! `WHERE` evaluation uses. Negation swaps the poles and fixes `Unknown`.
+
+use std::fmt;
+
+/// A truth value of Kleene's strong three-valued logic.
+///
+/// The derived `Ord` realises the truth ordering `False < Unknown < True`,
+/// so [`Truth::and`] is `min` and [`Truth::or`] is `max`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Truth {
+    /// Definitely false in every possible world under the active profile.
+    False,
+    /// Cannot be resolved without knowing the nulls.
+    Unknown,
+    /// Definitely true in every possible world under the active profile.
+    True,
+}
+
+impl Truth {
+    /// Kleene conjunction (the minimum in the truth ordering).
+    pub fn and(self, other: Truth) -> Truth {
+        self.min(other)
+    }
+
+    /// Kleene disjunction (the maximum in the truth ordering).
+    pub fn or(self, other: Truth) -> Truth {
+        self.max(other)
+    }
+
+    /// Kleene negation: swaps `True` and `False`, fixes `Unknown`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+            Truth::True => Truth::False,
+        }
+    }
+
+    /// Embeds a classical boolean.
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Returns `true` iff the value is [`Truth::True`].
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+
+    /// Returns `true` iff the value is [`Truth::False`].
+    pub fn is_false(self) -> bool {
+        self == Truth::False
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Truth::False => "false",
+            Truth::Unknown => "unknown",
+            Truth::True => "true",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Truth::{self, False, True, Unknown};
+
+    const ALL: [Truth; 3] = [False, Unknown, True];
+
+    #[test]
+    fn kleene_truth_tables() {
+        // Conjunction/disjunction are min/max in the truth ordering.
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+        for a in ALL {
+            assert_eq!(a.and(True), a);
+            assert_eq!(a.or(False), a);
+            assert_eq!(a.and(False), False);
+            assert_eq!(a.or(True), True);
+        }
+    }
+
+    #[test]
+    fn negation_is_an_involution_fixing_unknown() {
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Unknown.not(), Unknown);
+        for a in ALL {
+            assert_eq!(a.not().not(), a);
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_embedding_and_display() {
+        assert_eq!(Truth::from_bool(true), True);
+        assert_eq!(Truth::from_bool(false), False);
+        assert!(True.is_true() && !True.is_false());
+        assert!(False.is_false() && !False.is_true());
+        assert!(!Unknown.is_true() && !Unknown.is_false());
+        assert_eq!(format!("{False} {Unknown} {True}"), "false unknown true");
+    }
+}

@@ -1,0 +1,81 @@
+//! The PTIME symbolic pipeline: certifying certain answers without enumerating a
+//! single possible world.
+//!
+//! ```text
+//! cargo run --example symbolic_sandwich
+//! ```
+//!
+//! On Figure 1 cells with no naïve-evaluation guarantee the engine used to have one
+//! option: the bounded possible-world oracle, exponential in the null count. The
+//! `nev-symbolic` sandwich gives it a second one. The Kleene 3-valued evaluation is
+//! a sound PTIME **under**-approximation `U` of the certain answers, and naïve
+//! evaluation is an **over**-approximation `N`; whenever `U == N` the sandwich
+//! closes and the verdict is exact — with zero worlds enumerated. Only open
+//! sandwiches still pay for the oracle, and when its capped world stream runs out
+//! the answer now carries a `truncated` flag instead of posing as exact.
+
+use nev_bench::workloads::{null_density_workload, sandwich_certified_query, sandwich_open_query};
+use nev_core::engine::{CertainEngine, EngineError, EvalPlan};
+use nev_core::{Semantics, WorldBounds};
+
+fn main() -> Result<(), EngineError> {
+    // Eight facts, eight independent nulls: far past the feasibility wall of a
+    // capped oracle (the WCWA world count is exponential in the null count).
+    let d = null_density_workload(8);
+    println!("Incomplete database D (8 independent nulls):\n{d}\n");
+
+    // --- 1. The sandwich closes: an exact verdict with zero worlds. -----------
+    let engine = CertainEngine::new();
+    let certified = engine.prepare("exists u . S(u) & !R(u)")?;
+    assert_eq!(certified.query(), &sandwich_certified_query());
+    let evaluation = engine.evaluate(&d, Semantics::Wcwa, &certified);
+    println!("∃u (S(u) ∧ ¬R(u)) under WCWA:");
+    match &evaluation.plan {
+        EvalPlan::Symbolic(certificate) => println!("  dispatch: {certificate}"),
+        other => panic!("expected a symbolic certificate, got {other:?}"),
+    }
+    println!(
+        "  certain: {}, worlds enumerated: {}\n",
+        if evaluation.certain.is_empty() {
+            "false"
+        } else {
+            "true"
+        },
+        evaluation.worlds_enumerated
+    );
+    assert!(evaluation.plan.is_symbolic());
+    assert_eq!(evaluation.worlds_enumerated, 0, "the oracle was retired");
+    assert!(!evaluation.truncated);
+
+    // --- 2. An open sandwich falls back to the oracle — visibly truncated. ----
+    let capped = CertainEngine::with_bounds(WorldBounds {
+        max_worlds: 256,
+        ..WorldBounds::default()
+    });
+    let open = capped.prepare("exists u . R(u) & !S(u)")?;
+    assert_eq!(open.query(), &sandwich_open_query());
+    let oracle = capped.evaluate(&d, Semantics::Wcwa, &open);
+    println!("∃u (R(u) ∧ ¬S(u)) under WCWA, world cap 256:");
+    println!(
+        "  dispatch: {:?}, worlds enumerated: {}, truncated: {}\n",
+        oracle.plan, oracle.worlds_enumerated, oracle.truncated
+    );
+    assert_eq!(oracle.plan, EvalPlan::BoundedEnumeration);
+    assert!(
+        oracle.truncated,
+        "past the wall the capped stream is cut off, and says so"
+    );
+
+    // --- 3. The same point, answered soundly in PTIME. ------------------------
+    let under = engine.symbolic_under_approximation(&d, Semantics::Wcwa, &open);
+    println!("Kleene under-approximation of the same query:");
+    println!(
+        "  U = {:?} ⊆ certain answers — sound at any null density, no worlds",
+        under.certain
+    );
+    assert!(under.plan.is_symbolic());
+    assert_eq!(under.worlds_enumerated, 0);
+
+    println!("\nSandwich certified: exact, zero worlds; oracle past the wall: truncated.");
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Differential suite for the `nev-symbolic` pipeline: on seeded workloads across
+//! all 30 Figure 1 cells,
+//!
+//! * the Kleene 3-valued evaluation is a sound **under**-approximation — its
+//!   answers are a subset of the bounded oracle's on every cell (the oracle itself
+//!   over-approximates the true certain answers, so the inclusion is conservative);
+//! * wherever the fresh-injective world exists (every non-minimal cell, and
+//!   minimal cells on cores) the oracle's untruncated answers sit inside the naïve
+//!   **over**-approximation, closing the sandwich `U ⊆ certain ⊆ N`;
+//! * whenever dispatch upgrades to a symbolic plan — the sandwich closing or the
+//!   CWA conditional-table evaluator going exact — the certified answers are
+//!   byte-identical to the untruncated oracle's, with **zero** worlds enumerated
+//!   and a certificate that re-checks.
+
+use std::collections::BTreeSet;
+
+use nev_bench::workloads::{
+    cell_workload, null_density_workload, sandwich_certified_query, DEFAULT_SEED,
+};
+use nev_core::engine::{CertainEngine, PreparedQuery};
+use nev_core::summary::FRAGMENTS;
+use nev_core::{Semantics, WorldBounds};
+use nev_hom::is_core;
+use nev_incomplete::Instance;
+
+fn bounds() -> WorldBounds {
+    WorldBounds {
+        owa_max_extra_tuples: 1,
+        wcwa_max_extra_tuples: 2,
+        ..WorldBounds::default()
+    }
+}
+
+/// One seeded trial per Figure 1 cell (raw generated instances — the minimal-cell
+/// side conditions are checked per instance, not normalised away).
+fn cell_trials(seed: u64) -> Vec<(Semantics, PreparedQuery, Instance)> {
+    Semantics::ALL
+        .into_iter()
+        .flat_map(|semantics| {
+            FRAGMENTS.into_iter().map(move |fragment| {
+                let cell_seed = seed
+                    .wrapping_mul(131)
+                    .wrapping_add(semantics as u64 * 31 + fragment as u64);
+                let (instance, query) = cell_workload(fragment, cell_seed, 1)
+                    .pop()
+                    .expect("one trial");
+                (semantics, PreparedQuery::new(query), instance)
+            })
+        })
+        .collect()
+}
+
+fn is_subset(a: &BTreeSet<nev_incomplete::Tuple>, b: &BTreeSet<nev_incomplete::Tuple>) -> bool {
+    a.iter().all(|t| b.contains(t))
+}
+
+/// The sandwich inclusions on every cell: `U ⊆ oracle` always, and
+/// `oracle ⊆ naive` wherever the fresh-injective world exists and the oracle
+/// completed its (bounded) stream.
+#[test]
+fn kleene_under_approximation_is_sound_on_every_cell() {
+    let engine = CertainEngine::with_bounds(bounds());
+    for seed in [DEFAULT_SEED, DEFAULT_SEED ^ 0x5a5a] {
+        for (semantics, query, instance) in cell_trials(seed) {
+            let oracle = engine.compare(&instance, semantics, &query);
+            let under = engine.symbolic_under_approximation(&instance, semantics, &query);
+            assert!(under.plan.is_symbolic());
+            assert_eq!(under.worlds_enumerated, 0);
+            assert!(
+                is_subset(&under.certain, &oracle.certain),
+                "{} × {}: U ⊄ oracle on\n{}",
+                semantics,
+                query.fragment(),
+                instance
+            );
+            if !oracle.truncated && (!semantics.is_minimal() || is_core(&instance)) {
+                assert!(
+                    is_subset(&oracle.certain, &oracle.naive),
+                    "{} × {}: oracle ⊄ naive on\n{}",
+                    semantics,
+                    query.fragment(),
+                    instance
+                );
+            }
+        }
+    }
+}
+
+/// Wherever evaluation-time dispatch upgrades to a symbolic plan, the certified
+/// answers are byte-identical to the forced oracle's and no world is enumerated.
+#[test]
+fn symbolic_certified_answers_match_the_oracle() {
+    let engine = CertainEngine::with_bounds(bounds());
+    let mut certified = 0usize;
+    for seed in [DEFAULT_SEED, DEFAULT_SEED ^ 0x5a5a] {
+        for (semantics, query, instance) in cell_trials(seed) {
+            let Some(symbolic) = engine.evaluate_symbolic(&instance, semantics, &query) else {
+                continue;
+            };
+            certified += 1;
+            assert_eq!(symbolic.worlds_enumerated, 0);
+            let certificate = symbolic
+                .plan
+                .symbolic_certificate()
+                .expect("a symbolic plan carries its certificate");
+            assert!(certificate.check(), "{} × {}", semantics, query.fragment());
+            let oracle = engine.compare(&instance, semantics, &query);
+            if !oracle.truncated {
+                assert_eq!(
+                    symbolic.certain,
+                    oracle.certain,
+                    "{} × {}: certified answers diverge on\n{}",
+                    semantics,
+                    query.fragment(),
+                    instance
+                );
+            }
+        }
+    }
+    assert!(
+        certified > 0,
+        "the seeded sweep should certify at least one non-guaranteed trial"
+    );
+}
+
+/// The acceptance workload: a seeded null-density instance the sandwich certifies
+/// under WCWA with zero worlds, byte-identical to the (cheap, early-exiting)
+/// oracle; and a complete instance the CWA conditional-table evaluator answers
+/// exactly on a full-FO query.
+#[test]
+fn seeded_workloads_sandwich_certify_with_zero_worlds() {
+    let engine = CertainEngine::new();
+
+    let d = null_density_workload(6);
+    let query = PreparedQuery::new(sandwich_certified_query());
+    let evaluation = engine.evaluate(&d, Semantics::Wcwa, &query);
+    assert!(evaluation.plan.is_symbolic(), "the sandwich closes");
+    assert_eq!(evaluation.worlds_enumerated, 0);
+    assert!(!evaluation.truncated);
+    let oracle = engine.compare(&d, Semantics::Wcwa, &query);
+    assert!(!oracle.truncated, "a Boolean false early-exits the stream");
+    assert_eq!(evaluation.certain, oracle.certain);
+
+    let complete = nev_incomplete::inst! { "D" => [[nev_incomplete::builder::c(1), nev_incomplete::builder::c(2)]] };
+    let fo = engine.prepare("exists u v . D(u, v) & !(u = v)").unwrap();
+    let exact = engine.evaluate(&complete, Semantics::Cwa, &fo);
+    assert!(exact.plan.is_symbolic(), "conditional tables go exact");
+    assert_eq!(exact.worlds_enumerated, 0);
+    assert_eq!(
+        exact.certain,
+        engine.compare(&complete, Semantics::Cwa, &fo).certain
+    );
+}
