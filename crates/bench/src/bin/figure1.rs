@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! figure1 [--quick] [--trials N] [--seed S] [--semantics NAME] [--fragment NAME]
-//!         [--threads N] [--skip-table] [--skip-examples]
+//!         [--threads N] [--timings] [--skip-table] [--skip-examples]
 //! ```
 //!
 //! `--semantics` / `--fragment` restrict the table to one row / column; they accept
@@ -17,14 +17,19 @@
 //! `--threads N` validates the cells in parallel on an `N`-worker `nev-runtime`
 //! pool; each cell is an independent deterministic task, so the table is
 //! byte-identical at every thread count. When the flag is absent, `NEV_WORKERS`
-//! (the workspace-wide pool-size knob) supplies the default.
+//! (the workspace-wide pool-size knob) supplies the default. `--timings`
+//! appends a per-cell wall-time column to the table; it is **off** by default
+//! precisely because timings vary run to run while the default table's bytes
+//! must not.
 //!
 //! The output is Markdown; `EXPERIMENTS.md` records a captured run.
 
 use std::sync::Arc;
 
 use nev_bench::examples::{render_examples_markdown, run_paper_examples};
-use nev_bench::figure1::{cell_pairs, render_markdown, run_cell, Figure1Config};
+use nev_bench::figure1::{
+    cell_pairs, render_markdown, render_markdown_timed, run_cell, Figure1Config,
+};
 use nev_core::Semantics;
 use nev_logic::Fragment;
 use nev_serve::cli::parse_flag_value;
@@ -37,12 +42,13 @@ struct Options {
     semantics: Option<Semantics>,
     fragment: Option<Fragment>,
     threads: usize,
+    timings: bool,
 }
 
 fn usage_and_exit(code: i32) -> ! {
     println!(
         "usage: figure1 [--quick] [--trials N] [--seed S] [--semantics NAME] \
-         [--fragment NAME] [--threads N] [--skip-table] [--skip-examples]"
+         [--fragment NAME] [--threads N] [--timings] [--skip-table] [--skip-examples]"
     );
     std::process::exit(code);
 }
@@ -55,6 +61,7 @@ fn parse_options() -> Options {
         semantics: None,
         fragment: None,
         threads: env_workers().unwrap_or(0),
+        timings: false,
     };
     let mut args = std::env::args().skip(1);
     let mut explicit_trials = false;
@@ -75,6 +82,7 @@ fn parse_options() -> Options {
             "--semantics" => options.semantics = Some(parse_flag_value("--semantics", args.next())),
             "--fragment" => options.fragment = Some(parse_flag_value("--fragment", args.next())),
             "--threads" => options.threads = parse_flag_value("--threads", args.next()),
+            "--timings" => options.timings = true,
             "--skip-table" => options.run_table = false,
             "--skip-examples" => options.run_examples = false,
             "--help" | "-h" => usage_and_exit(0),
@@ -144,7 +152,14 @@ fn main() {
                 .map(|(semantics, fragment)| run_cell(semantics, fragment, &options.config))
                 .collect()
         };
-        print!("{}", render_markdown(&outcomes));
+        print!(
+            "{}",
+            if options.timings {
+                render_markdown_timed(&outcomes)
+            } else {
+                render_markdown(&outcomes)
+            }
+        );
         let mismatches: Vec<_> = outcomes
             .iter()
             .filter(|o| !o.satisfies_expectation())

@@ -107,6 +107,10 @@ pub struct CellOutcome {
     pub symbolic_plans: usize,
     /// Human-readable descriptions of the first few disagreements found.
     pub counterexamples: Vec<String>,
+    /// Wall time spent validating the cell, microseconds. Never part of the
+    /// default table rendering (timings vary run to run; the table must stay
+    /// byte-identical at every thread count) — shown only under `--timings`.
+    pub wall_us: u64,
 }
 
 impl CellOutcome {
@@ -146,6 +150,7 @@ impl CellOutcome {
 /// comparison (Corollary 10.12); soundness (naïve ⊆ certain) is additionally recorded
 /// on the *original* instance (Proposition 10.13).
 pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config) -> CellOutcome {
+    let cell_timer = nev_obs::Timer::start_always();
     let expectation = expectation(semantics, fragment);
     let cell_seed = config
         .seed
@@ -223,6 +228,7 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
         compiled_plans,
         symbolic_plans,
         counterexamples,
+        wall_us: cell_timer.elapsed_us(),
     }
 }
 
@@ -269,13 +275,33 @@ pub fn run_all_cells(config: &Figure1Config) -> Vec<CellOutcome> {
 }
 
 /// Renders cell outcomes as a Markdown table (the regenerated Figure 1).
+///
+/// The default rendering deliberately omits [`CellOutcome::wall_us`] so the
+/// table bytes depend only on the seed, never on the machine or the thread
+/// count. [`render_markdown_timed`] adds the wall-time column on request.
 pub fn render_markdown(outcomes: &[CellOutcome]) -> String {
+    render_figure1_table(outcomes, false)
+}
+
+/// [`render_markdown`] plus a trailing per-cell `wall time` column — the
+/// `figure1 --timings` rendering. Timings vary run to run, so this variant is
+/// opt-in and never used where byte-identity is asserted.
+pub fn render_markdown_timed(outcomes: &[CellOutcome]) -> String {
+    render_figure1_table(outcomes, true)
+}
+
+fn render_figure1_table(outcomes: &[CellOutcome], timings: bool) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "| semantics | fragment | paper | agreement | sound | certified plan | compiled | symbolic | status |"
+        "| semantics | fragment | paper | agreement | sound | certified plan | compiled | symbolic | status |{}",
+        if timings { " wall time |" } else { "" }
     );
-    let _ = writeln!(s, "|---|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(
+        s,
+        "|---|---|---|---|---|---|---|---|---|{}",
+        if timings { "---|" } else { "" }
+    );
     for o in outcomes {
         let paper = match o.expectation {
             Expectation::Works => "works",
@@ -291,7 +317,7 @@ pub fn render_markdown(outcomes: &[CellOutcome]) -> String {
         } else {
             "MISMATCH"
         };
-        let _ = writeln!(
+        let _ = write!(
             s,
             "| {} | {} | {} | {}/{} | {}/{} | {}/{} | {}/{} | {}/{} | {} |",
             o.semantics,
@@ -309,8 +335,22 @@ pub fn render_markdown(outcomes: &[CellOutcome]) -> String {
             o.trials,
             status
         );
+        if timings {
+            let _ = write!(s, " {} |", render_wall_time(o.wall_us));
+        }
+        s.push('\n');
     }
     s
+}
+
+/// Human-readable wall time: microseconds below 1 ms, otherwise milliseconds
+/// with one decimal. Only used by the opt-in `--timings` column.
+fn render_wall_time(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us} µs")
+    } else {
+        format!("{}.{} ms", us / 1_000, (us % 1_000) / 100)
+    }
 }
 
 #[cfg(test)]
@@ -367,11 +407,31 @@ mod tests {
             compiled_plans: 2,
             symbolic_plans: 1,
             counterexamples: vec![],
+            wall_us: 1_234,
         }];
         let md = render_markdown(&outcomes);
         assert!(md.contains("OWA"));
         assert!(md.contains("∃Pos"));
         assert!(md.contains("3/3"));
         assert!(md.contains("ok"));
+        // The default table never leaks wall time: its bytes must be stable
+        // across runs and thread counts.
+        assert!(!md.contains("wall time"));
+        assert!(!md.contains("ms |"));
+        let timed = render_markdown_timed(&outcomes);
+        assert!(timed.contains("| wall time |"));
+        assert!(timed.contains("| 1.2 ms |"));
+        // Identical except for the extra column.
+        assert_eq!(timed.lines().count(), md.lines().count());
+    }
+
+    #[test]
+    fn cells_record_their_wall_time() {
+        let config = Figure1Config {
+            trials: 1,
+            ..Figure1Config::quick()
+        };
+        let outcome = run_cell(Semantics::Owa, Fragment::ExistentialPositive, &config);
+        assert!(outcome.wall_us > 0, "a trial takes measurable time");
     }
 }

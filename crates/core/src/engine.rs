@@ -65,7 +65,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
-use nev_exec::{CompiledQuery, CompilerConfig, ExecOptions, ExecStats};
+use nev_exec::{CompiledQuery, CompilerConfig, ExecOptions, ExecStats, ExecTimings};
 use nev_hom::is_core;
 use nev_incomplete::{Constant, Instance, Tuple};
 use nev_logic::eval::{evaluate_boolean, evaluate_query, naive_eval_query};
@@ -73,6 +73,7 @@ use nev_logic::fragment::classify;
 use nev_logic::parser::ParseError;
 use nev_logic::query::QueryError;
 use nev_logic::{parse_query, Fragment, Query};
+use nev_obs::{Stage, Timer, Trace, TraceRecorder};
 use nev_runtime::WorkerPool;
 use nev_symbolic::{cwa_certain_answers, under_approximation, EvalProfile};
 
@@ -146,7 +147,33 @@ pub struct PreparedQuery {
     fragment: Fragment,
     constants: BTreeSet<Constant>,
     compiled: Option<CompiledQuery>,
+    prep: PrepTimings,
 }
+
+/// Wall-clock telemetry for the three preparation stages of a [`PreparedQuery`]:
+/// parse, classify and compile. All zero when tracing is disabled (`NEV_TRACE=0`)
+/// or when the query was built from an already-parsed [`Query`] (no parse stage).
+///
+/// Telemetry never participates in equality: two `PreparedQuery`s that prepared
+/// the same query compare equal regardless of how long preparation took, so
+/// plan-cache lookups and the differential suites stay timing-independent.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrepTimings {
+    /// Microseconds spent in `parse_query` (zero for pre-parsed queries).
+    pub parse_us: u64,
+    /// Microseconds spent classifying the formula into its Figure 1 fragment.
+    pub classify_us: u64,
+    /// Microseconds spent in the `nev-exec` compiler (including `nev-opt` rewrites).
+    pub compile_us: u64,
+}
+
+impl PartialEq for PrepTimings {
+    fn eq(&self, _other: &Self) -> bool {
+        true // telemetry is not part of a prepared query's identity
+    }
+}
+
+impl Eq for PrepTimings {}
 
 impl PreparedQuery {
     /// Prepares an already-built [`Query`]: classifies it into the smallest Figure 1
@@ -162,20 +189,40 @@ impl PreparedQuery {
     /// `optimize: false` to pin the literal syntactic lowering as a baseline
     /// (the differential suite compares optimised against exactly this).
     pub fn with_compiler_config(query: Query, config: &CompilerConfig) -> Self {
+        let classify_timer = Timer::start();
         let fragment = classify(query.formula());
         let constants = query.formula().constants();
+        let classify_us = classify_timer.elapsed_us();
+        let compile_timer = Timer::start();
         let compiled = CompiledQuery::compile_with(&query, config).ok();
+        let prep = PrepTimings {
+            parse_us: 0,
+            classify_us,
+            compile_us: compile_timer.elapsed_us(),
+        };
         PreparedQuery {
             query,
             fragment,
             constants,
             compiled,
+            prep,
         }
     }
 
     /// Parses and prepares a query from the text syntax of `nev-logic`.
     pub fn parse(text: &str) -> Result<Self, EngineError> {
-        Ok(PreparedQuery::new(parse_query(text)?))
+        let parse_timer = Timer::start();
+        let query = parse_query(text)?;
+        let parse_us = parse_timer.elapsed_us();
+        let mut prepared = PreparedQuery::new(query);
+        prepared.prep.parse_us = parse_us;
+        Ok(prepared)
+    }
+
+    /// Wall-clock telemetry for the parse/classify/compile preparation stages
+    /// (all-zero under `NEV_TRACE=0`). Never part of equality.
+    pub fn prep_timings(&self) -> PrepTimings {
+        self.prep
     }
 
     /// The underlying query.
@@ -585,6 +632,13 @@ pub struct Evaluation {
     /// and the number of evaluations that fell back to the interpreter because
     /// the query has no compiled plan.
     pub exec: ExecStats,
+    /// The per-request stage timeline (exec pass, symbolic probe, world
+    /// enumeration, …), bounded by [`nev_obs::MAX_SPANS`]. Empty when tracing is
+    /// disabled (`NEV_TRACE=0`) or the entry point did not record one. Like
+    /// [`ExecTimings`], traces never participate in equality — two evaluations
+    /// that computed the same answers compare equal whatever their timelines —
+    /// so the determinism suites hold with tracing on or off.
+    pub trace: Trace,
 }
 
 impl Evaluation {
@@ -626,6 +680,10 @@ pub struct BatchEvaluation {
     /// [`WorldBounds::max_worlds`] with unresolved queries still drawing on it
     /// (see [`Evaluation::truncated`]).
     pub truncated: bool,
+    /// The batch-level stage timeline: one exec span covering the planning loop
+    /// (naïve passes and symbolic probes) and one world-enumeration span for the
+    /// shared oracle pass. Never part of equality (see [`Evaluation::trace`]).
+    pub trace: Trace,
 }
 
 impl BatchEvaluation {
@@ -757,9 +815,27 @@ impl CertainEngine {
         semantics: Semantics,
         query: &PreparedQuery,
     ) -> Evaluation {
+        let recorder = TraceRecorder::new();
+        let mut eval = self.evaluate_traced(d, semantics, query, &recorder);
+        eval.trace = recorder.finish();
+        eval
+    }
+
+    /// [`CertainEngine::evaluate`] recording its stage timeline into a
+    /// caller-owned [`TraceRecorder`] — the serve layer uses this to splice the
+    /// engine's spans into a wider per-request trace (plan-cache probe, oracle
+    /// scheduling, …). The returned evaluation's own `trace` field is left
+    /// empty; the caller finishes the recorder when the request completes.
+    pub fn evaluate_traced(
+        &self,
+        d: &Instance,
+        semantics: Semantics,
+        query: &PreparedQuery,
+        recorder: &TraceRecorder,
+    ) -> Evaluation {
         match self.plan(d, semantics, query) {
             plan @ (EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)) => {
-                let (naive, exec) = naive_answers(d, query, &self.exec);
+                let (naive, exec) = self.naive_answers_traced(d, query, recorder);
                 Evaluation {
                     semantics,
                     plan,
@@ -768,15 +844,21 @@ impl CertainEngine {
                     worlds_enumerated: 0,
                     truncated: false,
                     exec,
+                    trace: Trace::default(),
                 }
             }
             EvalPlan::Symbolic(_) | EvalPlan::BoundedEnumeration => {
-                let (naive, mut exec) = naive_answers(d, query, &self.exec);
-                if let Some(eval) = self.symbolic_with_naive(d, semantics, query, &naive, &exec) {
+                let (naive, mut exec) = self.naive_answers_traced(d, query, recorder);
+                let symbolic_span = recorder.span(Stage::Symbolic);
+                let symbolic = self.symbolic_with_naive(d, semantics, query, &naive, &exec);
+                drop(symbolic_span);
+                if let Some(eval) = symbolic {
                     return eval;
                 }
+                let oracle_span = recorder.span(Stage::OracleWorlds);
                 let (certain, worlds_enumerated, truncated) =
                     self.bounded_certain(d, semantics, query, &mut exec);
+                drop(oracle_span);
                 Evaluation {
                     semantics,
                     plan: EvalPlan::BoundedEnumeration,
@@ -785,6 +867,7 @@ impl CertainEngine {
                     worlds_enumerated,
                     truncated,
                     exec,
+                    trace: Trace::default(),
                 }
             }
         }
@@ -835,6 +918,7 @@ impl CertainEngine {
             worlds_enumerated: 0,
             truncated: false,
             exec,
+            trace: Trace::default(),
         }
     }
 
@@ -898,6 +982,7 @@ impl CertainEngine {
                     worlds_enumerated: 0,
                     truncated: false,
                     exec: *exec,
+                    trace: Trace::default(),
                 });
             }
         }
@@ -917,6 +1002,7 @@ impl CertainEngine {
                     worlds_enumerated: 0,
                     truncated: false,
                     exec: *exec,
+                    trace: Trace::default(),
                 });
             }
         }
@@ -951,15 +1037,45 @@ impl CertainEngine {
         naive_answers(d, query, &self.exec)
     }
 
+    /// [`CertainEngine::naive_answers`] wrapped in a [`Stage::Exec`] span on the
+    /// caller's recorder, with the executor's scan / join-build / join-probe
+    /// phase timings replayed as child spans. A no-op recorder (tracing
+    /// disabled) records nothing and adds no timing calls.
+    pub fn naive_answers_traced(
+        &self,
+        d: &Instance,
+        query: &PreparedQuery,
+        recorder: &TraceRecorder,
+    ) -> (BTreeSet<Tuple>, ExecStats) {
+        let span = recorder.span(Stage::Exec);
+        let (naive, exec, timings) = naive_answers_timed(d, query, &self.exec);
+        if recorder.is_enabled() {
+            if timings.scan_us > 0 {
+                recorder.leaf(Stage::Scan, timings.scan_us);
+            }
+            if timings.join_build_us > 0 {
+                recorder.leaf(Stage::JoinBuild, timings.join_build_us);
+            }
+            if timings.join_probe_us > 0 {
+                recorder.leaf(Stage::JoinProbe, timings.join_probe_us);
+            }
+        }
+        drop(span);
+        (naive, exec)
+    }
+
     /// Runs the ground-truth oracle unconditionally — naïve evaluation **and** the
     /// bounded possible-world intersection — regardless of what Figure 1 guarantees.
     ///
     /// This is the validation entry point: the Figure 1 harness uses it to *check*
     /// the theorems that [`CertainEngine::evaluate`] *assumes*.
     pub fn compare(&self, d: &Instance, semantics: Semantics, query: &PreparedQuery) -> Evaluation {
-        let (naive, mut exec) = naive_answers(d, query, &self.exec);
+        let recorder = TraceRecorder::new();
+        let (naive, mut exec) = self.naive_answers_traced(d, query, &recorder);
+        let oracle_span = recorder.span(Stage::OracleWorlds);
         let (certain, worlds_enumerated, truncated) =
             self.bounded_certain(d, semantics, query, &mut exec);
+        drop(oracle_span);
         Evaluation {
             semantics,
             plan: EvalPlan::BoundedEnumeration,
@@ -968,6 +1084,7 @@ impl CertainEngine {
             worlds_enumerated,
             truncated,
             exec,
+            trace: recorder.finish(),
         }
     }
 
@@ -1019,9 +1136,11 @@ impl CertainEngine {
             exec: ExecStats,
         }
 
+        let recorder = TraceRecorder::new();
         let mut results: Vec<Option<Evaluation>> = (0..queries.len()).map(|_| None).collect();
         let mut pending: Vec<PendingQuery> = Vec::new();
         let mut merged = self.bounds.clone();
+        let planning_span = recorder.span(Stage::Exec);
         for (index, query) in queries.iter().map(std::borrow::Borrow::borrow).enumerate() {
             match self.plan(d, semantics, query) {
                 plan @ (EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)) => {
@@ -1034,6 +1153,7 @@ impl CertainEngine {
                         worlds_enumerated: 0,
                         truncated: false,
                         exec,
+                        trace: Trace::default(),
                     });
                 }
                 EvalPlan::Symbolic(_) | EvalPlan::BoundedEnumeration => {
@@ -1062,11 +1182,13 @@ impl CertainEngine {
                 }
             }
         }
+        drop(planning_span);
 
         let enumeration_passes = usize::from(!pending.is_empty());
         let mut worlds_enumerated = 0usize;
         let mut batch_truncated = false;
         if !pending.is_empty() {
+            let oracle_span = recorder.span(Stage::OracleWorlds);
             let mut worlds = semantics.worlds(d, &merged);
             for world in worlds.by_ref() {
                 worlds_enumerated += 1;
@@ -1089,6 +1211,7 @@ impl CertainEngine {
                     break;
                 }
             }
+            drop(oracle_span);
             // Queries that emptied their intersection exited definitively; the
             // rest drew on the whole stream, so a capped stream taints them.
             let stream_truncated = worlds.truncated();
@@ -1103,6 +1226,7 @@ impl CertainEngine {
                     worlds_enumerated,
                     truncated,
                     exec: p.exec,
+                    trace: Trace::default(),
                 });
             }
         }
@@ -1115,6 +1239,7 @@ impl CertainEngine {
             enumeration_passes,
             worlds_enumerated,
             truncated: batch_truncated,
+            trace: recorder.finish(),
         }
     }
 
@@ -1206,12 +1331,27 @@ fn naive_answers(
     query: &PreparedQuery,
     options: &ExecOptions,
 ) -> (BTreeSet<Tuple>, ExecStats) {
+    let (answers, stats, _) = naive_answers_timed(d, query, options);
+    (answers, stats)
+}
+
+/// [`naive_answers`] keeping the executor's per-phase wall-clock telemetry
+/// (all-zero for interpreter fallbacks and under `NEV_TRACE=0`).
+fn naive_answers_timed(
+    d: &Instance,
+    query: &PreparedQuery,
+    options: &ExecOptions,
+) -> (BTreeSet<Tuple>, ExecStats, ExecTimings) {
     match query.compiled() {
         Some(compiled) => {
             let out = compiled.execute_naive_with(d, options);
-            (out.answers, out.stats)
+            (out.answers, out.stats, out.timings)
         }
-        None => (naive_eval_query(d, query.query()), ExecStats::fallback()),
+        None => (
+            naive_eval_query(d, query.query()),
+            ExecStats::fallback(),
+            ExecTimings::default(),
+        ),
     }
 }
 
@@ -1766,5 +1906,82 @@ mod tests {
         assert_eq!(batch.results[0].worlds_enumerated, 0);
         assert!(batch.results[1].truncated);
         assert!(batch.truncated);
+    }
+
+    #[test]
+    fn evaluate_records_a_stage_trace_when_enabled() {
+        let engine = CertainEngine::new();
+        let q = engine
+            .prepare("forall u . exists v . D(u, v)")
+            .expect("valid query");
+        // OWA × Pos is not guaranteed: exec pass, symbolic probe, then worlds.
+        let eval = engine.evaluate(&d0(), Semantics::Owa, &q);
+        if nev_obs::enabled() {
+            let stages: Vec<Stage> = eval.trace.spans().iter().map(|s| s.stage).collect();
+            assert!(stages.contains(&Stage::Exec), "stages: {stages:?}");
+            assert!(stages.contains(&Stage::Symbolic), "stages: {stages:?}");
+            assert!(stages.contains(&Stage::OracleWorlds), "stages: {stages:?}");
+            // Depth-0 stages partition the request wall-clock from below.
+            assert!(eval.trace.top_level_us() <= eval.trace.total_us());
+            assert_eq!(eval.trace.dropped(), 0);
+        } else {
+            assert!(eval.trace.is_empty());
+        }
+        // The certified path records just the exec pass.
+        let eval = engine.evaluate(&d0(), Semantics::Cwa, &q);
+        assert_eq!(eval.worlds_enumerated, 0);
+        if nev_obs::enabled() {
+            assert!(eval.trace.spans().iter().any(|s| s.stage == Stage::Exec));
+            assert!(!eval
+                .trace
+                .spans()
+                .iter()
+                .any(|s| s.stage == Stage::OracleWorlds));
+        }
+    }
+
+    #[test]
+    fn batch_trace_covers_planning_and_the_shared_world_pass() {
+        let engine = CertainEngine::new();
+        let queries = [
+            engine
+                .prepare("forall u . exists v . D(u, v)")
+                .expect("valid query"),
+            engine.prepare("exists u . !D(u, u)").expect("valid query"),
+        ];
+        let batch = engine.evaluate_all(&d0(), Semantics::Owa, &queries);
+        assert_eq!(batch.enumeration_passes, 1);
+        if nev_obs::enabled() {
+            let stages: Vec<Stage> = batch.trace.spans().iter().map(|s| s.stage).collect();
+            assert!(stages.contains(&Stage::Exec), "stages: {stages:?}");
+            assert!(stages.contains(&Stage::OracleWorlds), "stages: {stages:?}");
+            assert!(batch.trace.top_level_us() <= batch.trace.total_us());
+        } else {
+            assert!(batch.trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn telemetry_never_perturbs_result_equality() {
+        // Traces and prep timings differ run to run; equality must not see them.
+        let engine = CertainEngine::new();
+        let q = engine
+            .prepare("forall u . exists v . D(u, v)")
+            .expect("valid query");
+        assert_eq!(
+            q,
+            PreparedQuery::parse("forall u . exists v . D(u, v)").expect("valid query")
+        );
+        let a = engine.evaluate(&d0(), Semantics::Owa, &q);
+        let mut b = engine.evaluate(&d0(), Semantics::Owa, &q);
+        b.trace = Trace::default();
+        assert_eq!(a, b, "a stripped trace must not break equality");
+        // Prep timings are observable but inert.
+        let t = q.prep_timings();
+        if nev_obs::enabled() {
+            assert!(t.parse_us + t.classify_us + t.compile_us < u64::MAX);
+        } else {
+            assert_eq!((t.parse_us, t.classify_us, t.compile_us), (0, 0, 0));
+        }
     }
 }

@@ -56,6 +56,6 @@ pub mod updates;
 
 pub use engine::{
     symbolic_profile, BatchEvaluation, CertainEngine, Certificate, EngineError, EvalPlan,
-    Evaluation, PreparedQuery, SymbolicCertificate, SymbolicMode, SymbolicTechnique,
+    Evaluation, PrepTimings, PreparedQuery, SymbolicCertificate, SymbolicMode, SymbolicTechnique,
 };
 pub use semantics::{ParseSemanticsError, Semantics, WorldBounds, Worlds};

@@ -69,4 +69,4 @@ pub use intern::{ColumnarRelation, Dictionary, InternedInstance};
 pub use lower::{CompileError, CompiledQuery, CompilerConfig};
 pub use optimize::greedy_join_order;
 pub use rules::RuleReport;
-pub use stats::ExecStats;
+pub use stats::{ExecStats, ExecTimings};

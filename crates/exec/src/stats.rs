@@ -78,6 +78,47 @@ impl ExecStats {
     }
 }
 
+/// Wall-clock timings of one (or several, merged) compiled-execution passes,
+/// in microseconds, split along the executor's phase boundaries.
+///
+/// Unlike [`ExecStats`], whose counters are a pure function of the data (and
+/// therefore pinned byte-identical across worker counts by the determinism
+/// suite), timings vary run to run — so `ExecTimings` deliberately compares
+/// **equal to every other `ExecTimings`**. Result types can keep deriving
+/// `PartialEq`/`Eq` and every existing telemetry-parity assertion stays exact.
+/// All fields stay zero under the `NEV_TRACE=0` kill switch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecTimings {
+    /// Time in relation scans (morsel fan-out included).
+    pub scan_us: u64,
+    /// Time building hash-join tables (partition scatter included).
+    pub join_build_us: u64,
+    /// Time probing hash-join tables (probe-side merge included).
+    pub join_probe_us: u64,
+}
+
+impl PartialEq for ExecTimings {
+    fn eq(&self, _other: &ExecTimings) -> bool {
+        true // telemetry: never part of a result's value (see type docs)
+    }
+}
+
+impl Eq for ExecTimings {}
+
+impl ExecTimings {
+    /// Adds another timing block into this one.
+    pub fn merge(&mut self, other: &ExecTimings) {
+        self.scan_us += other.scan_us;
+        self.join_build_us += other.join_build_us;
+        self.join_probe_us += other.join_probe_us;
+    }
+
+    /// Total measured execution time across the phases, microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.scan_us + self.join_build_us + self.join_probe_us
+    }
+}
+
 impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -133,6 +174,23 @@ mod tests {
         assert_eq!(a.parallel_joins, 1);
         assert!(!a.is_empty());
         assert!(ExecStats::new().is_empty());
+    }
+
+    #[test]
+    fn timings_merge_but_never_differ_under_eq() {
+        let mut a = ExecTimings {
+            scan_us: 5,
+            join_build_us: 7,
+            join_probe_us: 11,
+        };
+        a.merge(&ExecTimings {
+            scan_us: 1,
+            join_build_us: 2,
+            join_probe_us: 3,
+        });
+        assert_eq!(a.total_us(), 29);
+        // Telemetry equality is always true: timings never split results.
+        assert_eq!(a, ExecTimings::default());
     }
 
     #[test]

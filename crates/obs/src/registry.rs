@@ -1,0 +1,427 @@
+//! The serving-layer metrics registry and its text exposition.
+//!
+//! A [`MetricsRegistry`] aggregates what individual requests measured:
+//! request latency bucketed **per dispatch kind** (the plan label), stage
+//! latency bucketed **per span stage**, and a bounded top-K slow-query log.
+//! [`MetricsRegistry::expose`] renders everything — plus caller-supplied
+//! counters and gauges — as Prometheus-style text, the payload behind the
+//! wire `METRICS` command. The grammar is fixed and machine-checkable with
+//! [`validate_exposition`]; the exposition always ends with a `# EOF` line so
+//! clients of the line-oriented protocol know where the (sole) multi-line
+//! response stops.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::span::{Stage, Trace};
+
+/// One entry of the slow-query log: everything needed to reproduce and
+/// attribute the request without holding the instance.
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// End-to-end request latency, microseconds.
+    pub latency_us: u64,
+    /// Canonical query text.
+    pub query: String,
+    /// Semantics the query ran under (`owa` / `cwa` / `rigid`).
+    pub semantics: String,
+    /// Figure 1 cell of the (semantics, fragment) classification.
+    pub cell: String,
+    /// Dispatch kind that served it (compiled / certified / symbolic / oracle).
+    pub plan: String,
+    /// Per-stage breakdown from the request's trace (stage, µs).
+    pub stages: Vec<(Stage, u64)>,
+}
+
+/// Aggregated telemetry for one serving process.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    start: Instant,
+    stage: Vec<Histogram>,
+    plans: Vec<(&'static str, Histogram)>,
+    slow: Mutex<Vec<SlowQuery>>,
+    slow_capacity: usize,
+}
+
+impl MetricsRegistry {
+    /// A registry with one request-latency histogram per plan label and a
+    /// slow-query log keeping the `slow_capacity` highest-latency requests.
+    pub fn new(plan_labels: &[&'static str], slow_capacity: usize) -> Self {
+        MetricsRegistry {
+            start: Instant::now(),
+            stage: (0..Stage::COUNT).map(|_| Histogram::new()).collect(),
+            plans: plan_labels
+                .iter()
+                .map(|&label| (label, Histogram::new()))
+                .collect(),
+            slow: Mutex::new(Vec::new()),
+            slow_capacity,
+        }
+    }
+
+    /// Microseconds since the registry (i.e. the server) started.
+    pub fn uptime_us(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Records one sample into a stage histogram.
+    pub fn observe_stage(&self, stage: Stage, us: u64) {
+        self.stage[stage.index()].record(us);
+    }
+
+    /// Records every span of a finished trace into the stage histograms.
+    pub fn observe_trace(&self, trace: &Trace) {
+        for span in trace.spans() {
+            self.observe_stage(span.stage, span.dur_us);
+        }
+    }
+
+    /// Records one request latency under its dispatch-kind label. Unknown
+    /// labels are ignored (the label set is fixed at construction).
+    pub fn observe_plan(&self, label: &str, us: u64) {
+        if let Some((_, hist)) = self.plans.iter().find(|(l, _)| *l == label) {
+            hist.record(us);
+        }
+    }
+
+    /// Snapshot of one stage histogram.
+    pub fn stage_snapshot(&self, stage: Stage) -> HistogramSnapshot {
+        self.stage[stage.index()].snapshot()
+    }
+
+    /// Snapshots of every per-plan request-latency histogram.
+    pub fn plan_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        self.plans
+            .iter()
+            .map(|(label, hist)| (*label, hist.snapshot()))
+            .collect()
+    }
+
+    /// All request latencies merged across plan labels — the histogram the
+    /// `STATS` p50/p99 tokens read from.
+    pub fn request_totals(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for (_, hist) in &self.plans {
+            merged.merge(&hist.snapshot());
+        }
+        merged
+    }
+
+    /// Offers a request to the slow-query log; it is kept only while it ranks
+    /// among the top-K by latency.
+    pub fn record_slow(&self, entry: SlowQuery) {
+        if self.slow_capacity == 0 {
+            return;
+        }
+        let mut slow = self.slow.lock().expect("slow-query log poisoned");
+        if slow.len() >= self.slow_capacity
+            && slow
+                .last()
+                .is_some_and(|worst| worst.latency_us >= entry.latency_us)
+        {
+            return;
+        }
+        slow.push(entry);
+        slow.sort_by_key(|kept| std::cmp::Reverse(kept.latency_us));
+        slow.truncate(self.slow_capacity);
+    }
+
+    /// The current slow-query log, highest latency first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow.lock().expect("slow-query log poisoned").clone()
+    }
+
+    /// Renders the full exposition: uptime and caller gauges, caller
+    /// counters (suffixed `_total`), the per-plan request-latency and
+    /// per-stage latency histograms, any extra named histograms (e.g. the
+    /// worker pool's queue-wait/run split), the slow-query log as comment
+    /// lines, and the `# EOF` terminator. Empty histograms are elided.
+    pub fn expose(
+        &self,
+        counters: &[(&str, u64)],
+        gauges: &[(&str, u64)],
+        extra_hists: &[(&str, HistogramSnapshot)],
+    ) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(4096);
+        out.push_str("# nev-obs exposition v1\n");
+        let _ = writeln!(out, "# TYPE nev_uptime_us gauge");
+        let _ = writeln!(out, "nev_uptime_us {}", self.uptime_us());
+        for &(name, value) in gauges {
+            let _ = writeln!(out, "# TYPE nev_{name} gauge");
+            let _ = writeln!(out, "nev_{name} {value}");
+        }
+        for &(name, value) in counters {
+            let _ = writeln!(out, "# TYPE nev_{name}_total counter");
+            let _ = writeln!(out, "nev_{name}_total {value}");
+        }
+        let plans = self.plan_snapshots();
+        if plans.iter().any(|(_, snap)| snap.count > 0) {
+            let _ = writeln!(out, "# TYPE nev_request_latency_us histogram");
+            for (label, snap) in &plans {
+                if snap.count > 0 {
+                    snap.render_prometheus(
+                        "nev_request_latency_us",
+                        &format!("plan=\"{label}\""),
+                        &mut out,
+                    );
+                }
+            }
+        }
+        let stages: Vec<(Stage, HistogramSnapshot)> = Stage::ALL
+            .iter()
+            .map(|&stage| (stage, self.stage_snapshot(stage)))
+            .filter(|(_, snap)| snap.count > 0)
+            .collect();
+        if !stages.is_empty() {
+            let _ = writeln!(out, "# TYPE nev_stage_latency_us histogram");
+            for (stage, snap) in &stages {
+                snap.render_prometheus(
+                    "nev_stage_latency_us",
+                    &format!("stage=\"{}\"", stage.name()),
+                    &mut out,
+                );
+            }
+        }
+        for (name, snap) in extra_hists {
+            if snap.count > 0 {
+                let _ = writeln!(out, "# TYPE nev_{name} histogram");
+                snap.render_prometheus(&format!("nev_{name}"), "", &mut out);
+            }
+        }
+        for entry in self.slow_queries() {
+            let stages: Vec<String> = entry
+                .stages
+                .iter()
+                .map(|(stage, us)| format!("{}:{us}", stage.name()))
+                .collect();
+            let _ = writeln!(
+                out,
+                "# slow_query latency_us={} plan={} semantics={} cell={} stages={} query={}",
+                entry.latency_us,
+                entry.plan,
+                entry.semantics,
+                entry.cell,
+                if stages.is_empty() {
+                    "-".to_string()
+                } else {
+                    stages.join(",")
+                },
+                entry.query.replace(['\n', '\r'], " "),
+            );
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+/// Shape-validates a `METRICS` exposition against the fixed grammar.
+///
+/// Checks, per line: comments are one of the known forms (`# nev-obs …`
+/// header first, `# TYPE name counter|gauge|histogram`, `# slow_query …`,
+/// `# EOF` last); samples are `name value` or `name{key="v",…} value` with a
+/// well-formed metric name and a `u64` value. Across lines: every histogram
+/// series has cumulative, non-decreasing `_bucket` counts ending at a `+Inf`
+/// bucket that equals its `_count` sample. Returns the first violation.
+pub fn validate_exposition(lines: &[String]) -> Result<(), String> {
+    if lines.first().map(String::as_str) != Some("# nev-obs exposition v1") {
+        return Err("missing exposition header".to_string());
+    }
+    if lines.last().map(String::as_str) != Some("# EOF") {
+        return Err("missing # EOF terminator".to_string());
+    }
+    // (series key = name + labels-without-le) → (cumulative buckets, count/sum seen)
+    use std::collections::BTreeMap;
+    let mut buckets: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for (number, line) in lines.iter().enumerate() {
+        let context = |msg: &str| format!("line {}: {msg}: {line}", number + 1);
+        if let Some(comment) = line.strip_prefix("# ") {
+            let known = comment.starts_with("nev-obs exposition")
+                || comment.starts_with("slow_query ")
+                || comment == "EOF"
+                || comment
+                    .strip_prefix("TYPE ")
+                    .and_then(|rest| rest.split_once(' '))
+                    .is_some_and(|(name, kind)| {
+                        valid_metric_name(name) && matches!(kind, "counter" | "gauge" | "histogram")
+                    });
+            if !known {
+                return Err(context("unknown comment form"));
+            }
+            continue;
+        }
+        // A sample line: name[{labels}] value
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            return Err(context("sample line needs a value"));
+        };
+        let Ok(value) = value.parse::<u64>() else {
+            return Err(context("sample value is not a u64"));
+        };
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let Some(labels) = rest.strip_suffix('}') else {
+                    return Err(context("unterminated label set"));
+                };
+                (name, labels)
+            }
+            None => (series, ""),
+        };
+        if !valid_metric_name(name) {
+            return Err(context("invalid metric name"));
+        }
+        let mut le = None;
+        let mut other_labels = Vec::new();
+        for pair in labels.split(',').filter(|p| !p.is_empty()) {
+            let Some((key, quoted)) = pair.split_once('=') else {
+                return Err(context("label needs key=\"value\""));
+            };
+            let Some(value) = quoted.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+                return Err(context("label value must be quoted"));
+            };
+            if key == "le" {
+                le = Some(value.to_string());
+            } else {
+                other_labels.push(format!("{key}={value}"));
+            }
+        }
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let Some(le) = le else {
+                return Err(context("_bucket sample needs an le label"));
+            };
+            let key = format!("{base}|{}", other_labels.join(","));
+            buckets.entry(key).or_default().push((le, value));
+        } else if let Some(base) = name.strip_suffix("_count") {
+            let key = format!("{base}|{}", other_labels.join(","));
+            counts.insert(key, value);
+        }
+    }
+    for (key, series) in &buckets {
+        let mut previous = 0u64;
+        for (le, cumulative) in series {
+            if *cumulative < previous {
+                return Err(format!("histogram {key}: bucket le={le} not cumulative"));
+            }
+            previous = *cumulative;
+        }
+        let Some((le, last)) = series.last() else {
+            continue;
+        };
+        if le != "+Inf" {
+            return Err(format!("histogram {key}: missing +Inf bucket"));
+        }
+        match counts.get(key) {
+            Some(count) if count == last => {}
+            Some(count) => {
+                return Err(format!(
+                    "histogram {key}: +Inf bucket {last} != _count {count}"
+                ));
+            }
+            None => return Err(format!("histogram {key}: missing _count sample")),
+        }
+    }
+    Ok(())
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::TraceRecorder;
+
+    fn lines(text: &str) -> Vec<String> {
+        text.lines().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn exposition_validates_and_reconciles() {
+        let registry = MetricsRegistry::new(&["compiled", "oracle"], 4);
+        registry.observe_plan("compiled", 120);
+        registry.observe_plan("compiled", 4_000);
+        registry.observe_plan("oracle", 90_000);
+        registry.observe_plan("unknown", 1); // ignored: fixed label set
+        let rec = TraceRecorder::with_enabled(true);
+        drop(rec.span(Stage::Exec));
+        registry.observe_trace(&rec.finish());
+        let text = registry.expose(
+            &[("evals", 3), ("requests", 5)],
+            &[("pool_workers", 2)],
+            &[],
+        );
+        let lines = lines(&text);
+        validate_exposition(&lines).expect("well-formed exposition");
+        assert!(lines.iter().any(|l| l == "nev_evals_total 3"));
+        assert!(lines.iter().any(|l| l == "nev_pool_workers 2"));
+        // Histogram counts reconcile with the counter they mirror.
+        let plan_count: u64 = lines
+            .iter()
+            .filter_map(|l| l.strip_prefix("nev_request_latency_us_count{"))
+            .filter_map(|l| l.split_once("} "))
+            .map(|(_, v)| v.parse::<u64>().expect("count value"))
+            .sum();
+        assert_eq!(plan_count, 3);
+    }
+
+    #[test]
+    fn slow_query_log_keeps_top_k_by_latency() {
+        let registry = MetricsRegistry::new(&["oracle"], 2);
+        for (latency, name) in [(50, "a"), (500, "b"), (5, "c"), (900, "d")] {
+            registry.record_slow(SlowQuery {
+                latency_us: latency,
+                query: format!("Q{name}"),
+                semantics: "owa".to_string(),
+                cell: "coNP".to_string(),
+                plan: "oracle".to_string(),
+                stages: vec![(Stage::OracleWorlds, latency)],
+            });
+        }
+        let slow = registry.slow_queries();
+        let latencies: Vec<u64> = slow.iter().map(|s| s.latency_us).collect();
+        assert_eq!(latencies, vec![900, 500]);
+        // The log renders as comment lines the validator accepts.
+        let text = registry.expose(&[], &[], &[]);
+        validate_exposition(&lines(&text)).expect("slow log keeps grammar valid");
+        assert!(text.contains("# slow_query latency_us=900"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        let ok = MetricsRegistry::new(&[], 0).expose(&[], &[], &[]);
+        validate_exposition(&lines(&ok)).expect("empty registry exposes fine");
+        assert!(
+            validate_exposition(&lines("nev_x 1\n# EOF")).is_err(),
+            "no header"
+        );
+        assert!(
+            validate_exposition(&lines("# nev-obs exposition v1\nnev_x 1")).is_err(),
+            "no terminator"
+        );
+        let bad_value = "# nev-obs exposition v1\nnev_x abc\n# EOF";
+        assert!(validate_exposition(&lines(bad_value)).is_err());
+        let bad_hist = "# nev-obs exposition v1\n\
+                        nev_h_bucket{le=\"1\"} 5\n\
+                        nev_h_bucket{le=\"+Inf\"} 3\n\
+                        nev_h_count 3\n\
+                        # EOF";
+        assert!(
+            validate_exposition(&lines(bad_hist)).is_err(),
+            "non-cumulative buckets rejected"
+        );
+    }
+
+    #[test]
+    fn uptime_is_monotone() {
+        let registry = MetricsRegistry::new(&[], 0);
+        let first = registry.uptime_us();
+        std::thread::sleep(std::time::Duration::from_micros(300));
+        assert!(registry.uptime_us() >= first);
+    }
+}

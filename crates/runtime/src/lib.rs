@@ -7,15 +7,19 @@
 //! work-stealing [`WorkerPool`] with caller-helps semantics and deterministic,
 //! order-preserving parallel maps.
 //!
-//! It lives below every other `nev-*` crate (dependencies: `std` only) so that
-//! `nev-exec` can parallelise operator pipelines without depending on the
-//! serving layer — the dependency arrow is `serve → exec → runtime`, never a
-//! cycle. `nev-serve` re-exports [`WorkerPool`] for backwards compatibility,
-//! so existing `nev_serve::pool::WorkerPool` imports keep working.
+//! It lives below every other `nev-*` crate (dependencies: `std` and the
+//! telemetry layer `nev-obs` only) so that `nev-exec` can parallelise operator
+//! pipelines without depending on the serving layer — the dependency arrow is
+//! `serve → exec → runtime → obs`, never a cycle. `nev-serve` re-exports
+//! [`WorkerPool`] for backwards compatibility, so existing
+//! `nev_serve::pool::WorkerPool` imports keep working.
+//!
+//! The pool records queue-wait and run-time latency histograms per task
+//! ([`PoolMetrics`]); `NEV_TRACE=0` disables the measurement entirely.
 
 pub mod pool;
 
-pub use pool::WorkerPool;
+pub use pool::{PoolMetrics, WorkerPool};
 
 /// The worker count configured through the `NEV_WORKERS` environment variable,
 /// if set to a parseable `usize`. This is the **one** knob every consumer of

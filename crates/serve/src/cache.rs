@@ -151,11 +151,24 @@ impl PlanCache {
         text: &str,
         semantics: Semantics,
     ) -> Result<CachedPlan, EngineError> {
+        self.get_or_prepare_with_status(text, semantics)
+            .map(|(plan, _hit)| plan)
+    }
+
+    /// [`PlanCache::get_or_prepare`] reporting whether the entry was a cache
+    /// hit (`true`) or had to be prepared on this call (`false`). The serve
+    /// layer's request tracing uses the flag to replay parse/classify/compile
+    /// timings only for requests that actually paid them.
+    pub fn get_or_prepare_with_status(
+        &self,
+        text: &str,
+        semantics: Semantics,
+    ) -> Result<(CachedPlan, bool), EngineError> {
         let (canonical_text, query) = canonical(text)?;
         let key = (canonical_text, semantics);
         if let Some(plan) = self.lookup(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(plan);
+            return Ok((plan, true));
         }
         // Prepare outside the lock: classification + compilation is the expensive
         // part and must not serialise concurrent misses on different texts.
@@ -167,7 +180,7 @@ impl PlanCache {
             semantics,
         };
         self.insert(key, plan.clone());
-        Ok(plan)
+        Ok((plan, false))
     }
 
     /// Warms the cache for `text` under **every** semantics (the `PREPARE`

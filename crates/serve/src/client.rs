@@ -18,6 +18,7 @@ use nev_gen::{
 };
 use nev_incomplete::{Instance, Schema};
 use nev_logic::Fragment;
+use nev_obs::{validate_exposition, Histogram, HistogramSnapshot, Timer};
 
 use crate::state::{ServeConfig, ServeState};
 use crate::wire::render_instance;
@@ -33,6 +34,11 @@ impl Client {
     /// Connects to `addr` (e.g. `127.0.0.1:7878`).
     pub fn connect(addr: &str) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        // A request is one small write followed by a read: Nagle would hold
+        // the line back waiting for the previous response's delayed ACK,
+        // turning µs-scale server work into ~40 ms round trips. (Found by the
+        // nevload latency histograms.)
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             writer,
@@ -42,9 +48,40 @@ impl Client {
 
     /// Sends one request line and reads the one response line.
     pub fn send(&mut self, line: &str) -> io::Result<String> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        // One write per request (terminator included), so the kernel never
+        // sees a torn line to coalesce or delay.
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
         self.writer.flush()?;
+        self.read_line()
+    }
+
+    /// Sends `METRICS` and reads the protocol's sole multi-line response: the
+    /// `OK metrics` status line, then exposition lines up to and including the
+    /// `# EOF` terminator. Returns the exposition lines (terminator included),
+    /// ready for [`nev_obs::validate_exposition`].
+    pub fn metrics(&mut self) -> io::Result<Vec<String>> {
+        let status = self.send("METRICS")?;
+        if status != "OK metrics" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected METRICS status line: {status}"),
+            ));
+        }
+        let mut lines = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let done = line == "# EOF";
+            lines.push(line);
+            if done {
+                return Ok(lines);
+            }
+        }
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
@@ -157,12 +194,35 @@ pub struct LoadReport {
     pub mismatches: Vec<(String, String, String)>,
     /// The server's final `STATS` line.
     pub server_stats: String,
+    /// Client-side round-trip latency per command kind (`LOAD` / `EVAL` /
+    /// `EXPLAIN`), measured at the socket — network and queueing included —
+    /// into `nev-obs` histograms.
+    pub latencies: Vec<(&'static str, HistogramSnapshot)>,
 }
 
 impl LoadReport {
     /// Did every server answer match the in-process reference?
     pub fn all_match(&self) -> bool {
         self.mismatches.is_empty()
+    }
+
+    /// The latency digest lines (`<kind>: n=… p50_us=… p95_us=… p99_us=…
+    /// max_us=…`), one per command kind that saw traffic.
+    pub fn latency_digest(&self) -> Vec<String> {
+        self.latencies
+            .iter()
+            .filter(|(_, snap)| snap.count > 0)
+            .map(|(kind, snap)| {
+                format!(
+                    "{kind}: n={} p50_us={} p95_us={} p99_us={} max_us={}",
+                    snap.count,
+                    snap.p50(),
+                    snap.p95(),
+                    snap.p99(),
+                    snap.max
+                )
+            })
+            .collect()
     }
 }
 
@@ -181,6 +241,9 @@ impl fmt::Display for LoadReport {
                 f,
                 "  MISMATCH {request}\n    server:   {got}\n    expected: {expected}"
             )?;
+        }
+        for line in self.latency_digest() {
+            writeln!(f, "  {line}")?;
         }
         write!(f, "server {}", self.server_stats)
     }
@@ -209,10 +272,20 @@ pub fn run_load(
     let mut loaded: HashMap<&str, &Instance> = HashMap::new();
     let mut client = Client::connect(addr)?;
     let mut report = LoadReport::default();
+    // Client-side latency per command kind: wall-clock around each round trip.
+    let load_hist = Histogram::new();
+    let eval_hist = Histogram::new();
+    let explain_hist = Histogram::new();
+    let timed_send = |client: &mut Client, hist: &Histogram, line: &str| {
+        let timer = Timer::start_always();
+        let response = client.send(line);
+        hist.record(timer.elapsed_us());
+        response
+    };
 
     for (name, instance) in &workload.instances {
         let line = format!("LOAD {name} {}", render_instance(instance));
-        let response = client.send(&line)?;
+        let response = timed_send(&mut client, &load_hist, &line)?;
         if !response.starts_with("OK") {
             report
                 .mismatches
@@ -230,7 +303,7 @@ pub fn run_load(
             semantics_spelling(request.semantics),
             request.query
         );
-        let response = client.send(&line)?;
+        let response = timed_send(&mut client, &eval_hist, &line)?;
         // Prepare afresh per request (no plan cache) and evaluate sequentially:
         // the reference must exercise none of the serve-layer machinery.
         let expected = match loaded.get(request.instance.as_str()) {
@@ -280,7 +353,7 @@ pub fn run_load(
             semantics_spelling(request.semantics),
             request.query
         );
-        let response = client.send(&line)?;
+        let response = timed_send(&mut client, &explain_hist, &line)?;
         let expected = match loaded.get(request.instance.as_str()) {
             None => format!(
                 "ERR unknown instance `{}` (LOAD it first)",
@@ -312,6 +385,23 @@ pub fn run_load(
         }
     }
 
+    // Shape-check the telemetry exposition: the METRICS payload must satisfy
+    // its own fixed grammar (header, sample syntax, cumulative histogram
+    // buckets, `# EOF` terminator) on every run.
+    let metrics = client.metrics()?;
+    if let Err(violation) = validate_exposition(&metrics) {
+        report.mismatches.push((
+            "METRICS".to_string(),
+            violation,
+            "a grammar-valid exposition".to_string(),
+        ));
+    }
+
+    report.latencies = vec![
+        ("LOAD", load_hist.snapshot()),
+        ("EVAL", eval_hist.snapshot()),
+        ("EXPLAIN", explain_hist.snapshot()),
+    ];
     report.server_stats = client.send("STATS")?;
     let _ = client.send("QUIT");
     Ok(report)

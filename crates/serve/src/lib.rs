@@ -12,8 +12,8 @@
 //!
 //! ```text
 //! server (nevd accept loop, one thread per connection)
-//!   └──► state    (ServeState: LOAD/PREPARE/EVAL/EXPLAIN/STATS handlers,
-//!         │        grouped batch evaluation over evaluate_all)
+//!   └──► state    (ServeState: LOAD/PREPARE/EVAL/EXPLAIN/TRACE/STATS/METRICS
+//!         │        handlers, grouped batch evaluation over evaluate_all)
 //!         ├──► catalog  (named Arc<Instance> snapshots, copy-on-write swaps)
 //!         ├──► cache    (LRU of Arc<PreparedQuery> holding the nev-opt
 //!         │              optimised plan, keyed canonical rendering × semantics)
@@ -26,6 +26,18 @@
 //!         └──► wire     (line-protocol grammar, canonical rendering)
 //! client (blocking protocol client, seeded load generator, self-check)
 //! ```
+//!
+//! Observability rides on the **`nev-obs`** crate at the bottom of the
+//! workspace DAG: every `EVAL` runs under a [`nev_obs::TraceRecorder`] whose
+//! per-stage spans feed a [`nev_obs::MetricsRegistry`] on the state — per-plan
+//! request-latency histograms (reconciling exactly with the `evals` counter),
+//! per-stage latency histograms, the pool's queue-wait/run split, and a
+//! bounded top-K slow-query log. `TRACE` answers one request's stage timeline
+//! as a one-liner, `METRICS` emits the whole registry as a Prometheus-style
+//! exposition (the protocol's sole multi-line response, terminated by
+//! `# EOF`), and `STATS` carries an `uptime_us=`/`p50_us=`/`p99_us=` digest.
+//! Setting `NEV_TRACE=0` disables span collection; request latencies, served
+//! bytes and all results are identical either way.
 //!
 //! The pool itself lives in the **`nev-runtime`** crate, below `nev-exec` in
 //! the dependency order, so the execution engine can dispatch morsel-driven
@@ -70,7 +82,10 @@ pub use nev_runtime::env_workers;
 pub use oracle::{parallel_certain_answers, OracleOutcome};
 pub use pool::WorkerPool;
 pub use server::{Server, ServerHandle};
-pub use state::{EvalRequest, EvalResponse, PlanKind, ServeConfig, ServeError, ServeState};
+pub use state::{
+    EvalRequest, EvalResponse, PlanKind, ServeConfig, ServeError, ServeState, PLAN_LABELS,
+    SLOW_LOG_CAPACITY,
+};
 pub use stats::{ServeStats, StatsSnapshot};
 
 #[cfg(test)]

@@ -137,6 +137,11 @@ fn spawn_connection(stream: TcpStream, state: Arc<ServeState>) {
 fn serve_connection(stream: TcpStream, state: &ServeState) -> io::Result<()> {
     use crate::wire::{parse_command, Command};
 
+    // A response is one small write answering a small request: without
+    // TCP_NODELAY, Nagle holds it back waiting for the request's delayed ACK
+    // and every round trip inflates to ~40 ms of kernel timers. (Found by the
+    // request-latency histograms this layer now keeps.)
+    stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
@@ -147,9 +152,9 @@ fn serve_connection(stream: TcpStream, state: &ServeState) -> io::Result<()> {
         // Decide the close from the same parse the handler uses, so any spelling
         // the protocol accepts as QUIT also actually closes the connection.
         let quitting = matches!(parse_command(&line), Ok(Command::Quit));
-        let response = state.handle_line(&line);
+        let mut response = state.handle_line(&line);
+        response.push('\n');
         writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
         writer.flush()?;
         if quitting {
             break;

@@ -29,6 +29,7 @@ use nev_core::engine::{CertainEngine, EngineError, EvalPlan, PreparedQuery, Symb
 use nev_core::{Semantics, WorldBounds};
 use nev_exec::{ExecOptions, DEFAULT_MORSEL_ROWS};
 use nev_incomplete::{Instance, Tuple};
+use nev_obs::{MetricsRegistry, SlowQuery, Stage, Timer, Trace, TraceRecorder};
 use nev_runtime::env_workers;
 
 use crate::cache::PlanCache;
@@ -122,6 +123,13 @@ pub enum PlanKind {
     Oracle,
 }
 
+/// The fixed dispatch-kind label set of the metrics registry — one
+/// request-latency histogram per [`PlanKind`].
+pub const PLAN_LABELS: &[&str] = &["compiled", "certified", "symbolic", "oracle"];
+
+/// How many top-latency requests the slow-query log retains.
+pub const SLOW_LOG_CAPACITY: usize = 8;
+
 impl PlanKind {
     fn of(plan: &EvalPlan) -> Self {
         match plan {
@@ -129,6 +137,17 @@ impl PlanKind {
             EvalPlan::CertifiedNaive(_) => PlanKind::Certified,
             EvalPlan::Symbolic(_) => PlanKind::Symbolic,
             EvalPlan::BoundedEnumeration => PlanKind::Oracle,
+        }
+    }
+
+    /// The wire token, as a `'static` label for the metrics registry (always
+    /// one of [`PLAN_LABELS`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanKind::Compiled => "compiled",
+            PlanKind::Certified => "certified",
+            PlanKind::Symbolic => "symbolic",
+            PlanKind::Oracle => "oracle",
         }
     }
 }
@@ -195,6 +214,7 @@ pub struct ServeState {
     cache: PlanCache,
     pool: Arc<WorkerPool>,
     stats: ServeStats,
+    metrics: MetricsRegistry,
     oracle_chunk: usize,
 }
 
@@ -215,6 +235,7 @@ impl ServeState {
             cache: PlanCache::new(config.cache_capacity),
             pool,
             stats: ServeStats::new(),
+            metrics: MetricsRegistry::new(PLAN_LABELS, SLOW_LOG_CAPACITY),
             oracle_chunk: config.oracle_chunk.max(1),
         }
     }
@@ -242,6 +263,12 @@ impl ServeState {
     /// The service counters.
     pub fn stats(&self) -> &ServeStats {
         &self.stats
+    }
+
+    /// The latency/trace metrics registry behind `METRICS` and the `STATS`
+    /// percentile tokens.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Registers (or replaces) a named instance; returns `true` on replacement.
@@ -306,24 +333,87 @@ impl ServeState {
         semantics: Semantics,
         query_text: &str,
     ) -> Result<EvalResponse, ServeError> {
+        self.eval_with_trace(name, semantics, query_text)
+            .map(|(response, _trace)| response)
+    }
+
+    /// [`ServeState::eval`] returning the request's stage timeline alongside the
+    /// answer (the `TRACE` command). The trace covers the whole request — the
+    /// plan-cache probe (with parse/classify/compile replayed as children on a
+    /// miss), the engine's exec pass, the symbolic probe, and the parallel
+    /// oracle — and is also what feeds the metrics registry: the per-plan
+    /// latency histogram records exactly once per successful request, so
+    /// histogram counts reconcile with the `evals` counter; the per-stage
+    /// histograms and the slow-query log absorb the finished trace.
+    pub fn eval_with_trace(
+        &self,
+        name: &str,
+        semantics: Semantics,
+        query_text: &str,
+    ) -> Result<(EvalResponse, Trace), ServeError> {
+        let total = Timer::start_always();
+        let recorder = TraceRecorder::new();
         let instance = self
             .catalog
             .get(name)
             .ok_or_else(|| ServeError::UnknownInstance(name.to_string()))?;
-        let plan = self.cache.get_or_prepare(query_text, semantics)?;
-        let response = self.eval_prepared(&instance, semantics, &plan.prepared);
+        let probe = recorder.span(Stage::CacheProbe);
+        let lookup = self.cache.get_or_prepare_with_status(query_text, semantics);
+        let (plan, hit) = match lookup {
+            Ok(found) => found,
+            Err(e) => {
+                drop(probe);
+                return Err(e.into());
+            }
+        };
+        if !hit && recorder.is_enabled() {
+            // A miss paid the full preparation inside the probe span; replay
+            // its phases as children. Hits skip this — their preparation
+            // happened on some earlier request.
+            let prep = plan.prepared.prep_timings();
+            if prep.parse_us > 0 {
+                recorder.leaf(Stage::Parse, prep.parse_us);
+            }
+            if prep.classify_us > 0 {
+                recorder.leaf(Stage::Classify, prep.classify_us);
+            }
+            if prep.compile_us > 0 {
+                recorder.leaf(Stage::Optimize, prep.compile_us);
+            }
+        }
+        drop(probe);
+        let response = self.eval_prepared(&instance, semantics, &plan.prepared, &recorder);
         ServeStats::bump(&self.stats.evals);
-        Ok(response)
+        let latency = total.elapsed_us();
+        self.metrics.observe_plan(response.plan.label(), latency);
+        let trace = recorder.finish();
+        self.metrics.observe_trace(&trace);
+        self.metrics.record_slow(SlowQuery {
+            latency_us: latency,
+            query: plan.prepared.query().to_string(),
+            semantics: semantics.to_string(),
+            cell: format!("{:?}", plan.cell),
+            plan: response.plan.label().to_string(),
+            stages: trace
+                .spans()
+                .iter()
+                .filter(|s| s.depth == 0)
+                .map(|s| (s.stage, s.dur_us))
+                .collect(),
+        });
+        Ok((response, trace))
     }
 
-    /// The dispatch core shared by [`ServeState::eval`] and the batch path's
-    /// fallback: certified cells run one naïve pass, the rest run the parallel
-    /// oracle on this state's pool.
+    /// The dispatch core behind [`ServeState::eval_with_trace`]: certified
+    /// cells run one naïve pass, the rest run the symbolic probe and then the
+    /// parallel oracle on this state's pool — each stage recorded on the
+    /// caller's trace.
     fn eval_prepared(
         &self,
         instance: &Instance,
         semantics: Semantics,
         prepared: &Arc<PreparedQuery>,
+        recorder: &TraceRecorder,
     ) -> EvalResponse {
         match self.engine.plan(instance, semantics, prepared) {
             plan @ (EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)) => {
@@ -333,7 +423,9 @@ impl ServeState {
                 }
                 // Through the engine, so the pass runs under the shared pool's
                 // ExecOptions (morsel-parallel scans and joins on large data).
-                let (naive, exec) = self.engine.naive_answers(instance, prepared);
+                let (naive, exec) = self
+                    .engine
+                    .naive_answers_traced(instance, prepared, recorder);
                 ServeStats::add(&self.stats.morsels, exec.morsels_dispatched);
                 ServeStats::add(&self.stats.parallel_joins, exec.parallel_joins);
                 EvalResponse {
@@ -345,10 +437,12 @@ impl ServeState {
             EvalPlan::Symbolic(_) | EvalPlan::BoundedEnumeration => {
                 // The PTIME symbolic ladder first: when conditional tables or
                 // the sandwich certify, the exponential oracle is retired for
-                // this request — zero worlds, nothing to truncate.
-                if let Some(evaluation) =
-                    self.engine.evaluate_symbolic(instance, semantics, prepared)
-                {
+                // this request — zero worlds, nothing to truncate. (The span
+                // includes the ladder's own naïve pass.)
+                let symbolic_span = recorder.span(Stage::Symbolic);
+                let symbolic = self.engine.evaluate_symbolic(instance, semantics, prepared);
+                drop(symbolic_span);
+                if let Some(evaluation) = symbolic {
                     ServeStats::bump(&self.stats.symbolic);
                     if evaluation
                         .plan
@@ -364,6 +458,7 @@ impl ServeState {
                     };
                 }
                 ServeStats::bump(&self.stats.oracle);
+                let oracle_span = recorder.span(Stage::OracleWorlds);
                 let outcome = parallel_certain_answers(
                     &self.pool,
                     &self.engine,
@@ -372,6 +467,7 @@ impl ServeState {
                     prepared,
                     self.oracle_chunk,
                 );
+                drop(oracle_span);
                 ServeStats::add(&self.stats.worlds, outcome.worlds_considered as u64);
                 if outcome.cancelled {
                     ServeStats::bump(&self.stats.oracle_cancelled);
@@ -470,6 +566,7 @@ impl ServeState {
         let batch_results = self
             .pool
             .run(items, move |_, (instance, semantics, queries)| {
+                let group_timer = Timer::start_always();
                 let batch = engine.evaluate_all(&instance, semantics, &queries);
                 let sandwiches = batch
                     .results
@@ -489,12 +586,17 @@ impl ServeState {
                         truncated: evaluation.truncated,
                     })
                     .collect();
-                (responses, batch.worlds_enumerated, sandwiches)
+                (
+                    responses,
+                    batch.worlds_enumerated,
+                    sandwiches,
+                    group_timer.elapsed_us(),
+                )
             });
 
         // Telemetry parity with the solo path: per evaluation actually performed
         // (one per unique query of each group), plus the shared-pass world counts.
-        for (responses, worlds, sandwiches) in &batch_results {
+        for (responses, worlds, sandwiches, _group_us) in &batch_results {
             ServeStats::add(&self.stats.worlds, *worlds as u64);
             ServeStats::add(&self.stats.sandwich_exact, *sandwiches);
             for response in responses {
@@ -518,7 +620,14 @@ impl ServeState {
             .map(|slot| match slot {
                 Ok(s) => {
                     ServeStats::bump(&self.stats.evals);
-                    Ok(batch_results[s.group].0[s.query_in_group].clone())
+                    let response = batch_results[s.group].0[s.query_in_group].clone();
+                    // One histogram sample per answered request, so histogram
+                    // counts stay reconcilable with `evals`. Batched requests
+                    // are attributed their group's shared-pass wall time (the
+                    // latency the slowest request of the group experienced).
+                    self.metrics
+                        .observe_plan(response.plan.label(), batch_results[s.group].3);
+                    Ok(response)
                 }
                 Err(e) => {
                     ServeStats::bump(&self.stats.errors);
@@ -534,19 +643,65 @@ impl ServeState {
         self.stats.snapshot()
     }
 
-    /// The canonical `STATS` payload.
+    /// The canonical `STATS` payload: the counter block, the cache/catalog/pool
+    /// gauges, and the request-latency digest (`uptime_us=` / `p50_us=` /
+    /// `p99_us=` over all dispatch kinds; zeros before the first `EVAL`).
     pub fn render_stats(&self) -> String {
+        let latency = self.metrics.request_totals();
         format!(
             "{} cache_hits={} cache_misses={} cache_evictions={} cache_entries={} \
-             instances={} pool_workers={}",
+             instances={} pool_workers={} uptime_us={} p50_us={} p99_us={}",
             self.stats.snapshot(),
             self.cache.hits(),
             self.cache.misses(),
             self.cache.evictions(),
             self.cache.len(),
             self.catalog.len(),
-            self.pool.workers()
+            self.pool.workers(),
+            self.metrics.uptime_us(),
+            latency.p50(),
+            latency.p99()
         )
+    }
+
+    /// The full `METRICS` exposition: every `STATS` counter and gauge, the
+    /// per-plan request-latency and per-stage histograms, the worker pool's
+    /// queue-wait/run split, and the slow-query log — Prometheus-style text
+    /// ending with a `# EOF` line (see [`nev_obs::validate_exposition`]).
+    pub fn render_metrics(&self) -> String {
+        let snap = self.snapshot();
+        let counters = [
+            ("requests", snap.requests),
+            ("loads", snap.loads),
+            ("prepares", snap.prepares),
+            ("evals", snap.evals),
+            ("explains", snap.explains),
+            ("errors", snap.errors),
+            ("certified", snap.certified),
+            ("compiled", snap.compiled),
+            ("oracle", snap.oracle),
+            ("worlds", snap.worlds),
+            ("oracle_cancelled", snap.oracle_cancelled),
+            ("morsels", snap.morsels),
+            ("parallel_joins", snap.parallel_joins),
+            ("symbolic", snap.symbolic),
+            ("sandwich_exact", snap.sandwich_exact),
+            ("truncated", snap.truncated),
+            ("cache_hits", self.cache.hits()),
+            ("cache_misses", self.cache.misses()),
+            ("cache_evictions", self.cache.evictions()),
+        ];
+        let gauges = [
+            ("cache_entries", self.cache.len() as u64),
+            ("instances", self.catalog.len() as u64),
+            ("pool_workers", self.pool.workers() as u64),
+        ];
+        let pool = self.pool.metrics();
+        let extra = [
+            ("pool_queue_wait_us", pool.queue_wait.snapshot()),
+            ("pool_task_run_us", pool.task_run.snapshot()),
+        ];
+        self.metrics.expose(&counters, &gauges, &extra)
     }
 
     /// Handles one protocol line, returning the response line (always exactly one
@@ -603,7 +758,29 @@ impl ServeState {
                     .map_err(|_| ServeError::UnknownSemantics(semantics))?;
                 self.explain(&name, semantics, &query)
             }
+            Command::Trace {
+                name,
+                semantics,
+                query,
+            } => {
+                let semantics: Semantics = semantics
+                    .parse()
+                    .map_err(|_| ServeError::UnknownSemantics(semantics))?;
+                let (response, trace) = self.eval_with_trace(&name, semantics, &query)?;
+                Ok(format!(
+                    "trace plan={} total_us={} dropped={} spans={}",
+                    response.plan,
+                    trace.total_us(),
+                    trace.dropped(),
+                    trace.render()
+                ))
+            }
             Command::Stats => Ok(self.render_stats()),
+            Command::Metrics => {
+                // The sole multi-line payload: `OK metrics`, then the
+                // exposition, whose final line is the `# EOF` terminator.
+                Ok(format!("metrics\n{}", self.render_metrics().trim_end()))
+            }
             Command::Quit => Ok("bye".to_string()),
         }
     }
@@ -827,5 +1004,121 @@ mod tests {
         let responses = state.eval_batch(&requests);
         assert!(matches!(responses[0], Err(ServeError::UnknownInstance(_))));
         assert!(responses[1].is_ok());
+    }
+
+    #[test]
+    fn stats_carries_the_request_latency_digest() {
+        let state = state(0);
+        state.load("d0", d0());
+        let before = state.render_stats();
+        assert!(before.contains(" uptime_us="), "{before}");
+        assert!(before.contains(" p50_us=0"), "{before}");
+        assert!(before.contains(" p99_us=0"), "{before}");
+        state
+            .eval("d0", Semantics::Cwa, "exists u v . D(u, v)")
+            .unwrap();
+        let after = state.render_stats();
+        let p50: u64 = after
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("p50_us="))
+            .expect("p50_us token")
+            .parse()
+            .unwrap();
+        assert!(p50 > 0, "one eval recorded: {after}");
+    }
+
+    #[test]
+    fn metrics_exposition_validates_and_reconciles_with_evals() {
+        let state = state(2);
+        state.load("d0", d0());
+        for (text, semantics) in [
+            ("exists u v . D(u, v) & D(v, u)", Semantics::Cwa),
+            ("forall u . exists v . D(u, v)", Semantics::Owa),
+            ("exists u . !D(u, u)", Semantics::Owa),
+            ("exists u v . D(u, v) & D(v, u)", Semantics::Cwa),
+        ] {
+            state.eval("d0", semantics, text).expect("served");
+        }
+        let exposition = state.render_metrics();
+        let lines: Vec<String> = exposition.lines().map(str::to_string).collect();
+        nev_obs::validate_exposition(&lines).expect("grammar-valid exposition");
+        assert_eq!(lines.last().map(String::as_str), Some("# EOF"));
+        // Every request lands in exactly one per-plan histogram: the totals
+        // must reconcile exactly with the `evals` counter.
+        let totals = state.metrics().request_totals();
+        assert_eq!(totals.count, state.snapshot().evals);
+        let per_plan: u64 = state
+            .metrics()
+            .plan_snapshots()
+            .iter()
+            .map(|(_, snap)| snap.count)
+            .sum();
+        assert_eq!(per_plan, state.snapshot().evals);
+        assert!(
+            exposition.contains("nev_evals_total 4"),
+            "counter block present:\n{exposition}"
+        );
+    }
+
+    #[test]
+    fn trace_command_runs_a_real_eval_and_renders_a_stage_timeline() {
+        let state = state(1);
+        state.load("d0", d0());
+        let line = state.handle_line("TRACE d0 cwa exists u v . D(u, v) & D(v, u)");
+        assert!(
+            line.starts_with("OK trace plan=compiled total_us="),
+            "{line}"
+        );
+        assert!(line.contains(" dropped=0 "), "{line}");
+        assert!(!line.contains('\n'), "TRACE is a one-liner: {line}");
+        if nev_obs::enabled() {
+            assert!(line.contains("exec:"), "{line}");
+            // Depth-0 stage durations can never exceed the request total.
+            let total: u64 = line
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix("total_us="))
+                .unwrap()
+                .parse()
+                .unwrap();
+            let trace = state
+                .eval_with_trace("d0", Semantics::Cwa, "exists u v . D(u, v) & D(v, u)")
+                .unwrap()
+                .1;
+            assert!(trace.top_level_us() <= trace.total_us().max(total));
+        } else {
+            assert!(line.ends_with("spans=-"), "{line}");
+        }
+        // TRACE is an eval: it counts, and it feeds the same histograms.
+        assert!(state.snapshot().evals >= 1);
+        assert!(state.metrics().request_totals().count >= 1);
+    }
+
+    #[test]
+    fn slow_query_log_captures_the_worst_requests() {
+        let state = state(0);
+        state.load("d0", d0());
+        state
+            .eval("d0", Semantics::Owa, "exists u . !D(u, u)")
+            .unwrap();
+        let slow = state.metrics().slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].plan, "oracle");
+        assert_eq!(slow[0].semantics, "OWA");
+        assert!(slow[0].query.contains('D'), "{:?}", slow[0]);
+        let exposition = state.render_metrics();
+        assert!(exposition.contains("# slow_query "), "{exposition}");
+    }
+
+    #[test]
+    fn metrics_over_the_wire_is_the_sole_multiline_response() {
+        let state = state(1);
+        state.load("d0", d0());
+        state.handle_line("EVAL d0 cwa exists u v . D(u, v)");
+        let response = state.handle_line("METRICS");
+        assert!(response.starts_with("OK metrics\n"), "{response}");
+        assert!(response.ends_with("# EOF"), "{response}");
+        let body: Vec<String> = response.lines().skip(1).map(str::to_string).collect();
+        nev_obs::validate_exposition(&body).expect("wire body validates");
+        assert!(state.handle_line("METRICS please").starts_with("ERR"));
     }
 }

@@ -7,7 +7,9 @@
 //!           | "PREPARE" query-text
 //!           | "EVAL" name semantics query-text
 //!           | "EXPLAIN" name semantics query-text
+//!           | "TRACE" name semantics query-text
 //!           | "STATS"
+//!           | "METRICS"
 //!           | "QUIT"
 //! facts     = "-"                      (the empty instance)
 //!           | fact (";" fact)*
@@ -22,6 +24,13 @@
 //!             (every spelling `Semantics::from_str` accepts)
 //! response  = "OK" payload | "ERR" message
 //! ```
+//!
+//! Every response is one line — with a single exception: `METRICS` answers
+//! `OK metrics` followed by a Prometheus-style exposition whose last line is
+//! `# EOF` (see [`nev_obs::validate_exposition`] for the exposition grammar),
+//! so line-oriented clients know exactly where the multi-line payload stops.
+//! `TRACE` evaluates like `EVAL` but answers with the request's stage
+//! timeline (`trace plan=… total_us=… spans=…`) instead of the answer set.
 //!
 //! The `;` and `,` separators of the facts grammar are recognised **outside
 //! quotes only**, so quoted strings may contain any character (newlines aside —
@@ -73,8 +82,21 @@ pub enum Command {
         /// The raw query text.
         query: String,
     },
+    /// `TRACE name semantics query` — evaluate like `EVAL`, but answer with the
+    /// request's stage timeline instead of the answer set.
+    Trace {
+        /// Catalog name to evaluate on.
+        name: String,
+        /// The semantics spelling (validated by the state layer).
+        semantics: String,
+        /// The raw query text.
+        query: String,
+    },
     /// `STATS` — service counters.
     Stats,
+    /// `METRICS` — the full telemetry exposition (the sole multi-line response,
+    /// terminated by a `# EOF` line).
+    Metrics,
     /// `QUIT` — close the connection.
     Quit,
 }
@@ -136,6 +158,14 @@ pub fn parse_command(line: &str) -> Result<Command, WireError> {
                 query,
             })
         }
+        "TRACE" => {
+            let (name, semantics, query) = parse_eval_shape(rest, "TRACE")?;
+            Ok(Command::Trace {
+                name,
+                semantics,
+                query,
+            })
+        }
         "STATS" => {
             if rest.is_empty() {
                 Ok(Command::Stats)
@@ -143,9 +173,17 @@ pub fn parse_command(line: &str) -> Result<Command, WireError> {
                 Err(err("STATS takes no arguments"))
             }
         }
+        "METRICS" => {
+            if rest.is_empty() {
+                Ok(Command::Metrics)
+            } else {
+                Err(err("METRICS takes no arguments"))
+            }
+        }
         "QUIT" => Ok(Command::Quit),
         other => Err(err(format!(
-            "unknown command `{other}` (expected LOAD, PREPARE, EVAL, EXPLAIN, STATS or QUIT)"
+            "unknown command `{other}` (expected LOAD, PREPARE, EVAL, EXPLAIN, TRACE, STATS, \
+             METRICS or QUIT)"
         ))),
     }
 }
@@ -387,7 +425,16 @@ mod tests {
             })
         );
         assert_eq!(parse_command("STATS"), Ok(Command::Stats));
+        assert_eq!(parse_command("METRICS"), Ok(Command::Metrics));
         assert_eq!(parse_command("quit"), Ok(Command::Quit));
+        assert_eq!(
+            parse_command("TRACE d0 owa exists u . R(u)"),
+            Ok(Command::Trace {
+                name: "d0".into(),
+                semantics: "owa".into(),
+                query: "exists u . R(u)".into(),
+            })
+        );
         assert_eq!(
             parse_command("EXPLAIN d0 cwa exists u . R(u)"),
             Ok(Command::Explain {
@@ -405,7 +452,9 @@ mod tests {
             ("EVAL d0 owa", "usage: EVAL"),
             ("EXPLAIN d0 owa", "usage: EXPLAIN"),
             ("PREPARE", "usage: PREPARE"),
+            ("TRACE d0 owa", "usage: TRACE"),
             ("STATS now", "no arguments"),
+            ("METRICS please", "no arguments"),
             ("FROBNICATE", "unknown command"),
             ("LOAD bad!name R(1)", "invalid instance name"),
         ] {

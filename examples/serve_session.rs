@@ -42,8 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // EXPLAIN: the dispatch decision plus the nev-opt plan pair (logical
         // and optimised), without executing anything.
         "EXPLAIN intro owa Q(x, y) :- exists z . R(x, z) & S(z, y)",
+        // TRACE: one request's stage timeline (parse/classify/compile on a
+        // cache miss, then the exec or oracle stages) as a one-liner.
+        "TRACE intro owa Q(x, y) :- exists z . R(x, z) & S(z, y)",
         "STATS",
-        "QUIT",
     ];
     for request in session {
         let response = client.send(request)?;
@@ -55,7 +57,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "EXPLAIN must expose the optimised plan: {response}"
             );
         }
+        if request.starts_with("TRACE") {
+            assert!(
+                response.starts_with("OK trace plan=compiled total_us=")
+                    && response.contains("spans="),
+                "TRACE must report the stage timeline: {response}"
+            );
+        }
+        if request == "STATS" {
+            assert!(
+                response.contains(" uptime_us=") && response.contains(" p50_us="),
+                "STATS must carry the latency digest: {response}"
+            );
+        }
     }
+
+    // METRICS: the sole multi-line response — a Prometheus-style exposition of
+    // every counter, the per-plan/per-stage latency histograms and the
+    // slow-query log, terminated by `# EOF` and shape-checked here.
+    let exposition = client.metrics()?;
+    naive_eval::obs::validate_exposition(&exposition)
+        .map_err(|violation| format!("METRICS exposition: {violation}"))?;
+    println!(
+        "\n> METRICS ({} lines, grammar-valid; excerpt)",
+        exposition.len()
+    );
+    for line in exposition.iter().filter(|l| {
+        l.starts_with("nev_evals_total") || l.starts_with("nev_request_latency_us_count")
+    }) {
+        println!("< {line}");
+    }
+
+    println!("> QUIT");
+    println!("< {}", client.send("QUIT")?);
 
     // The round-trip property the load generator checks on every request: the
     // served answer is byte-identical to an in-process engine evaluation.

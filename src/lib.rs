@@ -7,6 +7,9 @@
 //!
 //! The layers, bottom to top:
 //!
+//! * [`obs`] — zero-dependency observability: log-bucketed latency histograms,
+//!   RAII stage spans and per-request traces, the metrics registry behind the
+//!   wire `METRICS`/`TRACE` commands (kill switch: `NEV_TRACE=0`);
 //! * [`incomplete`] — incomplete databases with labelled nulls (naïve and Codd
 //!   tables), orderings on tuples and instances;
 //! * [`hom`] — homomorphisms, valuations, minimality, cores and isomorphism;
@@ -33,5 +36,6 @@ pub use nev_gen as gen;
 pub use nev_hom as hom;
 pub use nev_incomplete as incomplete;
 pub use nev_logic as logic;
+pub use nev_obs as obs;
 pub use nev_serve as serve;
 pub use nev_sql as sql;

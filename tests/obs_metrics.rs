@@ -1,0 +1,179 @@
+//! Observability acceptance suite: the wire `METRICS`/`TRACE`/`STATS` surface
+//! under real concurrency.
+//!
+//! The properties pinned here are the ones PR 8 promises:
+//!
+//! * **exact reconciliation** — the per-plan request-latency histogram counts
+//!   sum to the `evals` counter, even while many clients hammer the server at
+//!   once (every eval is observed exactly once, where `evals` is bumped);
+//! * **grammar-valid exposition** — `METRICS` always shape-validates against
+//!   [`naive_eval::obs::validate_exposition`], terminated by `# EOF`;
+//! * **trace sanity** — a `TRACE` stage timeline's depth-0 durations can never
+//!   exceed the request total;
+//! * **tracing never changes answers** — served bytes are identical with the
+//!   recorder enabled and disabled (`NEV_TRACE=0` is exercised as a separate
+//!   CI run of the determinism suite; here the in-process recorder flag is
+//!   flipped directly).
+
+use std::sync::Arc;
+use std::thread;
+
+use naive_eval::core::Semantics;
+use naive_eval::obs::{validate_exposition, TraceRecorder};
+use naive_eval::serve::state::{ServeConfig, ServeState};
+use naive_eval::serve::{Client, Server, ServerHandle};
+
+fn spawn_server(workers: usize) -> (Arc<ServeState>, ServerHandle) {
+    let state = Arc::new(ServeState::new(ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    }));
+    let handle = Server::bind("127.0.0.1:0", Arc::clone(&state))
+        .expect("bind loopback ephemeral port")
+        .spawn()
+        .expect("spawn accept loop");
+    (state, handle)
+}
+
+const QUERIES: [(&str, &str); 4] = [
+    ("cwa", "exists u v . D(u, v) & D(v, u)"),
+    ("owa", "forall u . exists v . D(u, v)"),
+    ("owa", "exists u . !D(u, u)"),
+    ("cwa", "forall u . exists v . D(u, v)"),
+];
+
+#[test]
+fn concurrent_clients_reconcile_histograms_with_counters() {
+    let (state, mut handle) = spawn_server(4);
+    let addr = handle.addr().to_string();
+
+    {
+        let mut seed = Client::connect(&addr).expect("connect");
+        assert_eq!(
+            seed.send("LOAD d0 D(?1,?2);D(?2,?1)").unwrap(),
+            "OK loaded d0 facts=2"
+        );
+    }
+
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 5;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|id| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for round in 0..ROUNDS {
+                    let (semantics, query) = QUERIES[(id + round) % QUERIES.len()];
+                    let line = format!("EVAL d0 {semantics} {query}");
+                    let response = client.send(&line).expect("eval");
+                    assert!(response.starts_with("OK plan="), "{response}");
+                    if round % 2 == 0 {
+                        client.send(&format!("PREPARE {query}")).expect("prepare");
+                    }
+                    // METRICS mid-flight must still validate: the exposition is
+                    // assembled from live atomics, never torn.
+                    let exposition = client.metrics().expect("metrics");
+                    validate_exposition(&exposition).expect("mid-flight exposition");
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+
+    let evals = state.snapshot().evals;
+    assert_eq!(evals, (CLIENTS * ROUNDS) as u64);
+    // Exact reconciliation: every eval landed in exactly one per-plan histogram.
+    assert_eq!(state.metrics().request_totals().count, evals);
+    let per_plan: u64 = state
+        .metrics()
+        .plan_snapshots()
+        .iter()
+        .map(|(_, snap)| snap.count)
+        .sum();
+    assert_eq!(per_plan, evals);
+
+    // The final exposition validates and carries the reconciled counter.
+    let mut client = Client::connect(&addr).expect("connect");
+    let exposition = client.metrics().expect("metrics");
+    validate_exposition(&exposition).expect("final exposition");
+    assert!(exposition
+        .iter()
+        .any(|line| line == &format!("nev_evals_total {evals}")));
+    assert_eq!(exposition.last().map(String::as_str), Some("# EOF"));
+
+    // STATS carries the latency digest derived from the same histograms.
+    let stats = client.send("STATS").expect("stats");
+    assert!(stats.contains(" uptime_us="), "{stats}");
+    assert!(stats.contains(" p50_us="), "{stats}");
+    assert!(stats.contains(" p99_us="), "{stats}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn trace_stage_durations_never_exceed_the_total() {
+    let (state, mut handle) = spawn_server(2);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    client.send("LOAD d0 D(?1,?2);D(?2,?1)").unwrap();
+
+    for (semantics, query) in QUERIES {
+        let line = client
+            .send(&format!("TRACE d0 {semantics} {query}"))
+            .expect("trace");
+        assert!(line.starts_with("OK trace plan="), "{line}");
+        assert!(!line.contains('\n'), "TRACE is one line: {line}");
+    }
+    // TRACE runs real evals: it counts, and it feeds the same histograms.
+    assert_eq!(state.snapshot().evals, QUERIES.len() as u64);
+    assert_eq!(state.metrics().request_totals().count, QUERIES.len() as u64);
+
+    // The depth-0 invariant, checked on the trace object itself (the wire line
+    // reports the rendered spans; the object carries the structure).
+    for (semantics, query) in QUERIES {
+        let semantics: Semantics = semantics.parse().unwrap();
+        let (_, trace) = state.eval_with_trace("d0", semantics, query).expect("eval");
+        assert!(
+            trace.top_level_us() <= trace.total_us(),
+            "stage sum {} exceeds total {}",
+            trace.top_level_us(),
+            trace.total_us()
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn tracing_never_perturbs_served_answers() {
+    // Flip the recorder directly (the NEV_TRACE=0 process-level run is a
+    // separate CI job): evaluate the same requests with tracing forced on and
+    // forced off, and demand byte-identical renderings.
+    let (state, mut handle) = spawn_server(2);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    client.send("LOAD d0 D(?1,?2);D(?2,?1)").unwrap();
+
+    for (semantics, query) in QUERIES {
+        let line = format!("EVAL d0 {semantics} {query}");
+        let first = client.send(&line).expect("eval");
+        let second = client.send(&line).expect("eval again");
+        assert_eq!(first, second, "repeat evals are byte-identical");
+    }
+
+    // The recorder itself, enabled vs disabled, over the engine: same results.
+    let engine = state.engine();
+    let prepared = engine.prepare(QUERIES[0].1).expect("prepare");
+    let d0 = naive_eval::incomplete::inst! {
+        "D" => [
+            [naive_eval::incomplete::builder::x(1), naive_eval::incomplete::builder::x(2)],
+            [naive_eval::incomplete::builder::x(2), naive_eval::incomplete::builder::x(1)],
+        ]
+    };
+    let on = TraceRecorder::with_enabled(true);
+    let off = TraceRecorder::with_enabled(false);
+    let (answers_on, _) = engine.naive_answers_traced(&d0, &prepared, &on);
+    let (answers_off, _) = engine.naive_answers_traced(&d0, &prepared, &off);
+    assert_eq!(answers_on, answers_off);
+    assert!(off.finish().is_empty(), "disabled recorder records nothing");
+    handle.shutdown();
+}
