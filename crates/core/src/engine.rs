@@ -65,7 +65,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
-use nev_exec::{CompiledQuery, CompilerConfig, ExecOptions, ExecStats, ExecTimings};
+use nev_exec::{CompiledQuery, CompilerConfig, ExecOptions, ExecStats, ExecTimings, OpProfile};
 use nev_hom::is_core;
 use nev_incomplete::{Constant, Instance, Tuple};
 use nev_logic::eval::{evaluate_boolean, evaluate_query, naive_eval_query};
@@ -1062,6 +1062,30 @@ impl CertainEngine {
         }
         drop(span);
         (naive, exec)
+    }
+
+    /// [`CertainEngine::naive_answers`] with per-operator profiling — the
+    /// engine half of the wire `PROFILE` command. When the query has a
+    /// compiled plan, the pass runs on `nev-exec` with an [`OpProfile`]
+    /// recording inclusive wall time, output rows and the cost model's
+    /// estimate for every executed operator (answers and counters are
+    /// identical to the unprofiled pass). Interpreter fallbacks have no
+    /// operator tree to attribute and return `None`.
+    pub fn naive_answers_profiled(
+        &self,
+        d: &Instance,
+        query: &PreparedQuery,
+    ) -> (BTreeSet<Tuple>, ExecStats, Option<OpProfile>) {
+        match query.compiled() {
+            Some(compiled) => {
+                let (out, profile) = compiled.execute_naive_profiled(d, &self.exec);
+                (out.answers, out.stats, Some(profile))
+            }
+            None => {
+                let (naive, exec) = naive_answers(d, query, &self.exec);
+                (naive, exec, None)
+            }
+        }
     }
 
     /// Runs the ground-truth oracle unconditionally — naïve evaluation **and** the

@@ -44,6 +44,7 @@ use crate::cost;
 use crate::intern::{ColumnarRelation, InternedInstance};
 use crate::lower::CompiledQuery;
 use crate::optimize::greedy_join_order;
+use crate::profile::{op_label, OpProfile, OpSample};
 use crate::stats::{ExecStats, ExecTimings};
 
 /// Default number of rows per scan/probe morsel. Below this, the coordination
@@ -205,6 +206,12 @@ struct ExecContext<'a> {
     /// Stage-2 cost-based reordering enabled (`CompilerConfig::optimize`).
     reorder: bool,
     morsel_rows: usize,
+    /// `Some` when this execution records a per-operator profile (the wire
+    /// `PROFILE` command). `None` — the default — keeps every probe point to a
+    /// single branch, so unprofiled runs are untouched.
+    profile: Option<OpProfile>,
+    /// Current operator nesting depth of the profiled recursion.
+    profile_depth: usize,
 }
 
 impl<'a> ExecContext<'a> {
@@ -223,6 +230,8 @@ impl<'a> ExecContext<'a> {
             join_orders: HashMap::new(),
             reorder,
             morsel_rows: morsel_rows.max(1),
+            profile: None,
+            profile_depth: 0,
         }
     }
 
@@ -288,7 +297,62 @@ impl<'a> ExecContext<'a> {
     }
 }
 
+/// Evaluates one plan node, recording a pre-order [`OpSample`] around the
+/// operator when this execution is profiled. The default (unprofiled) path is
+/// one `Option` check and otherwise identical to calling [`eval_node`]
+/// directly — profiling can never change answers, stats or served bytes.
 fn eval(node: &PlanNode, ctx: &mut ExecContext<'_>) -> Batch {
+    if ctx.profile.is_none() {
+        return eval_node(node, ctx);
+    }
+    let estimated_rows = cost::estimate(node, ctx.inst);
+    let depth = ctx.profile_depth;
+    let index = {
+        let profile = ctx.profile.as_mut().expect("profiled execution");
+        profile.ops.push(OpSample {
+            depth,
+            label: op_label(node),
+            wall_us: 0,
+            rows: 0,
+            estimated_rows,
+            counts_intermediate: false,
+        });
+        profile.ops.len() - 1
+    };
+    ctx.profile_depth = depth + 1;
+    // A profile is an explicit request for wall-clock numbers, so the timer
+    // ignores the NEV_TRACE kill switch (unlike the ambient stage timings).
+    let timer = Timer::start_always();
+    let batch = eval_node(node, ctx);
+    let wall_us = timer.elapsed_us();
+    ctx.profile_depth = depth;
+    let counts_intermediate = counted_as_intermediate(node, &batch);
+    let profile = ctx.profile.as_mut().expect("profiled execution");
+    let op = &mut profile.ops[index];
+    op.wall_us = wall_us;
+    op.rows = batch.rows as u64;
+    op.counts_intermediate = counts_intermediate;
+    batch
+}
+
+/// Whether the node's output rows are one of the increments summed into
+/// [`ExecStats::intermediate_rows`]. `Join` groups are excluded here because
+/// their pairwise folds are recorded (and flagged) as separate `HashJoin`
+/// samples by [`eval_join_group`]; a Boolean complement short-circuits before
+/// the counter and is likewise excluded.
+fn counted_as_intermediate(node: &PlanNode, batch: &Batch) -> bool {
+    match node {
+        PlanNode::AdomEq { .. }
+        | PlanNode::Union { .. }
+        | PlanNode::Project { .. }
+        | PlanNode::AntiJoin { .. }
+        | PlanNode::DomainPad { .. } => true,
+        PlanNode::Complement { .. } => !batch.schema.is_empty(),
+        _ => false,
+    }
+}
+
+fn eval_node(node: &PlanNode, ctx: &mut ExecContext<'_>) -> Batch {
     match node {
         PlanNode::Scan {
             relation,
@@ -395,6 +459,11 @@ fn eval(node: &PlanNode, ctx: &mut ExecContext<'_>) -> Batch {
 /// pairwise and short-circuiting to an empty batch (over the group's full
 /// schema) as soon as the accumulator empties — unevaluated members cannot
 /// resurrect an empty join.
+///
+/// When profiled, every pairwise fold records a `HashJoin[schema]` sample at
+/// the leaves' depth: actual fold output rows against the running
+/// [`cost::join_estimate`] in the chosen order — the estimated-vs-actual
+/// feedback that shows where the greedy reorder's guesses drift.
 fn eval_join_group(group: &PlanNode, ctx: &mut ExecContext<'_>) -> Batch {
     let mut leaves = Vec::new();
     flatten_join_refs(group, &mut leaves);
@@ -402,6 +471,13 @@ fn eval_join_group(group: &PlanNode, ctx: &mut ExecContext<'_>) -> Batch {
     let full_schema = leaves
         .iter()
         .fold(Vec::new(), |acc, l| merge_schemas(&acc, &l.schema()));
+    let profiled = ctx.profile.is_some();
+    let adom = if profiled {
+        (ctx.inst.dictionary().len() as f64).max(1.0)
+    } else {
+        1.0
+    };
+    let mut est_acc = 0.0f64;
     let mut acc: Option<Batch> = None;
     for &i in &order {
         if let Some(batch) = &acc {
@@ -409,10 +485,41 @@ fn eval_join_group(group: &PlanNode, ctx: &mut ExecContext<'_>) -> Batch {
                 return Batch::empty(full_schema);
             }
         }
+        let leaf_est = if profiled {
+            cost::estimate(leaves[i], ctx.inst)
+        } else {
+            0.0
+        };
         let next = eval(leaves[i], ctx);
         acc = Some(match acc {
-            None => next,
-            Some(prev) => eval_join(prev, next, ctx),
+            None => {
+                est_acc = leaf_est;
+                next
+            }
+            Some(prev) => {
+                let fold_est =
+                    cost::join_estimate(est_acc, &prev.schema, leaf_est, &leaves[i].schema(), adom);
+                let timer = if profiled {
+                    Timer::start_always()
+                } else {
+                    Timer::disabled()
+                };
+                let joined = eval_join(prev, next, ctx);
+                if profiled {
+                    let depth = ctx.profile_depth;
+                    let profile = ctx.profile.as_mut().expect("profiled execution");
+                    profile.ops.push(OpSample {
+                        depth,
+                        label: format!("HashJoin[{}]", joined.schema.join(",")),
+                        wall_us: timer.elapsed_us(),
+                        rows: joined.rows as u64,
+                        estimated_rows: fold_est,
+                        counts_intermediate: true,
+                    });
+                }
+                est_acc = fold_est;
+                joined
+            }
         });
     }
     acc.expect("a join group has at least two members")
@@ -990,6 +1097,46 @@ impl CompiledQuery {
         }
     }
 
+    /// [`CompiledQuery::execute_naive_with`] with per-operator profiling: runs
+    /// the same evaluation (same answers, same counters) while recording an
+    /// [`OpProfile`] of inclusive wall times, output rows and cost-model
+    /// estimates per executed operator — the collector behind the wire
+    /// `PROFILE` command.
+    pub fn execute_naive_profiled(
+        &self,
+        d: &Instance,
+        options: &ExecOptions,
+    ) -> (ExecOutput, OpProfile) {
+        let interned = Arc::new(InternedInstance::new(d));
+        let mut stats = ExecStats::new();
+        let mut timings = ExecTimings::default();
+        let shared = options
+            .pool
+            .as_ref()
+            .filter(|pool| pool.workers() >= 2)
+            .map(|pool| SharedExec {
+                inst: &interned,
+                pool,
+            });
+        let (answers, profile) = self.run_profiled(
+            &interned,
+            shared,
+            true,
+            &mut stats,
+            &mut timings,
+            options.morsel_rows,
+            true,
+        );
+        (
+            ExecOutput {
+                answers,
+                stats,
+                timings,
+            },
+            profile,
+        )
+    }
+
     fn run_interned(
         &self,
         inst: &InternedInstance,
@@ -999,7 +1146,33 @@ impl CompiledQuery {
         timings: &mut ExecTimings,
         morsel_rows: usize,
     ) -> BTreeSet<Tuple> {
+        self.run_profiled(
+            inst,
+            shared,
+            complete_only,
+            stats,
+            timings,
+            morsel_rows,
+            false,
+        )
+        .0
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_profiled(
+        &self,
+        inst: &InternedInstance,
+        shared: Option<SharedExec<'_>>,
+        complete_only: bool,
+        stats: &mut ExecStats,
+        timings: &mut ExecTimings,
+        morsel_rows: usize,
+        profile: bool,
+    ) -> (BTreeSet<Tuple>, OpProfile) {
         let mut ctx = ExecContext::new(inst, shared, self.reorder, morsel_rows);
+        if profile {
+            ctx.profile = Some(OpProfile::default());
+        }
         // Replay the compile-time rule count and the root cardinality estimate
         // into this execution's telemetry (`as` saturates, never panics).
         ctx.stats.rules_fired = self.rules.total();
@@ -1021,7 +1194,7 @@ impl CompiledQuery {
         }
         stats.merge(&ctx.stats);
         timings.merge(&ctx.timings);
-        answers
+        (answers, ctx.profile.unwrap_or_default())
     }
 }
 
@@ -1233,6 +1406,37 @@ mod tests {
         assert_eq!(out.stats.morsels_dispatched, 5);
         assert_eq!(out.stats.batches_processed, 5);
         assert_eq!(out.stats.rows_scanned, 10);
+    }
+
+    #[test]
+    fn profiled_runs_match_unprofiled_and_reconcile_accounting() {
+        let d = chain_instance(300);
+        let q = parse_query("Q(u, w) :- exists v . R(u, v) & S(v, w)").expect("valid query");
+        let compiled = CompiledQuery::compile(&q).expect("compiles");
+        let plain = compiled.execute_naive(&d);
+        let (out, profile) = compiled.execute_naive_profiled(&d, &ExecOptions::default());
+        // Profiling changes nothing about the evaluation itself.
+        assert_eq!(out.answers, plain.answers);
+        assert_eq!(out.stats, plain.stats);
+        // Every executed operator was sampled: the join group, its leaves and
+        // the pairwise fold, each with a cost-model estimate attached.
+        assert!(profile
+            .ops
+            .iter()
+            .any(|op| op.label.starts_with("JoinGroup")));
+        assert!(profile.ops.iter().any(|op| op.label.starts_with("Scan R")));
+        assert!(profile
+            .ops
+            .iter()
+            .any(|op| op.label.starts_with("HashJoin[")));
+        assert!(profile.ops.iter().all(|op| op.estimated_rows >= 0.0));
+        // The flagged samples reconcile exactly with the executor's own
+        // intermediate-row counter, and the per-operator self times telescope
+        // to the root's inclusive wall time (children nest inside parents on
+        // one monotone clock, so no saturation can fire).
+        assert_eq!(profile.intermediate_rows(), out.stats.intermediate_rows);
+        assert_eq!(profile.total_self_us(), profile.root_wall_us());
+        assert!(!profile.render().contains('\n'));
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //!   [`nev_runtime::WorkerPool`] (opt in via [`ExecOptions`]), with the
 //!   [`ExecStats`] counter block (rows scanned, hash probes, index builds,
 //!   fallbacks, rules fired, joins reordered, morsels dispatched);
-//! * [`stats`] — the counters themselves.
+//! * [`stats`] — the counters themselves;
+//! * [`profile`] — the opt-in per-operator [`OpProfile`] collector behind the
+//!   wire `PROFILE` command: inclusive wall time, output rows and the cost
+//!   model's estimate for every executed operator (including each pairwise
+//!   join fold in the cost-chosen order).
 //!
 //! The crate is semantics-complete over the executable core: for every query it
 //! *accepts*, [`CompiledQuery::execute`] returns exactly
@@ -60,6 +64,7 @@ pub mod exec;
 pub mod intern;
 pub mod lower;
 pub mod optimize;
+pub mod profile;
 pub mod rules;
 pub mod stats;
 
@@ -68,5 +73,6 @@ pub use exec::{ExecOptions, ExecOutput, DEFAULT_MORSEL_ROWS};
 pub use intern::{ColumnarRelation, Dictionary, InternedInstance};
 pub use lower::{CompileError, CompiledQuery, CompilerConfig};
 pub use optimize::greedy_join_order;
+pub use profile::{OpProfile, OpSample};
 pub use rules::RuleReport;
 pub use stats::{ExecStats, ExecTimings};

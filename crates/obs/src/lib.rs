@@ -22,6 +22,11 @@
 //!   per-dispatch-kind histograms, a bounded top-K slow-query log, and the
 //!   text exposition behind the wire `METRICS` command (shape-checkable with
 //!   [`validate_exposition`]).
+//! * [`timeseries`] — a fixed-size ring of lazy, rate-limited
+//!   [`WindowSample`]s over the monotone counters, giving QPS, error rate
+//!   and interpolated p50/p95/p99 over trailing 1 s / 10 s / 60 s windows
+//!   ([`TimeSeries::window`]) — the data behind the wire `TOP` summary and
+//!   the `nevtop` dashboard.
 //!
 //! ## The kill switch
 //!
@@ -57,10 +62,12 @@
 pub mod hist;
 pub mod registry;
 pub mod span;
+pub mod timeseries;
 
 pub use hist::{bucket_bound, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{validate_exposition, MetricsRegistry, SlowQuery};
 pub use span::{Span, SpanRecord, Stage, Trace, TraceRecorder, MAX_SPANS};
+pub use timeseries::{TimeSeries, WindowDelta, WindowSample, WINDOWS};
 
 use std::sync::OnceLock;
 use std::time::Instant;

@@ -132,6 +132,13 @@ impl MetricsRegistry {
         self.slow.lock().expect("slow-query log poisoned").clone()
     }
 
+    /// Empties the slow-query log (the wire `METRICS RESET` path). Lifetime
+    /// histograms and counters are deliberately untouched: reconciliation
+    /// invariants (per-plan counts summing to `evals`) must survive a reset.
+    pub fn reset_slow(&self) {
+        self.slow.lock().expect("slow-query log poisoned").clear();
+    }
+
     /// Renders the full exposition: uptime and caller gauges, caller
     /// counters (suffixed `_total`), the per-plan request-latency and
     /// per-stage latency histograms, any extra named histograms (e.g. the
@@ -142,6 +149,21 @@ impl MetricsRegistry {
         counters: &[(&str, u64)],
         gauges: &[(&str, u64)],
         extra_hists: &[(&str, HistogramSnapshot)],
+    ) -> String {
+        self.expose_with(counters, gauges, extra_hists, "")
+    }
+
+    /// [`MetricsRegistry::expose`] with a caller-rendered `appendix` spliced
+    /// in after the histograms and before the slow-query log — the hook the
+    /// serving layer uses for its windowed time-series gauges
+    /// ([`crate::timeseries::render_window_gauges`]). The appendix must
+    /// itself be grammar-valid exposition text (newline-terminated lines).
+    pub fn expose_with(
+        &self,
+        counters: &[(&str, u64)],
+        gauges: &[(&str, u64)],
+        extra_hists: &[(&str, HistogramSnapshot)],
+        appendix: &str,
     ) -> String {
         use std::fmt::Write;
         let mut out = String::with_capacity(4096);
@@ -190,6 +212,7 @@ impl MetricsRegistry {
                 snap.render_prometheus(&format!("nev_{name}"), "", &mut out);
             }
         }
+        out.push_str(appendix);
         for entry in self.slow_queries() {
             let stages: Vec<String> = entry
                 .stages
@@ -390,6 +413,30 @@ mod tests {
         let text = registry.expose(&[], &[], &[]);
         validate_exposition(&lines(&text)).expect("slow log keeps grammar valid");
         assert!(text.contains("# slow_query latency_us=900"));
+        // Reset empties the log without touching the latency histograms.
+        registry.observe_plan("oracle", 77);
+        registry.reset_slow();
+        assert!(registry.slow_queries().is_empty());
+        assert_eq!(registry.request_totals().count, 1, "histograms survive");
+    }
+
+    #[test]
+    fn expose_with_splices_the_appendix_before_the_slow_log() {
+        let registry = MetricsRegistry::new(&["oracle"], 2);
+        registry.record_slow(SlowQuery {
+            latency_us: 9,
+            query: "Q".to_string(),
+            semantics: "owa".to_string(),
+            cell: "coNP".to_string(),
+            plan: "oracle".to_string(),
+            stages: Vec::new(),
+        });
+        let appendix = "# TYPE nev_window_evals gauge\nnev_window_evals{window=\"1s\"} 3\n";
+        let text = registry.expose_with(&[], &[], &[], appendix);
+        validate_exposition(&lines(&text)).expect("appendix keeps grammar valid");
+        let window_at = text.find("nev_window_evals{").expect("appendix rendered");
+        let slow_at = text.find("# slow_query").expect("slow log rendered");
+        assert!(window_at < slow_at, "appendix precedes the slow-query log");
     }
 
     #[test]

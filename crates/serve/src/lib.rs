@@ -6,14 +6,16 @@
 //! incomplete instances, a plan cache that amortises preparation across requests,
 //! a work-stealing worker pool, a parallel bounded oracle for the cells that still
 //! need possible-world enumeration, and a loopback TCP line-protocol server
-//! (`nevd`) with a load-generator client (`nevload`).
+//! (`nevd`) with a load-generator client (`nevload`) and a live terminal
+//! dashboard (`nevtop`).
 //!
 //! The module DAG, bottom to top:
 //!
 //! ```text
 //! server (nevd accept loop, one thread per connection)
-//!   └──► state    (ServeState: LOAD/PREPARE/EVAL/EXPLAIN/TRACE/STATS/METRICS
-//!         │        handlers, grouped batch evaluation over evaluate_all)
+//!   └──► state    (ServeState: LOAD/PREPARE/EVAL/EXPLAIN/TRACE/PROFILE/
+//!         │        STATS/TOP/METRICS handlers, grouped batch evaluation
+//!         │        over evaluate_all)
 //!         ├──► catalog  (named Arc<Instance> snapshots, copy-on-write swaps)
 //!         ├──► cache    (LRU of Arc<PreparedQuery> holding the nev-opt
 //!         │              optimised plan, keyed canonical rendering × semantics)
@@ -33,11 +35,18 @@
 //! request-latency histograms (reconciling exactly with the `evals` counter),
 //! per-stage latency histograms, the pool's queue-wait/run split, and a
 //! bounded top-K slow-query log. `TRACE` answers one request's stage timeline
-//! as a one-liner, `METRICS` emits the whole registry as a Prometheus-style
-//! exposition (the protocol's sole multi-line response, terminated by
-//! `# EOF`), and `STATS` carries an `uptime_us=`/`p50_us=`/`p99_us=` digest.
+//! as a one-liner; `PROFILE` runs one real evaluation and annotates every
+//! executed operator of a compiled plan with wall time, output rows and the
+//! `nev-opt` cost model's estimate; `METRICS` emits the whole registry — plus
+//! trailing-window `nev_window_*` gauges off a lazily-sampled
+//! [`nev_obs::TimeSeries`] — as a Prometheus-style exposition (the protocol's
+//! sole multi-line response, terminated by `# EOF`); `TOP` condenses the
+//! windowed rates into one line for `nevtop`; `METRICS RESET` re-baselines
+//! the windows and empties the slow log without touching lifetime counters;
+//! and `STATS` carries an `uptime_us=`/`p50_us=`/`p95_us=`/`p99_us=` digest.
 //! Setting `NEV_TRACE=0` disables span collection; request latencies, served
-//! bytes and all results are identical either way.
+//! bytes and all results are identical either way (`PROFILE` times on its own
+//! explicit-request clock, exempt from the kill switch).
 //!
 //! The pool itself lives in the **`nev-runtime`** crate, below `nev-exec` in
 //! the dependency order, so the execution engine can dispatch morsel-driven

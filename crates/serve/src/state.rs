@@ -1,6 +1,6 @@
 //! The shared service state: catalog + plan cache + worker pool + engine, and the
-//! request handlers (`LOAD` / `PREPARE` / `EVAL` / `EXPLAIN` / `STATS`) built on
-//! them.
+//! request handlers (`LOAD` / `PREPARE` / `EVAL` / `EXPLAIN` / `PROFILE` /
+//! `STATS` / `TOP` / `METRICS`) built on them.
 //!
 //! One [`ServeState`] is shared (behind an `Arc`) by every connection thread of a
 //! [`crate::server::Server`] and by in-process callers (benchmarks, tests, the
@@ -29,7 +29,10 @@ use nev_core::engine::{CertainEngine, EngineError, EvalPlan, PreparedQuery, Symb
 use nev_core::{Semantics, WorldBounds};
 use nev_exec::{ExecOptions, DEFAULT_MORSEL_ROWS};
 use nev_incomplete::{Instance, Tuple};
-use nev_obs::{MetricsRegistry, SlowQuery, Stage, Timer, Trace, TraceRecorder};
+use nev_obs::timeseries::render_window_gauges;
+use nev_obs::{
+    MetricsRegistry, SlowQuery, Stage, TimeSeries, Timer, Trace, TraceRecorder, WindowSample,
+};
 use nev_runtime::env_workers;
 
 use crate::cache::PlanCache;
@@ -215,6 +218,7 @@ pub struct ServeState {
     pool: Arc<WorkerPool>,
     stats: ServeStats,
     metrics: MetricsRegistry,
+    series: TimeSeries,
     oracle_chunk: usize,
 }
 
@@ -236,6 +240,7 @@ impl ServeState {
             pool,
             stats: ServeStats::new(),
             metrics: MetricsRegistry::new(PLAN_LABELS, SLOW_LOG_CAPACITY),
+            series: TimeSeries::new(),
             oracle_chunk: config.oracle_chunk.max(1),
         }
     }
@@ -269,6 +274,35 @@ impl ServeState {
     /// percentile tokens.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The windowed time-series ring behind `TOP` and the `nev_window_*`
+    /// gauges of `METRICS`.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// The current monotone telemetry as a [`WindowSample`] — the "now" end
+    /// of every trailing-window subtraction, timestamped on the metrics
+    /// registry's uptime clock.
+    pub fn window_sample(&self) -> WindowSample {
+        let snap = self.stats.snapshot();
+        WindowSample {
+            at_us: self.metrics.uptime_us(),
+            requests: snap.requests,
+            evals: snap.evals,
+            errors: snap.errors,
+            plans: self.metrics.plan_snapshots(),
+        }
+    }
+
+    /// Lazy sampling on the request path: offers the current counters to the
+    /// time-series ring when the previous sample is old enough. Cheap when
+    /// not due (one lock, one clock read).
+    fn maybe_sample(&self) {
+        if self.series.due(self.metrics.uptime_us()) {
+            self.series.record(self.window_sample());
+        }
     }
 
     /// Registers (or replaces) a named instance; returns `true` on replacement.
@@ -402,6 +436,78 @@ impl ServeState {
                 .collect(),
         });
         Ok((response, trace))
+    }
+
+    /// Answers one `PROFILE` request: a **real** evaluation (it counts in
+    /// `evals` and feeds the latency histograms, exactly like `TRACE`) that
+    /// additionally returns the per-operator annotated plan on compiled
+    /// dispatches — inclusive wall time, output rows, and the `nev-opt` cost
+    /// model's estimate for every executed operator, including each pairwise
+    /// join fold in the greedy order. Non-compiled dispatches (interpreter
+    /// fallback, symbolic, oracle) run normally and report `compiled=false`:
+    /// there is no operator pipeline to annotate.
+    pub fn profile(
+        &self,
+        name: &str,
+        semantics: Semantics,
+        query_text: &str,
+    ) -> Result<String, ServeError> {
+        let total = Timer::start_always();
+        let instance = self
+            .catalog
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownInstance(name.to_string()))?;
+        let plan = self.cache.get_or_prepare(query_text, semantics)?;
+        let (kind, line) = match self.engine.plan(&instance, semantics, &plan.prepared) {
+            dispatch @ (EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)) => {
+                ServeStats::bump(&self.stats.certified);
+                if dispatch.is_compiled() {
+                    ServeStats::bump(&self.stats.compiled);
+                }
+                let kind = PlanKind::of(&dispatch);
+                // The exec span the profile must reconcile with: it strictly
+                // contains the plan root's inclusive time.
+                let exec_timer = Timer::start_always();
+                let (certain, exec, profile) = self
+                    .engine
+                    .naive_answers_profiled(&instance, &plan.prepared);
+                let exec_us = exec_timer.elapsed_us();
+                ServeStats::add(&self.stats.morsels, exec.morsels_dispatched);
+                ServeStats::add(&self.stats.parallel_joins, exec.parallel_joins);
+                let line = match profile {
+                    Some(profile) => format!(
+                        "profile plan={kind} certain={} exec_us={exec_us} ops=[{}]",
+                        wire::render_answers(&certain),
+                        profile.render()
+                    ),
+                    None => format!(
+                        "profile plan={kind} certain={} compiled=false",
+                        wire::render_answers(&certain)
+                    ),
+                };
+                (kind, line)
+            }
+            EvalPlan::Symbolic(_) | EvalPlan::BoundedEnumeration => {
+                // The regular dispatch (symbolic ladder, then the parallel
+                // oracle) — profiled only at the whole-request grain.
+                let recorder = TraceRecorder::new();
+                let response = self.eval_prepared(&instance, semantics, &plan.prepared, &recorder);
+                let line = format!(
+                    "profile plan={} certain={}{} compiled=false",
+                    response.plan,
+                    wire::render_answers(&response.certain),
+                    if response.truncated {
+                        " truncated=true"
+                    } else {
+                        ""
+                    }
+                );
+                (response.plan, line)
+            }
+        };
+        ServeStats::bump(&self.stats.evals);
+        self.metrics.observe_plan(kind.label(), total.elapsed_us());
+        Ok(line)
     }
 
     /// The dispatch core behind [`ServeState::eval_with_trace`]: certified
@@ -645,12 +751,13 @@ impl ServeState {
 
     /// The canonical `STATS` payload: the counter block, the cache/catalog/pool
     /// gauges, and the request-latency digest (`uptime_us=` / `p50_us=` /
-    /// `p99_us=` over all dispatch kinds; zeros before the first `EVAL`).
+    /// `p95_us=` / `p99_us=` over all dispatch kinds; zeros before the first
+    /// `EVAL`).
     pub fn render_stats(&self) -> String {
         let latency = self.metrics.request_totals();
         format!(
             "{} cache_hits={} cache_misses={} cache_evictions={} cache_entries={} \
-             instances={} pool_workers={} uptime_us={} p50_us={} p99_us={}",
+             instances={} pool_workers={} uptime_us={} p50_us={} p95_us={} p99_us={}",
             self.stats.snapshot(),
             self.cache.hits(),
             self.cache.misses(),
@@ -660,14 +767,53 @@ impl ServeState {
             self.pool.workers(),
             self.metrics.uptime_us(),
             latency.p50(),
+            latency.p95(),
             latency.p99()
         )
     }
 
+    /// The `TOP` one-liner: lifetime totals plus, per trailing window
+    /// ([`nev_obs::WINDOWS`]), eval throughput, error rate and interpolated
+    /// latency percentiles — everything `nevtop` needs for its header in one
+    /// cheap request. Rates are computed against the window's **actual**
+    /// elapsed span, so a young server reports honest since-boot rates.
+    pub fn render_top(&self) -> String {
+        use std::fmt::Write;
+        let current = self.window_sample();
+        let windows = self.series.windows(&current);
+        let mut out = format!(
+            "top uptime_us={} requests={} evals={} errors={}",
+            current.at_us, current.requests, current.evals, current.errors
+        );
+        for (label, delta) in &windows {
+            let _ = write!(
+                out,
+                " qps_{label}={:.2} err_{label}={:.4} p50_us_{label}={} p95_us_{label}={} p99_us_{label}={}",
+                delta.qps(),
+                delta.error_rate(),
+                delta.latency.p50(),
+                delta.latency.p95(),
+                delta.latency.p99()
+            );
+        }
+        out
+    }
+
+    /// The `METRICS RESET` action: empties the slow-query log and re-baselines
+    /// the time-series ring at the current counters, so trailing windows
+    /// restart from zero. Lifetime counters and histograms are deliberately
+    /// untouched — every reconciliation invariant (per-plan histogram counts
+    /// summing to `evals`) survives a reset.
+    pub fn metrics_reset(&self) {
+        self.metrics.reset_slow();
+        self.series.reset(self.window_sample());
+    }
+
     /// The full `METRICS` exposition: every `STATS` counter and gauge, the
     /// per-plan request-latency and per-stage histograms, the worker pool's
-    /// queue-wait/run split, and the slow-query log — Prometheus-style text
-    /// ending with a `# EOF` line (see [`nev_obs::validate_exposition`]).
+    /// queue-wait/run split, the trailing-window `nev_window_*` gauges, and
+    /// the slow-query log — Prometheus-style text ending with a `# EOF` line
+    /// (see [`nev_obs::validate_exposition`]).
     pub fn render_metrics(&self) -> String {
         let snap = self.snapshot();
         let counters = [
@@ -701,7 +847,10 @@ impl ServeState {
             ("pool_queue_wait_us", pool.queue_wait.snapshot()),
             ("pool_task_run_us", pool.task_run.snapshot()),
         ];
-        self.metrics.expose(&counters, &gauges, &extra)
+        let mut appendix = String::new();
+        render_window_gauges(&self.series.windows(&self.window_sample()), &mut appendix);
+        self.metrics
+            .expose_with(&counters, &gauges, &extra, &appendix)
     }
 
     /// Handles one protocol line, returning the response line (always exactly one
@@ -709,13 +858,17 @@ impl ServeState {
     /// the server loop's business.
     pub fn handle_line(&self, line: &str) -> String {
         ServeStats::bump(&self.stats.requests);
-        match self.handle_command(line) {
+        let response = match self.handle_command(line) {
             Ok(payload) => format!("OK {payload}"),
             Err(e) => {
                 ServeStats::bump(&self.stats.errors);
                 format!("ERR {e}")
             }
-        }
+        };
+        // Lazy time-series sampling rides the request path (no ticker
+        // thread): after the command so the sample sees its effects.
+        self.maybe_sample();
+        response
     }
 
     fn handle_command(&self, line: &str) -> Result<String, ServeError> {
@@ -775,12 +928,27 @@ impl ServeState {
                     trace.render()
                 ))
             }
+            Command::Profile {
+                name,
+                semantics,
+                query,
+            } => {
+                let semantics: Semantics = semantics
+                    .parse()
+                    .map_err(|_| ServeError::UnknownSemantics(semantics))?;
+                self.profile(&name, semantics, &query)
+            }
             Command::Stats => Ok(self.render_stats()),
             Command::Metrics => {
                 // The sole multi-line payload: `OK metrics`, then the
                 // exposition, whose final line is the `# EOF` terminator.
                 Ok(format!("metrics\n{}", self.render_metrics().trim_end()))
             }
+            Command::MetricsReset => {
+                self.metrics_reset();
+                Ok("metrics reset".to_string())
+            }
+            Command::Top => Ok(self.render_top()),
             Command::Quit => Ok("bye".to_string()),
         }
     }
@@ -1013,18 +1181,111 @@ mod tests {
         let before = state.render_stats();
         assert!(before.contains(" uptime_us="), "{before}");
         assert!(before.contains(" p50_us=0"), "{before}");
+        assert!(before.contains(" p95_us=0"), "{before}");
         assert!(before.contains(" p99_us=0"), "{before}");
         state
             .eval("d0", Semantics::Cwa, "exists u v . D(u, v)")
             .unwrap();
         let after = state.render_stats();
-        let p50: u64 = after
-            .split_whitespace()
-            .find_map(|tok| tok.strip_prefix("p50_us="))
-            .expect("p50_us token")
-            .parse()
-            .unwrap();
-        assert!(p50 > 0, "one eval recorded: {after}");
+        let digit = |prefix: &str| -> u64 {
+            after
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix(prefix))
+                .unwrap_or_else(|| panic!("{prefix} token in {after}"))
+                .parse()
+                .unwrap()
+        };
+        assert!(digit("p50_us=") > 0, "one eval recorded: {after}");
+        // One sample: every percentile reads the same bucket.
+        assert!(digit("p95_us=") >= digit("p50_us="), "{after}");
+        assert!(digit("p99_us=") >= digit("p95_us="), "{after}");
+    }
+
+    #[test]
+    fn profile_annotates_every_operator_of_a_compiled_plan() {
+        let state = state(0);
+        state.load("d0", d0());
+        // A certified compiled cell with a join: the profile must carry the
+        // join group, its scans, and the pairwise fold with estimates.
+        let line = state.handle_line("PROFILE d0 cwa exists u v . D(u, v) & D(v, u)");
+        assert!(
+            line.starts_with("OK profile plan=compiled certain={()} exec_us="),
+            "{line}"
+        );
+        assert!(line.contains(" ops=["), "{line}");
+        assert!(line.contains("Scan D("), "{line}");
+        assert!(line.contains("HashJoin["), "{line}");
+        assert!(line.contains("est="), "{line}");
+        assert!(!line.contains('\n'), "PROFILE is a one-liner: {line}");
+        // PROFILE is a real evaluation: it counts and feeds the histograms.
+        let snap = state.snapshot();
+        assert_eq!(snap.evals, 1);
+        assert_eq!(snap.compiled, 1);
+        assert_eq!(state.metrics().request_totals().count, 1);
+        // The answer is byte-identical to EVAL's.
+        let eval = state.handle_line("EVAL d0 cwa exists u v . D(u, v) & D(v, u)");
+        assert_eq!(eval, "OK plan=compiled certain={()}");
+    }
+
+    #[test]
+    fn profile_reports_compiled_false_on_uncompiled_dispatches() {
+        let state = state(1);
+        state.load("d0", d0());
+        // An oracle cell: PROFILE still answers (real dispatch), but there is
+        // no operator pipeline to annotate.
+        let oracle = state.handle_line("PROFILE d0 owa exists u . !D(u, u)");
+        assert!(
+            oracle.starts_with("OK profile plan=oracle certain="),
+            "{oracle}"
+        );
+        assert!(oracle.ends_with("compiled=false"), "{oracle}");
+        assert!(!oracle.contains("ops=["), "{oracle}");
+        // An interpreter-fallback certified cell reports the same flag.
+        let fallback = state.handle_line("PROFILE d0 wcwa forall u v w t . D(u, v) & D(w, t)");
+        assert!(
+            fallback.starts_with("OK profile plan=certified certain="),
+            "{fallback}"
+        );
+        assert!(fallback.ends_with("compiled=false"), "{fallback}");
+        assert_eq!(state.snapshot().evals, 2);
+        // Unknown instances stay typed errors.
+        assert!(state
+            .handle_line("PROFILE nope owa exists u . D(u, u)")
+            .starts_with("ERR unknown instance"));
+    }
+
+    #[test]
+    fn top_renders_trailing_window_rates() {
+        let state = state(1);
+        state.load("d0", d0());
+        state.handle_line("EVAL d0 cwa exists u v . D(u, v)");
+        let top = state.handle_line("TOP");
+        assert!(top.starts_with("OK top uptime_us="), "{top}");
+        for window in ["1s", "10s", "60s"] {
+            assert!(top.contains(&format!(" qps_{window}=")), "{top}");
+            assert!(top.contains(&format!(" err_{window}=")), "{top}");
+            assert!(top.contains(&format!(" p95_us_{window}=")), "{top}");
+        }
+        assert!(top.contains(" evals=1 "), "{top}");
+        assert!(!top.contains('\n'), "TOP is a one-liner: {top}");
+    }
+
+    #[test]
+    fn metrics_reset_zeroes_windows_but_never_lifetime_counters() {
+        let state = state(0);
+        state.load("d0", d0());
+        state.handle_line("EVAL d0 cwa exists u v . D(u, v)");
+        assert_eq!(state.metrics().slow_queries().len(), 1);
+        let evals_before = state.snapshot().evals;
+        let totals_before = state.metrics().request_totals().count;
+        assert_eq!(state.handle_line("METRICS RESET"), "OK metrics reset");
+        // The slow log and the window baselines are gone...
+        assert!(state.metrics().slow_queries().is_empty());
+        let delta = state.series().window(&state.window_sample(), 60_000_000);
+        assert_eq!(delta.evals, 0, "windows restart at the reset baseline");
+        // ...while every lifetime quantity survives.
+        assert_eq!(state.snapshot().evals, evals_before);
+        assert_eq!(state.metrics().request_totals().count, totals_before);
     }
 
     #[test]
@@ -1057,6 +1318,15 @@ mod tests {
         assert!(
             exposition.contains("nev_evals_total 4"),
             "counter block present:\n{exposition}"
+        );
+        // The trailing-window gauges ride the same exposition.
+        assert!(
+            exposition.contains("nev_window_evals{window=\"1s\"}"),
+            "window gauges present:\n{exposition}"
+        );
+        assert!(
+            exposition.contains("nev_window_plan_p95_us{window=\"60s\",plan=\"compiled\"}"),
+            "per-plan window gauges present:\n{exposition}"
         );
     }
 

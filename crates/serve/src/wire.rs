@@ -8,8 +8,11 @@
 //!           | "EVAL" name semantics query-text
 //!           | "EXPLAIN" name semantics query-text
 //!           | "TRACE" name semantics query-text
+//!           | "PROFILE" name semantics query-text
 //!           | "STATS"
 //!           | "METRICS"
+//!           | "METRICS RESET"
+//!           | "TOP"
 //!           | "QUIT"
 //! facts     = "-"                      (the empty instance)
 //!           | fact (";" fact)*
@@ -31,6 +34,11 @@
 //! so line-oriented clients know exactly where the multi-line payload stops.
 //! `TRACE` evaluates like `EVAL` but answers with the request's stage
 //! timeline (`trace plan=… total_us=… spans=…`) instead of the answer set.
+//! `PROFILE` evaluates like `EVAL` but answers with the per-operator annotated
+//! plan (wall time, output rows, estimated rows per node); `TOP` is the
+//! one-line windowed throughput/latency summary behind the `nevtop` dashboard,
+//! and `METRICS RESET` zeroes the slow-query log and the windowed series
+//! while leaving every lifetime counter intact.
 //!
 //! The `;` and `,` separators of the facts grammar are recognised **outside
 //! quotes only**, so quoted strings may contain any character (newlines aside —
@@ -92,11 +100,29 @@ pub enum Command {
         /// The raw query text.
         query: String,
     },
+    /// `PROFILE name semantics query` — evaluate like `EVAL`, but answer with
+    /// the per-operator annotated plan (inclusive wall time, output rows and
+    /// the cost model's estimated rows per executed operator).
+    Profile {
+        /// Catalog name to evaluate on.
+        name: String,
+        /// The semantics spelling (validated by the state layer).
+        semantics: String,
+        /// The raw query text.
+        query: String,
+    },
     /// `STATS` — service counters.
     Stats,
     /// `METRICS` — the full telemetry exposition (the sole multi-line response,
     /// terminated by a `# EOF` line).
     Metrics,
+    /// `METRICS RESET` — zero the slow-query log and the windowed time series,
+    /// leaving every lifetime counter (and histogram) untouched so the
+    /// windowed-vs-lifetime reconciliation invariants survive.
+    MetricsReset,
+    /// `TOP` — the one-line windowed throughput/latency summary (QPS, error
+    /// rate and latency quantiles over the trailing 1 s / 10 s / 60 s windows).
+    Top,
     /// `QUIT` — close the connection.
     Quit,
 }
@@ -166,6 +192,14 @@ pub fn parse_command(line: &str) -> Result<Command, WireError> {
                 query,
             })
         }
+        "PROFILE" => {
+            let (name, semantics, query) = parse_eval_shape(rest, "PROFILE")?;
+            Ok(Command::Profile {
+                name,
+                semantics,
+                query,
+            })
+        }
         "STATS" => {
             if rest.is_empty() {
                 Ok(Command::Stats)
@@ -176,14 +210,25 @@ pub fn parse_command(line: &str) -> Result<Command, WireError> {
         "METRICS" => {
             if rest.is_empty() {
                 Ok(Command::Metrics)
+            } else if rest.eq_ignore_ascii_case("RESET") {
+                Ok(Command::MetricsReset)
             } else {
-                Err(err("METRICS takes no arguments"))
+                Err(err(
+                    "METRICS takes no arguments (except the RESET subcommand)",
+                ))
+            }
+        }
+        "TOP" => {
+            if rest.is_empty() {
+                Ok(Command::Top)
+            } else {
+                Err(err("TOP takes no arguments"))
             }
         }
         "QUIT" => Ok(Command::Quit),
         other => Err(err(format!(
-            "unknown command `{other}` (expected LOAD, PREPARE, EVAL, EXPLAIN, TRACE, STATS, \
-             METRICS or QUIT)"
+            "unknown command `{other}` (expected LOAD, PREPARE, EVAL, EXPLAIN, TRACE, PROFILE, \
+             STATS, METRICS, TOP or QUIT)"
         ))),
     }
 }
@@ -426,7 +471,18 @@ mod tests {
         );
         assert_eq!(parse_command("STATS"), Ok(Command::Stats));
         assert_eq!(parse_command("METRICS"), Ok(Command::Metrics));
+        assert_eq!(parse_command("METRICS RESET"), Ok(Command::MetricsReset));
+        assert_eq!(parse_command("metrics reset"), Ok(Command::MetricsReset));
+        assert_eq!(parse_command("TOP"), Ok(Command::Top));
         assert_eq!(parse_command("quit"), Ok(Command::Quit));
+        assert_eq!(
+            parse_command("PROFILE d0 owa exists u . R(u)"),
+            Ok(Command::Profile {
+                name: "d0".into(),
+                semantics: "owa".into(),
+                query: "exists u . R(u)".into(),
+            })
+        );
         assert_eq!(
             parse_command("TRACE d0 owa exists u . R(u)"),
             Ok(Command::Trace {
@@ -453,8 +509,11 @@ mod tests {
             ("EXPLAIN d0 owa", "usage: EXPLAIN"),
             ("PREPARE", "usage: PREPARE"),
             ("TRACE d0 owa", "usage: TRACE"),
+            ("PROFILE d0 owa", "usage: PROFILE"),
             ("STATS now", "no arguments"),
             ("METRICS please", "no arguments"),
+            ("METRICS RESET now", "no arguments"),
+            ("TOP of the morning", "no arguments"),
             ("FROBNICATE", "unknown command"),
             ("LOAD bad!name R(1)", "invalid instance name"),
         ] {

@@ -45,7 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // TRACE: one request's stage timeline (parse/classify/compile on a
         // cache miss, then the exec or oracle stages) as a one-liner.
         "TRACE intro owa Q(x, y) :- exists z . R(x, z) & S(z, y)",
+        // PROFILE: a real evaluation whose compiled plan comes back annotated
+        // per operator — wall time, output rows, and the nev-opt cost model's
+        // estimate (the estimated-vs-actual feedback loop, on the wire).
+        "PROFILE intro owa Q(x, y) :- exists z . R(x, z) & S(z, y)",
         "STATS",
+        // TOP: trailing-window QPS/error/latency rates in one line — the
+        // payload `nevtop` polls for its header.
+        "TOP",
     ];
     for request in session {
         let response = client.send(request)?;
@@ -64,10 +71,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "TRACE must report the stage timeline: {response}"
             );
         }
+        if request.starts_with("PROFILE") {
+            assert!(
+                response.starts_with("OK profile plan=compiled")
+                    && response.contains(" ops=[")
+                    && response.contains("est=")
+                    && response.contains("HashJoin["),
+                "PROFILE must annotate the compiled plan: {response}"
+            );
+        }
         if request == "STATS" {
             assert!(
-                response.contains(" uptime_us=") && response.contains(" p50_us="),
+                response.contains(" uptime_us=")
+                    && response.contains(" p50_us=")
+                    && response.contains(" p95_us="),
                 "STATS must carry the latency digest: {response}"
+            );
+        }
+        if request == "TOP" {
+            assert!(
+                response.starts_with("OK top uptime_us=") && response.contains(" qps_1s="),
+                "TOP must carry the windowed rates: {response}"
             );
         }
     }

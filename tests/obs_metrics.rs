@@ -14,12 +14,24 @@
 //!   recorder enabled and disabled (`NEV_TRACE=0` is exercised as a separate
 //!   CI run of the determinism suite; here the in-process recorder flag is
 //!   flipped directly).
+//!
+//! PR 9 adds the windowed/profiled surface:
+//!
+//! * **window/lifetime reconciliation** — after a `METRICS RESET` baseline,
+//!   the 60s trailing-window deltas equal the lifetime-counter deltas
+//!   *exactly*, even under concurrent clients (every tracked quantity is a
+//!   monotone counter, so the subtraction cannot drift);
+//! * **profile accuracy** — a compiled `PROFILE` reports every operator with
+//!   per-op self times telescoping to the plan root, the root bounded by the
+//!   surrounding exec span, and flagged row counts reconciling exactly with
+//!   `ExecStats::intermediate_rows`.
 
 use std::sync::Arc;
 use std::thread;
 
+use naive_eval::core::engine::CertainEngine;
 use naive_eval::core::Semantics;
-use naive_eval::obs::{validate_exposition, TraceRecorder};
+use naive_eval::obs::{validate_exposition, Timer, TraceRecorder};
 use naive_eval::serve::state::{ServeConfig, ServeState};
 use naive_eval::serve::{Client, Server, ServerHandle};
 
@@ -109,6 +121,165 @@ fn concurrent_clients_reconcile_histograms_with_counters() {
     assert!(stats.contains(" p50_us="), "{stats}");
     assert!(stats.contains(" p99_us="), "{stats}");
 
+    handle.shutdown();
+}
+
+#[test]
+fn windowed_deltas_reconcile_exactly_with_lifetime_counters() {
+    let (state, mut handle) = spawn_server(4);
+    let addr = handle.addr().to_string();
+    {
+        let mut seed = Client::connect(&addr).expect("connect");
+        seed.send("LOAD d0 D(?1,?2);D(?2,?1)").expect("load");
+        // Some pre-baseline traffic the windows must NOT count after reset.
+        for (semantics, query) in QUERIES.iter().take(2) {
+            seed.send(&format!("EVAL d0 {semantics} {query}"))
+                .expect("warmup");
+        }
+        assert_eq!(seed.send("METRICS RESET").unwrap(), "OK metrics reset");
+    }
+    let baseline = state.snapshot();
+    let baseline_latency = state.metrics().request_totals().count;
+
+    const CLIENTS: usize = 5;
+    const ROUNDS: usize = 4;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|id| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for round in 0..ROUNDS {
+                    let (semantics, query) = QUERIES[(id + round) % QUERIES.len()];
+                    let response = client
+                        .send(&format!("EVAL d0 {semantics} {query}"))
+                        .expect("eval");
+                    assert!(response.starts_with("OK plan="), "{response}");
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+
+    // The 60s trailing window baselines at the reset sample (nothing in the
+    // ring is 60s old), so its deltas must equal the lifetime deltas exactly.
+    let now = state.snapshot();
+    let delta = state.series().window(&state.window_sample(), 60_000_000);
+    assert_eq!(delta.evals, now.evals - baseline.evals);
+    assert_eq!(delta.evals, (CLIENTS * ROUNDS) as u64);
+    assert_eq!(delta.requests, now.requests - baseline.requests);
+    assert_eq!(delta.errors, now.errors - baseline.errors);
+    assert_eq!(
+        delta.latency.count,
+        state.metrics().request_totals().count - baseline_latency
+    );
+    let per_plan: u64 = delta.plans.iter().map(|(_, snap)| snap.count).sum();
+    assert_eq!(
+        per_plan, delta.evals,
+        "every windowed eval has a plan label"
+    );
+
+    // TOP condenses the same arithmetic into one line.
+    let mut client = Client::connect(&addr).expect("connect");
+    let top = client.send("TOP").expect("top");
+    assert!(top.starts_with("OK top uptime_us="), "{top}");
+    for token in [
+        "qps_1s=",
+        "err_10s=",
+        "p50_us_60s=",
+        "p95_us_60s=",
+        "p99_us_60s=",
+    ] {
+        assert!(top.contains(token), "{top}");
+    }
+
+    // The reset emptied the slow log; the post-reset traffic refilled it.
+    assert!(!state.metrics().slow_queries().is_empty());
+    // Lifetime counters survived the reset: histogram counts still reconcile
+    // with `evals` over the whole process lifetime.
+    assert_eq!(state.metrics().request_totals().count, now.evals);
+    handle.shutdown();
+}
+
+#[test]
+fn profile_reconciles_with_the_exec_accounting() {
+    // In-process: the profile's row accounting must match the executor's own
+    // ExecStats counter, and its times must telescope and stay inside the
+    // surrounding span.
+    let d = naive_eval::incomplete::inst! {
+        "R" => [
+            [naive_eval::incomplete::builder::x(1), naive_eval::incomplete::builder::x(2)],
+            [naive_eval::incomplete::builder::x(2), naive_eval::incomplete::builder::x(3)],
+            [naive_eval::incomplete::builder::x(3), naive_eval::incomplete::builder::x(4)],
+        ]
+    };
+    let engine = CertainEngine::new();
+    let prepared = engine
+        .prepare("Q(x) :- exists y z . R(x, y) & R(y, z)")
+        .expect("a join chain compiles");
+    let span = Timer::start_always();
+    let (answers, stats, profile) = engine.naive_answers_profiled(&d, &prepared);
+    let span_us = span.elapsed_us();
+    let profile = profile.expect("compiled dispatch yields a profile");
+    // Rows: the flagged samples sum to exactly the executor's counter.
+    assert_eq!(profile.intermediate_rows(), stats.intermediate_rows);
+    // Times: per-op self times telescope to the root, which the span bounds.
+    assert_eq!(profile.total_self_us(), profile.root_wall_us());
+    assert!(
+        profile.root_wall_us() <= span_us,
+        "root {} exceeds the surrounding span {span_us}",
+        profile.root_wall_us()
+    );
+    // Every operator carries a cost-model estimate and the fold is visible.
+    assert!(profile.ops.iter().all(|op| op.estimated_rows >= 0.0));
+    assert!(profile
+        .ops
+        .iter()
+        .any(|op| op.label.starts_with("HashJoin[")));
+    // The profiled run computed the same answers as the plain engine path.
+    let reference = engine.evaluate(&d, Semantics::Cwa, &prepared);
+    assert_eq!(answers, reference.certain);
+
+    // Over the wire: every per-op inclusive time is bounded by the reported
+    // exec span, and the annotated plan covers the whole operator tree.
+    let (state, mut handle) = spawn_server(2);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    client
+        .send("LOAD chain R(?1,?2);R(?2,?3);R(?3,?4)")
+        .expect("load");
+    let line = client
+        .send("PROFILE chain cwa Q(x) :- exists y z . R(x, y) & R(y, z)")
+        .expect("profile");
+    assert!(line.starts_with("OK profile plan=compiled"), "{line}");
+    let exec_us: u64 = line
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("exec_us="))
+        .expect("exec_us token")
+        .parse()
+        .unwrap();
+    let ops = line
+        .split_once("ops=[")
+        .expect("ops list")
+        .1
+        .strip_suffix(']')
+        .expect("ops list closes");
+    for op_us in ops
+        .split_whitespace()
+        .filter_map(|tok| tok.strip_prefix("us="))
+    {
+        let op_us: u64 = op_us.trim_end_matches(']').parse().unwrap();
+        assert!(
+            op_us <= exec_us,
+            "op time {op_us} exceeds exec span {exec_us}"
+        );
+    }
+    for label in ["Scan R(", "HashJoin[", "est="] {
+        assert!(ops.contains(label), "{ops}");
+    }
+    // PROFILE counted as a real evaluation.
+    assert_eq!(state.snapshot().evals, 1);
+    assert_eq!(state.metrics().request_totals().count, 1);
     handle.shutdown();
 }
 
