@@ -1,0 +1,372 @@
+//! # `nev-analyze` — static query analysis for naïve evaluation
+//!
+//! Figure 1 of *"When is Naïve Evaluation Possible?"* (Gheerbrant, Libkin &
+//! Sirangelo, PODS 2013) states its guarantees for *syntactic* fragments, but
+//! the property that actually powers naïve evaluation — monotonicity under the
+//! semantics' ordering — is semantic. A query written as `¬¬∃x S(x)` classifies
+//! `FullFirstOrder` and pays the symbolic/oracle path, even though it is
+//! literally an ∃Pos query wearing two negations.
+//!
+//! This crate closes that gap *statically*, before any data is touched:
+//!
+//! 1. **Normalization** ([`normalize()`]): a fixpoint pipeline of
+//!    semantics-preserving rewrites from [`nev_logic::rewrite`] — constant
+//!    folding, unguarded-implication elimination, negation push-down,
+//!    ∧/∨ flattening, vacuous-quantifier pruning — each application recorded in
+//!    a replayable [`RewriteStep`] trace.
+//! 2. **Fragment widening**: the Figure 1 classifier is re-run on the normal
+//!    form; when it lands in a strictly smaller fragment the engine can
+//!    dispatch naïvely with a certificate whose evidence is the trace
+//!    (re-checkable via [`QueryAnalysis::check`]).
+//! 3. **Static pruning**: normal forms `⊥`/`⊤` mean the certain answer is
+//!    known with zero scans ([`QueryAnalysis::static_truth`]).
+//! 4. **Null-flow typing** ([`column_safety`]): answer columns equated to
+//!    constants can never carry nulls, surfaced as a
+//!    [`nev_sql::NullabilityReport`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod normalize;
+pub mod nullflow;
+
+use std::fmt;
+
+use nev_incomplete::Instance;
+use nev_logic::eval::evaluate_query;
+use nev_logic::fragment::classify;
+use nev_logic::{Formula, Fragment, Query};
+
+pub use normalize::{
+    normalize, replay, NormalizePass, Normalized, ReplayError, RewriteStep, MAX_ROUNDS, PIPELINE,
+};
+pub use nullflow::{column_safety, infer_facts};
+
+use nev_sql::NullabilityReport;
+
+/// A fact the analysis established about a query, reportable over the wire.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Diagnostic {
+    /// The normal form is `⊥`: no tuple is ever a certain answer (for boolean
+    /// queries, the certain answer is *false*). Zero scans needed.
+    StaticallyFalse,
+    /// The normal form is `⊤`: every tuple of active-domain values is an
+    /// answer in every world (for boolean queries, certainly *true*).
+    StaticallyTrue,
+    /// Normalization moved the query into a strictly smaller fragment.
+    FragmentWidened {
+        /// Fragment of the original formula.
+        from: Fragment,
+        /// Fragment of the normal form.
+        to: Fragment,
+    },
+    /// The pipeline hit its round bound before reaching a fixpoint (should
+    /// not happen; reported rather than trusted silently).
+    DidNotConverge,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::StaticallyFalse => write!(f, "statically-false"),
+            Diagnostic::StaticallyTrue => write!(f, "statically-true"),
+            Diagnostic::FragmentWidened { from, to } => {
+                write!(f, "widened({}→{})", from.short_name(), to.short_name())
+            }
+            Diagnostic::DidNotConverge => write!(f, "did-not-converge"),
+        }
+    }
+}
+
+/// Why re-checking a [`QueryAnalysis`] failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CheckError {
+    /// The rewrite trace does not replay.
+    Replay(ReplayError),
+    /// A recorded fragment does not match re-classification.
+    FragmentMismatch {
+        /// Which formula was re-classified ("original" or "normalized").
+        which: &'static str,
+        /// The fragment recorded in the analysis.
+        claimed: Fragment,
+        /// The fragment the classifier actually returns.
+        actual: Fragment,
+    },
+    /// Original and normalized queries disagree on an instance.
+    AnswerMismatch {
+        /// Rendering of the instance the disagreement was found on.
+        instance: String,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Replay(e) => write!(f, "trace replay failed: {e}"),
+            CheckError::FragmentMismatch {
+                which,
+                claimed,
+                actual,
+            } => write!(
+                f,
+                "{which} fragment mismatch: recorded {claimed}, classifier says {actual}"
+            ),
+            CheckError::AnswerMismatch { instance } => {
+                write!(f, "original and normalized answers differ on {instance}")
+            }
+        }
+    }
+}
+
+impl From<ReplayError> for CheckError {
+    fn from(e: ReplayError) -> Self {
+        CheckError::Replay(e)
+    }
+}
+
+/// The full result of statically analyzing one query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryAnalysis {
+    original: Query,
+    normalized: Query,
+    original_fragment: Fragment,
+    normalized_fragment: Fragment,
+    trace: Vec<RewriteStep>,
+    diagnostics: Vec<Diagnostic>,
+    nullability: NullabilityReport,
+}
+
+/// Analyzes a query: normalizes it, re-classifies the normal form, detects
+/// static truth/falsity, and types the answer columns' null-flow.
+pub fn analyze(query: &Query) -> QueryAnalysis {
+    QueryAnalysis::new(query)
+}
+
+impl QueryAnalysis {
+    /// Runs the analysis. See [`analyze`].
+    pub fn new(query: &Query) -> QueryAnalysis {
+        let original_fragment = classify(query.formula());
+        let Normalized {
+            formula,
+            trace,
+            converged,
+        } = normalize(query.formula());
+        // The normal form keeps the original answer schema: rewrites only ever
+        // drop variable occurrences, and unused head variables are legal (they
+        // range over the active domain).
+        let normalized = Query::new(query.answer_variables().to_vec(), formula)
+            .expect("normalization never invents free variables");
+        let normalized_fragment = classify(normalized.formula());
+
+        let mut diagnostics = Vec::new();
+        if !converged {
+            diagnostics.push(Diagnostic::DidNotConverge);
+        }
+        match normalized.formula() {
+            Formula::False => diagnostics.push(Diagnostic::StaticallyFalse),
+            Formula::True => diagnostics.push(Diagnostic::StaticallyTrue),
+            _ => {}
+        }
+        if normalized_fragment < original_fragment {
+            diagnostics.push(Diagnostic::FragmentWidened {
+                from: original_fragment,
+                to: normalized_fragment,
+            });
+        }
+        // Null-flow runs on the *normal form*: folded constants and pruned
+        // branches only sharpen the facts.
+        let nullability = column_safety(&normalized);
+
+        QueryAnalysis {
+            original: query.clone(),
+            normalized,
+            original_fragment,
+            normalized_fragment,
+            trace,
+            diagnostics,
+            nullability,
+        }
+    }
+
+    /// The query as written.
+    pub fn original(&self) -> &Query {
+        &self.original
+    }
+
+    /// The normalized query (same answer schema as the original).
+    pub fn normalized(&self) -> &Query {
+        &self.normalized
+    }
+
+    /// Fragment of the original formula.
+    pub fn original_fragment(&self) -> Fragment {
+        self.original_fragment
+    }
+
+    /// Fragment of the normal form.
+    pub fn normalized_fragment(&self) -> Fragment {
+        self.normalized_fragment
+    }
+
+    /// The recorded rewrite trace (empty when the query was already normal).
+    pub fn trace(&self) -> &[RewriteStep] {
+        &self.trace
+    }
+
+    /// Facts established during analysis.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Per-answer-column null-safety.
+    pub fn nullability(&self) -> &NullabilityReport {
+        &self.nullability
+    }
+
+    /// Did normalization change the formula at all?
+    pub fn changed(&self) -> bool {
+        !self.trace.is_empty()
+    }
+
+    /// Did normalization land in a strictly smaller fragment?
+    pub fn widened(&self) -> bool {
+        self.normalized_fragment < self.original_fragment
+    }
+
+    /// `Some(truth)` when the normal form is `⊤`/`⊥`, i.e. the certain answer
+    /// is known without scanning any data.
+    pub fn static_truth(&self) -> Option<bool> {
+        match self.normalized.formula() {
+            Formula::True => Some(true),
+            Formula::False => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Re-checks the analysis without trusting the analyzer: replays the
+    /// rewrite trace step by step and re-runs the Figure 1 classifier on both
+    /// formulas, comparing against the recorded fragments.
+    pub fn check(&self) -> Result<(), CheckError> {
+        replay(
+            self.original.formula(),
+            &self.trace,
+            self.normalized.formula(),
+        )?;
+        for (which, query, claimed) in [
+            ("original", &self.original, self.original_fragment),
+            ("normalized", &self.normalized, self.normalized_fragment),
+        ] {
+            let actual = classify(query.formula());
+            if actual != claimed {
+                return Err(CheckError::FragmentMismatch {
+                    which,
+                    claimed,
+                    actual,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`check`](Self::check), plus a differential run: evaluates the original
+    /// and normalized queries naïvely on `instance` and fails if they differ.
+    pub fn check_on(&self, instance: &Instance) -> Result<(), CheckError> {
+        self.check()?;
+        if evaluate_query(instance, &self.original) != evaluate_query(instance, &self.normalized) {
+            return Err(CheckError::AnswerMismatch {
+                instance: format!("{instance}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+    use nev_incomplete::inst;
+    use nev_logic::parse_formula;
+
+    fn boolean(formula: &str) -> Query {
+        Query::new(
+            Vec::<String>::new(),
+            parse_formula(formula).expect("valid formula"),
+        )
+        .expect("sentence")
+    }
+
+    #[test]
+    fn double_negation_widens_to_existential_positive() {
+        let q = boolean("!(!(exists u . S(u)))");
+        let a = analyze(&q);
+        assert_eq!(a.original_fragment(), Fragment::FullFirstOrder);
+        assert_eq!(a.normalized_fragment(), Fragment::ExistentialPositive);
+        assert!(a.widened());
+        assert!(a
+            .diagnostics()
+            .iter()
+            .any(|d| matches!(d, Diagnostic::FragmentWidened { .. })));
+        a.check().expect("certificate evidence replays");
+    }
+
+    #[test]
+    fn implication_chain_widens() {
+        // `(∀u (S(u) → ⊥)) → ∃w S(w)` is FO as written; the normal form is
+        // `(∃u S(u)) ∨ (∃w S(w))` — existential positive.
+        let q = boolean("(forall u . (S(u) -> false)) -> (exists w . S(w))");
+        let a = analyze(&q);
+        assert_eq!(a.original_fragment(), Fragment::FullFirstOrder);
+        assert_eq!(a.normalized_fragment(), Fragment::ExistentialPositive);
+        a.check().expect("replays");
+        let d = inst! { "S" => [[c(1)], [x(1)]] };
+        a.check_on(&d).expect("differential run agrees");
+        a.check_on(&nev_incomplete::Instance::new())
+            .expect("and on the empty instance");
+    }
+
+    #[test]
+    fn guarded_universals_stay_put() {
+        let q = boolean("forall u v . R(u, v) -> R(v, u)");
+        let a = analyze(&q);
+        assert!(!a.changed());
+        assert_eq!(a.original_fragment(), Fragment::PositiveGuarded);
+        assert_eq!(a.normalized_fragment(), Fragment::PositiveGuarded);
+        assert!(!a.widened());
+        a.check().expect("empty trace replays");
+    }
+
+    #[test]
+    fn contradictions_prune_statically() {
+        let q = boolean("exists u . S(u) & !S(u)");
+        let a = analyze(&q);
+        assert_eq!(a.static_truth(), Some(false));
+        assert!(a.diagnostics().contains(&Diagnostic::StaticallyFalse));
+        let q2 = boolean("(exists u . S(u)) | !(exists u . S(u))");
+        let a2 = analyze(&q2);
+        assert_eq!(a2.static_truth(), Some(true));
+    }
+
+    #[test]
+    fn null_flow_reaches_the_report() {
+        let f = parse_formula("S(a) & a = 1").expect("valid");
+        let q = Query::new(vec!["a".to_string()], f).expect("well-formed");
+        let a = analyze(&q);
+        assert_eq!(a.nullability().to_string(), "a=const(1)");
+        assert!(a.nullability().all_null_safe());
+    }
+
+    #[test]
+    fn check_catches_tampering() {
+        let q = boolean("!(!(exists u . S(u)))");
+        let mut a = analyze(&q);
+        a.normalized_fragment = Fragment::Positive;
+        assert!(matches!(
+            a.check(),
+            Err(CheckError::FragmentMismatch {
+                which: "normalized",
+                ..
+            })
+        ));
+    }
+}

@@ -1,0 +1,273 @@
+//! The normalization pipeline: named passes, traced rewrites, and the fixpoint
+//! driver.
+//!
+//! Each pass is one of the semantics-preserving rewrites implemented in
+//! [`nev_logic::rewrite`]; this module names them, runs them round-robin to a
+//! fixpoint, and records a [`RewriteStep`] for every pass application that
+//! changed the formula. The trace is the *evidence* behind a widened-dispatch
+//! certificate: [`replay`] re-runs every step and fails if any recorded
+//! `before → after` pair no longer reproduces, so a certificate holder can
+//! re-check the derivation without trusting the analyzer.
+
+use std::fmt;
+
+use nev_logic::rewrite::{
+    eliminate_unguarded_implications, flatten_connectives, fold_constants,
+    prune_vacuous_quantifiers, push_negations,
+};
+use nev_logic::Formula;
+
+/// One named normalization pass.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NormalizePass {
+    /// Constant folding: `⊤`/`⊥` absorption, decidable equalities,
+    /// complementary-pair collapse, empty-range quantifiers.
+    FoldConstants,
+    /// `φ → ψ ⇒ ¬φ ∨ ψ`, except universally guarded implications.
+    EliminateUnguardedImplications,
+    /// Negation normal form: push `¬` to the atoms (guards kept intact).
+    PushNegations,
+    /// Flatten nested `∧`/`∨` and drop syntactic duplicates.
+    FlattenConnectives,
+    /// Drop quantified variables that do not occur in the body, where that is
+    /// exact under active-domain semantics.
+    PruneVacuousQuantifiers,
+}
+
+/// The pipeline order. One round applies each pass once, in this order; the
+/// driver repeats rounds until a whole round changes nothing.
+pub const PIPELINE: [NormalizePass; 5] = [
+    NormalizePass::FoldConstants,
+    NormalizePass::EliminateUnguardedImplications,
+    NormalizePass::PushNegations,
+    NormalizePass::FlattenConnectives,
+    NormalizePass::PruneVacuousQuantifiers,
+];
+
+/// Bound on fixpoint rounds. Every pass either shrinks the formula or moves
+/// negations strictly inward, so real inputs converge in two or three rounds;
+/// the bound is a defensive backstop, and [`normalize`] reports whether it was
+/// hit via [`Normalized::converged`].
+pub const MAX_ROUNDS: usize = 8;
+
+impl NormalizePass {
+    /// Applies this pass to a formula.
+    pub fn apply(self, f: &Formula) -> Formula {
+        match self {
+            NormalizePass::FoldConstants => fold_constants(f),
+            NormalizePass::EliminateUnguardedImplications => eliminate_unguarded_implications(f),
+            NormalizePass::PushNegations => push_negations(f),
+            NormalizePass::FlattenConnectives => flatten_connectives(f),
+            NormalizePass::PruneVacuousQuantifiers => prune_vacuous_quantifiers(f),
+        }
+    }
+
+    /// Short machine-friendly name, used in wire output and traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            NormalizePass::FoldConstants => "fold-constants",
+            NormalizePass::EliminateUnguardedImplications => "eliminate-implications",
+            NormalizePass::PushNegations => "push-negations",
+            NormalizePass::FlattenConnectives => "flatten-connectives",
+            NormalizePass::PruneVacuousQuantifiers => "prune-vacuous-quantifiers",
+        }
+    }
+}
+
+impl fmt::Display for NormalizePass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One recorded application of a pass that changed the formula.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RewriteStep {
+    /// The pass that fired.
+    pub pass: NormalizePass,
+    /// The formula before the pass.
+    pub before: Formula,
+    /// The formula after the pass (differs from `before`).
+    pub after: Formula,
+}
+
+impl fmt::Display for RewriteStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} ⇒ {}", self.pass, self.before, self.after)
+    }
+}
+
+/// Result of running the pipeline to a fixpoint.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Normalized {
+    /// The normal form.
+    pub formula: Formula,
+    /// Every pass application that changed the formula, in order.
+    pub trace: Vec<RewriteStep>,
+    /// False only if [`MAX_ROUNDS`] was exhausted before a quiet round.
+    pub converged: bool,
+}
+
+/// Runs the full pipeline to a fixpoint (bounded by [`MAX_ROUNDS`] rounds),
+/// recording a [`RewriteStep`] for each pass application that changed the
+/// formula.
+pub fn normalize(f: &Formula) -> Normalized {
+    let mut current = f.clone();
+    let mut trace = Vec::new();
+    let mut converged = false;
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for pass in PIPELINE {
+            let next = pass.apply(&current);
+            if next != current {
+                trace.push(RewriteStep {
+                    pass,
+                    before: current.clone(),
+                    after: next.clone(),
+                });
+                current = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+    Normalized {
+        formula: current,
+        trace,
+        converged,
+    }
+}
+
+/// Errors found while replaying a rewrite trace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReplayError {
+    /// The first step's `before` is not the claimed original formula.
+    WrongStart {
+        /// What the trace starts from.
+        found: Formula,
+    },
+    /// Step `index` does not chain: its `before` differs from the previous
+    /// step's `after`.
+    BrokenChain {
+        /// Index of the offending step.
+        index: usize,
+    },
+    /// Re-applying step `index`'s pass to its `before` did not reproduce its
+    /// `after`.
+    StepMismatch {
+        /// Index of the offending step.
+        index: usize,
+        /// What the pass actually produced on replay.
+        reproduced: Formula,
+    },
+    /// The last step's `after` is not the claimed normal form.
+    WrongEnd {
+        /// What the trace ends at.
+        found: Formula,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::WrongStart { found } => {
+                write!(
+                    f,
+                    "trace does not start at the original formula (starts at {found})"
+                )
+            }
+            ReplayError::BrokenChain { index } => {
+                write!(f, "step {index} does not chain from the previous step")
+            }
+            ReplayError::StepMismatch { index, reproduced } => {
+                write!(
+                    f,
+                    "step {index} does not reproduce on replay (got {reproduced})"
+                )
+            }
+            ReplayError::WrongEnd { found } => {
+                write!(f, "trace does not end at the normal form (ends at {found})")
+            }
+        }
+    }
+}
+
+/// Replays a rewrite trace: checks that it starts at `original`, that every
+/// step chains and reproduces under its recorded pass, and that it ends at
+/// `normalized`. An empty trace is valid exactly when the two formulas agree.
+pub fn replay(
+    original: &Formula,
+    trace: &[RewriteStep],
+    normalized: &Formula,
+) -> Result<(), ReplayError> {
+    let mut current = original;
+    for (index, step) in trace.iter().enumerate() {
+        if step.before != *current {
+            return Err(if index == 0 {
+                ReplayError::WrongStart {
+                    found: step.before.clone(),
+                }
+            } else {
+                ReplayError::BrokenChain { index }
+            });
+        }
+        let reproduced = step.pass.apply(&step.before);
+        if reproduced != step.after {
+            return Err(ReplayError::StepMismatch { index, reproduced });
+        }
+        current = &step.after;
+    }
+    if current != normalized {
+        return Err(ReplayError::WrongEnd {
+            found: current.clone(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_logic::parse_formula;
+
+    #[test]
+    fn double_negation_normalizes_with_trace() {
+        let f = parse_formula("!(!(exists u . S(u)))").expect("valid");
+        let n = normalize(&f);
+        assert!(n.converged);
+        assert_eq!(n.formula.to_string(), "exists u . S(u)");
+        assert!(!n.trace.is_empty());
+        assert!(replay(&f, &n.trace, &n.formula).is_ok());
+    }
+
+    #[test]
+    fn fixpoint_is_stable() {
+        let f = parse_formula("(forall u . (S(u) -> false)) -> (exists w . S(w))").expect("valid");
+        let n = normalize(&f);
+        assert!(n.converged);
+        let again = normalize(&n.formula);
+        assert_eq!(again.formula, n.formula);
+        assert!(again.trace.is_empty());
+    }
+
+    #[test]
+    fn replay_rejects_tampered_traces() {
+        let f = parse_formula("!(!(exists u . S(u)))").expect("valid");
+        let n = normalize(&f);
+        // Wrong original.
+        let other = parse_formula("exists u . R(u, u)").expect("valid");
+        assert!(replay(&other, &n.trace, &n.formula).is_err());
+        // Wrong normal form.
+        assert!(replay(&f, &n.trace, &other).is_err());
+        // Tampered step.
+        let mut tampered = n.trace.clone();
+        tampered[0].after = other;
+        assert!(replay(&f, &tampered, &n.formula).is_err());
+        // Empty trace only valid when start == end.
+        assert!(replay(&f, &[], &n.formula).is_err());
+        assert!(replay(&f, &[], &f).is_ok());
+    }
+}

@@ -1,0 +1,195 @@
+//! Null-flow analysis: which answer columns can never carry nulls?
+//!
+//! The analysis computes, for each free variable `x` of a formula `φ`, a fact
+//! that holds in *every* satisfying active-domain assignment: `x` is pinned to
+//! a specific constant, `x` is non-null, or nothing is known. The rules are the
+//! obvious sound ones:
+//!
+//! * `x = c` pins `x` to the constant `c` (constants are never nulls);
+//! * `∧` unions facts, keeping the more precise one on collision;
+//! * `∨` intersects facts — a fact survives only if every disjunct implies it,
+//!   two different constants weaken to "non-null";
+//! * quantifiers erase facts about their bound variables;
+//! * `¬`, `→` and relational atoms contribute nothing (atoms happily bind
+//!   nulls, and a negated equality pins nothing).
+//!
+//! A column proven non-null is immune to SQL's three-valued `Unknown` (see
+//! [`nev_sql::report`]) and lets `nev-symbolic`'s sandwich skip the
+//! incomplete-tuple side of its comparison for that column.
+
+use std::collections::BTreeMap;
+
+use nev_logic::{Formula, Query, Term};
+use nev_sql::{ColumnNullability, ColumnReport, NullabilityReport};
+
+/// The more precise of two facts known to hold simultaneously (used for `∧`).
+fn meet(a: ColumnNullability, b: ColumnNullability) -> ColumnNullability {
+    use ColumnNullability::*;
+    match (a, b) {
+        (Constant(c), _) | (_, Constant(c)) => Constant(c),
+        (NonNull, _) | (_, NonNull) => NonNull,
+        (MayBeNull, MayBeNull) => MayBeNull,
+    }
+}
+
+/// The weaker of two facts from alternative branches (used for `∨`).
+fn join(a: ColumnNullability, b: ColumnNullability) -> ColumnNullability {
+    use ColumnNullability::*;
+    match (a, b) {
+        (Constant(c), Constant(d)) if c == d => Constant(c),
+        (Constant(_) | NonNull, Constant(_) | NonNull) => NonNull,
+        _ => MayBeNull,
+    }
+}
+
+/// Facts holding for the free variables of `f` in every satisfying
+/// active-domain assignment. Variables absent from the map are unconstrained.
+pub fn infer_facts(f: &Formula) -> BTreeMap<String, ColumnNullability> {
+    match f {
+        Formula::Eq(Term::Var(x), Term::Const(c)) | Formula::Eq(Term::Const(c), Term::Var(x)) => {
+            BTreeMap::from([(x.clone(), ColumnNullability::Constant(c.clone()))])
+        }
+        Formula::And(parts) => {
+            let mut facts = BTreeMap::new();
+            for p in parts {
+                for (var, fact) in infer_facts(p) {
+                    facts
+                        .entry(var)
+                        .and_modify(|existing: &mut ColumnNullability| {
+                            *existing = meet(existing.clone(), fact.clone());
+                        })
+                        .or_insert(fact);
+                }
+            }
+            facts
+        }
+        Formula::Or(parts) => {
+            let mut iter = parts.iter();
+            let Some(first) = iter.next() else {
+                return BTreeMap::new();
+            };
+            let mut facts = infer_facts(first);
+            for p in iter {
+                let branch = infer_facts(p);
+                facts = facts
+                    .into_iter()
+                    .filter_map(|(var, fact)| {
+                        branch
+                            .get(&var)
+                            .map(|other| (var, join(fact, other.clone())))
+                    })
+                    .collect();
+            }
+            facts
+        }
+        Formula::Exists(vars, body) | Formula::Forall(vars, body) => {
+            let mut facts = infer_facts(body);
+            for v in vars {
+                facts.remove(v);
+            }
+            facts
+        }
+        // Atoms bind nulls freely; negation and implication flip or weaken
+        // polarity, so neither contributes a positive fact.
+        _ => BTreeMap::new(),
+    }
+}
+
+/// Per-answer-column null-safety for a query. Answer variables that do not
+/// occur in the formula range over the whole active domain (nulls included),
+/// so they are reported [`ColumnNullability::MayBeNull`].
+pub fn column_safety(query: &Query) -> NullabilityReport {
+    let facts = infer_facts(query.formula());
+    NullabilityReport {
+        columns: query
+            .answer_variables()
+            .iter()
+            .map(|v| ColumnReport {
+                column: v.clone(),
+                nullability: facts
+                    .get(v)
+                    .cloned()
+                    .unwrap_or(ColumnNullability::MayBeNull),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::Constant;
+    use nev_logic::parse_formula;
+
+    fn safety_of(free: &[&str], formula: &str) -> Vec<ColumnNullability> {
+        let f = parse_formula(formula).expect("valid");
+        let q = Query::new(free.iter().map(|s| s.to_string()), f).expect("well-formed");
+        column_safety(&q)
+            .columns
+            .into_iter()
+            .map(|c| c.nullability)
+            .collect()
+    }
+
+    #[test]
+    fn constant_equations_pin_columns() {
+        assert_eq!(
+            safety_of(&["a"], "S(a) & a = 1"),
+            vec![ColumnNullability::Constant(Constant::Int(1))]
+        );
+        assert_eq!(
+            safety_of(&["a"], "1 = a & S(a)"),
+            vec![ColumnNullability::Constant(Constant::Int(1))]
+        );
+    }
+
+    #[test]
+    fn disjunction_intersects_facts() {
+        // Both branches pin `a` to the same constant.
+        assert_eq!(
+            safety_of(&["a"], "(S(a) & a = 1) | (R(a, a) & a = 1)"),
+            vec![ColumnNullability::Constant(Constant::Int(1))]
+        );
+        // Different constants weaken to non-null.
+        assert_eq!(
+            safety_of(&["a"], "(a = 1) | (a = 2)"),
+            vec![ColumnNullability::NonNull]
+        );
+        // One unconstrained branch erases the fact.
+        assert_eq!(
+            safety_of(&["a"], "(a = 1) | S(a)"),
+            vec![ColumnNullability::MayBeNull]
+        );
+    }
+
+    #[test]
+    fn atoms_and_negation_prove_nothing() {
+        assert_eq!(
+            safety_of(&["a"], "S(a)"),
+            vec![ColumnNullability::MayBeNull]
+        );
+        assert_eq!(
+            safety_of(&["a"], "!(a = 1)"),
+            vec![ColumnNullability::MayBeNull]
+        );
+    }
+
+    #[test]
+    fn quantifiers_erase_bound_facts_only() {
+        assert_eq!(
+            safety_of(&["a"], "exists b . R(a, b) & b = 2 & a = 1"),
+            vec![ColumnNullability::Constant(Constant::Int(1))]
+        );
+    }
+
+    #[test]
+    fn unused_answer_variables_range_over_adom() {
+        assert_eq!(
+            safety_of(&["a", "b"], "S(a) & a = 1"),
+            vec![
+                ColumnNullability::Constant(Constant::Int(1)),
+                ColumnNullability::MayBeNull
+            ]
+        );
+    }
+}

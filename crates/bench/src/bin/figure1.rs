@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! figure1 [--quick] [--trials N] [--seed S] [--semantics NAME] [--fragment NAME]
-//!         [--threads N] [--timings] [--skip-table] [--skip-examples]
+//!         [--threads N] [--timings] [--analyze] [--skip-table] [--skip-examples]
 //! ```
 //!
 //! `--semantics` / `--fragment` restrict the table to one row / column; they accept
@@ -20,16 +20,16 @@
 //! (the workspace-wide pool-size knob) supplies the default. `--timings`
 //! appends a per-cell wall-time column to the table; it is **off** by default
 //! precisely because timings vary run to run while the default table's bytes
-//! must not.
+//! must not. `--analyze` appends the static analyser's `normalized` column —
+//! trials on which fragment widening upgraded the dispatch to a certified
+//! naïve pass on the query's normal form.
 //!
 //! The output is Markdown; `EXPERIMENTS.md` records a captured run.
 
 use std::sync::Arc;
 
 use nev_bench::examples::{render_examples_markdown, run_paper_examples};
-use nev_bench::figure1::{
-    cell_pairs, render_markdown, render_markdown_timed, run_cell, Figure1Config,
-};
+use nev_bench::figure1::{cell_pairs, render_markdown_with, run_cell, Figure1Config};
 use nev_core::Semantics;
 use nev_logic::Fragment;
 use nev_serve::cli::parse_flag_value;
@@ -43,12 +43,14 @@ struct Options {
     fragment: Option<Fragment>,
     threads: usize,
     timings: bool,
+    analyze: bool,
 }
 
 fn usage_and_exit(code: i32) -> ! {
     println!(
         "usage: figure1 [--quick] [--trials N] [--seed S] [--semantics NAME] \
-         [--fragment NAME] [--threads N] [--timings] [--skip-table] [--skip-examples]"
+         [--fragment NAME] [--threads N] [--timings] [--analyze] [--skip-table] \
+         [--skip-examples]"
     );
     std::process::exit(code);
 }
@@ -62,6 +64,7 @@ fn parse_options() -> Options {
         fragment: None,
         threads: env_workers().unwrap_or(0),
         timings: false,
+        analyze: false,
     };
     let mut args = std::env::args().skip(1);
     let mut explicit_trials = false;
@@ -83,6 +86,7 @@ fn parse_options() -> Options {
             "--fragment" => options.fragment = Some(parse_flag_value("--fragment", args.next())),
             "--threads" => options.threads = parse_flag_value("--threads", args.next()),
             "--timings" => options.timings = true,
+            "--analyze" => options.analyze = true,
             "--skip-table" => options.run_table = false,
             "--skip-examples" => options.run_examples = false,
             "--help" | "-h" => usage_and_exit(0),
@@ -154,11 +158,7 @@ fn main() {
         };
         print!(
             "{}",
-            if options.timings {
-                render_markdown_timed(&outcomes)
-            } else {
-                render_markdown(&outcomes)
-            }
+            render_markdown_with(&outcomes, options.timings, options.analyze)
         );
         let mismatches: Vec<_> = outcomes
             .iter()

@@ -105,6 +105,11 @@ pub struct CellOutcome {
     /// not certified, but conditional tables or the Kleene/naïve sandwich close on
     /// the trial's instance, so dispatch answers exactly with zero worlds.
     pub symbolic_plans: usize,
+    /// Trials on which static normalization upgraded the dispatch: the raw query's
+    /// cell carries no guarantee, but its normal form lands in a guaranteed
+    /// fragment, so the engine answers with a certified naïve pass on the normal
+    /// form (shown in the `--analyze` column).
+    pub normalized_upgrades: usize,
     /// Human-readable descriptions of the first few disagreements found.
     pub counterexamples: Vec<String>,
     /// Wall time spent validating the cell, microseconds. Never part of the
@@ -165,6 +170,7 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
     let mut certified_naive = 0;
     let mut compiled_plans = 0;
     let mut symbolic_plans = 0;
+    let mut normalized_upgrades = 0;
     let mut counterexamples = Vec::new();
 
     for trial in 0..config.trials {
@@ -197,6 +203,9 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
         if plan.is_compiled() {
             compiled_plans += 1;
         }
+        if plan.is_normalized() {
+            normalized_upgrades += 1;
+        }
         if engine
             .plan_with_symbolic(&instance, semantics, &prepared)
             .is_symbolic()
@@ -227,6 +236,7 @@ pub fn run_cell(semantics: Semantics, fragment: Fragment, config: &Figure1Config
         certified_naive,
         compiled_plans,
         symbolic_plans,
+        normalized_upgrades,
         counterexamples,
         wall_us: cell_timer.elapsed_us(),
     }
@@ -280,26 +290,36 @@ pub fn run_all_cells(config: &Figure1Config) -> Vec<CellOutcome> {
 /// table bytes depend only on the seed, never on the machine or the thread
 /// count. [`render_markdown_timed`] adds the wall-time column on request.
 pub fn render_markdown(outcomes: &[CellOutcome]) -> String {
-    render_figure1_table(outcomes, false)
+    render_figure1_table(outcomes, false, false)
 }
 
 /// [`render_markdown`] plus a trailing per-cell `wall time` column — the
 /// `figure1 --timings` rendering. Timings vary run to run, so this variant is
 /// opt-in and never used where byte-identity is asserted.
 pub fn render_markdown_timed(outcomes: &[CellOutcome]) -> String {
-    render_figure1_table(outcomes, true)
+    render_figure1_table(outcomes, true, false)
 }
 
-fn render_figure1_table(outcomes: &[CellOutcome], timings: bool) -> String {
+/// The `figure1 --analyze`/`--timings` rendering: `analyze` appends the static
+/// analyser's `normalized` column (trials on which fragment widening upgraded
+/// the dispatch to a certified pass on the normal form), `timings` the per-cell
+/// wall-time column. Both are deterministic except for wall time.
+pub fn render_markdown_with(outcomes: &[CellOutcome], timings: bool, analyze: bool) -> String {
+    render_figure1_table(outcomes, timings, analyze)
+}
+
+fn render_figure1_table(outcomes: &[CellOutcome], timings: bool, analyze: bool) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "| semantics | fragment | paper | agreement | sound | certified plan | compiled | symbolic | status |{}",
+        "| semantics | fragment | paper | agreement | sound | certified plan | compiled | symbolic | status |{}{}",
+        if analyze { " normalized |" } else { "" },
         if timings { " wall time |" } else { "" }
     );
     let _ = writeln!(
         s,
-        "|---|---|---|---|---|---|---|---|---|{}",
+        "|---|---|---|---|---|---|---|---|---|{}{}",
+        if analyze { "---|" } else { "" },
         if timings { "---|" } else { "" }
     );
     for o in outcomes {
@@ -335,6 +355,9 @@ fn render_figure1_table(outcomes: &[CellOutcome], timings: bool) -> String {
             o.trials,
             status
         );
+        if analyze {
+            let _ = write!(s, " {}/{} |", o.normalized_upgrades, o.trials);
+        }
         if timings {
             let _ = write!(s, " {} |", render_wall_time(o.wall_us));
         }
@@ -406,6 +429,7 @@ mod tests {
             certified_naive: 3,
             compiled_plans: 2,
             symbolic_plans: 1,
+            normalized_upgrades: 1,
             counterexamples: vec![],
             wall_us: 1_234,
         }];
@@ -418,11 +442,17 @@ mod tests {
         // across runs and thread counts.
         assert!(!md.contains("wall time"));
         assert!(!md.contains("ms |"));
+        // ...and never the opt-in analyzer column either.
+        assert!(!md.contains("normalized"));
         let timed = render_markdown_timed(&outcomes);
         assert!(timed.contains("| wall time |"));
         assert!(timed.contains("| 1.2 ms |"));
         // Identical except for the extra column.
         assert_eq!(timed.lines().count(), md.lines().count());
+        let analyzed = render_markdown_with(&outcomes, false, true);
+        assert!(analyzed.contains("| normalized |"));
+        assert!(analyzed.contains("| 1/3 |"));
+        assert_eq!(analyzed.lines().count(), md.lines().count());
     }
 
     #[test]

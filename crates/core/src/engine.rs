@@ -65,7 +65,10 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
-use nev_exec::{CompiledQuery, CompilerConfig, ExecOptions, ExecStats, ExecTimings, OpProfile};
+use nev_analyze::{CheckError, QueryAnalysis};
+use nev_exec::{
+    CompileError, CompiledQuery, CompilerConfig, ExecOptions, ExecStats, ExecTimings, OpProfile,
+};
 use nev_hom::is_core;
 use nev_incomplete::{Constant, Instance, Tuple};
 use nev_logic::eval::{evaluate_boolean, evaluate_query, naive_eval_query};
@@ -75,7 +78,7 @@ use nev_logic::query::QueryError;
 use nev_logic::{parse_query, Fragment, Query};
 use nev_obs::{Stage, Timer, Trace, TraceRecorder};
 use nev_runtime::WorkerPool;
-use nev_symbolic::{cwa_certain_answers, under_approximation, EvalProfile};
+use nev_symbolic::{complete_candidates, cwa_certain_answers, under_approximation, EvalProfile};
 
 use crate::semantics::{Semantics, WorldBounds};
 use crate::summary::{expectation, Expectation};
@@ -147,6 +150,9 @@ pub struct PreparedQuery {
     fragment: Fragment,
     constants: BTreeSet<Constant>,
     compiled: Option<CompiledQuery>,
+    compile_error: Option<CompileError>,
+    analysis: QueryAnalysis,
+    normalized_compiled: Option<CompiledQuery>,
     prep: PrepTimings,
 }
 
@@ -165,6 +171,10 @@ pub struct PrepTimings {
     pub classify_us: u64,
     /// Microseconds spent in the `nev-exec` compiler (including `nev-opt` rewrites).
     pub compile_us: u64,
+    /// Microseconds spent in the `nev-analyze` static pass (normalization,
+    /// re-classification, null-flow), including compiling the normal form when
+    /// it differs.
+    pub analyze_us: u64,
 }
 
 impl PartialEq for PrepTimings {
@@ -194,17 +204,36 @@ impl PreparedQuery {
         let constants = query.formula().constants();
         let classify_us = classify_timer.elapsed_us();
         let compile_timer = Timer::start();
-        let compiled = CompiledQuery::compile_with(&query, config).ok();
+        let (compiled, compile_error) = match CompiledQuery::compile_with(&query, config) {
+            Ok(compiled) => (Some(compiled), None),
+            Err(e) => (None, Some(e)),
+        };
+        let compile_us = compile_timer.elapsed_us();
+        let analyze_timer = Timer::start();
+        let analysis = QueryAnalysis::new(&query);
+        // The normal form gets its own compiled plan when it differs: the
+        // widened dispatch path runs *that* pass, and a shape the compiler
+        // rejected as written (e.g. behind a wide `∀`) often compiles after
+        // normalization.
+        let normalized_compiled = if analysis.changed() {
+            CompiledQuery::compile_with(analysis.normalized(), config).ok()
+        } else {
+            None
+        };
         let prep = PrepTimings {
             parse_us: 0,
             classify_us,
-            compile_us: compile_timer.elapsed_us(),
+            compile_us,
+            analyze_us: analyze_timer.elapsed_us(),
         };
         PreparedQuery {
             query,
             fragment,
             constants,
             compiled,
+            compile_error,
+            analysis,
+            normalized_compiled,
             prep,
         }
     }
@@ -259,6 +288,58 @@ impl PreparedQuery {
     /// Returns `true` iff the query has a compiled physical plan.
     pub fn compiles(&self) -> bool {
         self.compiled.is_some()
+    }
+
+    /// Why the compiler rejected the query's shape (`None` when it compiled).
+    pub fn compile_error(&self) -> Option<&CompileError> {
+        self.compile_error.as_ref()
+    }
+
+    /// The static analysis of this query: normal form, rewrite trace,
+    /// re-classified fragment, diagnostics and null-flow typing.
+    pub fn analysis(&self) -> &QueryAnalysis {
+        &self.analysis
+    }
+
+    /// The Figure 1 fragment of the query's *normal form* (equal to
+    /// [`PreparedQuery::fragment`] when normalization changed nothing).
+    pub fn normalized_fragment(&self) -> Fragment {
+        self.analysis.normalized_fragment()
+    }
+
+    /// Did normalization rewrite the formula at all?
+    pub fn normalization_changed(&self) -> bool {
+        self.analysis.changed()
+    }
+
+    /// The compiled plan of the normal form, when normalization changed the
+    /// formula and the compiler accepted the normalized shape.
+    pub fn normalized_compiled(&self) -> Option<&CompiledQuery> {
+        self.normalized_compiled.as_ref()
+    }
+
+    /// Returns `true` iff the widened dispatch path would run on the compiled
+    /// pipeline (the normal form's own plan, or the original's when the
+    /// formula was already normal).
+    pub fn normalized_compiles(&self) -> bool {
+        if self.analysis.changed() {
+            self.normalized_compiled.is_some()
+        } else {
+            self.compiled.is_some()
+        }
+    }
+
+    /// Re-checks the static analysis behind any normalized-dispatch
+    /// certificate: replays the rewrite trace and re-runs the classifier (see
+    /// [`QueryAnalysis::check`]).
+    pub fn check_normalization(&self) -> Result<(), CheckError> {
+        self.analysis.check()
+    }
+
+    /// [`PreparedQuery::check_normalization`] plus a differential run of the
+    /// original vs the normalized query on `d`.
+    pub fn check_normalization_on(&self, d: &Instance) -> Result<(), CheckError> {
+        self.analysis.check_on(d)
     }
 
     /// The `EXPLAIN` rendering of the compiled plan — both the logical lowering
@@ -554,6 +635,13 @@ pub enum EvalPlan {
     /// shape: one tree-walking interpreter pass (recorded as a fallback in
     /// [`ExecStats`]), no world enumeration.
     CertifiedNaive(Certificate),
+    /// The query as *written* has no Figure 1 guarantee, but its `nev-analyze`
+    /// normal form classifies into a guaranteed fragment: one naïve pass over
+    /// the **normalized** query (semantics-preserving by construction — the
+    /// rewrite trace is replayable via
+    /// [`PreparedQuery::check_normalization`]), no world enumeration. The
+    /// certificate's `fragment` is the normalized fragment.
+    NormalizedNaive(Certificate),
     /// No Figure 1 guarantee applies, but a PTIME symbolic technique settled the
     /// answer without enumerating a single world (see [`SymbolicCertificate`]).
     /// [`CertainEngine::plan`] never returns this statically — it is the
@@ -570,7 +658,9 @@ impl EvalPlan {
     /// a [`SymbolicCertificate`] instead — see [`EvalPlan::symbolic_certificate`].
     pub fn certificate(&self) -> Option<&Certificate> {
         match self {
-            EvalPlan::CompiledNaive(cert) | EvalPlan::CertifiedNaive(cert) => Some(cert),
+            EvalPlan::CompiledNaive(cert)
+            | EvalPlan::CertifiedNaive(cert)
+            | EvalPlan::NormalizedNaive(cert) => Some(cert),
             EvalPlan::Symbolic(_) | EvalPlan::BoundedEnumeration => None,
         }
     }
@@ -583,14 +673,21 @@ impl EvalPlan {
         }
     }
 
-    /// Returns `true` for the certified naïve fast path (compiled or interpreted).
-    /// Symbolic plans answer without enumeration too, but by a different
-    /// argument — test them with [`EvalPlan::is_symbolic`].
+    /// Returns `true` for the certified naïve fast path (compiled,
+    /// interpreted, or via the normalized formula). Symbolic plans answer
+    /// without enumeration too, but by a different argument — test them with
+    /// [`EvalPlan::is_symbolic`].
     pub fn is_certified(&self) -> bool {
         matches!(
             self,
-            EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)
+            EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_) | EvalPlan::NormalizedNaive(_)
         )
+    }
+
+    /// Returns `true` iff dispatch was upgraded by normalization-based
+    /// fragment widening.
+    pub fn is_normalized(&self) -> bool {
+        matches!(self, EvalPlan::NormalizedNaive(_))
     }
 
     /// Returns `true` for the PTIME symbolic path.
@@ -800,7 +897,48 @@ impl CertainEngine {
         match certified {
             Some(cert) if query.compiles() => EvalPlan::CompiledNaive(cert),
             Some(cert) => EvalPlan::CertifiedNaive(cert),
-            None => EvalPlan::BoundedEnumeration,
+            // The syntactic fragment carries no guarantee; when the
+            // `nev-analyze` normal form classifies into a guaranteed fragment,
+            // dispatch upgrades to one naïve pass over the normalized query.
+            None => match self.normalized_certificate(d, semantics, query) {
+                Some(cert) => EvalPlan::NormalizedNaive(cert),
+                None => EvalPlan::BoundedEnumeration,
+            },
+        }
+    }
+
+    /// The fragment-widening certificate, when the query's *normal form* lands
+    /// in a Figure 1 cell with a guarantee the original fragment lacks. The
+    /// certificate records the normalized fragment; its evidence — the rewrite
+    /// trace — re-checks via [`PreparedQuery::check_normalization`].
+    fn normalized_certificate(
+        &self,
+        d: &Instance,
+        semantics: Semantics,
+        query: &PreparedQuery,
+    ) -> Option<Certificate> {
+        if !query.analysis().widened() {
+            return None;
+        }
+        let fragment = query.normalized_fragment();
+        let cell = expectation(semantics, fragment);
+        let executor = if query.normalized_compiles() {
+            Executor::CompiledAlgebra
+        } else {
+            Executor::Interpreter
+        };
+        let certificate = |core_checked: bool| Certificate {
+            semantics,
+            fragment,
+            expectation: cell,
+            core_checked,
+            theorem: theorem_for(semantics),
+            executor,
+        };
+        match cell {
+            Expectation::Works => Some(certificate(false)),
+            Expectation::WorksOverCores if is_core(d) => Some(certificate(true)),
+            _ => None,
         }
     }
 
@@ -836,6 +974,23 @@ impl CertainEngine {
         match self.plan(d, semantics, query) {
             plan @ (EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)) => {
                 let (naive, exec) = self.naive_answers_traced(d, query, recorder);
+                Evaluation {
+                    semantics,
+                    plan,
+                    certain: naive.clone(),
+                    naive,
+                    worlds_enumerated: 0,
+                    truncated: false,
+                    exec,
+                    trace: Trace::default(),
+                }
+            }
+            plan @ EvalPlan::NormalizedNaive(_) => {
+                // One naïve pass over the *normalized* query. Every rewrite in
+                // the trace preserves naïve evaluation on arbitrary instances
+                // (nulls included), so this is also the original query's naïve
+                // answer — and the widened cell's guarantee makes it certain.
+                let (naive, exec) = self.normalized_naive_answers_traced(d, query, recorder);
                 Evaluation {
                     semantics,
                     plan,
@@ -989,7 +1144,17 @@ impl CertainEngine {
         let core_checked = semantics.is_minimal() && is_core(d);
         if !semantics.is_minimal() || core_checked {
             let under = under_approximation(d, query.query(), symbolic_profile(semantics));
-            if under == *naive {
+            // Tighten the sandwich upper bound before comparing: a certain
+            // answer must hold in every world, so it can contain no nulls,
+            // and `under ⊆ certain ⊆ complete(naive)`. When null-flow
+            // analysis proves every answer column null-safe the filter is a
+            // no-op and we skip the extra pass.
+            let candidates = if query.analysis().nullability().all_null_safe() {
+                naive.clone()
+            } else {
+                complete_candidates(naive)
+            };
+            if under == candidates {
                 return Some(Evaluation {
                     semantics,
                     plan: EvalPlan::Symbolic(certificate(
@@ -998,7 +1163,7 @@ impl CertainEngine {
                         core_checked,
                     )),
                     naive: naive.clone(),
-                    certain: under,
+                    certain: candidates,
                     worlds_enumerated: 0,
                     truncated: false,
                     exec: *exec,
@@ -1049,6 +1214,32 @@ impl CertainEngine {
     ) -> (BTreeSet<Tuple>, ExecStats) {
         let span = recorder.span(Stage::Exec);
         let (naive, exec, timings) = naive_answers_timed(d, query, &self.exec);
+        if recorder.is_enabled() {
+            if timings.scan_us > 0 {
+                recorder.leaf(Stage::Scan, timings.scan_us);
+            }
+            if timings.join_build_us > 0 {
+                recorder.leaf(Stage::JoinBuild, timings.join_build_us);
+            }
+            if timings.join_probe_us > 0 {
+                recorder.leaf(Stage::JoinProbe, timings.join_probe_us);
+            }
+        }
+        drop(span);
+        (naive, exec)
+    }
+
+    /// The naïve answers of the query's `nev-analyze` *normal form* — the
+    /// single pass behind [`EvalPlan::NormalizedNaive`] — wrapped in a
+    /// [`Stage::Exec`] span like [`CertainEngine::naive_answers_traced`].
+    pub fn normalized_naive_answers_traced(
+        &self,
+        d: &Instance,
+        query: &PreparedQuery,
+        recorder: &TraceRecorder,
+    ) -> (BTreeSet<Tuple>, ExecStats) {
+        let span = recorder.span(Stage::Exec);
+        let (naive, exec, timings) = normalized_naive_answers_timed(d, query, &self.exec);
         if recorder.is_enabled() {
             if timings.scan_us > 0 {
                 recorder.leaf(Stage::Scan, timings.scan_us);
@@ -1167,8 +1358,14 @@ impl CertainEngine {
         let planning_span = recorder.span(Stage::Exec);
         for (index, query) in queries.iter().map(std::borrow::Borrow::borrow).enumerate() {
             match self.plan(d, semantics, query) {
-                plan @ (EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)) => {
-                    let (naive, exec) = naive_answers(d, query, &self.exec);
+                plan @ (EvalPlan::CompiledNaive(_)
+                | EvalPlan::CertifiedNaive(_)
+                | EvalPlan::NormalizedNaive(_)) => {
+                    let (naive, exec, _) = if plan.is_normalized() {
+                        normalized_naive_answers_timed(d, query, &self.exec)
+                    } else {
+                        naive_answers_timed(d, query, &self.exec)
+                    };
                     results[index] = Some(Evaluation {
                         semantics,
                         plan,
@@ -1373,6 +1570,31 @@ fn naive_answers_timed(
         }
         None => (
             naive_eval_query(d, query.query()),
+            ExecStats::fallback(),
+            ExecTimings::default(),
+        ),
+    }
+}
+
+/// The naïve answers of the query's normal form (the [`EvalPlan::NormalizedNaive`]
+/// pass): the normal form's own compiled plan when it has one, the interpreter on
+/// the normalized AST otherwise. When normalization changed nothing this is
+/// exactly [`naive_answers_timed`] on the original.
+fn normalized_naive_answers_timed(
+    d: &Instance,
+    query: &PreparedQuery,
+    options: &ExecOptions,
+) -> (BTreeSet<Tuple>, ExecStats, ExecTimings) {
+    if !query.normalization_changed() {
+        return naive_answers_timed(d, query, options);
+    }
+    match query.normalized_compiled() {
+        Some(compiled) => {
+            let out = compiled.execute_naive_with(d, options);
+            (out.answers, out.stats, out.timings)
+        }
+        None => (
+            naive_eval_query(d, query.analysis().normalized()),
             ExecStats::fallback(),
             ExecTimings::default(),
         ),

@@ -67,6 +67,18 @@ pub enum CompileError {
     },
 }
 
+impl CompileError {
+    /// Compact machine-readable rendering for wire responses, e.g.
+    /// `complement_too_wide(columns=4,limit=3)`.
+    pub fn reason_code(&self) -> String {
+        match self {
+            CompileError::ComplementTooWide { columns, limit } => {
+                format!("complement_too_wide(columns={columns},limit={limit})")
+            }
+        }
+    }
+}
+
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

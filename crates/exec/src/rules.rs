@@ -43,6 +43,9 @@ pub struct RuleReport {
     /// Projections pushed below their original position (or pad columns
     /// trimmed).
     pub projections_pushed: u64,
+    /// `Empty` inputs propagated through joins, anti-joins, pads and
+    /// projections (statically-unsat subplans collapsing to zero scans).
+    pub empties_propagated: u64,
 }
 
 impl RuleReport {
@@ -54,6 +57,7 @@ impl RuleReport {
             + self.complements_rewritten
             + self.joins_distributed
             + self.projections_pushed
+            + self.empties_propagated
     }
 
     fn merge(&mut self, other: &RuleReport) {
@@ -63,6 +67,7 @@ impl RuleReport {
         self.complements_rewritten += other.complements_rewritten;
         self.joins_distributed += other.joins_distributed;
         self.projections_pushed += other.projections_pushed;
+        self.empties_propagated += other.empties_propagated;
     }
 }
 
@@ -106,13 +111,30 @@ fn rewrite(node: PlanNode, report: &mut RuleReport) -> PlanNode {
             let right = rewrite(*right, report);
             rewrite_join(left, right, report)
         }
-        PlanNode::AntiJoin { left, right } => PlanNode::AntiJoin {
-            left: Box::new(rewrite(*left, report)),
-            right: Box::new(rewrite(*right, report)),
-        },
+        PlanNode::AntiJoin { left, right } => {
+            let left = rewrite(*left, report);
+            let right = rewrite(*right, report);
+            // ∅ ▷ x = ∅; l ▷ ∅ = l.
+            if matches!(left, PlanNode::Empty { .. }) {
+                report.empties_propagated += 1;
+                return left;
+            }
+            if matches!(right, PlanNode::Empty { .. }) {
+                report.empties_propagated += 1;
+                return left;
+            }
+            PlanNode::AntiJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
         PlanNode::Union { inputs } => rewrite_union(inputs, report),
         PlanNode::Project { input, keep } => {
             let input = rewrite(*input, report);
+            if matches!(input, PlanNode::Empty { .. }) {
+                report.empties_propagated += 1;
+                return PlanNode::Empty { schema: keep };
+            }
             if input.schema() == keep {
                 report.projections_pushed += 1;
                 input
@@ -123,10 +145,23 @@ fn rewrite(node: PlanNode, report: &mut RuleReport) -> PlanNode {
                 }
             }
         }
-        PlanNode::DomainPad { input, vars } => PlanNode::DomainPad {
-            input: Box::new(rewrite(*input, report)),
-            vars,
-        },
+        PlanNode::DomainPad { input, vars } => {
+            let input = rewrite(*input, report);
+            // pad_vs(∅) = ∅: padding cannot resurrect an empty input.
+            if matches!(input, PlanNode::Empty { .. }) {
+                report.empties_propagated += 1;
+                let schema = PlanNode::DomainPad {
+                    input: Box::new(input),
+                    vars,
+                }
+                .schema();
+                return PlanNode::Empty { schema };
+            }
+            PlanNode::DomainPad {
+                input: Box::new(input),
+                vars,
+            }
+        }
         PlanNode::Complement { input } => PlanNode::Complement {
             input: Box::new(rewrite(*input, report)),
         },
@@ -141,6 +176,12 @@ fn rewrite_join(left: PlanNode, right: PlanNode, report: &mut RuleReport) -> Pla
     }
     if matches!(right, PlanNode::Unit) {
         return left;
+    }
+    // ∅ is the join annihilator: a statically-empty side empties the join.
+    if matches!(left, PlanNode::Empty { .. }) || matches!(right, PlanNode::Empty { .. }) {
+        report.empties_propagated += 1;
+        let schema = merge_schemas(&left.schema(), &right.schema());
+        return PlanNode::Empty { schema };
     }
     // Self-join dedup: X ⋈ X = X under set semantics.
     if left == right {
@@ -586,6 +627,61 @@ mod tests {
         assert!(rendered.contains("Project[z](Scan T(z,w))"), "{rendered}");
         // …and the group is still a flat nested-join chain under one Project.
         assert!(rendered.starts_with("Project[x](HashJoin("), "{rendered}");
+    }
+
+    #[test]
+    fn empty_inputs_annihilate_joins_pads_and_projections() {
+        // R(x,y) ⋈ ∅(y,z) = ∅(x,y,z), with zero scans left in the plan.
+        let empty = PlanNode::Empty {
+            schema: vec!["y".into(), "z".into()],
+        };
+        let (plan, report) = apply_rules(join(scan("R", &["x", "y"]), empty.clone()));
+        assert_eq!(
+            plan,
+            PlanNode::Empty {
+                schema: vec!["x".into(), "y".into(), "z".into()],
+            }
+        );
+        assert!(report.empties_propagated >= 1, "{report:?}");
+
+        // pad_w(∅) then π empties all the way up.
+        let padded = PlanNode::Project {
+            input: Box::new(PlanNode::DomainPad {
+                input: Box::new(empty),
+                vars: vec!["w".into()],
+            }),
+            keep: vec!["w".into()],
+        };
+        let (plan, report) = apply_rules(padded);
+        assert_eq!(
+            plan,
+            PlanNode::Empty {
+                schema: vec!["w".into()],
+            }
+        );
+        assert!(report.empties_propagated >= 2, "{report:?}");
+    }
+
+    #[test]
+    fn empty_sides_simplify_anti_joins() {
+        // ∅ ▷ S = ∅.
+        let empty = PlanNode::Empty {
+            schema: vec!["y".into()],
+        };
+        let (plan, report) = apply_rules(PlanNode::AntiJoin {
+            left: Box::new(empty.clone()),
+            right: Box::new(scan("S", &["y"])),
+        });
+        assert_eq!(plan, empty);
+        assert_eq!(report.empties_propagated, 1);
+
+        // R ▷ ∅ = R.
+        let (plan, report) = apply_rules(PlanNode::AntiJoin {
+            left: Box::new(scan("R", &["x", "y"])),
+            right: Box::new(empty),
+        });
+        assert_eq!(plan, scan("R", &["x", "y"]));
+        assert_eq!(report.empties_propagated, 1);
     }
 
     #[test]

@@ -153,7 +153,15 @@ pub fn is_positive(f: &Formula) -> bool {
 }
 
 /// Recognises the guard shape `R(x₁,…,xₙ)` or `x = z` over exactly the quantified
-/// variables, pairwise distinct.
+/// variables, pairwise distinct — the side condition of the `Pos+∀G` and
+/// `∃Pos+∀G_bool` guarded universals (§5, §7). Public so that rewrites which must
+/// *preserve* guardedness (the `nev-analyze` normalization pipeline keeps
+/// `∀x̄ (R(x̄) → φ)` intact while eliminating every other implication) can test
+/// the exact shape the classifier recognises.
+pub fn is_universal_guard(guard: &Formula, vars: &[String]) -> bool {
+    guard_matches(guard, vars)
+}
+
 fn guard_matches(guard: &Formula, vars: &[String]) -> bool {
     let distinct: BTreeSet<&String> = vars.iter().collect();
     if distinct.len() != vars.len() {

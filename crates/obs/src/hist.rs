@@ -57,6 +57,7 @@ impl Histogram {
 
     /// Records one sample of `us` microseconds.
     pub fn record(&self, us: u64) {
+        // relaxed: independent telemetry tallies; readers tolerate skew between them.
         self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(us, Ordering::Relaxed);
@@ -69,9 +70,11 @@ impl Histogram {
     /// linearisable cut — the same contract as the serving-layer counters.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = [0u64; BUCKETS];
+        // relaxed: monotone counter reads; the snapshot is a fuzzy cut by contract.
         for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
             *slot = bucket.load(Ordering::Relaxed);
         }
+        // relaxed: same fuzzy-cut contract as the bucket loads above.
         HistogramSnapshot {
             buckets,
             count: self.count.load(Ordering::Relaxed),

@@ -76,6 +76,7 @@ impl Shared {
     /// the hot path (`run` is called per scan / join of a compiled plan).
     fn push_batch(&self, tasks: Vec<Task>) {
         let n = self.deques.len();
+        // relaxed: round-robin cursor — any start index is correct, only spread matters.
         let first = self.next.fetch_add(tasks.len(), Ordering::Relaxed);
         if n == 1 {
             self.deques[0]
@@ -142,6 +143,7 @@ impl std::fmt::Debug for Shared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Shared")
             .field("deques", &self.deques.len())
+            // relaxed: Debug-only read; staleness is harmless.
             .field("shutdown", &self.shutdown.load(Ordering::Relaxed))
             .finish()
     }

@@ -130,16 +130,19 @@ impl PlanCache {
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
+        // relaxed: telemetry read; may lag concurrent bumps.
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Cache misses so far (each miss prepared a query).
     pub fn misses(&self) -> u64 {
+        // relaxed: telemetry read; may lag concurrent bumps.
         self.misses.load(Ordering::Relaxed)
     }
 
     /// Entries evicted by the LRU policy so far.
     pub fn evictions(&self) -> u64 {
+        // relaxed: telemetry read; may lag concurrent bumps.
         self.evictions.load(Ordering::Relaxed)
     }
 
@@ -167,11 +170,13 @@ impl PlanCache {
         let (canonical_text, query) = canonical(text)?;
         let key = (canonical_text, semantics);
         if let Some(plan) = self.lookup(&key) {
+            // relaxed: hit/miss tallies are telemetry only.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((plan, true));
         }
         // Prepare outside the lock: classification + compilation is the expensive
         // part and must not serialise concurrent misses on different texts.
+        // relaxed: hit/miss tallies are telemetry only.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let (prepared, _reused) = self.shared_prepared(&key.0, query);
         let plan = CachedPlan {
@@ -193,8 +198,10 @@ impl PlanCache {
         let (canonical_text, query) = canonical(text)?;
         let (prepared, reused) = self.shared_prepared(&canonical_text, query);
         if reused {
+            // relaxed: hit/miss tallies are telemetry only.
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
+            // relaxed: hit/miss tallies are telemetry only.
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
         for semantics in Semantics::ALL {
@@ -262,6 +269,7 @@ impl PlanCache {
                 .map(|(k, _)| k.clone())
                 .expect("non-empty over-capacity cache");
             inner.entries.remove(&victim);
+            // relaxed: eviction tally is telemetry only.
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }

@@ -318,6 +318,7 @@ pub fn run_load(
                     let plan = match evaluation.plan {
                         EvalPlan::CompiledNaive(_) => "compiled",
                         EvalPlan::CertifiedNaive(_) => "certified",
+                        EvalPlan::NormalizedNaive(_) => "normalized",
                         EvalPlan::Symbolic(_) => "symbolic",
                         EvalPlan::BoundedEnumeration => "oracle",
                     };
@@ -366,6 +367,7 @@ pub fn run_load(
                         match engine.plan_with_symbolic(instance, request.semantics, &prepared) {
                             EvalPlan::CompiledNaive(_) => "compiled",
                             EvalPlan::CertifiedNaive(_) => "certified",
+                            EvalPlan::NormalizedNaive(_) => "normalized",
                             EvalPlan::Symbolic(_) => "symbolic",
                             EvalPlan::BoundedEnumeration => "oracle",
                         };
@@ -373,7 +375,13 @@ pub fn run_load(
                         Some(compiled) => {
                             format!("OK dispatch={dispatch} {}", compiled.explain_compact())
                         }
-                        None => format!("OK dispatch={dispatch} compiled=false"),
+                        None => {
+                            let reason = prepared
+                                .compile_error()
+                                .map(|e| format!(" reason={}", e.reason_code()))
+                                .unwrap_or_default();
+                            format!("OK dispatch={dispatch} compiled=false{reason}")
+                        }
                     }
                 }
             },

@@ -126,6 +126,7 @@ pub fn parallel_certain_answers(
                 let empty = next.is_empty();
                 acc = Some(next);
                 if empty {
+                    // relaxed: advisory flag — a late observer only does spare work.
                     cancel.store(true, Ordering::Relaxed);
                     break 'stream;
                 }
@@ -141,6 +142,7 @@ pub fn parallel_certain_answers(
     // sequential oracle exactly: a Boolean query is vacuously certain over an empty
     // enumeration, a k-ary intersection is empty.
     let certain = acc.unwrap_or_else(|| nev_core::engine::boolean_answers(query.is_boolean()));
+    // relaxed: post-join read; the pool's workers have quiesced.
     let cancelled = cancel.load(Ordering::Relaxed);
     OracleOutcome {
         certain,
@@ -169,6 +171,7 @@ fn evaluate_chunk(
     let mut acc: Option<BTreeSet<Tuple>> = None;
     let mut worlds = 0usize;
     for world in &batch {
+        // relaxed: advisory cancellation probe; a missed flag costs one extra world.
         if cancel.load(Ordering::Relaxed) {
             // Another chunk already refuted everything; whatever we intersected so
             // far is still a sound factor, so report it rather than discard it.
@@ -181,6 +184,7 @@ fn evaluate_chunk(
             Some(prev) => prev.intersection(&answers).cloned().collect(),
         };
         if next.is_empty() {
+            // relaxed: advisory flag — a late observer only does spare work.
             cancel.store(true, Ordering::Relaxed);
             return ChunkResult {
                 answers: None,

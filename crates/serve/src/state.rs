@@ -1,6 +1,6 @@
 //! The shared service state: catalog + plan cache + worker pool + engine, and the
-//! request handlers (`LOAD` / `PREPARE` / `EVAL` / `EXPLAIN` / `PROFILE` /
-//! `STATS` / `TOP` / `METRICS`) built on them.
+//! request handlers (`LOAD` / `PREPARE` / `EVAL` / `EXPLAIN` / `ANALYZE` /
+//! `PROFILE` / `STATS` / `TOP` / `METRICS`) built on them.
 //!
 //! One [`ServeState`] is shared (behind an `Arc`) by every connection thread of a
 //! [`crate::server::Server`] and by in-process callers (benchmarks, tests, the
@@ -119,6 +119,10 @@ pub enum PlanKind {
     Compiled,
     /// Certified naïve pass on the tree-walking interpreter.
     Certified,
+    /// Certified naïve pass on the **normal form**: the raw query had no
+    /// Figure 1 guarantee, but static normalization landed it in a guaranteed
+    /// fragment (the certificate carries the replayable rewrite trace).
+    Normalized,
     /// PTIME symbolic certificate (conditional tables or the sandwich) on a
     /// non-guaranteed cell — exact, zero worlds enumerated.
     Symbolic,
@@ -128,7 +132,7 @@ pub enum PlanKind {
 
 /// The fixed dispatch-kind label set of the metrics registry — one
 /// request-latency histogram per [`PlanKind`].
-pub const PLAN_LABELS: &[&str] = &["compiled", "certified", "symbolic", "oracle"];
+pub const PLAN_LABELS: &[&str] = &["compiled", "certified", "normalized", "symbolic", "oracle"];
 
 /// How many top-latency requests the slow-query log retains.
 pub const SLOW_LOG_CAPACITY: usize = 8;
@@ -138,6 +142,7 @@ impl PlanKind {
         match plan {
             EvalPlan::CompiledNaive(_) => PlanKind::Compiled,
             EvalPlan::CertifiedNaive(_) => PlanKind::Certified,
+            EvalPlan::NormalizedNaive(_) => PlanKind::Normalized,
             EvalPlan::Symbolic(_) => PlanKind::Symbolic,
             EvalPlan::BoundedEnumeration => PlanKind::Oracle,
         }
@@ -149,6 +154,7 @@ impl PlanKind {
         match self {
             PlanKind::Compiled => "compiled",
             PlanKind::Certified => "certified",
+            PlanKind::Normalized => "normalized",
             PlanKind::Symbolic => "symbolic",
             PlanKind::Oracle => "oracle",
         }
@@ -157,12 +163,17 @@ impl PlanKind {
 
 impl fmt::Display for PlanKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PlanKind::Compiled => write!(f, "compiled"),
-            PlanKind::Certified => write!(f, "certified"),
-            PlanKind::Symbolic => write!(f, "symbolic"),
-            PlanKind::Oracle => write!(f, "oracle"),
-        }
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The ` reason=<code>` suffix for `compiled=false` responses: the compiler's
+/// own rejection when the query failed to compile, empty when there simply is
+/// no pipeline to show (symbolic/oracle dispatch of a compilable query).
+fn render_compile_reason(prepared: &PreparedQuery) -> String {
+    match prepared.compile_error() {
+        Some(e) => format!(" reason={}", e.reason_code()),
+        None => String::new(),
     }
 }
 
@@ -321,7 +332,8 @@ impl ServeState {
     /// query on the named instance (the core check needs real data) plus the
     /// `nev-opt` plan pair — `rules=<fired> logical=(…) optimized=(…)` — without
     /// executing anything. Compiler-rejected shapes report
-    /// `compiled=false` instead of plans.
+    /// `compiled=false reason=<code>` instead of plans, where the reason is the
+    /// compiler's own rejection (e.g. `complement_too_wide(columns=4,limit=3)`).
     pub fn explain(
         &self,
         name: &str,
@@ -353,8 +365,70 @@ impl ServeState {
                 "dispatch={dispatch} {} {runtime}",
                 compiled.explain_compact()
             ),
-            None => format!("dispatch={dispatch} compiled=false {runtime}"),
+            None => format!(
+                "dispatch={dispatch} compiled=false{} {runtime}",
+                render_compile_reason(&plan.prepared)
+            ),
         })
+    }
+
+    /// Answers one `ANALYZE` request: the static analyser's verdict for the
+    /// query on the named instance — raw vs normalized Figure 1 fragment, the
+    /// rewrite-trace length, the dispatch the engine would pick (so upgrades
+    /// are visible), the re-checked certificate status, per-answer-column
+    /// null-safety, and the analyser's diagnostics. Executes nothing.
+    pub fn analyze(
+        &self,
+        name: &str,
+        semantics: Semantics,
+        query_text: &str,
+    ) -> Result<String, ServeError> {
+        let instance = self
+            .catalog
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownInstance(name.to_string()))?;
+        let plan = self.cache.get_or_prepare(query_text, semantics)?;
+        let analysis = plan.prepared.analysis();
+        let dispatch = PlanKind::of(&self.engine.plan_with_symbolic(
+            &instance,
+            semantics,
+            &plan.prepared,
+        ));
+        // The wire never trusts the analyzer blindly: the trace is replayed
+        // and both fragments re-classified before the verdict is reported.
+        let certificate = match plan.prepared.check_normalization() {
+            Ok(()) => "ok".to_string(),
+            Err(e) => format!("invalid({e})"),
+        };
+        let nullability = if analysis.nullability().columns.is_empty() {
+            "-".to_string()
+        } else {
+            analysis
+                .nullability()
+                .columns
+                .iter()
+                .map(|c| format!("{}={}", c.column, c.nullability))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let diagnostics = analysis
+            .diagnostics()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        ServeStats::bump(&self.stats.analyzed);
+        if analysis.static_truth().is_some() {
+            ServeStats::bump(&self.stats.static_prunes);
+        }
+        Ok(format!(
+            "analysis fragment={} normalized_fragment={} steps={} widened={} dispatch={dispatch} \
+             certificate={certificate} nullability={nullability} diagnostics=[{diagnostics}]",
+            analysis.original_fragment().short_name(),
+            analysis.normalized_fragment().short_name(),
+            analysis.trace().len(),
+            analysis.widened(),
+        ))
     }
 
     /// Answers one `EVAL` request: certified naïve pass when Figure 1 guarantees
@@ -481,26 +555,30 @@ impl ServeState {
                         profile.render()
                     ),
                     None => format!(
-                        "profile plan={kind} certain={} compiled=false",
-                        wire::render_answers(&certain)
+                        "profile plan={kind} certain={} compiled=false{}",
+                        wire::render_answers(&certain),
+                        render_compile_reason(&plan.prepared)
                     ),
                 };
                 (kind, line)
             }
-            EvalPlan::Symbolic(_) | EvalPlan::BoundedEnumeration => {
-                // The regular dispatch (symbolic ladder, then the parallel
-                // oracle) — profiled only at the whole-request grain.
+            EvalPlan::NormalizedNaive(_) | EvalPlan::Symbolic(_) | EvalPlan::BoundedEnumeration => {
+                // The regular dispatch (normalized naïve pass, symbolic
+                // ladder, then the parallel oracle) — profiled only at the
+                // whole-request grain: only the raw query's compiled pipeline
+                // carries per-operator annotations.
                 let recorder = TraceRecorder::new();
                 let response = self.eval_prepared(&instance, semantics, &plan.prepared, &recorder);
                 let line = format!(
-                    "profile plan={} certain={}{} compiled=false",
+                    "profile plan={} certain={}{} compiled=false{}",
                     response.plan,
                     wire::render_answers(&response.certain),
                     if response.truncated {
                         " truncated=true"
                     } else {
                         ""
-                    }
+                    },
+                    render_compile_reason(&plan.prepared)
                 );
                 (response.plan, line)
             }
@@ -521,17 +599,35 @@ impl ServeState {
         prepared: &Arc<PreparedQuery>,
         recorder: &TraceRecorder,
     ) -> EvalResponse {
+        if prepared.analysis().static_truth().is_some() {
+            // The normal form is ⊤/⊥: whatever the dispatch below, the exec
+            // layer's empty-annihilation rules answer without scanning data.
+            ServeStats::bump(&self.stats.static_prunes);
+        }
         match self.engine.plan(instance, semantics, prepared) {
-            plan @ (EvalPlan::CompiledNaive(_) | EvalPlan::CertifiedNaive(_)) => {
-                ServeStats::bump(&self.stats.certified);
+            plan @ (EvalPlan::CompiledNaive(_)
+            | EvalPlan::CertifiedNaive(_)
+            | EvalPlan::NormalizedNaive(_)) => {
+                if plan.is_normalized() {
+                    // No guarantee for the raw query; the normal form earned
+                    // one, so the naïve pass runs on *it* (the rewrites
+                    // preserve naïve evaluation, so answers are identical).
+                    ServeStats::bump(&self.stats.normalized_upgrades);
+                } else {
+                    ServeStats::bump(&self.stats.certified);
+                }
                 if plan.is_compiled() {
                     ServeStats::bump(&self.stats.compiled);
                 }
                 // Through the engine, so the pass runs under the shared pool's
                 // ExecOptions (morsel-parallel scans and joins on large data).
-                let (naive, exec) = self
-                    .engine
-                    .naive_answers_traced(instance, prepared, recorder);
+                let (naive, exec) = if plan.is_normalized() {
+                    self.engine
+                        .normalized_naive_answers_traced(instance, prepared, recorder)
+                } else {
+                    self.engine
+                        .naive_answers_traced(instance, prepared, recorder)
+                };
                 ServeStats::add(&self.stats.morsels, exec.morsels_dispatched);
                 ServeStats::add(&self.stats.parallel_joins, exec.parallel_joins);
                 EvalResponse {
@@ -712,6 +808,7 @@ impl ServeState {
                         ServeStats::bump(&self.stats.compiled);
                     }
                     PlanKind::Certified => ServeStats::bump(&self.stats.certified),
+                    PlanKind::Normalized => ServeStats::bump(&self.stats.normalized_upgrades),
                     PlanKind::Symbolic => ServeStats::bump(&self.stats.symbolic),
                     PlanKind::Oracle => ServeStats::bump(&self.stats.oracle),
                 }
@@ -833,6 +930,9 @@ impl ServeState {
             ("symbolic", snap.symbolic),
             ("sandwich_exact", snap.sandwich_exact),
             ("truncated", snap.truncated),
+            ("analyzed", snap.analyzed),
+            ("normalized_upgrades", snap.normalized_upgrades),
+            ("static_prunes", snap.static_prunes),
             ("cache_hits", self.cache.hits()),
             ("cache_misses", self.cache.misses()),
             ("cache_evictions", self.cache.evictions()),
@@ -910,6 +1010,16 @@ impl ServeState {
                     .parse()
                     .map_err(|_| ServeError::UnknownSemantics(semantics))?;
                 self.explain(&name, semantics, &query)
+            }
+            Command::Analyze {
+                name,
+                semantics,
+                query,
+            } => {
+                let semantics: Semantics = semantics
+                    .parse()
+                    .map_err(|_| ServeError::UnknownSemantics(semantics))?;
+                self.analyze(&name, semantics, &query)
             }
             Command::Trace {
                 name,
@@ -1045,9 +1155,13 @@ mod tests {
         assert!(line.contains("logical=("), "{line}");
         assert!(line.contains("optimized=("), "{line}");
         assert!(!line.contains('\n'), "one line per response: {line}");
-        // A compiler-rejected shape reports the interpreter fallback.
+        // A compiler-rejected shape reports the interpreter fallback, with the
+        // compiler's own rejection as the reason.
         let fallback = state.handle_line("EXPLAIN d0 wcwa forall u v w t . D(u, v) & D(w, t)");
-        assert!(fallback.contains("compiled=false"), "{fallback}");
+        assert!(
+            fallback.contains("compiled=false reason=complement_too_wide(columns=4,limit=3)"),
+            "{fallback}"
+        );
         assert!(fallback.starts_with("OK dispatch=certified"), "{fallback}");
         // Unknown instances are typed errors, exactly like EVAL.
         assert!(state
@@ -1122,6 +1236,54 @@ mod tests {
         assert!(stats.contains("symbolic=1"), "{stats}");
         assert!(stats.contains("sandwich_exact=1"), "{stats}");
         assert!(stats.contains("truncated=0"), "{stats}");
+    }
+
+    #[test]
+    fn analyze_round_trips_and_normalized_dispatch_shows_on_the_wire() {
+        let state = state(1);
+        state.load("d0", d0());
+        // `¬¬∃uv D(u,v)` classifies FO (no CWA guarantee), but its normal form
+        // is ∃Pos — ANALYZE reports the widening and the upgraded dispatch.
+        let line = state.handle_line("ANALYZE d0 cwa !(!(exists u v . D(u, v)))");
+        assert!(line.starts_with("OK analysis fragment=FO"), "{line}");
+        assert!(line.contains("normalized_fragment=∃Pos"), "{line}");
+        assert!(line.contains("widened=true"), "{line}");
+        assert!(line.contains("dispatch=normalized"), "{line}");
+        assert!(line.contains("certificate=ok"), "{line}");
+        assert!(line.contains("nullability=-"), "{line}");
+        assert!(line.contains("diagnostics=[widened(FO→∃Pos)]"), "{line}");
+        assert!(!line.contains('\n'), "ANALYZE is a one-liner: {line}");
+        // ANALYZE executed nothing, but it counted.
+        let snap = state.snapshot();
+        assert_eq!(snap.analyzed, 1);
+        assert_eq!(snap.evals, 0);
+        // EVAL on the same query answers by the certified normalized pass —
+        // byte-identical to the raw ∃Pos query's answer, zero worlds.
+        let eval = state.handle_line("EVAL d0 cwa !(!(exists u v . D(u, v)))");
+        assert_eq!(eval, "OK plan=normalized certain={()}");
+        let plain = state.handle_line("EVAL d0 cwa exists u v . D(u, v)");
+        assert_eq!(plain, "OK plan=compiled certain={()}");
+        let snap = state.snapshot();
+        assert_eq!(snap.normalized_upgrades, 1);
+        assert_eq!(snap.worlds, 0, "no worlds were enumerated");
+        // An unchanged query reports an empty trace and no widening.
+        let noop = state.handle_line("ANALYZE d0 cwa exists u v . D(u, v)");
+        assert!(noop.contains("steps=0"), "{noop}");
+        assert!(noop.contains("widened=false"), "{noop}");
+        assert!(noop.contains("diagnostics=[]"), "{noop}");
+        // A statically-false query is diagnosed and counted as a prune.
+        let pruned = state.handle_line("ANALYZE d0 cwa exists u . D(u, u) & !D(u, u)");
+        assert!(pruned.contains("statically-false"), "{pruned}");
+        assert!(state.snapshot().static_prunes >= 1, "{pruned}");
+        // The STATS line carries all three analyzer counters.
+        let stats = state.handle_line("STATS");
+        assert!(stats.contains("analyzed=3"), "{stats}");
+        assert!(stats.contains("normalized_upgrades=1"), "{stats}");
+        assert!(stats.contains("static_prunes="), "{stats}");
+        // Unknown instances are typed errors, exactly like EVAL.
+        assert!(state
+            .handle_line("ANALYZE nope owa exists u . D(u, u)")
+            .starts_with("ERR unknown instance"));
     }
 
     #[test]
@@ -1240,13 +1402,19 @@ mod tests {
         );
         assert!(oracle.ends_with("compiled=false"), "{oracle}");
         assert!(!oracle.contains("ops=["), "{oracle}");
-        // An interpreter-fallback certified cell reports the same flag.
+        // An interpreter-fallback certified cell reports the same flag, plus
+        // the compiler's rejection so the operator can see *why* there is no
+        // pipeline (the bare `compiled=false` used to be indistinguishable
+        // from the symbolic/oracle case).
         let fallback = state.handle_line("PROFILE d0 wcwa forall u v w t . D(u, v) & D(w, t)");
         assert!(
             fallback.starts_with("OK profile plan=certified certain="),
             "{fallback}"
         );
-        assert!(fallback.ends_with("compiled=false"), "{fallback}");
+        assert!(
+            fallback.ends_with("compiled=false reason=complement_too_wide(columns=4,limit=3)"),
+            "{fallback}"
+        );
         assert_eq!(state.snapshot().evals, 2);
         // Unknown instances stay typed errors.
         assert!(state

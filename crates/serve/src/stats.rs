@@ -43,6 +43,14 @@ pub struct ServeStats {
     /// Oracle answers whose world stream was cut off by the world cap with the
     /// verdict still drawing on it (over-approximations, flagged on the wire).
     pub truncated: AtomicU64,
+    /// `ANALYZE` requests answered successfully.
+    pub analyzed: AtomicU64,
+    /// Evaluations dispatched on the normalized-naïve plan: the raw query had
+    /// no Figure 1 guarantee, but its normal form landed in a wider cell.
+    pub normalized_upgrades: AtomicU64,
+    /// Evaluations whose query static analysis proved constantly true or
+    /// false, so the exec layer could short-circuit to `∅`/`adomᵏ`.
+    pub static_prunes: AtomicU64,
 }
 
 impl ServeStats {
@@ -53,16 +61,19 @@ impl ServeStats {
 
     /// Relaxed-increment helper.
     pub fn bump(counter: &AtomicU64) {
+        // relaxed: counters are telemetry, not synchronisation (see type docs).
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Relaxed add helper.
     pub fn add(counter: &AtomicU64, n: u64) {
+        // relaxed: counters are telemetry, not synchronisation (see type docs).
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// A plain-data copy of the counters (the `STATS` response payload).
     pub fn snapshot(&self) -> StatsSnapshot {
+        // relaxed: fuzzy point-in-time copy; counters are independent and monotone.
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             loads: self.loads.load(Ordering::Relaxed),
@@ -80,6 +91,9 @@ impl ServeStats {
             symbolic: self.symbolic.load(Ordering::Relaxed),
             sandwich_exact: self.sandwich_exact.load(Ordering::Relaxed),
             truncated: self.truncated.load(Ordering::Relaxed),
+            analyzed: self.analyzed.load(Ordering::Relaxed),
+            normalized_upgrades: self.normalized_upgrades.load(Ordering::Relaxed),
+            static_prunes: self.static_prunes.load(Ordering::Relaxed),
         }
     }
 }
@@ -120,6 +134,12 @@ pub struct StatsSnapshot {
     pub sandwich_exact: u64,
     /// See [`ServeStats::truncated`].
     pub truncated: u64,
+    /// See [`ServeStats::analyzed`].
+    pub analyzed: u64,
+    /// See [`ServeStats::normalized_upgrades`].
+    pub normalized_upgrades: u64,
+    /// See [`ServeStats::static_prunes`].
+    pub static_prunes: u64,
 }
 
 impl fmt::Display for StatsSnapshot {
@@ -128,7 +148,8 @@ impl fmt::Display for StatsSnapshot {
             f,
             "requests={} loads={} prepares={} evals={} explains={} errors={} certified={} \
              compiled={} oracle={} worlds={} oracle_cancelled={} morsels={} parallel_joins={} \
-             symbolic={} sandwich_exact={} truncated={}",
+             symbolic={} sandwich_exact={} truncated={} analyzed={} normalized_upgrades={} \
+             static_prunes={}",
             self.requests,
             self.loads,
             self.prepares,
@@ -144,7 +165,10 @@ impl fmt::Display for StatsSnapshot {
             self.parallel_joins,
             self.symbolic,
             self.sandwich_exact,
-            self.truncated
+            self.truncated,
+            self.analyzed,
+            self.normalized_upgrades,
+            self.static_prunes
         )
     }
 }

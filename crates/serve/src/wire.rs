@@ -7,6 +7,7 @@
 //!           | "PREPARE" query-text
 //!           | "EVAL" name semantics query-text
 //!           | "EXPLAIN" name semantics query-text
+//!           | "ANALYZE" name semantics query-text
 //!           | "TRACE" name semantics query-text
 //!           | "PROFILE" name semantics query-text
 //!           | "STATS"
@@ -34,6 +35,10 @@
 //! so line-oriented clients know exactly where the multi-line payload stops.
 //! `TRACE` evaluates like `EVAL` but answers with the request's stage
 //! timeline (`trace plan=… total_us=… spans=…`) instead of the answer set.
+//! `ANALYZE` runs the static analyser without executing anything: it answers
+//! with the raw and normalized fragments, the rewrite-trace length, the
+//! dispatch the engine would pick, the replay-checked certificate status,
+//! per-answer-column null-safety, and the analyser's diagnostics.
 //! `PROFILE` evaluates like `EVAL` but answers with the per-operator annotated
 //! plan (wall time, output rows, estimated rows per node); `TOP` is the
 //! one-line windowed throughput/latency summary behind the `nevtop` dashboard,
@@ -83,6 +88,18 @@ pub enum Command {
     /// `EXPLAIN name semantics query` — the dispatch decision and the `nev-opt`
     /// optimised plan for `query` on the named instance, without executing it.
     Explain {
+        /// Catalog name the dispatch would run on (core checks need it).
+        name: String,
+        /// The semantics spelling (validated by the state layer).
+        semantics: String,
+        /// The raw query text.
+        query: String,
+    },
+    /// `ANALYZE name semantics query` — the static analyser's verdict for
+    /// `query` on the named instance, without executing it: raw vs normalized
+    /// fragment, rewrite-trace length, the dispatch the engine would pick,
+    /// certificate status, per-column null-safety, and diagnostics.
+    Analyze {
         /// Catalog name the dispatch would run on (core checks need it).
         name: String,
         /// The semantics spelling (validated by the state layer).
@@ -184,6 +201,14 @@ pub fn parse_command(line: &str) -> Result<Command, WireError> {
                 query,
             })
         }
+        "ANALYZE" => {
+            let (name, semantics, query) = parse_eval_shape(rest, "ANALYZE")?;
+            Ok(Command::Analyze {
+                name,
+                semantics,
+                query,
+            })
+        }
         "TRACE" => {
             let (name, semantics, query) = parse_eval_shape(rest, "TRACE")?;
             Ok(Command::Trace {
@@ -227,8 +252,8 @@ pub fn parse_command(line: &str) -> Result<Command, WireError> {
         }
         "QUIT" => Ok(Command::Quit),
         other => Err(err(format!(
-            "unknown command `{other}` (expected LOAD, PREPARE, EVAL, EXPLAIN, TRACE, PROFILE, \
-             STATS, METRICS, TOP or QUIT)"
+            "unknown command `{other}` (expected LOAD, PREPARE, EVAL, EXPLAIN, ANALYZE, TRACE, \
+             PROFILE, STATS, METRICS, TOP or QUIT)"
         ))),
     }
 }
@@ -499,6 +524,14 @@ mod tests {
                 query: "exists u . R(u)".into(),
             })
         );
+        assert_eq!(
+            parse_command("ANALYZE d0 cwa !(!(exists u . R(u)))"),
+            Ok(Command::Analyze {
+                name: "d0".into(),
+                semantics: "cwa".into(),
+                query: "!(!(exists u . R(u)))".into(),
+            })
+        );
     }
 
     #[test]
@@ -507,6 +540,7 @@ mod tests {
             ("LOAD onlyname", "usage: LOAD"),
             ("EVAL d0 owa", "usage: EVAL"),
             ("EXPLAIN d0 owa", "usage: EXPLAIN"),
+            ("ANALYZE d0 owa", "usage: ANALYZE"),
             ("PREPARE", "usage: PREPARE"),
             ("TRACE d0 owa", "usage: TRACE"),
             ("PROFILE d0 owa", "usage: PROFILE"),

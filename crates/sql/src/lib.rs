@@ -17,7 +17,9 @@
 #![warn(missing_docs)]
 
 pub mod filter;
+pub mod report;
 pub mod three_valued;
 
 pub use filter::{difference_not_in, in_list, not_in_list, project_column};
+pub use report::{ColumnNullability, ColumnReport, NullabilityReport};
 pub use three_valued::{sql_compare_eq, TruthValue};

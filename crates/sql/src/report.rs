@@ -1,0 +1,149 @@
+//! Per-column nullability reports for SQL's three-valued logic.
+//!
+//! Static null-flow analysis (in `nev-analyze`) can prove that some answer
+//! columns never carry nulls — e.g. a column equated to a constant in every
+//! disjunct. This module is the report shape those proofs are surfaced in:
+//! for a null-safe column, SQL comparisons are *two-valued* (never `Unknown`),
+//! so the 3VL paradox of §2 cannot bite on that column.
+
+use std::fmt;
+
+use nev_incomplete::{Constant, Value};
+
+use crate::three_valued::{sql_compare_eq, TruthValue};
+
+/// What static analysis knows about the values a column can hold.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ColumnNullability {
+    /// The column always holds exactly this constant.
+    Constant(Constant),
+    /// The column never holds a null, but its constant value varies.
+    NonNull,
+    /// Nothing is known: the column may carry nulls.
+    MayBeNull,
+}
+
+impl ColumnNullability {
+    /// True when the column provably never holds a null.
+    pub fn is_null_safe(&self) -> bool {
+        !matches!(self, ColumnNullability::MayBeNull)
+    }
+
+    /// True when SQL equality comparisons against a non-null value are
+    /// guaranteed two-valued (never [`TruthValue::Unknown`]) on this column.
+    pub fn comparison_is_two_valued(&self) -> bool {
+        self.is_null_safe()
+    }
+
+    /// Certain truth of `column = value` for a value drawn from this column,
+    /// when it is statically decidable: only a [`ColumnNullability::Constant`]
+    /// column pins the comparison without looking at data.
+    pub fn eq_constant_truth(&self, value: &Value) -> Option<TruthValue> {
+        match self {
+            ColumnNullability::Constant(c) => Some(sql_compare_eq(&Value::Const(c.clone()), value)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ColumnNullability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnNullability::Constant(c) => write!(f, "const({})", Value::Const(c.clone())),
+            ColumnNullability::NonNull => write!(f, "nonnull"),
+            ColumnNullability::MayBeNull => write!(f, "maybe-null"),
+        }
+    }
+}
+
+/// Nullability verdict for one named answer column.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ColumnReport {
+    /// The answer-variable name.
+    pub column: String,
+    /// What the analysis proved about it.
+    pub nullability: ColumnNullability,
+}
+
+/// Per-column nullability for a query's answer schema.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct NullabilityReport {
+    /// One entry per answer column, in answer order.
+    pub columns: Vec<ColumnReport>,
+}
+
+impl NullabilityReport {
+    /// The names of the columns proven null-safe.
+    pub fn null_safe_columns(&self) -> Vec<&str> {
+        self.columns
+            .iter()
+            .filter(|c| c.nullability.is_null_safe())
+            .map(|c| c.column.as_str())
+            .collect()
+    }
+
+    /// True when every answer column is proven null-safe — the whole answer
+    /// relation is then immune to 3VL `Unknown`s.
+    pub fn all_null_safe(&self) -> bool {
+        !self.columns.is_empty() && self.columns.iter().all(|c| c.nullability.is_null_safe())
+    }
+}
+
+impl fmt::Display for NullabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.columns.is_empty() {
+            return write!(f, "(boolean)");
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}={}", c.column, c.nullability)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nev_incomplete::builder::{c, x};
+
+    #[test]
+    fn null_safety_lattice() {
+        assert!(ColumnNullability::Constant(Constant::Int(1)).is_null_safe());
+        assert!(ColumnNullability::NonNull.is_null_safe());
+        assert!(!ColumnNullability::MayBeNull.is_null_safe());
+    }
+
+    #[test]
+    fn constant_columns_decide_comparisons_statically() {
+        let col = ColumnNullability::Constant(Constant::Int(1));
+        assert_eq!(col.eq_constant_truth(&c(1)), Some(TruthValue::True));
+        assert_eq!(col.eq_constant_truth(&c(2)), Some(TruthValue::False));
+        // Comparing the constant against a null is still Unknown — null-safety
+        // of the *column* says nothing about the other operand.
+        assert_eq!(col.eq_constant_truth(&x(1)), Some(TruthValue::Unknown));
+        assert_eq!(ColumnNullability::NonNull.eq_constant_truth(&c(1)), None);
+    }
+
+    #[test]
+    fn report_rendering_and_aggregates() {
+        let report = NullabilityReport {
+            columns: vec![
+                ColumnReport {
+                    column: "a".into(),
+                    nullability: ColumnNullability::Constant(Constant::Int(3)),
+                },
+                ColumnReport {
+                    column: "b".into(),
+                    nullability: ColumnNullability::MayBeNull,
+                },
+            ],
+        };
+        assert_eq!(report.to_string(), "a=const(3) b=maybe-null");
+        assert_eq!(report.null_safe_columns(), vec!["a"]);
+        assert!(!report.all_null_safe());
+        assert_eq!(NullabilityReport::default().to_string(), "(boolean)");
+    }
+}

@@ -407,6 +407,24 @@ pub fn truth_of_sentence(d: &Instance, formula: &Formula, profile: EvalProfile) 
     KleeneEvaluator::new(d, &formula.constants(), profile).sentence_truth(formula)
 }
 
+/// The tuples of a naïve answer set that can possibly be certain: certain
+/// answers never mention nulls (renaming a null yields another world where the
+/// tuple is absent), so incomplete tuples are discarded up front.
+///
+/// This is the sandwich's candidate pre-filter: comparing the Kleene
+/// under-approximation `U` against `complete_candidates(naive)` instead of the
+/// raw naïve set lets `U ⊆ certain ⊆ complete(naive)` pin the certain answers
+/// even when naïve evaluation overshoots *only* by null-carrying tuples.
+/// Static null-flow analysis (`nev-analyze`) makes the filter free: when every
+/// answer column is proven null-safe, the naïve set is already all-complete.
+pub fn complete_candidates(answers: &BTreeSet<Tuple>) -> BTreeSet<Tuple> {
+    answers
+        .iter()
+        .filter(|t| t.is_complete())
+        .cloned()
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

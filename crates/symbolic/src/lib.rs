@@ -44,6 +44,6 @@ pub mod tvl;
 
 pub use cond::Cond;
 pub use ctable::{cwa_certain_answers, CwaReport};
-pub use kleene::{truth_of_sentence, under_approximation, KleeneEvaluator};
+pub use kleene::{complete_candidates, truth_of_sentence, under_approximation, KleeneEvaluator};
 pub use profile::{AtomClosure, EvalProfile};
 pub use tvl::Truth;

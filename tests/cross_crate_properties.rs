@@ -154,6 +154,57 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig { cases: 25, .. ProptestConfig::default() })]
+
+    /// Normalization preserves active-domain semantics: for generated formulas of
+    /// every fragment — constants in atoms included — the normal form's naïve
+    /// answers equal the original's, on generated instances and on the empty
+    /// instance alike, and the analyser's own certificate checks concur.
+    #[test]
+    fn normalization_preserves_naive_semantics(d in instance_strategy(), seed in 0u64..10_000) {
+        let schema = Schema::from_relations([("R", 2), ("S", 1)]);
+        let empty = Instance::empty_of_schema(&schema);
+        for fragment in [
+            Fragment::ExistentialPositive,
+            Fragment::Positive,
+            Fragment::PositiveGuarded,
+            Fragment::ExistentialPositiveBooleanGuarded,
+            Fragment::FullFirstOrder,
+        ] {
+            let mut formulas = FormulaGenerator::new(
+                FormulaGeneratorConfig {
+                    fragment,
+                    schema: schema.clone(),
+                    max_depth: 3,
+                    constant_probability: 0.3,
+                    ..FormulaGeneratorConfig::default()
+                },
+                seed,
+            );
+            let q = formulas.generate_sentence();
+            let analysis = nev_analyze::analyze(&q);
+            prop_assert!(
+                analysis.check().is_ok(),
+                "{}: trace replay failed on `{}`",
+                fragment,
+                q.formula()
+            );
+            for instance in [&d, &empty] {
+                prop_assert_eq!(
+                    nev_logic::naive_eval_query(instance, &q),
+                    nev_logic::naive_eval_query(instance, analysis.normalized()),
+                    "{}: normalization changed `{}` into `{}`",
+                    fragment,
+                    q.formula(),
+                    analysis.normalized().formula()
+                );
+                prop_assert!(analysis.check_on(instance).is_ok(), "{}", fragment);
+            }
+        }
+    }
+}
+
+proptest! {
     // These properties run the certain-answer oracle, so keep the case count lower.
     #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
 

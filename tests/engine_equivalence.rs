@@ -68,14 +68,33 @@ proptest! {
                 Expectation::WorksOverCores => is_core(&instance),
                 Expectation::NotGuaranteed => false,
             };
-            prop_assert_eq!(
-                plan.is_certified(),
-                should_certify,
-                "{} × {} on core={}",
-                semantics,
-                query.fragment(),
-                is_core(&instance)
-            );
+            if plan.is_normalized() {
+                // A normalized upgrade is only legal where the raw cell carries
+                // no guarantee but the normal form's cell does.
+                prop_assert!(!should_certify, "{} × {}", semantics, query.fragment());
+                let upgraded = expectation(semantics, query.normalized_fragment());
+                let upgrade_ok = match upgraded {
+                    Expectation::Works => true,
+                    Expectation::WorksOverCores => is_core(&instance),
+                    Expectation::NotGuaranteed => false,
+                };
+                prop_assert!(
+                    upgrade_ok,
+                    "{} × {} normalized to {}",
+                    semantics,
+                    query.fragment(),
+                    query.normalized_fragment()
+                );
+            } else {
+                prop_assert_eq!(
+                    plan.is_certified(),
+                    should_certify,
+                    "{} × {} on core={}",
+                    semantics,
+                    query.fragment(),
+                    is_core(&instance)
+                );
+            }
             if let Some(cert) = plan.certificate() {
                 prop_assert!(cert.check(), "{} × {}", semantics, query.fragment());
             }
